@@ -1,0 +1,72 @@
+//! B4: the cost of mover oracles (Definition 4.1) — algebraic tables vs
+//! exhaustive state-space checking, across specifications. This is the
+//! knob a real system designer turns: exact criteria checking is
+//! expensive; the algebraic tables are what implementations (read/write
+//! sets, abstract locks) approximate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pushpull_core::op::{Op, OpId, TxnId};
+use pushpull_core::spec::{mover_exhaustive, SeqSpec};
+use pushpull_spec::bank::{ops as bops, Bank};
+use pushpull_spec::kvmap::{ops as mops, KvMap};
+use pushpull_spec::rwmem::{ops as rops, RwMem};
+
+fn bench_movers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4-movers");
+
+    // Read/write memory.
+    let rw_alg = RwMem::new();
+    let rw_exh = RwMem::bounded(
+        vec![pushpull_spec::rwmem::Loc(0), pushpull_spec::rwmem::Loc(1)],
+        vec![0, 1, 2],
+    );
+    let rw_uni = rw_exh.state_universe().unwrap();
+    let r = rops::read(0, 0, 0, 1);
+    let w = rops::write(1, 1, 0, 1);
+    group.bench_function(BenchmarkId::new("rwmem", "algebraic"), |b| {
+        b.iter(|| rw_alg.mover(&r, &w))
+    });
+    group.bench_function(BenchmarkId::new("rwmem", "exhaustive"), |b| {
+        b.iter(|| mover_exhaustive(&rw_exh, &rw_uni, &r, &w))
+    });
+
+    // Key-value map.
+    let kv_alg = KvMap::new();
+    let kv_exh = KvMap::bounded(vec![0, 1], vec![0, 1]);
+    let kv_uni = kv_exh.state_universe().unwrap();
+    let p = mops::put(0, 0, 0, 1, None);
+    let g = mops::get(1, 1, 1, None);
+    group.bench_function(BenchmarkId::new("kvmap", "algebraic"), |b| {
+        b.iter(|| kv_alg.mover(&p, &g))
+    });
+    group.bench_function(BenchmarkId::new("kvmap", "exhaustive"), |b| {
+        b.iter(|| mover_exhaustive(&kv_exh, &kv_uni, &p, &g))
+    });
+
+    // Bank (the asymmetric example).
+    let bank_alg = Bank::new();
+    let bank_exh = Bank::bounded(vec![0, 1], 4);
+    let bank_uni = bank_exh.state_universe().unwrap();
+    let wd = bops::withdraw(0, 0, 0, 2, true);
+    let dp = bops::deposit(1, 1, 0, 3);
+    group.bench_function(BenchmarkId::new("bank", "algebraic"), |b| {
+        b.iter(|| bank_alg.mover(&wd, &dp))
+    });
+    group.bench_function(BenchmarkId::new("bank", "exhaustive"), |b| {
+        b.iter(|| mover_exhaustive(&bank_exh, &bank_uni, &wd, &dp))
+    });
+
+    group.finish();
+
+    // Shape check: the oracles agree where both are defined.
+    assert_eq!(rw_alg.mover(&r, &w), mover_exhaustive(&rw_exh, &rw_uni, &r, &w));
+    assert!(bank_alg.mover(&wd, &dp));
+    assert!(mover_exhaustive(&bank_exh, &bank_uni, &wd, &dp));
+    let op1: Op<_, _> = Op::new(OpId(7), TxnId(0), pushpull_spec::bank::BankMethod::Deposit(0, 3), pushpull_spec::bank::BankRet::Ack);
+    let op2 = bops::withdraw(8, 1, 0, 2, true);
+    assert!(!bank_alg.mover(&op1, &op2), "deposit must not move across a successful withdraw");
+}
+
+criterion_group!(benches, bench_movers);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! B3: what does checking the Figure 5 criteria cost?
+//!
+//! Measures the same APP;PUSH;CMT workload on the machine in `Checked`
+//! (all criteria), `RelaxedGray` (paper's gray criteria skipped) and
+//! `Unchecked` (structural checks only) modes. The delta is the price of
+//! turning the paper's proof obligations into runtime checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pushpull_core::lang::Code;
+use pushpull_core::machine::{CheckMode, Machine};
+use pushpull_spec::kvmap::{KvMap, MapMethod};
+
+/// One thread, `n` single-put transactions on rotating keys.
+fn programs(n: u64) -> Vec<Code<MapMethod>> {
+    (0..n).map(|i| Code::method(MapMethod::Put(i % 8, i as i64))).collect()
+}
+
+fn run_mode(mode: CheckMode, n: u64) -> usize {
+    let mut m = Machine::with_mode(KvMap::new(), mode);
+    let t = m.add_thread(programs(n));
+    for _ in 0..n {
+        m.pull_all_committed(t).expect("pull"); // begin-time snapshot
+        let op = m.app_auto(t).expect("app");
+        m.push(t, op).expect("push");
+        m.commit(t).expect("commit");
+    }
+    m.global().committed_ops().len()
+}
+
+fn bench_rule_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3-rule-overhead");
+    group.sample_size(20);
+    for n in [16u64, 64] {
+        group.bench_function(BenchmarkId::new("checked", n), |b| {
+            b.iter(|| run_mode(CheckMode::Checked, n))
+        });
+        group.bench_function(BenchmarkId::new("relaxed-gray", n), |b| {
+            b.iter(|| run_mode(CheckMode::RelaxedGray, n))
+        });
+        group.bench_function(BenchmarkId::new("unchecked", n), |b| {
+            b.iter(|| run_mode(CheckMode::Unchecked, n))
+        });
+    }
+    group.finish();
+
+    // Sanity: all modes produce the same committed log on this workload.
+    assert_eq!(run_mode(CheckMode::Checked, 32), 32);
+    assert_eq!(run_mode(CheckMode::RelaxedGray, 32), 32);
+    assert_eq!(run_mode(CheckMode::Unchecked, 32), 32);
+}
+
+criterion_group!(benches, bench_rule_overhead);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Criteria audit: *which proof obligations did a run discharge?*
+//!
+//! The paper's methodology (§2) is: demarcate the algorithm into rule
+//! fragments, then prove each rule's criteria. The checked machine
+//! discharges those criteria dynamically; this module counts them, so a
+//! run can report the exact shape of its correctness argument — how many
+//! PUSH criterion (ii) mover checks, how many `allowed` evaluations, and
+//! so on. The benchmark B3 measures their cost; the audit explains where
+//! it goes, and the per-algorithm tests assert the *pattern* (e.g. an
+//! optimistic run discharges no UNPUSH obligations at all).
+
+use std::collections::BTreeMap;
+
+use crate::error::{Clause, Rule};
+
+/// Counter key: a rule criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Obligation {
+    /// The rule.
+    pub rule: Rule,
+    /// The clause.
+    pub clause: Clause,
+}
+
+impl std::fmt::Display for Obligation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} criterion {}", self.rule, self.clause)
+    }
+}
+
+// Rule/Clause need Ord for the BTreeMap key; derive-by-hand here to keep
+// the error module's public surface minimal.
+impl Rule {
+    fn ord_key(self) -> u8 {
+        match self {
+            Rule::App => 0,
+            Rule::UnApp => 1,
+            Rule::Push => 2,
+            Rule::UnPush => 3,
+            Rule::Pull => 4,
+            Rule::UnPull => 5,
+            Rule::Cmt => 6,
+        }
+    }
+}
+
+impl Clause {
+    fn ord_key(self) -> u8 {
+        match self {
+            Clause::I => 0,
+            Clause::Ii => 1,
+            Clause::Iii => 2,
+            Clause::Iv => 3,
+        }
+    }
+}
+
+impl PartialOrd for Rule {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Rule {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ord_key().cmp(&other.ord_key())
+    }
+}
+impl PartialOrd for Clause {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Clause {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ord_key().cmp(&other.ord_key())
+    }
+}
+
+/// Tally of discharged (checked-and-passed) and violated criteria, plus
+/// the primitive-check counters behind them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CriteriaAudit {
+    /// Criterion evaluations that passed, by obligation.
+    pub discharged: BTreeMap<Obligation, u64>,
+    /// Criterion evaluations that failed (and blocked the rule).
+    pub violated: BTreeMap<Obligation, u64>,
+    /// Individual mover-oracle consultations (Definition 4.1 queries).
+    pub mover_queries: u64,
+    /// Individual `allowed` evaluations.
+    pub allowed_queries: u64,
+}
+
+impl CriteriaAudit {
+    /// Records a passed criterion.
+    pub fn pass(&mut self, rule: Rule, clause: Clause) {
+        *self.discharged.entry(Obligation { rule, clause }).or_default() += 1;
+    }
+
+    /// Records a failed criterion.
+    pub fn fail(&mut self, rule: Rule, clause: Clause) {
+        *self.violated.entry(Obligation { rule, clause }).or_default() += 1;
+    }
+
+    /// Total criterion evaluations.
+    pub fn total(&self) -> u64 {
+        self.discharged.values().sum::<u64>() + self.violated.values().sum::<u64>()
+    }
+
+    /// Passed evaluations of one obligation.
+    pub fn discharged_count(&self, rule: Rule, clause: Clause) -> u64 {
+        self.discharged.get(&Obligation { rule, clause }).copied().unwrap_or(0)
+    }
+
+    /// Failed evaluations of one obligation.
+    pub fn violated_count(&self, rule: Rule, clause: Clause) -> u64 {
+        self.violated.get(&Obligation { rule, clause }).copied().unwrap_or(0)
+    }
+
+    /// Renders the audit as a small table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("obligation                 discharged   violated\n");
+        let mut keys: Vec<Obligation> = self
+            .discharged
+            .keys()
+            .chain(self.violated.keys())
+            .copied()
+            .collect();
+        keys.sort();
+        keys.dedup();
+        for k in keys {
+            out.push_str(&format!(
+                "{:<26} {:>10} {:>10}\n",
+                k.to_string(),
+                self.discharged.get(&k).copied().unwrap_or(0),
+                self.violated.get(&k).copied().unwrap_or(0)
+            ));
+        }
+        out.push_str(&format!(
+            "mover queries: {}   allowed queries: {}\n",
+            self.mover_queries, self.allowed_queries
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_and_render() {
+        let mut a = CriteriaAudit::default();
+        a.pass(Rule::Push, Clause::Ii);
+        a.pass(Rule::Push, Clause::Ii);
+        a.fail(Rule::Push, Clause::Iii);
+        a.mover_queries += 5;
+        assert_eq!(a.discharged_count(Rule::Push, Clause::Ii), 2);
+        assert_eq!(a.violated_count(Rule::Push, Clause::Iii), 1);
+        assert_eq!(a.total(), 3);
+        let table = a.render();
+        assert!(table.contains("PUSH criterion (ii)"));
+        assert!(table.contains("mover queries: 5"));
+    }
+
+    #[test]
+    fn obligations_order_by_rule_then_clause() {
+        let mut v = [
+            Obligation { rule: Rule::Cmt, clause: Clause::I },
+            Obligation { rule: Rule::App, clause: Clause::Ii },
+            Obligation { rule: Rule::App, clause: Clause::I },
+        ];
+        v.sort();
+        assert_eq!(v[0].rule, Rule::App);
+        assert_eq!(v[0].clause, Clause::I);
+        assert_eq!(v[2].rule, Rule::Cmt);
+    }
+}

@@ -1,0 +1,418 @@
+//! Executable renderings of the §5 invariants.
+//!
+//! The serializability proof rests on invariants of machine
+//! configurations (Lemmas 5.7–5.13) and on the *commit preservation*
+//! invariant `cmtpres` (Definition 5.2). This module turns each into a
+//! checkable predicate over a [`Machine`] state, so the property-test
+//! suites can sample them along random executions of every algorithm —
+//! effectively re-running the paper's proof as a falsifiable experiment.
+//!
+//! | paper | here |
+//! |---|---|
+//! | Lemma 5.7 `I_LG`          | [`check_i_lg`] |
+//! | Lemma 5.8 `I_slideR`      | [`check_i_slide_r`] |
+//! | Lemma 5.10 `I_reorderPUSH`| [`check_i_reorder_push`] |
+//! | Lemma 5.12 `I_localOrder` | [`check_i_local_order`] |
+//! | Definition 5.1 `↺self`    | [`self_rewind_points`] |
+//! | Definition 5.2 `cmtpres`  | [`check_cmtpres`] |
+
+use crate::atomic::{enumerate_runs, replay_tx, RunLimits};
+use crate::lang::Code;
+use crate::log::{GlobalFlag, LocalFlag};
+use crate::machine::Machine;
+use crate::op::{Op, ThreadId};
+use crate::precongruence::precongruent_by_states;
+use crate::spec::SeqSpec;
+
+/// A violated invariant, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant failed.
+    pub name: &'static str,
+    /// The thread whose state witnesses the failure.
+    pub thread: ThreadId,
+    /// Explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated at {}: {}", self.name, self.thread, self.detail)
+    }
+}
+
+/// **Lemma 5.7 `I_LG`**: a local entry flagged `pshd` occurs in `G`; one
+/// flagged `npshd` does not.
+pub fn check_i_lg<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    for tid in 0..m.thread_count() {
+        let tid = ThreadId(tid);
+        let t = m.thread(tid).expect("indexed");
+        for e in t.local() {
+            let in_g = m.global().contains_id(e.op.id);
+            match &e.flag {
+                LocalFlag::Pushed { .. } if !in_g => out.push(InvariantViolation {
+                    name: "I_LG",
+                    thread: tid,
+                    detail: format!("pshd {} not in G", e.op.id),
+                }),
+                LocalFlag::NotPushed { .. } if in_g => out.push(InvariantViolation {
+                    name: "I_LG",
+                    thread: tid,
+                    detail: format!("npshd {} present in G", e.op.id),
+                }),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// **Lemma 5.8 `I_slideR`**: for every own `pshd` operation `m₁` that sits
+/// uncommitted in `G` before some operation `m₂` not in the local log,
+/// `m₁ ◁ m₂` holds — own uncommitted effects can still slide right past
+/// later foreign effects (so the owner can serialize after them if it
+/// aborts, or they after it).
+pub fn check_i_slide_r<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    let entries = m.global().entries();
+    for tid in 0..m.thread_count() {
+        let tid = ThreadId(tid);
+        let t = m.thread(tid).expect("indexed");
+        for (i, g1) in entries.iter().enumerate() {
+            if g1.flag != GlobalFlag::Uncommitted {
+                continue;
+            }
+            let own_pushed = t
+                .local()
+                .entry(g1.op.id)
+                .map(|e| e.flag.is_pushed())
+                .unwrap_or(false);
+            if !own_pushed {
+                continue;
+            }
+            for g2 in &entries[i + 1..] {
+                if t.local().contains_id(g2.op.id) {
+                    continue;
+                }
+                if !m.spec().mover(&g1.op, &g2.op) {
+                    out.push(InvariantViolation {
+                        name: "I_slideR",
+                        thread: tid,
+                        detail: format!("{} cannot slide right past {}", g1.op.id, g2.op.id),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// **Lemma 5.10 `I_reorderPUSH`**: if the local log orders own operations
+/// `m₁` before `m₂` but `G` contains them (both uncommitted) in the
+/// opposite order, then `m₂ ◁ m₁` — out-of-order pushes are justified by
+/// movers.
+pub fn check_i_reorder_push<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    for tid in 0..m.thread_count() {
+        let tid = ThreadId(tid);
+        let t = m.thread(tid).expect("indexed");
+        let own: Vec<&Op<S::Method, S::Ret>> = t
+            .local()
+            .iter()
+            .filter(|e| e.flag.is_own())
+            .map(|e| &e.op)
+            .collect();
+        for (i, m1) in own.iter().enumerate() {
+            for m2 in &own[i + 1..] {
+                // m1 before m2 locally. In G: m2 before m1 (both uncommitted)?
+                let (Some(p1), Some(p2)) =
+                    (m.global().position(m1.id), m.global().position(m2.id))
+                else {
+                    continue;
+                };
+                let u1 = m.global().entries()[p1].flag == GlobalFlag::Uncommitted;
+                let u2 = m.global().entries()[p2].flag == GlobalFlag::Uncommitted;
+                if u1 && u2 && p2 < p1 && !m.spec().mover(m2, m1) {
+                    out.push(InvariantViolation {
+                        name: "I_reorderPUSH",
+                        thread: tid,
+                        detail: format!(
+                            "G reorders {} before {} without mover justification",
+                            m2.id, m1.id
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// **Lemma 5.12 `I_localOrder`**: whenever an `npshd` operation `m₂`
+/// precedes a `pshd` operation `m₁` in the local log, `m₁ ◁ m₂` — pushing
+/// out of local order is justified by movers.
+pub fn check_i_local_order<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    for tid in 0..m.thread_count() {
+        let tid = ThreadId(tid);
+        let t = m.thread(tid).expect("indexed");
+        let entries = t.local().entries();
+        for (i, e2) in entries.iter().enumerate() {
+            if !e2.flag.is_not_pushed() {
+                continue;
+            }
+            for e1 in &entries[i + 1..] {
+                if e1.flag.is_pushed() && !m.spec().mover(&e1.op, &e2.op) {
+                    out.push(InvariantViolation {
+                        name: "I_localOrder",
+                        thread: tid,
+                        detail: format!(
+                            "pushed {} after unpushed {} without mover justification",
+                            e1.op.id, e2.op.id
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs every structural invariant check, collecting all violations.
+pub fn check_all<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolation> {
+    let mut out = check_i_lg(m);
+    out.extend(check_i_slide_r(m));
+    out.extend(check_i_reorder_push(m));
+    out.extend(check_i_local_order(m));
+    out
+}
+
+/// A self-rewind point (Definition 5.1 `↺self`): the transaction state
+/// reached by rewinding the local log to a prefix, dropping pulled
+/// entries along the way (rules PRU, PRM, PRR).
+#[derive(Debug, Clone)]
+pub struct RewindPoint<M, R> {
+    /// Remaining code at this rewind point (`'c`).
+    pub code: Code<M>,
+    /// Own operations of `'L` in local-log (application) order.
+    pub own_ops: Vec<Op<M, R>>,
+    /// The `pshd` subset of `'L`, in log order (`⌊'L⌋_pshd`).
+    pub pushed_ops: Vec<Op<M, R>>,
+    /// The `npshd` subset of `'L`, in log order (`⌊'L⌋_npshd`).
+    pub not_pushed_ops: Vec<Op<M, R>>,
+    /// Pulled operations retained in `'L`.
+    pub pulled_ops: Vec<Op<M, R>>,
+    /// How many tail entries were rewound.
+    pub rewound: usize,
+}
+
+/// Enumerates every self-rewind point of a thread, from the identity
+/// rewind (`rewound == 0`) back to the fully rewound transaction.
+pub fn self_rewind_points<S: SeqSpec>(
+    m: &Machine<S>,
+    tid: ThreadId,
+) -> Vec<RewindPoint<S::Method, S::Ret>> {
+    let t = match m.thread(tid) {
+        Ok(t) => t,
+        Err(_) => return Vec::new(),
+    };
+    let Some(active) = t.code() else { return Vec::new() };
+    let entries = t.local().entries();
+    let mut out = Vec::new();
+    // Rewinding k tail entries: the code at that point is the saved code
+    // of the first rewound own entry (pulled entries carry no snapshot and
+    // are simply dropped, rule PRR/PRM-third).
+    for k in 0..=entries.len() {
+        let keep = &entries[..entries.len() - k];
+        let dropped = &entries[entries.len() - k..];
+        // Determine 'c: the saved code of the earliest dropped own entry,
+        // or the current code if nothing own was dropped.
+        let mut code = active.clone();
+        for e in dropped {
+            match &e.flag {
+                LocalFlag::NotPushed { saved_code, .. } | LocalFlag::Pushed { saved_code, .. } => {
+                    code = saved_code.clone();
+                    break;
+                }
+                LocalFlag::Pulled => continue,
+            }
+        }
+        out.push(RewindPoint {
+            code,
+            own_ops: keep
+                .iter()
+                .filter(|e| e.flag.is_own())
+                .map(|e| e.op.clone())
+                .collect(),
+            pushed_ops: keep
+                .iter()
+                .filter(|e| e.flag.is_pushed())
+                .map(|e| e.op.clone())
+                .collect(),
+            not_pushed_ops: keep
+                .iter()
+                .filter(|e| e.flag.is_not_pushed())
+                .map(|e| e.op.clone())
+                .collect(),
+            pulled_ops: keep
+                .iter()
+                .filter(|e| e.flag.is_pulled())
+                .map(|e| e.op.clone())
+                .collect(),
+            rewound: k,
+        });
+    }
+    out
+}
+
+/// Checks the **commit preservation invariant** (Definition 5.2) for one
+/// thread, instantiated as in the main theorem's CMT case:
+///
+/// * `''G` is the canonical shared-log rewind that drops every uncommitted
+///   operation of *other* transactions;
+/// * every self-rewind point `'L` of the thread is tried (Line 1);
+/// * `G_post` marks the rewound thread's pushed ops committed (Line 2);
+/// * every bounded big-step completion of `'c` from
+///   `G_post · ⌊'L⌋_npshd` (Line 3) must be matched by an atomic run of
+///   the whole original transaction from `G ∖ L` reaching a precongruent
+///   log (Line 4).
+///
+/// Returns `true` when the invariant holds for every rewind point and
+/// every completion within `limits`.
+pub fn check_cmtpres<S: SeqSpec>(m: &Machine<S>, tid: ThreadId, limits: RunLimits) -> bool {
+    let Ok(t) = m.thread(tid) else { return true };
+    if t.code().is_none() {
+        return true;
+    }
+    let spec = m.spec();
+    let own_ids: Vec<_> = t.local().own_ops().iter().map(|o| o.id).collect();
+    // ''G: committed ops plus this thread's own pushed ops, in G order.
+    let gg: Vec<Op<S::Method, S::Ret>> = m
+        .global()
+        .drop_uncommitted_except(&own_ids)
+        .into_iter()
+        .map(|e| e.op)
+        .collect();
+    // G ∖ L: the paper's note — "∖ does not remove operations from G
+    // that have been pld into L" — so only *own* operations are filtered.
+    let g_minus_l: Vec<Op<S::Method, S::Ret>> = gg
+        .iter()
+        .filter(|o| !own_ids.contains(&o.id))
+        .cloned()
+        .collect();
+    let original = t.original().clone();
+    let txn = t.txn();
+
+    for rp in self_rewind_points(m, tid) {
+        // G_post: ''G restricted to ops still pushed at this rewind point,
+        // all marked committed — as a log of ops the flags are immaterial;
+        // what matters is which ops are present.
+        let g_post: Vec<Op<S::Method, S::Ret>> = gg
+            .iter()
+            .filter(|o| {
+                !own_ids.contains(&o.id)
+                    || rp.pushed_ops.iter().any(|p| p.id == o.id)
+            })
+            .cloned()
+            .collect();
+        let mut start_log = g_post.clone();
+        start_log.extend(rp.not_pushed_ops.iter().cloned());
+        // Line 3: bounded completions of 'c.
+        let completions = enumerate_runs(spec, &rp.code, &start_log, txn, 1 << 40, limits);
+        for run in completions {
+            // ℓ_a = start_log · run.ops
+            let mut ell_a = start_log.clone();
+            ell_a.extend(run.ops.iter().cloned());
+            // Line 4: the rewound transaction's own ops (in application
+            // order), then the completion, must replay atomically as otx
+            // from G ∖ L …
+            let mut whole: Vec<Op<S::Method, S::Ret>> = rp.own_ops.clone();
+            whole.extend(run.ops.iter().cloned());
+            if !replay_tx(spec, &original, &g_minus_l, &whole) {
+                return false;
+            }
+            // … reaching a log ℓ_b with ℓ_a ≼ ℓ_b.
+            let mut ell_b = g_minus_l.clone();
+            ell_b.extend(whole.iter().cloned());
+            if !precongruent_by_states(spec, &ell_a, &ell_b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::Code;
+    use crate::toy::{CounterMethod, ToyCounter};
+
+    fn inc() -> Code<CounterMethod> {
+        Code::method(CounterMethod::Inc)
+    }
+
+    #[test]
+    fn invariants_hold_on_fresh_machine() {
+        let m: Machine<ToyCounter> = Machine::new(ToyCounter::with_bound(8));
+        assert!(check_all(&m).is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_through_simple_run() {
+        let mut m = Machine::new(ToyCounter::with_bound(8));
+        let a = m.add_thread(vec![Code::seq(inc(), inc())]);
+        let b = m.add_thread(vec![inc()]);
+        m.app_auto(a).unwrap();
+        assert!(check_all(&m).is_empty());
+        m.app_auto(b).unwrap();
+        let pa = m.unpushed_ids(a).unwrap();
+        m.push(a, pa[0]).unwrap();
+        assert!(check_all(&m).is_empty());
+        m.app_auto(a).unwrap();
+        m.push_all_and_commit(b).unwrap();
+        assert!(check_all(&m).is_empty());
+        m.push_all_and_commit(a).unwrap();
+        assert!(check_all(&m).is_empty());
+    }
+
+    #[test]
+    fn rewind_points_cover_all_prefixes() {
+        let mut m = Machine::new(ToyCounter::with_bound(8));
+        let a = m.add_thread(vec![Code::seq(inc(), inc())]);
+        m.app_auto(a).unwrap();
+        m.app_auto(a).unwrap();
+        let pts = self_rewind_points(&m, ThreadId(0));
+        assert_eq!(pts.len(), 3); // rewound 0, 1, 2 entries
+        assert_eq!(pts[0].not_pushed_ops.len(), 2);
+        assert_eq!(pts[2].not_pushed_ops.len(), 0);
+        // Fully rewound code is the original transaction body.
+        assert_eq!(&pts[2].code, m.thread(ThreadId(0)).unwrap().original());
+    }
+
+    #[test]
+    fn cmtpres_holds_mid_transaction() {
+        let mut m = Machine::new(ToyCounter::with_bound(8));
+        let a = m.add_thread(vec![Code::seq(inc(), inc())]);
+        let b = m.add_thread(vec![inc()]);
+        m.app_auto(a).unwrap();
+        let pa = m.unpushed_ids(a).unwrap();
+        m.push(a, pa[0]).unwrap();
+        m.app_auto(b).unwrap();
+        let pb = m.unpushed_ids(b).unwrap();
+        m.push(b, pb[0]).unwrap();
+        assert!(check_cmtpres(&m, ThreadId(0), RunLimits { max_ops: 4, max_runs: 64 }));
+        assert!(check_cmtpres(&m, ThreadId(1), RunLimits { max_ops: 4, max_runs: 64 }));
+    }
+
+    #[test]
+    fn cmtpres_trivial_for_done_threads() {
+        let mut m = Machine::new(ToyCounter::with_bound(8));
+        let a = m.add_thread(vec![inc()]);
+        let op = m.app_auto(a).unwrap();
+        m.push(a, op).unwrap();
+        m.commit(a).unwrap();
+        assert!(check_cmtpres(&m, ThreadId(0), RunLimits::default()));
+    }
+}

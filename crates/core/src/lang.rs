@@ -1,0 +1,301 @@
+//! The generic transaction language of paper §3 (Example 1) and its
+//! `step`/`fin` functions.
+//!
+//! ```text
+//! c ::= c₁ + c₂ | c₁ ; c₂ | (c)* | skip | tx c | m
+//! ```
+//!
+//! The paper abstracts the thread language behind two functions:
+//!
+//! * `step(c)`: the set of pairs `(m, c′)` such that `m` is a next
+//!   reachable method in the reduction of `c`, with remaining code `c′`;
+//! * `fin(c)`: true if `c` can reduce to `skip` without encountering a
+//!   method call.
+//!
+//! [`Code::step`] and [`Code::fin`] implement exactly the equations of
+//! Example 1. Nested transactions are flattened (`step(tx c) = step(c)`),
+//! matching the paper, which ignores nesting.
+
+use std::fmt;
+
+/// Code of the generic transaction language.
+///
+/// `M` is the method type of the sequential specification in use.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_core::lang::Code;
+/// // tx (skip ; (a + (m + n)) ; b) — one path reaches `n` with continuation `b`.
+/// let c = Code::tx(Code::seq(
+///     Code::Skip,
+///     Code::seq(
+///         Code::choice(Code::method("a"), Code::choice(Code::method("m"), Code::method("n"))),
+///         Code::method("b"),
+///     ),
+/// ));
+/// let steps = c.step();
+/// assert!(steps.iter().any(|(m, k)| *m == "n" && k.step().iter().any(|(m2, _)| *m2 == "b")));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Code<M> {
+    /// The finished program.
+    Skip,
+    /// A method invocation `m`.
+    Method(M),
+    /// Sequential composition `c₁ ; c₂`.
+    Seq(Box<Code<M>>, Box<Code<M>>),
+    /// Nondeterministic choice `c₁ + c₂`.
+    Choice(Box<Code<M>>, Box<Code<M>>),
+    /// Nondeterministic looping `(c)*`.
+    Star(Box<Code<M>>),
+    /// A transaction `tx c`.
+    Tx(Box<Code<M>>),
+}
+
+impl<M: Clone> Code<M> {
+    /// Convenience constructor for [`Code::Method`].
+    pub fn method(m: M) -> Self {
+        Code::Method(m)
+    }
+
+    /// Convenience constructor for [`Code::Seq`].
+    pub fn seq(a: Code<M>, b: Code<M>) -> Self {
+        Code::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for [`Code::Choice`].
+    pub fn choice(a: Code<M>, b: Code<M>) -> Self {
+        Code::Choice(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for [`Code::Star`].
+    pub fn star(a: Code<M>) -> Self {
+        Code::Star(Box::new(a))
+    }
+
+    /// Convenience constructor for [`Code::Tx`].
+    pub fn tx(a: Code<M>) -> Self {
+        Code::Tx(Box::new(a))
+    }
+
+    /// Sequences a list of codes: `seq_all([a, b, c]) = a ; (b ; c)`.
+    /// An empty list yields `skip`.
+    pub fn seq_all<I: IntoIterator<Item = Code<M>>>(parts: I) -> Self {
+        let mut parts: Vec<Code<M>> = parts.into_iter().collect();
+        match parts.pop() {
+            None => Code::Skip,
+            Some(mut acc) => {
+                while let Some(prev) = parts.pop() {
+                    acc = Code::seq(prev, acc);
+                }
+                acc
+            }
+        }
+    }
+
+    /// The `step` function of Example 1: every next reachable method `m`
+    /// paired with its continuation.
+    ///
+    /// ```text
+    /// step(skip)     = ∅
+    /// step(c₁ ; c₂)  = (step(c₁) ; c₂) ∪ (fin(c₁) ; step(c₂))
+    /// step(c₁ + c₂)  = step(c₁) ∪ step(c₂)
+    /// step((c)*)     = step(c) ; (c)*
+    /// step(tx c)     = step(c)
+    /// step(m)        = {(m, skip)}
+    /// ```
+    pub fn step(&self) -> Vec<(M, Code<M>)> {
+        match self {
+            Code::Skip => Vec::new(),
+            Code::Method(m) => vec![(m.clone(), Code::Skip)],
+            Code::Seq(c1, c2) => {
+                let mut out: Vec<(M, Code<M>)> = c1
+                    .step()
+                    .into_iter()
+                    .map(|(m, k)| (m, Code::seq(k, (**c2).clone())))
+                    .collect();
+                if c1.fin() {
+                    out.extend(c2.step());
+                }
+                out
+            }
+            Code::Choice(c1, c2) => {
+                let mut out = c1.step();
+                out.extend(c2.step());
+                out
+            }
+            Code::Star(c) => c
+                .step()
+                .into_iter()
+                .map(|(m, k)| (m, Code::seq(k, Code::star((**c).clone()))))
+                .collect(),
+            Code::Tx(c) => c.step(),
+        }
+    }
+
+    /// The `fin` predicate of Example 1: can `self` reduce to `skip`
+    /// without encountering a method call?
+    pub fn fin(&self) -> bool {
+        match self {
+            Code::Skip => true,
+            Code::Method(_) => false,
+            Code::Seq(c1, c2) => c1.fin() && c2.fin(),
+            Code::Choice(c1, c2) => c1.fin() || c2.fin(),
+            Code::Star(_) => true,
+            Code::Tx(c) => c.fin(),
+        }
+    }
+
+    /// All method names syntactically reachable in `self`, in first
+    /// occurrence order.
+    ///
+    /// Used by the opacity refinement of §6.1: a transaction may safely
+    /// PULL an uncommitted operation if every method it may still perform
+    /// commutes with that operation.
+    pub fn reachable_methods(&self) -> Vec<M>
+    where
+        M: PartialEq,
+    {
+        let mut out = Vec::new();
+        self.collect_methods(&mut out);
+        out
+    }
+
+    fn collect_methods(&self, out: &mut Vec<M>)
+    where
+        M: PartialEq,
+    {
+        match self {
+            Code::Skip => {}
+            Code::Method(m) => {
+                if !out.contains(m) {
+                    out.push(m.clone());
+                }
+            }
+            Code::Seq(a, b) | Code::Choice(a, b) => {
+                a.collect_methods(out);
+                b.collect_methods(out);
+            }
+            Code::Star(a) | Code::Tx(a) => a.collect_methods(out),
+        }
+    }
+
+    /// Number of grammar nodes, a convenient size measure for tests and
+    /// random program generators.
+    pub fn size(&self) -> usize {
+        match self {
+            Code::Skip | Code::Method(_) => 1,
+            Code::Seq(a, b) | Code::Choice(a, b) => 1 + a.size() + b.size(),
+            Code::Star(a) | Code::Tx(a) => 1 + a.size(),
+        }
+    }
+}
+
+impl<M: fmt::Display> fmt::Display for Code<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Code::Skip => write!(f, "skip"),
+            Code::Method(m) => write!(f, "{m}"),
+            Code::Seq(a, b) => write!(f, "({a} ; {b})"),
+            Code::Choice(a, b) => write!(f, "({a} + {b})"),
+            Code::Star(a) => write!(f, "({a})*"),
+            Code::Tx(a) => write!(f, "tx {a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(s: &str) -> Code<&str> {
+        Code::method(s)
+    }
+
+    #[test]
+    fn step_of_skip_is_empty() {
+        assert!(Code::<&str>::Skip.step().is_empty());
+    }
+
+    #[test]
+    fn step_of_method_is_singleton() {
+        let steps = m("a").step();
+        assert_eq!(steps, vec![("a", Code::Skip)]);
+    }
+
+    #[test]
+    fn seq_steps_through_fin_prefix() {
+        // (skip ; a): skip is fin, so `a` is a next step.
+        let c = Code::seq(Code::Skip, m("a"));
+        let names: Vec<&str> = c.step().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a"]);
+    }
+
+    #[test]
+    fn choice_collects_both_branches() {
+        let c = Code::choice(m("a"), m("b"));
+        let mut names: Vec<&str> = c.step().into_iter().map(|(n, _)| n).collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn star_is_fin_and_loops() {
+        let c = Code::star(m("a"));
+        assert!(c.fin());
+        let steps = c.step();
+        assert_eq!(steps.len(), 1);
+        let (name, k) = &steps[0];
+        assert_eq!(*name, "a");
+        // Continuation is skip ; (a)*, which can step to `a` again.
+        assert!(k.step().iter().any(|(n, _)| *n == "a"));
+    }
+
+    #[test]
+    fn example_1_from_paper() {
+        // c = tx (skip ; (c1 + (m + n)) ; c2) — (n, c2) ∈ step(c).
+        let c = Code::tx(Code::seq(
+            Code::seq(
+                Code::Skip,
+                Code::choice(m("c1"), Code::choice(m("m"), m("n"))),
+            ),
+            m("c2"),
+        ));
+        let steps = c.step();
+        let n_step = steps.iter().find(|(name, _)| *name == "n").expect("n reachable");
+        // Continuation reduces to c2 (modulo skip-sequencing).
+        let next: Vec<&str> = n_step.1.step().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(next, vec!["c2"]);
+    }
+
+    #[test]
+    fn fin_equations() {
+        assert!(Code::<&str>::Skip.fin());
+        assert!(!m("a").fin());
+        assert!(!Code::seq(Code::Skip, m("a")).fin());
+        assert!(Code::<&str>::seq(Code::Skip, Code::Skip).fin());
+        assert!(Code::choice(m("a"), Code::Skip).fin());
+        assert!(Code::star(m("a")).fin());
+        assert!(!Code::tx(m("a")).fin());
+    }
+
+    #[test]
+    fn reachable_methods_dedups_in_order() {
+        let c = Code::seq(m("a"), Code::choice(m("b"), Code::seq(m("a"), m("c"))));
+        assert_eq!(c.reachable_methods(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn seq_all_builds_right_nested_seq() {
+        let c = Code::seq_all(vec![m("a"), m("b"), m("c")]);
+        assert_eq!(c.to_string(), "(a ; (b ; c))");
+        assert_eq!(Code::<&str>::seq_all(vec![]), Code::Skip);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let c = Code::seq(m("a"), Code::star(m("b")));
+        assert_eq!(c.size(), 4);
+    }
+}

@@ -1,0 +1,1265 @@
+//! The PUSH/PULL machine (paper §4, Figures 4–6).
+//!
+//! A [`Machine`] holds a list of threads — each `{c, σ, L}`: remaining
+//! code, stack and local log — and the shared global log `G`. The seven
+//! rules of Figure 5 are methods: [`Machine::app`], [`Machine::unapp`],
+//! [`Machine::push`], [`Machine::unpush`], [`Machine::pull`],
+//! [`Machine::unpull`] and [`Machine::commit`]. In [`CheckMode::Checked`]
+//! every rule *criterion* is verified before the step is taken; a failing
+//! criterion returns [`MachineError::Criterion`] naming the rule and
+//! clause. Because Theorem 5.17 proves any criteria-respecting run
+//! serializable, algorithms driven through a checked machine are
+//! serializable **by construction** on every run they take — the
+//! independent oracle in [`crate::serializability`] re-verifies this in
+//! the test suites.
+//!
+//! Threads execute a *sequence of transactions* (each program in the list
+//! passed to [`Machine::add_thread`] is one `tx c` body). Nested
+//! transactions are flattened, as in the paper.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use crate::audit::CriteriaAudit;
+use crate::error::{Clause, MachineError, MachineResult, Rule};
+use crate::lang::Code;
+use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
+use crate::op::{Op, OpId, OpIdGen, ThreadId, TxnId};
+use crate::spec::SeqSpec;
+use crate::trace::{Event, Trace};
+
+/// The `(method, continuation)` pairs `step(c)` offers a thread.
+pub type StepOptions<M> = Vec<(M, Code<M>)>;
+
+/// How strictly rule criteria are enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// Enforce every criterion of Figure 5, including the ones the paper
+    /// grays out as "not strictly necessary" (PULL (iii), UNPUSH (i)).
+    #[default]
+    Checked,
+    /// Enforce all black criteria but skip the grayed-out ones.
+    RelaxedGray,
+    /// Enforce only structural well-formedness (flags, membership), no
+    /// commutativity or allowedness checks. Exists so benchmarks can
+    /// measure the cost of checking; never use for correctness arguments.
+    Unchecked,
+}
+
+/// A thread `{c, σ, L}` plus its queue of future transactions.
+#[derive(Debug, Clone)]
+pub struct Thread<S: SeqSpec> {
+    /// Current transaction instance id.
+    txn: TxnId,
+    /// Remaining code of the current transaction (`None` once all
+    /// transactions have completed — the paper's MS_END).
+    code: Option<Code<S::Method>>,
+    /// The original `tx c` body, for rewinds and the atomic oracle (`otx`).
+    original: Code<S::Method>,
+    /// Observation history of the current transaction (the stack σ).
+    stack: Vec<(S::Method, S::Ret)>,
+    /// The local log `L`.
+    local: LocalLog<S::Method, S::Ret>,
+    /// Transactions not yet started.
+    pending: VecDeque<Code<S::Method>>,
+    /// Commits performed by this thread.
+    commits: u64,
+    /// Aborts performed by this thread.
+    aborts: u64,
+}
+
+impl<S: SeqSpec> Thread<S> {
+    /// The current transaction instance id.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// The remaining code, if a transaction is active.
+    pub fn code(&self) -> Option<&Code<S::Method>> {
+        self.code.as_ref()
+    }
+
+    /// The original body of the current transaction (the paper's `otx`).
+    pub fn original(&self) -> &Code<S::Method> {
+        &self.original
+    }
+
+    /// The observation history (stack σ) of the current transaction.
+    pub fn stack(&self) -> &[(S::Method, S::Ret)] {
+        &self.stack
+    }
+
+    /// The local log `L`.
+    pub fn local(&self) -> &LocalLog<S::Method, S::Ret> {
+        &self.local
+    }
+
+    /// Has this thread completed all of its transactions?
+    pub fn is_done(&self) -> bool {
+        self.code.is_none() && self.pending.is_empty()
+    }
+
+    /// Number of committed transactions.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Number of aborted transaction attempts.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+}
+
+/// A committed transaction: its id and its own operations in local-log
+/// order. The sequence of these, in commit order, is the serial witness
+/// used by the serializability oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTxn<M, R> {
+    /// The committed transaction instance.
+    pub txn: TxnId,
+    /// The thread that ran it.
+    pub thread: ThreadId,
+    /// The original transaction body (the paper's `otx`), for atomic replay.
+    pub code: Code<M>,
+    /// Own operations (pushed), in local order.
+    pub ops: Vec<Op<M, R>>,
+    /// Ids of operations this transaction had pulled, with the owning
+    /// transaction (its dependencies).
+    pub pulled_from: Vec<(OpId, TxnId)>,
+}
+
+/// The PUSH/PULL machine: threads `T`, shared log `G`, and a recorder.
+#[derive(Debug, Clone)]
+pub struct Machine<S: SeqSpec> {
+    spec: S,
+    threads: Vec<Thread<S>>,
+    global: GlobalLog<S::Method, S::Ret>,
+    ids: OpIdGen,
+    next_txn: u64,
+    trace: Trace<S::Method, S::Ret>,
+    mode: CheckMode,
+    committed: Vec<CommittedTxn<S::Method, S::Ret>>,
+    audit: RefCell<CriteriaAudit>,
+}
+
+impl<S: SeqSpec> Machine<S> {
+    /// Creates a machine over the given sequential specification, in
+    /// [`CheckMode::Checked`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pushpull_core::machine::Machine;
+    /// use pushpull_core::lang::Code;
+    /// use pushpull_core::toy::{ToyCounter, CounterMethod};
+    ///
+    /// let mut m = Machine::new(ToyCounter::with_bound(8));
+    /// let t = m.add_thread(vec![Code::method(CounterMethod::Inc)]);
+    /// let op = m.app_auto(t)?;
+    /// m.push(t, op)?;
+    /// m.commit(t)?;
+    /// assert_eq!(m.global().committed_ops().len(), 1);
+    /// # Ok::<(), pushpull_core::error::MachineError>(())
+    /// ```
+    pub fn new(spec: S) -> Self {
+        Self::with_mode(spec, CheckMode::Checked)
+    }
+
+    /// Creates a machine with an explicit [`CheckMode`].
+    pub fn with_mode(spec: S, mode: CheckMode) -> Self {
+        Self {
+            spec,
+            threads: Vec::new(),
+            global: GlobalLog::new(),
+            ids: OpIdGen::new(),
+            next_txn: 0,
+            trace: Trace::new(),
+            mode,
+            committed: Vec::new(),
+            audit: RefCell::new(CriteriaAudit::default()),
+        }
+    }
+
+    /// A snapshot of the criteria audit: which proof obligations this
+    /// run has discharged (checked-and-passed) or violated, and how many
+    /// primitive mover/`allowed` queries they cost.
+    pub fn audit(&self) -> CriteriaAudit {
+        self.audit.borrow().clone()
+    }
+
+    /// Clears the criteria audit counters.
+    pub fn reset_audit(&mut self) {
+        *self.audit.borrow_mut() = CriteriaAudit::default();
+    }
+
+    fn audit_pass(&self, rule: Rule, clause: Clause) {
+        self.audit.borrow_mut().pass(rule, clause);
+    }
+
+    fn audit_fail(&self, rule: Rule, clause: Clause) {
+        self.audit.borrow_mut().fail(rule, clause);
+    }
+
+    /// Mover query with audit accounting.
+    fn mover_q(
+        &self,
+        a: &Op<S::Method, S::Ret>,
+        b: &Op<S::Method, S::Ret>,
+    ) -> bool {
+        self.audit.borrow_mut().mover_queries += 1;
+        self.spec.mover(a, b)
+    }
+
+    /// `allows` query with audit accounting.
+    fn allows_q(&self, log: &[Op<S::Method, S::Ret>], op: &Op<S::Method, S::Ret>) -> bool {
+        self.audit.borrow_mut().allowed_queries += 1;
+        self.spec.allows(log, op)
+    }
+
+    /// `allowed` query with audit accounting.
+    fn allowed_q(&self, log: &[Op<S::Method, S::Ret>]) -> bool {
+        self.audit.borrow_mut().allowed_queries += 1;
+        self.spec.allowed(log)
+    }
+
+    /// The sequential specification.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// The shared log `G`.
+    pub fn global(&self) -> &GlobalLog<S::Method, S::Ret> {
+        &self.global
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace<S::Method, S::Ret> {
+        &self.trace
+    }
+
+    /// The current check mode.
+    pub fn mode(&self) -> CheckMode {
+        self.mode
+    }
+
+    /// Committed transactions in commit order (the serial witness).
+    pub fn committed_txns(&self) -> &[CommittedTxn<S::Method, S::Ret>] {
+        &self.committed
+    }
+
+    /// Number of threads (live and done).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Immutable access to a thread.
+    pub fn thread(&self, tid: ThreadId) -> MachineResult<&Thread<S>> {
+        self.threads.get(tid.0).ok_or(MachineError::NoSuchThread(tid))
+    }
+
+    fn thread_mut(&mut self, tid: ThreadId) -> MachineResult<&mut Thread<S>> {
+        self.threads.get_mut(tid.0).ok_or(MachineError::NoSuchThread(tid))
+    }
+
+    /// Adds a thread that will run `programs` as a sequence of
+    /// transactions (each element is one `tx c` body). The first
+    /// transaction begins immediately.
+    pub fn add_thread(&mut self, programs: Vec<Code<S::Method>>) -> ThreadId {
+        let tid = ThreadId(self.threads.len());
+        let mut pending: VecDeque<Code<S::Method>> = programs.into();
+        let (code, original) = match pending.pop_front() {
+            Some(c) => (Some(c.clone()), c),
+            None => (None, Code::Skip),
+        };
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.threads.push(Thread {
+            txn,
+            code,
+            original,
+            stack: Vec::new(),
+            local: LocalLog::new(),
+            pending,
+            commits: 0,
+            aborts: 0,
+        });
+        if self.threads[tid.0].code.is_some() {
+            self.trace.record(Event::Begin { thread: tid, txn });
+        }
+        tid
+    }
+
+    /// Enqueues another transaction body on an existing thread.
+    pub fn enqueue_txn(&mut self, tid: ThreadId, program: Code<S::Method>) -> MachineResult<()> {
+        let begins_now;
+        {
+            let t = self.thread_mut(tid)?;
+            if t.code.is_none() && t.pending.is_empty() {
+                // Thread was done: restart it with this program.
+                t.code = Some(program.clone());
+                t.original = program;
+                begins_now = Some(t.txn);
+            } else {
+                t.pending.push_back(program);
+                begins_now = None;
+            }
+        }
+        if begins_now.is_some() {
+            // Mint a fresh txn id for the restarted thread.
+            let txn = TxnId(self.next_txn);
+            self.next_txn += 1;
+            let t = self.thread_mut(tid)?;
+            t.txn = txn;
+            self.trace.record(Event::Begin { thread: tid, txn });
+        }
+        Ok(())
+    }
+
+    fn active_code(&self, tid: ThreadId) -> MachineResult<&Code<S::Method>> {
+        self.thread(tid)?.code.as_ref().ok_or(MachineError::ThreadFinished(tid))
+    }
+
+    /// `step(c)` for the thread's current code: every next reachable
+    /// method with its continuation.
+    pub fn step_options(&self, tid: ThreadId) -> MachineResult<StepOptions<S::Method>> {
+        Ok(self.active_code(tid)?.step())
+    }
+
+    /// `fin(c)` for the thread's current code.
+    pub fn can_finish(&self, tid: ThreadId) -> MachineResult<bool> {
+        Ok(self.active_code(tid)?.fin())
+    }
+
+    /// Return values `r` such that the local log allows `⟨m, r⟩`
+    /// (APP criterion (ii) candidates).
+    pub fn allowed_results(&self, tid: ThreadId, method: &S::Method) -> MachineResult<Vec<S::Ret>> {
+        let t = self.thread(tid)?;
+        let states = self.spec.denote(&t.local.ops());
+        let mut out: Vec<S::Ret> = Vec::new();
+        for s in &states {
+            for r in self.spec.results(s, method) {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        // Filter to those actually allowed from the full state set.
+        out.retain(|r| {
+            let op = Op::new(OpId(u64::MAX), t.txn, method.clone(), r.clone());
+            !self.spec.denote_from(&states, std::slice::from_ref(&op)).is_empty()
+        });
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural reductions (Figure 6).
+    // ------------------------------------------------------------------
+
+    /// The structural steps (Figure 6) applicable to the thread's current
+    /// code at its leftmost redex.
+    pub fn struct_options(&self, tid: ThreadId) -> MachineResult<Vec<crate::structural::StructStep>> {
+        Ok(crate::structural::applicable(self.active_code(tid)?))
+    }
+
+    /// Applies one structural reduction (NONDETL/NONDETR/LOOP/SEMISKIP,
+    /// with the SEMI congruence locating the redex) to the thread's code.
+    ///
+    /// Drivers normally work through `step`/`fin` and never need this;
+    /// it exists for fidelity with the paper's `→rt` relation and for
+    /// testing. Structural steps change no logs, so they record no trace
+    /// event (they are invisible to the serializability argument).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoSuchStep`] when the step does not apply.
+    pub fn struct_step(
+        &mut self,
+        tid: ThreadId,
+        step: crate::structural::StructStep,
+    ) -> MachineResult<()> {
+        let code = self.active_code(tid)?;
+        match crate::structural::apply(code, step) {
+            Some(next) => {
+                self.thread_mut(tid)?.code = Some(next);
+                Ok(())
+            }
+            None => Err(MachineError::NoSuchStep(tid)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The seven rules of Figure 5.
+    // ------------------------------------------------------------------
+
+    /// **APP**: applies `method` with continuation `cont` and return `ret`.
+    ///
+    /// Criteria: (i) `(method, cont) ∈ step(c)`; (ii) the local log allows
+    /// `⟨m, σ, σ′, id⟩`; (iii) `id` fresh (by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoSuchStep`] if (i) fails,
+    /// [`MachineError::Criterion`] if (ii) fails.
+    pub fn app(
+        &mut self,
+        tid: ThreadId,
+        method: S::Method,
+        cont: Code<S::Method>,
+        ret: S::Ret,
+    ) -> MachineResult<OpId> {
+        let checked = self.mode != CheckMode::Unchecked;
+        let txn = self.thread(tid)?.txn;
+        // Criterion (i): (m, c') ∈ step(c).
+        let code = self.active_code(tid)?.clone();
+        if checked && !code.step().iter().any(|(m, k)| *m == method && *k == cont) {
+            return Err(MachineError::NoSuchStep(tid));
+        }
+        let id = self.ids.fresh();
+        let op = Op::new(id, txn, method.clone(), ret.clone());
+        // Criterion (ii): L allows op.
+        if checked {
+            let local_ops = self.thread(tid)?.local.ops();
+            if !self.allows_q(&local_ops, &op) {
+                self.audit_fail(Rule::App, Clause::Ii);
+                return Err(MachineError::criterion(
+                    Rule::App,
+                    Clause::Ii,
+                    format!("local log does not allow {:?} -> {:?}", method, ret),
+                ));
+            }
+            self.audit_pass(Rule::App, Clause::Ii);
+        }
+        let t = self.thread_mut(tid)?;
+        let saved_code = code;
+        let saved_stack = t.stack.clone();
+        t.stack.push((method.clone(), ret.clone()));
+        t.code = Some(cont);
+        t.local.push_entry(LocalEntry {
+            op,
+            flag: LocalFlag::NotPushed { saved_code, saved_stack },
+        });
+        self.trace.record(Event::App { thread: tid, op: id, method, ret });
+        Ok(id)
+    }
+
+    /// **APP**, selecting the first `step(c)` option whose method equals
+    /// `method` and the first allowed return value.
+    pub fn app_method(&mut self, tid: ThreadId, method: &S::Method) -> MachineResult<OpId> {
+        let options = self.step_options(tid)?;
+        let (m, cont) = options
+            .into_iter()
+            .find(|(m, _)| m == method)
+            .ok_or(MachineError::NoSuchStep(tid))?;
+        let rets = self.allowed_results(tid, &m)?;
+        let ret = rets.into_iter().next().ok_or(MachineError::NoAllowedResult(tid))?;
+        self.app(tid, m, cont, ret)
+    }
+
+    /// **APP**, selecting the first `step(c)` option and the first allowed
+    /// return value.
+    pub fn app_auto(&mut self, tid: ThreadId) -> MachineResult<OpId> {
+        let options = self.step_options(tid)?;
+        let (m, cont) = options.into_iter().next().ok_or(MachineError::NoSuchStep(tid))?;
+        let rets = self.allowed_results(tid, &m)?;
+        let ret = rets.into_iter().next().ok_or(MachineError::NoAllowedResult(tid))?;
+        self.app(tid, m, cont, ret)
+    }
+
+    /// **UNAPP**: rewinds the most recent local entry, which must be
+    /// `npshd`; restores the saved code and stack.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NothingToUnapply`] if the local log is empty or its
+    /// last entry is not `npshd`.
+    pub fn unapp(&mut self, tid: ThreadId) -> MachineResult<OpId> {
+        let t = self.thread_mut(tid)?;
+        let entry = match t.local.entries().last() {
+            Some(e) if e.flag.is_not_pushed() => t.local.pop_entry().expect("non-empty"),
+            _ => return Err(MachineError::NothingToUnapply(tid)),
+        };
+        let (saved_code, saved_stack) = match entry.flag {
+            LocalFlag::NotPushed { saved_code, saved_stack } => (saved_code, saved_stack),
+            _ => unreachable!("checked above"),
+        };
+        t.code = Some(saved_code);
+        t.stack = saved_stack;
+        self.trace.record(Event::UnApp { thread: tid, op: entry.op.id, method: entry.op.method });
+        Ok(entry.op.id)
+    }
+
+    /// **PUSH**: publishes a local `npshd` operation to the shared log.
+    ///
+    /// Criteria: (i) `op` moves across every *earlier* unpushed own
+    /// operation (`op ◁ op′`, Def 4.1 — trivial when pushing in APP
+    /// order); (ii) every uncommitted operation of *other* transactions in
+    /// `G` moves right of `op` (`op_u ◁ op` fails ⇒ conflict), ensuring
+    /// the pusher can still serialize before all concurrent uncommitted
+    /// transactions; (iii) `G` allows `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Criterion`] with the failing clause; `WrongFlag` /
+    /// `NoSuchOp` on structural misuse.
+    pub fn push(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode != CheckMode::Unchecked;
+        let txn = self.thread(tid)?.txn;
+        let (op, pos) = {
+            let t = self.thread(tid)?;
+            let pos = t.local.position(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
+            let entry = &t.local.entries()[pos];
+            match entry.flag {
+                LocalFlag::NotPushed { .. } => {}
+                LocalFlag::Pushed { .. } => {
+                    return Err(MachineError::WrongFlag { op: op_id, expected: "npshd", found: "pshd" })
+                }
+                LocalFlag::Pulled => {
+                    return Err(MachineError::WrongFlag { op: op_id, expected: "npshd", found: "pld" })
+                }
+            }
+            (entry.op.clone(), pos)
+        };
+        if checked {
+            // Criterion (i): op ◁ op' for every earlier npshd own op'.
+            let t = self.thread(tid)?;
+            for e in &t.local.entries()[..pos] {
+                if e.flag.is_not_pushed() && !self.mover_q(&op, &e.op) {
+                    self.audit_fail(Rule::Push, Clause::I);
+                    return Err(MachineError::criterion(
+                        Rule::Push,
+                        Clause::I,
+                        format!("{} does not move across earlier unpushed {}", op.id, e.op.id),
+                    ));
+                }
+            }
+            self.audit_pass(Rule::Push, Clause::I);
+            // Criterion (ii): every uncommitted op of other txns moves right of op.
+            for g in self.global.iter() {
+                if g.flag == GlobalFlag::Uncommitted && g.op.txn != txn && !self.mover_q(&g.op, &op)
+                {
+                    self.audit_fail(Rule::Push, Clause::Ii);
+                    return Err(MachineError::criterion(
+                        Rule::Push,
+                        Clause::Ii,
+                        format!(
+                            "uncommitted {} of {} cannot move right of {}",
+                            g.op.id, g.op.txn, op.id
+                        ),
+                    ));
+                }
+            }
+            self.audit_pass(Rule::Push, Clause::Ii);
+            // Criterion (iii): G allows op.
+            if !self.allows_q(&self.global.ops(), &op) {
+                self.audit_fail(Rule::Push, Clause::Iii);
+                return Err(MachineError::criterion(
+                    Rule::Push,
+                    Clause::Iii,
+                    format!("global log does not allow {}", op.id),
+                ));
+            }
+            self.audit_pass(Rule::Push, Clause::Iii);
+        }
+        // Effect: flip flag, append to G.
+        let t = self.thread_mut(tid)?;
+        let entry = t.local.entry_mut(op_id).expect("position found above");
+        let (saved_code, saved_stack) = match &entry.flag {
+            LocalFlag::NotPushed { saved_code, saved_stack } => {
+                (saved_code.clone(), saved_stack.clone())
+            }
+            _ => unreachable!("flag checked above"),
+        };
+        entry.flag = LocalFlag::Pushed { saved_code, saved_stack };
+        self.global.push_uncommitted(op.clone());
+        self.trace.record(Event::Push { thread: tid, op: op_id, method: op.method });
+        Ok(())
+    }
+
+    /// **UNPUSH**: recalls a pushed operation from the shared log
+    /// (implemented by real systems as an inverse operation).
+    ///
+    /// Criteria: (i, gray) `op` moves across everything after it in `G`
+    /// (so the suffix does not depend on it); (ii) the remaining global
+    /// log is still allowed.
+    pub fn unpush(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode != CheckMode::Unchecked;
+        let check_gray = self.mode == CheckMode::Checked;
+        {
+            let t = self.thread(tid)?;
+            let entry = t.local.entry(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
+            match entry.flag {
+                LocalFlag::Pushed { .. } => {}
+                LocalFlag::NotPushed { .. } => {
+                    return Err(MachineError::WrongFlag { op: op_id, expected: "pshd", found: "npshd" })
+                }
+                LocalFlag::Pulled => {
+                    return Err(MachineError::WrongFlag { op: op_id, expected: "pshd", found: "pld" })
+                }
+            }
+        }
+        let gpos = self.global.position(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
+        let op = self.global.entries()[gpos].op.clone();
+        if checked {
+            // Criterion (i), gray: op slides right across the suffix.
+            if check_gray {
+                for g in &self.global.entries()[gpos + 1..] {
+                    if !self.mover_q(&op, &g.op) {
+                        self.audit_fail(Rule::UnPush, Clause::I);
+                        return Err(MachineError::criterion(
+                            Rule::UnPush,
+                            Clause::I,
+                            format!("{} cannot slide past later {}", op.id, g.op.id),
+                        ));
+                    }
+                }
+                self.audit_pass(Rule::UnPush, Clause::I);
+            }
+            // Criterion (ii): G without op is still allowed.
+            let remaining: Vec<_> = self
+                .global
+                .iter()
+                .filter(|e| e.op.id != op_id)
+                .map(|e| e.op.clone())
+                .collect();
+            if !self.allowed_q(&remaining) {
+                self.audit_fail(Rule::UnPush, Clause::Ii);
+                return Err(MachineError::criterion(
+                    Rule::UnPush,
+                    Clause::Ii,
+                    format!("global log without {} is not allowed", op.id),
+                ));
+            }
+            self.audit_pass(Rule::UnPush, Clause::Ii);
+        }
+        self.global.remove_by_id(op_id);
+        let t = self.thread_mut(tid)?;
+        let entry = t.local.entry_mut(op_id).expect("checked above");
+        let (saved_code, saved_stack) = match &entry.flag {
+            LocalFlag::Pushed { saved_code, saved_stack } => {
+                (saved_code.clone(), saved_stack.clone())
+            }
+            _ => unreachable!("flag checked above"),
+        };
+        entry.flag = LocalFlag::NotPushed { saved_code, saved_stack };
+        self.trace.record(Event::UnPush { thread: tid, op: op_id, method: op.method });
+        Ok(())
+    }
+
+    /// **PULL**: imports another transaction's published operation into
+    /// the local view.
+    ///
+    /// Criteria: (i) not already pulled (`op ∉ L`); (ii) the local log
+    /// allows `op`; (iii, gray) everything the transaction has done
+    /// locally moves right of `op` (so the pull can be seen as having
+    /// preceded the transaction).
+    pub fn pull(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode != CheckMode::Unchecked;
+        let check_gray = self.mode == CheckMode::Checked;
+        let txn = self.thread(tid)?.txn;
+        let gentry = self.global.entry(op_id).ok_or(MachineError::NoSuchOp(op_id))?.clone();
+        if gentry.op.txn == txn {
+            return Err(MachineError::WrongFlag {
+                op: op_id,
+                expected: "another transaction's op",
+                found: "own op",
+            });
+        }
+        // Criterion (i): op ∉ L. (Enforced in every mode — a duplicate
+        // entry would corrupt the log structure — but only audited when
+        // criteria checking is on, so Unchecked runs audit nothing.)
+        if self.thread(tid)?.local.contains_id(op_id) {
+            if checked {
+                self.audit_fail(Rule::Pull, Clause::I);
+            }
+            return Err(MachineError::criterion(
+                Rule::Pull,
+                Clause::I,
+                format!("{op_id} already pulled"),
+            ));
+        }
+        if checked {
+            self.audit_pass(Rule::Pull, Clause::I);
+        }
+        if checked {
+            // Criterion (ii): L allows op.
+            let local_ops = self.thread(tid)?.local.ops();
+            if !self.allows_q(&local_ops, &gentry.op) {
+                self.audit_fail(Rule::Pull, Clause::Ii);
+                return Err(MachineError::criterion(
+                    Rule::Pull,
+                    Clause::Ii,
+                    format!("local log does not allow pulled {}", op_id),
+                ));
+            }
+            self.audit_pass(Rule::Pull, Clause::Ii);
+            // Criterion (iii), gray: own local ops move right of op.
+            if check_gray {
+                for own in self.thread(tid)?.local.own_ops() {
+                    if !self.mover_q(&own, &gentry.op) {
+                        self.audit_fail(Rule::Pull, Clause::Iii);
+                        return Err(MachineError::criterion(
+                            Rule::Pull,
+                            Clause::Iii,
+                            format!("own {} cannot move right of pulled {}", own.id, op_id),
+                        ));
+                    }
+                }
+                self.audit_pass(Rule::Pull, Clause::Iii);
+            }
+        }
+        let reachable_after = self
+            .active_code(tid)
+            .map(|c| c.reachable_methods())
+            .unwrap_or_default();
+        let t = self.thread_mut(tid)?;
+        t.local.push_entry(LocalEntry { op: gentry.op.clone(), flag: LocalFlag::Pulled });
+        self.trace.record(Event::Pull {
+            thread: tid,
+            op: op_id,
+            from: gentry.op.txn,
+            status_at_pull: gentry.flag,
+            method: gentry.op.method,
+            ret: gentry.op.ret,
+            reachable_after,
+        });
+        Ok(())
+    }
+
+    /// **UNPULL**: discards a pulled operation from the local view.
+    ///
+    /// Criterion (i): the local log without `op` is still allowed (the
+    /// transaction did nothing that depended on it).
+    pub fn unpull(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode != CheckMode::Unchecked;
+        {
+            let t = self.thread(tid)?;
+            let entry = t.local.entry(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
+            if !entry.flag.is_pulled() {
+                return Err(MachineError::WrongFlag { op: op_id, expected: "pld", found: "npshd/pshd" });
+            }
+        }
+        if checked {
+            let remaining: Vec<_> = self
+                .thread(tid)?
+                .local
+                .iter()
+                .filter(|e| e.op.id != op_id)
+                .map(|e| e.op.clone())
+                .collect();
+            if !self.allowed_q(&remaining) {
+                self.audit_fail(Rule::UnPull, Clause::I);
+                return Err(MachineError::criterion(
+                    Rule::UnPull,
+                    Clause::I,
+                    format!("local log without {} is not allowed", op_id),
+                ));
+            }
+            self.audit_pass(Rule::UnPull, Clause::I);
+        }
+        let t = self.thread_mut(tid)?;
+        let entry = t.local.remove_by_id(op_id).expect("checked above");
+        self.trace.record(Event::UnPull { thread: tid, op: op_id, method: entry.op.method });
+        Ok(())
+    }
+
+    /// **CMT**: commits the current transaction.
+    ///
+    /// Criteria: (i) `fin(c)` — some path reaches `skip`; (ii) `L ⊆ G` —
+    /// every own operation has been pushed; (iii) every pulled operation
+    /// belongs to a committed transaction; (iv) own entries in `G` flip to
+    /// `gCmt` (the `cmt` predicate — this is the effect).
+    ///
+    /// On success the thread's next pending transaction (if any) begins.
+    pub fn commit(&mut self, tid: ThreadId) -> MachineResult<TxnId> {
+        let checked = self.mode != CheckMode::Unchecked;
+        let txn = self.thread(tid)?.txn;
+        if checked {
+            // Criterion (i): fin(c).
+            if !self.active_code(tid)?.fin() {
+                self.audit_fail(Rule::Cmt, Clause::I);
+                return Err(MachineError::criterion(
+                    Rule::Cmt,
+                    Clause::I,
+                    "no method-free path to skip remains".to_string(),
+                ));
+            }
+            self.audit_pass(Rule::Cmt, Clause::I);
+            // Criterion (ii): all own ops pushed.
+            if !self.thread(tid)?.local.fully_pushed() {
+                self.audit_fail(Rule::Cmt, Clause::Ii);
+                return Err(MachineError::criterion(
+                    Rule::Cmt,
+                    Clause::Ii,
+                    "local log contains npshd operations".to_string(),
+                ));
+            }
+            self.audit_pass(Rule::Cmt, Clause::Ii);
+            // Criterion (iii): every pulled op is committed.
+            for pulled in self.thread(tid)?.local.pulled_ops() {
+                match self.global.entry(pulled.id) {
+                    Some(e) if e.flag == GlobalFlag::Committed => {}
+                    Some(_) => {
+                        self.audit_fail(Rule::Cmt, Clause::Iii);
+                        return Err(MachineError::criterion(
+                            Rule::Cmt,
+                            Clause::Iii,
+                            format!("pulled {} is still uncommitted", pulled.id),
+                        ))
+                    }
+                    None => {
+                        self.audit_fail(Rule::Cmt, Clause::Iii);
+                        return Err(MachineError::criterion(
+                            Rule::Cmt,
+                            Clause::Iii,
+                            format!("pulled {} vanished from the global log", pulled.id),
+                        ))
+                    }
+                }
+            }
+            self.audit_pass(Rule::Cmt, Clause::Iii);
+        }
+        // Criterion (iv) / effect: cmt(G, L, G').
+        let (own_ops, pulled_from) = {
+            let t = self.thread(tid)?;
+            let pulled = t
+                .local
+                .iter()
+                .filter(|e| e.flag.is_pulled())
+                .map(|e| (e.op.id, e.op.txn))
+                .collect();
+            (t.local.own_ops(), pulled)
+        };
+        let local_snapshot = self.thread(tid)?.local.clone();
+        let code = self.thread(tid)?.original.clone();
+        let flipped = self.global.commit_local(&local_snapshot);
+        self.committed.push(CommittedTxn { txn, thread: tid, code, ops: own_ops, pulled_from });
+        self.trace.record(Event::Commit { thread: tid, txn, ops: flipped });
+        let next_txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let t = self.thread_mut(tid)?;
+        t.commits += 1;
+        t.local = LocalLog::new();
+        t.stack = Vec::new();
+        match t.pending.pop_front() {
+            Some(c) => {
+                t.code = Some(c.clone());
+                t.original = c;
+                t.txn = next_txn;
+                self.trace.record(Event::Begin { thread: tid, txn: next_txn });
+            }
+            None => {
+                t.code = None;
+            }
+        }
+        Ok(txn)
+    }
+
+    // ------------------------------------------------------------------
+    // Derived operations (compositions of ⃗back rules).
+    // ------------------------------------------------------------------
+
+    /// Fully rewinds the current transaction (the composition of `⃗back`
+    /// rules: UNPULL/UNPUSH/UNAPP from the tail) and restarts it as a
+    /// fresh transaction instance with the original code.
+    ///
+    /// Records an `Abort` plus a `Begin` event.
+    pub fn abort_and_retry(&mut self, tid: ThreadId) -> MachineResult<TxnId> {
+        if self.thread(tid)?.code.is_none() {
+            // A finished thread has nothing to abort; restarting its last
+            // transaction here would resurrect committed work.
+            return Err(MachineError::ThreadFinished(tid));
+        }
+        self.rewind_all(tid)?;
+        let old = self.thread(tid)?.txn;
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let t = self.thread_mut(tid)?;
+        t.aborts += 1;
+        t.code = Some(t.original.clone());
+        t.stack = Vec::new();
+        t.txn = txn;
+        self.trace.record(Event::Abort { thread: tid, txn: old });
+        self.trace.record(Event::Begin { thread: tid, txn });
+        Ok(txn)
+    }
+
+    /// Rewinds the current transaction completely: walking the local log
+    /// from the tail, pulled entries are UNPULLed, pushed entries are
+    /// UNPUSHed then UNAPPed, unpushed entries are UNAPPed.
+    pub fn rewind_all(&mut self, tid: ThreadId) -> MachineResult<()> {
+        loop {
+            let last = match self.thread(tid)?.local.entries().last() {
+                None => return Ok(()),
+                Some(e) => (e.op.id, e.flag.clone()),
+            };
+            match last.1 {
+                LocalFlag::Pulled => {
+                    self.unpull(tid, last.0)?;
+                }
+                LocalFlag::Pushed { .. } => {
+                    self.unpush(tid, last.0)?;
+                    self.unapp(tid)?;
+                }
+                LocalFlag::NotPushed { .. } => {
+                    self.unapp(tid)?;
+                }
+            }
+        }
+    }
+
+    /// Rewinds the current transaction's local log down to `target_len`
+    /// entries, taking whatever back rules the tail requires — the
+    /// checkpoint/partial-abort mechanism of §6.2 ("placemarkers are set
+    /// so that UNAPP only needs to be performed for some operations";
+    /// the paper's model of checkpoints \[19\] and closed nesting \[27\]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates criterion violations from the constituent UNPUSH/UNPULL
+    /// steps (an UNAPP at the tail never fails).
+    pub fn rewind_to(&mut self, tid: ThreadId, target_len: usize) -> MachineResult<()> {
+        loop {
+            let (len, last) = {
+                let t = self.thread(tid)?;
+                (
+                    t.local.len(),
+                    t.local.entries().last().map(|e| (e.op.id, e.flag.clone())),
+                )
+            };
+            if len <= target_len {
+                return Ok(());
+            }
+            match last {
+                None => return Ok(()),
+                Some((id, LocalFlag::Pulled)) => self.unpull(tid, id)?,
+                Some((id, LocalFlag::Pushed { .. })) => {
+                    self.unpush(tid, id)?;
+                    self.unapp(tid)?;
+                }
+                Some((_, LocalFlag::NotPushed { .. })) => {
+                    self.unapp(tid)?;
+                }
+            }
+        }
+    }
+
+    /// Pushes every unpushed own operation in local order, then commits —
+    /// the optimistic commit sequence ("PUSH everything and CMT at an
+    /// uninterleaved moment", §6.2).
+    pub fn push_all_and_commit(&mut self, tid: ThreadId) -> MachineResult<TxnId> {
+        let unpushed: Vec<OpId> =
+            self.thread(tid)?.local.not_pushed_ops().iter().map(|o| o.id).collect();
+        for id in unpushed {
+            self.push(tid, id)?;
+        }
+        self.commit(tid)
+    }
+
+    /// Ids of the current transaction's unpushed operations, in order.
+    pub fn unpushed_ids(&self, tid: ThreadId) -> MachineResult<Vec<OpId>> {
+        Ok(self.thread(tid)?.local.not_pushed_ops().iter().map(|o| o.id).collect())
+    }
+
+    /// Pulls every *committed* global operation not yet in the local log,
+    /// in global-log order — how opaque transactions snapshot the shared
+    /// state (§6.2: "transactions begin by PULLing all operations").
+    pub fn pull_all_committed(&mut self, tid: ThreadId) -> MachineResult<usize> {
+        let candidates: Vec<OpId> = {
+            let t = self.thread(tid)?;
+            self.global
+                .iter()
+                .filter(|e| e.flag == GlobalFlag::Committed && !t.local.contains_id(e.op.id))
+                .map(|e| e.op.id)
+                .collect()
+        };
+        let mut n = 0;
+        for id in candidates {
+            self.pull(tid, id)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{CounterMethod, ToyCounter};
+
+    fn inc_code() -> Code<CounterMethod> {
+        Code::method(CounterMethod::Inc)
+    }
+
+    fn machine() -> Machine<ToyCounter> {
+        Machine::new(ToyCounter::with_bound(32))
+    }
+
+    #[test]
+    fn app_push_commit_roundtrip() {
+        let mut m = machine();
+        let t = m.add_thread(vec![inc_code()]);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        let txn = m.commit(t).unwrap();
+        assert_eq!(m.global().committed_ops().len(), 1);
+        assert!(m.thread(t).unwrap().is_done());
+        assert_eq!(m.committed_txns().len(), 1);
+        assert_eq!(m.committed_txns()[0].txn, txn);
+        assert_eq!(m.trace().rule_names(t), vec!["BEGIN", "APP", "PUSH", "CMT"]);
+    }
+
+    #[test]
+    fn commit_requires_fin() {
+        let mut m = machine();
+        let t = m.add_thread(vec![Code::seq(inc_code(), inc_code())]);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        let err = m.commit(t).unwrap_err();
+        assert_eq!(err.violated_rule(), Some(Rule::Cmt));
+    }
+
+    #[test]
+    fn commit_requires_all_pushed() {
+        let mut m = machine();
+        let t = m.add_thread(vec![inc_code()]);
+        m.app_auto(t).unwrap();
+        let err = m.commit(t).unwrap_err();
+        match err {
+            MachineError::Criterion(v) => {
+                assert_eq!(v.rule, Rule::Cmt);
+                assert_eq!(v.clause, Clause::Ii);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unapp_restores_code_and_stack() {
+        let mut m = machine();
+        let t = m.add_thread(vec![Code::seq(inc_code(), Code::method(CounterMethod::Get))]);
+        let before = m.thread(t).unwrap().code().unwrap().clone();
+        m.app_auto(t).unwrap();
+        assert_ne!(m.thread(t).unwrap().code().unwrap(), &before);
+        m.unapp(t).unwrap();
+        assert_eq!(m.thread(t).unwrap().code().unwrap(), &before);
+        assert!(m.thread(t).unwrap().stack().is_empty());
+        assert!(m.thread(t).unwrap().local().is_empty());
+    }
+
+    #[test]
+    fn unapp_requires_npshd_tail() {
+        let mut m = machine();
+        let t = m.add_thread(vec![inc_code()]);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        assert!(matches!(m.unapp(t), Err(MachineError::NothingToUnapply(_))));
+    }
+
+    #[test]
+    fn unpush_then_unapp_rewinds() {
+        let mut m = machine();
+        let t = m.add_thread(vec![inc_code()]);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        assert_eq!(m.global().len(), 1);
+        m.unpush(t, op).unwrap();
+        assert_eq!(m.global().len(), 0);
+        m.unapp(t).unwrap();
+        assert!(m.thread(t).unwrap().local().is_empty());
+    }
+
+    #[test]
+    fn push_criterion_ii_detects_conflict() {
+        // Thread A pushes get(0); thread B then tries to push inc:
+        // get(=0) cannot move right of inc (the read would change), so
+        // PUSH criterion (ii) must fire.
+        let mut m = machine();
+        let a = m.add_thread(vec![Code::method(CounterMethod::Get)]);
+        let b = m.add_thread(vec![inc_code()]);
+        let ga = m.app_auto(a).unwrap();
+        m.push(a, ga).unwrap();
+        let ib = m.app_auto(b).unwrap();
+        let err = m.push(b, ib).unwrap_err();
+        match err {
+            MachineError::Criterion(v) => {
+                assert_eq!(v.rule, Rule::Push);
+                assert_eq!(v.clause, Clause::Ii);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // After A commits, B's push succeeds.
+        m.commit(a).unwrap();
+        m.push(b, ib).unwrap();
+        m.commit(b).unwrap();
+    }
+
+    #[test]
+    fn pull_and_commit_dependency_gating() {
+        // B pulls A's uncommitted op; B cannot commit until A commits.
+        let mut m = machine();
+        let a = m.add_thread(vec![inc_code()]);
+        let b = m.add_thread(vec![Code::method(CounterMethod::Get)]);
+        let ia = m.app_auto(a).unwrap();
+        m.push(a, ia).unwrap();
+        m.pull(b, ia).unwrap();
+        // B observes the inc: get returns 1.
+        let gb = m.app_method(b, &CounterMethod::Get).unwrap();
+        let get_ret = m.thread(b).unwrap().stack().last().unwrap().1;
+        assert_eq!(get_ret, 1, "pull made A's effect visible");
+        m.push(b, gb).unwrap_err(); // get(=1) conflicts with A's uncommitted inc? No:
+                                    // inc ◁ get(=1) must hold for push. inc·get1 ≼ get1·inc?
+                                    // From 0: inc·get1 = {1}; get1·inc: get1 disallowed at 0 → ∅.
+                                    // {1} ⊄ ∅ → criterion (ii) fires. B must wait for A.
+        m.commit(a).unwrap();
+        m.push(b, gb).unwrap();
+        let err = m.commit(b);
+        assert!(err.is_ok(), "pulled op now committed: {err:?}");
+    }
+
+    #[test]
+    fn unpull_requires_independence() {
+        let mut m = machine();
+        let a = m.add_thread(vec![inc_code()]);
+        let b = m.add_thread(vec![Code::method(CounterMethod::Get)]);
+        let ia = m.app_auto(a).unwrap();
+        m.push(a, ia).unwrap();
+        m.pull(b, ia).unwrap();
+        let _gb = m.app_method(b, &CounterMethod::Get).unwrap();
+        // B's get observed 1; dropping the pulled inc would make the local
+        // log disallowed, so UNPULL criterion (i) fires.
+        let err = m.unpull(b, ia).unwrap_err();
+        assert_eq!(err.violated_rule(), Some(Rule::UnPull));
+        // Rewind the get, then the unpull goes through.
+        m.unapp(b).unwrap();
+        m.unpull(b, ia).unwrap();
+        assert!(m.thread(b).unwrap().local().is_empty());
+    }
+
+    #[test]
+    fn abort_and_retry_resets_everything() {
+        let mut m = machine();
+        let t = m.add_thread(vec![Code::seq(inc_code(), inc_code())]);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        m.app_auto(t).unwrap();
+        let txn0 = m.thread(t).unwrap().txn();
+        let txn1 = m.abort_and_retry(t).unwrap();
+        assert_ne!(txn0, txn1);
+        assert!(m.thread(t).unwrap().local().is_empty());
+        assert!(m.global().is_empty());
+        assert_eq!(m.thread(t).unwrap().aborts(), 1);
+        // Retry to completion.
+        let a = m.app_auto(t).unwrap();
+        let b = m.app_auto(t).unwrap();
+        m.push(t, a).unwrap();
+        m.push(t, b).unwrap();
+        m.commit(t).unwrap();
+        assert_eq!(m.global().committed_ops().len(), 2);
+    }
+
+    #[test]
+    fn push_all_and_commit_is_the_optimistic_pattern() {
+        let mut m = machine();
+        let t = m.add_thread(vec![Code::seq(inc_code(), inc_code())]);
+        m.app_auto(t).unwrap();
+        m.app_auto(t).unwrap();
+        m.push_all_and_commit(t).unwrap();
+        assert_eq!(m.global().committed_ops().len(), 2);
+        assert_eq!(
+            m.trace().rule_names(t),
+            vec!["BEGIN", "APP", "APP", "PUSH", "PUSH", "CMT"]
+        );
+    }
+
+    #[test]
+    fn pull_all_committed_snapshots() {
+        let mut m = machine();
+        let a = m.add_thread(vec![inc_code()]);
+        let b = m.add_thread(vec![Code::method(CounterMethod::Get)]);
+        let ia = m.app_auto(a).unwrap();
+        m.push(a, ia).unwrap();
+        m.commit(a).unwrap();
+        let n = m.pull_all_committed(b).unwrap();
+        assert_eq!(n, 1);
+        let gb = m.app_method(b, &CounterMethod::Get).unwrap();
+        assert_eq!(m.thread(b).unwrap().stack().last().unwrap().1, 1);
+        m.push(b, gb).unwrap();
+        m.commit(b).unwrap();
+    }
+
+    #[test]
+    fn sequences_of_transactions_get_fresh_ids() {
+        let mut m = machine();
+        let t = m.add_thread(vec![inc_code(), inc_code()]);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        let txn0 = m.commit(t).unwrap();
+        assert!(!m.thread(t).unwrap().is_done());
+        let op2 = m.app_auto(t).unwrap();
+        m.push(t, op2).unwrap();
+        let txn1 = m.commit(t).unwrap();
+        assert_ne!(txn0, txn1);
+        assert!(m.thread(t).unwrap().is_done());
+        assert_eq!(m.thread(t).unwrap().commits(), 2);
+    }
+
+    #[test]
+    fn unchecked_mode_skips_criteria() {
+        let mut m = Machine::with_mode(ToyCounter::with_bound(32), CheckMode::Unchecked);
+        let a = m.add_thread(vec![Code::method(CounterMethod::Get)]);
+        let b = m.add_thread(vec![inc_code()]);
+        let ga = m.app_auto(a).unwrap();
+        m.push(a, ga).unwrap();
+        let ib = m.app_auto(b).unwrap();
+        // Would violate PUSH (ii) in checked mode; unchecked lets it through.
+        m.push(b, ib).unwrap();
+    }
+
+    #[test]
+    fn enqueue_txn_restarts_done_thread() {
+        let mut m = machine();
+        let t = m.add_thread(vec![inc_code()]);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        m.commit(t).unwrap();
+        assert!(m.thread(t).unwrap().is_done());
+        m.enqueue_txn(t, inc_code()).unwrap();
+        assert!(!m.thread(t).unwrap().is_done());
+        let op2 = m.app_auto(t).unwrap();
+        m.push(t, op2).unwrap();
+        m.commit(t).unwrap();
+        assert_eq!(m.thread(t).unwrap().commits(), 2);
+    }
+
+    #[test]
+    fn structural_steps_resolve_choices_before_app() {
+        use crate::structural::StructStep;
+        let mut m = machine();
+        let t = m.add_thread(vec![Code::choice(
+            Code::method(CounterMethod::Inc),
+            Code::method(CounterMethod::Dec),
+        )]);
+        assert_eq!(
+            m.struct_options(t).unwrap(),
+            vec![StructStep::NondetL, StructStep::NondetR]
+        );
+        m.struct_step(t, StructStep::NondetR).unwrap();
+        // Only Dec remains reachable.
+        let opts = m.step_options(t).unwrap();
+        assert_eq!(opts.len(), 1);
+        assert_eq!(opts[0].0, CounterMethod::Dec);
+        let op = m.app_auto(t).unwrap();
+        m.push(t, op).unwrap();
+        m.commit(t).unwrap();
+        // A structural step on finished code is refused.
+        assert!(m.struct_step(t, StructStep::Loop).is_err());
+    }
+
+    #[test]
+    fn app_rejects_methods_not_in_step() {
+        let mut m = machine();
+        let t = m.add_thread(vec![inc_code()]);
+        let err = m.app_method(t, &CounterMethod::Get).unwrap_err();
+        assert!(matches!(err, MachineError::NoSuchStep(_)));
+    }
+}

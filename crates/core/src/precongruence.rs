@@ -1,0 +1,240 @@
+//! The shared-log precongruence `ℓ₁ ≼ ℓ₂` (paper Definition 3.1) and the
+//! executable content of Lemmas 5.1–5.4.
+//!
+//! The paper defines `≼` coinductively: `ℓ₁ ≼ ℓ₂` iff `allowed ℓ₁ ⇒
+//! allowed ℓ₂` and `ℓ₁·op ≼ ℓ₂·op` for *every* operation `op` — "there is
+//! no sequence of observations we can make of ℓ₂ that we can't also make of
+//! ℓ₁" (note the deliberate direction: all allowed extensions of ℓ₁ are
+//! allowed extensions of ℓ₂).
+//!
+//! Two decidable checkers are provided:
+//!
+//! * [`precongruent_by_states`] — a *sound witness*: if the denotation of
+//!   `ℓ₁` is included in the denotation of `ℓ₂` then every allowed
+//!   extension of `ℓ₁` is an allowed extension of `ℓ₂`, hence `ℓ₁ ≼ ℓ₂`.
+//!   (Incomplete in general: the paper notes unobservable state differences
+//!   are also permitted; for the observationally-complete specs shipped in
+//!   `pushpull-spec` the two coincide, which the test suites cross-check.)
+//! * [`precongruent_bounded`] — unfolds the coinductive definition to a
+//!   finite depth over a finite universe of candidate operations; a
+//!   counterexample found this way *refutes* `≼` definitively.
+
+use crate::op::Op;
+use crate::spec::SeqSpec;
+
+/// Sound witness for `ℓ₁ ≼ ℓ₂`: denotation inclusion `⟦ℓ₁⟧ ⊆ ⟦ℓ₂⟧`.
+///
+/// Returns `true` only when the precongruence definitely holds.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_core::toy::{ToyCounter, CounterMethod, counter_op};
+/// use pushpull_core::precongruence::precongruent_by_states;
+/// let spec = ToyCounter::with_bound(4);
+/// let inc_a = counter_op(0, CounterMethod::Inc, 0);
+/// let inc_b = counter_op(1, CounterMethod::Inc, 1);
+/// // Two increments in either order denote the same state:
+/// let swapped = [counter_op(1, CounterMethod::Inc, 0), counter_op(0, CounterMethod::Inc, 1)];
+/// assert!(precongruent_by_states(&spec, &[inc_a, inc_b], &swapped));
+/// ```
+pub fn precongruent_by_states<S: SeqSpec + ?Sized>(
+    spec: &S,
+    l1: &[Op<S::Method, S::Ret>],
+    l2: &[Op<S::Method, S::Ret>],
+) -> bool {
+    let d1 = spec.denote(l1);
+    if d1.is_empty() {
+        // ¬allowed ℓ₁: the implication `allowed ℓ₁ ⇒ allowed ℓ₂` is vacuous,
+        // and every extension of ℓ₁ is also disallowed, so ≼ holds.
+        return true;
+    }
+    let d2 = spec.denote(l2);
+    d1.is_subset(&d2)
+}
+
+/// Bounded unfolding of Definition 3.1 over the candidate operations
+/// `universe`, to `depth` extension steps.
+///
+/// * A returned `false` is a genuine refutation of `ℓ₁ ≼ ℓ₂` (some allowed
+///   extension of `ℓ₁` drawn from `universe` is not allowed of `ℓ₂`).
+/// * A returned `true` means no counterexample exists within the bound.
+pub fn precongruent_bounded<S: SeqSpec + ?Sized>(
+    spec: &S,
+    l1: &[Op<S::Method, S::Ret>],
+    l2: &[Op<S::Method, S::Ret>],
+    universe: &[Op<S::Method, S::Ret>],
+    depth: usize,
+) -> bool {
+    let a1 = spec.allowed(l1);
+    let a2 = spec.allowed(l2);
+    if a1 && !a2 {
+        return false;
+    }
+    if depth == 0 || !a1 {
+        // Once ℓ₁ is disallowed every extension is too (prefix closure),
+        // so no deeper counterexample can exist.
+        return true;
+    }
+    for op in universe {
+        let mut e1 = l1.to_vec();
+        e1.push(op.clone());
+        let mut e2 = l2.to_vec();
+        e2.push(op.clone());
+        if !precongruent_bounded(spec, &e1, &e2, universe, depth - 1) {
+            return false;
+        }
+    }
+    true
+}
+
+/// **Lemma 5.1** as an executable check on concrete data: if every
+/// operation of `l2` moves across `op` (`l2 ◁ op`, pointwise) and
+/// `allowed (l1·l2·op)`, then `allowed (l1·op)`.
+///
+/// Returns `None` when the hypotheses fail (the lemma says nothing), and
+/// `Some(conclusion)` otherwise; property tests assert the result is never
+/// `Some(false)`.
+pub fn lemma_5_1_holds<S: SeqSpec + ?Sized>(
+    spec: &S,
+    l1: &[Op<S::Method, S::Ret>],
+    l2: &[Op<S::Method, S::Ret>],
+    op: &Op<S::Method, S::Ret>,
+) -> Option<bool> {
+    let hyp_movers = l2.iter().all(|o| spec.mover(o, op));
+    let mut full = l1.to_vec();
+    full.extend_from_slice(l2);
+    full.push(op.clone());
+    let hyp_allowed = spec.allowed(&full);
+    if !(hyp_movers && hyp_allowed) {
+        return None;
+    }
+    let mut short = l1.to_vec();
+    short.push(op.clone());
+    Some(spec.allowed(&short))
+}
+
+/// **Lemma 5.2** (transitivity of `≼`) checked through the state witness:
+/// if `⟦a⟧ ⊆ ⟦b⟧` and `⟦b⟧ ⊆ ⟦c⟧` then `⟦a⟧ ⊆ ⟦c⟧`. Returns the conclusion
+/// whenever the hypotheses hold.
+pub fn lemma_5_2_holds<S: SeqSpec + ?Sized>(
+    spec: &S,
+    a: &[Op<S::Method, S::Ret>],
+    b: &[Op<S::Method, S::Ret>],
+    c: &[Op<S::Method, S::Ret>],
+) -> Option<bool> {
+    if precongruent_by_states(spec, a, b) && precongruent_by_states(spec, b, c) {
+        Some(precongruent_by_states(spec, a, c))
+    } else {
+        None
+    }
+}
+
+/// **Lemma 5.3** (precongruence over append): `ℓa ≼ ℓb ⇒ ℓa·ℓc ≼ ℓb·ℓc`,
+/// checked through the state witness.
+pub fn lemma_5_3_holds<S: SeqSpec + ?Sized>(
+    spec: &S,
+    a: &[Op<S::Method, S::Ret>],
+    b: &[Op<S::Method, S::Ret>],
+    c: &[Op<S::Method, S::Ret>],
+) -> Option<bool> {
+    if !precongruent_by_states(spec, a, b) {
+        return None;
+    }
+    let mut ac = a.to_vec();
+    ac.extend_from_slice(c);
+    let mut bc = b.to_vec();
+    bc.extend_from_slice(c);
+    Some(precongruent_by_states(spec, &ac, &bc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{counter_op, CounterMethod, ToyCounter};
+
+    fn inc(id: u64) -> crate::toy::CounterOp {
+        counter_op(id, CounterMethod::Inc, 0)
+    }
+    fn get(id: u64, v: i64) -> crate::toy::CounterOp {
+        counter_op(id, CounterMethod::Get, v)
+    }
+
+    #[test]
+    fn reflexive() {
+        let spec = ToyCounter::with_bound(4);
+        let l = vec![inc(0), get(1, 1)];
+        assert!(precongruent_by_states(&spec, &l, &l));
+    }
+
+    #[test]
+    fn disallowed_lhs_is_precongruent_to_anything() {
+        let spec = ToyCounter::with_bound(1);
+        let bad = vec![inc(0), inc(1)]; // exceeds bound
+        let any = vec![get(2, 0)];
+        assert!(precongruent_by_states(&spec, &bad, &any));
+        assert!(precongruent_bounded(&spec, &bad, &any, &[inc(9)], 3));
+    }
+
+    #[test]
+    fn distinguishable_logs_are_not_precongruent() {
+        let spec = ToyCounter::with_bound(4);
+        let one = vec![inc(0)];
+        let two = vec![inc(1), inc(2)];
+        assert!(!precongruent_by_states(&spec, &one, &two));
+        // A bounded observational check refutes it too: extend with get(=1).
+        let universe = vec![get(10, 0), get(11, 1), get(12, 2), inc(13)];
+        assert!(!precongruent_bounded(&spec, &one, &two, &universe, 2));
+    }
+
+    #[test]
+    fn bounded_agrees_with_states_on_small_cases() {
+        let spec = ToyCounter::with_bound(2);
+        let mut universe: Vec<_> = (0..3)
+            .map(|v| counter_op(100 + v as u64, CounterMethod::Get, v))
+            .collect();
+        universe.push(inc(200));
+        let cases: Vec<Vec<crate::toy::CounterOp>> = vec![
+            vec![],
+            vec![inc(0)],
+            vec![inc(0), inc(1)],
+            vec![get(0, 0)],
+            vec![inc(0), get(1, 1)],
+        ];
+        for l1 in &cases {
+            for l2 in &cases {
+                let by_states = precongruent_by_states(&spec, l1, l2);
+                let bounded = precongruent_bounded(&spec, l1, l2, &universe, 3);
+                // State inclusion is sound: whenever it says yes, bounded
+                // search must find no counterexample.
+                if by_states {
+                    assert!(bounded, "state witness said ≼ but bounded refuted: {l1:?} vs {l2:?}");
+                }
+                // For the counter spec, gets make states observable, so the
+                // two coincide on these cases.
+                assert_eq!(by_states, bounded, "{l1:?} vs {l2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_2_and_5_3_on_samples() {
+        let spec = ToyCounter::with_bound(4);
+        let a = vec![inc(0), inc(1)];
+        let b = vec![inc(2), inc(3)];
+        let c = vec![get(4, 2)];
+        assert_eq!(lemma_5_2_holds(&spec, &a, &b, &a), Some(true));
+        assert_eq!(lemma_5_3_holds(&spec, &a, &b, &c), Some(true));
+    }
+
+    #[test]
+    fn lemma_5_1_on_samples() {
+        let spec = ToyCounter::with_bound(8);
+        // l2 = [inc], op = inc: incs commute.
+        let l1 = vec![inc(0)];
+        let l2 = vec![inc(1)];
+        let op = inc(2);
+        // allowed(l1·l2·op) holds and inc ◁ inc holds, so conclusion must hold.
+        assert_eq!(lemma_5_1_holds(&spec, &l1, &l2, &op), Some(true));
+    }
+}

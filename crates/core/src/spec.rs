@@ -1,0 +1,278 @@
+//! Sequential specifications: the `allowed` predicate and its denotational
+//! induction (paper §3, Parameter 3.1).
+//!
+//! The Push/Pull model is *parameterized* by a prefix-closed sequential
+//! specification `allowed ℓ` over operation logs. The paper expects
+//! `allowed` to be induced by a denotation `⟦op⟧ : P(State × State)` with
+//! initial states `I`, via `allowed ℓ ⇔ ⟦ℓ⟧ ≠ ∅` where
+//! `⟦ℓ·op⟧ = ⟦ℓ⟧;⟦op⟧` and `⟦ε⟧ = I`. [`SeqSpec`] captures exactly this:
+//! implementors supply the denotation ([`SeqSpec::initial_states`],
+//! [`SeqSpec::post_states`]) and receive `allowed` for free.
+//!
+//! The trait also hosts the *mover* oracle of Definition 4.1 used by the
+//! PUSH/PULL rule criteria; see [`SeqSpec::mover`].
+
+use crate::op::Op;
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A sequential specification over operation logs.
+///
+/// Implementors provide a *denotational* semantics: a set of initial
+/// abstract states and, for each `(state, method, ret)` triple, the set of
+/// post-states. A log is `allowed` iff its denotation (the set of states
+/// reachable by threading every operation through) is non-empty — precisely
+/// the induction proposed in §3 of the paper.
+///
+/// `allowed` is prefix-closed by construction (removing a suffix can only
+/// grow the denotation from non-empty to non-empty).
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_core::toy::ToyCounter;
+/// use pushpull_core::spec::SeqSpec;
+/// use pushpull_core::toy::{CounterMethod, counter_op};
+///
+/// let spec = ToyCounter::with_bound(4);
+/// let inc = counter_op(0, CounterMethod::Inc, 0);
+/// let get = counter_op(1, CounterMethod::Get, 1);
+/// assert!(spec.allowed(&[inc.clone(), get.clone()]));
+/// // `get` observing 1 before any `inc` is not allowed:
+/// assert!(!spec.allowed(&[get, inc]));
+/// ```
+pub trait SeqSpec {
+    /// Method name plus arguments (the observable part of the pre-stack σ₁).
+    type Method: Clone + Eq + Hash + Debug;
+    /// Observable return value (the observable part of the post-stack σ₂).
+    type Ret: Clone + Eq + Hash + Debug;
+    /// Abstract state of the denotational semantics.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The set `I` of initial states. Must be non-empty.
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// The relational image `⟦⟨m, ret⟩⟧(state)`: all post-states of running
+    /// `method` in `state` while observing return value `ret`. An empty
+    /// result means the observation is not allowed in `state`.
+    fn post_states(
+        &self,
+        state: &Self::State,
+        method: &Self::Method,
+        ret: &Self::Ret,
+    ) -> Vec<Self::State>;
+
+    /// Enumerates the return values `method` may produce in `state`.
+    ///
+    /// Used by the machine's `APP` rule to resolve the post-stack σ₂ and by
+    /// the atomic oracle. The default derives nothing; specs with small
+    /// result spaces should override. Every `r` returned must satisfy
+    /// `!post_states(state, method, r).is_empty()`.
+    fn results(&self, state: &Self::State, method: &Self::Method) -> Vec<Self::Ret>;
+
+    /// A finite universe of states, if one exists, enabling exhaustive
+    /// mover checking. `None` (the default) for unbounded specs, which
+    /// should instead override [`SeqSpec::mover`] with an algebraic oracle.
+    fn state_universe(&self) -> Option<Vec<Self::State>> {
+        None
+    }
+
+    /// The denotation `⟦ℓ⟧`: the set of states reachable by running `ops`
+    /// from an initial state.
+    fn denote(&self, ops: &[Op<Self::Method, Self::Ret>]) -> HashSet<Self::State> {
+        let mut states: HashSet<Self::State> = self.initial_states().into_iter().collect();
+        for op in ops {
+            states = self.denote_from(&states, std::slice::from_ref(op));
+            if states.is_empty() {
+                break;
+            }
+        }
+        states
+    }
+
+    /// Extends a denotation by further operations: `⟦states · ops⟧`.
+    fn denote_from(
+        &self,
+        states: &HashSet<Self::State>,
+        ops: &[Op<Self::Method, Self::Ret>],
+    ) -> HashSet<Self::State> {
+        let mut cur: HashSet<Self::State> = states.clone();
+        for op in ops {
+            let mut next = HashSet::new();
+            for s in &cur {
+                for s2 in self.post_states(s, &op.method, &op.ret) {
+                    next.insert(s2);
+                }
+            }
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Parameter 3.1: `allowed ℓ ⇔ ⟦ℓ⟧ ≠ ∅`.
+    fn allowed(&self, ops: &[Op<Self::Method, Self::Ret>]) -> bool {
+        !self.denote(ops).is_empty()
+    }
+
+    /// `ℓ allows op` ≡ `allowed (ℓ · op)` (paper §3 shorthand).
+    fn allows(
+        &self,
+        ops: &[Op<Self::Method, Self::Ret>],
+        op: &Op<Self::Method, Self::Ret>,
+    ) -> bool {
+        let states = self.denote(ops);
+        if states.is_empty() {
+            return false;
+        }
+        !self.denote_from(&states, std::slice::from_ref(op)).is_empty()
+    }
+
+    /// The mover relation of **Definition 4.1**:
+    /// `op1 ◁ op2 ≡ ∀ℓ. ℓ·op1·op2 ≼ ℓ·op2·op1`.
+    ///
+    /// Reading: whenever the *actual* log order is `op1` then `op2`, the
+    /// behaviour is included in that of the *hypothetical* order `op2` then
+    /// `op1`. In Lipton's terminology `op1` moves right across `op2`
+    /// (equivalently, `op2` moves left across `op1`). Criteria of the
+    /// PUSH/PULL rules are stated with the actual order as first argument.
+    ///
+    /// The default implementation checks the definition exhaustively over
+    /// [`SeqSpec::state_universe`]; for every state `s` in the universe it
+    /// requires the denotation of `op1·op2` from `s` to be included in that
+    /// of `op2·op1`. If no universe is available it conservatively returns
+    /// `false`; unbounded specs must override with an algebraic oracle
+    /// (e.g. "operations on distinct keys commute").
+    fn mover(
+        &self,
+        op1: &Op<Self::Method, Self::Ret>,
+        op2: &Op<Self::Method, Self::Ret>,
+    ) -> bool {
+        match self.state_universe() {
+            Some(universe) => mover_exhaustive(self, &universe, op1, op2),
+            None => false,
+        }
+    }
+}
+
+/// Checks Definition 4.1 over an explicit state universe: for each state,
+/// the post-state set of `op1·op2` must be included in that of `op2·op1`.
+///
+/// This witnesses `∀ℓ. ℓ·op1·op2 ≼ ℓ·op2·op1` soundly because the
+/// denotation of any `ℓ` is a subset of the universe, denotations
+/// distribute over unions of start states, and state-set inclusion implies
+/// log precongruence (see [`crate::precongruence`]).
+pub fn mover_exhaustive<S: SeqSpec + ?Sized>(
+    spec: &S,
+    universe: &[S::State],
+    op1: &Op<S::Method, S::Ret>,
+    op2: &Op<S::Method, S::Ret>,
+) -> bool {
+    for s in universe {
+        let start: HashSet<S::State> = std::iter::once(s.clone()).collect();
+        let fwd = spec.denote_from(&start, &[op1.clone(), op2.clone()]);
+        let back = spec.denote_from(&start, &[op2.clone(), op1.clone()]);
+        if !fwd.is_subset(&back) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Both-ways mover: `op1 ◁ op2 ∧ op2 ◁ op1`, i.e. full commutativity of the
+/// pair (the condition abstract locking enforces in transactional boosting).
+pub fn commute<S: SeqSpec + ?Sized>(
+    spec: &S,
+    op1: &Op<S::Method, S::Ret>,
+    op2: &Op<S::Method, S::Ret>,
+) -> bool {
+    spec.mover(op1, op2) && spec.mover(op2, op1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{counter_op, CounterMethod, ToyCounter};
+
+    #[test]
+    fn allowed_is_prefix_closed() {
+        let spec = ToyCounter::with_bound(3);
+        let ops = vec![
+            counter_op(0, CounterMethod::Inc, 0),
+            counter_op(1, CounterMethod::Inc, 0),
+            counter_op(2, CounterMethod::Get, 2),
+        ];
+        assert!(spec.allowed(&ops));
+        for k in 0..ops.len() {
+            assert!(spec.allowed(&ops[..k]), "prefix of length {k} not allowed");
+        }
+    }
+
+    #[test]
+    fn get_result_must_match_state() {
+        let spec = ToyCounter::with_bound(3);
+        let bad = vec![counter_op(0, CounterMethod::Get, 5)];
+        assert!(!spec.allowed(&bad));
+        let good = vec![counter_op(0, CounterMethod::Get, 0)];
+        assert!(spec.allowed(&good));
+    }
+
+    #[test]
+    fn allows_matches_allowed_append() {
+        let spec = ToyCounter::with_bound(3);
+        let l = vec![counter_op(0, CounterMethod::Inc, 0)];
+        let op = counter_op(1, CounterMethod::Get, 1);
+        assert_eq!(spec.allows(&l, &op), {
+            let mut l2 = l.clone();
+            l2.push(op.clone());
+            spec.allowed(&l2)
+        });
+    }
+
+    #[test]
+    fn incs_commute_with_each_other() {
+        let spec = ToyCounter::with_bound(5);
+        let a = counter_op(0, CounterMethod::Inc, 0);
+        let b = counter_op(1, CounterMethod::Inc, 0);
+        assert!(commute(&spec, &a, &b));
+    }
+
+    #[test]
+    fn inc_does_not_move_across_get() {
+        let spec = ToyCounter::with_bound(5);
+        let inc = counter_op(0, CounterMethod::Inc, 0);
+        let get0 = counter_op(1, CounterMethod::Get, 0);
+        // Actual order get(=0) then inc is fine; hypothetical inc then get(=0)
+        // is not: get would observe 1. So get0 ◁ inc must fail.
+        assert!(!spec.mover(&get0, &inc));
+        // And inc ◁ get0 also fails: inc·get0 is already disallowed... it is
+        // allowed-empty, so inclusion holds vacuously.
+        assert!(spec.mover(&inc, &get0));
+    }
+
+    #[test]
+    fn results_agree_with_post_states() {
+        let spec = ToyCounter::with_bound(3);
+        for s in spec.state_universe().unwrap() {
+            for m in [CounterMethod::Inc, CounterMethod::Dec, CounterMethod::Get] {
+                for r in spec.results(&s, &m) {
+                    assert!(
+                        !spec.post_states(&s, &m, &r).is_empty(),
+                        "results() returned an unobservable ret {r:?} for {m:?} in {s:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn denote_from_empty_stays_empty() {
+        let spec = ToyCounter::with_bound(3);
+        let empty: HashSet<i64> = HashSet::new();
+        let out = spec.denote_from(&empty, &[counter_op(0, CounterMethod::Inc, 0)]);
+        assert!(out.is_empty());
+    }
+}

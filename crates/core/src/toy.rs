@@ -1,0 +1,181 @@
+//! A tiny bounded-counter specification used throughout the crate's
+//! documentation examples and unit tests.
+//!
+//! Real specifications (read/write memory, maps, sets, queues, bank
+//! accounts) live in the `pushpull-spec` crate; this one exists so that
+//! `pushpull-core` is self-contained and its doc examples run.
+
+use crate::op::{Op, OpId, TxnId};
+use crate::spec::SeqSpec;
+
+/// Methods of the toy counter.
+///
+/// `Inc` and `Dec` return an acknowledgement (always `0`) rather than the
+/// pre-value: returning the pre-value would make the observation pin the
+/// state, destroying the commutativity (`inc ◁ inc`) that boosting-style
+/// reasoning relies on. `Get` returns the current value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterMethod {
+    /// Increment the counter; returns `0` (an ack).
+    Inc,
+    /// Decrement the counter (saturating at zero); returns `0` (an ack).
+    Dec,
+    /// Read the counter; returns the value.
+    Get,
+}
+
+impl std::fmt::Display for CounterMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CounterMethod::Inc => write!(f, "inc"),
+            CounterMethod::Dec => write!(f, "dec"),
+            CounterMethod::Get => write!(f, "get"),
+        }
+    }
+}
+
+/// Operation records of the toy counter.
+pub type CounterOp = Op<CounterMethod, i64>;
+
+/// A bounded counter: states are `0..=bound`, making the state universe
+/// finite so the default exhaustive mover check of
+/// [`SeqSpec::mover`] applies.
+///
+/// `Inc` above `bound` is disallowed (the denotation becomes empty), which
+/// also gives the tests a convenient "not allowed" case.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_core::toy::{ToyCounter, CounterMethod, counter_op};
+/// use pushpull_core::spec::SeqSpec;
+/// let spec = ToyCounter::with_bound(2);
+/// let ops = vec![
+///     counter_op(0, CounterMethod::Inc, 0),
+///     counter_op(1, CounterMethod::Inc, 0),
+///     counter_op(2, CounterMethod::Inc, 0), // would exceed the bound
+/// ];
+/// assert!(!spec.allowed(&ops));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToyCounter {
+    bound: i64,
+}
+
+impl ToyCounter {
+    /// Creates a counter bounded at `bound` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound < 0`.
+    pub fn with_bound(bound: i64) -> Self {
+        assert!(bound >= 0, "counter bound must be non-negative");
+        Self { bound }
+    }
+
+    /// The inclusive upper bound of the counter.
+    pub fn bound(&self) -> i64 {
+        self.bound
+    }
+}
+
+impl Default for ToyCounter {
+    fn default() -> Self {
+        Self::with_bound(16)
+    }
+}
+
+impl SeqSpec for ToyCounter {
+    type Method = CounterMethod;
+    type Ret = i64;
+    type State = i64;
+
+    fn initial_states(&self) -> Vec<i64> {
+        vec![0]
+    }
+
+    fn post_states(&self, state: &i64, method: &CounterMethod, ret: &i64) -> Vec<i64> {
+        match method {
+            CounterMethod::Inc => {
+                if *ret == 0 && *state < self.bound {
+                    vec![state + 1]
+                } else {
+                    vec![]
+                }
+            }
+            CounterMethod::Dec => {
+                if *ret == 0 {
+                    vec![(state - 1).max(0)]
+                } else {
+                    vec![]
+                }
+            }
+            CounterMethod::Get => {
+                if *ret == *state {
+                    vec![*state]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+
+    fn results(&self, state: &i64, method: &CounterMethod) -> Vec<i64> {
+        match method {
+            CounterMethod::Inc if state + 1 > self.bound => vec![],
+            CounterMethod::Inc | CounterMethod::Dec => vec![0],
+            CounterMethod::Get => vec![*state],
+        }
+    }
+
+    fn state_universe(&self) -> Option<Vec<i64>> {
+        Some((0..=self.bound).collect())
+    }
+}
+
+/// Convenience constructor for counter operations in tests and examples:
+/// `counter_op(id, method, ret)` with the transaction defaulting to `t0`.
+pub fn counter_op(id: u64, method: CounterMethod, ret: i64) -> CounterOp {
+    Op::new(OpId(id), TxnId(0), method, ret)
+}
+
+/// Like [`counter_op`] but with an explicit transaction id.
+pub fn counter_op_t(id: u64, txn: u64, method: CounterMethod, ret: i64) -> CounterOp {
+    Op::new(OpId(id), TxnId(txn), method, ret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_enforced() {
+        let spec = ToyCounter::with_bound(1);
+        let ops = vec![
+            counter_op(0, CounterMethod::Inc, 0),
+            counter_op(1, CounterMethod::Inc, 0),
+        ];
+        assert!(!spec.allowed(&ops));
+    }
+
+    #[test]
+    fn dec_saturates_at_zero() {
+        let spec = ToyCounter::with_bound(4);
+        let ops = vec![
+            counter_op(0, CounterMethod::Dec, 0),
+            counter_op(1, CounterMethod::Get, 0),
+        ];
+        assert!(spec.allowed(&ops));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bound_panics() {
+        let _ = ToyCounter::with_bound(-1);
+    }
+
+    #[test]
+    fn default_has_roomy_bound() {
+        assert!(ToyCounter::default().bound() >= 8);
+    }
+}

@@ -1,0 +1,232 @@
+//! A chained hash table with incremental resizing — the other base object
+//! of Figure 2 (the boosted `HashTable<K,V>` facade stores its bindings
+//! here in our reproduction).
+
+use std::borrow::Borrow;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+/// A simple deterministic FNV-1a hasher, so table layout is reproducible
+/// across runs (useful for golden tests).
+#[derive(Debug, Default, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.state == 0 { 0xcbf29ce484222325 } else { self.state };
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.state = h;
+    }
+}
+
+/// A chained hash table.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_ds::hashtable::ChainedHashTable;
+///
+/// let mut t = ChainedHashTable::new();
+/// assert_eq!(t.insert("x", 1), None);
+/// assert_eq!(t.insert("x", 2), Some(1));
+/// assert_eq!(t.get("x"), Some(&2));
+/// assert_eq!(t.remove("x"), Some(2));
+/// assert!(t.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainedHashTable<K, V, S = BuildHasherDefault<Fnv1a>> {
+    buckets: Vec<Vec<(K, V)>>,
+    len: usize,
+    hasher: S,
+}
+
+impl<K: Hash + Eq, V> ChainedHashTable<K, V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::with_capacity(8)
+    }
+
+    /// Creates an empty table with at least `cap` buckets.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(1);
+        Self {
+            buckets: (0..cap).map(|_| Vec::new()).collect(),
+            len: 0,
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+}
+
+impl<K: Hash + Eq, V, S: BuildHasher> ChainedHashTable<K, V, S> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        
+        
+        (self.hasher.hash_one(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Looks up `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let b = self.bucket_of(key);
+        self.buckets[b].iter().find(|(k, _)| k.borrow() == key).map(|(_, v)| v)
+    }
+
+    /// Does the table contain `key`?
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a binding, returning the previous value if any.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        if self.len + 1 > self.buckets.len() * 2 {
+            self.grow();
+        }
+        let b = self.bucket_of(&key);
+        for (k, v) in &mut self.buckets[b] {
+            if *k == key {
+                return Some(std::mem::replace(v, val));
+            }
+        }
+        self.buckets[b].push((key, val));
+        self.len += 1;
+        None
+    }
+
+    /// Removes a binding, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let b = self.bucket_of(key);
+        let pos = self.buckets[b].iter().position(|(k, _)| k.borrow() == key)?;
+        let (_, v) = self.buckets[b].swap_remove(pos);
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Iterates over entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets.iter().flatten().map(|(k, v)| (k, v))
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.buckets.len() * 2;
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..new_cap).map(|_| Vec::new()).collect(),
+        );
+        for (k, v) in old.into_iter().flatten() {
+            let b = self.bucket_of(&k);
+            self.buckets[b].push((k, v));
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> Default for ChainedHashTable<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V> FromIterator<(K, V)> for ChainedHashTable<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut t = Self::new();
+        for (k, v) in iter {
+            t.insert(k, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = ChainedHashTable::new();
+        for k in 0..100 {
+            assert_eq!(t.insert(k, k * 2), None);
+        }
+        assert_eq!(t.len(), 100);
+        for k in 0..100 {
+            assert_eq!(t.get(&k), Some(&(k * 2)));
+        }
+        for k in (0..100).step_by(2) {
+            assert_eq!(t.remove(&k), Some(k * 2));
+        }
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.get(&0), None);
+        assert_eq!(t.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut t = ChainedHashTable::with_capacity(1);
+        for k in 0..1000 {
+            t.insert(k, k);
+        }
+        assert!(t.buckets.len() >= 512);
+        for k in 0..1000 {
+            assert_eq!(t.get(&k), Some(&k));
+        }
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_random_workload() {
+        use std::collections::HashMap;
+        let mut t = ChainedHashTable::new();
+        let mut h = HashMap::new();
+        let mut x = 99u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x % 61) as u32;
+            match (x >> 9) % 3 {
+                0 => assert_eq!(t.insert(k, x), h.insert(k, x)),
+                1 => assert_eq!(t.remove(&k), h.remove(&k)),
+                _ => assert_eq!(t.get(&k), h.get(&k)),
+            }
+            assert_eq!(t.len(), h.len());
+        }
+    }
+
+    #[test]
+    fn string_keys_with_borrowed_lookup() {
+        let mut t: ChainedHashTable<String, i32> = ChainedHashTable::new();
+        t.insert("alpha".to_string(), 1);
+        assert_eq!(t.get("alpha"), Some(&1));
+        assert_eq!(t.remove("alpha"), Some(1));
+    }
+}

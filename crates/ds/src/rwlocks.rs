@@ -1,0 +1,233 @@
+//! Shared/exclusive (reader–writer) lock tables with deadlock detection —
+//! the substrate for strict two-phase locking, the lock-inference style
+//! of pessimistic atomic sections the paper cites as \[4\] (Cherem et al.).
+//!
+//! Unlike [`crate::locks::AbstractLockManager`] (exclusive-only, the
+//! boosting discipline), this table distinguishes read and write modes:
+//! readers share, writers exclude, and a sole reader may upgrade.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+use pushpull_core::op::TxnId;
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Shared (read) access.
+    Shared,
+    /// Exclusive (write) access.
+    Exclusive,
+}
+
+/// Result of an acquisition attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RwOutcome {
+    /// Granted (or already held in a sufficient mode).
+    Granted,
+    /// Held incompatibly by others; a waits-for edge was recorded.
+    Busy {
+        /// One current incompatible holder.
+        holder: TxnId,
+    },
+    /// Waiting would close a waits-for cycle; abort instead.
+    WouldDeadlock,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    readers: HashSet<TxnId>,
+    writer: Option<TxnId>,
+}
+
+/// A reader–writer lock table keyed by `K`.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_ds::rwlocks::{RwLockTable, Mode, RwOutcome};
+/// use pushpull_core::op::TxnId;
+///
+/// let mut t = RwLockTable::new();
+/// assert_eq!(t.try_lock(TxnId(1), "k", Mode::Shared), RwOutcome::Granted);
+/// assert_eq!(t.try_lock(TxnId(2), "k", Mode::Shared), RwOutcome::Granted);
+/// // A writer is refused while readers hold the key (the reported
+/// // holder is whichever reader the table finds first).
+/// assert!(matches!(t.try_lock(TxnId(3), "k", Mode::Exclusive), RwOutcome::Busy { .. }));
+/// t.release_all(TxnId(1));
+/// t.release_all(TxnId(2));
+/// assert_eq!(t.try_lock(TxnId(3), "k", Mode::Exclusive), RwOutcome::Granted);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RwLockTable<K> {
+    entries: HashMap<K, Entry>,
+    held: HashMap<TxnId, HashSet<K>>,
+    waiting: HashMap<TxnId, TxnId>,
+}
+
+impl<K: Eq + Hash + Clone> RwLockTable<K> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self { entries: HashMap::new(), held: HashMap::new(), waiting: HashMap::new() }
+    }
+
+    /// Attempts to acquire `key` in `mode` for `txn`. A sole reader
+    /// upgrades to exclusive in place.
+    pub fn try_lock(&mut self, txn: TxnId, key: K, mode: Mode) -> RwOutcome {
+        let entry = self.entries.entry(key.clone()).or_default();
+        let incompatible_holder = match mode {
+            Mode::Shared => match entry.writer {
+                Some(w) if w != txn => Some(w),
+                _ => None,
+            },
+            Mode::Exclusive => {
+                if let Some(w) = entry.writer.filter(|w| *w != txn) {
+                    Some(w)
+                } else {
+                    entry.readers.iter().find(|r| **r != txn).copied()
+                }
+            }
+        };
+        if let Some(holder) = incompatible_holder {
+            if self.would_deadlock(txn, holder) {
+                return RwOutcome::WouldDeadlock;
+            }
+            self.waiting.insert(txn, holder);
+            return RwOutcome::Busy { holder };
+        }
+        match mode {
+            Mode::Shared => {
+                entry.readers.insert(txn);
+            }
+            Mode::Exclusive => {
+                entry.readers.remove(&txn); // upgrade
+                entry.writer = Some(txn);
+            }
+        }
+        self.held.entry(txn).or_default().insert(key);
+        self.waiting.remove(&txn);
+        RwOutcome::Granted
+    }
+
+    fn would_deadlock(&self, txn: TxnId, holder: TxnId) -> bool {
+        let mut cur = holder;
+        let mut steps = 0;
+        loop {
+            if cur == txn {
+                return true;
+            }
+            match self.waiting.get(&cur) {
+                Some(next) => cur = *next,
+                None => return false,
+            }
+            steps += 1;
+            if steps > self.waiting.len() {
+                return false;
+            }
+        }
+    }
+
+    /// Releases everything `txn` holds and clears its wait edge.
+    pub fn release_all(&mut self, txn: TxnId) {
+        self.waiting.remove(&txn);
+        if let Some(keys) = self.held.remove(&txn) {
+            for k in keys {
+                if let Some(e) = self.entries.get_mut(&k) {
+                    e.readers.remove(&txn);
+                    if e.writer == Some(txn) {
+                        e.writer = None;
+                    }
+                    if e.readers.is_empty() && e.writer.is_none() {
+                        self.entries.remove(&k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Does `txn` hold `key` at least in `mode`?
+    pub fn holds(&self, txn: TxnId, key: &K, mode: Mode) -> bool {
+        match self.entries.get(key) {
+            None => false,
+            Some(e) => match mode {
+                Mode::Shared => e.readers.contains(&txn) || e.writer == Some(txn),
+                Mode::Exclusive => e.writer == Some(txn),
+            },
+        }
+    }
+
+    /// Number of keys with any holder.
+    pub fn locked_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut t = RwLockTable::new();
+        assert_eq!(t.try_lock(TxnId(1), 0, Mode::Shared), RwOutcome::Granted);
+        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Shared), RwOutcome::Granted);
+        assert!(matches!(t.try_lock(TxnId(3), 0, Mode::Exclusive), RwOutcome::Busy { .. }));
+        assert!(t.holds(TxnId(1), &0, Mode::Shared));
+        assert!(!t.holds(TxnId(1), &0, Mode::Exclusive));
+    }
+
+    #[test]
+    fn writer_blocks_readers() {
+        let mut t = RwLockTable::new();
+        assert_eq!(t.try_lock(TxnId(1), 0, Mode::Exclusive), RwOutcome::Granted);
+        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Shared), RwOutcome::Busy { holder: TxnId(1) });
+        // The writer itself may read.
+        assert_eq!(t.try_lock(TxnId(1), 0, Mode::Shared), RwOutcome::Granted);
+    }
+
+    #[test]
+    fn sole_reader_upgrades() {
+        let mut t = RwLockTable::new();
+        t.try_lock(TxnId(1), 0, Mode::Shared);
+        assert_eq!(t.try_lock(TxnId(1), 0, Mode::Exclusive), RwOutcome::Granted);
+        assert!(t.holds(TxnId(1), &0, Mode::Exclusive));
+    }
+
+    #[test]
+    fn contended_upgrade_is_refused() {
+        let mut t = RwLockTable::new();
+        t.try_lock(TxnId(1), 0, Mode::Shared);
+        t.try_lock(TxnId(2), 0, Mode::Shared);
+        assert!(matches!(t.try_lock(TxnId(1), 0, Mode::Exclusive), RwOutcome::Busy { .. }));
+    }
+
+    #[test]
+    fn upgrade_deadlock_detected() {
+        // Both readers want to upgrade: classic conversion deadlock.
+        let mut t = RwLockTable::new();
+        t.try_lock(TxnId(1), 0, Mode::Shared);
+        t.try_lock(TxnId(2), 0, Mode::Shared);
+        assert!(matches!(t.try_lock(TxnId(1), 0, Mode::Exclusive), RwOutcome::Busy { .. }));
+        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Exclusive), RwOutcome::WouldDeadlock);
+    }
+
+    #[test]
+    fn release_clears_entries() {
+        let mut t = RwLockTable::new();
+        t.try_lock(TxnId(1), 0, Mode::Exclusive);
+        t.try_lock(TxnId(1), 1, Mode::Shared);
+        assert_eq!(t.locked_count(), 2);
+        t.release_all(TxnId(1));
+        assert_eq!(t.locked_count(), 0);
+        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Exclusive), RwOutcome::Granted);
+    }
+
+    #[test]
+    fn two_key_deadlock_detected() {
+        let mut t = RwLockTable::new();
+        t.try_lock(TxnId(1), 0, Mode::Exclusive);
+        t.try_lock(TxnId(2), 1, Mode::Exclusive);
+        assert!(matches!(t.try_lock(TxnId(1), 1, Mode::Exclusive), RwOutcome::Busy { .. }));
+        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Exclusive), RwOutcome::WouldDeadlock);
+    }
+}

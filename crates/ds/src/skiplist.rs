@@ -1,0 +1,364 @@
+//! A probabilistic skip-list map.
+//!
+//! This is the *base object* of the paper's running examples: Figure 2's
+//! boosted hashtable stores its data in a `ConcurrentSkipListMap`, and §7
+//! boosts a `ConcurrentSkipList` directly. We substitute an in-crate
+//! sequential skip list used behind a lock (see
+//! [`crate::sync::Linearized`]); transactional boosting only requires the
+//! base object to be linearizable, which a lock provides trivially, and
+//! all contention management happens at the abstract-lock level anyway.
+//!
+//! The implementation is arena-based (indices instead of pointers), fully
+//! safe, with an internal xorshift generator for tower heights so
+//! behaviour is deterministic per seed.
+
+use std::borrow::Borrow;
+
+const MAX_LEVEL: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    val: V,
+    /// `next[l]` is the arena index of the successor at level `l`.
+    next: Vec<Option<usize>>,
+}
+
+/// A sequential skip-list map with expected `O(log n)` search, insert and
+/// remove.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_ds::skiplist::SkipListMap;
+///
+/// let mut m = SkipListMap::new();
+/// assert_eq!(m.insert(2, "b"), None);
+/// assert_eq!(m.insert(1, "a"), None);
+/// assert_eq!(m.insert(2, "B"), Some("b"));
+/// assert_eq!(m.get(&1), Some(&"a"));
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.remove(&1), Some("a"));
+/// assert_eq!(m.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipListMap<K, V> {
+    /// Arena of nodes; freed slots are recycled through `free`.
+    arena: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    /// Head tower: successors of the sentinel at each level.
+    head: Vec<Option<usize>>,
+    len: usize,
+    level: usize,
+    rng: u64,
+}
+
+impl<K: Ord, V> SkipListMap<K, V> {
+    /// Creates an empty map with a fixed default seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x9E3779B97F4A7C15)
+    }
+
+    /// Creates an empty map whose tower heights are drawn from the given
+    /// seed (deterministic structure for reproducible tests).
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            arena: Vec::new(),
+            free: Vec::new(),
+            head: vec![None; MAX_LEVEL],
+            len: 0,
+            level: 1,
+            rng: seed | 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn next_level(&mut self) -> usize {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let bits = x.wrapping_mul(0x2545F4914F6CDD1D);
+        let mut level = 1;
+        while level < MAX_LEVEL && (bits >> level) & 1 == 1 {
+            level += 1;
+        }
+        level
+    }
+
+    fn node(&self, idx: usize) -> &Node<K, V> {
+        self.arena[idx].as_ref().expect("live node")
+    }
+
+    /// For each level, the index of the last node strictly before `key`
+    /// (`None` meaning the head sentinel).
+    fn predecessors<Q>(&self, key: &Q) -> Vec<Option<usize>>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut preds = vec![None; MAX_LEVEL];
+        let mut pred: Option<usize> = None;
+        for l in (0..self.level).rev() {
+            loop {
+                let next = match pred {
+                    None => self.head[l],
+                    Some(p) => self.node(p).next[l],
+                };
+                match next {
+                    Some(n) if self.node(n).key.borrow() < key => pred = Some(n),
+                    _ => break,
+                }
+            }
+            preds[l] = pred;
+        }
+        preds
+    }
+
+    fn successor_at(&self, pred: Option<usize>, level: usize) -> Option<usize> {
+        match pred {
+            None => self.head[level],
+            Some(p) => self.node(p).next[level],
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let preds = self.predecessors(key);
+        let cand = self.successor_at(preds[0], 0)?;
+        let node = self.node(cand);
+        if node.key.borrow() == key {
+            Some(&node.val)
+        } else {
+            None
+        }
+    }
+
+    /// Does the map contain `key`?
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a binding, returning the previous value if any.
+    #[allow(clippy::needless_range_loop)] // lockstep walk over preds/head/arena
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let preds = self.predecessors(&key);
+        if let Some(cand) = self.successor_at(preds[0], 0) {
+            if self.node(cand).key == key {
+                let node = self.arena[cand].as_mut().expect("live node");
+                return Some(std::mem::replace(&mut node.val, val));
+            }
+        }
+        let height = self.next_level();
+        if height > self.level {
+            self.level = height;
+        }
+        let next: Vec<Option<usize>> = (0..height)
+            .map(|l| self.successor_at(preds[l], l))
+            .collect();
+        let node = Node { key, val, next };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.arena[i] = Some(node);
+                i
+            }
+            None => {
+                self.arena.push(Some(node));
+                self.arena.len() - 1
+            }
+        };
+        for l in 0..height {
+            match preds[l] {
+                None => self.head[l] = Some(idx),
+                Some(p) => self.arena[p].as_mut().expect("live node").next[l] = Some(idx),
+            }
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Removes a binding, returning its value if present.
+    #[allow(clippy::needless_range_loop)] // lockstep walk over preds/head/arena
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let preds = self.predecessors(key);
+        let target = self.successor_at(preds[0], 0)?;
+        if self.node(target).key.borrow() != key {
+            return None;
+        }
+        let height = self.node(target).next.len();
+        for l in 0..height {
+            let succ = self.node(target).next[l];
+            match preds[l] {
+                None => self.head[l] = succ,
+                Some(p) => self.arena[p].as_mut().expect("live node").next[l] = succ,
+            }
+        }
+        let node = self.arena[target].take().expect("live node");
+        self.free.push(target);
+        self.len -= 1;
+        while self.level > 1 && self.head[self.level - 1].is_none() {
+            self.level -= 1;
+        }
+        Some(node.val)
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter { map: self, cur: self.head[0] }
+    }
+}
+
+impl<K: Ord, V> Default for SkipListMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for SkipListMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for SkipListMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// In-order iterator over a [`SkipListMap`], produced by
+/// [`SkipListMap::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, K, V> {
+    map: &'a SkipListMap<K, V>,
+    cur: Option<usize>,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.cur?;
+        let node = self.map.node(idx);
+        self.cur = node.next[0];
+        Some((&node.key, &node.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = SkipListMap::new();
+        for k in [5, 1, 9, 3, 7] {
+            assert_eq!(m.insert(k, k * 10), None);
+        }
+        assert_eq!(m.len(), 5);
+        for k in [1, 3, 5, 7, 9] {
+            assert_eq!(m.get(&k), Some(&(k * 10)));
+        }
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.remove(&5), Some(50));
+        assert_eq!(m.remove(&5), None);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn insert_overwrites_and_returns_old() {
+        let mut m = SkipListMap::new();
+        assert_eq!(m.insert("k", 1), None);
+        assert_eq!(m.insert("k", 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&2));
+    }
+
+    #[test]
+    fn iteration_is_in_key_order() {
+        let mut m = SkipListMap::new();
+        let keys = [42, 7, 19, 3, 88, 21, 56, 1];
+        for k in keys {
+            m.insert(k, ());
+        }
+        let seen: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.to_vec();
+        sorted.sort();
+        assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn matches_btreemap_on_random_workload() {
+        use std::collections::BTreeMap;
+        let mut sl = SkipListMap::with_seed(12345);
+        let mut bt = BTreeMap::new();
+        let mut x = 777u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x % 97) as u32;
+            match (x >> 8) % 3 {
+                0 => assert_eq!(sl.insert(k, x), bt.insert(k, x)),
+                1 => assert_eq!(sl.remove(&k), bt.remove(&k)),
+                _ => assert_eq!(sl.get(&k), bt.get(&k)),
+            }
+            assert_eq!(sl.len(), bt.len());
+        }
+        let a: Vec<(u32, u64)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(u32, u64)> = bt.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut m = SkipListMap::new();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        for k in 0..100 {
+            m.remove(&k);
+        }
+        let high_water = m.arena.len();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.arena.len(), high_water, "freed slots must be reused");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut m: SkipListMap<i32, i32> = (0..5).map(|k| (k, k)).collect();
+        m.extend((5..8).map(|k| (k, k)));
+        assert_eq!(m.len(), 8);
+    }
+}

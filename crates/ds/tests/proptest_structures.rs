@@ -1,0 +1,140 @@
+//! Property-based differential tests: the substrate data structures
+//! against `std` reference models, over arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+use pushpull_ds::hashtable::ChainedHashTable;
+use pushpull_ds::skiplist::SkipListMap;
+
+#[derive(Debug, Clone)]
+enum MapAction {
+    Insert(u16, i32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn actions(len: usize) -> impl Strategy<Value = Vec<MapAction>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<i32>()).prop_map(|(k, v)| MapAction::Insert(k % 64, v)),
+            any::<u16>().prop_map(|k| MapAction::Remove(k % 64)),
+            any::<u16>().prop_map(|k| MapAction::Get(k % 64)),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn skiplist_matches_btreemap(ops in actions(200), seed in any::<u64>()) {
+        let mut sl = SkipListMap::with_seed(seed | 1);
+        let mut model: BTreeMap<u16, i32> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                MapAction::Insert(k, v) => prop_assert_eq!(sl.insert(*k, *v), model.insert(*k, *v)),
+                MapAction::Remove(k) => prop_assert_eq!(sl.remove(k), model.remove(k)),
+                MapAction::Get(k) => prop_assert_eq!(sl.get(k), model.get(k)),
+            }
+            prop_assert_eq!(sl.len(), model.len());
+        }
+        // Iteration agrees, in order.
+        let a: Vec<(u16, i32)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(u16, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hashtable_matches_hashmap(ops in actions(200)) {
+        let mut ht = ChainedHashTable::new();
+        let mut model: HashMap<u16, i32> = HashMap::new();
+        for op in &ops {
+            match op {
+                MapAction::Insert(k, v) => prop_assert_eq!(ht.insert(*k, *v), model.insert(*k, *v)),
+                MapAction::Remove(k) => prop_assert_eq!(ht.remove(k), model.remove(k)),
+                MapAction::Get(k) => prop_assert_eq!(ht.get(k), model.get(k)),
+            }
+            prop_assert_eq!(ht.len(), model.len());
+        }
+        // Contents agree as sets.
+        let mut a: Vec<(u16, i32)> = ht.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut b: Vec<(u16, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Skip-list structure is independent of operation interleaving with
+    /// no-op queries: gets never perturb state.
+    #[test]
+    fn skiplist_gets_are_pure(keys in prop::collection::vec(any::<u16>(), 1..50)) {
+        let mut sl = SkipListMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            sl.insert(*k, i);
+        }
+        let before: Vec<(u16, usize)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
+        for k in &keys {
+            let _ = sl.get(k);
+            let _ = sl.contains_key(k);
+        }
+        let after: Vec<(u16, usize)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(before, after);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum LockAction {
+    Lock(u8, u8),
+    ReleaseAll(u8),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The abstract lock manager never double-grants a key and always
+    /// fully releases.
+    #[test]
+    fn lock_manager_exclusivity(acts in prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(t, k)| LockAction::Lock(t % 4, k % 8)),
+            any::<u8>().prop_map(|t| LockAction::ReleaseAll(t % 4)),
+        ],
+        0..100,
+    )) {
+        use pushpull_core::op::TxnId;
+        use pushpull_ds::locks::{AbstractLockManager, LockOutcome};
+        use std::collections::HashMap;
+
+        let mut mgr: AbstractLockManager<u8> = AbstractLockManager::new();
+        let mut model: HashMap<u8, u64> = HashMap::new(); // key -> txn
+        for a in &acts {
+            match a {
+                LockAction::Lock(t, k) => {
+                    let txn = TxnId(u64::from(*t));
+                    match mgr.try_lock(txn, *k) {
+                        LockOutcome::Acquired => {
+                            prop_assert!(!model.contains_key(k), "double grant of {k}");
+                            model.insert(*k, u64::from(*t));
+                        }
+                        LockOutcome::AlreadyHeld => {
+                            prop_assert_eq!(model.get(k), Some(&u64::from(*t)));
+                        }
+                        LockOutcome::Busy { owner } => {
+                            prop_assert_eq!(model.get(k).copied(), Some(owner.0));
+                        }
+                        LockOutcome::WouldDeadlock { .. } => {
+                            prop_assert!(model.contains_key(k));
+                        }
+                    }
+                }
+                LockAction::ReleaseAll(t) => {
+                    mgr.release_all(TxnId(u64::from(*t)));
+                    model.retain(|_, owner| *owner != u64::from(*t));
+                }
+            }
+            prop_assert_eq!(mgr.locked_count(), model.len());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # pushpull-harness
+//!
+//! Execution infrastructure for the Push/Pull reproduction:
+//!
+//! * [`scheduler`] — round-robin and seeded-random schedulers; in the
+//!   PUSH/PULL model a scheduler *is* the interleaving;
+//! * [`model_check`] — an exhaustive interleaving explorer for small
+//!   configurations, used to check §6's per-algorithm claims over *all*
+//!   interleavings rather than sampled ones;
+//! * [`workload`] — seeded workload generators (key skew, read ratio,
+//!   transaction length) shared by the benchmarks;
+//! * [`runner`] — drives a system to completion and bundles statistics
+//!   with the serializability and opacity verdicts.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod model_check;
+pub mod parallel;
+pub mod patterns;
+pub mod runner;
+pub mod scheduler;
+pub mod sweep;
+pub mod workload;
+
+pub use model_check::{explore, ExploreLimits, ExploreReport};
+pub use parallel::{run_parallel, ParallelOutcome};
+pub use runner::{run_reported, run_with, RunReport};
+pub use scheduler::{run, RandomSched, RoundRobin, RunOutcome, Scheduler};
+pub use sweep::{sweep, Aggregate, SweepResult};
+pub use workload::WorkloadSpec;

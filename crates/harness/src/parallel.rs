@@ -1,0 +1,139 @@
+//! A parallel runner: real OS threads, one per model thread, contending
+//! on the shared system.
+//!
+//! The PUSH/PULL model's shared log is a single synchronization point, so
+//! the honest parallel realization guards the system with one lock and
+//! lets worker threads race to tick their own model thread — the
+//! interleaving is then decided by the *OS scheduler* rather than a
+//! seeded policy, giving the test suites a source of genuinely
+//! nondeterministic interleavings (every one of which must still pass the
+//! oracle, which is the point).
+
+use parking_lot::Mutex;
+
+use pushpull_core::error::MachineError;
+use pushpull_core::op::ThreadId;
+use pushpull_tm::driver::{Tick, TmSystem};
+
+/// Outcome of a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOutcome {
+    /// Total ticks across all workers.
+    pub ticks: usize,
+    /// Whether every model thread finished within its tick budget.
+    pub completed: bool,
+}
+
+/// Runs `sys` with one OS thread per model thread, each ticking its own
+/// [`ThreadId`] until done (or until `max_ticks_per_thread`).
+///
+/// # Errors
+///
+/// Propagates the first unexpected [`MachineError`] raised by any worker.
+pub fn run_parallel<T>(sys: T, max_ticks_per_thread: usize) -> Result<(T, ParallelOutcome), MachineError>
+where
+    T: TmSystem + Send,
+{
+    let n = sys.thread_count();
+    let shared = Mutex::new(sys);
+    let total_ticks = std::sync::atomic::AtomicUsize::new(0);
+    let mut first_error: Option<MachineError> = None;
+    let mut all_done = true;
+
+    let results: Vec<Result<bool, MachineError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let shared = &shared;
+                let total_ticks = &total_ticks;
+                scope.spawn(move |_| {
+                    let tid = ThreadId(t);
+                    for _ in 0..max_ticks_per_thread {
+                        let tick = {
+                            let mut guard = shared.lock();
+                            guard.tick(tid)?
+                        };
+                        total_ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        match tick {
+                            Tick::Done => return Ok(true),
+                            Tick::Blocked => std::thread::yield_now(),
+                            _ => {}
+                        }
+                    }
+                    Ok(false)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope");
+
+    for r in results {
+        match r {
+            Ok(done) => all_done &= done,
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let sys = shared.into_inner();
+    let completed = all_done && sys.is_done();
+    Ok((sys, ParallelOutcome { ticks: total_ticks.into_inner(), completed }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::lang::Code;
+    use pushpull_core::serializability::check_machine;
+    use pushpull_spec::kvmap::{KvMap, MapMethod};
+    use pushpull_tm::boosting::BoostingSystem;
+
+    #[test]
+    fn parallel_boosting_run_is_serializable() {
+        for round in 0..5 {
+            let programs: Vec<_> = (0..4u64)
+                .map(|t| {
+                    vec![
+                        Code::seq_all(vec![
+                            Code::method(MapMethod::Put(t, t as i64)),
+                            Code::method(MapMethod::Get((t + 1) % 4)),
+                        ]),
+                        Code::method(MapMethod::Put(t + 10, 1)),
+                    ]
+                })
+                .collect();
+            let sys = BoostingSystem::new(KvMap::new(), programs);
+            let (sys, outcome) = run_parallel(sys, 1_000_000).unwrap();
+            assert!(outcome.completed, "round {round} incomplete");
+            assert_eq!(sys.stats().commits, 8, "round {round}");
+            let report = check_machine(sys.machine());
+            assert!(report.is_serializable(), "round {round}: {report}");
+        }
+    }
+
+    #[test]
+    fn parallel_optimistic_run_is_serializable() {
+        use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
+        use pushpull_tm::optimistic::{OptimisticSystem, ReadPolicy};
+        for round in 0..5 {
+            let programs: Vec<_> = (0..4u32)
+                .map(|t| {
+                    vec![Code::seq_all(vec![
+                        Code::method(MemMethod::Read(Loc(t % 2))),
+                        Code::method(MemMethod::Write(Loc(t % 2), i64::from(t))),
+                    ])]
+                })
+                .collect();
+            let sys = OptimisticSystem::new(RwMem::new(), programs, ReadPolicy::Snapshot);
+            let (sys, outcome) = run_parallel(sys, 1_000_000).unwrap();
+            assert!(outcome.completed, "round {round} incomplete");
+            let report = check_machine(sys.machine());
+            assert!(report.is_serializable(), "round {round}: {report}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Structured transaction-program families — realistic workload shapes
+//! beyond the uniform random mixes of [`crate::workload`]:
+//!
+//! * [`transfers`] — bank transfers (withdraw + deposit pairs), the
+//!   motivating workload for abstract commutativity;
+//! * [`producer_consumer`] — FIFO queue producers and consumers, the
+//!   fully non-commutative regime;
+//! * [`rmw_chains`] — read-modify-write chains over memory, the classic
+//!   STM torture test;
+//! * [`scans_and_updates`] — read-only scanners racing point updaters,
+//!   the opacity-sensitive shape.
+
+use pushpull_core::lang::Code;
+use pushpull_spec::bank::BankMethod;
+use pushpull_spec::kvmap::MapMethod;
+use pushpull_spec::queue::QueueMethod;
+use pushpull_spec::rwmem::{Loc, MemMethod};
+
+/// `threads` threads, each running `txns` transfer transactions moving
+/// `amount` from account `t` to account `(t+1) % threads`, after thread 0
+/// runs one funding transaction depositing `seed_money` everywhere.
+pub fn transfers(
+    threads: usize,
+    txns: usize,
+    amount: i64,
+    seed_money: i64,
+) -> Vec<Vec<Code<BankMethod>>> {
+    let n = threads as u32;
+    let mut programs: Vec<Vec<Code<BankMethod>>> = Vec::with_capacity(threads);
+    for t in 0..n {
+        let mut progs = Vec::new();
+        if t == 0 {
+            progs.push(Code::seq_all(
+                (0..n).map(|a| Code::method(BankMethod::Deposit(a, seed_money))),
+            ));
+        }
+        for _ in 0..txns {
+            progs.push(Code::seq_all(vec![
+                Code::method(BankMethod::Withdraw(t, amount)),
+                Code::method(BankMethod::Deposit((t + 1) % n, amount)),
+            ]));
+        }
+        programs.push(progs);
+    }
+    programs
+}
+
+/// `producers` threads each enqueueing `items` distinct values, and
+/// `consumers` threads each dequeueing `items · producers / consumers`
+/// times. Values encode their producer and sequence number so FIFO
+/// order per producer is checkable from the committed log.
+pub fn producer_consumer(
+    producers: usize,
+    consumers: usize,
+    items: usize,
+) -> Vec<Vec<Code<QueueMethod>>> {
+    assert!(consumers > 0 && producers > 0);
+    let total = producers * items;
+    let per_consumer = total / consumers;
+    let mut programs = Vec::new();
+    for p in 0..producers {
+        programs.push(
+            (0..items)
+                .map(|i| Code::method(QueueMethod::Enq((p * 10_000 + i) as i64)))
+                .collect(),
+        );
+    }
+    for _ in 0..consumers {
+        programs.push((0..per_consumer).map(|_| Code::method(QueueMethod::Deq)).collect());
+    }
+    programs
+}
+
+/// `threads` threads × `txns` read-modify-write transactions over
+/// `locs` memory locations: `read(l); write(l, tag)` with `l` striding
+/// per thread.
+pub fn rmw_chains(threads: usize, txns: usize, locs: u32) -> Vec<Vec<Code<MemMethod>>> {
+    (0..threads)
+        .map(|t| {
+            (0..txns)
+                .map(|i| {
+                    let l = Loc(((t + i) as u32) % locs);
+                    Code::seq_all(vec![
+                        Code::method(MemMethod::Read(l)),
+                        Code::method(MemMethod::Write(l, (t * 1000 + i) as i64)),
+                    ])
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Half the threads scan `scan_keys` map keys read-only; the other half
+/// update a single key each — the shape where opacity (consistent
+/// snapshots for readers) matters most.
+pub fn scans_and_updates(threads: usize, txns: usize, scan_keys: u64) -> Vec<Vec<Code<MapMethod>>> {
+    (0..threads)
+        .map(|t| {
+            (0..txns)
+                .map(|i| {
+                    if t % 2 == 0 {
+                        // Scanner: read every key in one transaction.
+                        Code::seq_all((0..scan_keys).map(|k| Code::method(MapMethod::Get(k))))
+                    } else {
+                        // Updater: write one key.
+                        Code::method(MapMethod::Put(
+                            (t as u64 + i as u64) % scan_keys,
+                            (t * 100 + i) as i64,
+                        ))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_shape() {
+        let p = transfers(3, 2, 10, 100);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].len(), 3, "funding txn plus two transfers");
+        assert_eq!(p[1].len(), 2);
+    }
+
+    #[test]
+    fn producer_consumer_balances_items() {
+        let p = producer_consumer(2, 2, 4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0].len(), 4, "producer enqueues");
+        assert_eq!(p[2].len(), 4, "consumer dequeues half of 8");
+    }
+
+    #[test]
+    fn rmw_chrecord_strides() {
+        let p = rmw_chains(2, 3, 4);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn scan_shape() {
+        let p = scans_and_updates(4, 2, 5);
+        assert_eq!(p.len(), 4);
+        // Scanners' transactions contain 5 methods.
+        assert_eq!(p[0][0].reachable_methods().len(), 5);
+        // Updaters' contain 1.
+        assert_eq!(p[1][0].reachable_methods().len(), 1);
+    }
+}

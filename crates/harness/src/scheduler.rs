@@ -1,0 +1,142 @@
+//! Schedulers: the source of interleavings.
+//!
+//! In the PUSH/PULL model, concurrency is the *order in which threads
+//! apply rules* — so a scheduler choosing which thread ticks next is
+//! exactly a choice of interleaving. Deterministic seeded scheduling
+//! makes every run reproducible.
+
+use pushpull_core::error::MachineError;
+use pushpull_core::op::ThreadId;
+use pushpull_tm::driver::{Tick, TmSystem};
+
+/// A scheduling policy over `n` threads.
+pub trait Scheduler {
+    /// Picks the next thread to tick, given the number of threads and the
+    /// tick index.
+    fn next(&mut self, threads: usize, step: usize) -> ThreadId;
+}
+
+/// Strict rotation: 0, 1, …, n−1, 0, ….
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, threads: usize, step: usize) -> ThreadId {
+        ThreadId(step % threads)
+    }
+}
+
+/// A seeded xorshift random scheduler.
+#[derive(Debug, Clone)]
+pub struct RandomSched {
+    state: u64,
+}
+
+impl RandomSched {
+    /// Creates a scheduler from a non-zero seed (0 is mapped to 1).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.max(1) }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn next(&mut self, threads: usize, _step: usize) -> ThreadId {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        ThreadId((x % threads as u64) as usize)
+    }
+}
+
+/// The outcome of driving a system to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Total scheduler ticks consumed.
+    pub ticks: usize,
+    /// Whether every thread finished within the budget.
+    pub completed: bool,
+}
+
+/// Drives `sys` with `sched` until every thread is done or `max_ticks`
+/// elapse.
+///
+/// # Errors
+///
+/// Propagates the first unexpected [`MachineError`] a tick returns.
+pub fn run<T: TmSystem, S: Scheduler>(
+    sys: &mut T,
+    sched: &mut S,
+    max_ticks: usize,
+) -> Result<RunOutcome, MachineError> {
+    let n = sys.thread_count();
+    if n == 0 {
+        return Ok(RunOutcome { ticks: 0, completed: true });
+    }
+    for step in 0..max_ticks {
+        if sys.is_done() {
+            return Ok(RunOutcome { ticks: step, completed: true });
+        }
+        let tid = sched.next(n, step);
+        let _t: Tick = sys.tick(tid)?;
+    }
+    Ok(RunOutcome { ticks: max_ticks, completed: sys.is_done() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::lang::Code;
+    use pushpull_spec::counter::{Counter, CtrMethod};
+    use pushpull_tm::optimistic::{OptimisticSystem, ReadPolicy};
+
+    fn two_adders() -> OptimisticSystem<Counter> {
+        OptimisticSystem::new(
+            Counter::new(),
+            vec![
+                vec![Code::method(CtrMethod::Add(1))],
+                vec![Code::method(CtrMethod::Add(1))],
+            ],
+            ReadPolicy::Snapshot,
+        )
+    }
+
+    #[test]
+    fn round_robin_completes() {
+        let mut sys = two_adders();
+        let out = run(&mut sys, &mut RoundRobin, 1000).unwrap();
+        assert!(out.completed);
+        assert_eq!(sys.stats().commits, 2);
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let mut a = two_adders();
+        let mut b = two_adders();
+        run(&mut a, &mut RandomSched::new(42), 1000).unwrap();
+        run(&mut b, &mut RandomSched::new(42), 1000).unwrap();
+        assert_eq!(a.machine().trace().len(), b.machine().trace().len());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        // Not guaranteed in general, but on this workload the traces are
+        // long enough that seeds 1 and 2 diverge.
+        let mut a = two_adders();
+        let mut b = two_adders();
+        run(&mut a, &mut RandomSched::new(1), 1000).unwrap();
+        run(&mut b, &mut RandomSched::new(2), 1000).unwrap();
+        let ta: Vec<_> = a.machine().trace().iter().map(|e| e.thread()).collect();
+        let tb: Vec<_> = b.machine().trace().iter().map(|e| e.thread()).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn tick_budget_is_respected() {
+        let mut sys = two_adders();
+        let out = run(&mut sys, &mut RoundRobin, 1).unwrap();
+        assert_eq!(out.ticks, 1);
+        assert!(!out.completed);
+    }
+}

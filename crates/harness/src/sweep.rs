@@ -1,0 +1,143 @@
+//! Multi-seed sweeps with aggregate statistics — the machinery behind the
+//! EXPERIMENTS.md tables. Each cell of a reported table is a mean ± σ
+//! over independently seeded schedulers on identical workloads.
+
+use pushpull_tm::driver::SystemStats;
+
+/// Aggregate of a statistic across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Aggregate {
+    /// Aggregates a sample set. Empty input yields all-zero with `n = 0`.
+    pub fn of(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self { mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, n: 0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { mean, std_dev: var.sqrt(), min, max, n }
+    }
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}±{:.1}", self.mean, self.std_dev)
+    }
+}
+
+/// Aggregated results of one algorithm/workload cell across seeds.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Label of the cell (algorithm/workload).
+    pub label: String,
+    /// Commits per run.
+    pub commits: Aggregate,
+    /// Aborts per run.
+    pub aborts: Aggregate,
+    /// Abort rate per run.
+    pub abort_rate: Aggregate,
+    /// Ticks to completion per run.
+    pub ticks: Aggregate,
+}
+
+impl std::fmt::Display for SweepResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<34} commits={:<12} aborts={:<12} abort-rate={:>6.1}%  ticks={}",
+            self.label,
+            self.commits.to_string(),
+            self.aborts.to_string(),
+            self.abort_rate.mean * 100.0,
+            self.ticks
+        )
+    }
+}
+
+/// Runs `make_and_run` once per seed (it returns the run's stats and
+/// tick count) and aggregates.
+pub fn sweep(
+    label: impl Into<String>,
+    seeds: impl IntoIterator<Item = u64>,
+    mut make_and_run: impl FnMut(u64) -> (SystemStats, usize),
+) -> SweepResult {
+    let mut commits = Vec::new();
+    let mut aborts = Vec::new();
+    let mut rates = Vec::new();
+    let mut ticks = Vec::new();
+    for seed in seeds {
+        let (stats, t) = make_and_run(seed);
+        commits.push(stats.commits as f64);
+        aborts.push(stats.aborts as f64);
+        rates.push(stats.abort_rate());
+        ticks.push(t as f64);
+    }
+    SweepResult {
+        label: label.into(),
+        commits: Aggregate::of(&commits),
+        aborts: Aggregate::of(&aborts),
+        abort_rate: Aggregate::of(&rates),
+        ticks: Aggregate::of(&ticks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{run, RandomSched};
+    use crate::workload::WorkloadSpec;
+    use pushpull_core::lang::Code;
+    use pushpull_spec::counter::{Counter, CtrMethod};
+    use pushpull_tm::optimistic::{OptimisticSystem, ReadPolicy};
+    
+
+    #[test]
+    fn aggregate_math() {
+        let a = Aggregate::of(&[1.0, 2.0, 3.0]);
+        assert!((a.mean - 2.0).abs() < 1e-12);
+        assert!((a.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+        assert_eq!(a.n, 3);
+        let empty = Aggregate::of(&[]);
+        assert_eq!(empty.n, 0);
+        let single = Aggregate::of(&[5.0]);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn sweep_runs_per_seed() {
+        let spec = WorkloadSpec { threads: 2, txns_per_thread: 2, ops_per_txn: 2, ..Default::default() };
+        let result = sweep("counter/optimistic", 1..=5, |seed| {
+            let mut sys =
+                OptimisticSystem::new(Counter::new(), spec.counter_programs(), ReadPolicy::Snapshot);
+            let out = run(&mut sys, &mut RandomSched::new(seed), 1_000_000).unwrap();
+            assert!(out.completed);
+            (sys.stats(), out.ticks)
+        });
+        assert_eq!(result.commits.n, 5);
+        assert!((result.commits.mean - 4.0).abs() < 1e-9, "4 txns always commit");
+        let line = result.to_string();
+        assert!(line.contains("counter/optimistic"));
+        let _ = Code::method(CtrMethod::Get); // silence unused import pathologies
+    }
+}

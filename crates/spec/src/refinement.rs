@@ -1,0 +1,131 @@
+//! The §6.1 opacity-refinement oracle, generically.
+//!
+//! §6.1: "An active transaction T may PULL an operation m′ that is due
+//! to an uncommitted transaction T′ provided that T will never execute a
+//! method m that does not commute with m′." Deciding that requires a
+//! *method-level* commutation judgement — quantifying over every return
+//! value an invocation of `m` could produce. For bounded specifications
+//! this module derives that judgement from the state universe; drivers
+//! and the opacity checker consume it as a closure.
+
+use std::collections::HashSet;
+
+use pushpull_core::op::{Op, OpId, TxnId};
+use pushpull_core::spec::{commute, SeqSpec};
+
+/// All return values `method` can produce anywhere in the specification's
+/// state universe.
+///
+/// Returns `None` for unbounded specifications (no universe to quantify
+/// over).
+pub fn possible_rets<S: SeqSpec>(spec: &S, method: &S::Method) -> Option<Vec<S::Ret>> {
+    let universe = spec.state_universe()?;
+    let mut out: Vec<S::Ret> = Vec::new();
+    let mut seen: HashSet<S::Ret> = HashSet::new();
+    for s in &universe {
+        for r in spec.results(s, method) {
+            if seen.insert(r.clone()) {
+                out.push(r);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Does *every possible invocation* of `method` commute (both mover
+/// directions) with the concrete operation `op`? Conservatively `false`
+/// for unbounded specifications.
+pub fn method_commutes_with_op<S: SeqSpec>(
+    spec: &S,
+    method: &S::Method,
+    op: &Op<S::Method, S::Ret>,
+) -> bool {
+    let Some(rets) = possible_rets(spec, method) else { return false };
+    rets.iter().all(|r| {
+        let candidate = Op::new(OpId(u64::MAX - 1), TxnId(u64::MAX), method.clone(), r.clone());
+        commute(spec, &candidate, op)
+    })
+}
+
+/// Builds the closure shape `check_trace_refined` expects, judging
+/// `(reachable method, pulled op)` pairs via [`method_commutes_with_op`].
+///
+/// The pulled operation is reconstructed from the trace data (`id`,
+/// method) using the provided `ret` lookup — the opacity checker only
+/// carries the pulled op's method, so callers supply the machine's
+/// global log to resolve rets.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_spec::counter::{Counter, CtrMethod};
+/// use pushpull_spec::refinement::method_commutes_with_op;
+/// use pushpull_core::op::{Op, OpId, TxnId};
+/// use pushpull_spec::counter::CtrRet;
+///
+/// let spec = Counter::with_universe(6);
+/// let pulled = Op::new(OpId(0), TxnId(0), CtrMethod::Add(1), CtrRet::Ack);
+/// // Any Add commutes with the pulled Add; a Get never does.
+/// assert!(method_commutes_with_op(&spec, &CtrMethod::Add(3), &pulled));
+/// assert!(!method_commutes_with_op(&spec, &CtrMethod::Get, &pulled));
+/// ```
+#[derive(Debug)]
+pub struct RefinementOracle<'a, S: SeqSpec> {
+    spec: &'a S,
+}
+
+impl<'a, S: SeqSpec> RefinementOracle<'a, S> {
+    /// Wraps a bounded specification.
+    pub fn new(spec: &'a S) -> Self {
+        Self { spec }
+    }
+
+    /// The judgement for one `(reachable method, pulled op)` pair.
+    pub fn judge(&self, method: &S::Method, pulled: &Op<S::Method, S::Ret>) -> bool {
+        method_commutes_with_op(self.spec, method, pulled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{ops as cops, Counter, CtrMethod, CtrRet};
+    use crate::set::{ops as sops, SetMethod, SetSpec};
+
+    #[test]
+    fn possible_rets_enumerates_universe_observations() {
+        let spec = Counter::with_universe(2);
+        let rets = possible_rets(&spec, &CtrMethod::Get).unwrap();
+        assert_eq!(rets.len(), 5); // -2..=2
+        let rets = possible_rets(&spec, &CtrMethod::Add(1)).unwrap();
+        assert_eq!(rets, vec![CtrRet::Ack]);
+    }
+
+    #[test]
+    fn unbounded_specs_are_conservative() {
+        let spec = Counter::new();
+        let pulled = cops::add(0, 0, 1);
+        assert!(!method_commutes_with_op(&spec, &CtrMethod::Add(1), &pulled));
+    }
+
+    #[test]
+    fn set_refinement_by_element() {
+        let spec = SetSpec::bounded(vec![1, 2]);
+        let pulled = sops::add(0, 0, 1, true);
+        // Methods on the other element commute with the pulled add…
+        assert!(method_commutes_with_op(&spec, &SetMethod::Add(2), &pulled));
+        assert!(method_commutes_with_op(&spec, &SetMethod::Contains(2), &pulled));
+        // …same-element methods do not.
+        assert!(!method_commutes_with_op(&spec, &SetMethod::Contains(1), &pulled));
+        assert!(!method_commutes_with_op(&spec, &SetMethod::Add(1), &pulled));
+    }
+
+    #[test]
+    fn oracle_wrapper_delegates() {
+        let spec = Counter::with_universe(4);
+        let oracle = RefinementOracle::new(&spec);
+        let pulled = cops::add(0, 0, 2);
+        assert!(oracle.judge(&CtrMethod::Add(5), &pulled));
+        assert!(!oracle.judge(&CtrMethod::Get, &pulled));
+    }
+}

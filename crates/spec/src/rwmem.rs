@@ -1,0 +1,299 @@
+//! Read/write memory: the sequential specification of classic word-based
+//! STMs (TL2 \[6\], TinySTM \[8\]) and of the simulated HTM of §7.
+//!
+//! Methods are `Read(loc)` and `Write(loc, val)` over integer locations;
+//! the state is a total map from locations to values (default `0`). The
+//! paper's §3 example — `allowed ℓ·⟨a := x, [x↦5], [x↦5, a↦5], id⟩` — is
+//! exactly [`MemMethod::Read`] observing the current binding.
+//!
+//! The mover oracle is *exact* on a per-value basis (more precise than a
+//! read/write-set approximation):
+//!
+//! | `op₁ ◁ op₂`? | distinct locs | same loc |
+//! |---|---|---|
+//! | `Read(v₁)`, `Read(v₂)` | yes | yes |
+//! | `Read(v)`, `Write(w)` | yes | iff `v == w` |
+//! | `Write(w)`, `Read(v)` | yes | iff `v != w` (then vacuous) |
+//! | `Write(w₁)`, `Write(w₂)` | yes | iff `w₁ == w₂` |
+//!
+//! These equivalences are proved by the exhaustive checker in the tests
+//! over a bounded sub-universe.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pushpull_core::op::Op;
+use pushpull_core::spec::SeqSpec;
+
+/// A memory location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(pub u32);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Methods of the read/write memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemMethod {
+    /// Read a location; observes its current value.
+    Read(Loc),
+    /// Write a value to a location; observes an ack.
+    Write(Loc, i64),
+}
+
+impl MemMethod {
+    /// The location this method touches.
+    pub fn loc(&self) -> Loc {
+        match self {
+            MemMethod::Read(l) | MemMethod::Write(l, _) => *l,
+        }
+    }
+
+    /// Is this a read?
+    pub fn is_read(&self) -> bool {
+        matches!(self, MemMethod::Read(_))
+    }
+}
+
+impl fmt::Display for MemMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemMethod::Read(l) => write!(f, "rd({l})"),
+            MemMethod::Write(l, v) => write!(f, "wr({l},{v})"),
+        }
+    }
+}
+
+/// Return values of the read/write memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRet {
+    /// The value observed by a read.
+    Val(i64),
+    /// Acknowledgement of a write.
+    Ack,
+}
+
+/// Memory state: a finite map, with absent locations reading as `0`.
+pub type MemState = BTreeMap<Loc, i64>;
+
+/// Operation records of the read/write memory.
+pub type MemOp = Op<MemMethod, MemRet>;
+
+/// The read/write memory specification.
+///
+/// Unbounded by default (no state universe); [`RwMem::bounded`] produces a
+/// variant with a finite universe so the exhaustive mover checker can
+/// cross-validate the algebraic oracle.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_spec::rwmem::{RwMem, MemMethod, MemRet, Loc};
+/// use pushpull_core::spec::SeqSpec;
+/// use pushpull_core::op::{Op, OpId, TxnId};
+///
+/// let spec = RwMem::new();
+/// let w = Op::new(OpId(0), TxnId(0), MemMethod::Write(Loc(0), 5), MemRet::Ack);
+/// let r = Op::new(OpId(1), TxnId(0), MemMethod::Read(Loc(0)), MemRet::Val(5));
+/// assert!(spec.allowed(&[w, r]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RwMem {
+    bound: Option<(Vec<Loc>, Vec<i64>)>,
+}
+
+impl RwMem {
+    /// An unbounded memory (algebraic movers only).
+    pub fn new() -> Self {
+        Self { bound: None }
+    }
+
+    /// A bounded memory over the given locations and values, providing a
+    /// finite state universe of all total assignments.
+    pub fn bounded(locs: Vec<Loc>, vals: Vec<i64>) -> Self {
+        Self { bound: Some((locs, vals)) }
+    }
+}
+
+impl Default for RwMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqSpec for RwMem {
+    type Method = MemMethod;
+    type Ret = MemRet;
+    type State = MemState;
+
+    fn initial_states(&self) -> Vec<MemState> {
+        vec![MemState::new()]
+    }
+
+    fn post_states(&self, state: &MemState, method: &MemMethod, ret: &MemRet) -> Vec<MemState> {
+        match (method, ret) {
+            (MemMethod::Read(l), MemRet::Val(v)) => {
+                if state.get(l).copied().unwrap_or(0) == *v {
+                    vec![state.clone()]
+                } else {
+                    vec![]
+                }
+            }
+            (MemMethod::Write(l, v), MemRet::Ack) => {
+                if let Some((_, vals)) = &self.bound {
+                    if !vals.contains(v) {
+                        return vec![];
+                    }
+                }
+                let mut s = state.clone();
+                s.insert(*l, *v);
+                vec![s]
+            }
+            _ => vec![],
+        }
+    }
+
+    fn results(&self, state: &MemState, method: &MemMethod) -> Vec<MemRet> {
+        match method {
+            MemMethod::Read(l) => vec![MemRet::Val(state.get(l).copied().unwrap_or(0))],
+            MemMethod::Write(_, _) => vec![MemRet::Ack],
+        }
+    }
+
+    fn state_universe(&self) -> Option<Vec<MemState>> {
+        let (locs, vals) = self.bound.as_ref()?;
+        let mut states = vec![MemState::new()];
+        for l in locs {
+            let mut next = Vec::new();
+            for s in &states {
+                for v in vals {
+                    let mut s2 = s.clone();
+                    s2.insert(*l, *v);
+                    next.push(s2);
+                }
+            }
+            states = next;
+        }
+        Some(states)
+    }
+
+    fn mover(&self, op1: &MemOp, op2: &MemOp) -> bool {
+        let (m1, m2) = (&op1.method, &op2.method);
+        if m1.loc() != m2.loc() {
+            return true;
+        }
+        match (m1, &op1.ret, m2, &op2.ret) {
+            (MemMethod::Read(_), _, MemMethod::Read(_), _) => true,
+            (MemMethod::Read(_), MemRet::Val(v), MemMethod::Write(_, w), _) => v == w,
+            (MemMethod::Write(_, w), _, MemMethod::Read(_), MemRet::Val(v)) => v != w,
+            (MemMethod::Write(_, w1), _, MemMethod::Write(_, w2), _) => w1 == w2,
+            _ => false,
+        }
+    }
+}
+
+/// Convenience constructors for memory operations in tests and examples.
+pub mod ops {
+    use super::*;
+    use pushpull_core::op::{OpId, TxnId};
+
+    /// `read(id, txn, loc, observed)` — a read observing `observed`.
+    pub fn read(id: u64, txn: u64, loc: u32, observed: i64) -> MemOp {
+        Op::new(OpId(id), TxnId(txn), MemMethod::Read(Loc(loc)), MemRet::Val(observed))
+    }
+
+    /// `write(id, txn, loc, val)` — a write of `val`.
+    pub fn write(id: u64, txn: u64, loc: u32, val: i64) -> MemOp {
+        Op::new(OpId(id), TxnId(txn), MemMethod::Write(Loc(loc), val), MemRet::Ack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::{read, write};
+    use super::*;
+    use pushpull_core::spec::mover_exhaustive;
+
+    fn bounded() -> RwMem {
+        RwMem::bounded(vec![Loc(0), Loc(1)], vec![0, 1, 2])
+    }
+
+    #[test]
+    fn read_observes_latest_write() {
+        let spec = RwMem::new();
+        let log = vec![write(0, 0, 0, 1), write(1, 0, 0, 2), read(2, 0, 0, 2)];
+        assert!(spec.allowed(&log));
+        let bad = vec![write(0, 0, 0, 1), read(1, 0, 0, 2)];
+        assert!(!spec.allowed(&bad));
+    }
+
+    #[test]
+    fn unwritten_locations_read_zero() {
+        let spec = RwMem::new();
+        assert!(spec.allowed(&[read(0, 0, 7, 0)]));
+        assert!(!spec.allowed(&[read(0, 0, 7, 1)]));
+    }
+
+    #[test]
+    fn distinct_locations_always_move() {
+        let spec = RwMem::new();
+        assert!(spec.mover(&write(0, 0, 0, 1), &write(1, 1, 1, 2)));
+        assert!(spec.mover(&read(0, 0, 0, 0), &write(1, 1, 1, 2)));
+    }
+
+    #[test]
+    fn same_location_mover_table() {
+        let spec = RwMem::new();
+        // Read/Read: yes.
+        assert!(spec.mover(&read(0, 0, 0, 1), &read(1, 1, 0, 1)));
+        // Read(v) ◁ Write(w): iff v == w.
+        assert!(spec.mover(&read(0, 0, 0, 2), &write(1, 1, 0, 2)));
+        assert!(!spec.mover(&read(0, 0, 0, 1), &write(1, 1, 0, 2)));
+        // Write(w) ◁ Read(v): iff v != w (vacuous).
+        assert!(spec.mover(&write(0, 0, 0, 2), &read(1, 1, 0, 1)));
+        assert!(!spec.mover(&write(0, 0, 0, 2), &read(1, 1, 0, 2)));
+        // Write/Write: iff same value.
+        assert!(spec.mover(&write(0, 0, 0, 2), &write(1, 1, 0, 2)));
+        assert!(!spec.mover(&write(0, 0, 0, 1), &write(1, 1, 0, 2)));
+    }
+
+    #[test]
+    fn algebraic_movers_match_exhaustive_exactly() {
+        let spec = bounded();
+        let universe = spec.state_universe().unwrap();
+        assert_eq!(universe.len(), 9);
+        let mut ops: Vec<MemOp> = Vec::new();
+        let mut id = 0;
+        for loc in [0u32, 1] {
+            for v in [0i64, 1, 2] {
+                ops.push(read(id, 0, loc, v));
+                id += 1;
+                ops.push(write(id, 1, loc, v));
+                id += 1;
+            }
+        }
+        for a in &ops {
+            for b in &ops {
+                let algebraic = spec.mover(a, b);
+                let exhaustive = mover_exhaustive(&spec, &universe, a, b);
+                assert_eq!(
+                    algebraic, exhaustive,
+                    "mover mismatch for {:?} vs {:?}",
+                    a.method, b.method
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let spec = RwMem::new();
+        let mut s = MemState::new();
+        s.insert(Loc(3), 9);
+        assert_eq!(spec.results(&s, &MemMethod::Read(Loc(3))), vec![MemRet::Val(9)]);
+        assert_eq!(spec.results(&s, &MemMethod::Write(Loc(3), 1)), vec![MemRet::Ack]);
+    }
+}

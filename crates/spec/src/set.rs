@@ -1,0 +1,251 @@
+//! A mathematical set — the "shared Set, implemented as a
+//! ConcurrentSkipList" that Figure 2's boosted hashtable stores, and the
+//! canonical example of transactional boosting \[11\]: `add(x)` and
+//! `add(y)` commute whenever `x ≠ y`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pushpull_core::op::Op;
+use pushpull_core::spec::SeqSpec;
+
+/// Set elements.
+pub type Elem = u64;
+
+/// Methods of the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetMethod {
+    /// Insert an element; observes whether it was newly added.
+    Add(Elem),
+    /// Remove an element; observes whether it was present.
+    Remove(Elem),
+    /// Membership test.
+    Contains(Elem),
+}
+
+impl SetMethod {
+    /// The element this method touches.
+    pub fn elem(&self) -> Elem {
+        match self {
+            SetMethod::Add(x) | SetMethod::Remove(x) | SetMethod::Contains(x) => *x,
+        }
+    }
+
+    /// Is this a read-only method?
+    pub fn is_read(&self) -> bool {
+        matches!(self, SetMethod::Contains(_))
+    }
+}
+
+impl fmt::Display for SetMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetMethod::Add(x) => write!(f, "add({x})"),
+            SetMethod::Remove(x) => write!(f, "remove({x})"),
+            SetMethod::Contains(x) => write!(f, "contains({x})"),
+        }
+    }
+}
+
+/// Return values of the set (all boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SetRet(pub bool);
+
+/// Set state.
+pub type SetState = BTreeSet<Elem>;
+
+/// Operation records of the set.
+pub type SetOp = Op<SetMethod, SetRet>;
+
+/// The set specification.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_spec::set::{SetSpec, ops};
+/// use pushpull_core::spec::SeqSpec;
+///
+/// let spec = SetSpec::new();
+/// // Boosting's bread and butter: distinct-element adds commute.
+/// assert!(spec.mover(&ops::add(0, 0, 1, true), &ops::add(1, 1, 2, true)));
+/// // Same element: an add does not move across a contains that saw it.
+/// assert!(!spec.mover(&ops::add(0, 0, 1, true), &ops::contains(1, 1, 1, true)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetSpec {
+    bound: Option<Vec<Elem>>,
+}
+
+impl SetSpec {
+    /// An unbounded set (algebraic movers only).
+    pub fn new() -> Self {
+        Self { bound: None }
+    }
+
+    /// A bounded set over the given elements, with a finite state universe
+    /// (every subset) for exhaustive cross-checks.
+    pub fn bounded(elems: Vec<Elem>) -> Self {
+        Self { bound: Some(elems) }
+    }
+}
+
+impl Default for SetSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqSpec for SetSpec {
+    type Method = SetMethod;
+    type Ret = SetRet;
+    type State = SetState;
+
+    fn initial_states(&self) -> Vec<SetState> {
+        vec![SetState::new()]
+    }
+
+    fn post_states(&self, state: &SetState, method: &SetMethod, ret: &SetRet) -> Vec<SetState> {
+        match method {
+            SetMethod::Add(x) => {
+                let newly = !state.contains(x);
+                if ret.0 != newly {
+                    return vec![];
+                }
+                let mut s = state.clone();
+                s.insert(*x);
+                vec![s]
+            }
+            SetMethod::Remove(x) => {
+                let present = state.contains(x);
+                if ret.0 != present {
+                    return vec![];
+                }
+                let mut s = state.clone();
+                s.remove(x);
+                vec![s]
+            }
+            SetMethod::Contains(x) => {
+                if ret.0 == state.contains(x) {
+                    vec![state.clone()]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+
+    fn results(&self, state: &SetState, method: &SetMethod) -> Vec<SetRet> {
+        match method {
+            SetMethod::Add(x) => vec![SetRet(!state.contains(x))],
+            SetMethod::Remove(x) | SetMethod::Contains(x) => vec![SetRet(state.contains(x))],
+        }
+    }
+
+    fn state_universe(&self) -> Option<Vec<SetState>> {
+        let elems = self.bound.as_ref()?;
+        let mut states = vec![SetState::new()];
+        for x in elems {
+            let mut next = Vec::new();
+            for s in &states {
+                next.push(s.clone());
+                let mut s2 = s.clone();
+                s2.insert(*x);
+                next.push(s2);
+            }
+            states = next;
+        }
+        Some(states)
+    }
+
+    fn mover(&self, op1: &SetOp, op2: &SetOp) -> bool {
+        if op1.method.elem() != op2.method.elem() {
+            return true;
+        }
+        op1.method.is_read() && op2.method.is_read()
+    }
+}
+
+/// Convenience constructors for set operations.
+pub mod ops {
+    use super::*;
+    use pushpull_core::op::{OpId, TxnId};
+
+    /// An `Add(x)` observing `added`.
+    pub fn add(id: u64, txn: u64, x: Elem, added: bool) -> SetOp {
+        Op::new(OpId(id), TxnId(txn), SetMethod::Add(x), SetRet(added))
+    }
+
+    /// A `Remove(x)` observing `present`.
+    pub fn remove(id: u64, txn: u64, x: Elem, present: bool) -> SetOp {
+        Op::new(OpId(id), TxnId(txn), SetMethod::Remove(x), SetRet(present))
+    }
+
+    /// A `Contains(x)` observing `present`.
+    pub fn contains(id: u64, txn: u64, x: Elem, present: bool) -> SetOp {
+        Op::new(OpId(id), TxnId(txn), SetMethod::Contains(x), SetRet(present))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops as o;
+    use super::*;
+    use pushpull_core::spec::mover_exhaustive;
+
+    #[test]
+    fn add_remove_contains_sequence() {
+        let spec = SetSpec::new();
+        let log = vec![
+            o::add(0, 0, 5, true),
+            o::add(1, 0, 5, false),
+            o::contains(2, 0, 5, true),
+            o::remove(3, 0, 5, true),
+            o::contains(4, 0, 5, false),
+        ];
+        assert!(spec.allowed(&log));
+    }
+
+    #[test]
+    fn rets_are_forced_by_state() {
+        let spec = SetSpec::new();
+        assert!(!spec.allowed(&[o::add(0, 0, 5, false)]), "first add must return true");
+        assert!(!spec.allowed(&[o::remove(0, 0, 5, true)]), "remove from empty must return false");
+    }
+
+    #[test]
+    fn distinct_elements_commute() {
+        let spec = SetSpec::new();
+        assert!(spec.mover(&o::add(0, 0, 1, true), &o::remove(1, 1, 2, false)));
+    }
+
+    #[test]
+    fn algebraic_movers_sound_wrt_exhaustive() {
+        let spec = SetSpec::bounded(vec![1, 2]);
+        let universe = spec.state_universe().unwrap();
+        assert_eq!(universe.len(), 4);
+        let mut sample = Vec::new();
+        let mut id = 0;
+        for x in [1u64, 2] {
+            for b in [true, false] {
+                sample.push(o::add(id, 0, x, b));
+                id += 1;
+                sample.push(o::remove(id, 0, x, b));
+                id += 1;
+                sample.push(o::contains(id, 0, x, b));
+                id += 1;
+            }
+        }
+        for a in &sample {
+            for b in &sample {
+                if spec.mover(a, b) {
+                    assert!(
+                        mover_exhaustive(&spec, &universe, a, b),
+                        "unsound mover {:?} vs {:?}",
+                        a.method,
+                        b.method
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Transactional boosting (Herlihy & Koskinen \[11\]) — the pessimistic,
+//! abstract-conflict algorithm of Figure 2 and §6.3.
+//!
+//! Rule pattern (Figure 2's right column):
+//!
+//! * on each operation: acquire the method's abstract lock(s), implicitly
+//!   PULL the committed shared state, then **APP; PUSH** — effects go to
+//!   the shared view immediately ("modifications are made directly to the
+//!   shared state");
+//! * on abort (deadlock or forced): **UNPUSH; UNAPP** in reverse order —
+//!   realized by real implementations as inverse operations;
+//! * on completion: **CMT**, then release the abstract locks.
+//!
+//! The abstract locks make PUSH criterion (ii) hold by construction for
+//! key-local methods (distinct keys ⇒ movers, per the spec's tables).
+//! For methods whose conflicts exclusive locks cannot express (e.g.
+//! lock-free commutative `Add` vs a `Get`), a failing PUSH criterion is
+//! handled as a conflict: the driver waits briefly, then aborts — the
+//! checked machine guarantees nothing unserializable ever slips through.
+
+use pushpull_core::error::MachineError;
+use pushpull_core::machine::Machine;
+use pushpull_core::op::{OpId, ThreadId};
+use pushpull_core::Code;
+use pushpull_ds::locks::{AbstractLockManager, LockOutcome};
+
+use crate::conflict::ConflictKeyed;
+use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::util::{is_conflict, pull_committed_lenient};
+
+/// How many consecutive blocked ticks a thread tolerates before aborting
+/// (breaks push-wait/lock-wait livelocks the waits-for graph cannot see).
+const BLOCK_ABORT_THRESHOLD: u32 = 24;
+
+/// A transactional-boosting system over any [`ConflictKeyed`]
+/// specification.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_tm::boosting::BoostingSystem;
+/// use pushpull_tm::driver::{Tick, TmSystem};
+/// use pushpull_spec::kvmap::{KvMap, MapMethod};
+/// use pushpull_core::lang::Code;
+/// use pushpull_core::op::ThreadId;
+///
+/// // Two single-op transactions on distinct keys run without conflict.
+/// let mut sys = BoostingSystem::new(
+///     KvMap::new(),
+///     vec![
+///         vec![Code::method(MapMethod::Put(1, 10))],
+///         vec![Code::method(MapMethod::Put(2, 20))],
+///     ],
+/// );
+/// while !sys.is_done() {
+///     for t in 0..sys.thread_count() {
+///         sys.tick(ThreadId(t))?;
+///     }
+/// }
+/// assert_eq!(sys.stats().commits, 2);
+/// assert_eq!(sys.stats().aborts, 0);
+/// # Ok::<(), pushpull_core::error::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoostingSystem<S: ConflictKeyed> {
+    machine: Machine<S>,
+    locks: AbstractLockManager<S::LockKey>,
+    blocked_streak: Vec<u32>,
+    stats: SystemStats,
+    /// Thread indices that must abort at their next tick (test hook for
+    /// the Figure 2 abort path).
+    forced_aborts: Vec<ThreadId>,
+}
+
+impl<S: ConflictKeyed> BoostingSystem<S> {
+    /// Creates a system running `programs[i]` (a list of transaction
+    /// bodies) on thread `i`.
+    pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>) -> Self {
+        let mut machine = Machine::new(spec);
+        let n = programs.len();
+        for p in programs {
+            machine.add_thread(p);
+        }
+        Self {
+            machine,
+            locks: AbstractLockManager::new(),
+            blocked_streak: vec![0; n],
+            stats: SystemStats::default(),
+            forced_aborts: Vec::new(),
+        }
+    }
+
+    /// The underlying machine (for oracles, traces, invariant checks).
+    pub fn machine(&self) -> &Machine<S> {
+        &self.machine
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Forces the thread's current transaction to abort at its next tick
+    /// — the Figure 2 "if aborting" path, exercised by tests and the
+    /// examples.
+    pub fn force_abort(&mut self, tid: ThreadId) {
+        self.forced_aborts.push(tid);
+    }
+
+    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        let txn = self.machine.thread(tid)?.txn();
+        // Figure 2's abort path: UNPUSH; UNAPP in reverse order
+        // (rewind_all walks the local log from the tail), then unlock.
+        self.machine.abort_and_retry(tid)?;
+        self.locks.release_all(txn);
+        self.blocked_streak[tid.0] = 0;
+        self.stats.aborts += 1;
+        Ok(Tick::Aborted)
+    }
+
+    fn blocked(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        self.blocked_streak[tid.0] += 1;
+        self.stats.blocked_ticks += 1;
+        if self.blocked_streak[tid.0] >= BLOCK_ABORT_THRESHOLD {
+            return self.abort(tid);
+        }
+        Ok(Tick::Blocked)
+    }
+}
+
+impl<S: ConflictKeyed> TmSystem for BoostingSystem<S> {
+    fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.machine.thread(tid)?.is_done() {
+            return Ok(Tick::Done);
+        }
+        if let Some(pos) = self.forced_aborts.iter().position(|t| *t == tid) {
+            self.forced_aborts.remove(pos);
+            return self.abort(tid);
+        }
+        let txn = self.machine.thread(tid)?.txn();
+        // Commit once no method remains: boosting runs each transaction
+        // to completion in program order.
+        let options = self.machine.step_options(tid)?;
+        if options.is_empty() {
+            let committed = self.machine.commit(tid)?;
+            self.locks.release_all(committed);
+            self.blocked_streak[tid.0] = 0;
+            self.stats.commits += 1;
+            return Ok(Tick::Committed);
+        }
+        let (method, _) = &options[0];
+        // Acquire this method's abstract locks (2PL: held to commit).
+        for key in self.machine.spec().lock_keys(method) {
+            match self.locks.try_lock(txn, key) {
+                LockOutcome::Acquired | LockOutcome::AlreadyHeld => {}
+                LockOutcome::Busy { .. } => return self.blocked(tid),
+                LockOutcome::WouldDeadlock { .. } => return self.abort(tid),
+            }
+        }
+        // Implicit PULL: refresh the committed shared view (the paper's
+        // "the local view is the same as the shared view").
+        pull_committed_lenient(&mut self.machine, tid)?;
+        // APP, then immediately PUSH.
+        let method = method.clone();
+        let op: OpId = match self.machine.app_method(tid, &method) {
+            Ok(op) => op,
+            Err(MachineError::NoAllowedResult(_)) => return self.abort(tid),
+            Err(e) => return Err(e),
+        };
+        match self.machine.push(tid, op) {
+            Ok(()) => {
+                self.blocked_streak[tid.0] = 0;
+                Ok(Tick::Progress)
+            }
+            Err(e) if is_conflict(&e) => {
+                // Criterion (ii)/(iii) conflict the locks could not
+                // express: undo the APP and wait for the conflicting
+                // transaction to commit (abort if it takes too long).
+                self.machine.unapp(tid)?;
+                self.blocked(tid)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.machine.thread_count()
+    }
+
+    fn is_done(&self) -> bool {
+        (0..self.machine.thread_count())
+            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+    }
+
+    fn name(&self) -> &'static str {
+        "boosting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::serializability::check_machine;
+    use pushpull_spec::kvmap::{KvMap, MapMethod};
+    use pushpull_spec::set::{SetMethod, SetSpec};
+
+    fn run_round_robin<S: ConflictKeyed>(sys: &mut BoostingSystem<S>, max_ticks: usize) {
+        let n = sys.thread_count();
+        for i in 0..max_ticks {
+            if sys.is_done() {
+                return;
+            }
+            let _ = sys.tick(ThreadId(i % n)).unwrap();
+        }
+        panic!("system did not terminate within {max_ticks} ticks");
+    }
+
+    #[test]
+    fn disjoint_key_transactions_commit_without_aborts() {
+        let mut sys = BoostingSystem::new(
+            KvMap::new(),
+            vec![
+                vec![Code::seq_all(vec![
+                    Code::method(MapMethod::Put(1, 10)),
+                    Code::method(MapMethod::Get(1)),
+                ])],
+                vec![Code::seq_all(vec![
+                    Code::method(MapMethod::Put(2, 20)),
+                    Code::method(MapMethod::Get(2)),
+                ])],
+            ],
+        );
+        run_round_robin(&mut sys, 1000);
+        assert_eq!(sys.stats().commits, 2);
+        assert_eq!(sys.stats().aborts, 0);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn same_key_transactions_serialize_via_lock() {
+        let mut sys = BoostingSystem::new(
+            KvMap::new(),
+            vec![
+                vec![Code::seq_all(vec![
+                    Code::method(MapMethod::Put(1, 10)),
+                    Code::method(MapMethod::Get(1)),
+                ])],
+                vec![Code::seq_all(vec![
+                    Code::method(MapMethod::Put(1, 20)),
+                    Code::method(MapMethod::Get(1)),
+                ])],
+            ],
+        );
+        run_round_robin(&mut sys, 2000);
+        assert_eq!(sys.stats().commits, 2);
+        let report = check_machine(sys.machine());
+        assert!(report.is_serializable(), "{report}");
+        assert!(sys.stats().blocked_ticks > 0, "second thread must have waited");
+    }
+
+    #[test]
+    fn forced_abort_takes_the_unpush_unapp_path() {
+        let mut sys = BoostingSystem::new(
+            SetSpec::new(),
+            vec![vec![Code::seq_all(vec![
+                Code::method(SetMethod::Add(1)),
+                Code::method(SetMethod::Add(2)),
+            ])]],
+        );
+        // Apply+push the first op.
+        assert_eq!(sys.tick(ThreadId(0)).unwrap(), Tick::Progress);
+        sys.force_abort(ThreadId(0));
+        assert_eq!(sys.tick(ThreadId(0)).unwrap(), Tick::Aborted);
+        let names = sys.machine().trace().rule_names(ThreadId(0));
+        // …, APP, PUSH, UNPUSH, UNAPP, abort, begin
+        assert!(names.windows(2).any(|w| w == ["UNPUSH", "UNAPP"]));
+        // Retry runs to completion.
+        run_round_robin(&mut sys, 1000);
+        assert_eq!(sys.stats().commits, 1);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn deadlock_is_broken_by_abort() {
+        // T0 locks key 1 then wants key 2; T1 locks key 2 then wants key 1.
+        let prog = |a: u64, b: u64| {
+            vec![Code::seq_all(vec![
+                Code::method(MapMethod::Put(a, 1)),
+                Code::method(MapMethod::Put(b, 2)),
+            ])]
+        };
+        let mut sys = BoostingSystem::new(KvMap::new(), vec![prog(1, 2), prog(2, 1)]);
+        run_round_robin(&mut sys, 4000);
+        assert_eq!(sys.stats().commits, 2);
+        assert!(sys.stats().aborts >= 1, "deadlock must have aborted someone");
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn boosted_reads_see_committed_state() {
+        let mut sys = BoostingSystem::new(
+            KvMap::new(),
+            vec![
+                vec![Code::method(MapMethod::Put(7, 42))],
+                vec![Code::method(MapMethod::Get(7))],
+            ],
+        );
+        // Run T0 to commit first.
+        while sys.machine().thread(ThreadId(0)).unwrap().commits() == 0 {
+            sys.tick(ThreadId(0)).unwrap();
+        }
+        run_round_robin(&mut sys, 1000);
+        // T1's get observed Some(42).
+        let committed = sys.machine().committed_txns();
+        let get_txn = committed.iter().find(|t| t.thread == ThreadId(1)).unwrap();
+        assert_eq!(
+            get_txn.ops[0].ret,
+            pushpull_spec::kvmap::MapRet::Val(Some(42)),
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Checkpoints / partial abort (§6.2's extension: "Transactions that use
+//! checkpoints \[19\] … are similar to the above optimistic models, except
+//! that placemarkers are set so that, if an abort is detected, UNAPP only
+//! needs to be performed for some operations").
+//!
+//! On a commit-time conflict this driver does not throw the whole
+//! transaction away: it locates the *first* operation the shared log no
+//! longer admits, rewinds exactly to the placemarker before it
+//! ([`Machine::rewind_to`]), refreshes its view, and re-executes only the
+//! invalidated suffix. Thanks to UNAPP's saved code/stack snapshots, the
+//! machine restores the continuation for free — the paper's point that
+//! the model "permits threads to roll backwards to any execution point".
+
+use pushpull_core::error::MachineError;
+use pushpull_core::machine::Machine;
+use pushpull_core::op::ThreadId;
+use pushpull_core::spec::SeqSpec;
+use pushpull_core::Code;
+
+use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::util::{is_conflict, pull_committed_lenient};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    Running,
+}
+
+/// An optimistic system with checkpoint-based partial aborts.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_tm::checkpoint::CheckpointOptimistic;
+/// use pushpull_tm::driver::TmSystem;
+/// use pushpull_spec::counter::{Counter, CtrMethod};
+/// use pushpull_core::lang::Code;
+/// use pushpull_core::op::ThreadId;
+///
+/// let prog = vec![Code::seq_all(vec![
+///     Code::method(CtrMethod::Add(1)),
+///     Code::method(CtrMethod::Get),
+/// ])];
+/// let mut sys = CheckpointOptimistic::new(Counter::new(), vec![prog]);
+/// while !sys.is_done() {
+///     sys.tick(ThreadId(0))?;
+/// }
+/// assert_eq!(sys.stats().commits, 1);
+/// # Ok::<(), pushpull_core::error::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointOptimistic<S: SeqSpec> {
+    machine: Machine<S>,
+    phase: Vec<Phase>,
+    stats: SystemStats,
+    partial_rewinds: u64,
+    ops_salvaged: u64,
+}
+
+impl<S: SeqSpec> CheckpointOptimistic<S> {
+    /// Creates a system running `programs[i]` on thread `i`.
+    pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>) -> Self {
+        let mut machine = Machine::new(spec);
+        let n = programs.len();
+        for p in programs {
+            machine.add_thread(p);
+        }
+        Self {
+            machine,
+            phase: vec![Phase::Begin; n],
+            stats: SystemStats::default(),
+            partial_rewinds: 0,
+            ops_salvaged: 0,
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine<S> {
+        &self.machine
+    }
+
+    /// Accumulated statistics. `aborts` counts *full* aborts only;
+    /// see [`CheckpointOptimistic::partial_rewinds`].
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Conflicts resolved by rewinding to a checkpoint rather than
+    /// restarting the transaction.
+    pub fn partial_rewinds(&self) -> u64 {
+        self.partial_rewinds
+    }
+
+    /// Operations that survived partial rewinds (work saved vs a full
+    /// abort).
+    pub fn ops_salvaged(&self) -> u64 {
+        self.ops_salvaged
+    }
+
+    /// Validates the thread's own operations against the current shared
+    /// log, returning the index (into the local log) of the first entry
+    /// that is no longer admissible, if any.
+    fn first_invalid(&self, tid: ThreadId) -> Option<usize> {
+        let t = self.machine.thread(tid).ok()?;
+        let spec = self.machine.spec();
+        let mut prefix = self.machine.global().committed_ops();
+        for (idx, e) in t.local().iter().enumerate() {
+            if e.flag.is_pulled() {
+                // Pulled entries either are still in G (fine) or belong
+                // to the prefix already; skip membership bookkeeping —
+                // the machine's CMT criteria re-check them anyway.
+                continue;
+            }
+            if !spec.allows(&prefix, &e.op) {
+                return Some(idx);
+            }
+            prefix.push(e.op.clone());
+        }
+        None
+    }
+}
+
+impl<S: SeqSpec> TmSystem for CheckpointOptimistic<S> {
+    fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.machine.thread(tid)?.is_done() {
+            return Ok(Tick::Done);
+        }
+        if self.phase[tid.0] == Phase::Begin {
+            pull_committed_lenient(&mut self.machine, tid)?;
+            self.phase[tid.0] = Phase::Running;
+            return Ok(Tick::Progress);
+        }
+        let options = self.machine.step_options(tid)?;
+        if !options.is_empty() {
+            let method = options[0].0.clone();
+            return match self.machine.app_method(tid, &method) {
+                Ok(_) => Ok(Tick::Progress),
+                Err(MachineError::NoAllowedResult(_)) | Err(MachineError::Criterion(_)) => {
+                    // Local view wedged: partial-rewind to the first
+                    // invalid entry instead of full abort.
+                    match self.first_invalid(tid) {
+                        Some(idx) => {
+                            let salvaged = idx as u64;
+                            self.machine.rewind_to(tid, idx)?;
+                            pull_committed_lenient(&mut self.machine, tid)?;
+                            self.partial_rewinds += 1;
+                            self.ops_salvaged += salvaged;
+                            Ok(Tick::Progress)
+                        }
+                        None => {
+                            self.machine.abort_and_retry(tid)?;
+                            self.phase[tid.0] = Phase::Begin;
+                            self.stats.aborts += 1;
+                            Ok(Tick::Aborted)
+                        }
+                    }
+                }
+                Err(e) => Err(e),
+            };
+        }
+        // Commit phase.
+        match self.first_invalid(tid) {
+            None => match self.machine.push_all_and_commit(tid) {
+                Ok(_) => {
+                    self.phase[tid.0] = Phase::Begin;
+                    self.stats.commits += 1;
+                    Ok(Tick::Committed)
+                }
+                Err(e) if is_conflict(&e) => {
+                    // Raced between validation and push: fall through to
+                    // a partial rewind on the next tick.
+                    self.stats.blocked_ticks += 1;
+                    Ok(Tick::Blocked)
+                }
+                Err(e) => Err(e),
+            },
+            Some(idx) => {
+                // The §6.2 move: UNAPP only the invalidated suffix.
+                let salvaged = idx as u64;
+                self.machine.rewind_to(tid, idx)?;
+                pull_committed_lenient(&mut self.machine, tid)?;
+                self.partial_rewinds += 1;
+                self.ops_salvaged += salvaged;
+                Ok(Tick::Progress)
+            }
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.machine.thread_count()
+    }
+
+    fn is_done(&self) -> bool {
+        (0..self.machine.thread_count())
+            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+    }
+
+    fn name(&self) -> &'static str {
+        "checkpoint-optimistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::serializability::check_machine;
+    use pushpull_spec::counter::{Counter, CtrMethod};
+    use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
+
+    fn run_round_robin<S: SeqSpec>(sys: &mut CheckpointOptimistic<S>, max_ticks: usize) {
+        let n = sys.thread_count();
+        for i in 0..max_ticks {
+            if sys.is_done() {
+                return;
+            }
+            let _ = sys.tick(ThreadId(i % n)).unwrap();
+        }
+        panic!("system did not terminate within {max_ticks} ticks");
+    }
+
+    #[test]
+    fn clean_runs_commit_without_rewinds() {
+        let mut sys = CheckpointOptimistic::new(
+            RwMem::new(),
+            vec![
+                vec![Code::method(MemMethod::Write(Loc(0), 1))],
+                vec![Code::method(MemMethod::Write(Loc(1), 2))],
+            ],
+        );
+        run_round_robin(&mut sys, 1000);
+        assert_eq!(sys.stats().commits, 2);
+        assert_eq!(sys.partial_rewinds(), 0);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn conflict_in_suffix_is_rewound_partially() {
+        // T1: write(5); write(7); get-of-0 — the first two ops touch
+        // private locations, only the read of loc 0 is invalidated when
+        // T0 commits a write to loc 0 in between.
+        let mut sys = CheckpointOptimistic::new(
+            RwMem::new(),
+            vec![
+                vec![Code::method(MemMethod::Write(Loc(0), 9))],
+                vec![Code::seq_all(vec![
+                    Code::method(MemMethod::Write(Loc(5), 1)),
+                    Code::method(MemMethod::Write(Loc(7), 2)),
+                    Code::method(MemMethod::Read(Loc(0))),
+                ])],
+            ],
+        );
+        let (a, b) = (ThreadId(0), ThreadId(1));
+        // T1 applies everything against the empty snapshot (read -> 0).
+        sys.tick(b).unwrap(); // begin
+        sys.tick(b).unwrap();
+        sys.tick(b).unwrap();
+        sys.tick(b).unwrap(); // read loc0 = 0
+        // T0 commits its write to loc 0.
+        while sys.machine().thread(a).unwrap().commits() == 0 {
+            sys.tick(a).unwrap();
+        }
+        // T1's commit detects the stale read and rewinds ONLY it.
+        let t = sys.tick(b).unwrap();
+        assert_eq!(t, Tick::Progress);
+        assert_eq!(sys.partial_rewinds(), 1);
+        assert_eq!(sys.ops_salvaged(), 2, "the two private writes survive");
+        assert_eq!(sys.stats().aborts, 0);
+        run_round_robin(&mut sys, 1000);
+        assert_eq!(sys.stats().commits, 2);
+        let report = check_machine(sys.machine());
+        assert!(report.is_serializable(), "{report}");
+        // The re-executed read observed 9.
+        let txn = sys
+            .machine()
+            .committed_txns()
+            .iter()
+            .find(|t| t.thread == b)
+            .unwrap();
+        assert_eq!(txn.ops.last().unwrap().ret, pushpull_spec::rwmem::MemRet::Val(9));
+    }
+
+    #[test]
+    fn conflict_at_head_degenerates_to_full_abort_semantics() {
+        // Everything depends on the stale read at position 0: rewind to 0
+        // (equivalent to an abort, but through the checkpoint path).
+        let mut sys = CheckpointOptimistic::new(
+            Counter::new(),
+            vec![
+                vec![Code::method(CtrMethod::Add(1))],
+                vec![Code::seq_all(vec![
+                    Code::method(CtrMethod::Get),
+                    Code::method(CtrMethod::Add(1)),
+                ])],
+            ],
+        );
+        let (a, b) = (ThreadId(0), ThreadId(1));
+        sys.tick(b).unwrap(); // begin
+        sys.tick(b).unwrap(); // get -> 0
+        sys.tick(b).unwrap(); // add
+        while sys.machine().thread(a).unwrap().commits() == 0 {
+            sys.tick(a).unwrap();
+        }
+        run_round_robin(&mut sys, 1000);
+        assert_eq!(sys.stats().commits, 2);
+        assert!(sys.partial_rewinds() >= 1);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn randomized_checkpoint_runs_serializable() {
+        use pushpull_spec::rwmem::RwMem;
+        for seed in 1..=10u64 {
+            let mut state = seed;
+            let prog = |l0: u32, l1: u32| {
+                vec![Code::seq_all(vec![
+                    Code::method(MemMethod::Read(Loc(l0))),
+                    Code::method(MemMethod::Write(Loc(l1), 1)),
+                ])]
+            };
+            let mut sys = CheckpointOptimistic::new(
+                RwMem::new(),
+                vec![prog(0, 1), prog(1, 0), prog(0, 0)],
+            );
+            let mut ticks = 0;
+            while !sys.is_done() {
+                let mut x = state.max(1);
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                state = x;
+                let t = (x % 3) as usize;
+                sys.tick(ThreadId(t)).unwrap();
+                ticks += 1;
+                assert!(ticks < 1_000_000, "seed {seed} diverged");
+            }
+            assert_eq!(sys.stats().commits, 3, "seed {seed}");
+            assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Abstract conflict keys: which abstract locks a method must hold.
+//!
+//! Transactional boosting maps each method to a set of abstract locks
+//! such that any two methods whose lock sets are disjoint commute (the
+//! mover tables in `pushpull-spec` are the proof obligations). The
+//! checked machine independently re-verifies commutativity at every PUSH,
+//! so an imperfect lock discipline degrades into conflict-retry rather
+//! than into a correctness bug — which is also how we handle methods
+//! whose conflict structure exclusive locks cannot express (a commutative
+//! `Counter::Add` takes no lock at all; a `Size` read takes a global
+//! lock and relies on criterion (ii) to fence presence-changing writers).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use pushpull_core::spec::SeqSpec;
+use pushpull_spec::bank::{Bank, BankMethod};
+use pushpull_spec::composite::{Either, Product};
+use pushpull_spec::counter::{Counter, CtrMethod};
+use pushpull_spec::kvmap::{KvMap, MapMethod};
+use pushpull_spec::queue::{QueueMethod, QueueSpec};
+use pushpull_spec::rwmem::{MemMethod, RwMem};
+use pushpull_spec::set::{SetMethod, SetSpec};
+
+/// A specification whose methods carry abstract lock keys.
+pub trait ConflictKeyed: SeqSpec {
+    /// The abstract lock key type.
+    type LockKey: Clone + Eq + Hash + Debug;
+
+    /// The abstract locks to hold before applying `method`. An empty set
+    /// means the method commutes with everything that also takes no lock
+    /// it would conflict with (e.g. commutative counter increments).
+    fn lock_keys(&self, method: &Self::Method) -> Vec<Self::LockKey>;
+}
+
+/// Lock keys of the key-value map: per key, plus a whole-map key for
+/// `Size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapLockKey {
+    /// A single key.
+    Key(u64),
+    /// The whole map (taken by `Size`).
+    Whole,
+}
+
+impl ConflictKeyed for KvMap {
+    type LockKey = MapLockKey;
+
+    fn lock_keys(&self, method: &MapMethod) -> Vec<MapLockKey> {
+        match method.key() {
+            Some(k) => vec![MapLockKey::Key(k)],
+            None => vec![MapLockKey::Whole],
+        }
+    }
+}
+
+impl ConflictKeyed for SetSpec {
+    type LockKey = u64;
+
+    fn lock_keys(&self, method: &SetMethod) -> Vec<u64> {
+        vec![method.elem()]
+    }
+}
+
+/// Lock keys of the counter: increments are lock-free (they commute),
+/// reads take the whole counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterLockKey;
+
+impl ConflictKeyed for Counter {
+    type LockKey = CounterLockKey;
+
+    fn lock_keys(&self, method: &CtrMethod) -> Vec<CounterLockKey> {
+        match method {
+            CtrMethod::Add(_) => vec![],
+            CtrMethod::Get => vec![CounterLockKey],
+        }
+    }
+}
+
+impl ConflictKeyed for Bank {
+    type LockKey = u32;
+
+    fn lock_keys(&self, method: &BankMethod) -> Vec<u32> {
+        vec![method.acct()]
+    }
+}
+
+/// Lock key of the queue: the whole queue (FIFO order is globally
+/// observable, nothing commutes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueLockKey;
+
+impl ConflictKeyed for QueueSpec {
+    type LockKey = QueueLockKey;
+
+    fn lock_keys(&self, _method: &QueueMethod) -> Vec<QueueLockKey> {
+        vec![QueueLockKey]
+    }
+}
+
+impl ConflictKeyed for RwMem {
+    type LockKey = u32;
+
+    fn lock_keys(&self, method: &MemMethod) -> Vec<u32> {
+        vec![method.loc().0]
+    }
+}
+
+impl<A: ConflictKeyed, B: ConflictKeyed> ConflictKeyed for Product<A, B> {
+    type LockKey = Either<A::LockKey, B::LockKey>;
+
+    fn lock_keys(&self, method: &Either<A::Method, B::Method>) -> Vec<Self::LockKey> {
+        match method {
+            Either::L(m) => self.left().lock_keys(m).into_iter().map(Either::L).collect(),
+            Either::R(m) => self.right().lock_keys(m).into_iter().map(Either::R).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_keys_are_per_key_except_size() {
+        let spec = KvMap::new();
+        assert_eq!(spec.lock_keys(&MapMethod::Put(3, 1)), vec![MapLockKey::Key(3)]);
+        assert_eq!(spec.lock_keys(&MapMethod::Size), vec![MapLockKey::Whole]);
+    }
+
+    #[test]
+    fn counter_adds_take_no_lock() {
+        let spec = Counter::new();
+        assert!(spec.lock_keys(&CtrMethod::Add(5)).is_empty());
+        assert_eq!(spec.lock_keys(&CtrMethod::Get), vec![CounterLockKey]);
+    }
+
+    #[test]
+    fn product_lock_keys_delegate() {
+        let spec = Product::new(SetSpec::new(), Counter::new());
+        assert_eq!(
+            spec.lock_keys(&Either::L(SetMethod::Add(7))),
+            vec![Either::L(7)]
+        );
+        assert!(spec.lock_keys(&Either::R(CtrMethod::Add(1))).is_empty());
+    }
+}

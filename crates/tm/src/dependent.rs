@@ -1,0 +1,402 @@
+//! Dependent transactions and early release (Ramadan et al. \[30\],
+//! Herlihy et al. \[14\]) — paper §6.5, the deliberately *non-opaque*
+//! corner of the design space.
+//!
+//! Rule pattern:
+//!
+//! * transactions may **PULL the uncommitted** effects another
+//!   transaction has PUSHed early (early release = "T′ performing a
+//!   PUSH(op) and T checking whether it is able to PULL(op)");
+//! * a transaction that pulled an uncommitted `op` of `T′` becomes
+//!   *dependent* on `T′`: CMT criterion (iii) blocks its commit until
+//!   `T′` commits;
+//! * if `T′` aborts (its operations vanish from the shared log via
+//!   UNPUSH), the dependent transaction must *detangle*: it "must only
+//!   move backwards (via back rules) insofar as to detangle from T′" —
+//!   implemented here as a partial rewind that UNAPPs/UNPULLs from the
+//!   tail just until the vanished operation can be UNPULLed, then rolls
+//!   forward again.
+//!
+//! With `eager_release` enabled, transactions opportunistically PUSH each
+//! operation right after APP (skipping pushes whose criteria fail), which
+//! is what makes their uncommitted effects visible for others to pull.
+
+use std::collections::HashMap;
+
+use pushpull_core::error::MachineError;
+use pushpull_core::log::{GlobalFlag, LocalFlag};
+use pushpull_core::machine::Machine;
+use pushpull_core::op::{OpId, ThreadId, TxnId};
+use pushpull_core::spec::SeqSpec;
+use pushpull_core::Code;
+
+use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::util::is_conflict;
+
+/// Blocked ticks tolerated while waiting on a dependency before giving up
+/// and aborting (breaks cyclic dependencies).
+const DEP_ABORT_THRESHOLD: u32 = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    Running,
+}
+
+/// A dependent-transactions system.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_tm::dependent::DependentSystem;
+/// use pushpull_tm::driver::TmSystem;
+/// use pushpull_spec::counter::{Counter, CtrMethod};
+/// use pushpull_core::lang::Code;
+/// use pushpull_core::op::ThreadId;
+///
+/// let mut sys = DependentSystem::new(
+///     Counter::new(),
+///     vec![
+///         vec![Code::method(CtrMethod::Add(1))],
+///         vec![Code::method(CtrMethod::Get)],
+///     ],
+///     true, // eager release
+/// );
+/// while !sys.is_done() {
+///     for t in 0..sys.thread_count() {
+///         sys.tick(ThreadId(t))?;
+///     }
+/// }
+/// assert_eq!(sys.stats().commits, 2);
+/// # Ok::<(), pushpull_core::error::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DependentSystem<S: SeqSpec> {
+    machine: Machine<S>,
+    phase: Vec<Phase>,
+    /// Per thread: uncommitted operations pulled, with their owner.
+    deps: Vec<HashMap<OpId, TxnId>>,
+    eager_release: bool,
+    blocked_streak: Vec<u32>,
+    stats: SystemStats,
+    partial_detangles: u64,
+    forced_aborts: Vec<ThreadId>,
+}
+
+impl<S: SeqSpec> DependentSystem<S> {
+    /// Creates a system running `programs[i]` on thread `i`. With
+    /// `eager_release`, operations are opportunistically PUSHed right
+    /// after APP so that other transactions can pull them before commit.
+    pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>, eager_release: bool) -> Self {
+        let mut machine = Machine::new(spec);
+        let n = programs.len();
+        for p in programs {
+            machine.add_thread(p);
+        }
+        Self {
+            machine,
+            phase: vec![Phase::Begin; n],
+            deps: vec![HashMap::new(); n],
+            eager_release,
+            blocked_streak: vec![0; n],
+            stats: SystemStats::default(),
+            partial_detangles: 0,
+            forced_aborts: Vec::new(),
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine<S> {
+        &self.machine
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Partial rewinds performed to detangle from aborted dependencies.
+    pub fn partial_detangles(&self) -> u64 {
+        self.partial_detangles
+    }
+
+    /// Current dependencies of a thread (uncommitted pulled operations).
+    pub fn dependencies(&self, tid: ThreadId) -> Vec<(OpId, TxnId)> {
+        self.deps[tid.0].iter().map(|(o, t)| (*o, *t)).collect()
+    }
+
+    /// Forces the thread's current transaction to abort at its next tick
+    /// (used to trigger dependency cascades in tests and examples).
+    pub fn force_abort(&mut self, tid: ThreadId) {
+        self.forced_aborts.push(tid);
+    }
+
+    /// Pulls every pullable global operation (committed or not) not yet
+    /// in the local log, recording dependencies for uncommitted ones.
+    fn pull_everything(&mut self, tid: ThreadId) -> Result<(), MachineError> {
+        let own_txn = self.machine.thread(tid)?.txn();
+        let candidates: Vec<(OpId, TxnId, GlobalFlag)> = {
+            let t = self.machine.thread(tid)?;
+            self.machine
+                .global()
+                .iter()
+                .filter(|e| e.op.txn != own_txn && !t.local().contains_id(e.op.id))
+                .map(|e| (e.op.id, e.op.txn, e.flag))
+                .collect()
+        };
+        for (id, owner, flag) in candidates {
+            match self.machine.pull(tid, id) {
+                Ok(()) => {
+                    if flag == GlobalFlag::Uncommitted {
+                        self.deps[tid.0].insert(id, owner);
+                    }
+                }
+                Err(MachineError::Criterion(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Partially rewinds from the tail until `dep` can be UNPULLed —
+    /// "move backwards only insofar as to detangle".
+    fn detangle(&mut self, tid: ThreadId, dep: OpId) -> Result<(), MachineError> {
+        loop {
+            match self.machine.unpull(tid, dep) {
+                Ok(()) => {
+                    self.partial_detangles += 1;
+                    return Ok(());
+                }
+                Err(MachineError::Criterion(_)) => {
+                    // Something later depends on it: peel one entry off
+                    // the tail and try again.
+                    let last = self
+                        .machine
+                        .thread(tid)?
+                        .local()
+                        .entries()
+                        .last()
+                        .map(|e| (e.op.id, e.flag.clone()));
+                    match last {
+                        None => return Err(MachineError::NoSuchOp(dep)),
+                        Some((id, LocalFlag::Pulled)) if id != dep => {
+                            self.machine.unpull(tid, id)?;
+                            self.deps[tid.0].remove(&id);
+                        }
+                        Some((_, LocalFlag::Pushed { .. })) => {
+                            let id = self.machine.thread(tid)?.local().entries().last().unwrap().op.id;
+                            self.machine.unpush(tid, id)?;
+                            self.machine.unapp(tid)?;
+                        }
+                        Some((_, LocalFlag::NotPushed { .. })) => {
+                            self.machine.unapp(tid)?;
+                        }
+                        Some((_, LocalFlag::Pulled)) => {
+                            // The dep itself is last but still refused:
+                            // impossible (criterion (i) of UNPULL only
+                            // concerns the rest of the log) — bail out.
+                            return Err(MachineError::NoSuchOp(dep));
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        self.machine.abort_and_retry(tid)?;
+        self.deps[tid.0].clear();
+        self.phase[tid.0] = Phase::Begin;
+        self.blocked_streak[tid.0] = 0;
+        self.stats.aborts += 1;
+        Ok(Tick::Aborted)
+    }
+}
+
+impl<S: SeqSpec> TmSystem for DependentSystem<S> {
+    fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.machine.thread(tid)?.is_done() {
+            return Ok(Tick::Done);
+        }
+        if let Some(pos) = self.forced_aborts.iter().position(|t| *t == tid) {
+            self.forced_aborts.remove(pos);
+            return self.abort(tid);
+        }
+        if self.phase[tid.0] == Phase::Begin {
+            self.pull_everything(tid)?;
+            self.phase[tid.0] = Phase::Running;
+            return Ok(Tick::Progress);
+        }
+        let options = self.machine.step_options(tid)?;
+        if !options.is_empty() {
+            self.pull_everything(tid)?;
+            let method = options[0].0.clone();
+            let op = match self.machine.app_method(tid, &method) {
+                Ok(op) => op,
+                Err(MachineError::NoAllowedResult(_)) => return self.abort(tid),
+                Err(e) if is_conflict(&e) => return self.abort(tid),
+                Err(e) => return Err(e),
+            };
+            if self.eager_release {
+                // Early release: publish if the criteria allow it.
+                match self.machine.push(tid, op) {
+                    Ok(()) | Err(MachineError::Criterion(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(Tick::Progress);
+        }
+        // Commit phase: resolve dependencies first.
+        let dep_list: Vec<(OpId, TxnId)> = self.deps[tid.0].iter().map(|(o, t)| (*o, *t)).collect();
+        for (dep, _owner) in dep_list {
+            match self.machine.global().entry(dep).map(|e| e.flag) {
+                Some(GlobalFlag::Committed) => {
+                    self.deps[tid.0].remove(&dep);
+                }
+                Some(GlobalFlag::Uncommitted) => {
+                    // Still live: wait for it (or give up after a while).
+                    self.blocked_streak[tid.0] += 1;
+                    self.stats.blocked_ticks += 1;
+                    if self.blocked_streak[tid.0] >= DEP_ABORT_THRESHOLD {
+                        return self.abort(tid);
+                    }
+                    return Ok(Tick::Blocked);
+                }
+                None => {
+                    // The dependency aborted: cascade — detangle from it.
+                    self.detangle(tid, dep)?;
+                    self.deps[tid.0].remove(&dep);
+                    return Ok(Tick::Progress);
+                }
+            }
+        }
+        match self.machine.push_all_and_commit(tid) {
+            Ok(_) => {
+                self.deps[tid.0].clear();
+                self.phase[tid.0] = Phase::Begin;
+                self.blocked_streak[tid.0] = 0;
+                self.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => self.abort(tid),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.machine.thread_count()
+    }
+
+    fn is_done(&self) -> bool {
+        (0..self.machine.thread_count())
+            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+    }
+
+    fn name(&self) -> &'static str {
+        "dependent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::opacity::{check_trace, OpacityVerdict};
+    use pushpull_core::serializability::check_machine;
+    use pushpull_spec::counter::{Counter, CtrMethod, CtrRet};
+
+    fn run_round_robin<S: SeqSpec>(sys: &mut DependentSystem<S>, max_ticks: usize) {
+        let n = sys.thread_count();
+        for i in 0..max_ticks {
+            if sys.is_done() {
+                return;
+            }
+            let _ = sys.tick(ThreadId(i % n)).unwrap();
+        }
+        panic!("system did not terminate within {max_ticks} ticks");
+    }
+
+    #[test]
+    fn dependency_established_and_commit_gated() {
+        let mut sys = DependentSystem::new(
+            Counter::new(),
+            vec![
+                vec![Code::method(CtrMethod::Add(1))], // T0: releases early
+                vec![Code::method(CtrMethod::Get)],    // T1: reads uncommitted
+            ],
+            true,
+        );
+        // T0 applies and (eagerly) pushes its add — uncommitted.
+        sys.tick(ThreadId(0)).unwrap(); // begin
+        sys.tick(ThreadId(0)).unwrap(); // app + push
+        // T1 pulls it and reads 1 before T0 commits.
+        sys.tick(ThreadId(1)).unwrap(); // begin: pulls uncommitted add
+        assert_eq!(sys.dependencies(ThreadId(1)).len(), 1);
+        sys.tick(ThreadId(1)).unwrap(); // app get -> observes 1
+        // T1 at commit: dependency uncommitted -> Blocked.
+        assert_eq!(sys.tick(ThreadId(1)).unwrap(), Tick::Blocked);
+        // T0 commits; T1 can now commit.
+        while sys.machine().thread(ThreadId(0)).unwrap().commits() == 0 {
+            sys.tick(ThreadId(0)).unwrap();
+        }
+        run_round_robin(&mut sys, 1000);
+        assert_eq!(sys.stats().commits, 2);
+        // The run is NOT opaque (uncommitted pull)…
+        assert!(!check_trace(sys.machine().trace()).is_opaque());
+        // …but it is serializable.
+        let report = check_machine(sys.machine());
+        assert!(report.is_serializable(), "{report}");
+        // And T1 really observed the uncommitted value.
+        let get_txn = sys
+            .machine()
+            .committed_txns()
+            .iter()
+            .find(|t| t.thread == ThreadId(1))
+            .unwrap();
+        assert_eq!(get_txn.ops[0].ret, CtrRet::Val(1));
+    }
+
+    #[test]
+    fn aborted_dependency_cascades() {
+        let mut sys = DependentSystem::new(
+            Counter::new(),
+            vec![
+                vec![Code::method(CtrMethod::Add(1))],
+                vec![Code::method(CtrMethod::Get)],
+            ],
+            true,
+        );
+        sys.tick(ThreadId(0)).unwrap(); // begin
+        sys.tick(ThreadId(0)).unwrap(); // app + push
+        sys.tick(ThreadId(1)).unwrap(); // begin: pull uncommitted
+        sys.tick(ThreadId(1)).unwrap(); // get -> 1
+        // T0 aborts: its add vanishes from G.
+        sys.force_abort(ThreadId(0));
+        sys.tick(ThreadId(0)).unwrap();
+        // T1 must detangle: its get(=1) depends on the vanished add, so
+        // the partial rewind unapplies the get, then unpulls.
+        let t = sys.tick(ThreadId(1)).unwrap();
+        assert_eq!(t, Tick::Progress);
+        assert!(sys.partial_detangles() >= 1);
+        assert!(sys.dependencies(ThreadId(1)).is_empty());
+        // Everyone still finishes, serializably.
+        run_round_robin(&mut sys, 2000);
+        assert_eq!(sys.stats().commits, 2);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn without_eager_release_runs_are_opaque() {
+        let mut sys = DependentSystem::new(
+            Counter::new(),
+            vec![
+                vec![Code::method(CtrMethod::Add(1))],
+                vec![Code::method(CtrMethod::Get)],
+            ],
+            false,
+        );
+        run_round_robin(&mut sys, 2000);
+        assert_eq!(sys.stats().commits, 2);
+        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+    }
+}

@@ -1,0 +1,86 @@
+//! The common interface of transactional-memory systems built on the
+//! PUSH/PULL machine.
+//!
+//! Each algorithm class of §6 is a *system*: a machine plus whatever
+//! implementation state the algorithm keeps (abstract locks, version
+//! clocks, dependency sets, …). A system makes progress in *ticks*: one
+//! tick performs a bounded burst of machine rules on behalf of one
+//! thread. Schedulers — random, round-robin, or the exhaustive model
+//! checker in `pushpull-harness` — decide which thread ticks next, which
+//! is precisely how interleavings arise in the model.
+//!
+//! Systems are `Clone` so the model checker can branch on scheduler
+//! choices; all shared implementation state therefore lives *inside* the
+//! system value (no `Arc` aliasing).
+
+use pushpull_core::error::MachineError;
+use pushpull_core::op::ThreadId;
+
+/// The outcome of one scheduler tick on one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tick {
+    /// Applied at least one rule; more work remains.
+    Progress,
+    /// The thread's current transaction committed.
+    Committed,
+    /// The thread's current transaction aborted (and was re-begun).
+    Aborted,
+    /// The thread cannot make progress right now (e.g. waiting on a lock
+    /// or on a dependency); schedule someone else.
+    Blocked,
+    /// The thread has no transactions left.
+    Done,
+}
+
+/// A transactional-memory system driving a PUSH/PULL machine.
+///
+/// Implementors: [`BoostingSystem`](crate::boosting::BoostingSystem),
+/// [`OptimisticSystem`](crate::optimistic::OptimisticSystem),
+/// [`MatveevShavitSystem`](crate::pessimistic::MatveevShavitSystem),
+/// [`IrrevocableSystem`](crate::irrevocable::IrrevocableSystem),
+/// [`DependentSystem`](crate::dependent::DependentSystem),
+/// [`HtmSystem`](crate::htm::HtmSystem) and
+/// [`MixedSystem`](crate::mixed::MixedSystem).
+pub trait TmSystem {
+    /// Ticks one thread, performing a bounded burst of machine rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] only for *structural* misuse or criterion
+    /// violations the algorithm cannot interpret as a conflict; expected
+    /// conflicts are handled internally (abort/retry/block) and reported
+    /// through [`Tick`].
+    fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError>;
+
+    /// Number of threads in the system.
+    fn thread_count(&self) -> usize;
+
+    /// Have all threads completed all of their transactions?
+    fn is_done(&self) -> bool;
+
+    /// Short human-readable algorithm name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Statistics every system accumulates, for the benchmark tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transaction attempts.
+    pub aborts: u64,
+    /// Blocked ticks (lock or dependency waits).
+    pub blocked_ticks: u64,
+}
+
+impl SystemStats {
+    /// Abort rate: aborts / (commits + aborts), or 0 when idle.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}

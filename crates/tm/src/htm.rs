@@ -1,0 +1,222 @@
+//! A simulated best-effort hardware TM (Intel Haswell-style \[17\],
+//! IBM \[16\]) over read/write memory.
+//!
+//! The model observes an HTM through exactly two behaviours (§7): word
+//! granularity *eager* conflict detection (the first conflicting access
+//! between two live transactions aborts one of them) and lazy publication
+//! (buffered writes become visible at commit). In PUSH/PULL terms: APP
+//! during the run, eager conflicts tracked by
+//! [`HtmConflicts`] (the simulated
+//! cache-coherence machinery), PUSH*;CMT at commit, UNAPP* on abort.
+//!
+//! This is the substitution for real TSX/POWER hardware recorded in
+//! DESIGN.md: conflict granularity, eagerness and the abort signal are
+//! what the model can see, and those are preserved.
+
+use pushpull_core::error::MachineError;
+use pushpull_core::machine::Machine;
+use pushpull_core::op::ThreadId;
+use pushpull_core::Code;
+use pushpull_ds::memory::HtmConflicts;
+use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
+
+use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::util::{is_conflict, pull_committed_lenient};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    Running,
+}
+
+/// A simulated-HTM system over [`RwMem`].
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_tm::htm::HtmSystem;
+/// use pushpull_tm::driver::TmSystem;
+/// use pushpull_spec::rwmem::{MemMethod, Loc};
+/// use pushpull_core::lang::Code;
+/// use pushpull_core::op::ThreadId;
+///
+/// let mut sys = HtmSystem::new(vec![
+///     vec![Code::method(MemMethod::Write(Loc(0), 1))],
+///     vec![Code::method(MemMethod::Write(Loc(1), 2))],
+/// ]);
+/// while !sys.is_done() {
+///     for t in 0..sys.thread_count() {
+///         sys.tick(ThreadId(t))?;
+///     }
+/// }
+/// assert_eq!(sys.stats().commits, 2);
+/// # Ok::<(), pushpull_core::error::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HtmSystem {
+    machine: Machine<RwMem>,
+    tracker: HtmConflicts<Loc>,
+    phase: Vec<Phase>,
+    stats: SystemStats,
+}
+
+impl HtmSystem {
+    /// Creates a system running `programs[i]` on thread `i`.
+    pub fn new(programs: Vec<Vec<Code<MemMethod>>>) -> Self {
+        let mut machine = Machine::new(RwMem::new());
+        let n = programs.len();
+        for p in programs {
+            machine.add_thread(p);
+        }
+        Self {
+            machine,
+            tracker: HtmConflicts::new(),
+            phase: vec![Phase::Begin; n],
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine<RwMem> {
+        &self.machine
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        let txn = self.machine.thread(tid)?.txn();
+        self.machine.abort_and_retry(tid)?;
+        self.tracker.clear(txn);
+        self.phase[tid.0] = Phase::Begin;
+        self.stats.aborts += 1;
+        Ok(Tick::Aborted)
+    }
+}
+
+impl TmSystem for HtmSystem {
+    fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.machine.thread(tid)?.is_done() {
+            return Ok(Tick::Done);
+        }
+        if self.phase[tid.0] == Phase::Begin {
+            pull_committed_lenient(&mut self.machine, tid)?;
+            self.phase[tid.0] = Phase::Running;
+            return Ok(Tick::Progress);
+        }
+        let txn = self.machine.thread(tid)?.txn();
+        let options = self.machine.step_options(tid)?;
+        if options.is_empty() {
+            // Commit: publish the write buffer, then CMT; clear the
+            // access tracker either way.
+            return match self.machine.push_all_and_commit(tid) {
+                Ok(committed) => {
+                    self.tracker.clear(committed);
+                    self.phase[tid.0] = Phase::Begin;
+                    self.stats.commits += 1;
+                    Ok(Tick::Committed)
+                }
+                Err(e) if is_conflict(&e) => self.abort(tid),
+                Err(e) => Err(e),
+            };
+        }
+        let method = options[0].0;
+        // Eager word-granularity conflict detection: the access that
+        // closes a conflict aborts its own transaction (requester-loses,
+        // as on real best-effort HTMs).
+        let access = match method {
+            MemMethod::Read(l) => self.tracker.record_read(txn, l),
+            MemMethod::Write(l, _) => self.tracker.record_write(txn, l),
+        };
+        if access.is_err() {
+            return self.abort(tid);
+        }
+        match self.machine.app_method(tid, &method) {
+            Ok(_) => Ok(Tick::Progress),
+            Err(MachineError::NoAllowedResult(_)) => self.abort(tid),
+            Err(e) if is_conflict(&e) => self.abort(tid),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.machine.thread_count()
+    }
+
+    fn is_done(&self) -> bool {
+        (0..self.machine.thread_count())
+            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+    }
+
+    fn name(&self) -> &'static str {
+        "htm-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::opacity::{check_trace, OpacityVerdict};
+    use pushpull_core::serializability::check_machine;
+
+    fn run_round_robin(sys: &mut HtmSystem, max_ticks: usize) {
+        let n = sys.thread_count();
+        for i in 0..max_ticks {
+            if sys.is_done() {
+                return;
+            }
+            let _ = sys.tick(ThreadId(i % n)).unwrap();
+        }
+        panic!("system did not terminate within {max_ticks} ticks");
+    }
+
+    fn rmw(l: u32, v: i64) -> Vec<Code<MemMethod>> {
+        vec![Code::seq_all(vec![
+            Code::method(MemMethod::Read(Loc(l))),
+            Code::method(MemMethod::Write(Loc(l), v)),
+        ])]
+    }
+
+    #[test]
+    fn disjoint_words_run_in_parallel() {
+        let mut sys = HtmSystem::new(vec![rmw(0, 1), rmw(1, 2)]);
+        run_round_robin(&mut sys, 2000);
+        assert_eq!(sys.stats().commits, 2);
+        assert_eq!(sys.stats().aborts, 0);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn word_conflicts_abort_eagerly() {
+        let mut sys = HtmSystem::new(vec![rmw(0, 1), rmw(0, 2)]);
+        run_round_robin(&mut sys, 4000);
+        assert_eq!(sys.stats().commits, 2);
+        assert!(sys.stats().aborts >= 1, "same-word RMWs must conflict eagerly");
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn htm_runs_are_opaque() {
+        let mut sys = HtmSystem::new(vec![rmw(0, 1), rmw(1, 2), rmw(0, 3)]);
+        run_round_robin(&mut sys, 4000);
+        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+    }
+
+    #[test]
+    fn conflict_aborts_before_any_inconsistent_app() {
+        // The eager tracker fires BEFORE the APP, so the trace contains no
+        // APP whose observation the conflicting write could invalidate.
+        let mut sys = HtmSystem::new(vec![rmw(0, 1), rmw(0, 2)]);
+        // T0 reads loc0.
+        sys.tick(ThreadId(0)).unwrap();
+        sys.tick(ThreadId(0)).unwrap();
+        // T1 tries to read then write loc0: read shares fine…
+        sys.tick(ThreadId(1)).unwrap();
+        sys.tick(ThreadId(1)).unwrap();
+        // …but T1's write to loc0 conflicts with T0's read: abort.
+        let t = sys.tick(ThreadId(1)).unwrap();
+        assert_eq!(t, Tick::Aborted);
+    }
+}

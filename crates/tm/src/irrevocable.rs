@@ -1,0 +1,277 @@
+//! Irrevocable transactions (Welc et al. \[34\]) — the mixed
+//! optimistic/pessimistic model of paper §6.4: "there is at most one
+//! pessimistic ('irrevocable') transaction and many optimistic
+//! transactions. The pessimistic transaction PUSHes its effects
+//! instantaneously after APP."
+//!
+//! The irrevocable thread never rolls back: when its eager PUSH meets a
+//! foreign uncommitted operation (an optimistic transaction mid-commit),
+//! it *waits* — the optimist either commits or, failing validation
+//! against the irrevocable thread's published effects, aborts, clearing
+//! the way. Optimistic threads behave exactly as in
+//! [`crate::optimistic`].
+
+use pushpull_core::error::MachineError;
+use pushpull_core::machine::Machine;
+use pushpull_core::op::ThreadId;
+use pushpull_core::spec::SeqSpec;
+use pushpull_core::Code;
+
+use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::util::{is_conflict, pull_committed_lenient};
+
+/// Per-thread phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    Running,
+}
+
+/// A system with one irrevocable thread among optimistic ones.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_tm::irrevocable::IrrevocableSystem;
+/// use pushpull_tm::driver::TmSystem;
+/// use pushpull_spec::rwmem::{RwMem, MemMethod, Loc};
+/// use pushpull_core::lang::Code;
+/// use pushpull_core::op::ThreadId;
+///
+/// let mut sys = IrrevocableSystem::new(
+///     RwMem::new(),
+///     vec![
+///         vec![Code::method(MemMethod::Write(Loc(0), 1))], // irrevocable
+///         vec![Code::method(MemMethod::Write(Loc(1), 2))], // optimistic
+///     ],
+///     ThreadId(0),
+/// );
+/// while !sys.is_done() {
+///     for t in 0..sys.thread_count() {
+///         sys.tick(ThreadId(t))?;
+///     }
+/// }
+/// assert_eq!(sys.irrevocable_aborts(), 0);
+/// # Ok::<(), pushpull_core::error::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IrrevocableSystem<S: SeqSpec> {
+    machine: Machine<S>,
+    irrevocable: ThreadId,
+    phase: Vec<Phase>,
+    stats: SystemStats,
+    irrevocable_aborts: u64,
+}
+
+impl<S: SeqSpec> IrrevocableSystem<S> {
+    /// Creates a system where thread `irrevocable` runs pessimistically
+    /// (eager PUSH, never aborts) and all others run optimistically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `irrevocable` is out of range for `programs`.
+    pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>, irrevocable: ThreadId) -> Self {
+        assert!(irrevocable.0 < programs.len(), "irrevocable thread out of range");
+        let mut machine = Machine::new(spec);
+        let n = programs.len();
+        for p in programs {
+            machine.add_thread(p);
+        }
+        Self {
+            machine,
+            irrevocable,
+            phase: vec![Phase::Begin; n],
+            stats: SystemStats::default(),
+            irrevocable_aborts: 0,
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine<S> {
+        &self.machine
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Aborts taken by the irrevocable thread — must always be zero; kept
+    /// as an observable so tests state it as an assertion, not an
+    /// assumption.
+    pub fn irrevocable_aborts(&self) -> u64 {
+        self.irrevocable_aborts
+    }
+
+    fn tick_irrevocable(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.phase[tid.0] == Phase::Begin {
+            pull_committed_lenient(&mut self.machine, tid)?;
+            self.phase[tid.0] = Phase::Running;
+            return Ok(Tick::Progress);
+        }
+        let options = self.machine.step_options(tid)?;
+        if options.is_empty() {
+            // Everything is already pushed; CMT cannot fail for the
+            // irrevocable thread.
+            self.machine.commit(tid)?;
+            self.phase[tid.0] = Phase::Begin;
+            self.stats.commits += 1;
+            return Ok(Tick::Committed);
+        }
+        // Refresh committed view, then APP;PUSH eagerly.
+        pull_committed_lenient(&mut self.machine, tid)?;
+        let method = options[0].0.clone();
+        let op = self.machine.app_method(tid, &method)?;
+        match self.machine.push(tid, op) {
+            Ok(()) => Ok(Tick::Progress),
+            Err(e) if is_conflict(&e) => {
+                // An optimistic transaction is mid-commit: wait it out.
+                // (Never abort — undo the APP and retry the same method.)
+                self.machine.unapp(tid)?;
+                self.stats.blocked_ticks += 1;
+                Ok(Tick::Blocked)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn tick_optimistic(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.phase[tid.0] == Phase::Begin {
+            pull_committed_lenient(&mut self.machine, tid)?;
+            self.phase[tid.0] = Phase::Running;
+            return Ok(Tick::Progress);
+        }
+        let options = self.machine.step_options(tid)?;
+        if options.is_empty() {
+            return match self.machine.push_all_and_commit(tid) {
+                Ok(_) => {
+                    self.phase[tid.0] = Phase::Begin;
+                    self.stats.commits += 1;
+                    Ok(Tick::Committed)
+                }
+                Err(e) if is_conflict(&e) => self.abort_optimistic(tid),
+                Err(e) => Err(e),
+            };
+        }
+        let method = options[0].0.clone();
+        match self.machine.app_method(tid, &method) {
+            Ok(_) => Ok(Tick::Progress),
+            Err(MachineError::NoAllowedResult(_)) => self.abort_optimistic(tid),
+            Err(e) if is_conflict(&e) => self.abort_optimistic(tid),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn abort_optimistic(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        self.machine.abort_and_retry(tid)?;
+        self.phase[tid.0] = Phase::Begin;
+        self.stats.aborts += 1;
+        Ok(Tick::Aborted)
+    }
+}
+
+impl<S: SeqSpec> TmSystem for IrrevocableSystem<S> {
+    fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.machine.thread(tid)?.is_done() {
+            return Ok(Tick::Done);
+        }
+        if tid == self.irrevocable {
+            self.tick_irrevocable(tid)
+        } else {
+            self.tick_optimistic(tid)
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.machine.thread_count()
+    }
+
+    fn is_done(&self) -> bool {
+        (0..self.machine.thread_count())
+            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+    }
+
+    fn name(&self) -> &'static str {
+        "irrevocable"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::serializability::check_machine;
+    use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
+
+    fn run_round_robin<S: SeqSpec>(sys: &mut IrrevocableSystem<S>, max_ticks: usize) {
+        let n = sys.thread_count();
+        for i in 0..max_ticks {
+            if sys.is_done() {
+                return;
+            }
+            let _ = sys.tick(ThreadId(i % n)).unwrap();
+        }
+        panic!("system did not terminate within {max_ticks} ticks");
+    }
+
+    fn rw_prog(l: u32, v: i64) -> Vec<Code<MemMethod>> {
+        vec![Code::seq_all(vec![
+            Code::method(MemMethod::Read(Loc(l))),
+            Code::method(MemMethod::Write(Loc(l), v)),
+        ])]
+    }
+
+    #[test]
+    fn irrevocable_never_aborts_under_conflict() {
+        // Irrevocable and two optimists all read-modify-write loc 0.
+        let mut sys = IrrevocableSystem::new(
+            RwMem::new(),
+            vec![rw_prog(0, 1), rw_prog(0, 2), rw_prog(0, 3)],
+            ThreadId(0),
+        );
+        run_round_robin(&mut sys, 8000);
+        assert_eq!(sys.stats().commits, 3);
+        assert_eq!(sys.irrevocable_aborts(), 0);
+        let report = check_machine(sys.machine());
+        assert!(report.is_serializable(), "{report}");
+    }
+
+    #[test]
+    fn irrevocable_pushes_eagerly() {
+        let mut sys = IrrevocableSystem::new(
+            RwMem::new(),
+            vec![rw_prog(0, 1), rw_prog(1, 2)],
+            ThreadId(0),
+        );
+        // Tick irrevocable through begin + first op.
+        sys.tick(ThreadId(0)).unwrap();
+        sys.tick(ThreadId(0)).unwrap();
+        let names = sys.machine().trace().rule_names(ThreadId(0));
+        assert_eq!(names.last(), Some(&"PUSH"), "APP must be followed immediately by PUSH");
+        run_round_robin(&mut sys, 4000);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn optimists_abort_against_irrevocable_effects() {
+        // Force the optimist to observe a stale loc 0, then the
+        // irrevocable thread writes it; the optimist must abort at least
+        // once and still commit eventually.
+        let mut sys = IrrevocableSystem::new(
+            RwMem::new(),
+            vec![rw_prog(0, 1), rw_prog(0, 2)],
+            ThreadId(0),
+        );
+        // Optimist snapshots and reads first.
+        sys.tick(ThreadId(1)).unwrap(); // begin
+        sys.tick(ThreadId(1)).unwrap(); // read loc0 = 0
+        // Irrevocable runs to commit.
+        while sys.machine().thread(ThreadId(0)).unwrap().commits() == 0 {
+            sys.tick(ThreadId(0)).unwrap();
+        }
+        run_round_robin(&mut sys, 4000);
+        assert_eq!(sys.stats().commits, 2);
+        assert!(sys.stats().aborts >= 1);
+        assert_eq!(sys.irrevocable_aborts(), 0);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+}

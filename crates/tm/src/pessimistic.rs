@@ -1,0 +1,231 @@
+//! Pessimistic transactions in the style of Matveev & Shavit \[25\]
+//! (paper §6.3): write operations are *delayed* to the commit phase, and
+//! commit phases are serialized, so "write transactions appear to occur
+//! instantaneously at the commit point: all write operations are PUSHed
+//! just before CMT, with no interleaved transactions. Consequently, read
+//! operations perform PULL only on committed effects."
+//!
+//! The commit-phase serialization is realized with a *commit token*: a
+//! thread entering its commit phase takes the token, performs
+//! PUSH*… CMT in one burst, and releases it. Because writers only ever
+//! publish while holding the token, PUSH criterion (ii) meets no foreign
+//! uncommitted operations — writers never abort. Read-only transactions
+//! validate at commit like everyone else; a reader that raced a writer
+//! re-runs (our multiversion-free approximation of MS-TM's abort-free
+//! readers, recorded in DESIGN.md).
+
+use pushpull_core::error::MachineError;
+use pushpull_core::machine::Machine;
+use pushpull_core::op::ThreadId;
+use pushpull_core::spec::SeqSpec;
+use pushpull_core::Code;
+
+use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::util::{is_conflict, pull_committed_lenient};
+
+/// A Matveev–Shavit-style pessimistic system.
+///
+/// # Examples
+///
+/// ```
+/// use pushpull_tm::pessimistic::MatveevShavitSystem;
+/// use pushpull_tm::driver::TmSystem;
+/// use pushpull_spec::rwmem::{RwMem, MemMethod, Loc};
+/// use pushpull_core::lang::Code;
+/// use pushpull_core::op::ThreadId;
+///
+/// let mut sys = MatveevShavitSystem::new(
+///     RwMem::new(),
+///     vec![
+///         vec![Code::method(MemMethod::Write(Loc(0), 1))],
+///         vec![Code::method(MemMethod::Write(Loc(0), 2))],
+///     ],
+/// );
+/// while !sys.is_done() {
+///     for t in 0..sys.thread_count() {
+///         sys.tick(ThreadId(t))?;
+///     }
+/// }
+/// assert_eq!(sys.stats().commits, 2);
+/// # Ok::<(), pushpull_core::error::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatveevShavitSystem<S: SeqSpec> {
+    machine: Machine<S>,
+    /// Which thread holds the commit token, if any.
+    token: Option<ThreadId>,
+    started: Vec<bool>,
+    stats: SystemStats,
+}
+
+impl<S: SeqSpec> MatveevShavitSystem<S> {
+    /// Creates a system running `programs[i]` on thread `i`.
+    pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>) -> Self {
+        let mut machine = Machine::new(spec);
+        let n = programs.len();
+        for p in programs {
+            machine.add_thread(p);
+        }
+        Self { machine, token: None, started: vec![false; n], stats: SystemStats::default() }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine<S> {
+        &self.machine
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+}
+
+impl<S: SeqSpec> TmSystem for MatveevShavitSystem<S> {
+    fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
+        if self.machine.thread(tid)?.is_done() {
+            if self.token == Some(tid) {
+                self.token = None;
+            }
+            return Ok(Tick::Done);
+        }
+        if !self.started[tid.0] {
+            // Reads PULL committed effects only.
+            pull_committed_lenient(&mut self.machine, tid)?;
+            self.started[tid.0] = true;
+            return Ok(Tick::Progress);
+        }
+        let options = self.machine.step_options(tid)?;
+        if !options.is_empty() {
+            // Apply locally (writes are buffered — delayed to commit).
+            let method = options[0].0.clone();
+            return match self.machine.app_method(tid, &method) {
+                Ok(_) => Ok(Tick::Progress),
+                Err(MachineError::NoAllowedResult(_)) => {
+                    self.machine.abort_and_retry(tid)?;
+                    self.started[tid.0] = false;
+                    self.stats.aborts += 1;
+                    Ok(Tick::Aborted)
+                }
+                Err(e) => Err(e),
+            };
+        }
+        // Commit phase: take the token so the PUSH*;CMT burst is
+        // uninterleaved.
+        match self.token {
+            Some(holder) if holder != tid => {
+                self.stats.blocked_ticks += 1;
+                return Ok(Tick::Blocked);
+            }
+            _ => self.token = Some(tid),
+        }
+        let result = self.machine.push_all_and_commit(tid);
+        self.token = None;
+        match result {
+            Ok(_) => {
+                self.started[tid.0] = false;
+                self.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => {
+                // A reader that raced a writer: re-run on fresh state.
+                self.machine.abort_and_retry(tid)?;
+                self.started[tid.0] = false;
+                self.stats.aborts += 1;
+                Ok(Tick::Aborted)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.machine.thread_count()
+    }
+
+    fn is_done(&self) -> bool {
+        (0..self.machine.thread_count())
+            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+    }
+
+    fn name(&self) -> &'static str {
+        "pessimistic-ms"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::opacity::{check_trace, OpacityVerdict};
+    use pushpull_core::serializability::check_machine;
+    use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
+
+    fn run_round_robin<S: SeqSpec>(sys: &mut MatveevShavitSystem<S>, max_ticks: usize) {
+        let n = sys.thread_count();
+        for i in 0..max_ticks {
+            if sys.is_done() {
+                return;
+            }
+            let _ = sys.tick(ThreadId(i % n)).unwrap();
+        }
+        panic!("system did not terminate within {max_ticks} ticks");
+    }
+
+    #[test]
+    fn write_only_transactions_never_abort() {
+        let progs: Vec<_> = (0..4)
+            .map(|t| {
+                vec![Code::seq_all(vec![
+                    Code::method(MemMethod::Write(Loc(t), 1)),
+                    Code::method(MemMethod::Write(Loc(t + 4), 2)),
+                ])]
+            })
+            .collect();
+        let mut sys = MatveevShavitSystem::new(RwMem::new(), progs);
+        run_round_robin(&mut sys, 4000);
+        assert_eq!(sys.stats().commits, 4);
+        assert_eq!(sys.stats().aborts, 0, "MS writers never abort");
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn even_conflicting_writers_never_abort() {
+        // Blind writes to the SAME location: writes are total, pushes
+        // under the token meet no uncommitted ops — still no aborts.
+        let prog = |v: i64| vec![Code::method(MemMethod::Write(Loc(0), v))];
+        let mut sys = MatveevShavitSystem::new(RwMem::new(), vec![prog(1), prog(2)]);
+        run_round_robin(&mut sys, 2000);
+        assert_eq!(sys.stats().commits, 2);
+        assert_eq!(sys.stats().aborts, 0);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn runs_are_opaque() {
+        let prog = |l: u32| {
+            vec![Code::seq_all(vec![
+                Code::method(MemMethod::Read(Loc(l))),
+                Code::method(MemMethod::Write(Loc(l), 1)),
+            ])]
+        };
+        let mut sys = MatveevShavitSystem::new(RwMem::new(), vec![prog(0), prog(1)]);
+        run_round_robin(&mut sys, 2000);
+        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+
+    #[test]
+    fn racing_reader_rolls_forward() {
+        // Reader reads loc 0; writer writes loc 0. If the reader's
+        // snapshot went stale it re-runs; either way both commit and the
+        // run is serializable.
+        let mut sys = MatveevShavitSystem::new(
+            RwMem::new(),
+            vec![
+                vec![Code::method(MemMethod::Read(Loc(0)))],
+                vec![Code::method(MemMethod::Write(Loc(0), 9))],
+            ],
+        );
+        run_round_robin(&mut sys, 2000);
+        assert_eq!(sys.stats().commits, 2);
+        assert!(check_machine(sys.machine()).is_serializable());
+    }
+}

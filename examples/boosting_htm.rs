@@ -1,0 +1,155 @@
+//! Section 7 / Figure 7: mixed Boosting + HTM interaction.
+//!
+//! The transaction
+//!
+//! ```java
+//! atomic {
+//!   skiplist.insert(foo);
+//!   size++;                  // HTM int
+//!   hashT.map(foo => bar);
+//!   if (*) x++; else y++;    // HTM ints
+//! }
+//! ```
+//!
+//! hits an HTM conflict at `x++`. The PUSH/PULL model shows the
+//! implementation may discard (UNPUSH) only the HTM effects — leaving the
+//! expensive boosted skiplist/hashtable effects in the shared view — then
+//! rewind (UNAPP) past the aborted access and march forward down the
+//! other branch. This example drives the checked machine through exactly
+//! Figure 7's rule sequence and prints it.
+//!
+//! Run with: `cargo run --example boosting_htm`
+
+use pushpull::core::lang::Code;
+use pushpull::core::op::ThreadId;
+use pushpull::core::serializability::check_machine;
+use pushpull::core::Machine;
+use pushpull::spec::counter::CtrMethod;
+use pushpull::spec::kvmap::MapMethod;
+use pushpull::spec::rwmem::{Loc, MemMethod};
+use pushpull::spec::set::SetMethod;
+use pushpull::tm::mixed::{methods, mixed_spec, MixedMethod};
+
+const FOO: u64 = 1;
+const BAR: i64 = 2;
+const X: Loc = Loc(0);
+const Y: Loc = Loc(1);
+
+fn main() {
+    let mut m = Machine::new(mixed_spec());
+
+    // A setup transaction populates the shared structures so the main
+    // transaction has committed skiplist/hashtable effects to PULL —
+    // and it pulls them *non-chronologically* (skiplist ops first, the
+    // hashtable op only when it first touches the hashtable), as §4
+    // describes for transactions over two shared data structures.
+    let setup = m.add_thread(vec![Code::seq_all(vec![
+        Code::method(methods::skiplist(SetMethod::Add(9))),
+        Code::method(methods::hash_table(MapMethod::Put(5, 50))),
+    ])]);
+
+    // The §7 transaction, with the nondeterministic branch `x++ + y++`.
+    let tx = Code::seq_all(vec![
+        Code::method(methods::skiplist(SetMethod::Add(FOO))),
+        Code::method(methods::size(CtrMethod::Add(1))),
+        Code::method(methods::hash_table(MapMethod::Put(FOO, BAR))),
+        Code::choice(
+            Code::method(methods::mem(MemMethod::Write(X, 1))),
+            Code::method(methods::mem(MemMethod::Write(Y, 1))),
+        ),
+    ]);
+    let main_t = m.add_thread(vec![tx]);
+
+    // Run the setup transaction to commit.
+    let a = m.app_auto(setup).unwrap();
+    m.push(setup, a).unwrap();
+    let b = m.app_auto(setup).unwrap();
+    m.push(setup, b).unwrap();
+    m.commit(setup).unwrap();
+    let skiplist_setup_op = a;
+    let hasht_setup_op = b;
+
+    println!("— Transaction begins —");
+    // PULL(all skiplist operations): only the skiplist effect, for now.
+    m.pull(main_t, skiplist_setup_op).unwrap();
+
+    // APP(skiplist.insert(foo)); PUSH(skiplist.insert(foo)).
+    let insert = app(&mut m, main_t, methods::skiplist(SetMethod::Add(FOO)));
+    m.push(main_t, insert).unwrap();
+
+    // APP(size++) — HTM-managed: applied but not yet pushed.
+    let size_inc = app(&mut m, main_t, methods::size(CtrMethod::Add(1)));
+
+    // PULL(all hashT operations) — pulled late, out of chronological order.
+    m.pull(main_t, hasht_setup_op).unwrap();
+
+    // APP(hashT.map(foo=>bar)); PUSH(hashT.map(foo=>bar)).
+    let put = app(&mut m, main_t, methods::hash_table(MapMethod::Put(FOO, BAR)));
+    m.push(main_t, put).unwrap();
+
+    // Take the x++ branch: APP(x++).
+    let x_inc = app(&mut m, main_t, methods::mem(MemMethod::Write(X, 1)));
+
+    println!("— Push HTM ops —");
+    m.push(main_t, size_inc).unwrap();
+    m.push(main_t, x_inc).unwrap();
+
+    println!("— HTM signals abort —");
+    // UNPUSH(x++); UNPUSH(size++): the HTM effects leave the shared view;
+    // the boosted skiplist/hashtable effects STAY.
+    m.unpush(main_t, x_inc).unwrap();
+    m.unpush(main_t, size_inc).unwrap();
+    assert!(m.global().contains_id(insert), "boosted insert must remain pushed");
+    assert!(m.global().contains_id(put), "boosted put must remain pushed");
+
+    // Rewind some code: UNAPP(x++).
+    m.unapp(main_t).unwrap();
+
+    println!("— March forward again —");
+    // APP(y++).
+    let y_inc = app(&mut m, main_t, methods::mem(MemMethod::Write(Y, 1)));
+
+    println!("— Uninterleaved commit —");
+    // PUSH(size++); PUSH(y++); CMT.
+    m.push(main_t, size_inc).unwrap();
+    m.push(main_t, y_inc).unwrap();
+    m.commit(main_t).unwrap();
+
+    println!("\n=== the machine's recorded rule sequence (cf. Figure 7) ===");
+    print!("{}", m.trace().render());
+
+    println!("\n=== main thread decomposition ===");
+    println!("{}", m.trace().rule_names(ThreadId(main_t.0)).join(" -> "));
+
+    let report = check_machine(&m);
+    println!("\nserializability oracle: {report}");
+    assert!(report.is_serializable());
+
+    // Figure 7's exact shape, as a golden assertion.
+    let names = m.trace().rule_names(ThreadId(main_t.0));
+    assert_eq!(
+        names,
+        vec![
+            "BEGIN", "PULL", "APP", "PUSH", // insert
+            "APP",  // size++
+            "PULL", "APP", "PUSH", // hashT.map
+            "APP",  // x++
+            "PUSH", "PUSH", // push HTM ops: size++, x++
+            "UNPUSH", "UNPUSH", // HTM abort
+            "UNAPP", // rewind x++
+            "APP",  // y++
+            "PUSH", "PUSH", // uninterleaved commit: size++, y++
+            "CMT",
+        ]
+    );
+    println!("\nFigure 7 rule sequence reproduced exactly.");
+}
+
+/// APP a specific method, selecting the matching `step(c)` branch.
+fn app(
+    m: &mut Machine<pushpull::tm::mixed::MixedSpec>,
+    tid: ThreadId,
+    method: MixedMethod,
+) -> pushpull::core::OpId {
+    m.app_method(tid, &method).expect("APP")
+}

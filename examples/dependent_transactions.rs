@@ -1,0 +1,99 @@
+//! §6.5: early release and dependent transactions — the non-opaque
+//! corner of the PUSH/PULL design space.
+//!
+//! Transaction B PULLs an effect that transaction A has PUSHed but not
+//! yet committed. B is now *dependent* on A: CMT criterion (iii) blocks
+//! B until A commits, and if A aborts B must detangle (partial rewind +
+//! UNPULL) — both paths are shown below, and both runs remain
+//! serializable even though they are not opaque.
+//!
+//! Run with: `cargo run --example dependent_transactions`
+
+use pushpull::core::lang::Code;
+use pushpull::core::op::ThreadId;
+use pushpull::core::opacity::check_trace;
+use pushpull::core::serializability::check_machine;
+use pushpull::harness::{run, RoundRobin};
+use pushpull::spec::counter::{Counter, CtrMethod};
+use pushpull::tm::dependent::DependentSystem;
+use pushpull::tm::{Tick, TmSystem};
+
+fn build() -> DependentSystem<Counter> {
+    DependentSystem::new(
+        Counter::new(),
+        vec![
+            vec![Code::method(CtrMethod::Add(1))], // A: releases early
+            vec![Code::method(CtrMethod::Get)],    // B: reads uncommitted
+        ],
+        true, // eager release
+    )
+}
+
+fn main() {
+    // ---------------------------------------------------------------
+    // Scenario 1: the dependency commits — B waits, then commits too.
+    // ---------------------------------------------------------------
+    println!("=== scenario 1: dependency commits ===");
+    let mut sys = build();
+    let (a, b) = (ThreadId(0), ThreadId(1));
+
+    sys.tick(a).unwrap(); // A begins
+    sys.tick(a).unwrap(); // A: APP(add) ; PUSH(add)  — early release
+    sys.tick(b).unwrap(); // B begins: PULLs A's UNCOMMITTED add
+    println!("B's dependencies: {:?}", sys.dependencies(b));
+    assert_eq!(sys.dependencies(b).len(), 1);
+
+    sys.tick(b).unwrap(); // B: APP(get) — observes the uncommitted 1!
+    let t = sys.tick(b).unwrap(); // B tries to commit…
+    assert_eq!(t, Tick::Blocked, "CMT criterion (iii) gates on the dependency");
+    println!("B blocked at commit: pulled op still uncommitted (CMT criterion (iii))");
+
+    while sys.machine().thread(a).unwrap().commits() == 0 {
+        sys.tick(a).unwrap(); // A commits
+    }
+    run(&mut sys, &mut RoundRobin, 10_000).unwrap(); // B commits now
+
+    print!("\n{}", sys.machine().trace().render());
+    let report = check_machine(sys.machine());
+    let opacity = check_trace(sys.machine().trace());
+    println!("\nserializability: {report}");
+    println!("opacity: {opacity:?}  (expected: NOT opaque — an uncommitted pull happened)");
+    assert!(report.is_serializable());
+    assert!(!opacity.is_opaque());
+
+    // ---------------------------------------------------------------
+    // Scenario 2: the dependency ABORTS — B detangles (partial rewind).
+    // ---------------------------------------------------------------
+    println!("\n=== scenario 2: dependency aborts, B detangles ===");
+    let mut sys = build();
+
+    sys.tick(a).unwrap(); // A begins
+    sys.tick(a).unwrap(); // A: APP ; PUSH (early release)
+    sys.tick(b).unwrap(); // B begins: pulls uncommitted add
+    sys.tick(b).unwrap(); // B: get -> observes 1
+
+    sys.force_abort(a);
+    sys.tick(a).unwrap(); // A aborts: UNPUSH(add) — it vanishes from G
+    println!("A aborted; its pushed add has vanished from the shared log");
+
+    let t = sys.tick(b).unwrap(); // B detects the vanished dependency
+    assert_eq!(t, Tick::Progress);
+    println!(
+        "B detangled via partial rewind (UNAPP its get, UNPULL the dead op): {} partial detangle(s)",
+        sys.partial_detangles()
+    );
+    assert!(sys.partial_detangles() >= 1);
+    assert!(sys.dependencies(b).is_empty());
+
+    run(&mut sys, &mut RoundRobin, 10_000).unwrap();
+    print!("\n{}", sys.machine().trace().render());
+    let report = check_machine(sys.machine());
+    println!("\nserializability: {report}");
+    assert!(report.is_serializable());
+    assert_eq!(sys.stats().commits, 2);
+
+    // B's committed get must have observed 0 from A's aborted attempt?
+    // No — A retried and committed, so B observed whichever serial state
+    // held when it finally ran; the oracle above already verified it.
+    println!("\nboth scenarios serializable; dependency machinery verified.");
+}

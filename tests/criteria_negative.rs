@@ -1,0 +1,250 @@
+//! Negative tests, one per rule criterion of Figure 5: for each clause,
+//! a machine state and a rule application that violates exactly that
+//! clause, with the error naming the rule and clause the way the paper
+//! does. The criteria are only trustworthy if they actually reject.
+
+use pushpull::core::error::{Clause, MachineError, Rule};
+use pushpull::core::lang::Code;
+use pushpull::core::{Machine, Op, OpId, TxnId};
+use pushpull::spec::counter::{Counter, CtrMethod};
+use pushpull::spec::queue::{QueueMethod, QueueSpec};
+use pushpull::spec::rwmem::{Loc, MemMethod, MemRet, RwMem};
+
+fn assert_violation(err: MachineError, rule: Rule, clause: Clause) {
+    match err {
+        MachineError::Criterion(v) => {
+            assert_eq!(v.rule, rule, "{v}");
+            assert_eq!(v.clause, clause, "{v}");
+            // Display carries the paper's naming.
+            let shown = v.to_string();
+            assert!(shown.contains("criterion"), "{shown}");
+        }
+        other => panic!("expected criterion violation, got {other:?}"),
+    }
+}
+
+/// APP criterion (i): the chosen (method, continuation) must be in
+/// `step(c)` — surfaced as `NoSuchStep` (a structural refusal).
+#[test]
+fn app_requires_step_membership() {
+    let mut m = Machine::new(Counter::new());
+    let t = m.add_thread(vec![Code::method(CtrMethod::Get)]);
+    let err = m
+        .app(t, CtrMethod::Add(1), Code::Skip, pushpull::spec::counter::CtrRet::Ack)
+        .unwrap_err();
+    assert!(matches!(err, MachineError::NoSuchStep(_)));
+}
+
+/// APP criterion (ii): the local log must allow the observation.
+#[test]
+fn app_criterion_ii() {
+    let mut m = Machine::new(Counter::new());
+    let t = m.add_thread(vec![Code::method(CtrMethod::Get)]);
+    // Get observing 5 against the empty local log is not allowed.
+    let (method, cont) = m.step_options(t).unwrap().remove(0);
+    let err = m
+        .app(t, method, cont, pushpull::spec::counter::CtrRet::Val(5))
+        .unwrap_err();
+    assert_violation(err, Rule::App, Clause::Ii);
+}
+
+/// PUSH criterion (i): out-of-order publication demands movers among the
+/// transaction's own unpushed operations.
+#[test]
+fn push_criterion_i() {
+    let mut m = Machine::new(QueueSpec::new());
+    let t = m.add_thread(vec![Code::seq(
+        Code::method(QueueMethod::Enq(1)),
+        Code::method(QueueMethod::Enq(2)),
+    )]);
+    m.app_auto(t).unwrap();
+    let second = m.app_auto(t).unwrap();
+    let err = m.push(t, second).unwrap_err();
+    assert_violation(err, Rule::Push, Clause::I);
+}
+
+/// PUSH criterion (ii): a foreign uncommitted operation that cannot move
+/// right of the pushed one blocks the push.
+#[test]
+fn push_criterion_ii() {
+    let mut m = Machine::new(Counter::new());
+    let a = m.add_thread(vec![Code::method(CtrMethod::Get)]);
+    let b = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let ga = m.app_auto(a).unwrap();
+    m.push(a, ga).unwrap(); // get(=0) uncommitted in G
+    let ib = m.app_auto(b).unwrap();
+    let err = m.push(b, ib).unwrap_err();
+    assert_violation(err, Rule::Push, Clause::Ii);
+}
+
+/// PUSH criterion (iii): the global log must allow the operation.
+#[test]
+fn push_criterion_iii() {
+    let mut m = Machine::new(Counter::new());
+    let a = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let b = m.add_thread(vec![Code::method(CtrMethod::Get)]);
+    // a commits an increment b never pulls.
+    let ia = m.app_auto(a).unwrap();
+    m.push(a, ia).unwrap();
+    m.commit(a).unwrap();
+    // b observes 0 against its (empty) local view — allowed locally…
+    let gb = m.app_auto(b).unwrap();
+    // …but G = [inc] does not allow get(=0).
+    let err = m.push(b, gb).unwrap_err();
+    assert_violation(err, Rule::Push, Clause::Iii);
+}
+
+/// UNPUSH criterion (i) (gray): the recalled op must slide across the
+/// global suffix. A *foreign* non-commuting suffix is unreachable (PUSH
+/// criterion (ii) would have fenced it — checked below), but one's own
+/// in-order pushes are exempt from (ii), so recalling an early own op
+/// under a dependent own suffix trips exactly this clause.
+#[test]
+fn unpush_criterion_i() {
+    let mut m = Machine::new(QueueSpec::new());
+    let t = m.add_thread(vec![Code::seq(
+        Code::method(QueueMethod::Enq(1)),
+        Code::method(QueueMethod::Enq(2)),
+    )]);
+    let first = m.app_auto(t).unwrap();
+    m.push(t, first).unwrap();
+    let second = m.app_auto(t).unwrap();
+    m.push(t, second).unwrap();
+    // enq(1) cannot slide past enq(2): recalling it out of order is
+    // refused; recalling the tail first works.
+    let err = m.unpush(t, first).unwrap_err();
+    assert_violation(err, Rule::UnPush, Clause::I);
+    m.unpush(t, second).unwrap();
+    m.unpush(t, first).unwrap();
+}
+
+/// PULL criterion (i): double pull refused.
+#[test]
+fn pull_criterion_i() {
+    let mut m = Machine::new(Counter::new());
+    let a = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let b = m.add_thread(vec![Code::method(CtrMethod::Get)]);
+    let ia = m.app_auto(a).unwrap();
+    m.push(a, ia).unwrap();
+    m.pull(b, ia).unwrap();
+    let err = m.pull(b, ia).unwrap_err();
+    assert_violation(err, Rule::Pull, Clause::I);
+}
+
+/// PULL criterion (ii): the local log must allow the pulled operation.
+#[test]
+fn pull_criterion_ii() {
+    let mut m = Machine::new(RwMem::new());
+    let a = m.add_thread(vec![Code::method(MemMethod::Write(Loc(0), 1))]);
+    let b = m.add_thread(vec![Code::seq(
+        Code::method(MemMethod::Read(Loc(0))),
+        Code::method(MemMethod::Read(Loc(0))),
+    )]);
+    let wa = m.app_auto(a).unwrap();
+    m.push(a, wa).unwrap();
+    m.commit(a).unwrap();
+    // b (stale) reads 0 twice locally — allowed against its empty view…
+    m.app_auto(b).unwrap();
+    // …then pulling the committed write of 1 contradicts the read of 0
+    // (PULL criterion (iii) fires first in Checked mode for the mover
+    // version; with RelaxedGray the allowedness clause (ii) fires).
+    let err = m.pull(b, wa).unwrap_err();
+    match err {
+        MachineError::Criterion(v) => {
+            assert_eq!(v.rule, Rule::Pull);
+            assert!(v.clause == Clause::Ii || v.clause == Clause::Iii, "{v}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// PULL criterion (iii) (gray): own operations must move right of the
+/// pulled one.
+#[test]
+fn pull_criterion_iii() {
+    let mut m = Machine::new(Counter::new());
+    let a = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let b = m.add_thread(vec![Code::method(CtrMethod::Get)]);
+    let ia = m.app_auto(a).unwrap();
+    m.push(a, ia).unwrap();
+    m.commit(a).unwrap();
+    // b's stale get(=0) is applied before pulling: the pulled add cannot
+    // be seen as preceding it.
+    m.app_auto(b).unwrap();
+    let err = m.pull(b, ia).unwrap_err();
+    assert_violation(err, Rule::Pull, Clause::Iii);
+}
+
+/// UNPULL criterion (i): cannot detangle from an operation the local log
+/// depends on.
+#[test]
+fn unpull_criterion_i() {
+    let mut m = Machine::new(Counter::new());
+    let a = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let b = m.add_thread(vec![Code::method(CtrMethod::Get)]);
+    let ia = m.app_auto(a).unwrap();
+    m.push(a, ia).unwrap();
+    m.pull(b, ia).unwrap();
+    m.app_auto(b).unwrap(); // get -> 1, depends on the pull
+    let err = m.unpull(b, ia).unwrap_err();
+    assert_violation(err, Rule::UnPull, Clause::I);
+}
+
+/// CMT criterion (i): no method-free path to skip.
+#[test]
+fn cmt_criterion_i() {
+    let mut m = Machine::new(Counter::new());
+    let t = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let err = m.commit(t).unwrap_err();
+    assert_violation(err, Rule::Cmt, Clause::I);
+}
+
+/// CMT criterion (ii): unpushed operations block commit.
+#[test]
+fn cmt_criterion_ii() {
+    let mut m = Machine::new(Counter::new());
+    let t = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    m.app_auto(t).unwrap();
+    let err = m.commit(t).unwrap_err();
+    assert_violation(err, Rule::Cmt, Clause::Ii);
+}
+
+/// CMT criterion (iii): a pulled-but-uncommitted dependency blocks commit.
+/// (The dependent transaction here performs no operation of its own —
+/// any conflicting own operation could not even be PUSHed while the
+/// dependency is uncommitted, PUSH criterion (ii) fences that.)
+#[test]
+fn cmt_criterion_iii() {
+    let mut m = Machine::new(Counter::new());
+    let a = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let b = m.add_thread(vec![Code::Skip]);
+    let ia = m.app_auto(a).unwrap();
+    m.push(a, ia).unwrap();
+    m.pull(b, ia).unwrap();
+    let err = m.commit(b).unwrap_err();
+    assert_violation(err, Rule::Cmt, Clause::Iii);
+    // Once the dependency commits, b's commit goes through.
+    m.commit(a).unwrap();
+    m.commit(b).unwrap();
+}
+
+/// Structural refusals carry their own error variants (not criteria):
+/// wrong flags, unknown ops, unknown threads.
+#[test]
+fn structural_refusals() {
+    use pushpull::core::op::ThreadId;
+    let mut m = Machine::new(Counter::new());
+    let t = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    assert!(matches!(m.push(t, OpId(99)), Err(MachineError::NoSuchOp(_))));
+    assert!(matches!(m.unapp(t), Err(MachineError::NothingToUnapply(_))));
+    assert!(matches!(
+        m.app_auto(ThreadId(7)),
+        Err(MachineError::NoSuchThread(_))
+    ));
+    let op = m.app_auto(t).unwrap();
+    assert!(matches!(m.unpush(t, op), Err(MachineError::WrongFlag { .. })));
+    // Pulling one's own op is refused.
+    m.push(t, op).unwrap();
+    assert!(matches!(m.pull(t, op), Err(MachineError::WrongFlag { .. })));
+    let _ = Op::new(OpId(0), TxnId(0), MemMethod::Read(Loc(0)), MemRet::Val(0));
+}

@@ -1,0 +1,157 @@
+//! E7 / §6.5: dependent transactions — dependency establishment, commit
+//! gating, cascading aborts with partial detangling, and serializability
+//! throughout.
+
+use pushpull::core::lang::Code;
+use pushpull::core::op::ThreadId;
+use pushpull::core::serializability::check_machine;
+use pushpull::harness::{run, RandomSched, RoundRobin};
+use pushpull::spec::counter::{Counter, CtrMethod, CtrRet};
+use pushpull::tm::dependent::DependentSystem;
+use pushpull::tm::{Tick, TmSystem};
+
+fn a_b_system(eager: bool) -> DependentSystem<Counter> {
+    DependentSystem::new(
+        Counter::new(),
+        vec![
+            vec![Code::method(CtrMethod::Add(1))],
+            vec![Code::method(CtrMethod::Get)],
+        ],
+        eager,
+    )
+}
+
+/// The §6.5 protocol: "A dependent transaction T will PULL the effects of
+/// another transaction T′. This comes with the stipulation that T does
+/// not commit until T′ has committed."
+#[test]
+fn commit_gated_on_dependency() {
+    let mut sys = a_b_system(true);
+    let (a, b) = (ThreadId(0), ThreadId(1));
+    sys.tick(a).unwrap(); // begin
+    sys.tick(a).unwrap(); // APP + early PUSH
+    sys.tick(b).unwrap(); // begin: pulls the uncommitted add
+    assert_eq!(sys.dependencies(b).len(), 1);
+    sys.tick(b).unwrap(); // get observes the uncommitted 1
+    // B cannot commit while A is uncommitted.
+    for _ in 0..3 {
+        assert_eq!(sys.tick(b).unwrap(), Tick::Blocked);
+    }
+    // A commits; B follows.
+    while sys.machine().thread(a).unwrap().commits() == 0 {
+        sys.tick(a).unwrap();
+    }
+    run(&mut sys, &mut RoundRobin, 10_000).unwrap();
+    assert_eq!(sys.stats().commits, 2);
+    let report = check_machine(sys.machine());
+    assert!(report.is_serializable(), "{report}");
+    // Commit order must put A before B.
+    let order: Vec<ThreadId> = sys.machine().committed_txns().iter().map(|t| t.thread).collect();
+    assert_eq!(order, vec![a, b]);
+    // And B really read the dependent value.
+    assert_eq!(sys.machine().committed_txns()[1].ops[0].ret, CtrRet::Val(1));
+}
+
+/// "If T′ aborts, then T must abort. However, note that T must only move
+/// backwards insofar as to detangle from T′."
+#[test]
+fn cascade_is_a_partial_rewind() {
+    let mut sys = a_b_system(true);
+    let (a, b) = (ThreadId(0), ThreadId(1));
+    sys.tick(a).unwrap();
+    sys.tick(a).unwrap();
+    sys.tick(b).unwrap();
+    sys.tick(b).unwrap(); // B: pulled + get applied
+    let apps_before = sys.machine().trace().rule_names(b).iter().filter(|n| **n == "APP").count();
+    sys.force_abort(a);
+    sys.tick(a).unwrap();
+    // B detangles: exactly one UNAPP (the get) + one UNPULL — not a full
+    // transaction abort (no ABORT event for this txn of B).
+    sys.tick(b).unwrap();
+    let names = sys.machine().trace().rule_names(b);
+    let unapps = names.iter().filter(|n| **n == "UNAPP").count();
+    let unpulls = names.iter().filter(|n| **n == "UNPULL").count();
+    let aborts = names.iter().filter(|n| **n == "ABORT").count();
+    assert_eq!(unapps, 1, "{names:?}");
+    assert_eq!(unpulls, 1, "{names:?}");
+    assert_eq!(aborts, 0, "detangling must not be a full abort: {names:?}");
+    assert!(apps_before >= 1);
+    // Both eventually commit (A retries), serializably.
+    run(&mut sys, &mut RoundRobin, 10_000).unwrap();
+    assert_eq!(sys.stats().commits, 2);
+    assert!(check_machine(sys.machine()).is_serializable());
+}
+
+/// Chained dependencies: C depends on B depends on A; commits happen in
+/// dependency order.
+#[test]
+fn dependency_chains_commit_in_order() {
+    let mut sys = DependentSystem::new(
+        Counter::new(),
+        vec![
+            vec![Code::method(CtrMethod::Add(1))],
+            vec![Code::seq_all(vec![
+                Code::method(CtrMethod::Get),
+                Code::method(CtrMethod::Add(1)),
+            ])],
+            vec![Code::method(CtrMethod::Get)],
+        ],
+        true,
+    );
+    let (a, b, c) = (ThreadId(0), ThreadId(1), ThreadId(2));
+    sys.tick(a).unwrap();
+    sys.tick(a).unwrap(); // A pushes add (uncommitted)
+    sys.tick(b).unwrap(); // B pulls A's add
+    sys.tick(b).unwrap(); // B: get -> 1
+    sys.tick(b).unwrap(); // B: add(1), early-pushed? (eager) — may or may not push
+    sys.tick(c).unwrap(); // C pulls whatever is pushed
+    run(&mut sys, &mut RandomSched::new(11), 200_000).unwrap();
+    assert_eq!(sys.stats().commits, 3);
+    let report = check_machine(sys.machine());
+    assert!(report.is_serializable(), "{report}");
+}
+
+/// Many random interleavings of dependent transactions stay serializable
+/// (uncommitted reads notwithstanding).
+#[test]
+fn randomized_dependent_sweep() {
+    for seed in 1..=20u64 {
+        let mut sys = DependentSystem::new(
+            Counter::new(),
+            vec![
+                vec![Code::method(CtrMethod::Add(1))],
+                vec![Code::method(CtrMethod::Add(2))],
+                vec![Code::method(CtrMethod::Get)],
+            ],
+            true,
+        );
+        run(&mut sys, &mut RandomSched::new(seed), 400_000).unwrap();
+        assert!(sys.is_done(), "seed {seed}");
+        assert_eq!(sys.stats().commits, 3, "seed {seed}");
+        let report = check_machine(sys.machine());
+        assert!(report.is_serializable(), "seed {seed}: {report}");
+    }
+}
+
+/// Breaking a dependency with UNPULL (§4's UNPULL application) when the
+/// transaction never used the pulled value.
+#[test]
+fn unpull_breaks_unused_dependencies() {
+    use pushpull::core::Machine;
+    let mut m = Machine::new(Counter::new());
+    let a = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
+    let b = m.add_thread(vec![Code::method(CtrMethod::Add(5))]);
+    let ia = m.app_auto(a).unwrap();
+    m.push(a, ia).unwrap();
+    m.pull(b, ia).unwrap();
+    // B applies its own add — which commutes, so it does NOT depend on
+    // the pulled op; UNPULL succeeds without any rewind.
+    m.app_auto(b).unwrap();
+    m.unpull(b, ia).unwrap();
+    // B can now push+commit without waiting for A…
+    // …except PUSH criterion (ii) — adds commute, so no conflict.
+    m.push_all_and_commit(b).unwrap();
+    // A commits later.
+    m.commit(a).unwrap();
+    assert!(check_machine(&m).is_serializable());
+}

@@ -1,0 +1,193 @@
+//! E8: property-based tests of the §3–§5 algebra — the mover relation
+//! (Definition 4.1), the log precongruence (Definition 3.1), and the
+//! executable lemmas 5.1–5.3 — over randomly generated logs of every
+//! shipped specification.
+
+use proptest::prelude::*;
+
+use pushpull::core::op::{Op, OpId, TxnId};
+use pushpull::core::precongruence::{
+    lemma_5_1_holds, lemma_5_2_holds, lemma_5_3_holds, precongruent_bounded,
+    precongruent_by_states,
+};
+use pushpull::core::spec::{mover_exhaustive, SeqSpec};
+use pushpull::spec::bank::{Bank, BankMethod, BankRet};
+use pushpull::spec::kvmap::{KvMap, MapMethod, MapRet};
+use pushpull::spec::rwmem::{Loc, MemMethod, MemRet, RwMem};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn mem_op(id: u64) -> impl Strategy<Value = Op<MemMethod, MemRet>> {
+    (0u32..3, 0i64..3, prop::bool::ANY).prop_map(move |(loc, val, is_read)| {
+        if is_read {
+            Op::new(OpId(id), TxnId(0), MemMethod::Read(Loc(loc)), MemRet::Val(val))
+        } else {
+            Op::new(OpId(id), TxnId(0), MemMethod::Write(Loc(loc), val), MemRet::Ack)
+        }
+    })
+}
+
+fn mem_log(len: usize) -> impl Strategy<Value = Vec<Op<MemMethod, MemRet>>> {
+    prop::collection::vec((0u32..3, 0i64..3, prop::bool::ANY), 0..len).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (loc, val, is_read))| {
+                if is_read {
+                    Op::new(OpId(i as u64), TxnId(0), MemMethod::Read(Loc(loc)), MemRet::Val(val))
+                } else {
+                    Op::new(OpId(i as u64), TxnId(0), MemMethod::Write(Loc(loc), val), MemRet::Ack)
+                }
+            })
+            .collect()
+    })
+}
+
+fn map_op(id: u64) -> impl Strategy<Value = Op<MapMethod, MapRet>> {
+    (0u64..3, 0i64..2, 0u8..4, prop::option::of(0i64..2)).prop_map(move |(k, v, kind, prev)| {
+        let (m, r) = match kind {
+            0 => (MapMethod::Put(k, v), MapRet::Prev(prev)),
+            1 => (MapMethod::Remove(k), MapRet::Prev(prev)),
+            2 => (MapMethod::Get(k), MapRet::Val(prev)),
+            _ => (MapMethod::ContainsKey(k), MapRet::Bool(prev.is_some())),
+        };
+        Op::new(OpId(id), TxnId(0), m, r)
+    })
+}
+
+fn bank_op(id: u64) -> impl Strategy<Value = Op<BankMethod, BankRet>> {
+    (0u32..2, 0i64..4, 0u8..3, prop::bool::ANY).prop_map(move |(a, n, kind, ok)| {
+        let (m, r) = match kind {
+            0 => (BankMethod::Deposit(a, n), BankRet::Ack),
+            1 => (BankMethod::Withdraw(a, n), BankRet::Ok(ok)),
+            _ => (BankMethod::Balance(a), BankRet::Amount(n)),
+        };
+        Op::new(OpId(id), TxnId(0), m, r)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Soundness of the algebraic mover oracles (Definition 4.1)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// RwMem's algebraic movers agree exactly with the exhaustive check.
+    #[test]
+    fn rwmem_movers_exact(a in mem_op(100), b in mem_op(101)) {
+        let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+        let uni = spec.state_universe().unwrap();
+        prop_assert_eq!(spec.mover(&a, &b), mover_exhaustive(&spec, &uni, &a, &b));
+    }
+
+    /// KvMap's algebraic movers are SOUND w.r.t. the exhaustive check.
+    #[test]
+    fn kvmap_movers_sound(a in map_op(100), b in map_op(101)) {
+        let spec = KvMap::bounded(vec![0, 1, 2], vec![0, 1]);
+        let uni = spec.state_universe().unwrap();
+        if spec.mover(&a, &b) {
+            prop_assert!(mover_exhaustive(&spec, &uni, &a, &b));
+        }
+    }
+
+    /// Bank's algebraic movers are SOUND w.r.t. the exhaustive check.
+    #[test]
+    fn bank_movers_sound(a in bank_op(100), b in bank_op(101)) {
+        let spec = Bank::bounded(vec![0, 1], 5);
+        let uni = spec.state_universe().unwrap();
+        if spec.mover(&a, &b) {
+            prop_assert!(mover_exhaustive(&spec, &uni, &a, &b));
+        }
+    }
+
+    /// Mover + allowedness ⇒ swapped log precongruent (the ≼/◁ mnemonic
+    /// of §5.1): if a ◁ b and ℓ·a·b is allowed then ℓ·a·b ≼ ℓ·b·a.
+    #[test]
+    fn mover_implies_swap_precongruence(
+        l in mem_log(4), a in mem_op(100), b in mem_op(101)
+    ) {
+        let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+        if spec.mover(&a, &b) {
+            let mut fwd = l.clone();
+            fwd.push(a.clone());
+            fwd.push(b.clone());
+            let mut back = l.clone();
+            back.push(b);
+            back.push(a);
+            prop_assert!(precongruent_by_states(&spec, &fwd, &back));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Precongruence laws (Definition 3.1, Lemmas 5.1–5.3)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ≼ is reflexive.
+    #[test]
+    fn precongruence_reflexive(l in mem_log(5)) {
+        let spec = RwMem::new();
+        prop_assert!(precongruent_by_states(&spec, &l, &l));
+    }
+
+    /// Lemma 5.2 (transitivity), via the state witness.
+    #[test]
+    fn lemma_5_2(a in mem_log(4), b in mem_log(4), c in mem_log(4)) {
+        let spec = RwMem::new();
+        if let Some(conclusion) = lemma_5_2_holds(&spec, &a, &b, &c) {
+            prop_assert!(conclusion);
+        }
+    }
+
+    /// Lemma 5.3 (precongruence over append).
+    #[test]
+    fn lemma_5_3(a in mem_log(4), b in mem_log(4), c in mem_log(3)) {
+        let spec = RwMem::new();
+        if let Some(conclusion) = lemma_5_3_holds(&spec, &a, &b, &c) {
+            prop_assert!(conclusion);
+        }
+    }
+
+    /// Lemma 5.1: ℓ₂ ◁ op ∧ allowed(ℓ₁·ℓ₂·op) ⇒ allowed(ℓ₁·op).
+    #[test]
+    fn lemma_5_1(l1 in mem_log(3), l2 in mem_log(3), op in mem_op(100)) {
+        let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+        if let Some(conclusion) = lemma_5_1_holds(&spec, &l1, &l2, &op) {
+            prop_assert!(conclusion);
+        }
+    }
+
+    /// The state-inclusion witness is sound for the bounded observational
+    /// unfolding: whenever states say ≼, no bounded counterexample exists.
+    #[test]
+    fn state_witness_sound_for_bounded(l1 in mem_log(3), l2 in mem_log(3)) {
+        let spec = RwMem::bounded(vec![Loc(0), Loc(1)], vec![0, 1]);
+        let universe: Vec<Op<MemMethod, MemRet>> = vec![
+            Op::new(OpId(900), TxnId(9), MemMethod::Read(Loc(0)), MemRet::Val(0)),
+            Op::new(OpId(901), TxnId(9), MemMethod::Read(Loc(0)), MemRet::Val(1)),
+            Op::new(OpId(902), TxnId(9), MemMethod::Read(Loc(1)), MemRet::Val(0)),
+            Op::new(OpId(903), TxnId(9), MemMethod::Read(Loc(1)), MemRet::Val(1)),
+            Op::new(OpId(904), TxnId(9), MemMethod::Write(Loc(0), 1), MemRet::Ack),
+        ];
+        if precongruent_by_states(&spec, &l1, &l2) {
+            prop_assert!(precongruent_bounded(&spec, &l1, &l2, &universe, 2));
+        }
+    }
+
+    /// Prefix closure of `allowed` (Parameter 3.1's requirement).
+    #[test]
+    fn allowed_prefix_closed(l in mem_log(6)) {
+        let spec = RwMem::new();
+        if spec.allowed(&l) {
+            for k in 0..l.len() {
+                prop_assert!(spec.allowed(&l[..k]));
+            }
+        }
+    }
+}

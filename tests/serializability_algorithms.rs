@@ -1,0 +1,159 @@
+//! E4–E6: per-algorithm serializability, §6.2 (optimistic), §6.3
+//! (pessimistic + boosting), §6.4 (irrevocable) — exhaustively on small
+//! configurations, and under many random interleavings on larger ones.
+
+use pushpull::core::lang::Code;
+use pushpull::core::op::ThreadId;
+use pushpull::core::serializability::{check_machine, find_any_serialization};
+use pushpull::harness::{explore, run, ExploreLimits, RandomSched, WorkloadSpec};
+use pushpull::spec::counter::{Counter, CtrMethod};
+use pushpull::spec::kvmap::KvMap;
+use pushpull::spec::rwmem::{Loc, MemMethod, RwMem};
+use pushpull::tm::optimistic::{OptimisticSystem, ReadPolicy};
+use pushpull::tm::pessimistic::MatveevShavitSystem;
+use pushpull::tm::{BoostingSystem, HtmSystem, IrrevocableSystem, TmSystem};
+
+fn rmw(l: u32, v: i64) -> Vec<Code<MemMethod>> {
+    vec![Code::seq_all(vec![
+        Code::method(MemMethod::Read(Loc(l))),
+        Code::method(MemMethod::Write(Loc(l), v)),
+    ])]
+}
+
+/// E4: every interleaving of two optimistic RMW transactions on the same
+/// location is serializable — the lost-update anomaly is impossible.
+#[test]
+fn optimistic_no_lost_updates_exhaustive() {
+    let sys = OptimisticSystem::new(
+        RwMem::new(),
+        vec![rmw(0, 1), rmw(0, 2)],
+        ReadPolicy::Snapshot,
+    );
+    let report = explore(&sys, ExploreLimits { max_depth: 48, max_terminals: 4_000 }, &mut |s| {
+        check_machine(s.machine()).is_serializable()
+    })
+    .unwrap();
+    assert!(report.terminals > 1);
+    assert!(report.all_ok(), "{report:?}");
+}
+
+/// E4: abort path is UNAPP-only (§6.2: "needn't UNPUSH").
+#[test]
+fn optimistic_abort_path_never_unpushes() {
+    let mut sys = OptimisticSystem::new(
+        Counter::new(),
+        vec![
+            vec![Code::method(CtrMethod::Add(1))],
+            vec![Code::method(CtrMethod::Get)],
+        ],
+        ReadPolicy::Snapshot,
+    );
+    // Run with a seed and check the global property on the trace.
+    run(&mut sys, &mut RandomSched::new(3), 100_000).unwrap();
+    assert_eq!(sys.machine().trace().count_rule("UNPUSH"), 0);
+    assert!(check_machine(sys.machine()).is_serializable());
+}
+
+/// E5: Matveev–Shavit writers never abort, even with full write-write
+/// contention, across random interleavings.
+#[test]
+fn pessimistic_writers_never_abort() {
+    for seed in 1..=15u64 {
+        let prog = |v: i64| vec![Code::method(MemMethod::Write(Loc(0), v))];
+        let mut sys =
+            MatveevShavitSystem::new(RwMem::new(), vec![prog(1), prog(2), prog(3)]);
+        run(&mut sys, &mut RandomSched::new(seed), 100_000).unwrap();
+        assert_eq!(sys.stats().commits, 3, "seed {seed}");
+        assert_eq!(sys.stats().aborts, 0, "seed {seed}");
+        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+    }
+}
+
+/// E5: exhaustive check of the pessimistic system.
+#[test]
+fn pessimistic_exhaustive() {
+    let sys = MatveevShavitSystem::new(RwMem::new(), vec![rmw(0, 1), rmw(1, 2)]);
+    let report = explore(&sys, ExploreLimits { max_depth: 40, max_terminals: 4_000 }, &mut |s| {
+        check_machine(s.machine()).is_serializable()
+    })
+    .unwrap();
+    assert!(report.all_ok(), "{report:?}");
+}
+
+/// E6: the irrevocable thread never aborts while optimists yield.
+#[test]
+fn irrevocable_thread_always_wins() {
+    for seed in 1..=15u64 {
+        let mut sys = IrrevocableSystem::new(
+            RwMem::new(),
+            vec![rmw(0, 1), rmw(0, 2), rmw(0, 3)],
+            ThreadId(0),
+        );
+        run(&mut sys, &mut RandomSched::new(seed), 200_000).unwrap();
+        assert!(sys.is_done(), "seed {seed}");
+        assert_eq!(sys.stats().commits, 3, "seed {seed}");
+        assert_eq!(sys.irrevocable_aborts(), 0, "seed {seed}");
+        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+    }
+}
+
+/// Larger randomized sweep: every algorithm on a shared workload, many
+/// seeds, all serializable (the Theorem 5.17 experiment).
+#[test]
+fn randomized_sweep_all_algorithms_serializable() {
+    let spec = WorkloadSpec {
+        threads: 3,
+        txns_per_thread: 4,
+        ops_per_txn: 3,
+        key_range: 4,
+        read_ratio: 0.5,
+        seed: 7,
+    };
+    for seed in 1..=8u64 {
+        let mut sys = BoostingSystem::new(KvMap::new(), spec.kvmap_programs());
+        run(&mut sys, &mut RandomSched::new(seed), 2_000_000).unwrap();
+        assert!(sys.is_done(), "boosting seed {seed}");
+        let r = check_machine(sys.machine());
+        assert!(r.is_serializable(), "boosting seed {seed}: {r}");
+
+        let mut sys =
+            OptimisticSystem::new(RwMem::new(), spec.rwmem_programs(), ReadPolicy::Snapshot);
+        run(&mut sys, &mut RandomSched::new(seed), 2_000_000).unwrap();
+        assert!(sys.is_done(), "optimistic seed {seed}");
+        let r = check_machine(sys.machine());
+        assert!(r.is_serializable(), "optimistic seed {seed}: {r}");
+
+        let mut sys = MatveevShavitSystem::new(RwMem::new(), spec.rwmem_programs());
+        run(&mut sys, &mut RandomSched::new(seed), 2_000_000).unwrap();
+        assert!(sys.is_done(), "pessimistic seed {seed}");
+        let r = check_machine(sys.machine());
+        assert!(r.is_serializable(), "pessimistic seed {seed}: {r}");
+
+        let mut sys = HtmSystem::new(spec.rwmem_programs());
+        run(&mut sys, &mut RandomSched::new(seed), 2_000_000).unwrap();
+        assert!(sys.is_done(), "htm seed {seed}");
+        let r = check_machine(sys.machine());
+        assert!(r.is_serializable(), "htm seed {seed}: {r}");
+    }
+}
+
+/// The brute-force serialization search agrees with the commit-order
+/// witness on small runs.
+#[test]
+fn permutation_search_agrees_with_commit_order() {
+    for seed in 1..=10u64 {
+        let spec = WorkloadSpec {
+            threads: 2,
+            txns_per_thread: 2,
+            ops_per_txn: 2,
+            key_range: 3,
+            read_ratio: 0.5,
+            seed,
+        };
+        let mut sys =
+            OptimisticSystem::new(RwMem::new(), spec.rwmem_programs(), ReadPolicy::Snapshot);
+        run(&mut sys, &mut RandomSched::new(seed * 31), 1_000_000).unwrap();
+        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+        assert!(find_any_serialization(sys.machine()).is_some(), "seed {seed}");
+    }
+}
