@@ -6,7 +6,8 @@
 //! * optimism shines read-mostly;
 //! * everything is serializable (asserted on every run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pushpull_bench::timing::{BenchmarkId, Criterion};
+use pushpull_bench::{criterion_group, criterion_main};
 
 use pushpull_bench::{assert_serializable, drive, print_row};
 use pushpull_harness::workload::WorkloadSpec;
@@ -67,7 +68,11 @@ fn bench_algorithms(c: &mut Criterion) {
     });
 
     // ---- read-mostly memory workload --------------------------------
-    let rm = WorkloadSpec { read_ratio: 0.9, key_range: 16, ..w };
+    let rm = WorkloadSpec {
+        read_ratio: 0.9,
+        key_range: 16,
+        ..w
+    };
     group.bench_function(BenchmarkId::new("optimistic", "mem-read-mostly"), |b| {
         b.iter(|| {
             let mut sys =
@@ -112,13 +117,20 @@ fn bench_algorithms(c: &mut Criterion) {
         print_row("boosting / map-disjoint", s, t);
     }
     {
-        let mut sys =
-            OptimisticSystem::new(KvMap::new(), w.kvmap_disjoint_programs(), ReadPolicy::Snapshot);
+        let mut sys = OptimisticSystem::new(
+            KvMap::new(),
+            w.kvmap_disjoint_programs(),
+            ReadPolicy::Snapshot,
+        );
         let (s, t) = drive(&mut sys, 1, |s| s.stats());
         assert_serializable(sys.machine());
         print_row("optimistic / map-disjoint", s, t);
     }
-    let rm = WorkloadSpec { read_ratio: 0.9, key_range: 16, ..w };
+    let rm = WorkloadSpec {
+        read_ratio: 0.9,
+        key_range: 16,
+        ..w
+    };
     {
         let mut sys =
             OptimisticSystem::new(RwMem::new(), rm.rwmem_programs(), ReadPolicy::Snapshot);

@@ -3,7 +3,8 @@
 //! conflicts are rare" claim. Printed as a table; two endpoints are also
 //! wall-clock benchmarked.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pushpull_bench::timing::{BenchmarkId, Criterion};
+use pushpull_bench::{criterion_group, criterion_main};
 
 use pushpull_bench::{assert_serializable, drive};
 use pushpull_harness::workload::WorkloadSpec;
@@ -45,7 +46,10 @@ fn bench_crossover(c: &mut Criterion) {
     group.finish();
 
     eprintln!("\n=== B2 crossover series (abort-rate % by read ratio) ===");
-    eprintln!("{:<12} {:>12} {:>12} {:>12}", "read-ratio", "optimistic", "pess-ms", "htm-sim");
+    eprintln!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "read-ratio", "optimistic", "pess-ms", "htm-sim"
+    );
     for pct in [0u32, 25, 50, 75, 90, 100] {
         let w = workload(pct as f64 / 100.0);
 

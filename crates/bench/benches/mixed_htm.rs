@@ -9,7 +9,8 @@
 //! becomes memory-conflicting. The shape claim: as more threads share
 //! the structures, the mixed system aborts far less than all-HTM.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pushpull_bench::timing::{BenchmarkId, Criterion};
+use pushpull_bench::{criterion_group, criterion_main};
 
 use pushpull_bench::{assert_serializable, drive, print_row};
 use pushpull_core::lang::Code;

@@ -4,7 +4,8 @@
 //! expensive; the algebraic tables are what implementations (read/write
 //! sets, abstract locks) approximate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pushpull_bench::timing::{BenchmarkId, Criterion};
+use pushpull_bench::{criterion_group, criterion_main};
 
 use pushpull_core::op::{Op, OpId, TxnId};
 use pushpull_core::spec::{mover_exhaustive, SeqSpec};
@@ -60,12 +61,23 @@ fn bench_movers(c: &mut Criterion) {
     group.finish();
 
     // Shape check: the oracles agree where both are defined.
-    assert_eq!(rw_alg.mover(&r, &w), mover_exhaustive(&rw_exh, &rw_uni, &r, &w));
+    assert_eq!(
+        rw_alg.mover(&r, &w),
+        mover_exhaustive(&rw_exh, &rw_uni, &r, &w)
+    );
     assert!(bank_alg.mover(&wd, &dp));
     assert!(mover_exhaustive(&bank_exh, &bank_uni, &wd, &dp));
-    let op1: Op<_, _> = Op::new(OpId(7), TxnId(0), pushpull_spec::bank::BankMethod::Deposit(0, 3), pushpull_spec::bank::BankRet::Ack);
+    let op1: Op<_, _> = Op::new(
+        OpId(7),
+        TxnId(0),
+        pushpull_spec::bank::BankMethod::Deposit(0, 3),
+        pushpull_spec::bank::BankRet::Ack,
+    );
     let op2 = bops::withdraw(8, 1, 0, 2, true);
-    assert!(!bank_alg.mover(&op1, &op2), "deposit must not move across a successful withdraw");
+    assert!(
+        !bank_alg.mover(&op1, &op2),
+        "deposit must not move across a successful withdraw"
+    );
 }
 
 criterion_group!(benches, bench_movers);

@@ -4,8 +4,18 @@
 //! (all criteria), `RelaxedGray` (paper's gray criteria skipped) and
 //! `Unchecked` (structural checks only) modes. The delta is the price of
 //! turning the paper's proof obligations into runtime checks.
+//!
+//! B3b isolates the *incremental* `allowed` evaluation: the checked
+//! machine memoizes the spec states reached by the committed prefix of
+//! `G`, so each PUSH criterion (iii) replays only the uncommitted
+//! suffix instead of the whole log. Full replay is O(|G|) per check
+//! (quadratic over a run); the incremental path is O(suffix). Both
+//! produce identical verdicts and audit counts — `Machine::set_incremental`
+//! exists precisely so this benchmark (and the golden-trace tests) can
+//! compare them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pushpull_bench::timing::{BenchmarkId, Criterion};
+use pushpull_bench::{criterion_group, criterion_main};
 
 use pushpull_core::lang::Code;
 use pushpull_core::machine::{CheckMode, Machine};
@@ -13,7 +23,9 @@ use pushpull_spec::kvmap::{KvMap, MapMethod};
 
 /// One thread, `n` single-put transactions on rotating keys.
 fn programs(n: u64) -> Vec<Code<MapMethod>> {
-    (0..n).map(|i| Code::method(MapMethod::Put(i % 8, i as i64))).collect()
+    (0..n)
+        .map(|i| Code::method(MapMethod::Put(i % 8, i as i64)))
+        .collect()
 }
 
 fn run_mode(mode: CheckMode, n: u64) -> usize {
@@ -26,6 +38,31 @@ fn run_mode(mode: CheckMode, n: u64) -> usize {
         m.commit(t).expect("commit");
     }
     m.global().committed_ops().len()
+}
+
+/// The B3b workload under `Checked` with the incremental prefix cache
+/// toggled, returning the audit snapshot for the sanity comparison.
+///
+/// No begin-time snapshot, and every transaction puts a *fresh* key (a
+/// first put observes `None` whatever `G` holds), so each transaction
+/// is just APP;PUSH;CMT and the run's cost is dominated by PUSH
+/// criterion (iii)'s `G allows op` query — exactly the check the prefix
+/// cache turns from an O(|G|) replay into an O(suffix) evaluation.
+fn run_incremental(on: bool, n: u64) -> pushpull_core::audit::CriteriaAudit {
+    let mut m = Machine::with_mode(KvMap::new(), CheckMode::Checked);
+    m.set_incremental(on);
+    let t = m.add_thread(
+        (0..n)
+            .map(|i| Code::method(MapMethod::Put(i, i as i64)))
+            .collect(),
+    );
+    for _ in 0..n {
+        let op = m.app_auto(t).expect("app");
+        m.push(t, op).expect("push");
+        m.commit(t).expect("commit");
+    }
+    assert_eq!(m.global().committed_ops().len(), n as usize);
+    m.audit()
 }
 
 fn bench_rule_overhead(c: &mut Criterion) {
@@ -48,6 +85,24 @@ fn bench_rule_overhead(c: &mut Criterion) {
     assert_eq!(run_mode(CheckMode::Checked, 32), 32);
     assert_eq!(run_mode(CheckMode::RelaxedGray, 32), 32);
     assert_eq!(run_mode(CheckMode::Unchecked, 32), 32);
+
+    // B3b: incremental (committed-prefix cached) vs full-replay
+    // `allowed` evaluation, all criteria checked in both.
+    let mut group = c.benchmark_group("B3b-incremental-allowed");
+    group.sample_size(20);
+    for n in [16u64, 64, 256] {
+        group.bench_function(BenchmarkId::new("incremental", n), |b| {
+            b.iter(|| run_incremental(true, n))
+        });
+        group.bench_function(BenchmarkId::new("full-replay", n), |b| {
+            b.iter(|| run_incremental(false, n))
+        });
+    }
+    group.finish();
+
+    // Sanity: the two evaluation strategies discharge bit-identical
+    // audit counts (same obligations, same tallies, same query counts).
+    assert_eq!(run_incremental(true, 64), run_incremental(false, 64));
 }
 
 criterion_group!(benches, bench_rule_overhead);

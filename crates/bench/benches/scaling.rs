@@ -5,7 +5,8 @@
 //! optimistic retry tax grows with the thread count while boosting's
 //! blocking keeps wasted work bounded.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pushpull_bench::timing::{BenchmarkId, Criterion};
+use pushpull_bench::{criterion_group, criterion_main};
 
 use pushpull_bench::{assert_serializable, drive, print_row};
 use pushpull_harness::workload::WorkloadSpec;

@@ -14,6 +14,8 @@
 //! Besides wall-clock measurements, every target prints its shape table
 //! (commits/aborts/ticks) to stderr, which EXPERIMENTS.md records.
 
+pub mod timing;
+
 use pushpull_core::machine::Machine;
 use pushpull_core::spec::SeqSpec;
 use pushpull_harness::scheduler::{run, RandomSched};
@@ -21,7 +23,11 @@ use pushpull_tm::driver::{SystemStats, TmSystem};
 
 /// Drives a system to completion with a seeded random scheduler,
 /// panicking on rule misuse or non-termination. Returns (stats, ticks).
-pub fn drive<T: TmSystem>(sys: &mut T, seed: u64, stats: impl Fn(&T) -> SystemStats) -> (SystemStats, usize) {
+pub fn drive<T: TmSystem>(
+    sys: &mut T,
+    seed: u64,
+    stats: impl Fn(&T) -> SystemStats,
+) -> (SystemStats, usize) {
     let out = run(sys, &mut RandomSched::new(seed), 50_000_000).expect("rule misuse");
     assert!(out.completed, "system did not terminate");
     (stats(sys), out.ticks)

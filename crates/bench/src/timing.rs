@@ -1,0 +1,180 @@
+//! A minimal, dependency-free stand-in for the slice of the Criterion
+//! API the bench targets use.
+//!
+//! The container builds offline, so the real `criterion` crate is not
+//! available; this module keeps the bench sources idiomatic (groups,
+//! `BenchmarkId`, `b.iter(..)`) while measuring with `std::time` and
+//! printing one line per benchmark:
+//!
+//! ```text
+//! B3-rule-overhead/checked/16       median   41.2µs   (20 samples × 12 iters)
+//! ```
+//!
+//! Samples are medians over a fixed iteration count calibrated to a
+//! target sample duration — crude next to Criterion's bootstrapping, but
+//! stable enough for the order-of-magnitude comparisons EXPERIMENTS.md
+//! records.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export point so bench targets can `use pushpull_bench::timing as criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier `function/parameter`, mirroring Criterion's two-part ids.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+/// Target wall-clock duration of one sample; iteration counts are
+/// calibrated so a sample takes roughly this long.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+impl BenchmarkGroup {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark and prints its median sample time.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        // Calibrate: how many iterations fit in the target sample time?
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed / iters as u32
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        eprintln!(
+            "{:<44} median {:>12?}   ({} samples x {} iters)",
+            format!("{}/{}", self.name, id),
+            median,
+            self.sample_size,
+            iters
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `payload` over this sample's iteration count.
+    pub fn iter<R>(&mut self, mut payload: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(payload());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into
+/// one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::timing::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test-group");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_both_parts() {
+        assert_eq!(BenchmarkId::new("checked", 16).to_string(), "checked/16");
+    }
+}

@@ -44,7 +44,10 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        Self { max_ops: 8, max_runs: 256 }
+        Self {
+            max_ops: 8,
+            max_runs: 256,
+        }
     }
 }
 
@@ -138,7 +141,9 @@ pub fn enumerate_runs<S: SeqSpec>(
     let mut log = prefix_log.to_vec();
     let mut ops = Vec::new();
     let mut stack = Vec::new();
-    enumerate_rec(spec, code, txn, id_base, limits, &mut log, &mut ops, &mut stack, &mut out);
+    enumerate_rec(
+        spec, code, txn, id_base, limits, &mut log, &mut ops, &mut stack, &mut out,
+    );
     out
 }
 
@@ -159,7 +164,10 @@ fn enumerate_rec<S: SeqSpec>(
     }
     // BSFIN: a method-free path to skip completes the run.
     if code.fin() {
-        out.push(AtomicRun { ops: ops.clone(), stack: stack.clone() });
+        out.push(AtomicRun {
+            ops: ops.clone(),
+            stack: stack.clone(),
+        });
         if out.len() >= limits.max_runs {
             return;
         }
@@ -183,7 +191,10 @@ fn enumerate_rec<S: SeqSpec>(
         }
         for ret in rets {
             let op = Op::new(OpId(next_id), txn, m.clone(), ret.clone());
-            if spec.denote_from(&states, std::slice::from_ref(&op)).is_empty() {
+            if spec
+                .denote_from(&states, std::slice::from_ref(&op))
+                .is_empty()
+            {
                 continue;
             }
             log.push(op.clone());
@@ -291,7 +302,13 @@ pub struct AtomicMachine<S: SeqSpec> {
 impl<S: SeqSpec> AtomicMachine<S> {
     /// Creates an atomic machine with an empty shared log.
     pub fn new(spec: S) -> Self {
-        Self { spec, threads: Vec::new(), log: Vec::new(), next_id: 0, next_txn: 0 }
+        Self {
+            spec,
+            threads: Vec::new(),
+            log: Vec::new(),
+            next_id: 0,
+            next_txn: 0,
+        }
     }
 
     /// Adds a thread with a queue of transaction bodies; returns its index.
@@ -334,7 +351,10 @@ impl<S: SeqSpec> AtomicMachine<S> {
             &self.log,
             txn,
             self.next_id,
-            RunLimits { max_ops: 64, max_runs: 1 },
+            RunLimits {
+                max_ops: 64,
+                max_runs: 1,
+            },
         );
         match runs.into_iter().next() {
             Some(run) => {
@@ -444,7 +464,10 @@ mod tests {
         let spec = ToyCounter::with_bound(4);
         let code = Code::seq(inc(), inc());
         let ops = vec![counter_op(0, CounterMethod::Inc, 0)];
-        assert!(!replay_tx(&spec, &code, &[], &ops), "one inc of two is incomplete");
+        assert!(
+            !replay_tx(&spec, &code, &[], &ops),
+            "one inc of two is incomplete"
+        );
     }
 
     #[test]
@@ -478,8 +501,7 @@ mod tests {
         let runs = enumerate_runs(&spec, &code, &[], TxnId(0), 1000, RunLimits::default());
         // Two single-op runs: [inc] and [get=0].
         assert_eq!(runs.len(), 2);
-        let methods: Vec<CounterMethod> =
-            runs.iter().map(|r| r.ops[0].method).collect();
+        let methods: Vec<CounterMethod> = runs.iter().map(|r| r.ops[0].method).collect();
         assert!(methods.contains(&CounterMethod::Inc));
         assert!(methods.contains(&CounterMethod::Get));
     }
@@ -488,8 +510,17 @@ mod tests {
     fn enumerate_bounds_star() {
         let spec = ToyCounter::with_bound(100);
         let code = Code::star(inc());
-        let runs =
-            enumerate_runs(&spec, &code, &[], TxnId(0), 1000, RunLimits { max_ops: 3, max_runs: 100 });
+        let runs = enumerate_runs(
+            &spec,
+            &code,
+            &[],
+            TxnId(0),
+            1000,
+            RunLimits {
+                max_ops: 3,
+                max_runs: 100,
+            },
+        );
         // Runs of length 0, 1, 2, 3.
         let mut lens: Vec<usize> = runs.iter().map(|r| r.ops.len()).collect();
         lens.sort();

@@ -10,6 +10,7 @@
 //! optimistic run discharges no UNPUSH obligations at all).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Clause, Rule};
 
@@ -93,12 +94,18 @@ pub struct CriteriaAudit {
 impl CriteriaAudit {
     /// Records a passed criterion.
     pub fn pass(&mut self, rule: Rule, clause: Clause) {
-        *self.discharged.entry(Obligation { rule, clause }).or_default() += 1;
+        *self
+            .discharged
+            .entry(Obligation { rule, clause })
+            .or_default() += 1;
     }
 
     /// Records a failed criterion.
     pub fn fail(&mut self, rule: Rule, clause: Clause) {
-        *self.violated.entry(Obligation { rule, clause }).or_default() += 1;
+        *self
+            .violated
+            .entry(Obligation { rule, clause })
+            .or_default() += 1;
     }
 
     /// Total criterion evaluations.
@@ -108,12 +115,18 @@ impl CriteriaAudit {
 
     /// Passed evaluations of one obligation.
     pub fn discharged_count(&self, rule: Rule, clause: Clause) -> u64 {
-        self.discharged.get(&Obligation { rule, clause }).copied().unwrap_or(0)
+        self.discharged
+            .get(&Obligation { rule, clause })
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Failed evaluations of one obligation.
     pub fn violated_count(&self, rule: Rule, clause: Clause) -> u64 {
-        self.violated.get(&Obligation { rule, clause }).copied().unwrap_or(0)
+        self.violated
+            .get(&Obligation { rule, clause })
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Renders the audit as a small table.
@@ -144,6 +157,144 @@ impl CriteriaAudit {
     }
 }
 
+const ALL_RULES: [Rule; 7] = [
+    Rule::App,
+    Rule::UnApp,
+    Rule::Push,
+    Rule::UnPush,
+    Rule::Pull,
+    Rule::UnPull,
+    Rule::Cmt,
+];
+const ALL_CLAUSES: [Clause; 4] = [Clause::I, Clause::Ii, Clause::Iii, Clause::Iv];
+
+/// Number of cache-line-padded stripes the hot query counters are sharded
+/// over. Threads index stripes by `thread_id % QUERY_SHARDS`, so concurrent
+/// APP-side `allowed` accounting on different threads touches different
+/// cache lines.
+pub const QUERY_SHARDS: usize = 8;
+
+/// One cache line worth of counter, so stripes never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The lock-free twin of [`CriteriaAudit`]: per-obligation pass/fail
+/// counters as plain `AtomicU64`s plus *sharded*, cache-padded stripes for
+/// the hot mover/`allowed` query tallies. This is what lets the machine's
+/// shared state be `Sync` without a `RefCell` (or a lock) around the audit
+/// — APP-side accounting on different threads never contends.
+///
+/// [`AtomicAudit::snapshot`] materializes the familiar [`CriteriaAudit`]
+/// view, so existing `audit()` consumers are source-compatible.
+#[derive(Debug, Default)]
+pub struct AtomicAudit {
+    discharged: [[AtomicU64; 4]; 7],
+    violated: [[AtomicU64; 4]; 7],
+    mover_queries: [PaddedU64; QUERY_SHARDS],
+    allowed_queries: [PaddedU64; QUERY_SHARDS],
+}
+
+impl AtomicAudit {
+    /// Creates a zeroed audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a passed criterion.
+    pub fn pass(&self, rule: Rule, clause: Clause) {
+        self.discharged[rule.ord_key() as usize][clause.ord_key() as usize]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed criterion.
+    pub fn fail(&self, rule: Rule, clause: Clause) {
+        self.violated[rule.ord_key() as usize][clause.ord_key() as usize]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one mover-oracle consultation, attributed to `shard`
+    /// (typically the querying thread's index).
+    pub fn count_mover(&self, shard: usize) {
+        self.mover_queries[shard % QUERY_SHARDS].add(1);
+    }
+
+    /// Counts one `allowed` evaluation, attributed to `shard`.
+    pub fn count_allowed(&self, shard: usize) {
+        self.allowed_queries[shard % QUERY_SHARDS].add(1);
+    }
+
+    /// Materializes a [`CriteriaAudit`] snapshot: obligations with zero
+    /// counts are omitted, matching the map-based audit exactly.
+    pub fn snapshot(&self) -> CriteriaAudit {
+        let mut out = CriteriaAudit::default();
+        for rule in ALL_RULES {
+            for clause in ALL_CLAUSES {
+                let d = self.discharged[rule.ord_key() as usize][clause.ord_key() as usize]
+                    .load(Ordering::Relaxed);
+                if d > 0 {
+                    *out.discharged
+                        .entry(Obligation { rule, clause })
+                        .or_default() += d;
+                }
+                let v = self.violated[rule.ord_key() as usize][clause.ord_key() as usize]
+                    .load(Ordering::Relaxed);
+                if v > 0 {
+                    *out.violated.entry(Obligation { rule, clause }).or_default() += v;
+                }
+            }
+        }
+        out.mover_queries = self.mover_queries.iter().map(PaddedU64::load).sum();
+        out.allowed_queries = self.allowed_queries.iter().map(PaddedU64::load).sum();
+        out
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for row in self.discharged.iter().chain(self.violated.iter()) {
+            for c in row {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+        for s in self.mover_queries.iter().chain(self.allowed_queries.iter()) {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Clone for AtomicAudit {
+    fn clone(&self) -> Self {
+        let out = Self::default();
+        for (dst, src) in out.discharged.iter().zip(self.discharged.iter()) {
+            for (d, s) in dst.iter().zip(src.iter()) {
+                d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        for (dst, src) in out.violated.iter().zip(self.violated.iter()) {
+            for (d, s) in dst.iter().zip(src.iter()) {
+                d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        for (dst, src) in out.mover_queries.iter().zip(self.mover_queries.iter()) {
+            dst.0.store(src.load(), Ordering::Relaxed);
+        }
+        for (dst, src) in out.allowed_queries.iter().zip(self.allowed_queries.iter()) {
+            dst.0.store(src.load(), Ordering::Relaxed);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,11 +315,75 @@ mod tests {
     }
 
     #[test]
+    fn atomic_snapshot_matches_map_audit() {
+        let a = AtomicAudit::new();
+        let mut m = CriteriaAudit::default();
+        for _ in 0..3 {
+            a.pass(Rule::Push, Clause::Ii);
+            m.pass(Rule::Push, Clause::Ii);
+        }
+        a.fail(Rule::Cmt, Clause::Iii);
+        m.fail(Rule::Cmt, Clause::Iii);
+        for i in 0..10 {
+            a.count_mover(i);
+            m.mover_queries += 1;
+        }
+        a.count_allowed(0);
+        m.allowed_queries += 1;
+        assert_eq!(a.snapshot(), m);
+    }
+
+    #[test]
+    fn atomic_audit_is_concurrency_safe() {
+        let a = std::sync::Arc::new(AtomicAudit::new());
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let a = std::sync::Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    a.pass(Rule::App, Clause::Ii);
+                    a.count_allowed(t);
+                    a.count_mover(t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.discharged_count(Rule::App, Clause::Ii), 4000);
+        assert_eq!(snap.allowed_queries, 4000);
+        assert_eq!(snap.mover_queries, 4000);
+    }
+
+    #[test]
+    fn atomic_reset_and_clone() {
+        let a = AtomicAudit::new();
+        a.pass(Rule::Pull, Clause::I);
+        a.count_mover(3);
+        let b = a.clone();
+        assert_eq!(a.snapshot(), b.snapshot());
+        a.reset();
+        assert_eq!(a.snapshot(), CriteriaAudit::default());
+        // The clone is independent of the original.
+        assert_eq!(b.snapshot().discharged_count(Rule::Pull, Clause::I), 1);
+    }
+
+    #[test]
     fn obligations_order_by_rule_then_clause() {
         let mut v = [
-            Obligation { rule: Rule::Cmt, clause: Clause::I },
-            Obligation { rule: Rule::App, clause: Clause::Ii },
-            Obligation { rule: Rule::App, clause: Clause::I },
+            Obligation {
+                rule: Rule::Cmt,
+                clause: Clause::I,
+            },
+            Obligation {
+                rule: Rule::App,
+                clause: Clause::Ii,
+            },
+            Obligation {
+                rule: Rule::App,
+                clause: Clause::I,
+            },
         ];
         v.sort();
         assert_eq!(v[0].rule, Rule::App);

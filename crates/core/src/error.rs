@@ -84,7 +84,11 @@ pub struct CriterionViolation {
 
 impl fmt::Display for CriterionViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} criterion {} violated: {}", self.rule, self.clause, self.detail)
+        write!(
+            f,
+            "{} criterion {} violated: {}",
+            self.rule, self.clause, self.detail
+        )
     }
 }
 
@@ -125,14 +129,26 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::NoSuchThread(t) => write!(f, "no such thread {t}"),
             MachineError::NoSuchOp(id) => write!(f, "no such operation {id}"),
-            MachineError::WrongFlag { op, expected, found } => {
-                write!(f, "operation {op} has flag {found}, rule requires {expected}")
+            MachineError::WrongFlag {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "operation {op} has flag {found}, rule requires {expected}"
+                )
             }
             MachineError::Criterion(v) => v.fmt(f),
-            MachineError::ThreadFinished(t) => write!(f, "thread {t} has finished all transactions"),
+            MachineError::ThreadFinished(t) => {
+                write!(f, "thread {t} has finished all transactions")
+            }
             MachineError::NoSuchStep(t) => write!(f, "no matching step(c) entry for thread {t}"),
             MachineError::NoAllowedResult(t) => {
-                write!(f, "no allowed return value for the chosen method on thread {t}")
+                write!(
+                    f,
+                    "no allowed return value for the chosen method on thread {t}"
+                )
             }
             MachineError::NothingToUnapply(t) => {
                 write!(f, "last local entry of thread {t} is not npshd")
@@ -159,7 +175,11 @@ impl From<CriterionViolation> for MachineError {
 impl MachineError {
     /// Convenience constructor for a criterion violation.
     pub fn criterion(rule: Rule, clause: Clause, detail: impl Into<String>) -> Self {
-        MachineError::Criterion(CriterionViolation { rule, clause, detail: detail.into() })
+        MachineError::Criterion(CriterionViolation {
+            rule,
+            clause,
+            detail: detail.into(),
+        })
     }
 
     /// Is this a criterion violation (as opposed to a structural misuse)?

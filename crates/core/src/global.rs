@@ -1,0 +1,317 @@
+//! The shared half of the split machine: [`GlobalState`] owns everything
+//! the PUSH/PULL rules may contend on — the shared log `G`, the
+//! committed-transaction list and the criteria audit — while the
+//! per-thread halves live in [`TxnHandle`](crate::handle::TxnHandle).
+//!
+//! ## Lock discipline
+//!
+//! `GlobalState` is `Sync`. Its id/txn/sequence generators and the audit
+//! are lock-free atomics; the log state sits behind one short-held
+//! [`Mutex`]. The discipline, relied on by the parallel harness:
+//!
+//! * **APP/UNAPP never lock.** They touch only the handle's local log and
+//!   the atomics (fresh ids, audit counters, trace sequence numbers).
+//! * **PUSH/UNPUSH/CMT** take the mutex for their criteria-over-`G` and
+//!   their effect, as one atomic critical section.
+//! * **PULL** takes the mutex only to snapshot the pulled entry; its
+//!   criteria and effect are local. **UNPULL** is entirely local.
+//!
+//! ## Incremental `allowed` (the snapshot cache)
+//!
+//! Every PUSH evaluates `G allows op` and every UNPUSH evaluates
+//! `allowed (G ∖ op)`; replaying the whole log makes a run of `n`
+//! operations O(n²) in spec transitions. [`PrefixCache`] memoizes the
+//! denotation `⟦G[..len]⟧` of the longest *fully committed* prefix of `G`.
+//! Because the denotation is compositional
+//! (`⟦ℓ⟧ = denote_from(⟦ℓ[..k]⟧, ℓ[k..])` for any split point `k`), the
+//! criteria can replay only the uncommitted suffix and get bit-identical
+//! answers — and bit-identical audit counts, since the audit counts
+//! *queries*, not spec transitions, and PUSH criterion (ii)'s mover scan
+//! only ever visits uncommitted entries, all of which lie past the cache
+//! boundary.
+//!
+//! Invalidation rules:
+//!
+//! * PUSH appends — the cached prefix is untouched.
+//! * CMT flips flags in place and never reorders — flags are not part of
+//!   the denotation, so the cache stays valid and is then *advanced* over
+//!   the newly committed prefix.
+//! * UNPUSH removes an *uncommitted* entry, which by the all-committed
+//!   invariant lies at or past `len`; the cache is untouched. A removal
+//!   inside the cached prefix (impossible through the rule API) resets the
+//!   cache defensively.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::audit::{AtomicAudit, CriteriaAudit};
+use crate::lang::Code;
+use crate::log::{GlobalFlag, GlobalLog};
+use crate::machine::CheckMode;
+use crate::op::{Op, OpId, OpIdGen, ThreadId, TxnId};
+use crate::spec::SeqSpec;
+
+/// A committed transaction: its id and its own operations in local-log
+/// order. The sequence of these, in commit order, is the serial witness
+/// used by the serializability oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTxn<M, R> {
+    /// The committed transaction instance.
+    pub txn: TxnId,
+    /// The thread that ran it.
+    pub thread: ThreadId,
+    /// The original transaction body (the paper's `otx`), for atomic replay.
+    pub code: Code<M>,
+    /// Own operations (pushed), in local order.
+    pub ops: Vec<Op<M, R>>,
+    /// Ids of operations this transaction had pulled, with the owning
+    /// transaction (its dependencies).
+    pub pulled_from: Vec<(OpId, TxnId)>,
+}
+
+/// Memoized denotation of the longest fully committed prefix of `G`.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixCache<St> {
+    /// Entries `[..len]` of the global log are all committed and their
+    /// denotation is `states`.
+    pub(crate) len: usize,
+    /// `⟦G[..len]⟧`.
+    pub(crate) states: HashSet<St>,
+}
+
+impl<St: Clone + Eq + std::hash::Hash> PrefixCache<St> {
+    fn new(initial: Vec<St>) -> Self {
+        Self {
+            len: 0,
+            states: initial.into_iter().collect(),
+        }
+    }
+
+    fn reset(&mut self, initial: Vec<St>) {
+        self.len = 0;
+        self.states = initial.into_iter().collect();
+    }
+}
+
+/// The lock-protected log state: everything the shared rules read-modify.
+#[derive(Debug, Clone)]
+pub(crate) struct SharedLog<S: SeqSpec> {
+    /// The shared log `G`.
+    pub(crate) global: GlobalLog<S::Method, S::Ret>,
+    /// Committed transactions in commit order.
+    pub(crate) committed: Vec<CommittedTxn<S::Method, S::Ret>>,
+    /// The committed-prefix denotation cache.
+    pub(crate) cache: PrefixCache<S::State>,
+}
+
+/// The shared half of the machine: spec, generators, audit and the
+/// mutex-guarded log state. `Sync`, shared by every
+/// [`TxnHandle`](crate::handle::TxnHandle) through an `Arc`.
+#[derive(Debug)]
+pub struct GlobalState<S: SeqSpec> {
+    pub(crate) spec: S,
+    pub(crate) mode: CheckMode,
+    pub(crate) ids: OpIdGen,
+    pub(crate) next_txn: AtomicU64,
+    /// Global trace-event sequence: one `fetch_add` per recorded event
+    /// gives a real-time-consistent total order across threads.
+    pub(crate) seq: AtomicU64,
+    pub(crate) audit: AtomicAudit,
+    incremental: AtomicBool,
+    pub(crate) shared: Mutex<SharedLog<S>>,
+}
+
+impl<S: SeqSpec> GlobalState<S> {
+    /// Creates the shared state for a fresh machine.
+    pub fn new(spec: S, mode: CheckMode) -> Self {
+        let cache = PrefixCache::new(spec.initial_states());
+        Self {
+            spec,
+            mode,
+            ids: OpIdGen::new(),
+            next_txn: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            audit: AtomicAudit::new(),
+            incremental: AtomicBool::new(true),
+            shared: Mutex::new(SharedLog {
+                global: GlobalLog::new(),
+                committed: Vec::new(),
+                cache,
+            }),
+        }
+    }
+
+    /// The sequential specification.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// The check mode.
+    pub fn mode(&self) -> CheckMode {
+        self.mode
+    }
+
+    /// Is the incremental (prefix-cached) `allowed` path enabled?
+    pub fn incremental(&self) -> bool {
+        self.incremental.load(Ordering::Relaxed)
+    }
+
+    /// Switches between incremental and full-replay criteria evaluation.
+    /// Both produce identical verdicts and audit counts; the toggle exists
+    /// so benchmarks and the golden-trace tests can compare them.
+    pub fn set_incremental(&self, on: bool) {
+        self.incremental.store(on, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the criteria audit.
+    pub fn audit_snapshot(&self) -> CriteriaAudit {
+        self.audit.snapshot()
+    }
+
+    /// Mints the next trace-event sequence number.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Mints a fresh transaction id.
+    pub(crate) fn fresh_txn(&self) -> TxnId {
+        TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Locks the shared log state (the PUSH/UNPUSH/PULL/CMT critical
+    /// section).
+    pub(crate) fn lock(&self) -> MutexGuard<'_, SharedLog<S>> {
+        self.shared.lock().expect("shared log mutex poisoned")
+    }
+
+    // ------------------------------------------------------------------
+    // Audited primitive queries (the audit counts queries, not replays,
+    // so the incremental path is invisible to it by construction).
+    // ------------------------------------------------------------------
+
+    /// Mover query with audit accounting; `shard` attributes the count.
+    pub(crate) fn mover_q(
+        &self,
+        shard: usize,
+        a: &Op<S::Method, S::Ret>,
+        b: &Op<S::Method, S::Ret>,
+    ) -> bool {
+        self.audit.count_mover(shard);
+        self.spec.mover(a, b)
+    }
+
+    /// `allows` over an explicit log (used for local-log criteria).
+    pub(crate) fn allows_q(
+        &self,
+        shard: usize,
+        log: &[Op<S::Method, S::Ret>],
+        op: &Op<S::Method, S::Ret>,
+    ) -> bool {
+        self.audit.count_allowed(shard);
+        self.spec.allows(log, op)
+    }
+
+    /// `allowed` over an explicit log (used for local-log criteria).
+    pub(crate) fn allowed_q(&self, shard: usize, log: &[Op<S::Method, S::Ret>]) -> bool {
+        self.audit.count_allowed(shard);
+        self.spec.allowed(log)
+    }
+
+    /// `G allows op` (PUSH criterion (iii)), replaying only the
+    /// uncommitted suffix when the incremental path is on.
+    pub(crate) fn g_allows(
+        &self,
+        sh: &SharedLog<S>,
+        shard: usize,
+        op: &Op<S::Method, S::Ret>,
+    ) -> bool {
+        self.audit.count_allowed(shard);
+        if self.incremental() {
+            let states = self.suffix_states(sh, None);
+            !self
+                .spec
+                .denote_from(&states, std::slice::from_ref(op))
+                .is_empty()
+        } else {
+            self.spec.allows(&sh.global.ops(), op)
+        }
+    }
+
+    /// `allowed (G ∖ skip)` (UNPUSH criterion (ii)). `skip` is an
+    /// uncommitted entry, so it lies past the cache boundary; if it ever
+    /// does not (unreachable through the rule API), fall back to a full
+    /// replay.
+    pub(crate) fn g_allowed_without(&self, sh: &SharedLog<S>, shard: usize, skip: OpId) -> bool {
+        self.audit.count_allowed(shard);
+        let in_suffix = sh.global.position(skip).is_none_or(|p| p >= sh.cache.len);
+        if self.incremental() && in_suffix {
+            !self.suffix_states(sh, Some(skip)).is_empty()
+        } else {
+            let remaining: Vec<_> = sh
+                .global
+                .iter()
+                .filter(|e| e.op.id != skip)
+                .map(|e| e.op.clone())
+                .collect();
+            self.spec.allowed(&remaining)
+        }
+    }
+
+    /// `⟦G⟧` (optionally skipping one suffix entry), from the cached
+    /// committed-prefix denotation.
+    fn suffix_states(&self, sh: &SharedLog<S>, skip: Option<OpId>) -> HashSet<S::State> {
+        let suffix: Vec<Op<S::Method, S::Ret>> = sh.global.entries()[sh.cache.len..]
+            .iter()
+            .filter(|e| Some(e.op.id) != skip)
+            .map(|e| e.op.clone())
+            .collect();
+        self.spec.denote_from(&sh.cache.states, &suffix)
+    }
+
+    // ------------------------------------------------------------------
+    // Cache maintenance (called under the mutex).
+    // ------------------------------------------------------------------
+
+    /// Advances the cache over the newly committed prefix (after CMT).
+    pub(crate) fn advance_cache(&self, sh: &mut SharedLog<S>) {
+        while sh.cache.len < sh.global.len() {
+            let e = &sh.global.entries()[sh.cache.len];
+            if e.flag != GlobalFlag::Committed {
+                break;
+            }
+            sh.cache.states = self
+                .spec
+                .denote_from(&sh.cache.states, std::slice::from_ref(&e.op));
+            sh.cache.len += 1;
+        }
+    }
+
+    /// Notes a removal at `pos` (after UNPUSH). Removals inside the cached
+    /// prefix reset the cache; suffix removals leave it intact.
+    pub(crate) fn note_removal(&self, sh: &mut SharedLog<S>, pos: usize) {
+        if pos < sh.cache.len {
+            sh.cache.reset(self.spec.initial_states());
+        }
+    }
+
+    /// A deep copy with its own generators, audit and log state — used by
+    /// [`Machine::clone`](crate::machine::Machine), which re-points every
+    /// handle at the copy so clones share nothing (the property the model
+    /// checker's branching relies on).
+    pub(crate) fn deep_clone(&self) -> Self
+    where
+        S: Clone,
+    {
+        Self {
+            spec: self.spec.clone(),
+            mode: self.mode,
+            ids: self.ids.clone(),
+            next_txn: AtomicU64::new(self.next_txn.load(Ordering::Relaxed)),
+            seq: AtomicU64::new(self.seq.load(Ordering::Relaxed)),
+            audit: self.audit.clone(),
+            incremental: AtomicBool::new(self.incremental()),
+            shared: Mutex::new(self.lock().clone()),
+        }
+    }
+}

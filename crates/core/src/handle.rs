@@ -1,0 +1,1000 @@
+//! The per-thread half of the split machine: [`TxnHandle`] owns one
+//! thread's code, stack and local log `L`, and runs the seven rules of
+//! Figure 5 against a shared [`GlobalState`].
+//!
+//! ## Lock discipline (the point of the split)
+//!
+//! * **APP / UNAPP** touch only this handle and the global *atomics*
+//!   (fresh ids, audit counters, trace sequence numbers) — they never
+//!   acquire the shared-log mutex, so thread-local steps run genuinely in
+//!   parallel.
+//! * **PUSH / UNPUSH / CMT** evaluate their criteria-over-`G` and apply
+//!   their effect inside one short critical section on
+//!   [`GlobalState::lock`] — criteria and effect are atomic, which is
+//!   what Theorem 5.17's per-rule reasoning needs.
+//! * **PULL** locks only long enough to snapshot the pulled entry; its
+//!   criteria and effect are local. **UNPULL** is entirely local.
+//!
+//! Trace events are buffered per handle, stamped with a global atomic
+//! sequence number; [`Machine::trace`](crate::machine::Machine::trace)
+//! merges the buffers into one totally ordered trace.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::audit::QUERY_SHARDS;
+use crate::error::{Clause, MachineError, MachineResult, Rule};
+use crate::global::{CommittedTxn, GlobalState};
+use crate::lang::Code;
+use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
+use crate::machine::{CheckMode, StepOptions};
+use crate::op::{Op, OpId, ThreadId, TxnId};
+use crate::spec::SeqSpec;
+use crate::trace::Event;
+
+/// A trace event stamped with its global sequence number.
+pub(crate) type StampedEvent<S> = (u64, Event<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>);
+
+/// A thread `{c, σ, L}` plus its queue of future transactions, bound to
+/// the machine's shared [`GlobalState`].
+///
+/// A handle is the unit of parallelism: give each OS worker `&mut` access
+/// to its own handle and every APP/UNAPP proceeds without any global
+/// lock, while the shared rules serialize only on the short
+/// [`GlobalState`] critical section.
+#[derive(Debug)]
+pub struct TxnHandle<S: SeqSpec> {
+    global: Arc<GlobalState<S>>,
+    tid: ThreadId,
+    /// Current transaction instance id.
+    txn: TxnId,
+    /// Remaining code of the current transaction (`None` once all
+    /// transactions have completed — the paper's MS_END).
+    code: Option<Code<S::Method>>,
+    /// The original `tx c` body, for rewinds and the atomic oracle (`otx`).
+    original: Code<S::Method>,
+    /// Observation history of the current transaction (the stack σ).
+    stack: Vec<(S::Method, S::Ret)>,
+    /// The local log `L`.
+    local: LocalLog<S::Method, S::Ret>,
+    /// Transactions not yet started.
+    pending: VecDeque<Code<S::Method>>,
+    /// Commits performed by this thread.
+    commits: u64,
+    /// Aborts performed by this thread.
+    aborts: u64,
+    /// Sequence-stamped trace events recorded by this thread.
+    events: Vec<StampedEvent<S>>,
+}
+
+impl<S: SeqSpec> TxnHandle<S> {
+    /// Creates a handle running `programs` as a sequence of transactions.
+    /// The first transaction begins immediately (recording a `Begin`).
+    pub(crate) fn new(
+        global: Arc<GlobalState<S>>,
+        tid: ThreadId,
+        programs: Vec<Code<S::Method>>,
+    ) -> Self {
+        let mut pending: VecDeque<Code<S::Method>> = programs.into();
+        let (code, original) = match pending.pop_front() {
+            Some(c) => (Some(c.clone()), c),
+            None => (None, Code::Skip),
+        };
+        let txn = global.fresh_txn();
+        let mut h = Self {
+            global,
+            tid,
+            txn,
+            code,
+            original,
+            stack: Vec::new(),
+            local: LocalLog::new(),
+            pending,
+            commits: 0,
+            aborts: 0,
+            events: Vec::new(),
+        };
+        if h.code.is_some() {
+            h.record(Event::Begin { thread: tid, txn });
+        }
+        h
+    }
+
+    /// A deep copy bound to `global` — used by
+    /// [`Machine::clone`](crate::machine::Machine), which re-points every
+    /// handle at the cloned shared state so clones share nothing.
+    pub(crate) fn clone_with(&self, global: Arc<GlobalState<S>>) -> Self {
+        Self {
+            global,
+            tid: self.tid,
+            txn: self.txn,
+            code: self.code.clone(),
+            original: self.original.clone(),
+            stack: self.stack.clone(),
+            local: self.local.clone(),
+            pending: self.pending.clone(),
+            commits: self.commits,
+            aborts: self.aborts,
+            events: self.events.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (source-compatible with the old `Thread`).
+    // ------------------------------------------------------------------
+
+    /// The thread this handle drives.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The current transaction instance id.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// The remaining code, if a transaction is active.
+    pub fn code(&self) -> Option<&Code<S::Method>> {
+        self.code.as_ref()
+    }
+
+    /// The original body of the current transaction (the paper's `otx`).
+    pub fn original(&self) -> &Code<S::Method> {
+        &self.original
+    }
+
+    /// The observation history (stack σ) of the current transaction.
+    pub fn stack(&self) -> &[(S::Method, S::Ret)] {
+        &self.stack
+    }
+
+    /// The local log `L`.
+    pub fn local(&self) -> &LocalLog<S::Method, S::Ret> {
+        &self.local
+    }
+
+    /// Has this thread completed all of its transactions?
+    pub fn is_done(&self) -> bool {
+        self.code.is_none() && self.pending.is_empty()
+    }
+
+    /// Number of committed transactions.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Number of aborted transaction attempts.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// The shared half this handle is bound to.
+    pub fn global_state(&self) -> &Arc<GlobalState<S>> {
+        &self.global
+    }
+
+    /// The sequential specification.
+    pub fn spec(&self) -> &S {
+        self.global.spec()
+    }
+
+    /// A snapshot of the shared log `G` (one short critical section).
+    pub fn global_snapshot(&self) -> GlobalLog<S::Method, S::Ret> {
+        self.global.lock().global.clone()
+    }
+
+    /// This handle's buffered `(seq, event)` pairs.
+    pub(crate) fn events(&self) -> &[StampedEvent<S>] {
+        &self.events
+    }
+
+    fn record(&mut self, event: Event<S::Method, S::Ret>) {
+        let seq = self.global.next_seq();
+        self.events.push((seq, event));
+    }
+
+    /// The audit shard this thread's query counts land in.
+    fn shard(&self) -> usize {
+        self.tid.0 % QUERY_SHARDS
+    }
+
+    fn mode(&self) -> CheckMode {
+        self.global.mode()
+    }
+
+    fn active_code(&self) -> MachineResult<&Code<S::Method>> {
+        self.code
+            .as_ref()
+            .ok_or(MachineError::ThreadFinished(self.tid))
+    }
+
+    /// Enqueues another transaction body; restarts the thread with a
+    /// fresh transaction id if it had finished.
+    pub fn enqueue(&mut self, program: Code<S::Method>) {
+        if self.code.is_none() && self.pending.is_empty() {
+            // Thread was done: restart it with this program.
+            self.code = Some(program.clone());
+            self.original = program;
+            let txn = self.global.fresh_txn();
+            self.txn = txn;
+            let tid = self.tid;
+            self.record(Event::Begin { thread: tid, txn });
+        } else {
+            self.pending.push_back(program);
+        }
+    }
+
+    /// `step(c)` for the current code: every next reachable method with
+    /// its continuation.
+    pub fn step_options(&self) -> MachineResult<StepOptions<S::Method>> {
+        Ok(self.active_code()?.step())
+    }
+
+    /// `fin(c)` for the current code.
+    pub fn can_finish(&self) -> MachineResult<bool> {
+        Ok(self.active_code()?.fin())
+    }
+
+    /// Return values `r` such that the local log allows `⟨m, r⟩`
+    /// (APP criterion (ii) candidates).
+    pub fn allowed_results(&self, method: &S::Method) -> MachineResult<Vec<S::Ret>> {
+        let spec = self.global.spec();
+        let states = spec.denote(&self.local.ops());
+        let mut out: Vec<S::Ret> = Vec::new();
+        for s in &states {
+            for r in spec.results(s, method) {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        // Filter to those actually allowed from the full state set.
+        out.retain(|r| {
+            let op = Op::new(OpId(u64::MAX), self.txn, method.clone(), r.clone());
+            !spec
+                .denote_from(&states, std::slice::from_ref(&op))
+                .is_empty()
+        });
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural reductions (Figure 6) — thread-local.
+    // ------------------------------------------------------------------
+
+    /// The structural steps (Figure 6) applicable to the current code at
+    /// its leftmost redex.
+    pub fn struct_options(&self) -> MachineResult<Vec<crate::structural::StructStep>> {
+        Ok(crate::structural::applicable(self.active_code()?))
+    }
+
+    /// Applies one structural reduction (NONDETL/NONDETR/LOOP/SEMISKIP,
+    /// with the SEMI congruence locating the redex) to the code.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoSuchStep`] when the step does not apply.
+    pub fn struct_step(&mut self, step: crate::structural::StructStep) -> MachineResult<()> {
+        let code = self.active_code()?;
+        match crate::structural::apply(code, step) {
+            Some(next) => {
+                self.code = Some(next);
+                Ok(())
+            }
+            None => Err(MachineError::NoSuchStep(self.tid)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The seven rules of Figure 5.
+    // ------------------------------------------------------------------
+
+    /// **APP**: applies `method` with continuation `cont` and return
+    /// `ret`. Entirely thread-local — acquires no global lock.
+    ///
+    /// Criteria: (i) `(method, cont) ∈ step(c)`; (ii) the local log allows
+    /// `⟨m, σ, σ′, id⟩`; (iii) `id` fresh (by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoSuchStep`] if (i) fails,
+    /// [`MachineError::Criterion`] if (ii) fails.
+    pub fn app(
+        &mut self,
+        method: S::Method,
+        cont: Code<S::Method>,
+        ret: S::Ret,
+    ) -> MachineResult<OpId> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        // Criterion (i): (m, c') ∈ step(c).
+        let code = self.active_code()?.clone();
+        if checked && !code.step().iter().any(|(m, k)| *m == method && *k == cont) {
+            return Err(MachineError::NoSuchStep(self.tid));
+        }
+        let id = self.global.ids.fresh();
+        let op = Op::new(id, self.txn, method.clone(), ret.clone());
+        // Criterion (ii): L allows op.
+        if checked {
+            let local_ops = self.local.ops();
+            if !self.global.allows_q(self.shard(), &local_ops, &op) {
+                self.global.audit.fail(Rule::App, Clause::Ii);
+                return Err(MachineError::criterion(
+                    Rule::App,
+                    Clause::Ii,
+                    format!("local log does not allow {:?} -> {:?}", method, ret),
+                ));
+            }
+            self.global.audit.pass(Rule::App, Clause::Ii);
+        }
+        let saved_code = code;
+        let saved_stack = self.stack.clone();
+        self.stack.push((method.clone(), ret.clone()));
+        self.code = Some(cont);
+        self.local.push_entry(LocalEntry {
+            op,
+            flag: LocalFlag::NotPushed {
+                saved_code,
+                saved_stack,
+            },
+        });
+        let tid = self.tid;
+        self.record(Event::App {
+            thread: tid,
+            op: id,
+            method,
+            ret,
+        });
+        Ok(id)
+    }
+
+    /// **APP**, selecting the first `step(c)` option whose method equals
+    /// `method` and the first allowed return value.
+    pub fn app_method(&mut self, method: &S::Method) -> MachineResult<OpId> {
+        let options = self.step_options()?;
+        let (m, cont) = options
+            .into_iter()
+            .find(|(m, _)| m == method)
+            .ok_or(MachineError::NoSuchStep(self.tid))?;
+        let rets = self.allowed_results(&m)?;
+        let ret = rets
+            .into_iter()
+            .next()
+            .ok_or(MachineError::NoAllowedResult(self.tid))?;
+        self.app(m, cont, ret)
+    }
+
+    /// **APP**, selecting the first `step(c)` option and the first
+    /// allowed return value.
+    pub fn app_auto(&mut self) -> MachineResult<OpId> {
+        let options = self.step_options()?;
+        let (m, cont) = options
+            .into_iter()
+            .next()
+            .ok_or(MachineError::NoSuchStep(self.tid))?;
+        let rets = self.allowed_results(&m)?;
+        let ret = rets
+            .into_iter()
+            .next()
+            .ok_or(MachineError::NoAllowedResult(self.tid))?;
+        self.app(m, cont, ret)
+    }
+
+    /// **UNAPP**: rewinds the most recent local entry, which must be
+    /// `npshd`; restores the saved code and stack. Entirely thread-local.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NothingToUnapply`] if the local log is empty or
+    /// its last entry is not `npshd`.
+    pub fn unapp(&mut self) -> MachineResult<OpId> {
+        let entry = match self.local.entries().last() {
+            Some(e) if e.flag.is_not_pushed() => self.local.pop_entry().expect("non-empty"),
+            _ => return Err(MachineError::NothingToUnapply(self.tid)),
+        };
+        let (saved_code, saved_stack) = match entry.flag {
+            LocalFlag::NotPushed {
+                saved_code,
+                saved_stack,
+            } => (saved_code, saved_stack),
+            _ => unreachable!("checked above"),
+        };
+        self.code = Some(saved_code);
+        self.stack = saved_stack;
+        let tid = self.tid;
+        self.record(Event::UnApp {
+            thread: tid,
+            op: entry.op.id,
+            method: entry.op.method,
+        });
+        Ok(entry.op.id)
+    }
+
+    /// **PUSH**: publishes a local `npshd` operation to the shared log.
+    /// Criterion (i) is local; criteria (ii)/(iii) and the append to `G`
+    /// run inside one [`GlobalState`] critical section.
+    ///
+    /// Criteria: (i) `op` moves across every *earlier* unpushed own
+    /// operation (`op ◁ op′`, Def 4.1 — trivial when pushing in APP
+    /// order); (ii) every uncommitted operation of *other* transactions
+    /// in `G` moves right of `op` (`op_u ◁ op` fails ⇒ conflict),
+    /// ensuring the pusher can still serialize before all concurrent
+    /// uncommitted transactions; (iii) `G` allows `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Criterion`] with the failing clause; `WrongFlag` /
+    /// `NoSuchOp` on structural misuse.
+    pub fn push(&mut self, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        let shard = self.shard();
+        let (op, pos) = {
+            let pos = self
+                .local
+                .position(op_id)
+                .ok_or(MachineError::NoSuchOp(op_id))?;
+            let entry = &self.local.entries()[pos];
+            match entry.flag {
+                LocalFlag::NotPushed { .. } => {}
+                LocalFlag::Pushed { .. } => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "npshd",
+                        found: "pshd",
+                    })
+                }
+                LocalFlag::Pulled => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "npshd",
+                        found: "pld",
+                    })
+                }
+            }
+            (entry.op.clone(), pos)
+        };
+        if checked {
+            // Criterion (i): op ◁ op' for every earlier npshd own op'.
+            // Local-log only — evaluated outside the critical section.
+            for e in &self.local.entries()[..pos] {
+                if e.flag.is_not_pushed() && !self.global.mover_q(shard, &op, &e.op) {
+                    self.global.audit.fail(Rule::Push, Clause::I);
+                    return Err(MachineError::criterion(
+                        Rule::Push,
+                        Clause::I,
+                        format!(
+                            "{} does not move across earlier unpushed {}",
+                            op.id, e.op.id
+                        ),
+                    ));
+                }
+            }
+            self.global.audit.pass(Rule::Push, Clause::I);
+        }
+        {
+            // Critical section: criteria over G plus the append, atomic.
+            let mut sh = self.global.lock();
+            if checked {
+                // Criterion (ii): every uncommitted op of other txns moves
+                // right of op.
+                for g in sh.global.iter() {
+                    if g.flag == GlobalFlag::Uncommitted
+                        && g.op.txn != self.txn
+                        && !self.global.mover_q(shard, &g.op, &op)
+                    {
+                        self.global.audit.fail(Rule::Push, Clause::Ii);
+                        return Err(MachineError::criterion(
+                            Rule::Push,
+                            Clause::Ii,
+                            format!(
+                                "uncommitted {} of {} cannot move right of {}",
+                                g.op.id, g.op.txn, op.id
+                            ),
+                        ));
+                    }
+                }
+                self.global.audit.pass(Rule::Push, Clause::Ii);
+                // Criterion (iii): G allows op (incremental over the
+                // uncommitted suffix when the cache is on).
+                if !self.global.g_allows(&sh, shard, &op) {
+                    self.global.audit.fail(Rule::Push, Clause::Iii);
+                    return Err(MachineError::criterion(
+                        Rule::Push,
+                        Clause::Iii,
+                        format!("global log does not allow {}", op.id),
+                    ));
+                }
+                self.global.audit.pass(Rule::Push, Clause::Iii);
+            }
+            sh.global.push_uncommitted(op.clone());
+        }
+        // Effect on the local half (private to this thread): flip flag.
+        let entry = self.local.entry_mut(op_id).expect("position found above");
+        let (saved_code, saved_stack) = match &entry.flag {
+            LocalFlag::NotPushed {
+                saved_code,
+                saved_stack,
+            } => (saved_code.clone(), saved_stack.clone()),
+            _ => unreachable!("flag checked above"),
+        };
+        entry.flag = LocalFlag::Pushed {
+            saved_code,
+            saved_stack,
+        };
+        let tid = self.tid;
+        self.record(Event::Push {
+            thread: tid,
+            op: op_id,
+            method: op.method,
+        });
+        Ok(())
+    }
+
+    /// **UNPUSH**: recalls a pushed operation from the shared log
+    /// (implemented by real systems as an inverse operation). Criteria
+    /// over `G` and the removal run in one critical section.
+    ///
+    /// Criteria: (i, gray) `op` moves across everything after it in `G`
+    /// (so the suffix does not depend on it); (ii) the remaining global
+    /// log is still allowed.
+    pub fn unpush(&mut self, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        let check_gray = self.mode() == CheckMode::Checked;
+        let shard = self.shard();
+        {
+            let entry = self
+                .local
+                .entry(op_id)
+                .ok_or(MachineError::NoSuchOp(op_id))?;
+            match entry.flag {
+                LocalFlag::Pushed { .. } => {}
+                LocalFlag::NotPushed { .. } => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "pshd",
+                        found: "npshd",
+                    })
+                }
+                LocalFlag::Pulled => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "pshd",
+                        found: "pld",
+                    })
+                }
+            }
+        }
+        let op = {
+            // Critical section: criteria over G plus the removal, atomic.
+            let mut sh = self.global.lock();
+            let gpos = sh
+                .global
+                .position(op_id)
+                .ok_or(MachineError::NoSuchOp(op_id))?;
+            let op = sh.global.entries()[gpos].op.clone();
+            if checked {
+                // Criterion (i), gray: op slides right across the suffix.
+                if check_gray {
+                    for g in &sh.global.entries()[gpos + 1..] {
+                        if !self.global.mover_q(shard, &op, &g.op) {
+                            self.global.audit.fail(Rule::UnPush, Clause::I);
+                            return Err(MachineError::criterion(
+                                Rule::UnPush,
+                                Clause::I,
+                                format!("{} cannot slide past later {}", op.id, g.op.id),
+                            ));
+                        }
+                    }
+                    self.global.audit.pass(Rule::UnPush, Clause::I);
+                }
+                // Criterion (ii): G without op is still allowed
+                // (incremental: an uncommitted op lies past the cached
+                // committed prefix, so only the suffix is replayed).
+                if !self.global.g_allowed_without(&sh, shard, op_id) {
+                    self.global.audit.fail(Rule::UnPush, Clause::Ii);
+                    return Err(MachineError::criterion(
+                        Rule::UnPush,
+                        Clause::Ii,
+                        format!("global log without {} is not allowed", op.id),
+                    ));
+                }
+                self.global.audit.pass(Rule::UnPush, Clause::Ii);
+            }
+            sh.global.remove_by_id(op_id);
+            self.global.note_removal(&mut sh, gpos);
+            op
+        };
+        let entry = self.local.entry_mut(op_id).expect("checked above");
+        let (saved_code, saved_stack) = match &entry.flag {
+            LocalFlag::Pushed {
+                saved_code,
+                saved_stack,
+            } => (saved_code.clone(), saved_stack.clone()),
+            _ => unreachable!("flag checked above"),
+        };
+        entry.flag = LocalFlag::NotPushed {
+            saved_code,
+            saved_stack,
+        };
+        let tid = self.tid;
+        self.record(Event::UnPush {
+            thread: tid,
+            op: op_id,
+            method: op.method,
+        });
+        Ok(())
+    }
+
+    /// **PULL**: imports another transaction's published operation into
+    /// the local view. The global lock is held only to snapshot the
+    /// pulled entry; criteria and effect are local.
+    ///
+    /// Criteria: (i) not already pulled (`op ∉ L`); (ii) the local log
+    /// allows `op`; (iii, gray) everything the transaction has done
+    /// locally moves right of `op` (so the pull can be seen as having
+    /// preceded the transaction).
+    pub fn pull(&mut self, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        let check_gray = self.mode() == CheckMode::Checked;
+        let shard = self.shard();
+        let gentry = {
+            let sh = self.global.lock();
+            sh.global
+                .entry(op_id)
+                .ok_or(MachineError::NoSuchOp(op_id))?
+                .clone()
+        };
+        if gentry.op.txn == self.txn {
+            return Err(MachineError::WrongFlag {
+                op: op_id,
+                expected: "another transaction's op",
+                found: "own op",
+            });
+        }
+        // Criterion (i): op ∉ L. (Enforced in every mode — a duplicate
+        // entry would corrupt the log structure — but only audited when
+        // criteria checking is on, so Unchecked runs audit nothing.)
+        if self.local.contains_id(op_id) {
+            if checked {
+                self.global.audit.fail(Rule::Pull, Clause::I);
+            }
+            return Err(MachineError::criterion(
+                Rule::Pull,
+                Clause::I,
+                format!("{op_id} already pulled"),
+            ));
+        }
+        if checked {
+            self.global.audit.pass(Rule::Pull, Clause::I);
+        }
+        if checked {
+            // Criterion (ii): L allows op.
+            let local_ops = self.local.ops();
+            if !self.global.allows_q(shard, &local_ops, &gentry.op) {
+                self.global.audit.fail(Rule::Pull, Clause::Ii);
+                return Err(MachineError::criterion(
+                    Rule::Pull,
+                    Clause::Ii,
+                    format!("local log does not allow pulled {}", op_id),
+                ));
+            }
+            self.global.audit.pass(Rule::Pull, Clause::Ii);
+            // Criterion (iii), gray: own local ops move right of op.
+            if check_gray {
+                for own in self.local.own_ops() {
+                    if !self.global.mover_q(shard, &own, &gentry.op) {
+                        self.global.audit.fail(Rule::Pull, Clause::Iii);
+                        return Err(MachineError::criterion(
+                            Rule::Pull,
+                            Clause::Iii,
+                            format!("own {} cannot move right of pulled {}", own.id, op_id),
+                        ));
+                    }
+                }
+                self.global.audit.pass(Rule::Pull, Clause::Iii);
+            }
+        }
+        let reachable_after = self
+            .active_code()
+            .map(|c| c.reachable_methods())
+            .unwrap_or_default();
+        self.local.push_entry(LocalEntry {
+            op: gentry.op.clone(),
+            flag: LocalFlag::Pulled,
+        });
+        let tid = self.tid;
+        self.record(Event::Pull {
+            thread: tid,
+            op: op_id,
+            from: gentry.op.txn,
+            status_at_pull: gentry.flag,
+            method: gentry.op.method,
+            ret: gentry.op.ret,
+            reachable_after,
+        });
+        Ok(())
+    }
+
+    /// **UNPULL**: discards a pulled operation from the local view.
+    /// Entirely thread-local.
+    ///
+    /// Criterion (i): the local log without `op` is still allowed (the
+    /// transaction did nothing that depended on it).
+    pub fn unpull(&mut self, op_id: OpId) -> MachineResult<()> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        let shard = self.shard();
+        {
+            let entry = self
+                .local
+                .entry(op_id)
+                .ok_or(MachineError::NoSuchOp(op_id))?;
+            if !entry.flag.is_pulled() {
+                return Err(MachineError::WrongFlag {
+                    op: op_id,
+                    expected: "pld",
+                    found: "npshd/pshd",
+                });
+            }
+        }
+        if checked {
+            let remaining: Vec<_> = self
+                .local
+                .iter()
+                .filter(|e| e.op.id != op_id)
+                .map(|e| e.op.clone())
+                .collect();
+            if !self.global.allowed_q(shard, &remaining) {
+                self.global.audit.fail(Rule::UnPull, Clause::I);
+                return Err(MachineError::criterion(
+                    Rule::UnPull,
+                    Clause::I,
+                    format!("local log without {} is not allowed", op_id),
+                ));
+            }
+            self.global.audit.pass(Rule::UnPull, Clause::I);
+        }
+        let entry = self.local.remove_by_id(op_id).expect("checked above");
+        let tid = self.tid;
+        self.record(Event::UnPull {
+            thread: tid,
+            op: op_id,
+            method: entry.op.method,
+        });
+        Ok(())
+    }
+
+    /// **CMT**: commits the current transaction. Criteria (i)/(ii) are
+    /// local; criterion (iii) and the `cmt` effect (flag flips, the
+    /// committed-transaction record, cache advance) are one critical
+    /// section.
+    ///
+    /// Criteria: (i) `fin(c)` — some path reaches `skip`; (ii) `L ⊆ G` —
+    /// every own operation has been pushed; (iii) every pulled operation
+    /// belongs to a committed transaction; (iv) own entries in `G` flip
+    /// to `gCmt` (the `cmt` predicate — this is the effect).
+    ///
+    /// On success the thread's next pending transaction (if any) begins.
+    pub fn commit(&mut self) -> MachineResult<TxnId> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        let txn = self.txn;
+        if checked {
+            // Criterion (i): fin(c).
+            if !self.active_code()?.fin() {
+                self.global.audit.fail(Rule::Cmt, Clause::I);
+                return Err(MachineError::criterion(
+                    Rule::Cmt,
+                    Clause::I,
+                    "no method-free path to skip remains".to_string(),
+                ));
+            }
+            self.global.audit.pass(Rule::Cmt, Clause::I);
+            // Criterion (ii): all own ops pushed.
+            if !self.local.fully_pushed() {
+                self.global.audit.fail(Rule::Cmt, Clause::Ii);
+                return Err(MachineError::criterion(
+                    Rule::Cmt,
+                    Clause::Ii,
+                    "local log contains npshd operations".to_string(),
+                ));
+            }
+            self.global.audit.pass(Rule::Cmt, Clause::Ii);
+        }
+        let (own_ops, pulled_from) = {
+            let pulled = self
+                .local
+                .iter()
+                .filter(|e| e.flag.is_pulled())
+                .map(|e| (e.op.id, e.op.txn))
+                .collect();
+            (self.local.own_ops(), pulled)
+        };
+        let flipped = {
+            // Critical section: criterion (iii) plus cmt(G, L, G'), atomic.
+            let mut sh = self.global.lock();
+            if checked {
+                // Criterion (iii): every pulled op is committed.
+                for pulled in self.local.pulled_ops() {
+                    match sh.global.entry(pulled.id) {
+                        Some(e) if e.flag == GlobalFlag::Committed => {}
+                        Some(_) => {
+                            self.global.audit.fail(Rule::Cmt, Clause::Iii);
+                            return Err(MachineError::criterion(
+                                Rule::Cmt,
+                                Clause::Iii,
+                                format!("pulled {} is still uncommitted", pulled.id),
+                            ));
+                        }
+                        None => {
+                            self.global.audit.fail(Rule::Cmt, Clause::Iii);
+                            return Err(MachineError::criterion(
+                                Rule::Cmt,
+                                Clause::Iii,
+                                format!("pulled {} vanished from the global log", pulled.id),
+                            ));
+                        }
+                    }
+                }
+                self.global.audit.pass(Rule::Cmt, Clause::Iii);
+            }
+            let flipped = sh.global.commit_local(&self.local);
+            sh.committed.push(CommittedTxn {
+                txn,
+                thread: self.tid,
+                code: self.original.clone(),
+                ops: own_ops,
+                pulled_from,
+            });
+            // Newly committed entries may extend the fully committed
+            // prefix: advance the denotation cache over them.
+            self.global.advance_cache(&mut sh);
+            flipped
+        };
+        let tid = self.tid;
+        self.record(Event::Commit {
+            thread: tid,
+            txn,
+            ops: flipped,
+        });
+        self.commits += 1;
+        self.local = LocalLog::new();
+        self.stack = Vec::new();
+        match self.pending.pop_front() {
+            Some(c) => {
+                let next_txn = self.global.fresh_txn();
+                self.code = Some(c.clone());
+                self.original = c;
+                self.txn = next_txn;
+                self.record(Event::Begin {
+                    thread: tid,
+                    txn: next_txn,
+                });
+            }
+            None => {
+                self.code = None;
+            }
+        }
+        Ok(txn)
+    }
+
+    // ------------------------------------------------------------------
+    // Derived operations (compositions of back rules).
+    // ------------------------------------------------------------------
+
+    /// Fully rewinds the current transaction (the composition of `⃗back`
+    /// rules: UNPULL/UNPUSH/UNAPP from the tail) and restarts it as a
+    /// fresh transaction instance with the original code.
+    ///
+    /// Records an `Abort` plus a `Begin` event.
+    pub fn abort_and_retry(&mut self) -> MachineResult<TxnId> {
+        if self.code.is_none() {
+            // A finished thread has nothing to abort; restarting its last
+            // transaction here would resurrect committed work.
+            return Err(MachineError::ThreadFinished(self.tid));
+        }
+        self.rewind_all()?;
+        let old = self.txn;
+        let txn = self.global.fresh_txn();
+        self.aborts += 1;
+        self.code = Some(self.original.clone());
+        self.stack = Vec::new();
+        self.txn = txn;
+        let tid = self.tid;
+        self.record(Event::Abort {
+            thread: tid,
+            txn: old,
+        });
+        self.record(Event::Begin { thread: tid, txn });
+        Ok(txn)
+    }
+
+    /// Rewinds the current transaction completely: walking the local log
+    /// from the tail, pulled entries are UNPULLed, pushed entries are
+    /// UNPUSHed then UNAPPed, unpushed entries are UNAPPed.
+    pub fn rewind_all(&mut self) -> MachineResult<()> {
+        loop {
+            let last = match self.local.entries().last() {
+                None => return Ok(()),
+                Some(e) => (e.op.id, e.flag.clone()),
+            };
+            match last.1 {
+                LocalFlag::Pulled => {
+                    self.unpull(last.0)?;
+                }
+                LocalFlag::Pushed { .. } => {
+                    self.unpush(last.0)?;
+                    self.unapp()?;
+                }
+                LocalFlag::NotPushed { .. } => {
+                    self.unapp()?;
+                }
+            }
+        }
+    }
+
+    /// Rewinds the current transaction's local log down to `target_len`
+    /// entries, taking whatever back rules the tail requires — the
+    /// checkpoint/partial-abort mechanism of §6.2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates criterion violations from the constituent
+    /// UNPUSH/UNPULL steps (an UNAPP at the tail never fails).
+    pub fn rewind_to(&mut self, target_len: usize) -> MachineResult<()> {
+        loop {
+            if self.local.len() <= target_len {
+                return Ok(());
+            }
+            let last = self
+                .local
+                .entries()
+                .last()
+                .map(|e| (e.op.id, e.flag.clone()));
+            match last {
+                None => return Ok(()),
+                Some((id, LocalFlag::Pulled)) => self.unpull(id)?,
+                Some((id, LocalFlag::Pushed { .. })) => {
+                    self.unpush(id)?;
+                    self.unapp()?;
+                }
+                Some((_, LocalFlag::NotPushed { .. })) => {
+                    self.unapp()?;
+                }
+            }
+        }
+    }
+
+    /// Pushes every unpushed own operation in local order, then commits —
+    /// the optimistic commit sequence ("PUSH everything and CMT at an
+    /// uninterleaved moment", §6.2).
+    pub fn push_all_and_commit(&mut self) -> MachineResult<TxnId> {
+        let unpushed: Vec<OpId> = self.local.not_pushed_ops().iter().map(|o| o.id).collect();
+        for id in unpushed {
+            self.push(id)?;
+        }
+        self.commit()
+    }
+
+    /// Ids of the current transaction's unpushed operations, in order.
+    pub fn unpushed_ids(&self) -> Vec<OpId> {
+        self.local.not_pushed_ops().iter().map(|o| o.id).collect()
+    }
+
+    /// Pulls every *committed* global operation not yet in the local log,
+    /// in global-log order — how opaque transactions snapshot the shared
+    /// state (§6.2: "transactions begin by PULLing all operations").
+    pub fn pull_all_committed(&mut self) -> MachineResult<usize> {
+        let candidates: Vec<OpId> = {
+            let sh = self.global.lock();
+            sh.global
+                .iter()
+                .filter(|e| e.flag == GlobalFlag::Committed && !self.local.contains_id(e.op.id))
+                .map(|e| e.op.id)
+                .collect()
+        };
+        let mut n = 0;
+        for id in candidates {
+            self.pull(id)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}

@@ -37,7 +37,11 @@ pub struct InvariantViolation {
 
 impl std::fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} violated at {}: {}", self.name, self.thread, self.detail)
+        write!(
+            f,
+            "{} violated at {}: {}",
+            self.name, self.thread, self.detail
+        )
     }
 }
 
@@ -75,7 +79,8 @@ pub fn check_i_lg<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolation> {
 /// aborts, or they after it).
 pub fn check_i_slide_r<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolation> {
     let mut out = Vec::new();
-    let entries = m.global().entries();
+    let g = m.global();
+    let entries = g.entries();
     for tid in 0..m.thread_count() {
         let tid = ThreadId(tid);
         let t = m.thread(tid).expect("indexed");
@@ -126,8 +131,7 @@ pub fn check_i_reorder_push<S: SeqSpec>(m: &Machine<S>) -> Vec<InvariantViolatio
         for (i, m1) in own.iter().enumerate() {
             for m2 in &own[i + 1..] {
                 // m1 before m2 locally. In G: m2 before m1 (both uncommitted)?
-                let (Some(p1), Some(p2)) =
-                    (m.global().position(m1.id), m.global().position(m2.id))
+                let (Some(p1), Some(p2)) = (m.global().position(m1.id), m.global().position(m2.id))
                 else {
                     continue;
                 };
@@ -217,7 +221,9 @@ pub fn self_rewind_points<S: SeqSpec>(
         Ok(t) => t,
         Err(_) => return Vec::new(),
     };
-    let Some(active) = t.code() else { return Vec::new() };
+    let Some(active) = t.code() else {
+        return Vec::new();
+    };
     let entries = t.local().entries();
     let mut out = Vec::new();
     // Rewinding k tail entries: the code at that point is the saved code
@@ -310,10 +316,7 @@ pub fn check_cmtpres<S: SeqSpec>(m: &Machine<S>, tid: ThreadId, limits: RunLimit
         // what matters is which ops are present.
         let g_post: Vec<Op<S::Method, S::Ret>> = gg
             .iter()
-            .filter(|o| {
-                !own_ids.contains(&o.id)
-                    || rp.pushed_ops.iter().any(|p| p.id == o.id)
-            })
+            .filter(|o| !own_ids.contains(&o.id) || rp.pushed_ops.iter().any(|p| p.id == o.id))
             .cloned()
             .collect();
         let mut start_log = g_post.clone();
@@ -402,8 +405,22 @@ mod tests {
         m.app_auto(b).unwrap();
         let pb = m.unpushed_ids(b).unwrap();
         m.push(b, pb[0]).unwrap();
-        assert!(check_cmtpres(&m, ThreadId(0), RunLimits { max_ops: 4, max_runs: 64 }));
-        assert!(check_cmtpres(&m, ThreadId(1), RunLimits { max_ops: 4, max_runs: 64 }));
+        assert!(check_cmtpres(
+            &m,
+            ThreadId(0),
+            RunLimits {
+                max_ops: 4,
+                max_runs: 64
+            }
+        ));
+        assert!(check_cmtpres(
+            &m,
+            ThreadId(1),
+            RunLimits {
+                max_ops: 4,
+                max_runs: 64
+            }
+        ));
     }
 
     #[test]

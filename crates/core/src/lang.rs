@@ -263,7 +263,10 @@ mod tests {
             m("c2"),
         ));
         let steps = c.step();
-        let n_step = steps.iter().find(|(name, _)| *name == "n").expect("n reachable");
+        let n_step = steps
+            .iter()
+            .find(|(name, _)| *name == "n")
+            .expect("n reachable");
         // Continuation reduces to c2 (modulo skip-sequencing).
         let next: Vec<&str> = n_step.1.step().into_iter().map(|(n, _)| n).collect();
         assert_eq!(next, vec!["c2"]);

@@ -66,6 +66,8 @@
 pub mod atomic;
 pub mod audit;
 pub mod error;
+pub mod global;
+pub mod handle;
 pub mod invariants;
 pub mod lang;
 pub mod log;
@@ -73,6 +75,7 @@ pub mod machine;
 pub mod op;
 pub mod opacity;
 pub mod precongruence;
+pub mod rng;
 pub mod serializability;
 pub mod spec;
 pub mod structural;
@@ -80,6 +83,8 @@ pub mod toy;
 pub mod trace;
 
 pub use error::{Clause, CriterionViolation, MachineError, MachineResult, Rule};
+pub use global::GlobalState;
+pub use handle::TxnHandle;
 pub use lang::Code;
 pub use log::{GlobalFlag, GlobalLog, LocalFlag, LocalLog};
 pub use machine::{CheckMode, Machine};

@@ -85,7 +85,9 @@ pub struct LocalLog<M, R> {
 impl<M: Clone, R: Clone> LocalLog<M, R> {
     /// Creates an empty local log.
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of entries.
@@ -226,7 +228,9 @@ pub struct GlobalLog<M, R> {
 impl<M: Clone, R: Clone> GlobalLog<M, R> {
     /// Creates an empty global log.
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of entries.
@@ -251,7 +255,10 @@ impl<M: Clone, R: Clone> GlobalLog<M, R> {
 
     /// Appends an uncommitted entry (the effect of a PUSH).
     pub fn push_uncommitted(&mut self, op: Op<M, R>) {
-        self.entries.push(GlobalEntry { op, flag: GlobalFlag::Uncommitted });
+        self.entries.push(GlobalEntry {
+            op,
+            flag: GlobalFlag::Uncommitted,
+        });
     }
 
     /// Removes the entry with the given id (the effect of an UNPUSH),
@@ -362,19 +369,28 @@ mod tests {
     fn npshd(id: u64, txn: u64) -> LocalEntry<CounterMethod, i64> {
         LocalEntry {
             op: op(id, txn),
-            flag: LocalFlag::NotPushed { saved_code: Code::Skip, saved_stack: vec![] },
+            flag: LocalFlag::NotPushed {
+                saved_code: Code::Skip,
+                saved_stack: vec![],
+            },
         }
     }
 
     fn pshd(id: u64, txn: u64) -> LocalEntry<CounterMethod, i64> {
         LocalEntry {
             op: op(id, txn),
-            flag: LocalFlag::Pushed { saved_code: Code::Skip, saved_stack: vec![] },
+            flag: LocalFlag::Pushed {
+                saved_code: Code::Skip,
+                saved_stack: vec![],
+            },
         }
     }
 
     fn pld(id: u64, txn: u64) -> LocalEntry<CounterMethod, i64> {
-        LocalEntry { op: op(id, txn), flag: LocalFlag::Pulled }
+        LocalEntry {
+            op: op(id, txn),
+            flag: LocalFlag::Pulled,
+        }
     }
 
     #[test]

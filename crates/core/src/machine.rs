@@ -1,35 +1,53 @@
-//! The PUSH/PULL machine (paper §4, Figures 4–6).
+//! The PUSH/PULL machine (paper §4, Figures 4–6) — a facade over the
+//! split state.
 //!
-//! A [`Machine`] holds a list of threads — each `{c, σ, L}`: remaining
-//! code, stack and local log — and the shared global log `G`. The seven
-//! rules of Figure 5 are methods: [`Machine::app`], [`Machine::unapp`],
-//! [`Machine::push`], [`Machine::unpush`], [`Machine::pull`],
-//! [`Machine::unpull`] and [`Machine::commit`]. In [`CheckMode::Checked`]
-//! every rule *criterion* is verified before the step is taken; a failing
-//! criterion returns [`MachineError::Criterion`] naming the rule and
-//! clause. Because Theorem 5.17 proves any criteria-respecting run
-//! serializable, algorithms driven through a checked machine are
-//! serializable **by construction** on every run they take — the
-//! independent oracle in [`crate::serializability`] re-verifies this in
-//! the test suites.
+//! A [`Machine`] owns one [`GlobalState`] (the shared log `G`, the
+//! committed-transaction list, the criteria audit — see
+//! [`crate::global`]) and one [`TxnHandle`] per thread (code, stack and
+//! local log `L` — see [`crate::handle`]). The seven rules of Figure 5
+//! are methods: [`Machine::app`], [`Machine::unapp`], [`Machine::push`],
+//! [`Machine::unpush`], [`Machine::pull`], [`Machine::unpull`] and
+//! [`Machine::commit`]; each delegates to the thread's handle, which is
+//! where the rule logic and its lock discipline live. In
+//! [`CheckMode::Checked`] every rule *criterion* is verified before the
+//! step is taken; a failing criterion returns [`MachineError::Criterion`]
+//! naming the rule and clause. Because Theorem 5.17 proves any
+//! criteria-respecting run serializable, algorithms driven through a
+//! checked machine are serializable **by construction** on every run they
+//! take — the independent oracle in [`crate::serializability`] re-verifies
+//! this in the test suites.
+//!
+//! Sequential drivers use the machine as a single object; the parallel
+//! harness instead borrows the handles individually
+//! ([`Machine::handles_mut`]) and hands one to each OS worker — that is
+//! the point of the split: APP/UNAPP proceed with no global lock, and
+//! only PUSH/UNPUSH/PULL/CMT serialize on the short [`GlobalState`]
+//! critical section.
 //!
 //! Threads execute a *sequence of transactions* (each program in the list
 //! passed to [`Machine::add_thread`] is one `tx c` body). Nested
 //! transactions are flattened, as in the paper.
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::audit::CriteriaAudit;
-use crate::error::{Clause, MachineError, MachineResult, Rule};
+use crate::error::{MachineError, MachineResult};
+use crate::global::GlobalState;
+use crate::handle::TxnHandle;
 use crate::lang::Code;
-use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
-use crate::op::{Op, OpId, OpIdGen, ThreadId, TxnId};
+use crate::log::GlobalLog;
+use crate::op::{OpId, ThreadId, TxnId};
 use crate::spec::SeqSpec;
-use crate::trace::{Event, Trace};
+use crate::trace::Trace;
+
+pub use crate::global::CommittedTxn;
 
 /// The `(method, continuation)` pairs `step(c)` offers a thread.
 pub type StepOptions<M> = Vec<(M, Code<M>)>;
+
+/// A thread of the machine — alias kept from before the
+/// [`GlobalState`]/[`TxnHandle`] split.
+pub type Thread<S> = TxnHandle<S>;
 
 /// How strictly rule criteria are enforced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,100 +64,27 @@ pub enum CheckMode {
     Unchecked,
 }
 
-/// A thread `{c, σ, L}` plus its queue of future transactions.
-#[derive(Debug, Clone)]
-pub struct Thread<S: SeqSpec> {
-    /// Current transaction instance id.
-    txn: TxnId,
-    /// Remaining code of the current transaction (`None` once all
-    /// transactions have completed — the paper's MS_END).
-    code: Option<Code<S::Method>>,
-    /// The original `tx c` body, for rewinds and the atomic oracle (`otx`).
-    original: Code<S::Method>,
-    /// Observation history of the current transaction (the stack σ).
-    stack: Vec<(S::Method, S::Ret)>,
-    /// The local log `L`.
-    local: LocalLog<S::Method, S::Ret>,
-    /// Transactions not yet started.
-    pending: VecDeque<Code<S::Method>>,
-    /// Commits performed by this thread.
-    commits: u64,
-    /// Aborts performed by this thread.
-    aborts: u64,
-}
-
-impl<S: SeqSpec> Thread<S> {
-    /// The current transaction instance id.
-    pub fn txn(&self) -> TxnId {
-        self.txn
-    }
-
-    /// The remaining code, if a transaction is active.
-    pub fn code(&self) -> Option<&Code<S::Method>> {
-        self.code.as_ref()
-    }
-
-    /// The original body of the current transaction (the paper's `otx`).
-    pub fn original(&self) -> &Code<S::Method> {
-        &self.original
-    }
-
-    /// The observation history (stack σ) of the current transaction.
-    pub fn stack(&self) -> &[(S::Method, S::Ret)] {
-        &self.stack
-    }
-
-    /// The local log `L`.
-    pub fn local(&self) -> &LocalLog<S::Method, S::Ret> {
-        &self.local
-    }
-
-    /// Has this thread completed all of its transactions?
-    pub fn is_done(&self) -> bool {
-        self.code.is_none() && self.pending.is_empty()
-    }
-
-    /// Number of committed transactions.
-    pub fn commits(&self) -> u64 {
-        self.commits
-    }
-
-    /// Number of aborted transaction attempts.
-    pub fn aborts(&self) -> u64 {
-        self.aborts
-    }
-}
-
-/// A committed transaction: its id and its own operations in local-log
-/// order. The sequence of these, in commit order, is the serial witness
-/// used by the serializability oracle.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CommittedTxn<M, R> {
-    /// The committed transaction instance.
-    pub txn: TxnId,
-    /// The thread that ran it.
-    pub thread: ThreadId,
-    /// The original transaction body (the paper's `otx`), for atomic replay.
-    pub code: Code<M>,
-    /// Own operations (pushed), in local order.
-    pub ops: Vec<Op<M, R>>,
-    /// Ids of operations this transaction had pulled, with the owning
-    /// transaction (its dependencies).
-    pub pulled_from: Vec<(OpId, TxnId)>,
-}
-
-/// The PUSH/PULL machine: threads `T`, shared log `G`, and a recorder.
-#[derive(Debug, Clone)]
+/// The PUSH/PULL machine: per-thread [`TxnHandle`]s sharing one
+/// [`GlobalState`].
+#[derive(Debug)]
 pub struct Machine<S: SeqSpec> {
-    spec: S,
-    threads: Vec<Thread<S>>,
-    global: GlobalLog<S::Method, S::Ret>,
-    ids: OpIdGen,
-    next_txn: u64,
-    trace: Trace<S::Method, S::Ret>,
-    mode: CheckMode,
-    committed: Vec<CommittedTxn<S::Method, S::Ret>>,
-    audit: RefCell<CriteriaAudit>,
+    global: Arc<GlobalState<S>>,
+    handles: Vec<TxnHandle<S>>,
+}
+
+impl<S: SeqSpec + Clone> Clone for Machine<S> {
+    /// Deep copy: the shared state is cloned (fresh generators, audit and
+    /// log) and every handle is re-pointed at the copy, so clones share
+    /// nothing — the property the model checker's branching relies on.
+    fn clone(&self) -> Self {
+        let global = Arc::new(self.global.deep_clone());
+        let handles = self
+            .handles
+            .iter()
+            .map(|h| h.clone_with(Arc::clone(&global)))
+            .collect();
+        Self { global, handles }
+    }
 }
 
 impl<S: SeqSpec> Machine<S> {
@@ -168,15 +113,8 @@ impl<S: SeqSpec> Machine<S> {
     /// Creates a machine with an explicit [`CheckMode`].
     pub fn with_mode(spec: S, mode: CheckMode) -> Self {
         Self {
-            spec,
-            threads: Vec::new(),
-            global: GlobalLog::new(),
-            ids: OpIdGen::new(),
-            next_txn: 0,
-            trace: Trace::new(),
-            mode,
-            committed: Vec::new(),
-            audit: RefCell::new(CriteriaAudit::default()),
+            global: Arc::new(GlobalState::new(spec, mode)),
+            handles: Vec::new(),
         }
     }
 
@@ -184,181 +122,134 @@ impl<S: SeqSpec> Machine<S> {
     /// run has discharged (checked-and-passed) or violated, and how many
     /// primitive mover/`allowed` queries they cost.
     pub fn audit(&self) -> CriteriaAudit {
-        self.audit.borrow().clone()
+        self.global.audit_snapshot()
     }
 
     /// Clears the criteria audit counters.
     pub fn reset_audit(&mut self) {
-        *self.audit.borrow_mut() = CriteriaAudit::default();
-    }
-
-    fn audit_pass(&self, rule: Rule, clause: Clause) {
-        self.audit.borrow_mut().pass(rule, clause);
-    }
-
-    fn audit_fail(&self, rule: Rule, clause: Clause) {
-        self.audit.borrow_mut().fail(rule, clause);
-    }
-
-    /// Mover query with audit accounting.
-    fn mover_q(
-        &self,
-        a: &Op<S::Method, S::Ret>,
-        b: &Op<S::Method, S::Ret>,
-    ) -> bool {
-        self.audit.borrow_mut().mover_queries += 1;
-        self.spec.mover(a, b)
-    }
-
-    /// `allows` query with audit accounting.
-    fn allows_q(&self, log: &[Op<S::Method, S::Ret>], op: &Op<S::Method, S::Ret>) -> bool {
-        self.audit.borrow_mut().allowed_queries += 1;
-        self.spec.allows(log, op)
-    }
-
-    /// `allowed` query with audit accounting.
-    fn allowed_q(&self, log: &[Op<S::Method, S::Ret>]) -> bool {
-        self.audit.borrow_mut().allowed_queries += 1;
-        self.spec.allowed(log)
+        self.global.audit.reset();
     }
 
     /// The sequential specification.
     pub fn spec(&self) -> &S {
-        &self.spec
+        self.global.spec()
     }
 
-    /// The shared log `G`.
-    pub fn global(&self) -> &GlobalLog<S::Method, S::Ret> {
+    /// The shared half of the machine.
+    pub fn global_state(&self) -> &Arc<GlobalState<S>> {
         &self.global
     }
 
-    /// The recorded trace.
-    pub fn trace(&self) -> &Trace<S::Method, S::Ret> {
-        &self.trace
+    /// Is the incremental (committed-prefix cached) `allowed` evaluation
+    /// enabled? See [`GlobalState::set_incremental`].
+    pub fn incremental(&self) -> bool {
+        self.global.incremental()
+    }
+
+    /// Switches between incremental and full-replay criteria evaluation;
+    /// both produce identical verdicts and audit counts.
+    pub fn set_incremental(&self, on: bool) {
+        self.global.set_incremental(on);
+    }
+
+    /// A snapshot of the shared log `G`.
+    pub fn global(&self) -> GlobalLog<S::Method, S::Ret> {
+        self.global.lock().global.clone()
+    }
+
+    /// The recorded trace: every handle's sequence-stamped event buffer,
+    /// merged into the real-time total order.
+    pub fn trace(&self) -> Trace<S::Method, S::Ret> {
+        let mut stamped: Vec<&crate::handle::StampedEvent<S>> = self
+            .handles
+            .iter()
+            .flat_map(|h| h.events().iter())
+            .collect();
+        stamped.sort_by_key(|(seq, _)| *seq);
+        let mut trace = Trace::new();
+        for (_, e) in stamped {
+            trace.record(e.clone());
+        }
+        trace
     }
 
     /// The current check mode.
     pub fn mode(&self) -> CheckMode {
-        self.mode
+        self.global.mode()
     }
 
     /// Committed transactions in commit order (the serial witness).
-    pub fn committed_txns(&self) -> &[CommittedTxn<S::Method, S::Ret>] {
-        &self.committed
+    pub fn committed_txns(&self) -> Vec<CommittedTxn<S::Method, S::Ret>> {
+        self.global.lock().committed.clone()
     }
 
     /// Number of threads (live and done).
     pub fn thread_count(&self) -> usize {
-        self.threads.len()
+        self.handles.len()
     }
 
-    /// Immutable access to a thread.
-    pub fn thread(&self, tid: ThreadId) -> MachineResult<&Thread<S>> {
-        self.threads.get(tid.0).ok_or(MachineError::NoSuchThread(tid))
+    /// Immutable access to a thread's handle.
+    pub fn thread(&self, tid: ThreadId) -> MachineResult<&TxnHandle<S>> {
+        self.handles
+            .get(tid.0)
+            .ok_or(MachineError::NoSuchThread(tid))
     }
 
-    fn thread_mut(&mut self, tid: ThreadId) -> MachineResult<&mut Thread<S>> {
-        self.threads.get_mut(tid.0).ok_or(MachineError::NoSuchThread(tid))
+    /// Mutable access to a thread's handle — how drivers and the parallel
+    /// harness run rules directly on the per-thread half.
+    pub fn handle_mut(&mut self, tid: ThreadId) -> MachineResult<&mut TxnHandle<S>> {
+        self.handles
+            .get_mut(tid.0)
+            .ok_or(MachineError::NoSuchThread(tid))
+    }
+
+    /// Mutable access to every handle at once. The parallel harness uses
+    /// this to give each OS worker its own handle; the handles all share
+    /// the machine's [`GlobalState`].
+    pub fn handles_mut(&mut self) -> &mut [TxnHandle<S>] {
+        &mut self.handles
     }
 
     /// Adds a thread that will run `programs` as a sequence of
     /// transactions (each element is one `tx c` body). The first
     /// transaction begins immediately.
     pub fn add_thread(&mut self, programs: Vec<Code<S::Method>>) -> ThreadId {
-        let tid = ThreadId(self.threads.len());
-        let mut pending: VecDeque<Code<S::Method>> = programs.into();
-        let (code, original) = match pending.pop_front() {
-            Some(c) => (Some(c.clone()), c),
-            None => (None, Code::Skip),
-        };
-        let txn = TxnId(self.next_txn);
-        self.next_txn += 1;
-        self.threads.push(Thread {
-            txn,
-            code,
-            original,
-            stack: Vec::new(),
-            local: LocalLog::new(),
-            pending,
-            commits: 0,
-            aborts: 0,
-        });
-        if self.threads[tid.0].code.is_some() {
-            self.trace.record(Event::Begin { thread: tid, txn });
-        }
+        let tid = ThreadId(self.handles.len());
+        self.handles
+            .push(TxnHandle::new(Arc::clone(&self.global), tid, programs));
         tid
     }
 
     /// Enqueues another transaction body on an existing thread.
     pub fn enqueue_txn(&mut self, tid: ThreadId, program: Code<S::Method>) -> MachineResult<()> {
-        let begins_now;
-        {
-            let t = self.thread_mut(tid)?;
-            if t.code.is_none() && t.pending.is_empty() {
-                // Thread was done: restart it with this program.
-                t.code = Some(program.clone());
-                t.original = program;
-                begins_now = Some(t.txn);
-            } else {
-                t.pending.push_back(program);
-                begins_now = None;
-            }
-        }
-        if begins_now.is_some() {
-            // Mint a fresh txn id for the restarted thread.
-            let txn = TxnId(self.next_txn);
-            self.next_txn += 1;
-            let t = self.thread_mut(tid)?;
-            t.txn = txn;
-            self.trace.record(Event::Begin { thread: tid, txn });
-        }
+        self.handle_mut(tid)?.enqueue(program);
         Ok(())
-    }
-
-    fn active_code(&self, tid: ThreadId) -> MachineResult<&Code<S::Method>> {
-        self.thread(tid)?.code.as_ref().ok_or(MachineError::ThreadFinished(tid))
     }
 
     /// `step(c)` for the thread's current code: every next reachable
     /// method with its continuation.
     pub fn step_options(&self, tid: ThreadId) -> MachineResult<StepOptions<S::Method>> {
-        Ok(self.active_code(tid)?.step())
+        self.thread(tid)?.step_options()
     }
 
     /// `fin(c)` for the thread's current code.
     pub fn can_finish(&self, tid: ThreadId) -> MachineResult<bool> {
-        Ok(self.active_code(tid)?.fin())
+        self.thread(tid)?.can_finish()
     }
 
     /// Return values `r` such that the local log allows `⟨m, r⟩`
     /// (APP criterion (ii) candidates).
     pub fn allowed_results(&self, tid: ThreadId, method: &S::Method) -> MachineResult<Vec<S::Ret>> {
-        let t = self.thread(tid)?;
-        let states = self.spec.denote(&t.local.ops());
-        let mut out: Vec<S::Ret> = Vec::new();
-        for s in &states {
-            for r in self.spec.results(s, method) {
-                if !out.contains(&r) {
-                    out.push(r);
-                }
-            }
-        }
-        // Filter to those actually allowed from the full state set.
-        out.retain(|r| {
-            let op = Op::new(OpId(u64::MAX), t.txn, method.clone(), r.clone());
-            !self.spec.denote_from(&states, std::slice::from_ref(&op)).is_empty()
-        });
-        Ok(out)
+        self.thread(tid)?.allowed_results(method)
     }
-
-    // ------------------------------------------------------------------
-    // Structural reductions (Figure 6).
-    // ------------------------------------------------------------------
 
     /// The structural steps (Figure 6) applicable to the thread's current
     /// code at its leftmost redex.
-    pub fn struct_options(&self, tid: ThreadId) -> MachineResult<Vec<crate::structural::StructStep>> {
-        Ok(crate::structural::applicable(self.active_code(tid)?))
+    pub fn struct_options(
+        &self,
+        tid: ThreadId,
+    ) -> MachineResult<Vec<crate::structural::StructStep>> {
+        self.thread(tid)?.struct_options()
     }
 
     /// Applies one structural reduction (NONDETL/NONDETR/LOOP/SEMISKIP,
@@ -377,29 +268,16 @@ impl<S: SeqSpec> Machine<S> {
         tid: ThreadId,
         step: crate::structural::StructStep,
     ) -> MachineResult<()> {
-        let code = self.active_code(tid)?;
-        match crate::structural::apply(code, step) {
-            Some(next) => {
-                self.thread_mut(tid)?.code = Some(next);
-                Ok(())
-            }
-            None => Err(MachineError::NoSuchStep(tid)),
-        }
+        self.handle_mut(tid)?.struct_step(step)
     }
 
     // ------------------------------------------------------------------
-    // The seven rules of Figure 5.
+    // The seven rules of Figure 5 (delegated to the thread's handle).
     // ------------------------------------------------------------------
 
-    /// **APP**: applies `method` with continuation `cont` and return `ret`.
-    ///
-    /// Criteria: (i) `(method, cont) ∈ step(c)`; (ii) the local log allows
-    /// `⟨m, σ, σ′, id⟩`; (iii) `id` fresh (by construction).
-    ///
-    /// # Errors
-    ///
-    /// [`MachineError::NoSuchStep`] if (i) fails,
-    /// [`MachineError::Criterion`] if (ii) fails.
+    /// **APP** (Figure 5): applies `method` with continuation `cont` and
+    /// return value `ret`, recording the operation `npshd` in `L`.
+    /// Thread-local; see [`TxnHandle::app`] for the criteria.
     pub fn app(
         &mut self,
         tid: ThreadId,
@@ -407,504 +285,74 @@ impl<S: SeqSpec> Machine<S> {
         cont: Code<S::Method>,
         ret: S::Ret,
     ) -> MachineResult<OpId> {
-        let checked = self.mode != CheckMode::Unchecked;
-        let txn = self.thread(tid)?.txn;
-        // Criterion (i): (m, c') ∈ step(c).
-        let code = self.active_code(tid)?.clone();
-        if checked && !code.step().iter().any(|(m, k)| *m == method && *k == cont) {
-            return Err(MachineError::NoSuchStep(tid));
-        }
-        let id = self.ids.fresh();
-        let op = Op::new(id, txn, method.clone(), ret.clone());
-        // Criterion (ii): L allows op.
-        if checked {
-            let local_ops = self.thread(tid)?.local.ops();
-            if !self.allows_q(&local_ops, &op) {
-                self.audit_fail(Rule::App, Clause::Ii);
-                return Err(MachineError::criterion(
-                    Rule::App,
-                    Clause::Ii,
-                    format!("local log does not allow {:?} -> {:?}", method, ret),
-                ));
-            }
-            self.audit_pass(Rule::App, Clause::Ii);
-        }
-        let t = self.thread_mut(tid)?;
-        let saved_code = code;
-        let saved_stack = t.stack.clone();
-        t.stack.push((method.clone(), ret.clone()));
-        t.code = Some(cont);
-        t.local.push_entry(LocalEntry {
-            op,
-            flag: LocalFlag::NotPushed { saved_code, saved_stack },
-        });
-        self.trace.record(Event::App { thread: tid, op: id, method, ret });
-        Ok(id)
+        self.handle_mut(tid)?.app(method, cont, ret)
     }
 
     /// **APP**, selecting the first `step(c)` option whose method equals
     /// `method` and the first allowed return value.
     pub fn app_method(&mut self, tid: ThreadId, method: &S::Method) -> MachineResult<OpId> {
-        let options = self.step_options(tid)?;
-        let (m, cont) = options
-            .into_iter()
-            .find(|(m, _)| m == method)
-            .ok_or(MachineError::NoSuchStep(tid))?;
-        let rets = self.allowed_results(tid, &m)?;
-        let ret = rets.into_iter().next().ok_or(MachineError::NoAllowedResult(tid))?;
-        self.app(tid, m, cont, ret)
+        self.handle_mut(tid)?.app_method(method)
     }
 
-    /// **APP**, selecting the first `step(c)` option and the first allowed
-    /// return value.
+    /// **APP**, selecting the first `step(c)` option and the first
+    /// allowed return value.
     pub fn app_auto(&mut self, tid: ThreadId) -> MachineResult<OpId> {
-        let options = self.step_options(tid)?;
-        let (m, cont) = options.into_iter().next().ok_or(MachineError::NoSuchStep(tid))?;
-        let rets = self.allowed_results(tid, &m)?;
-        let ret = rets.into_iter().next().ok_or(MachineError::NoAllowedResult(tid))?;
-        self.app(tid, m, cont, ret)
+        self.handle_mut(tid)?.app_auto()
     }
 
-    /// **UNAPP**: rewinds the most recent local entry, which must be
-    /// `npshd`; restores the saved code and stack.
-    ///
-    /// # Errors
-    ///
-    /// [`MachineError::NothingToUnapply`] if the local log is empty or its
-    /// last entry is not `npshd`.
+    /// **UNAPP**: rewinds the most recent local entry (which must be
+    /// `npshd`), restoring the saved code and stack.
     pub fn unapp(&mut self, tid: ThreadId) -> MachineResult<OpId> {
-        let t = self.thread_mut(tid)?;
-        let entry = match t.local.entries().last() {
-            Some(e) if e.flag.is_not_pushed() => t.local.pop_entry().expect("non-empty"),
-            _ => return Err(MachineError::NothingToUnapply(tid)),
-        };
-        let (saved_code, saved_stack) = match entry.flag {
-            LocalFlag::NotPushed { saved_code, saved_stack } => (saved_code, saved_stack),
-            _ => unreachable!("checked above"),
-        };
-        t.code = Some(saved_code);
-        t.stack = saved_stack;
-        self.trace.record(Event::UnApp { thread: tid, op: entry.op.id, method: entry.op.method });
-        Ok(entry.op.id)
+        self.handle_mut(tid)?.unapp()
     }
 
-    /// **PUSH**: publishes a local `npshd` operation to the shared log.
-    ///
-    /// Criteria: (i) `op` moves across every *earlier* unpushed own
-    /// operation (`op ◁ op′`, Def 4.1 — trivial when pushing in APP
-    /// order); (ii) every uncommitted operation of *other* transactions in
-    /// `G` moves right of `op` (`op_u ◁ op` fails ⇒ conflict), ensuring
-    /// the pusher can still serialize before all concurrent uncommitted
-    /// transactions; (iii) `G` allows `op`.
-    ///
-    /// # Errors
-    ///
-    /// [`MachineError::Criterion`] with the failing clause; `WrongFlag` /
-    /// `NoSuchOp` on structural misuse.
+    /// **PUSH**: publishes a local operation to the shared log. See
+    /// [`TxnHandle::push`] for the criteria and the critical section.
     pub fn push(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
-        let checked = self.mode != CheckMode::Unchecked;
-        let txn = self.thread(tid)?.txn;
-        let (op, pos) = {
-            let t = self.thread(tid)?;
-            let pos = t.local.position(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
-            let entry = &t.local.entries()[pos];
-            match entry.flag {
-                LocalFlag::NotPushed { .. } => {}
-                LocalFlag::Pushed { .. } => {
-                    return Err(MachineError::WrongFlag { op: op_id, expected: "npshd", found: "pshd" })
-                }
-                LocalFlag::Pulled => {
-                    return Err(MachineError::WrongFlag { op: op_id, expected: "npshd", found: "pld" })
-                }
-            }
-            (entry.op.clone(), pos)
-        };
-        if checked {
-            // Criterion (i): op ◁ op' for every earlier npshd own op'.
-            let t = self.thread(tid)?;
-            for e in &t.local.entries()[..pos] {
-                if e.flag.is_not_pushed() && !self.mover_q(&op, &e.op) {
-                    self.audit_fail(Rule::Push, Clause::I);
-                    return Err(MachineError::criterion(
-                        Rule::Push,
-                        Clause::I,
-                        format!("{} does not move across earlier unpushed {}", op.id, e.op.id),
-                    ));
-                }
-            }
-            self.audit_pass(Rule::Push, Clause::I);
-            // Criterion (ii): every uncommitted op of other txns moves right of op.
-            for g in self.global.iter() {
-                if g.flag == GlobalFlag::Uncommitted && g.op.txn != txn && !self.mover_q(&g.op, &op)
-                {
-                    self.audit_fail(Rule::Push, Clause::Ii);
-                    return Err(MachineError::criterion(
-                        Rule::Push,
-                        Clause::Ii,
-                        format!(
-                            "uncommitted {} of {} cannot move right of {}",
-                            g.op.id, g.op.txn, op.id
-                        ),
-                    ));
-                }
-            }
-            self.audit_pass(Rule::Push, Clause::Ii);
-            // Criterion (iii): G allows op.
-            if !self.allows_q(&self.global.ops(), &op) {
-                self.audit_fail(Rule::Push, Clause::Iii);
-                return Err(MachineError::criterion(
-                    Rule::Push,
-                    Clause::Iii,
-                    format!("global log does not allow {}", op.id),
-                ));
-            }
-            self.audit_pass(Rule::Push, Clause::Iii);
-        }
-        // Effect: flip flag, append to G.
-        let t = self.thread_mut(tid)?;
-        let entry = t.local.entry_mut(op_id).expect("position found above");
-        let (saved_code, saved_stack) = match &entry.flag {
-            LocalFlag::NotPushed { saved_code, saved_stack } => {
-                (saved_code.clone(), saved_stack.clone())
-            }
-            _ => unreachable!("flag checked above"),
-        };
-        entry.flag = LocalFlag::Pushed { saved_code, saved_stack };
-        self.global.push_uncommitted(op.clone());
-        self.trace.record(Event::Push { thread: tid, op: op_id, method: op.method });
-        Ok(())
+        self.handle_mut(tid)?.push(op_id)
     }
 
-    /// **UNPUSH**: recalls a pushed operation from the shared log
-    /// (implemented by real systems as an inverse operation).
-    ///
-    /// Criteria: (i, gray) `op` moves across everything after it in `G`
-    /// (so the suffix does not depend on it); (ii) the remaining global
-    /// log is still allowed.
+    /// **UNPUSH**: recalls a pushed operation from the shared log. See
+    /// [`TxnHandle::unpush`].
     pub fn unpush(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
-        let checked = self.mode != CheckMode::Unchecked;
-        let check_gray = self.mode == CheckMode::Checked;
-        {
-            let t = self.thread(tid)?;
-            let entry = t.local.entry(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
-            match entry.flag {
-                LocalFlag::Pushed { .. } => {}
-                LocalFlag::NotPushed { .. } => {
-                    return Err(MachineError::WrongFlag { op: op_id, expected: "pshd", found: "npshd" })
-                }
-                LocalFlag::Pulled => {
-                    return Err(MachineError::WrongFlag { op: op_id, expected: "pshd", found: "pld" })
-                }
-            }
-        }
-        let gpos = self.global.position(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
-        let op = self.global.entries()[gpos].op.clone();
-        if checked {
-            // Criterion (i), gray: op slides right across the suffix.
-            if check_gray {
-                for g in &self.global.entries()[gpos + 1..] {
-                    if !self.mover_q(&op, &g.op) {
-                        self.audit_fail(Rule::UnPush, Clause::I);
-                        return Err(MachineError::criterion(
-                            Rule::UnPush,
-                            Clause::I,
-                            format!("{} cannot slide past later {}", op.id, g.op.id),
-                        ));
-                    }
-                }
-                self.audit_pass(Rule::UnPush, Clause::I);
-            }
-            // Criterion (ii): G without op is still allowed.
-            let remaining: Vec<_> = self
-                .global
-                .iter()
-                .filter(|e| e.op.id != op_id)
-                .map(|e| e.op.clone())
-                .collect();
-            if !self.allowed_q(&remaining) {
-                self.audit_fail(Rule::UnPush, Clause::Ii);
-                return Err(MachineError::criterion(
-                    Rule::UnPush,
-                    Clause::Ii,
-                    format!("global log without {} is not allowed", op.id),
-                ));
-            }
-            self.audit_pass(Rule::UnPush, Clause::Ii);
-        }
-        self.global.remove_by_id(op_id);
-        let t = self.thread_mut(tid)?;
-        let entry = t.local.entry_mut(op_id).expect("checked above");
-        let (saved_code, saved_stack) = match &entry.flag {
-            LocalFlag::Pushed { saved_code, saved_stack } => {
-                (saved_code.clone(), saved_stack.clone())
-            }
-            _ => unreachable!("flag checked above"),
-        };
-        entry.flag = LocalFlag::NotPushed { saved_code, saved_stack };
-        self.trace.record(Event::UnPush { thread: tid, op: op_id, method: op.method });
-        Ok(())
+        self.handle_mut(tid)?.unpush(op_id)
     }
 
     /// **PULL**: imports another transaction's published operation into
-    /// the local view.
-    ///
-    /// Criteria: (i) not already pulled (`op ∉ L`); (ii) the local log
-    /// allows `op`; (iii, gray) everything the transaction has done
-    /// locally moves right of `op` (so the pull can be seen as having
-    /// preceded the transaction).
+    /// the local view. See [`TxnHandle::pull`].
     pub fn pull(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
-        let checked = self.mode != CheckMode::Unchecked;
-        let check_gray = self.mode == CheckMode::Checked;
-        let txn = self.thread(tid)?.txn;
-        let gentry = self.global.entry(op_id).ok_or(MachineError::NoSuchOp(op_id))?.clone();
-        if gentry.op.txn == txn {
-            return Err(MachineError::WrongFlag {
-                op: op_id,
-                expected: "another transaction's op",
-                found: "own op",
-            });
-        }
-        // Criterion (i): op ∉ L. (Enforced in every mode — a duplicate
-        // entry would corrupt the log structure — but only audited when
-        // criteria checking is on, so Unchecked runs audit nothing.)
-        if self.thread(tid)?.local.contains_id(op_id) {
-            if checked {
-                self.audit_fail(Rule::Pull, Clause::I);
-            }
-            return Err(MachineError::criterion(
-                Rule::Pull,
-                Clause::I,
-                format!("{op_id} already pulled"),
-            ));
-        }
-        if checked {
-            self.audit_pass(Rule::Pull, Clause::I);
-        }
-        if checked {
-            // Criterion (ii): L allows op.
-            let local_ops = self.thread(tid)?.local.ops();
-            if !self.allows_q(&local_ops, &gentry.op) {
-                self.audit_fail(Rule::Pull, Clause::Ii);
-                return Err(MachineError::criterion(
-                    Rule::Pull,
-                    Clause::Ii,
-                    format!("local log does not allow pulled {}", op_id),
-                ));
-            }
-            self.audit_pass(Rule::Pull, Clause::Ii);
-            // Criterion (iii), gray: own local ops move right of op.
-            if check_gray {
-                for own in self.thread(tid)?.local.own_ops() {
-                    if !self.mover_q(&own, &gentry.op) {
-                        self.audit_fail(Rule::Pull, Clause::Iii);
-                        return Err(MachineError::criterion(
-                            Rule::Pull,
-                            Clause::Iii,
-                            format!("own {} cannot move right of pulled {}", own.id, op_id),
-                        ));
-                    }
-                }
-                self.audit_pass(Rule::Pull, Clause::Iii);
-            }
-        }
-        let reachable_after = self
-            .active_code(tid)
-            .map(|c| c.reachable_methods())
-            .unwrap_or_default();
-        let t = self.thread_mut(tid)?;
-        t.local.push_entry(LocalEntry { op: gentry.op.clone(), flag: LocalFlag::Pulled });
-        self.trace.record(Event::Pull {
-            thread: tid,
-            op: op_id,
-            from: gentry.op.txn,
-            status_at_pull: gentry.flag,
-            method: gentry.op.method,
-            ret: gentry.op.ret,
-            reachable_after,
-        });
-        Ok(())
+        self.handle_mut(tid)?.pull(op_id)
     }
 
-    /// **UNPULL**: discards a pulled operation from the local view.
-    ///
-    /// Criterion (i): the local log without `op` is still allowed (the
-    /// transaction did nothing that depended on it).
+    /// **UNPULL**: discards a pulled operation from the local view. See
+    /// [`TxnHandle::unpull`].
     pub fn unpull(&mut self, tid: ThreadId, op_id: OpId) -> MachineResult<()> {
-        let checked = self.mode != CheckMode::Unchecked;
-        {
-            let t = self.thread(tid)?;
-            let entry = t.local.entry(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
-            if !entry.flag.is_pulled() {
-                return Err(MachineError::WrongFlag { op: op_id, expected: "pld", found: "npshd/pshd" });
-            }
-        }
-        if checked {
-            let remaining: Vec<_> = self
-                .thread(tid)?
-                .local
-                .iter()
-                .filter(|e| e.op.id != op_id)
-                .map(|e| e.op.clone())
-                .collect();
-            if !self.allowed_q(&remaining) {
-                self.audit_fail(Rule::UnPull, Clause::I);
-                return Err(MachineError::criterion(
-                    Rule::UnPull,
-                    Clause::I,
-                    format!("local log without {} is not allowed", op_id),
-                ));
-            }
-            self.audit_pass(Rule::UnPull, Clause::I);
-        }
-        let t = self.thread_mut(tid)?;
-        let entry = t.local.remove_by_id(op_id).expect("checked above");
-        self.trace.record(Event::UnPull { thread: tid, op: op_id, method: entry.op.method });
-        Ok(())
+        self.handle_mut(tid)?.unpull(op_id)
     }
 
-    /// **CMT**: commits the current transaction.
-    ///
-    /// Criteria: (i) `fin(c)` — some path reaches `skip`; (ii) `L ⊆ G` —
-    /// every own operation has been pushed; (iii) every pulled operation
-    /// belongs to a committed transaction; (iv) own entries in `G` flip to
-    /// `gCmt` (the `cmt` predicate — this is the effect).
-    ///
-    /// On success the thread's next pending transaction (if any) begins.
+    /// **CMT**: commits the thread's current transaction. See
+    /// [`TxnHandle::commit`] for the criteria; on success the thread's
+    /// next pending transaction (if any) begins.
     pub fn commit(&mut self, tid: ThreadId) -> MachineResult<TxnId> {
-        let checked = self.mode != CheckMode::Unchecked;
-        let txn = self.thread(tid)?.txn;
-        if checked {
-            // Criterion (i): fin(c).
-            if !self.active_code(tid)?.fin() {
-                self.audit_fail(Rule::Cmt, Clause::I);
-                return Err(MachineError::criterion(
-                    Rule::Cmt,
-                    Clause::I,
-                    "no method-free path to skip remains".to_string(),
-                ));
-            }
-            self.audit_pass(Rule::Cmt, Clause::I);
-            // Criterion (ii): all own ops pushed.
-            if !self.thread(tid)?.local.fully_pushed() {
-                self.audit_fail(Rule::Cmt, Clause::Ii);
-                return Err(MachineError::criterion(
-                    Rule::Cmt,
-                    Clause::Ii,
-                    "local log contains npshd operations".to_string(),
-                ));
-            }
-            self.audit_pass(Rule::Cmt, Clause::Ii);
-            // Criterion (iii): every pulled op is committed.
-            for pulled in self.thread(tid)?.local.pulled_ops() {
-                match self.global.entry(pulled.id) {
-                    Some(e) if e.flag == GlobalFlag::Committed => {}
-                    Some(_) => {
-                        self.audit_fail(Rule::Cmt, Clause::Iii);
-                        return Err(MachineError::criterion(
-                            Rule::Cmt,
-                            Clause::Iii,
-                            format!("pulled {} is still uncommitted", pulled.id),
-                        ))
-                    }
-                    None => {
-                        self.audit_fail(Rule::Cmt, Clause::Iii);
-                        return Err(MachineError::criterion(
-                            Rule::Cmt,
-                            Clause::Iii,
-                            format!("pulled {} vanished from the global log", pulled.id),
-                        ))
-                    }
-                }
-            }
-            self.audit_pass(Rule::Cmt, Clause::Iii);
-        }
-        // Criterion (iv) / effect: cmt(G, L, G').
-        let (own_ops, pulled_from) = {
-            let t = self.thread(tid)?;
-            let pulled = t
-                .local
-                .iter()
-                .filter(|e| e.flag.is_pulled())
-                .map(|e| (e.op.id, e.op.txn))
-                .collect();
-            (t.local.own_ops(), pulled)
-        };
-        let local_snapshot = self.thread(tid)?.local.clone();
-        let code = self.thread(tid)?.original.clone();
-        let flipped = self.global.commit_local(&local_snapshot);
-        self.committed.push(CommittedTxn { txn, thread: tid, code, ops: own_ops, pulled_from });
-        self.trace.record(Event::Commit { thread: tid, txn, ops: flipped });
-        let next_txn = TxnId(self.next_txn);
-        self.next_txn += 1;
-        let t = self.thread_mut(tid)?;
-        t.commits += 1;
-        t.local = LocalLog::new();
-        t.stack = Vec::new();
-        match t.pending.pop_front() {
-            Some(c) => {
-                t.code = Some(c.clone());
-                t.original = c;
-                t.txn = next_txn;
-                self.trace.record(Event::Begin { thread: tid, txn: next_txn });
-            }
-            None => {
-                t.code = None;
-            }
-        }
-        Ok(txn)
+        self.handle_mut(tid)?.commit()
     }
 
     // ------------------------------------------------------------------
-    // Derived operations (compositions of ⃗back rules).
+    // Derived operations (compositions of the rules).
     // ------------------------------------------------------------------
 
     /// Fully rewinds the current transaction (the composition of `⃗back`
-    /// rules: UNPULL/UNPUSH/UNAPP from the tail) and restarts it as a
-    /// fresh transaction instance with the original code.
-    ///
-    /// Records an `Abort` plus a `Begin` event.
+    /// rules) and restarts it as a fresh transaction instance with the
+    /// original code. Records an `Abort` plus a `Begin` event.
     pub fn abort_and_retry(&mut self, tid: ThreadId) -> MachineResult<TxnId> {
-        if self.thread(tid)?.code.is_none() {
-            // A finished thread has nothing to abort; restarting its last
-            // transaction here would resurrect committed work.
-            return Err(MachineError::ThreadFinished(tid));
-        }
-        self.rewind_all(tid)?;
-        let old = self.thread(tid)?.txn;
-        let txn = TxnId(self.next_txn);
-        self.next_txn += 1;
-        let t = self.thread_mut(tid)?;
-        t.aborts += 1;
-        t.code = Some(t.original.clone());
-        t.stack = Vec::new();
-        t.txn = txn;
-        self.trace.record(Event::Abort { thread: tid, txn: old });
-        self.trace.record(Event::Begin { thread: tid, txn });
-        Ok(txn)
+        self.handle_mut(tid)?.abort_and_retry()
     }
 
     /// Rewinds the current transaction completely: walking the local log
     /// from the tail, pulled entries are UNPULLed, pushed entries are
     /// UNPUSHed then UNAPPed, unpushed entries are UNAPPed.
     pub fn rewind_all(&mut self, tid: ThreadId) -> MachineResult<()> {
-        loop {
-            let last = match self.thread(tid)?.local.entries().last() {
-                None => return Ok(()),
-                Some(e) => (e.op.id, e.flag.clone()),
-            };
-            match last.1 {
-                LocalFlag::Pulled => {
-                    self.unpull(tid, last.0)?;
-                }
-                LocalFlag::Pushed { .. } => {
-                    self.unpush(tid, last.0)?;
-                    self.unapp(tid)?;
-                }
-                LocalFlag::NotPushed { .. } => {
-                    self.unapp(tid)?;
-                }
-            }
-        }
+        self.handle_mut(tid)?.rewind_all()
     }
 
     /// Rewinds the current transaction's local log down to `target_len`
@@ -918,72 +366,33 @@ impl<S: SeqSpec> Machine<S> {
     /// Propagates criterion violations from the constituent UNPUSH/UNPULL
     /// steps (an UNAPP at the tail never fails).
     pub fn rewind_to(&mut self, tid: ThreadId, target_len: usize) -> MachineResult<()> {
-        loop {
-            let (len, last) = {
-                let t = self.thread(tid)?;
-                (
-                    t.local.len(),
-                    t.local.entries().last().map(|e| (e.op.id, e.flag.clone())),
-                )
-            };
-            if len <= target_len {
-                return Ok(());
-            }
-            match last {
-                None => return Ok(()),
-                Some((id, LocalFlag::Pulled)) => self.unpull(tid, id)?,
-                Some((id, LocalFlag::Pushed { .. })) => {
-                    self.unpush(tid, id)?;
-                    self.unapp(tid)?;
-                }
-                Some((_, LocalFlag::NotPushed { .. })) => {
-                    self.unapp(tid)?;
-                }
-            }
-        }
+        self.handle_mut(tid)?.rewind_to(target_len)
     }
 
     /// Pushes every unpushed own operation in local order, then commits —
     /// the optimistic commit sequence ("PUSH everything and CMT at an
     /// uninterleaved moment", §6.2).
     pub fn push_all_and_commit(&mut self, tid: ThreadId) -> MachineResult<TxnId> {
-        let unpushed: Vec<OpId> =
-            self.thread(tid)?.local.not_pushed_ops().iter().map(|o| o.id).collect();
-        for id in unpushed {
-            self.push(tid, id)?;
-        }
-        self.commit(tid)
+        self.handle_mut(tid)?.push_all_and_commit()
     }
 
     /// Ids of the current transaction's unpushed operations, in order.
     pub fn unpushed_ids(&self, tid: ThreadId) -> MachineResult<Vec<OpId>> {
-        Ok(self.thread(tid)?.local.not_pushed_ops().iter().map(|o| o.id).collect())
+        Ok(self.thread(tid)?.unpushed_ids())
     }
 
     /// Pulls every *committed* global operation not yet in the local log,
     /// in global-log order — how opaque transactions snapshot the shared
     /// state (§6.2: "transactions begin by PULLing all operations").
     pub fn pull_all_committed(&mut self, tid: ThreadId) -> MachineResult<usize> {
-        let candidates: Vec<OpId> = {
-            let t = self.thread(tid)?;
-            self.global
-                .iter()
-                .filter(|e| e.flag == GlobalFlag::Committed && !t.local.contains_id(e.op.id))
-                .map(|e| e.op.id)
-                .collect()
-        };
-        let mut n = 0;
-        for id in candidates {
-            self.pull(tid, id)?;
-            n += 1;
-        }
-        Ok(n)
+        self.handle_mut(tid)?.pull_all_committed()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::{Clause, Rule};
     use crate::toy::{CounterMethod, ToyCounter};
 
     fn inc_code() -> Code<CounterMethod> {
@@ -1036,7 +445,10 @@ mod tests {
     #[test]
     fn unapp_restores_code_and_stack() {
         let mut m = machine();
-        let t = m.add_thread(vec![Code::seq(inc_code(), Code::method(CounterMethod::Get))]);
+        let t = m.add_thread(vec![Code::seq(
+            inc_code(),
+            Code::method(CounterMethod::Get),
+        )]);
         let before = m.thread(t).unwrap().code().unwrap().clone();
         m.app_auto(t).unwrap();
         assert_ne!(m.thread(t).unwrap().code().unwrap(), &before);
@@ -1261,5 +673,68 @@ mod tests {
         let t = m.add_thread(vec![inc_code()]);
         let err = m.app_method(t, &CounterMethod::Get).unwrap_err();
         assert!(matches!(err, MachineError::NoSuchStep(_)));
+    }
+
+    /// The split halves stay consistent under direct handle use: rules run
+    /// on a borrowed handle are visible through the machine facade.
+    #[test]
+    fn handles_and_facade_agree() {
+        let mut m = machine();
+        let a = m.add_thread(vec![inc_code()]);
+        let b = m.add_thread(vec![inc_code()]);
+        {
+            let h = m.handle_mut(a).unwrap();
+            let op = h.app_auto().unwrap();
+            h.push(op).unwrap();
+            h.commit().unwrap();
+        }
+        {
+            let h = m.handle_mut(b).unwrap();
+            h.app_auto().unwrap();
+            h.push_all_and_commit().unwrap();
+        }
+        assert_eq!(m.global().committed_ops().len(), 2);
+        assert_eq!(m.committed_txns().len(), 2);
+        assert_eq!(m.trace().rule_names(a), vec!["BEGIN", "APP", "PUSH", "CMT"]);
+        assert_eq!(m.thread(b).unwrap().commits(), 1);
+    }
+
+    /// Clones deep-copy the shared state: divergent futures don't interact.
+    #[test]
+    fn clone_shares_nothing() {
+        let mut m = machine();
+        let t = m.add_thread(vec![Code::seq(inc_code(), inc_code())]);
+        m.app_auto(t).unwrap();
+        let mut m2 = m.clone();
+        m2.app_auto(t).unwrap();
+        m2.push_all_and_commit(t).unwrap();
+        assert_eq!(m2.global().committed_ops().len(), 2);
+        assert!(m.global().is_empty(), "clone's commits must not leak back");
+        assert_eq!(m.thread(t).unwrap().local().len(), 1);
+    }
+
+    /// Incremental and full-replay criteria evaluation agree — verdicts
+    /// and audit counts — on the same run.
+    #[test]
+    fn incremental_matches_full_replay() {
+        let run = |incremental: bool| {
+            let mut m = machine();
+            m.set_incremental(incremental);
+            let a = m.add_thread(vec![inc_code(), inc_code()]);
+            let b = m.add_thread(vec![Code::method(CounterMethod::Get)]);
+            let ia = m.app_auto(a).unwrap();
+            m.push(a, ia).unwrap();
+            m.commit(a).unwrap();
+            m.pull_all_committed(b).unwrap();
+            let gb = m.app_method(b, &CounterMethod::Get).unwrap();
+            let ia2 = m.app_auto(a).unwrap();
+            m.push(a, ia2).unwrap();
+            m.commit(a).unwrap();
+            // b's stale get now fails PUSH (iii)/(ii) the same way in
+            // both modes.
+            let push_res = m.push(b, gb).map_err(|e| e.violated_rule());
+            (m.audit().render(), m.trace().render(), push_res)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -77,7 +77,9 @@ pub struct OpIdGen {
 impl OpIdGen {
     /// Creates a generator whose first id is `#0`.
     pub fn new() -> Self {
-        Self { next: AtomicU64::new(0) }
+        Self {
+            next: AtomicU64::new(0),
+        }
     }
 
     /// Mints a fresh, never-before-returned id.
@@ -88,7 +90,9 @@ impl OpIdGen {
 
 impl Clone for OpIdGen {
     fn clone(&self) -> Self {
-        Self { next: AtomicU64::new(self.next.load(Ordering::Relaxed)) }
+        Self {
+            next: AtomicU64::new(self.next.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -121,7 +125,12 @@ pub struct Op<M, R> {
 impl<M, R> Op<M, R> {
     /// Creates a new operation record.
     pub fn new(id: OpId, txn: TxnId, method: M, ret: R) -> Self {
-        Self { id, txn, method, ret }
+        Self {
+            id,
+            txn,
+            method,
+            ret,
+        }
     }
 
     /// Id-based equality, the lifting the paper uses for log membership.
@@ -159,7 +168,10 @@ mod tests {
                 (0..1000).map(|_| g.fresh()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<OpId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<OpId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort();
         all.dedup();

@@ -66,16 +66,19 @@ impl OpacityVerdict {
 /// m.push(a, ia)?;
 /// m.commit(a)?;
 /// m.pull_all_committed(b)?; // pulls a *committed* effect: opaque
-/// assert_eq!(check_trace(m.trace()), OpacityVerdict::Opaque);
+/// assert_eq!(check_trace(&m.trace()), OpacityVerdict::Opaque);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
 pub fn check_trace<M, R>(trace: &Trace<M, R>) -> OpacityVerdict {
     let violations: Vec<(ThreadId, OpId)> = trace
         .iter()
         .filter_map(|e| match e {
-            Event::Pull { thread, op, status_at_pull: GlobalFlag::Uncommitted, .. } => {
-                Some((*thread, *op))
-            }
+            Event::Pull {
+                thread,
+                op,
+                status_at_pull: GlobalFlag::Uncommitted,
+                ..
+            } => Some((*thread, *op)),
             _ => None,
         })
         .collect();
@@ -152,19 +155,42 @@ where
     let mut bad: Vec<ThreadId> = Vec::new();
     for e in trace.iter() {
         match e {
-            Event::Begin { thread, .. } | Event::Commit { thread, .. } | Event::Abort { thread, .. } => {
+            Event::Begin { thread, .. }
+            | Event::Commit { thread, .. }
+            | Event::Abort { thread, .. } => {
                 local.remove(thread);
             }
-            Event::App { thread, op, method, ret } => {
+            Event::App {
+                thread,
+                op,
+                method,
+                ret,
+            } => {
                 let l = local.entry(*thread).or_default();
-                l.push(Op::new(*op, crate::op::TxnId(0), method.clone(), ret.clone()));
+                l.push(Op::new(
+                    *op,
+                    crate::op::TxnId(0),
+                    method.clone(),
+                    ret.clone(),
+                ));
                 if !spec.allowed(l) && !bad.contains(thread) {
                     bad.push(*thread);
                 }
             }
-            Event::Pull { thread, op, method, ret, .. } => {
+            Event::Pull {
+                thread,
+                op,
+                method,
+                ret,
+                ..
+            } => {
                 let l = local.entry(*thread).or_default();
-                l.push(Op::new(*op, crate::op::TxnId(0), method.clone(), ret.clone()));
+                l.push(Op::new(
+                    *op,
+                    crate::op::TxnId(0),
+                    method.clone(),
+                    ret.clone(),
+                ));
             }
             Event::UnApp { thread, .. } => {
                 if let Some(l) = local.get_mut(thread) {
@@ -198,8 +224,8 @@ mod tests {
         m.push(a, ia).unwrap();
         m.commit(a).unwrap();
         m.pull_all_committed(b).unwrap();
-        assert_eq!(check_trace(m.trace()), OpacityVerdict::Opaque);
-        assert!(is_opaque_fragment(m.trace()));
+        assert_eq!(check_trace(&m.trace()), OpacityVerdict::Opaque);
+        assert!(is_opaque_fragment(&m.trace()));
     }
 
     #[test]
@@ -210,7 +236,7 @@ mod tests {
         let ia = m.app_auto(a).unwrap();
         m.push(a, ia).unwrap();
         m.pull(b, ia).unwrap();
-        match check_trace(m.trace()) {
+        match check_trace(&m.trace()) {
             OpacityVerdict::NotOpaque { violations } => {
                 assert_eq!(violations.len(), 1);
                 assert_eq!(violations[0].1, ia);
@@ -229,11 +255,10 @@ mod tests {
         let ia = m.app_auto(a).unwrap();
         m.push(a, ia).unwrap();
         m.pull(b, ia).unwrap();
-        let verdict = check_trace_refined(m.trace(), |method, _, pulled| {
+        let verdict = check_trace_refined(&m.trace(), |method, _, pulled| {
             matches!(
                 (method, pulled),
-                (CounterMethod::Inc, CounterMethod::Inc)
-                    | (CounterMethod::Dec, CounterMethod::Inc)
+                (CounterMethod::Inc, CounterMethod::Inc) | (CounterMethod::Dec, CounterMethod::Inc)
             )
         });
         assert_eq!(verdict, OpacityVerdict::OpaqueByCommutativity);
@@ -247,7 +272,7 @@ mod tests {
         let ia = m.app_auto(a).unwrap();
         m.push(a, ia).unwrap();
         m.pull(b, ia).unwrap();
-        let verdict = check_trace_refined(m.trace(), |method, _, _| {
+        let verdict = check_trace_refined(&m.trace(), |method, _, _| {
             !matches!(method, CounterMethod::Get)
         });
         assert!(!verdict.is_opaque());
@@ -263,6 +288,6 @@ mod tests {
         m.app_auto(a).unwrap();
         m.app_auto(a).unwrap();
         m.push_all_and_commit(a).unwrap();
-        assert!(inconsistent_observers(m.spec(), m.trace()).is_empty());
+        assert!(inconsistent_observers(m.spec(), &m.trace()).is_empty());
     }
 }

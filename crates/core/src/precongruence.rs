@@ -208,7 +208,10 @@ mod tests {
                 // State inclusion is sound: whenever it says yes, bounded
                 // search must find no counterexample.
                 if by_states {
-                    assert!(bounded, "state witness said ≼ but bounded refuted: {l1:?} vs {l2:?}");
+                    assert!(
+                        bounded,
+                        "state witness said ≼ but bounded refuted: {l1:?} vs {l2:?}"
+                    );
                 }
                 // For the counter spec, gets make states observable, so the
                 // two coincide on these cases.

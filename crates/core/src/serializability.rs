@@ -94,7 +94,7 @@ pub fn check_machine<S: SeqSpec>(m: &Machine<S>) -> SerializabilityReport {
     let committed_projection = m.global().committed_ops();
     let committed_projection_allowed = spec.allowed(&committed_projection);
 
-    let witness = serial_witness(m.committed_txns());
+    let witness = serial_witness(&m.committed_txns());
     let serial_witness_allowed = spec.allowed(&witness);
 
     let mut atomic_replay_failures = Vec::new();
@@ -158,7 +158,9 @@ pub fn real_time_violations<S: SeqSpec>(m: &Machine<S>) -> Vec<(TxnId, TxnId)> {
             if a == b {
                 continue;
             }
-            let (Some(&ca), Some(&bb)) = (commit_at.get(a), begin_at.get(b)) else { continue };
+            let (Some(&ca), Some(&bb)) = (commit_at.get(a), begin_at.get(b)) else {
+                continue;
+            };
             if ca < bb && pos[a] > pos[b] {
                 violations.push((*a, *b));
             }
@@ -177,7 +179,12 @@ pub fn find_any_serialization<S: SeqSpec>(m: &Machine<S>) -> Option<Vec<TxnId>> 
         .map(|t| (t.code.clone(), t.ops.clone()))
         .collect();
     let order = exists_serialization(m.spec(), &txns)?;
-    Some(order.into_iter().map(|i| m.committed_txns()[i].txn).collect())
+    Some(
+        order
+            .into_iter()
+            .map(|i| m.committed_txns()[i].txn)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -244,7 +251,10 @@ mod tests {
         m.push_all_and_commit(a).unwrap();
         m.push_all_and_commit(b).unwrap();
         let report = check_machine(&m);
-        assert!(!report.is_serializable(), "lost update must be caught: {report}");
+        assert!(
+            !report.is_serializable(),
+            "lost update must be caught: {report}"
+        );
         assert!(find_any_serialization(&m).is_none());
     }
 
@@ -281,7 +291,7 @@ mod tests {
         m.commit(b).unwrap();
         m.push(a, ia).unwrap();
         m.commit(a).unwrap();
-        let w = serial_witness(m.committed_txns());
+        let w = serial_witness(&m.committed_txns());
         assert_eq!(w[0].id, ib, "b committed first");
         assert_eq!(w[1].id, ia);
     }

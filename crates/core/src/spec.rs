@@ -128,7 +128,9 @@ pub trait SeqSpec {
         if states.is_empty() {
             return false;
         }
-        !self.denote_from(&states, std::slice::from_ref(op)).is_empty()
+        !self
+            .denote_from(&states, std::slice::from_ref(op))
+            .is_empty()
     }
 
     /// The mover relation of **Definition 4.1**:
@@ -146,11 +148,7 @@ pub trait SeqSpec {
     /// of `op2·op1`. If no universe is available it conservatively returns
     /// `false`; unbounded specs must override with an algebraic oracle
     /// (e.g. "operations on distinct keys commute").
-    fn mover(
-        &self,
-        op1: &Op<Self::Method, Self::Ret>,
-        op2: &Op<Self::Method, Self::Ret>,
-    ) -> bool {
+    fn mover(&self, op1: &Op<Self::Method, Self::Ret>, op2: &Op<Self::Method, Self::Ret>) -> bool {
         match self.state_universe() {
             Some(universe) => mover_exhaustive(self, &universe, op1, op2),
             None => false,

@@ -90,7 +90,9 @@ fn leftmost<M: Clone>(code: &Code<M>) -> Option<&Code<M>> {
 /// (`NondetL`/`NondetR` genuinely shrink the set; `Loop` and `SemiSkip`
 /// preserve it.) Used by property tests.
 pub fn preserves_step_inclusion<M: Clone + Eq>(code: &Code<M>, step: StructStep) -> bool {
-    let Some(reduct) = apply(code, step) else { return true };
+    let Some(reduct) = apply(code, step) else {
+        return true;
+    };
     let before = code.step();
     let after = reduct.step();
     after
@@ -167,7 +169,12 @@ mod tests {
             Code::tx(Code::seq(Code::star(m("x")), m("y"))),
         ];
         for c in &cases {
-            for s in [StructStep::NondetL, StructStep::NondetR, StructStep::Loop, StructStep::SemiSkip] {
+            for s in [
+                StructStep::NondetL,
+                StructStep::NondetR,
+                StructStep::Loop,
+                StructStep::SemiSkip,
+            ] {
                 assert!(preserves_step_inclusion(c, s), "{c} under {s:?}");
             }
         }
@@ -177,10 +184,7 @@ mod tests {
     fn fully_resolving_leaves_only_method_steps() {
         // Repeatedly apply structural steps (taking NondetL) until none
         // apply; the result's step set is a subset of the original's.
-        let mut c = Code::tx(Code::seq(
-            Code::choice(m("a"), m("b")),
-            Code::star(m("c")),
-        ));
+        let mut c = Code::tx(Code::seq(Code::choice(m("a"), m("b")), Code::star(m("c"))));
         let original_steps = c.step();
         loop {
             let apps = applicable(&c);

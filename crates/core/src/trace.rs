@@ -181,13 +181,19 @@ impl<M, R> Trace<M, R> {
 
     /// Events performed by one thread, in order.
     pub fn by_thread(&self, thread: ThreadId) -> Vec<&Event<M, R>> {
-        self.events.iter().filter(|e| e.thread() == thread).collect()
+        self.events
+            .iter()
+            .filter(|e| e.thread() == thread)
+            .collect()
     }
 
     /// The rule-name sequence of one thread — the exact shape of the
     /// paper's Figure 7 listing (e.g. `["PULL", "APP", "PUSH", ..., "CMT"]`).
     pub fn rule_names(&self, thread: ThreadId) -> Vec<&'static str> {
-        self.by_thread(thread).iter().map(|e| e.rule_name()).collect()
+        self.by_thread(thread)
+            .iter()
+            .map(|e| e.rule_name())
+            .collect()
     }
 
     /// Count of events by rule name across all threads.
@@ -211,13 +217,25 @@ impl<M: fmt::Display, R: fmt::Debug> Trace<M, R> {
     fn render_event(&self, e: &Event<M, R>) -> String {
         match e {
             Event::Begin { thread, txn } => format!("{thread}: begin {txn}"),
-            Event::App { thread, op, method, ret } => {
+            Event::App {
+                thread,
+                op,
+                method,
+                ret,
+            } => {
                 format!("{thread}: APP({method}{op}) -> {ret:?}")
             }
             Event::UnApp { thread, op, method } => format!("{thread}: UNAPP({method}{op})"),
             Event::Push { thread, op, method } => format!("{thread}: PUSH({method}{op})"),
             Event::UnPush { thread, op, method } => format!("{thread}: UNPUSH({method}{op})"),
-            Event::Pull { thread, op, from, status_at_pull, method, .. } => {
+            Event::Pull {
+                thread,
+                op,
+                from,
+                status_at_pull,
+                method,
+                ..
+            } => {
                 let st = match status_at_pull {
                     GlobalFlag::Committed => "committed",
                     GlobalFlag::Uncommitted => "UNCOMMITTED",
@@ -251,12 +269,36 @@ mod tests {
     #[test]
     fn rule_names_filter_by_thread() {
         let mut t: Trace<&'static str, i64> = Trace::new();
-        t.record(E::Begin { thread: ThreadId(0), txn: TxnId(0) });
-        t.record(E::App { thread: ThreadId(0), op: OpId(0), method: "inc", ret: 0 });
-        t.record(E::App { thread: ThreadId(1), op: OpId(1), method: "inc", ret: 0 });
-        t.record(E::Push { thread: ThreadId(0), op: OpId(0), method: "inc" });
-        t.record(E::Commit { thread: ThreadId(0), txn: TxnId(0), ops: vec![OpId(0)] });
-        assert_eq!(t.rule_names(ThreadId(0)), vec!["BEGIN", "APP", "PUSH", "CMT"]);
+        t.record(E::Begin {
+            thread: ThreadId(0),
+            txn: TxnId(0),
+        });
+        t.record(E::App {
+            thread: ThreadId(0),
+            op: OpId(0),
+            method: "inc",
+            ret: 0,
+        });
+        t.record(E::App {
+            thread: ThreadId(1),
+            op: OpId(1),
+            method: "inc",
+            ret: 0,
+        });
+        t.record(E::Push {
+            thread: ThreadId(0),
+            op: OpId(0),
+            method: "inc",
+        });
+        t.record(E::Commit {
+            thread: ThreadId(0),
+            txn: TxnId(0),
+            ops: vec![OpId(0)],
+        });
+        assert_eq!(
+            t.rule_names(ThreadId(0)),
+            vec!["BEGIN", "APP", "PUSH", "CMT"]
+        );
         assert_eq!(t.rule_names(ThreadId(1)), vec!["APP"]);
         assert_eq!(t.count_rule("APP"), 2);
     }
@@ -264,8 +306,16 @@ mod tests {
     #[test]
     fn render_is_figure7_shaped() {
         let mut t: Trace<&'static str, i64> = Trace::new();
-        t.record(E::Push { thread: ThreadId(0), op: OpId(7), method: "size++" });
-        t.record(E::UnPush { thread: ThreadId(0), op: OpId(7), method: "size++" });
+        t.record(E::Push {
+            thread: ThreadId(0),
+            op: OpId(7),
+            method: "size++",
+        });
+        t.record(E::UnPush {
+            thread: ThreadId(0),
+            op: OpId(7),
+            method: "size++",
+        });
         let s = t.render();
         assert!(s.contains("T0: PUSH(size++#7)"));
         assert!(s.contains("T0: UNPUSH(size++#7)"));

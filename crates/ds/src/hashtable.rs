@@ -18,7 +18,11 @@ impl Hasher for Fnv1a {
     }
 
     fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.state == 0 { 0xcbf29ce484222325 } else { self.state };
+        let mut h = if self.state == 0 {
+            0xcbf29ce484222325
+        } else {
+            self.state
+        };
         for b in bytes {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x100000001b3);
@@ -81,8 +85,6 @@ impl<K: Hash + Eq, V, S: BuildHasher> ChainedHashTable<K, V, S> {
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        
-        
         (self.hasher.hash_one(key) as usize) & (self.buckets.len() - 1)
     }
 
@@ -93,7 +95,10 @@ impl<K: Hash + Eq, V, S: BuildHasher> ChainedHashTable<K, V, S> {
         Q: Hash + Eq + ?Sized,
     {
         let b = self.bucket_of(key);
-        self.buckets[b].iter().find(|(k, _)| k.borrow() == key).map(|(_, v)| v)
+        self.buckets[b]
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
     }
 
     /// Does the table contain `key`?
@@ -128,7 +133,9 @@ impl<K: Hash + Eq, V, S: BuildHasher> ChainedHashTable<K, V, S> {
         Q: Hash + Eq + ?Sized,
     {
         let b = self.bucket_of(key);
-        let pos = self.buckets[b].iter().position(|(k, _)| k.borrow() == key)?;
+        let pos = self.buckets[b]
+            .iter()
+            .position(|(k, _)| k.borrow() == key)?;
         let (_, v) = self.buckets[b].swap_remove(pos);
         self.len -= 1;
         Some(v)

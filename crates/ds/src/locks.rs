@@ -64,7 +64,11 @@ pub struct AbstractLockManager<K> {
 impl<K: Eq + Hash + Clone> AbstractLockManager<K> {
     /// Creates an empty lock table.
     pub fn new() -> Self {
-        Self { owners: HashMap::new(), held: HashMap::new(), waiting: HashMap::new() }
+        Self {
+            owners: HashMap::new(),
+            held: HashMap::new(),
+            waiting: HashMap::new(),
+        }
     }
 
     /// Attempts to acquire `key` for `txn`.
@@ -119,7 +123,11 @@ impl<K: Eq + Hash + Clone> AbstractLockManager<K> {
     /// Returns the released keys.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<K> {
         self.waiting.remove(&txn);
-        let keys: Vec<K> = self.held.remove(&txn).map(|s| s.into_iter().collect()).unwrap_or_default();
+        let keys: Vec<K> = self
+            .held
+            .remove(&txn)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
         for k in &keys {
             self.owners.remove(k);
         }
@@ -168,7 +176,10 @@ mod tests {
     fn contention_reports_owner() {
         let mut l = AbstractLockManager::new();
         l.try_lock(TxnId(1), "k");
-        assert_eq!(l.try_lock(TxnId(2), "k"), LockOutcome::Busy { owner: TxnId(1) });
+        assert_eq!(
+            l.try_lock(TxnId(2), "k"),
+            LockOutcome::Busy { owner: TxnId(1) }
+        );
         assert_eq!(l.owner(&"k"), Some(TxnId(1)));
     }
 
@@ -178,7 +189,10 @@ mod tests {
         l.try_lock(TxnId(1), "a");
         l.try_lock(TxnId(2), "b");
         // 1 waits on b (held by 2).
-        assert_eq!(l.try_lock(TxnId(1), "b"), LockOutcome::Busy { owner: TxnId(2) });
+        assert_eq!(
+            l.try_lock(TxnId(1), "b"),
+            LockOutcome::Busy { owner: TxnId(2) }
+        );
         // 2 requesting a would close the cycle.
         match l.try_lock(TxnId(2), "a") {
             LockOutcome::WouldDeadlock { cycle } => {
@@ -195,20 +209,35 @@ mod tests {
         l.try_lock(TxnId(1), "a");
         l.try_lock(TxnId(2), "b");
         l.try_lock(TxnId(3), "c");
-        assert!(matches!(l.try_lock(TxnId(1), "b"), LockOutcome::Busy { .. }));
-        assert!(matches!(l.try_lock(TxnId(2), "c"), LockOutcome::Busy { .. }));
-        assert!(matches!(l.try_lock(TxnId(3), "a"), LockOutcome::WouldDeadlock { .. }));
+        assert!(matches!(
+            l.try_lock(TxnId(1), "b"),
+            LockOutcome::Busy { .. }
+        ));
+        assert!(matches!(
+            l.try_lock(TxnId(2), "c"),
+            LockOutcome::Busy { .. }
+        ));
+        assert!(matches!(
+            l.try_lock(TxnId(3), "a"),
+            LockOutcome::WouldDeadlock { .. }
+        ));
     }
 
     #[test]
     fn release_breaks_wait_chains() {
         let mut l = AbstractLockManager::new();
         l.try_lock(TxnId(1), "a");
-        assert!(matches!(l.try_lock(TxnId(2), "a"), LockOutcome::Busy { .. }));
+        assert!(matches!(
+            l.try_lock(TxnId(2), "a"),
+            LockOutcome::Busy { .. }
+        ));
         l.release_all(TxnId(1));
         assert_eq!(l.try_lock(TxnId(2), "a"), LockOutcome::Acquired);
         // No stale deadlock from the old edge.
-        assert!(matches!(l.try_lock(TxnId(1), "a"), LockOutcome::Busy { .. }));
+        assert!(matches!(
+            l.try_lock(TxnId(1), "a"),
+            LockOutcome::Busy { .. }
+        ));
     }
 
     #[test]

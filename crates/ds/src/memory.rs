@@ -23,7 +23,9 @@ pub struct GlobalClock {
 impl GlobalClock {
     /// Creates a clock at time 0.
     pub fn new() -> Self {
-        Self { now: AtomicU64::new(0) }
+        Self {
+            now: AtomicU64::new(0),
+        }
     }
 
     /// Current time.
@@ -39,7 +41,9 @@ impl GlobalClock {
 
 impl Clone for GlobalClock {
     fn clone(&self) -> Self {
-        Self { now: AtomicU64::new(self.now()) }
+        Self {
+            now: AtomicU64::new(self.now()),
+        }
     }
 }
 
@@ -76,7 +80,10 @@ pub struct VersionedMemory<L> {
 impl<L: Eq + Hash + Clone> VersionedMemory<L> {
     /// Creates an empty versioned memory (all locations at version 0).
     pub fn new() -> Self {
-        Self { versions: HashMap::new(), locks: HashMap::new() }
+        Self {
+            versions: HashMap::new(),
+            locks: HashMap::new(),
+        }
     }
 
     /// The version of a location (0 if never written).
@@ -114,16 +121,19 @@ impl<L: Eq + Hash + Clone> VersionedMemory<L> {
     /// TL2 read-set validation: every location still carries the version
     /// observed at read time and is not locked by another transaction.
     pub fn validate(&self, txn: TxnId, read_set: &[(L, u64)]) -> bool {
-        read_set.iter().all(|(l, ver)| {
-            self.version(l) == *ver && !self.locked_by_other(l, txn)
-        })
+        read_set
+            .iter()
+            .all(|(l, ver)| self.version(l) == *ver && !self.locked_by_other(l, txn))
     }
 
     /// Publishes `txn`'s write set at commit timestamp `ts`: bumps the
     /// versions and releases its locks.
     pub fn publish(&mut self, txn: TxnId, write_set: &[L], ts: u64) {
         for l in write_set {
-            debug_assert!(self.locks.get(l) == Some(&txn), "publishing unlocked location");
+            debug_assert!(
+                self.locks.get(l) == Some(&txn),
+                "publishing unlocked location"
+            );
             self.versions.insert(l.clone(), ts);
         }
         self.unlock_all(txn);
@@ -151,7 +161,10 @@ pub struct HtmConflict<L> {
 impl<L: Eq + Hash + Clone> HtmConflicts<L> {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self { readers: HashMap::new(), writers: HashMap::new() }
+        Self {
+            readers: HashMap::new(),
+            writers: HashMap::new(),
+        }
     }
 
     /// Records a transactional read. Conflicts with a foreign writer.
@@ -222,7 +235,10 @@ mod tests {
         // Another txn commits to loc 1.
         assert!(vm.try_lock(TxnId(9), 1));
         vm.publish(TxnId(9), &[1], 5);
-        assert!(!vm.validate(TxnId(1), &read_set), "stale read must fail validation");
+        assert!(
+            !vm.validate(TxnId(1), &read_set),
+            "stale read must fail validation"
+        );
         let fresh = vec![(1u32, vm.version(&1))];
         assert!(vm.validate(TxnId(1), &fresh));
     }
@@ -233,7 +249,10 @@ mod tests {
         let read_set = vec![(1u32, 0)];
         assert!(vm.try_lock(TxnId(2), 1));
         assert!(!vm.validate(TxnId(1), &read_set));
-        assert!(vm.validate(TxnId(2), &read_set), "own lock does not invalidate");
+        assert!(
+            vm.validate(TxnId(2), &read_set),
+            "own lock does not invalidate"
+        );
         vm.unlock_all(TxnId(2));
         assert!(vm.validate(TxnId(1), &read_set));
     }

@@ -68,7 +68,9 @@ pub struct SkipListMirror {
 impl SkipListMirror {
     /// Creates an empty mirror.
     pub fn new() -> Self {
-        Self { map: SkipListMap::new() }
+        Self {
+            map: SkipListMap::new(),
+        }
     }
 
     /// The mirrored structure.
@@ -130,7 +132,9 @@ pub struct SetMirror {
 impl SetMirror {
     /// Creates an empty mirror.
     pub fn new() -> Self {
-        Self { table: ChainedHashTable::new() }
+        Self {
+            table: ChainedHashTable::new(),
+        }
     }
 
     /// Number of elements currently present.

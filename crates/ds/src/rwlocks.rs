@@ -68,7 +68,11 @@ pub struct RwLockTable<K> {
 impl<K: Eq + Hash + Clone> RwLockTable<K> {
     /// Creates an empty table.
     pub fn new() -> Self {
-        Self { entries: HashMap::new(), held: HashMap::new(), waiting: HashMap::new() }
+        Self {
+            entries: HashMap::new(),
+            held: HashMap::new(),
+            waiting: HashMap::new(),
+        }
     }
 
     /// Attempts to acquire `key` in `mode` for `txn`. A sole reader
@@ -171,7 +175,10 @@ mod tests {
         let mut t = RwLockTable::new();
         assert_eq!(t.try_lock(TxnId(1), 0, Mode::Shared), RwOutcome::Granted);
         assert_eq!(t.try_lock(TxnId(2), 0, Mode::Shared), RwOutcome::Granted);
-        assert!(matches!(t.try_lock(TxnId(3), 0, Mode::Exclusive), RwOutcome::Busy { .. }));
+        assert!(matches!(
+            t.try_lock(TxnId(3), 0, Mode::Exclusive),
+            RwOutcome::Busy { .. }
+        ));
         assert!(t.holds(TxnId(1), &0, Mode::Shared));
         assert!(!t.holds(TxnId(1), &0, Mode::Exclusive));
     }
@@ -180,7 +187,10 @@ mod tests {
     fn writer_blocks_readers() {
         let mut t = RwLockTable::new();
         assert_eq!(t.try_lock(TxnId(1), 0, Mode::Exclusive), RwOutcome::Granted);
-        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Shared), RwOutcome::Busy { holder: TxnId(1) });
+        assert_eq!(
+            t.try_lock(TxnId(2), 0, Mode::Shared),
+            RwOutcome::Busy { holder: TxnId(1) }
+        );
         // The writer itself may read.
         assert_eq!(t.try_lock(TxnId(1), 0, Mode::Shared), RwOutcome::Granted);
     }
@@ -198,7 +208,10 @@ mod tests {
         let mut t = RwLockTable::new();
         t.try_lock(TxnId(1), 0, Mode::Shared);
         t.try_lock(TxnId(2), 0, Mode::Shared);
-        assert!(matches!(t.try_lock(TxnId(1), 0, Mode::Exclusive), RwOutcome::Busy { .. }));
+        assert!(matches!(
+            t.try_lock(TxnId(1), 0, Mode::Exclusive),
+            RwOutcome::Busy { .. }
+        ));
     }
 
     #[test]
@@ -207,8 +220,14 @@ mod tests {
         let mut t = RwLockTable::new();
         t.try_lock(TxnId(1), 0, Mode::Shared);
         t.try_lock(TxnId(2), 0, Mode::Shared);
-        assert!(matches!(t.try_lock(TxnId(1), 0, Mode::Exclusive), RwOutcome::Busy { .. }));
-        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Exclusive), RwOutcome::WouldDeadlock);
+        assert!(matches!(
+            t.try_lock(TxnId(1), 0, Mode::Exclusive),
+            RwOutcome::Busy { .. }
+        ));
+        assert_eq!(
+            t.try_lock(TxnId(2), 0, Mode::Exclusive),
+            RwOutcome::WouldDeadlock
+        );
     }
 
     #[test]
@@ -227,7 +246,13 @@ mod tests {
         let mut t = RwLockTable::new();
         t.try_lock(TxnId(1), 0, Mode::Exclusive);
         t.try_lock(TxnId(2), 1, Mode::Exclusive);
-        assert!(matches!(t.try_lock(TxnId(1), 1, Mode::Exclusive), RwOutcome::Busy { .. }));
-        assert_eq!(t.try_lock(TxnId(2), 0, Mode::Exclusive), RwOutcome::WouldDeadlock);
+        assert!(matches!(
+            t.try_lock(TxnId(1), 1, Mode::Exclusive),
+            RwOutcome::Busy { .. }
+        ));
+        assert_eq!(
+            t.try_lock(TxnId(2), 0, Mode::Exclusive),
+            RwOutcome::WouldDeadlock
+        );
     }
 }

@@ -227,7 +227,10 @@ impl<K: Ord, V> SkipListMap<K, V> {
 
     /// Iterates over entries in key order.
     pub fn iter(&self) -> Iter<'_, K, V> {
-        Iter { map: self, cur: self.head[0] }
+        Iter {
+            map: self,
+            cur: self.head[0],
+        }
     }
 }
 

@@ -10,8 +10,7 @@
 //! orthogonal to the transaction-level behaviour the reproduction
 //! studies.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A shareable, linearizable wrapper around a sequential object.
 ///
@@ -34,20 +33,24 @@ pub struct Linearized<T> {
 impl<T> Linearized<T> {
     /// Wraps a sequential object.
     pub fn new(inner: T) -> Self {
-        Self { inner: Arc::new(Mutex::new(inner)) }
+        Self {
+            inner: Arc::new(Mutex::new(inner)),
+        }
     }
 
     /// Runs `f` atomically on the object; the critical section is the
     /// linearization point.
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        let mut guard = self.inner.lock();
+        let mut guard = self.inner.lock().expect("linearized object poisoned");
         f(&mut guard)
     }
 }
 
 impl<T> Clone for Linearized<T> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 

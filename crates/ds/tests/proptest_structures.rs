@@ -1,9 +1,12 @@
 //! Property-based differential tests: the substrate data structures
 //! against `std` reference models, over arbitrary operation sequences.
+//!
+//! Cases are generated with the seeded [`Xorshift64`] PRNG, so every run
+//! checks the same case set and failures reproduce exactly.
 
-use proptest::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 
+use pushpull_core::rng::Xorshift64;
 use pushpull_ds::hashtable::ChainedHashTable;
 use pushpull_ds::skiplist::SkipListMap;
 
@@ -14,62 +17,80 @@ enum MapAction {
     Get(u16),
 }
 
-fn actions(len: usize) -> impl Strategy<Value = Vec<MapAction>> {
-    prop::collection::vec(
-        prop_oneof![
-            (any::<u16>(), any::<i32>()).prop_map(|(k, v)| MapAction::Insert(k % 64, v)),
-            any::<u16>().prop_map(|k| MapAction::Remove(k % 64)),
-            any::<u16>().prop_map(|k| MapAction::Get(k % 64)),
-        ],
-        0..len,
-    )
+fn actions(rng: &mut Xorshift64, max_len: usize) -> Vec<MapAction> {
+    let len = rng.gen_index(max_len.max(1));
+    (0..len)
+        .map(|_| {
+            let k = (rng.next_u64() % 64) as u16;
+            match rng.gen_range(0..3) {
+                0 => MapAction::Insert(k, rng.next_u64() as i32),
+                1 => MapAction::Remove(k),
+                _ => MapAction::Get(k),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn skiplist_matches_btreemap(ops in actions(200), seed in any::<u64>()) {
-        let mut sl = SkipListMap::with_seed(seed | 1);
+#[test]
+fn skiplist_matches_btreemap() {
+    let mut rng = Xorshift64::new(0xD5_01);
+    for case in 0..128 {
+        let ops = actions(&mut rng, 200);
+        let seed = rng.next_u64() | 1;
+        let mut sl = SkipListMap::with_seed(seed);
         let mut model: BTreeMap<u16, i32> = BTreeMap::new();
         for op in &ops {
             match op {
-                MapAction::Insert(k, v) => prop_assert_eq!(sl.insert(*k, *v), model.insert(*k, *v)),
-                MapAction::Remove(k) => prop_assert_eq!(sl.remove(k), model.remove(k)),
-                MapAction::Get(k) => prop_assert_eq!(sl.get(k), model.get(k)),
+                MapAction::Insert(k, v) => {
+                    assert_eq!(sl.insert(*k, *v), model.insert(*k, *v), "case {case}")
+                }
+                MapAction::Remove(k) => assert_eq!(sl.remove(k), model.remove(k), "case {case}"),
+                MapAction::Get(k) => assert_eq!(sl.get(k), model.get(k), "case {case}"),
             }
-            prop_assert_eq!(sl.len(), model.len());
+            assert_eq!(sl.len(), model.len(), "case {case}");
         }
         // Iteration agrees, in order.
         let a: Vec<(u16, i32)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
         let b: Vec<(u16, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn hashtable_matches_hashmap(ops in actions(200)) {
+#[test]
+fn hashtable_matches_hashmap() {
+    let mut rng = Xorshift64::new(0xD5_02);
+    for case in 0..128 {
+        let ops = actions(&mut rng, 200);
         let mut ht = ChainedHashTable::new();
         let mut model: HashMap<u16, i32> = HashMap::new();
         for op in &ops {
             match op {
-                MapAction::Insert(k, v) => prop_assert_eq!(ht.insert(*k, *v), model.insert(*k, *v)),
-                MapAction::Remove(k) => prop_assert_eq!(ht.remove(k), model.remove(k)),
-                MapAction::Get(k) => prop_assert_eq!(ht.get(k), model.get(k)),
+                MapAction::Insert(k, v) => {
+                    assert_eq!(ht.insert(*k, *v), model.insert(*k, *v), "case {case}")
+                }
+                MapAction::Remove(k) => assert_eq!(ht.remove(k), model.remove(k), "case {case}"),
+                MapAction::Get(k) => assert_eq!(ht.get(k), model.get(k), "case {case}"),
             }
-            prop_assert_eq!(ht.len(), model.len());
+            assert_eq!(ht.len(), model.len(), "case {case}");
         }
         // Contents agree as sets.
         let mut a: Vec<(u16, i32)> = ht.iter().map(|(k, v)| (*k, *v)).collect();
         let mut b: Vec<(u16, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Skip-list structure is independent of operation interleaving with
-    /// no-op queries: gets never perturb state.
-    #[test]
-    fn skiplist_gets_are_pure(keys in prop::collection::vec(any::<u16>(), 1..50)) {
+/// Skip-list structure is independent of operation interleaving with
+/// no-op queries: gets never perturb state.
+#[test]
+fn skiplist_gets_are_pure() {
+    let mut rng = Xorshift64::new(0xD5_03);
+    for case in 0..128 {
+        let keys: Vec<u16> = (0..rng.gen_range(1..50))
+            .map(|_| rng.next_u64() as u16)
+            .collect();
         let mut sl = SkipListMap::new();
         for (i, k) in keys.iter().enumerate() {
             sl.insert(*k, i);
@@ -80,61 +101,47 @@ proptest! {
             let _ = sl.contains_key(k);
         }
         let after: Vec<(u16, usize)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
 }
 
-#[derive(Debug, Clone)]
-enum LockAction {
-    Lock(u8, u8),
-    ReleaseAll(u8),
-}
+/// The abstract lock manager never double-grants a key and always
+/// fully releases.
+#[test]
+fn lock_manager_exclusivity() {
+    use pushpull_core::op::TxnId;
+    use pushpull_ds::locks::{AbstractLockManager, LockOutcome};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The abstract lock manager never double-grants a key and always
-    /// fully releases.
-    #[test]
-    fn lock_manager_exclusivity(acts in prop::collection::vec(
-        prop_oneof![
-            (any::<u8>(), any::<u8>()).prop_map(|(t, k)| LockAction::Lock(t % 4, k % 8)),
-            any::<u8>().prop_map(|t| LockAction::ReleaseAll(t % 4)),
-        ],
-        0..100,
-    )) {
-        use pushpull_core::op::TxnId;
-        use pushpull_ds::locks::{AbstractLockManager, LockOutcome};
-        use std::collections::HashMap;
-
+    let mut rng = Xorshift64::new(0xD5_04);
+    for case in 0..128 {
+        let n_acts = rng.gen_index(100);
         let mut mgr: AbstractLockManager<u8> = AbstractLockManager::new();
         let mut model: HashMap<u8, u64> = HashMap::new(); // key -> txn
-        for a in &acts {
-            match a {
-                LockAction::Lock(t, k) => {
-                    let txn = TxnId(u64::from(*t));
-                    match mgr.try_lock(txn, *k) {
-                        LockOutcome::Acquired => {
-                            prop_assert!(!model.contains_key(k), "double grant of {k}");
-                            model.insert(*k, u64::from(*t));
-                        }
-                        LockOutcome::AlreadyHeld => {
-                            prop_assert_eq!(model.get(k), Some(&u64::from(*t)));
-                        }
-                        LockOutcome::Busy { owner } => {
-                            prop_assert_eq!(model.get(k).copied(), Some(owner.0));
-                        }
-                        LockOutcome::WouldDeadlock { .. } => {
-                            prop_assert!(model.contains_key(k));
-                        }
+        for _ in 0..n_acts {
+            let t = (rng.next_u64() % 4) as u8;
+            if rng.gen_bool(0.67) {
+                let k = (rng.next_u64() % 8) as u8;
+                let txn = TxnId(u64::from(t));
+                match mgr.try_lock(txn, k) {
+                    LockOutcome::Acquired => {
+                        assert!(!model.contains_key(&k), "case {case}: double grant of {k}");
+                        model.insert(k, u64::from(t));
+                    }
+                    LockOutcome::AlreadyHeld => {
+                        assert_eq!(model.get(&k), Some(&u64::from(t)), "case {case}");
+                    }
+                    LockOutcome::Busy { owner } => {
+                        assert_eq!(model.get(&k).copied(), Some(owner.0), "case {case}");
+                    }
+                    LockOutcome::WouldDeadlock { .. } => {
+                        assert!(model.contains_key(&k), "case {case}");
                     }
                 }
-                LockAction::ReleaseAll(t) => {
-                    mgr.release_all(TxnId(u64::from(*t)));
-                    model.retain(|_, owner| *owner != u64::from(*t));
-                }
+            } else {
+                mgr.release_all(TxnId(u64::from(t)));
+                model.retain(|_, owner| *owner != u64::from(t));
             }
-            prop_assert_eq!(mgr.locked_count(), model.len());
+            assert_eq!(mgr.locked_count(), model.len(), "case {case}");
         }
     }
 }

@@ -22,7 +22,10 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
-        Self { max_depth: 64, max_terminals: 20_000 }
+        Self {
+            max_depth: 64,
+            max_terminals: 20_000,
+        }
     }
 }
 
@@ -64,7 +67,12 @@ where
     T: TmSystem + Clone,
     F: FnMut(&T) -> bool,
 {
-    let mut report = ExploreReport { terminals: 0, depth_pruned: 0, stuck: 0, failures: 0 };
+    let mut report = ExploreReport {
+        terminals: 0,
+        depth_pruned: 0,
+        stuck: 0,
+        failures: 0,
+    };
     let blocked = vec![false; sys.thread_count()];
     explore_rec(sys, limits, check, 0, &blocked, &mut report)?;
     Ok(report)
@@ -181,9 +189,14 @@ mod tests {
             ],
             ReadPolicy::Snapshot,
         );
-        let report = explore(&sys, ExploreLimits { max_depth: 40, max_terminals: 50_000 }, &mut |s| {
-            check_machine(s.machine()).is_serializable()
-        })
+        let report = explore(
+            &sys,
+            ExploreLimits {
+                max_depth: 40,
+                max_terminals: 50_000,
+            },
+            &mut |s| check_machine(s.machine()).is_serializable(),
+        )
         .unwrap();
         assert!(report.all_ok(), "{report:?}");
         assert!(report.terminals > 10);

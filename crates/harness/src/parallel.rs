@@ -1,19 +1,22 @@
-//! A parallel runner: real OS threads, one per model thread, contending
-//! on the shared system.
+//! A parallel runner: real OS threads, one per model thread, each owning
+//! its own [`pushpull_core::TxnHandle`].
 //!
-//! The PUSH/PULL model's shared log is a single synchronization point, so
-//! the honest parallel realization guards the system with one lock and
-//! lets worker threads race to tick their own model thread — the
-//! interleaving is then decided by the *OS scheduler* rather than a
-//! seeded policy, giving the test suites a source of genuinely
-//! nondeterministic interleavings (every one of which must still pass the
-//! oracle, which is the point).
+//! This is where the GlobalState/TxnHandle split pays off. Workers are
+//! obtained from [`ParallelSystem::workers`], which hands each OS thread
+//! exclusive `&mut` access to its own per-thread handle and driver state.
+//! **No lock wraps the system as a whole**: APP/UNAPP ticks run entirely
+//! on thread-local state, and only the shared-log rules
+//! (PUSH/UNPUSH/PULL/UNPULL/CMT) and the drivers' own small shared
+//! structures (a lock table, a conflict tracker, a commit token) take
+//! short critical sections inside the machine. The interleaving is
+//! decided by the *OS scheduler* rather than a seeded policy, giving the
+//! test suites a source of genuinely nondeterministic interleavings
+//! (every one of which must still pass the oracle, which is the point).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pushpull_core::error::MachineError;
-use pushpull_core::op::ThreadId;
-use pushpull_tm::driver::{Tick, TmSystem};
+use pushpull_tm::driver::{ParallelSystem, Tick};
 
 /// Outcome of a parallel run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,47 +28,49 @@ pub struct ParallelOutcome {
 }
 
 /// Runs `sys` with one OS thread per model thread, each ticking its own
-/// [`ThreadId`] until done (or until `max_ticks_per_thread`).
+/// worker closure until done (or until `max_ticks_per_thread`).
 ///
 /// # Errors
 ///
 /// Propagates the first unexpected [`MachineError`] raised by any worker.
-pub fn run_parallel<T>(sys: T, max_ticks_per_thread: usize) -> Result<(T, ParallelOutcome), MachineError>
+pub fn run_parallel<T>(
+    mut sys: T,
+    max_ticks_per_thread: usize,
+) -> Result<(T, ParallelOutcome), MachineError>
 where
-    T: TmSystem + Send,
+    T: ParallelSystem + Send,
 {
-    let n = sys.thread_count();
-    let shared = Mutex::new(sys);
-    let total_ticks = std::sync::atomic::AtomicUsize::new(0);
+    let total_ticks = AtomicUsize::new(0);
     let mut first_error: Option<MachineError> = None;
     let mut all_done = true;
 
-    let results: Vec<Result<bool, MachineError>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|t| {
-                let shared = &shared;
-                let total_ticks = &total_ticks;
-                scope.spawn(move |_| {
-                    let tid = ThreadId(t);
-                    for _ in 0..max_ticks_per_thread {
-                        let tick = {
-                            let mut guard = shared.lock();
-                            guard.tick(tid)?
-                        };
-                        total_ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        match tick {
-                            Tick::Done => return Ok(true),
-                            Tick::Blocked => std::thread::yield_now(),
-                            _ => {}
+    let results: Vec<Result<bool, MachineError>> = {
+        let workers = sys.workers();
+        let total_ticks = &total_ticks;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|mut worker| {
+                    scope.spawn(move || {
+                        for _ in 0..max_ticks_per_thread {
+                            let tick = worker()?;
+                            total_ticks.fetch_add(1, Ordering::Relaxed);
+                            match tick {
+                                Tick::Done => return Ok(true),
+                                Tick::Blocked => std::thread::yield_now(),
+                                _ => {}
+                            }
                         }
-                    }
-                    Ok(false)
+                        Ok(false)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
 
     for r in results {
         match r {
@@ -80,9 +85,14 @@ where
     if let Some(e) = first_error {
         return Err(e);
     }
-    let sys = shared.into_inner();
     let completed = all_done && sys.is_done();
-    Ok((sys, ParallelOutcome { ticks: total_ticks.into_inner(), completed }))
+    Ok((
+        sys,
+        ParallelOutcome {
+            ticks: total_ticks.into_inner(),
+            completed,
+        },
+    ))
 }
 
 #[cfg(test)]

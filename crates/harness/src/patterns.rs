@@ -66,7 +66,11 @@ pub fn producer_consumer(
         );
     }
     for _ in 0..consumers {
-        programs.push((0..per_consumer).map(|_| Code::method(QueueMethod::Deq)).collect());
+        programs.push(
+            (0..per_consumer)
+                .map(|_| Code::method(QueueMethod::Deq))
+                .collect(),
+        );
     }
     programs
 }

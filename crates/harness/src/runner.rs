@@ -80,7 +80,7 @@ where
         outcome,
         stats: stats(sys),
         serializability: check_machine(m),
-        opacity: check_trace(m.trace()),
+        opacity: check_trace(&m.trace()),
     })
 }
 

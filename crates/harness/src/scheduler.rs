@@ -72,16 +72,25 @@ pub fn run<T: TmSystem, S: Scheduler>(
 ) -> Result<RunOutcome, MachineError> {
     let n = sys.thread_count();
     if n == 0 {
-        return Ok(RunOutcome { ticks: 0, completed: true });
+        return Ok(RunOutcome {
+            ticks: 0,
+            completed: true,
+        });
     }
     for step in 0..max_ticks {
         if sys.is_done() {
-            return Ok(RunOutcome { ticks: step, completed: true });
+            return Ok(RunOutcome {
+                ticks: step,
+                completed: true,
+            });
         }
         let tid = sched.next(n, step);
         let _t: Tick = sys.tick(tid)?;
     }
-    Ok(RunOutcome { ticks: max_ticks, completed: sys.is_done() })
+    Ok(RunOutcome {
+        ticks: max_ticks,
+        completed: sys.is_done(),
+    })
 }
 
 #[cfg(test)]

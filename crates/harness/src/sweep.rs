@@ -24,7 +24,13 @@ impl Aggregate {
     pub fn of(samples: &[f64]) -> Self {
         let n = samples.len();
         if n == 0 {
-            return Self { mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, n: 0 };
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -34,7 +40,13 @@ impl Aggregate {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { mean, std_dev: var.sqrt(), min, max, n }
+        Self {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            n,
+        }
     }
 }
 
@@ -108,7 +120,6 @@ mod tests {
     use pushpull_core::lang::Code;
     use pushpull_spec::counter::{Counter, CtrMethod};
     use pushpull_tm::optimistic::{OptimisticSystem, ReadPolicy};
-    
 
     #[test]
     fn aggregate_math() {
@@ -126,16 +137,27 @@ mod tests {
 
     #[test]
     fn sweep_runs_per_seed() {
-        let spec = WorkloadSpec { threads: 2, txns_per_thread: 2, ops_per_txn: 2, ..Default::default() };
+        let spec = WorkloadSpec {
+            threads: 2,
+            txns_per_thread: 2,
+            ops_per_txn: 2,
+            ..Default::default()
+        };
         let result = sweep("counter/optimistic", 1..=5, |seed| {
-            let mut sys =
-                OptimisticSystem::new(Counter::new(), spec.counter_programs(), ReadPolicy::Snapshot);
+            let mut sys = OptimisticSystem::new(
+                Counter::new(),
+                spec.counter_programs(),
+                ReadPolicy::Snapshot,
+            );
             let out = run(&mut sys, &mut RandomSched::new(seed), 1_000_000).unwrap();
             assert!(out.completed);
             (sys.stats(), out.ticks)
         });
         assert_eq!(result.commits.n, 5);
-        assert!((result.commits.mean - 4.0).abs() < 1e-9, "4 txns always commit");
+        assert!(
+            (result.commits.mean - 4.0).abs() < 1e-9,
+            "4 txns always commit"
+        );
         let line = result.to_string();
         assert!(line.contains("counter/optimistic"));
         let _ = Code::method(CtrMethod::Get); // silence unused import pathologies

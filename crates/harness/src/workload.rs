@@ -4,10 +4,8 @@
 //! always yields the same programs, so benchmark comparisons across
 //! algorithms run identical transaction mixes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pushpull_core::lang::Code;
+use pushpull_core::rng::Xorshift64;
 use pushpull_spec::bank::BankMethod;
 use pushpull_spec::counter::CtrMethod;
 use pushpull_spec::kvmap::MapMethod;
@@ -44,22 +42,20 @@ impl Default for WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    fn rng(&self) -> StdRng {
-        StdRng::seed_from_u64(self.seed)
+    fn rng(&self) -> Xorshift64 {
+        Xorshift64::new(self.seed)
     }
 
     fn gen_programs<M: Clone>(
         &self,
-        mut op: impl FnMut(&mut StdRng) -> M,
+        mut op: impl FnMut(&mut Xorshift64) -> M,
     ) -> Vec<Vec<Code<M>>> {
         let mut rng = self.rng();
         (0..self.threads)
             .map(|_| {
                 (0..self.txns_per_thread)
                     .map(|_| {
-                        Code::seq_all(
-                            (0..self.ops_per_txn).map(|_| Code::method(op(&mut rng))),
-                        )
+                        Code::seq_all((0..self.ops_per_txn).map(|_| Code::method(op(&mut rng))))
                     })
                     .collect()
             })
@@ -75,7 +71,7 @@ impl WorkloadSpec {
             if rng.gen_bool(reads) {
                 MapMethod::Get(k)
             } else {
-                MapMethod::Put(k, rng.gen_range(0..1000))
+                MapMethod::Put(k, rng.gen_range(0..1000) as i64)
             }
         })
     }
@@ -89,7 +85,7 @@ impl WorkloadSpec {
             if rng.gen_bool(reads) {
                 MemMethod::Read(l)
             } else {
-                MemMethod::Write(l, rng.gen_range(0..1000))
+                MemMethod::Write(l, rng.gen_range(0..1000) as i64)
             }
         })
     }
@@ -116,9 +112,9 @@ impl WorkloadSpec {
             if rng.gen_bool(reads) {
                 BankMethod::Balance(a)
             } else if rng.gen_bool(0.7) {
-                BankMethod::Deposit(a, rng.gen_range(1..50))
+                BankMethod::Deposit(a, rng.gen_range(1..50) as i64)
             } else {
-                BankMethod::Withdraw(a, rng.gen_range(1..50))
+                BankMethod::Withdraw(a, rng.gen_range(1..50) as i64)
             }
         })
     }
@@ -154,7 +150,7 @@ impl WorkloadSpec {
                             if rng.gen_bool(self.read_ratio) {
                                 Code::method(MapMethod::Get(k))
                             } else {
-                                Code::method(MapMethod::Put(k, rng.gen_range(0..1000)))
+                                Code::method(MapMethod::Put(k, rng.gen_range(0..1000) as i64))
                             }
                         }))
                     })
@@ -164,18 +160,18 @@ impl WorkloadSpec {
     }
 }
 
-fn gen_structured(rng: &mut StdRng, depth: usize, read_ratio: f64) -> Code<CtrMethod> {
-    let leaf = |rng: &mut StdRng| {
+fn gen_structured(rng: &mut Xorshift64, depth: usize, read_ratio: f64) -> Code<CtrMethod> {
+    let leaf = |rng: &mut Xorshift64| {
         if rng.gen_bool(read_ratio) {
             Code::method(CtrMethod::Get)
         } else {
-            Code::method(CtrMethod::Add(rng.gen_range(1..4)))
+            Code::method(CtrMethod::Add(rng.gen_range(1..4) as i64))
         }
     };
     if depth == 0 {
         return leaf(rng);
     }
-    match rng.gen_range(0..4u8) {
+    match rng.gen_range(0..4) {
         0 => leaf(rng),
         1 => Code::seq(
             gen_structured(rng, depth - 1, read_ratio),
@@ -202,7 +198,12 @@ mod tests {
 
     #[test]
     fn shape_matches_spec() {
-        let spec = WorkloadSpec { threads: 3, txns_per_thread: 5, ops_per_txn: 2, ..Default::default() };
+        let spec = WorkloadSpec {
+            threads: 3,
+            txns_per_thread: 5,
+            ops_per_txn: 2,
+            ..Default::default()
+        };
         let progs = spec.kvmap_programs();
         assert_eq!(progs.len(), 3);
         assert!(progs.iter().all(|p| p.len() == 5));
@@ -217,7 +218,10 @@ mod tests {
 
     #[test]
     fn read_ratio_zero_generates_no_reads() {
-        let spec = WorkloadSpec { read_ratio: 0.0, ..Default::default() };
+        let spec = WorkloadSpec {
+            read_ratio: 0.0,
+            ..Default::default()
+        };
         for p in spec.kvmap_programs() {
             for c in p {
                 assert!(c
@@ -230,7 +234,11 @@ mod tests {
 
     #[test]
     fn disjoint_programs_partition_keys() {
-        let spec = WorkloadSpec { threads: 4, key_range: 16, ..Default::default() };
+        let spec = WorkloadSpec {
+            threads: 4,
+            key_range: 16,
+            ..Default::default()
+        };
         let progs = spec.kvmap_disjoint_programs();
         for (t, p) in progs.iter().enumerate() {
             let lo = t as u64 * 4;

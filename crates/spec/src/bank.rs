@@ -95,7 +95,9 @@ impl Bank {
     /// A bounded bank over the given accounts with balances `0..=max`,
     /// with a finite state universe for exhaustive cross-checks.
     pub fn bounded(accts: Vec<Acct>, max: Amount) -> Self {
-        Self { bound: Some((accts, max)) }
+        Self {
+            bound: Some((accts, max)),
+        }
     }
 }
 
@@ -217,17 +219,32 @@ pub mod ops {
 
     /// A `Deposit(acct, amount)`.
     pub fn deposit(id: u64, txn: u64, acct: Acct, amount: Amount) -> BankOp {
-        Op::new(OpId(id), TxnId(txn), BankMethod::Deposit(acct, amount), BankRet::Ack)
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            BankMethod::Deposit(acct, amount),
+            BankRet::Ack,
+        )
     }
 
     /// A `Withdraw(acct, amount)` observing `ok`.
     pub fn withdraw(id: u64, txn: u64, acct: Acct, amount: Amount, ok: bool) -> BankOp {
-        Op::new(OpId(id), TxnId(txn), BankMethod::Withdraw(acct, amount), BankRet::Ok(ok))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            BankMethod::Withdraw(acct, amount),
+            BankRet::Ok(ok),
+        )
     }
 
     /// A `Balance(acct)` observing `v`.
     pub fn balance(id: u64, txn: u64, acct: Acct, v: Amount) -> BankOp {
-        Op::new(OpId(id), TxnId(txn), BankMethod::Balance(acct), BankRet::Amount(v))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            BankMethod::Balance(acct),
+            BankRet::Amount(v),
+        )
     }
 }
 
@@ -290,7 +307,10 @@ mod tests {
                     assert!(
                         mover_exhaustive(&spec, &universe, x, y),
                         "unsound mover {:?}/{:?} vs {:?}/{:?}",
-                        x.method, x.ret, y.method, y.ret
+                        x.method,
+                        x.ret,
+                        y.method,
+                        y.ret
                     );
                 }
             }

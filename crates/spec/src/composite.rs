@@ -140,8 +140,18 @@ impl<A: SeqSpec, B: SeqSpec> SeqSpec for Product<A, B> {
 
     fn results(&self, state: &(A::State, B::State), method: &Self::Method) -> Vec<Self::Ret> {
         match method {
-            Either::L(m) => self.left.results(&state.0, m).into_iter().map(Either::L).collect(),
-            Either::R(m) => self.right.results(&state.1, m).into_iter().map(Either::R).collect(),
+            Either::L(m) => self
+                .left
+                .results(&state.0, m)
+                .into_iter()
+                .map(Either::L)
+                .collect(),
+            Either::R(m) => self
+                .right
+                .results(&state.1, m)
+                .into_iter()
+                .map(Either::R)
+                .collect(),
         }
     }
 
@@ -155,11 +165,7 @@ impl<A: SeqSpec, B: SeqSpec> SeqSpec for Product<A, B> {
         )
     }
 
-    fn mover(
-        &self,
-        op1: &Op<Self::Method, Self::Ret>,
-        op2: &Op<Self::Method, Self::Ret>,
-    ) -> bool {
+    fn mover(&self, op1: &Op<Self::Method, Self::Ret>, op2: &Op<Self::Method, Self::Ret>) -> bool {
         match (Self::split_op(op1), Self::split_op(op2)) {
             (Some(Either::L(a)), Some(Either::L(b))) => self.left.mover(&a, &b),
             (Some(Either::R(a)), Some(Either::R(b))) => self.right.mover(&a, &b),
@@ -186,7 +192,9 @@ mod tests {
         Op::new(op.id, op.txn, Either::L(op.method), Either::L(op.ret))
     }
 
-    fn lift_ctr(op: crate::counter::CtrOp) -> Op<<Pair as SeqSpec>::Method, <Pair as SeqSpec>::Ret> {
+    fn lift_ctr(
+        op: crate::counter::CtrOp,
+    ) -> Op<<Pair as SeqSpec>::Method, <Pair as SeqSpec>::Ret> {
         Op::new(op.id, op.txn, Either::R(op.method), Either::R(op.ret))
     }
 

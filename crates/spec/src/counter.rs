@@ -72,7 +72,9 @@ impl Counter {
     /// A counter whose state universe is `-bound..=bound`, enabling
     /// exhaustive mover cross-validation.
     pub fn with_universe(bound: i64) -> Self {
-        Self { bounded: Some(bound) }
+        Self {
+            bounded: Some(bound),
+        }
     }
 }
 
@@ -181,7 +183,12 @@ mod tests {
         // Exhaustive: add(1) then get(v): forward requires post state v,
         // i.e. pre v-1; hypothetical requires pre state v. Different
         // states -> refuted (for v reachable in universe).
-        assert!(!mover_exhaustive(&spec, &universe, &add(0, 0, 1), &get(1, 0, 0)));
+        assert!(!mover_exhaustive(
+            &spec,
+            &universe,
+            &add(0, 0, 1),
+            &get(1, 0, 0)
+        ));
         assert!(!spec.mover(&add(0, 0, 1), &get(1, 0, 0)));
     }
 

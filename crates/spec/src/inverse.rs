@@ -122,15 +122,15 @@ mod tests {
     /// The inverse law: `⟦ℓ · op · op⁻¹⟧ = ⟦ℓ⟧` whenever `ℓ · op` is
     /// allowed — checked over the whole bounded state universe by
     /// running from every state.
-    fn check_inverse_law<S>(
-        spec: &S,
-        ops: &[Op<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>],
-    ) where
+    fn check_inverse_law<S>(spec: &S, ops: &[Op<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>])
+    where
         S: SeqSpec + Inverses<Method = <S as SeqSpec>::Method, Ret = <S as SeqSpec>::Ret>,
     {
         let universe = spec.state_universe().expect("bounded spec");
         for op in ops {
-            let Some((im, ir)) = S::inverse(op) else { continue };
+            let Some((im, ir)) = S::inverse(op) else {
+                continue;
+            };
             let inv = Op::new(OpId(op.id.0 + 1000), TxnId(0), im, ir);
             for s in &universe {
                 let start: std::collections::HashSet<_> = std::iter::once(s.clone()).collect();

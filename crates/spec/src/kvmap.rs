@@ -37,7 +37,9 @@ impl MapMethod {
     /// The key this method touches, if key-local.
     pub fn key(&self) -> Option<Key> {
         match self {
-            MapMethod::Put(k, _) | MapMethod::Remove(k) | MapMethod::Get(k)
+            MapMethod::Put(k, _)
+            | MapMethod::Remove(k)
+            | MapMethod::Get(k)
             | MapMethod::ContainsKey(k) => Some(*k),
             MapMethod::Size => None,
         }
@@ -45,7 +47,10 @@ impl MapMethod {
 
     /// Is this a read-only method?
     pub fn is_read(&self) -> bool {
-        matches!(self, MapMethod::Get(_) | MapMethod::ContainsKey(_) | MapMethod::Size)
+        matches!(
+            self,
+            MapMethod::Get(_) | MapMethod::ContainsKey(_) | MapMethod::Size
+        )
     }
 }
 
@@ -108,7 +113,9 @@ impl KvMap {
     /// A bounded map over the given keys and values, with a finite state
     /// universe (every partial assignment) for exhaustive cross-checks.
     pub fn bounded(keys: Vec<Key>, vals: Vec<Val>) -> Self {
-        Self { bound: Some((keys, vals)) }
+        Self {
+            bound: Some((keys, vals)),
+        }
     }
 }
 
@@ -236,12 +243,22 @@ pub mod ops {
 
     /// A `Put(key, val)` observing previous binding `prev`.
     pub fn put(id: u64, txn: u64, key: Key, val: Val, prev: Option<Val>) -> MapOp {
-        Op::new(OpId(id), TxnId(txn), MapMethod::Put(key, val), MapRet::Prev(prev))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            MapMethod::Put(key, val),
+            MapRet::Prev(prev),
+        )
     }
 
     /// A `Remove(key)` observing previous binding `prev`.
     pub fn remove(id: u64, txn: u64, key: Key, prev: Option<Val>) -> MapOp {
-        Op::new(OpId(id), TxnId(txn), MapMethod::Remove(key), MapRet::Prev(prev))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            MapMethod::Remove(key),
+            MapRet::Prev(prev),
+        )
     }
 
     /// A `Get(key)` observing `val`.
@@ -251,7 +268,12 @@ pub mod ops {
 
     /// A `ContainsKey(key)` observing `b`.
     pub fn contains(id: u64, txn: u64, key: Key, b: bool) -> MapOp {
-        Op::new(OpId(id), TxnId(txn), MapMethod::ContainsKey(key), MapRet::Bool(b))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            MapMethod::ContainsKey(key),
+            MapRet::Bool(b),
+        )
     }
 
     /// A `Size` observing `n`.
@@ -346,7 +368,10 @@ mod tests {
                     assert!(
                         mover_exhaustive(&spec, &universe, a, b),
                         "algebraic mover unsound for {:?}/{:?} vs {:?}/{:?}",
-                        a.method, a.ret, b.method, b.ret
+                        a.method,
+                        a.ret,
+                        b.method,
+                        b.ret
                     );
                 }
             }

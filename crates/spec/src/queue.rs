@@ -79,7 +79,9 @@ impl QueueSpec {
     /// A bounded queue over the given items up to `max_len`, with a finite
     /// state universe for exhaustive cross-checks.
     pub fn bounded(items: Vec<Item>, max_len: usize) -> Self {
-        Self { bound: Some((items, max_len)) }
+        Self {
+            bound: Some((items, max_len)),
+        }
     }
 }
 
@@ -98,7 +100,12 @@ impl SeqSpec for QueueSpec {
         vec![QueueState::new()]
     }
 
-    fn post_states(&self, state: &QueueState, method: &QueueMethod, ret: &QueueRet) -> Vec<QueueState> {
+    fn post_states(
+        &self,
+        state: &QueueState,
+        method: &QueueMethod,
+        ret: &QueueRet,
+    ) -> Vec<QueueState> {
         match (method, ret) {
             (QueueMethod::Enq(v), QueueRet::Ack) => {
                 if let Some((items, max_len)) = &self.bound {

@@ -40,9 +40,16 @@ pub fn method_commutes_with_op<S: SeqSpec>(
     method: &S::Method,
     op: &Op<S::Method, S::Ret>,
 ) -> bool {
-    let Some(rets) = possible_rets(spec, method) else { return false };
+    let Some(rets) = possible_rets(spec, method) else {
+        return false;
+    };
     rets.iter().all(|r| {
-        let candidate = Op::new(OpId(u64::MAX - 1), TxnId(u64::MAX), method.clone(), r.clone());
+        let candidate = Op::new(
+            OpId(u64::MAX - 1),
+            TxnId(u64::MAX),
+            method.clone(),
+            r.clone(),
+        );
         commute(spec, &candidate, op)
     })
 }
@@ -114,9 +121,17 @@ mod tests {
         let pulled = sops::add(0, 0, 1, true);
         // Methods on the other element commute with the pulled add…
         assert!(method_commutes_with_op(&spec, &SetMethod::Add(2), &pulled));
-        assert!(method_commutes_with_op(&spec, &SetMethod::Contains(2), &pulled));
+        assert!(method_commutes_with_op(
+            &spec,
+            &SetMethod::Contains(2),
+            &pulled
+        ));
         // …same-element methods do not.
-        assert!(!method_commutes_with_op(&spec, &SetMethod::Contains(1), &pulled));
+        assert!(!method_commutes_with_op(
+            &spec,
+            &SetMethod::Contains(1),
+            &pulled
+        ));
         assert!(!method_commutes_with_op(&spec, &SetMethod::Add(1), &pulled));
     }
 

@@ -92,7 +92,9 @@ impl CasRegister {
     /// A register whose state universe is `0..=max`, enabling exhaustive
     /// mover cross-validation.
     pub fn with_universe(max: i64) -> Self {
-        Self { universe: Some(max) }
+        Self {
+            universe: Some(max),
+        }
     }
 }
 
@@ -168,23 +170,51 @@ impl SeqSpec for CasRegister {
             // `new` must also not match the failer's expectation), and
             // the success precondition must be untouched (trivially —
             // the failer does not change state).
-            (Cas { expected: e1, new: n1 }, Swapped(true), Cas { expected: e2, .. }, Swapped(false)) => {
+            (
+                Cas {
+                    expected: e1,
+                    new: n1,
+                },
+                Swapped(true),
+                Cas { expected: e2, .. },
+                Swapped(false),
+            ) => {
                 // forward: s==e1, then fail: n1 != e2; backward: fail
                 // first needs s != e2 (s==e1, so e1 != e2).
                 n1 != e2 && e1 != e2
             }
-            (Cas { expected: e1, .. }, Swapped(false), Cas { expected: e2, new: n2 }, Swapped(true)) => {
+            (
+                Cas { expected: e1, .. },
+                Swapped(false),
+                Cas {
+                    expected: e2,
+                    new: n2,
+                },
+                Swapped(true),
+            ) => {
                 // forward: s != e1 and s == e2; backward: after the swap
                 // the failer must still fail: n2 != e1.
                 n2 != e1 && e1 != e2
             }
             // Degenerate no-op successful CAS (e == n) is an observer.
-            (Cas { expected: e, new: n }, Swapped(true), _, _) if e == n => {
-                self.mover(&RegOp::new(op1.id, op1.txn, Read, Val(*e)), op2)
-            }
-            (_, _, Cas { expected: e, new: n }, Swapped(true)) if e == n => {
-                self.mover(op1, &RegOp::new(op2.id, op2.txn, Read, Val(*e)))
-            }
+            (
+                Cas {
+                    expected: e,
+                    new: n,
+                },
+                Swapped(true),
+                _,
+                _,
+            ) if e == n => self.mover(&RegOp::new(op1.id, op1.txn, Read, Val(*e)), op2),
+            (
+                _,
+                _,
+                Cas {
+                    expected: e,
+                    new: n,
+                },
+                Swapped(true),
+            ) if e == n => self.mover(op1, &RegOp::new(op2.id, op2.txn, Read, Val(*e))),
             // Writes of the same value commute with each other.
             (Write(a), Ack, Write(b), Ack) => a == b,
             // Everything else involving a mutator: conservative no.
@@ -210,7 +240,12 @@ pub mod ops {
 
     /// A `Cas(expected → new)` observing `ok`.
     pub fn cas(id: u64, txn: u64, expected: i64, new: i64, ok: bool) -> RegOp {
-        Op::new(OpId(id), TxnId(txn), RegMethod::Cas { expected, new }, RegRet::Swapped(ok))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            RegMethod::Cas { expected, new },
+            RegRet::Swapped(ok),
+        )
     }
 }
 

@@ -114,7 +114,9 @@ impl RwMem {
     /// A bounded memory over the given locations and values, providing a
     /// finite state universe of all total assignments.
     pub fn bounded(locs: Vec<Loc>, vals: Vec<i64>) -> Self {
-        Self { bound: Some((locs, vals)) }
+        Self {
+            bound: Some((locs, vals)),
+        }
     }
 }
 
@@ -202,12 +204,22 @@ pub mod ops {
 
     /// `read(id, txn, loc, observed)` — a read observing `observed`.
     pub fn read(id: u64, txn: u64, loc: u32, observed: i64) -> MemOp {
-        Op::new(OpId(id), TxnId(txn), MemMethod::Read(Loc(loc)), MemRet::Val(observed))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            MemMethod::Read(Loc(loc)),
+            MemRet::Val(observed),
+        )
     }
 
     /// `write(id, txn, loc, val)` — a write of `val`.
     pub fn write(id: u64, txn: u64, loc: u32, val: i64) -> MemOp {
-        Op::new(OpId(id), TxnId(txn), MemMethod::Write(Loc(loc), val), MemRet::Ack)
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            MemMethod::Write(Loc(loc), val),
+            MemRet::Ack,
+        )
     }
 }
 
@@ -293,7 +305,13 @@ mod tests {
         let spec = RwMem::new();
         let mut s = MemState::new();
         s.insert(Loc(3), 9);
-        assert_eq!(spec.results(&s, &MemMethod::Read(Loc(3))), vec![MemRet::Val(9)]);
-        assert_eq!(spec.results(&s, &MemMethod::Write(Loc(3), 1)), vec![MemRet::Ack]);
+        assert_eq!(
+            spec.results(&s, &MemMethod::Read(Loc(3))),
+            vec![MemRet::Val(9)]
+        );
+        assert_eq!(
+            spec.results(&s, &MemMethod::Write(Loc(3), 1)),
+            vec![MemRet::Ack]
+        );
     }
 }

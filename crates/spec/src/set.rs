@@ -182,7 +182,12 @@ pub mod ops {
 
     /// A `Contains(x)` observing `present`.
     pub fn contains(id: u64, txn: u64, x: Elem, present: bool) -> SetOp {
-        Op::new(OpId(id), TxnId(txn), SetMethod::Contains(x), SetRet(present))
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            SetMethod::Contains(x),
+            SetRet(present),
+        )
     }
 }
 
@@ -208,8 +213,14 @@ mod tests {
     #[test]
     fn rets_are_forced_by_state() {
         let spec = SetSpec::new();
-        assert!(!spec.allowed(&[o::add(0, 0, 5, false)]), "first add must return true");
-        assert!(!spec.allowed(&[o::remove(0, 0, 5, true)]), "remove from empty must return false");
+        assert!(
+            !spec.allowed(&[o::add(0, 0, 5, false)]),
+            "first add must return true"
+        );
+        assert!(
+            !spec.allowed(&[o::remove(0, 0, 5, true)]),
+            "remove from empty must return false"
+        );
     }
 
     #[test]

@@ -18,14 +18,16 @@
 //! handled as a conflict: the driver waits briefly, then aborts — the
 //! checked machine guarantees nothing unserializable ever slips through.
 
+use std::sync::Mutex;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::{OpId, ThreadId};
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::locks::{AbstractLockManager, LockOutcome};
 
 use crate::conflict::ConflictKeyed;
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 /// How many consecutive blocked ticks a thread tolerates before aborting
@@ -61,15 +63,138 @@ const BLOCK_ABORT_THRESHOLD: u32 = 24;
 /// assert_eq!(sys.stats().aborts, 0);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BoostingSystem<S: ConflictKeyed> {
     machine: Machine<S>,
-    locks: AbstractLockManager<S::LockKey>,
-    blocked_streak: Vec<u32>,
-    stats: SystemStats,
+    shared: BoostShared<S::LockKey>,
+    threads: Vec<BoostThread>,
+}
+
+/// Boosting's cross-thread state: the abstract lock manager and the
+/// forced-abort test hook, each behind a short-held mutex.
+#[derive(Debug)]
+struct BoostShared<K> {
+    locks: Mutex<AbstractLockManager<K>>,
     /// Thread indices that must abort at their next tick (test hook for
     /// the Figure 2 abort path).
-    forced_aborts: Vec<ThreadId>,
+    forced_aborts: Mutex<Vec<ThreadId>>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone, Default)]
+struct BoostThread {
+    blocked_streak: u32,
+    stats: SystemStats,
+}
+
+fn abort_thread<S: ConflictKeyed>(
+    shared: &BoostShared<S::LockKey>,
+    h: &mut TxnHandle<S>,
+    t: &mut BoostThread,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    // Figure 2's abort path: UNPUSH; UNAPP in reverse order
+    // (rewind_all walks the local log from the tail), then unlock.
+    h.abort_and_retry()?;
+    shared
+        .locks
+        .lock()
+        .expect("lock manager poisoned")
+        .release_all(txn);
+    t.blocked_streak = 0;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+fn blocked_thread<S: ConflictKeyed>(
+    shared: &BoostShared<S::LockKey>,
+    h: &mut TxnHandle<S>,
+    t: &mut BoostThread,
+) -> Result<Tick, MachineError> {
+    t.blocked_streak += 1;
+    t.stats.blocked_ticks += 1;
+    if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
+        return abort_thread(shared, h, t);
+    }
+    Ok(Tick::Blocked)
+}
+
+/// One boosting tick for one thread: abstract locks are taken briefly per
+/// method; APP runs on the thread's own handle with no system-wide lock.
+fn tick_thread<S: ConflictKeyed>(
+    shared: &BoostShared<S::LockKey>,
+    h: &mut TxnHandle<S>,
+    t: &mut BoostThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    {
+        let mut forced = shared
+            .forced_aborts
+            .lock()
+            .expect("forced-abort list poisoned");
+        if let Some(pos) = forced.iter().position(|f| *f == h.tid()) {
+            forced.remove(pos);
+            drop(forced);
+            return abort_thread(shared, h, t);
+        }
+    }
+    let txn = h.txn();
+    // Commit once no method remains: boosting runs each transaction
+    // to completion in program order.
+    let options = h.step_options()?;
+    if options.is_empty() {
+        let committed = h.commit()?;
+        shared
+            .locks
+            .lock()
+            .expect("lock manager poisoned")
+            .release_all(committed);
+        t.blocked_streak = 0;
+        t.stats.commits += 1;
+        return Ok(Tick::Committed);
+    }
+    let (method, _) = &options[0];
+    // Acquire this method's abstract locks (2PL: held to commit).
+    for key in h.spec().lock_keys(method) {
+        // Bind the outcome first: matching on the locked expression would
+        // hold the guard across the abort path and self-deadlock.
+        let outcome = shared
+            .locks
+            .lock()
+            .expect("lock manager poisoned")
+            .try_lock(txn, key);
+        match outcome {
+            LockOutcome::Acquired | LockOutcome::AlreadyHeld => {}
+            LockOutcome::Busy { .. } => return blocked_thread(shared, h, t),
+            LockOutcome::WouldDeadlock { .. } => return abort_thread(shared, h, t),
+        }
+    }
+    // Implicit PULL: refresh the committed shared view (the paper's
+    // "the local view is the same as the shared view").
+    pull_committed_lenient(h)?;
+    // APP, then immediately PUSH.
+    let method = method.clone();
+    let op: OpId = match h.app_method(&method) {
+        Ok(op) => op,
+        Err(MachineError::NoAllowedResult(_)) => return abort_thread(shared, h, t),
+        Err(e) => return Err(e),
+    };
+    match h.push(op) {
+        Ok(()) => {
+            t.blocked_streak = 0;
+            Ok(Tick::Progress)
+        }
+        Err(e) if is_conflict(&e) => {
+            // Criterion (ii)/(iii) conflict the locks could not
+            // express: undo the APP and wait for the conflicting
+            // transaction to commit (abort if it takes too long).
+            h.unapp()?;
+            blocked_thread(shared, h, t)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 impl<S: ConflictKeyed> BoostingSystem<S> {
@@ -83,10 +208,11 @@ impl<S: ConflictKeyed> BoostingSystem<S> {
         }
         Self {
             machine,
-            locks: AbstractLockManager::new(),
-            blocked_streak: vec![0; n],
-            stats: SystemStats::default(),
-            forced_aborts: Vec::new(),
+            shared: BoostShared {
+                locks: Mutex::new(AbstractLockManager::new()),
+                forced_aborts: Mutex::new(Vec::new()),
+            },
+            threads: vec![BoostThread::default(); n],
         }
     }
 
@@ -95,92 +221,58 @@ impl<S: ConflictKeyed> BoostingSystem<S> {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
 
     /// Forces the thread's current transaction to abort at its next tick
     /// — the Figure 2 "if aborting" path, exercised by tests and the
     /// examples.
     pub fn force_abort(&mut self, tid: ThreadId) {
-        self.forced_aborts.push(tid);
+        self.shared
+            .forced_aborts
+            .lock()
+            .expect("forced-abort list poisoned")
+            .push(tid);
     }
+}
 
-    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        // Figure 2's abort path: UNPUSH; UNAPP in reverse order
-        // (rewind_all walks the local log from the tail), then unlock.
-        self.machine.abort_and_retry(tid)?;
-        self.locks.release_all(txn);
-        self.blocked_streak[tid.0] = 0;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
-    }
-
-    fn blocked(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        self.blocked_streak[tid.0] += 1;
-        self.stats.blocked_ticks += 1;
-        if self.blocked_streak[tid.0] >= BLOCK_ABORT_THRESHOLD {
-            return self.abort(tid);
+impl<S: ConflictKeyed + Clone> Clone for BoostingSystem<S>
+where
+    S::LockKey: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            machine: self.machine.clone(),
+            shared: BoostShared {
+                locks: Mutex::new(
+                    self.shared
+                        .locks
+                        .lock()
+                        .expect("lock manager poisoned")
+                        .clone(),
+                ),
+                forced_aborts: Mutex::new(
+                    self.shared
+                        .forced_aborts
+                        .lock()
+                        .expect("forced-abort list poisoned")
+                        .clone(),
+                ),
+            },
+            threads: self.threads.clone(),
         }
-        Ok(Tick::Blocked)
     }
 }
 
 impl<S: ConflictKeyed> TmSystem for BoostingSystem<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        if let Some(pos) = self.forced_aborts.iter().position(|t| *t == tid) {
-            self.forced_aborts.remove(pos);
-            return self.abort(tid);
-        }
-        let txn = self.machine.thread(tid)?.txn();
-        // Commit once no method remains: boosting runs each transaction
-        // to completion in program order.
-        let options = self.machine.step_options(tid)?;
-        if options.is_empty() {
-            let committed = self.machine.commit(tid)?;
-            self.locks.release_all(committed);
-            self.blocked_streak[tid.0] = 0;
-            self.stats.commits += 1;
-            return Ok(Tick::Committed);
-        }
-        let (method, _) = &options[0];
-        // Acquire this method's abstract locks (2PL: held to commit).
-        for key in self.machine.spec().lock_keys(method) {
-            match self.locks.try_lock(txn, key) {
-                LockOutcome::Acquired | LockOutcome::AlreadyHeld => {}
-                LockOutcome::Busy { .. } => return self.blocked(tid),
-                LockOutcome::WouldDeadlock { .. } => return self.abort(tid),
-            }
-        }
-        // Implicit PULL: refresh the committed shared view (the paper's
-        // "the local view is the same as the shared view").
-        pull_committed_lenient(&mut self.machine, tid)?;
-        // APP, then immediately PUSH.
-        let method = method.clone();
-        let op: OpId = match self.machine.app_method(tid, &method) {
-            Ok(op) => op,
-            Err(MachineError::NoAllowedResult(_)) => return self.abort(tid),
-            Err(e) => return Err(e),
-        };
-        match self.machine.push(tid, op) {
-            Ok(()) => {
-                self.blocked_streak[tid.0] = 0;
-                Ok(Tick::Progress)
-            }
-            Err(e) if is_conflict(&e) => {
-                // Criterion (ii)/(iii) conflict the locks could not
-                // express: undo the APP and wait for the conflicting
-                // transaction to commit (abort if it takes too long).
-                self.machine.unapp(tid)?;
-                self.blocked(tid)
-            }
-            Err(e) => Err(e),
-        }
+        tick_thread(
+            &self.shared,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -188,12 +280,35 @@ impl<S: ConflictKeyed> TmSystem for BoostingSystem<S> {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "boosting"
+    }
+}
+
+impl<S> ParallelSystem for BoostingSystem<S>
+where
+    S: ConflictKeyed + Send + Sync,
+    S::Method: Send,
+    S::Ret: Send,
+    S::State: Send,
+    S::LockKey: Send,
+{
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let shared = &self.shared;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(shared, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -255,7 +370,10 @@ mod tests {
         assert_eq!(sys.stats().commits, 2);
         let report = check_machine(sys.machine());
         assert!(report.is_serializable(), "{report}");
-        assert!(sys.stats().blocked_ticks > 0, "second thread must have waited");
+        assert!(
+            sys.stats().blocked_ticks > 0,
+            "second thread must have waited"
+        );
     }
 
     #[test]
@@ -292,7 +410,10 @@ mod tests {
         let mut sys = BoostingSystem::new(KvMap::new(), vec![prog(1, 2), prog(2, 1)]);
         run_round_robin(&mut sys, 4000);
         assert_eq!(sys.stats().commits, 2);
-        assert!(sys.stats().aborts >= 1, "deadlock must have aborted someone");
+        assert!(
+            sys.stats().aborts >= 1,
+            "deadlock must have aborted someone"
+        );
         assert!(check_machine(sys.machine()).is_serializable());
     }
 

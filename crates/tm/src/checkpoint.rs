@@ -6,18 +6,19 @@
 //! On a commit-time conflict this driver does not throw the whole
 //! transaction away: it locates the *first* operation the shared log no
 //! longer admits, rewinds exactly to the placemarker before it
-//! ([`Machine::rewind_to`]), refreshes its view, and re-executes only the
-//! invalidated suffix. Thanks to UNAPP's saved code/stack snapshots, the
-//! machine restores the continuation for free — the paper's point that
-//! the model "permits threads to roll backwards to any execution point".
+//! ([`TxnHandle::rewind_to`]), refreshes its view, and re-executes only
+//! the invalidated suffix. Thanks to UNAPP's saved code/stack snapshots,
+//! the machine restores the continuation for free — the paper's point
+//! that the model "permits threads to roll backwards to any execution
+//! point".
 
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +26,15 @@ enum Phase {
     Begin,
     Running,
 }
+
+/// Consecutive blocked commit attempts tolerated before a full abort.
+///
+/// `push_all_and_commit` does not unwind partially pushed operations on
+/// failure, and [`first_invalid`] validates only against the *committed*
+/// prefix — so two threads whose uncommitted pushed ops conflict would
+/// otherwise block each other forever. A full abort UNPUSHes everything
+/// and breaks the cycle.
+const BLOCK_ABORT_THRESHOLD: u32 = 24;
 
 /// An optimistic system with checkpoint-based partial aborts.
 ///
@@ -51,10 +61,130 @@ enum Phase {
 #[derive(Debug, Clone)]
 pub struct CheckpointOptimistic<S: SeqSpec> {
     machine: Machine<S>,
-    phase: Vec<Phase>,
+    threads: Vec<CkptThread>,
+}
+
+/// Per-thread driver state, owned by exactly one worker. Checkpointing
+/// has no cross-thread driver state at all.
+#[derive(Debug, Clone)]
+struct CkptThread {
+    phase: Phase,
+    blocked_streak: u32,
     stats: SystemStats,
     partial_rewinds: u64,
     ops_salvaged: u64,
+}
+
+impl Default for CkptThread {
+    fn default() -> Self {
+        Self {
+            phase: Phase::Begin,
+            blocked_streak: 0,
+            stats: SystemStats::default(),
+            partial_rewinds: 0,
+            ops_salvaged: 0,
+        }
+    }
+}
+
+/// Validates the thread's own operations against the current shared log,
+/// returning the index (into the local log) of the first entry that is no
+/// longer admissible, if any.
+fn first_invalid<S: SeqSpec>(h: &TxnHandle<S>) -> Option<usize> {
+    let mut prefix = h.global_snapshot().committed_ops();
+    for (idx, e) in h.local().iter().enumerate() {
+        if e.flag.is_pulled() {
+            // Pulled entries either are still in G (fine) or belong
+            // to the prefix already; skip membership bookkeeping —
+            // the machine's CMT criteria re-check them anyway.
+            continue;
+        }
+        if !h.spec().allows(&prefix, &e.op) {
+            return Some(idx);
+        }
+        prefix.push(e.op.clone());
+    }
+    None
+}
+
+/// One checkpointing tick for one thread: validation and partial rewinds
+/// run entirely on the thread's own handle against a consistent snapshot.
+fn tick_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut CkptThread) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    if t.phase == Phase::Begin {
+        pull_committed_lenient(h)?;
+        t.phase = Phase::Running;
+        return Ok(Tick::Progress);
+    }
+    let options = h.step_options()?;
+    if !options.is_empty() {
+        let method = options[0].0.clone();
+        return match h.app_method(&method) {
+            Ok(_) => Ok(Tick::Progress),
+            Err(MachineError::NoAllowedResult(_)) | Err(MachineError::Criterion(_)) => {
+                // Local view wedged: partial-rewind to the first
+                // invalid entry instead of full abort.
+                match first_invalid(h) {
+                    Some(idx) => {
+                        let salvaged = idx as u64;
+                        h.rewind_to(idx)?;
+                        pull_committed_lenient(h)?;
+                        t.partial_rewinds += 1;
+                        t.ops_salvaged += salvaged;
+                        Ok(Tick::Progress)
+                    }
+                    None => {
+                        h.abort_and_retry()?;
+                        t.phase = Phase::Begin;
+                        t.stats.aborts += 1;
+                        Ok(Tick::Aborted)
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        };
+    }
+    // Commit phase.
+    match first_invalid(h) {
+        None => match h.push_all_and_commit() {
+            Ok(_) => {
+                t.phase = Phase::Begin;
+                t.blocked_streak = 0;
+                t.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => {
+                // Raced between validation and push: fall through to
+                // a partial rewind on the next tick — but bound the
+                // wait, since the conflict may be with another
+                // thread's uncommitted pushed ops, which validation
+                // cannot see.
+                t.stats.blocked_ticks += 1;
+                t.blocked_streak += 1;
+                if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
+                    h.abort_and_retry()?;
+                    t.phase = Phase::Begin;
+                    t.blocked_streak = 0;
+                    t.stats.aborts += 1;
+                    return Ok(Tick::Aborted);
+                }
+                Ok(Tick::Blocked)
+            }
+            Err(e) => Err(e),
+        },
+        Some(idx) => {
+            // The §6.2 move: UNAPP only the invalidated suffix.
+            let salvaged = idx as u64;
+            h.rewind_to(idx)?;
+            pull_committed_lenient(h)?;
+            t.blocked_streak = 0;
+            t.partial_rewinds += 1;
+            t.ops_salvaged += salvaged;
+            Ok(Tick::Progress)
+        }
+    }
 }
 
 impl<S: SeqSpec> CheckpointOptimistic<S> {
@@ -67,10 +197,7 @@ impl<S: SeqSpec> CheckpointOptimistic<S> {
         }
         Self {
             machine,
-            phase: vec![Phase::Begin; n],
-            stats: SystemStats::default(),
-            partial_rewinds: 0,
-            ops_salvaged: 0,
+            threads: vec![CkptThread::default(); n],
         }
     }
 
@@ -79,111 +206,28 @@ impl<S: SeqSpec> CheckpointOptimistic<S> {
         &self.machine
     }
 
-    /// Accumulated statistics. `aborts` counts *full* aborts only;
-    /// see [`CheckpointOptimistic::partial_rewinds`].
+    /// Accumulated statistics (summed over threads). `aborts` counts
+    /// *full* aborts only; see [`CheckpointOptimistic::partial_rewinds`].
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
 
     /// Conflicts resolved by rewinding to a checkpoint rather than
     /// restarting the transaction.
     pub fn partial_rewinds(&self) -> u64 {
-        self.partial_rewinds
+        self.threads.iter().map(|t| t.partial_rewinds).sum()
     }
 
     /// Operations that survived partial rewinds (work saved vs a full
     /// abort).
     pub fn ops_salvaged(&self) -> u64 {
-        self.ops_salvaged
-    }
-
-    /// Validates the thread's own operations against the current shared
-    /// log, returning the index (into the local log) of the first entry
-    /// that is no longer admissible, if any.
-    fn first_invalid(&self, tid: ThreadId) -> Option<usize> {
-        let t = self.machine.thread(tid).ok()?;
-        let spec = self.machine.spec();
-        let mut prefix = self.machine.global().committed_ops();
-        for (idx, e) in t.local().iter().enumerate() {
-            if e.flag.is_pulled() {
-                // Pulled entries either are still in G (fine) or belong
-                // to the prefix already; skip membership bookkeeping —
-                // the machine's CMT criteria re-check them anyway.
-                continue;
-            }
-            if !spec.allows(&prefix, &e.op) {
-                return Some(idx);
-            }
-            prefix.push(e.op.clone());
-        }
-        None
+        self.threads.iter().map(|t| t.ops_salvaged).sum()
     }
 }
 
 impl<S: SeqSpec> TmSystem for CheckpointOptimistic<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        if self.phase[tid.0] == Phase::Begin {
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.phase[tid.0] = Phase::Running;
-            return Ok(Tick::Progress);
-        }
-        let options = self.machine.step_options(tid)?;
-        if !options.is_empty() {
-            let method = options[0].0.clone();
-            return match self.machine.app_method(tid, &method) {
-                Ok(_) => Ok(Tick::Progress),
-                Err(MachineError::NoAllowedResult(_)) | Err(MachineError::Criterion(_)) => {
-                    // Local view wedged: partial-rewind to the first
-                    // invalid entry instead of full abort.
-                    match self.first_invalid(tid) {
-                        Some(idx) => {
-                            let salvaged = idx as u64;
-                            self.machine.rewind_to(tid, idx)?;
-                            pull_committed_lenient(&mut self.machine, tid)?;
-                            self.partial_rewinds += 1;
-                            self.ops_salvaged += salvaged;
-                            Ok(Tick::Progress)
-                        }
-                        None => {
-                            self.machine.abort_and_retry(tid)?;
-                            self.phase[tid.0] = Phase::Begin;
-                            self.stats.aborts += 1;
-                            Ok(Tick::Aborted)
-                        }
-                    }
-                }
-                Err(e) => Err(e),
-            };
-        }
-        // Commit phase.
-        match self.first_invalid(tid) {
-            None => match self.machine.push_all_and_commit(tid) {
-                Ok(_) => {
-                    self.phase[tid.0] = Phase::Begin;
-                    self.stats.commits += 1;
-                    Ok(Tick::Committed)
-                }
-                Err(e) if is_conflict(&e) => {
-                    // Raced between validation and push: fall through to
-                    // a partial rewind on the next tick.
-                    self.stats.blocked_ticks += 1;
-                    Ok(Tick::Blocked)
-                }
-                Err(e) => Err(e),
-            },
-            Some(idx) => {
-                // The §6.2 move: UNAPP only the invalidated suffix.
-                let salvaged = idx as u64;
-                self.machine.rewind_to(tid, idx)?;
-                pull_committed_lenient(&mut self.machine, tid)?;
-                self.partial_rewinds += 1;
-                self.ops_salvaged += salvaged;
-                Ok(Tick::Progress)
-            }
-        }
+        tick_thread(self.machine.handle_mut(tid)?, &mut self.threads[tid.0])
     }
 
     fn thread_count(&self) -> usize {
@@ -191,12 +235,33 @@ impl<S: SeqSpec> TmSystem for CheckpointOptimistic<S> {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "checkpoint-optimistic"
+    }
+}
+
+impl<S> ParallelSystem for CheckpointOptimistic<S>
+where
+    S: SeqSpec + Send + Sync,
+    S::Method: Send,
+    S::Ret: Send,
+    S::State: Send,
+{
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -255,7 +320,7 @@ mod tests {
         sys.tick(b).unwrap();
         sys.tick(b).unwrap();
         sys.tick(b).unwrap(); // read loc0 = 0
-        // T0 commits its write to loc 0.
+                              // T0 commits its write to loc 0.
         while sys.machine().thread(a).unwrap().commits() == 0 {
             sys.tick(a).unwrap();
         }
@@ -270,13 +335,12 @@ mod tests {
         let report = check_machine(sys.machine());
         assert!(report.is_serializable(), "{report}");
         // The re-executed read observed 9.
-        let txn = sys
-            .machine()
-            .committed_txns()
-            .iter()
-            .find(|t| t.thread == b)
-            .unwrap();
-        assert_eq!(txn.ops.last().unwrap().ret, pushpull_spec::rwmem::MemRet::Val(9));
+        let committed = sys.machine().committed_txns();
+        let txn = committed.iter().find(|t| t.thread == b).unwrap();
+        assert_eq!(
+            txn.ops.last().unwrap().ret,
+            pushpull_spec::rwmem::MemRet::Val(9)
+        );
     }
 
     #[test]
@@ -317,10 +381,8 @@ mod tests {
                     Code::method(MemMethod::Write(Loc(l1), 1)),
                 ])]
             };
-            let mut sys = CheckpointOptimistic::new(
-                RwMem::new(),
-                vec![prog(0, 1), prog(1, 0), prog(0, 0)],
-            );
+            let mut sys =
+                CheckpointOptimistic::new(RwMem::new(), vec![prog(0, 1), prog(1, 0), prog(0, 0)]);
             let mut ticks = 0;
             while !sys.is_done() {
                 let mut x = state.max(1);
@@ -334,7 +396,10 @@ mod tests {
                 assert!(ticks < 1_000_000, "seed {seed} diverged");
             }
             assert_eq!(sys.stats().commits, 3, "seed {seed}");
-            assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+            assert!(
+                check_machine(sys.machine()).is_serializable(),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -112,8 +112,18 @@ impl<A: ConflictKeyed, B: ConflictKeyed> ConflictKeyed for Product<A, B> {
 
     fn lock_keys(&self, method: &Either<A::Method, B::Method>) -> Vec<Self::LockKey> {
         match method {
-            Either::L(m) => self.left().lock_keys(m).into_iter().map(Either::L).collect(),
-            Either::R(m) => self.right().lock_keys(m).into_iter().map(Either::R).collect(),
+            Either::L(m) => self
+                .left()
+                .lock_keys(m)
+                .into_iter()
+                .map(Either::L)
+                .collect(),
+            Either::R(m) => self
+                .right()
+                .lock_keys(m)
+                .into_iter()
+                .map(Either::R)
+                .collect(),
         }
     }
 }
@@ -125,7 +135,10 @@ mod tests {
     #[test]
     fn map_keys_are_per_key_except_size() {
         let spec = KvMap::new();
-        assert_eq!(spec.lock_keys(&MapMethod::Put(3, 1)), vec![MapLockKey::Key(3)]);
+        assert_eq!(
+            spec.lock_keys(&MapMethod::Put(3, 1)),
+            vec![MapLockKey::Key(3)]
+        );
         assert_eq!(spec.lock_keys(&MapMethod::Size), vec![MapLockKey::Whole]);
     }
 

@@ -22,15 +22,16 @@
 //! is what makes their uncommitted effects visible for others to pull.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use pushpull_core::error::MachineError;
 use pushpull_core::log::{GlobalFlag, LocalFlag};
 use pushpull_core::machine::Machine;
 use pushpull_core::op::{OpId, ThreadId, TxnId};
 use pushpull_core::spec::SeqSpec;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::is_conflict;
 
 /// Blocked ticks tolerated while waiting on a dependency before giving up
@@ -70,17 +71,213 @@ enum Phase {
 /// assert_eq!(sys.stats().commits, 2);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DependentSystem<S: SeqSpec> {
     machine: Machine<S>,
-    phase: Vec<Phase>,
-    /// Per thread: uncommitted operations pulled, with their owner.
-    deps: Vec<HashMap<OpId, TxnId>>,
     eager_release: bool,
-    blocked_streak: Vec<u32>,
+    /// Forced-abort test hook — the only cross-thread driver state.
+    forced_aborts: Mutex<Vec<ThreadId>>,
+    threads: Vec<DepThread>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone)]
+struct DepThread {
+    phase: Phase,
+    /// Uncommitted operations this thread has pulled, with their owner.
+    deps: HashMap<OpId, TxnId>,
+    blocked_streak: u32,
     stats: SystemStats,
     partial_detangles: u64,
-    forced_aborts: Vec<ThreadId>,
+}
+
+impl Default for DepThread {
+    fn default() -> Self {
+        Self {
+            phase: Phase::Begin,
+            deps: HashMap::new(),
+            blocked_streak: 0,
+            stats: SystemStats::default(),
+            partial_detangles: 0,
+        }
+    }
+}
+
+/// Pulls every pullable global operation (committed or not) not yet in
+/// the local log, recording dependencies for uncommitted ones. An entry
+/// that vanishes between the snapshot and the PULL (a racing UNPUSH) is
+/// simply skipped.
+fn pull_everything<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut DepThread,
+) -> Result<(), MachineError> {
+    let own_txn = h.txn();
+    let candidates: Vec<(OpId, TxnId, GlobalFlag)> = h
+        .global_snapshot()
+        .iter()
+        .filter(|e| e.op.txn != own_txn && !h.local().contains_id(e.op.id))
+        .map(|e| (e.op.id, e.op.txn, e.flag))
+        .collect();
+    for (id, owner, flag) in candidates {
+        match h.pull(id) {
+            Ok(()) => {
+                if flag == GlobalFlag::Uncommitted {
+                    t.deps.insert(id, owner);
+                }
+            }
+            Err(MachineError::Criterion(_)) | Err(MachineError::NoSuchOp(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Partially rewinds from the tail until `dep` can be UNPULLed — "move
+/// backwards only insofar as to detangle".
+fn detangle<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut DepThread,
+    dep: OpId,
+) -> Result<(), MachineError> {
+    loop {
+        match h.unpull(dep) {
+            Ok(()) => {
+                t.partial_detangles += 1;
+                return Ok(());
+            }
+            Err(MachineError::Criterion(_)) => {
+                // Something later depends on it: peel one entry off
+                // the tail and try again.
+                let last = h
+                    .local()
+                    .entries()
+                    .last()
+                    .map(|e| (e.op.id, e.flag.clone()));
+                match last {
+                    None => return Err(MachineError::NoSuchOp(dep)),
+                    Some((id, LocalFlag::Pulled)) if id != dep => {
+                        h.unpull(id)?;
+                        t.deps.remove(&id);
+                    }
+                    Some((_, LocalFlag::Pushed { .. })) => {
+                        let id = h.local().entries().last().unwrap().op.id;
+                        h.unpush(id)?;
+                        h.unapp()?;
+                    }
+                    Some((_, LocalFlag::NotPushed { .. })) => {
+                        h.unapp()?;
+                    }
+                    Some((_, LocalFlag::Pulled)) => {
+                        // The dep itself is last but still refused:
+                        // impossible (criterion (i) of UNPULL only
+                        // concerns the rest of the log) — bail out.
+                        return Err(MachineError::NoSuchOp(dep));
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn abort_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut DepThread) -> Result<Tick, MachineError> {
+    h.abort_and_retry()?;
+    t.deps.clear();
+    t.phase = Phase::Begin;
+    t.blocked_streak = 0;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+/// One dependent-transactions tick for one thread. PULLs and detangles
+/// take the machine's short critical sections; everything else runs on
+/// the thread's own handle.
+fn tick_thread<S: SeqSpec>(
+    eager_release: bool,
+    forced_aborts: &Mutex<Vec<ThreadId>>,
+    h: &mut TxnHandle<S>,
+    t: &mut DepThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    {
+        let mut forced = forced_aborts.lock().expect("forced-abort list poisoned");
+        if let Some(pos) = forced.iter().position(|f| *f == h.tid()) {
+            forced.remove(pos);
+            drop(forced);
+            return abort_thread(h, t);
+        }
+    }
+    if t.phase == Phase::Begin {
+        pull_everything(h, t)?;
+        t.phase = Phase::Running;
+        return Ok(Tick::Progress);
+    }
+    let options = h.step_options()?;
+    if !options.is_empty() {
+        pull_everything(h, t)?;
+        let method = options[0].0.clone();
+        let op = match h.app_method(&method) {
+            Ok(op) => op,
+            Err(MachineError::NoAllowedResult(_)) => return abort_thread(h, t),
+            Err(e) if is_conflict(&e) => return abort_thread(h, t),
+            Err(e) => return Err(e),
+        };
+        if eager_release {
+            // Early release: publish if the criteria allow it.
+            match h.push(op) {
+                Ok(()) | Err(MachineError::Criterion(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        return Ok(Tick::Progress);
+    }
+    // Commit phase: resolve dependencies first.
+    let dep_list: Vec<(OpId, TxnId)> = t.deps.iter().map(|(o, x)| (*o, *x)).collect();
+    for (dep, _owner) in dep_list {
+        match h.global_snapshot().entry(dep).map(|e| e.flag) {
+            Some(GlobalFlag::Committed) => {
+                t.deps.remove(&dep);
+            }
+            Some(GlobalFlag::Uncommitted) => {
+                // Still live: wait for it (or give up after a while).
+                t.blocked_streak += 1;
+                t.stats.blocked_ticks += 1;
+                if t.blocked_streak >= DEP_ABORT_THRESHOLD {
+                    return abort_thread(h, t);
+                }
+                return Ok(Tick::Blocked);
+            }
+            None => {
+                // The dependency aborted: cascade — detangle from it. If
+                // the partial rewind cannot reach the vanished entry
+                // (racing interleavings can wedge it), fall back to a
+                // full abort.
+                return match detangle(h, t, dep) {
+                    Ok(()) => {
+                        t.deps.remove(&dep);
+                        Ok(Tick::Progress)
+                    }
+                    Err(MachineError::NoSuchOp(_)) | Err(MachineError::Criterion(_)) => {
+                        abort_thread(h, t)
+                    }
+                    Err(e) => Err(e),
+                };
+            }
+        }
+    }
+    match h.push_all_and_commit() {
+        Ok(_) => {
+            t.deps.clear();
+            t.phase = Phase::Begin;
+            t.blocked_streak = 0;
+            t.stats.commits += 1;
+            Ok(Tick::Committed)
+        }
+        Err(e) if is_conflict(&e) => abort_thread(h, t),
+        Err(e) => Err(e),
+    }
 }
 
 impl<S: SeqSpec> DependentSystem<S> {
@@ -95,13 +292,9 @@ impl<S: SeqSpec> DependentSystem<S> {
         }
         Self {
             machine,
-            phase: vec![Phase::Begin; n],
-            deps: vec![HashMap::new(); n],
             eager_release,
-            blocked_streak: vec![0; n],
-            stats: SystemStats::default(),
-            partial_detangles: 0,
-            forced_aborts: Vec::new(),
+            forced_aborts: Mutex::new(Vec::new()),
+            threads: vec![DepThread::default(); n],
         }
     }
 
@@ -110,178 +303,59 @@ impl<S: SeqSpec> DependentSystem<S> {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
 
     /// Partial rewinds performed to detangle from aborted dependencies.
     pub fn partial_detangles(&self) -> u64 {
-        self.partial_detangles
+        self.threads.iter().map(|t| t.partial_detangles).sum()
     }
 
     /// Current dependencies of a thread (uncommitted pulled operations).
     pub fn dependencies(&self, tid: ThreadId) -> Vec<(OpId, TxnId)> {
-        self.deps[tid.0].iter().map(|(o, t)| (*o, *t)).collect()
+        self.threads[tid.0]
+            .deps
+            .iter()
+            .map(|(o, t)| (*o, *t))
+            .collect()
     }
 
     /// Forces the thread's current transaction to abort at its next tick
     /// (used to trigger dependency cascades in tests and examples).
     pub fn force_abort(&mut self, tid: ThreadId) {
-        self.forced_aborts.push(tid);
+        self.forced_aborts
+            .lock()
+            .expect("forced-abort list poisoned")
+            .push(tid);
     }
+}
 
-    /// Pulls every pullable global operation (committed or not) not yet
-    /// in the local log, recording dependencies for uncommitted ones.
-    fn pull_everything(&mut self, tid: ThreadId) -> Result<(), MachineError> {
-        let own_txn = self.machine.thread(tid)?.txn();
-        let candidates: Vec<(OpId, TxnId, GlobalFlag)> = {
-            let t = self.machine.thread(tid)?;
-            self.machine
-                .global()
-                .iter()
-                .filter(|e| e.op.txn != own_txn && !t.local().contains_id(e.op.id))
-                .map(|e| (e.op.id, e.op.txn, e.flag))
-                .collect()
-        };
-        for (id, owner, flag) in candidates {
-            match self.machine.pull(tid, id) {
-                Ok(()) => {
-                    if flag == GlobalFlag::Uncommitted {
-                        self.deps[tid.0].insert(id, owner);
-                    }
-                }
-                Err(MachineError::Criterion(_)) => {}
-                Err(e) => return Err(e),
-            }
+impl<S: SeqSpec + Clone> Clone for DependentSystem<S> {
+    fn clone(&self) -> Self {
+        Self {
+            machine: self.machine.clone(),
+            eager_release: self.eager_release,
+            forced_aborts: Mutex::new(
+                self.forced_aborts
+                    .lock()
+                    .expect("forced-abort list poisoned")
+                    .clone(),
+            ),
+            threads: self.threads.clone(),
         }
-        Ok(())
-    }
-
-    /// Partially rewinds from the tail until `dep` can be UNPULLed —
-    /// "move backwards only insofar as to detangle".
-    fn detangle(&mut self, tid: ThreadId, dep: OpId) -> Result<(), MachineError> {
-        loop {
-            match self.machine.unpull(tid, dep) {
-                Ok(()) => {
-                    self.partial_detangles += 1;
-                    return Ok(());
-                }
-                Err(MachineError::Criterion(_)) => {
-                    // Something later depends on it: peel one entry off
-                    // the tail and try again.
-                    let last = self
-                        .machine
-                        .thread(tid)?
-                        .local()
-                        .entries()
-                        .last()
-                        .map(|e| (e.op.id, e.flag.clone()));
-                    match last {
-                        None => return Err(MachineError::NoSuchOp(dep)),
-                        Some((id, LocalFlag::Pulled)) if id != dep => {
-                            self.machine.unpull(tid, id)?;
-                            self.deps[tid.0].remove(&id);
-                        }
-                        Some((_, LocalFlag::Pushed { .. })) => {
-                            let id = self.machine.thread(tid)?.local().entries().last().unwrap().op.id;
-                            self.machine.unpush(tid, id)?;
-                            self.machine.unapp(tid)?;
-                        }
-                        Some((_, LocalFlag::NotPushed { .. })) => {
-                            self.machine.unapp(tid)?;
-                        }
-                        Some((_, LocalFlag::Pulled)) => {
-                            // The dep itself is last but still refused:
-                            // impossible (criterion (i) of UNPULL only
-                            // concerns the rest of the log) — bail out.
-                            return Err(MachineError::NoSuchOp(dep));
-                        }
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        self.machine.abort_and_retry(tid)?;
-        self.deps[tid.0].clear();
-        self.phase[tid.0] = Phase::Begin;
-        self.blocked_streak[tid.0] = 0;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
     }
 }
 
 impl<S: SeqSpec> TmSystem for DependentSystem<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        if let Some(pos) = self.forced_aborts.iter().position(|t| *t == tid) {
-            self.forced_aborts.remove(pos);
-            return self.abort(tid);
-        }
-        if self.phase[tid.0] == Phase::Begin {
-            self.pull_everything(tid)?;
-            self.phase[tid.0] = Phase::Running;
-            return Ok(Tick::Progress);
-        }
-        let options = self.machine.step_options(tid)?;
-        if !options.is_empty() {
-            self.pull_everything(tid)?;
-            let method = options[0].0.clone();
-            let op = match self.machine.app_method(tid, &method) {
-                Ok(op) => op,
-                Err(MachineError::NoAllowedResult(_)) => return self.abort(tid),
-                Err(e) if is_conflict(&e) => return self.abort(tid),
-                Err(e) => return Err(e),
-            };
-            if self.eager_release {
-                // Early release: publish if the criteria allow it.
-                match self.machine.push(tid, op) {
-                    Ok(()) | Err(MachineError::Criterion(_)) => {}
-                    Err(e) => return Err(e),
-                }
-            }
-            return Ok(Tick::Progress);
-        }
-        // Commit phase: resolve dependencies first.
-        let dep_list: Vec<(OpId, TxnId)> = self.deps[tid.0].iter().map(|(o, t)| (*o, *t)).collect();
-        for (dep, _owner) in dep_list {
-            match self.machine.global().entry(dep).map(|e| e.flag) {
-                Some(GlobalFlag::Committed) => {
-                    self.deps[tid.0].remove(&dep);
-                }
-                Some(GlobalFlag::Uncommitted) => {
-                    // Still live: wait for it (or give up after a while).
-                    self.blocked_streak[tid.0] += 1;
-                    self.stats.blocked_ticks += 1;
-                    if self.blocked_streak[tid.0] >= DEP_ABORT_THRESHOLD {
-                        return self.abort(tid);
-                    }
-                    return Ok(Tick::Blocked);
-                }
-                None => {
-                    // The dependency aborted: cascade — detangle from it.
-                    self.detangle(tid, dep)?;
-                    self.deps[tid.0].remove(&dep);
-                    return Ok(Tick::Progress);
-                }
-            }
-        }
-        match self.machine.push_all_and_commit(tid) {
-            Ok(_) => {
-                self.deps[tid.0].clear();
-                self.phase[tid.0] = Phase::Begin;
-                self.blocked_streak[tid.0] = 0;
-                self.stats.commits += 1;
-                Ok(Tick::Committed)
-            }
-            Err(e) if is_conflict(&e) => self.abort(tid),
-            Err(e) => Err(e),
-        }
+        tick_thread(
+            self.eager_release,
+            &self.forced_aborts,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -289,12 +363,37 @@ impl<S: SeqSpec> TmSystem for DependentSystem<S> {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "dependent"
+    }
+}
+
+impl<S> ParallelSystem for DependentSystem<S>
+where
+    S: SeqSpec + Send + Sync,
+    S::Method: Send,
+    S::Ret: Send,
+    S::State: Send,
+{
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let eager_release = self.eager_release;
+        let forced_aborts = &self.forced_aborts;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| {
+                Box::new(move || tick_thread(eager_release, forced_aborts, h, t)) as Worker<'_>
+            })
+            .collect()
     }
 }
 
@@ -329,11 +428,11 @@ mod tests {
         // T0 applies and (eagerly) pushes its add — uncommitted.
         sys.tick(ThreadId(0)).unwrap(); // begin
         sys.tick(ThreadId(0)).unwrap(); // app + push
-        // T1 pulls it and reads 1 before T0 commits.
+                                        // T1 pulls it and reads 1 before T0 commits.
         sys.tick(ThreadId(1)).unwrap(); // begin: pulls uncommitted add
         assert_eq!(sys.dependencies(ThreadId(1)).len(), 1);
         sys.tick(ThreadId(1)).unwrap(); // app get -> observes 1
-        // T1 at commit: dependency uncommitted -> Blocked.
+                                        // T1 at commit: dependency uncommitted -> Blocked.
         assert_eq!(sys.tick(ThreadId(1)).unwrap(), Tick::Blocked);
         // T0 commits; T1 can now commit.
         while sys.machine().thread(ThreadId(0)).unwrap().commits() == 0 {
@@ -342,17 +441,13 @@ mod tests {
         run_round_robin(&mut sys, 1000);
         assert_eq!(sys.stats().commits, 2);
         // The run is NOT opaque (uncommitted pull)…
-        assert!(!check_trace(sys.machine().trace()).is_opaque());
+        assert!(!check_trace(&sys.machine().trace()).is_opaque());
         // …but it is serializable.
         let report = check_machine(sys.machine());
         assert!(report.is_serializable(), "{report}");
         // And T1 really observed the uncommitted value.
-        let get_txn = sys
-            .machine()
-            .committed_txns()
-            .iter()
-            .find(|t| t.thread == ThreadId(1))
-            .unwrap();
+        let committed = sys.machine().committed_txns();
+        let get_txn = committed.iter().find(|t| t.thread == ThreadId(1)).unwrap();
         assert_eq!(get_txn.ops[0].ret, CtrRet::Val(1));
     }
 
@@ -370,7 +465,7 @@ mod tests {
         sys.tick(ThreadId(0)).unwrap(); // app + push
         sys.tick(ThreadId(1)).unwrap(); // begin: pull uncommitted
         sys.tick(ThreadId(1)).unwrap(); // get -> 1
-        // T0 aborts: its add vanishes from G.
+                                        // T0 aborts: its add vanishes from G.
         sys.force_abort(ThreadId(0));
         sys.tick(ThreadId(0)).unwrap();
         // T1 must detangle: its get(=1) depends on the vanished add, so
@@ -397,6 +492,6 @@ mod tests {
         );
         run_round_robin(&mut sys, 2000);
         assert_eq!(sys.stats().commits, 2);
-        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+        assert_eq!(check_trace(&sys.machine().trace()), OpacityVerdict::Opaque);
     }
 }

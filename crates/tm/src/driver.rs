@@ -62,6 +62,31 @@ pub trait TmSystem {
     fn name(&self) -> &'static str;
 }
 
+/// A worker closure for one model thread: each call performs one tick on
+/// that thread, touching only its own [`TxnHandle`] and per-thread driver
+/// state (plus, for PUSH/UNPUSH/PULL/UNPULL/CMT, the short critical
+/// section inside [`GlobalState`]). Workers from one system may therefore
+/// run on distinct OS threads concurrently.
+///
+/// [`TxnHandle`]: pushpull_core::TxnHandle
+/// [`GlobalState`]: pushpull_core::GlobalState
+pub type Worker<'a> = Box<dyn FnMut() -> Result<Tick, MachineError> + Send + 'a>;
+
+/// A [`TmSystem`] whose state splits into per-thread workers that may run
+/// concurrently on OS threads.
+///
+/// The contract is the lock discipline of the decomposed machine: a
+/// worker's APP/UNAPP steps must not enter any system-wide critical
+/// section — only the shared-log rules (PUSH/UNPUSH/PULL/UNPULL/CMT) and
+/// whatever algorithm-specific shared metadata the driver keeps (abstract
+/// locks, version clocks, …) may synchronize, each behind its own
+/// short-held lock. `workers()[i]` ticks model thread `i`; calling it is
+/// equivalent to `tick(ThreadId(i))` up to interleaving.
+pub trait ParallelSystem: TmSystem {
+    /// Splits the system into one worker per model thread.
+    fn workers(&mut self) -> Vec<Worker<'_>>;
+}
+
 /// Statistics every system accumulates, for the benchmark tables.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SystemStats {
@@ -82,5 +107,23 @@ impl SystemStats {
         } else {
             self.aborts as f64 / total as f64
         }
+    }
+}
+
+impl std::ops::Add for SystemStats {
+    type Output = SystemStats;
+
+    fn add(self, rhs: SystemStats) -> SystemStats {
+        SystemStats {
+            commits: self.commits + rhs.commits,
+            aborts: self.aborts + rhs.aborts,
+            blocked_ticks: self.blocked_ticks + rhs.blocked_ticks,
+        }
+    }
+}
+
+impl std::iter::Sum for SystemStats {
+    fn sum<I: Iterator<Item = SystemStats>>(iter: I) -> SystemStats {
+        iter.fold(SystemStats::default(), std::ops::Add::add)
     }
 }

@@ -13,14 +13,16 @@
 //! DESIGN.md: conflict granularity, eagerness and the abort signal are
 //! what the model can see, and those are preserved.
 
+use std::sync::Mutex;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::memory::HtmConflicts;
 use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,12 +54,102 @@ enum Phase {
 /// assert_eq!(sys.stats().commits, 2);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HtmSystem {
     machine: Machine<RwMem>,
-    tracker: HtmConflicts<Loc>,
-    phase: Vec<Phase>,
+    /// The simulated cache-coherence machinery — the algorithm's only
+    /// cross-thread state, behind a short-held mutex.
+    tracker: Mutex<HtmConflicts<Loc>>,
+    threads: Vec<HtmThread>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone)]
+struct HtmThread {
+    phase: Phase,
     stats: SystemStats,
+}
+
+impl Default for HtmThread {
+    fn default() -> Self {
+        Self {
+            phase: Phase::Begin,
+            stats: SystemStats::default(),
+        }
+    }
+}
+
+fn abort_thread(
+    tracker: &Mutex<HtmConflicts<Loc>>,
+    h: &mut TxnHandle<RwMem>,
+    t: &mut HtmThread,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    h.abort_and_retry()?;
+    tracker
+        .lock()
+        .expect("conflict tracker poisoned")
+        .clear(txn);
+    t.phase = Phase::Begin;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+/// One HTM tick for one thread: the conflict tracker is consulted briefly
+/// per access; APP runs on the thread's own handle with no system-wide
+/// lock.
+fn tick_thread(
+    tracker: &Mutex<HtmConflicts<Loc>>,
+    h: &mut TxnHandle<RwMem>,
+    t: &mut HtmThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    if t.phase == Phase::Begin {
+        pull_committed_lenient(h)?;
+        t.phase = Phase::Running;
+        return Ok(Tick::Progress);
+    }
+    let txn = h.txn();
+    let options = h.step_options()?;
+    if options.is_empty() {
+        // Commit: publish the write buffer, then CMT; clear the
+        // access tracker either way.
+        return match h.push_all_and_commit() {
+            Ok(committed) => {
+                tracker
+                    .lock()
+                    .expect("conflict tracker poisoned")
+                    .clear(committed);
+                t.phase = Phase::Begin;
+                t.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => abort_thread(tracker, h, t),
+            Err(e) => Err(e),
+        };
+    }
+    let method = options[0].0;
+    // Eager word-granularity conflict detection: the access that
+    // closes a conflict aborts its own transaction (requester-loses,
+    // as on real best-effort HTMs).
+    let access = {
+        let mut tr = tracker.lock().expect("conflict tracker poisoned");
+        match method {
+            MemMethod::Read(l) => tr.record_read(txn, l),
+            MemMethod::Write(l, _) => tr.record_write(txn, l),
+        }
+    };
+    if access.is_err() {
+        return abort_thread(tracker, h, t);
+    }
+    match h.app_method(&method) {
+        Ok(_) => Ok(Tick::Progress),
+        Err(MachineError::NoAllowedResult(_)) => abort_thread(tracker, h, t),
+        Err(e) if is_conflict(&e) => abort_thread(tracker, h, t),
+        Err(e) => Err(e),
+    }
 }
 
 impl HtmSystem {
@@ -70,9 +162,8 @@ impl HtmSystem {
         }
         Self {
             machine,
-            tracker: HtmConflicts::new(),
-            phase: vec![Phase::Begin; n],
-            stats: SystemStats::default(),
+            tracker: Mutex::new(HtmConflicts::new()),
+            threads: vec![HtmThread::default(); n],
         }
     }
 
@@ -81,64 +172,34 @@ impl HtmSystem {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
+}
 
-    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        self.machine.abort_and_retry(tid)?;
-        self.tracker.clear(txn);
-        self.phase[tid.0] = Phase::Begin;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
+impl Clone for HtmSystem {
+    fn clone(&self) -> Self {
+        Self {
+            machine: self.machine.clone(),
+            tracker: Mutex::new(
+                self.tracker
+                    .lock()
+                    .expect("conflict tracker poisoned")
+                    .clone(),
+            ),
+            threads: self.threads.clone(),
+        }
     }
 }
 
 impl TmSystem for HtmSystem {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        if self.phase[tid.0] == Phase::Begin {
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.phase[tid.0] = Phase::Running;
-            return Ok(Tick::Progress);
-        }
-        let txn = self.machine.thread(tid)?.txn();
-        let options = self.machine.step_options(tid)?;
-        if options.is_empty() {
-            // Commit: publish the write buffer, then CMT; clear the
-            // access tracker either way.
-            return match self.machine.push_all_and_commit(tid) {
-                Ok(committed) => {
-                    self.tracker.clear(committed);
-                    self.phase[tid.0] = Phase::Begin;
-                    self.stats.commits += 1;
-                    Ok(Tick::Committed)
-                }
-                Err(e) if is_conflict(&e) => self.abort(tid),
-                Err(e) => Err(e),
-            };
-        }
-        let method = options[0].0;
-        // Eager word-granularity conflict detection: the access that
-        // closes a conflict aborts its own transaction (requester-loses,
-        // as on real best-effort HTMs).
-        let access = match method {
-            MemMethod::Read(l) => self.tracker.record_read(txn, l),
-            MemMethod::Write(l, _) => self.tracker.record_write(txn, l),
-        };
-        if access.is_err() {
-            return self.abort(tid);
-        }
-        match self.machine.app_method(tid, &method) {
-            Ok(_) => Ok(Tick::Progress),
-            Err(MachineError::NoAllowedResult(_)) => self.abort(tid),
-            Err(e) if is_conflict(&e) => self.abort(tid),
-            Err(e) => Err(e),
-        }
+        tick_thread(
+            &self.tracker,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -146,12 +207,28 @@ impl TmSystem for HtmSystem {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "htm-sim"
+    }
+}
+
+impl ParallelSystem for HtmSystem {
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let tracker = &self.tracker;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(tracker, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -193,7 +270,10 @@ mod tests {
         let mut sys = HtmSystem::new(vec![rmw(0, 1), rmw(0, 2)]);
         run_round_robin(&mut sys, 4000);
         assert_eq!(sys.stats().commits, 2);
-        assert!(sys.stats().aborts >= 1, "same-word RMWs must conflict eagerly");
+        assert!(
+            sys.stats().aborts >= 1,
+            "same-word RMWs must conflict eagerly"
+        );
         assert!(check_machine(sys.machine()).is_serializable());
     }
 
@@ -201,7 +281,7 @@ mod tests {
     fn htm_runs_are_opaque() {
         let mut sys = HtmSystem::new(vec![rmw(0, 1), rmw(1, 2), rmw(0, 3)]);
         run_round_robin(&mut sys, 4000);
-        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+        assert_eq!(check_trace(&sys.machine().trace()), OpacityVerdict::Opaque);
     }
 
     #[test]

@@ -15,9 +15,9 @@ use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 /// Per-thread phase.
@@ -58,9 +58,131 @@ enum Phase {
 pub struct IrrevocableSystem<S: SeqSpec> {
     machine: Machine<S>,
     irrevocable: ThreadId,
-    phase: Vec<Phase>,
+    threads: Vec<IrrThread>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone)]
+struct IrrThread {
+    phase: Phase,
     stats: SystemStats,
+    /// Aborts taken while irrevocable — must stay zero.
     irrevocable_aborts: u64,
+}
+
+impl Default for IrrThread {
+    fn default() -> Self {
+        Self {
+            phase: Phase::Begin,
+            stats: SystemStats::default(),
+            irrevocable_aborts: 0,
+        }
+    }
+}
+
+/// One tick of the pessimistic thread: eager APP;PUSH on its own handle,
+/// waiting out (never aborting through) any conflict.
+fn tick_irrevocable<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut IrrThread,
+) -> Result<Tick, MachineError> {
+    if t.phase == Phase::Begin {
+        pull_committed_lenient(h)?;
+        t.phase = Phase::Running;
+        return Ok(Tick::Progress);
+    }
+    let options = h.step_options()?;
+    if options.is_empty() {
+        // Everything is already pushed; CMT cannot fail for the
+        // irrevocable thread.
+        h.commit()?;
+        t.phase = Phase::Begin;
+        t.stats.commits += 1;
+        return Ok(Tick::Committed);
+    }
+    // Refresh committed view, then APP;PUSH eagerly.
+    pull_committed_lenient(h)?;
+    let method = options[0].0.clone();
+    let op = match h.app_method(&method) {
+        Ok(op) => op,
+        Err(MachineError::NoAllowedResult(_)) => {
+            // A racing commit shifted the committed prefix between our
+            // PULL and APP; the snapshot will be consistent next tick.
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Err(e) => return Err(e),
+    };
+    match h.push(op) {
+        Ok(()) => Ok(Tick::Progress),
+        Err(e) if is_conflict(&e) => {
+            // An optimistic transaction is mid-commit: wait it out.
+            // (Never abort — undo the APP and retry the same method.)
+            h.unapp()?;
+            t.stats.blocked_ticks += 1;
+            Ok(Tick::Blocked)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// One tick of an optimistic thread, exactly as in [`crate::optimistic`].
+fn tick_optimistic<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut IrrThread,
+) -> Result<Tick, MachineError> {
+    if t.phase == Phase::Begin {
+        pull_committed_lenient(h)?;
+        t.phase = Phase::Running;
+        return Ok(Tick::Progress);
+    }
+    let options = h.step_options()?;
+    if options.is_empty() {
+        return match h.push_all_and_commit() {
+            Ok(_) => {
+                t.phase = Phase::Begin;
+                t.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => abort_optimistic(h, t),
+            Err(e) => Err(e),
+        };
+    }
+    let method = options[0].0.clone();
+    match h.app_method(&method) {
+        Ok(_) => Ok(Tick::Progress),
+        Err(MachineError::NoAllowedResult(_)) => abort_optimistic(h, t),
+        Err(e) if is_conflict(&e) => abort_optimistic(h, t),
+        Err(e) => Err(e),
+    }
+}
+
+fn abort_optimistic<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut IrrThread,
+) -> Result<Tick, MachineError> {
+    h.abort_and_retry()?;
+    t.phase = Phase::Begin;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+/// One tick for one thread; dispatches on whether this is the
+/// irrevocable thread. No cross-thread driver state exists at all — the
+/// machine's global log is the only shared structure.
+fn tick_thread<S: SeqSpec>(
+    irrevocable: ThreadId,
+    h: &mut TxnHandle<S>,
+    t: &mut IrrThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    if h.tid() == irrevocable {
+        tick_irrevocable(h, t)
+    } else {
+        tick_optimistic(h, t)
+    }
 }
 
 impl<S: SeqSpec> IrrevocableSystem<S> {
@@ -71,7 +193,10 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
     ///
     /// Panics if `irrevocable` is out of range for `programs`.
     pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>, irrevocable: ThreadId) -> Self {
-        assert!(irrevocable.0 < programs.len(), "irrevocable thread out of range");
+        assert!(
+            irrevocable.0 < programs.len(),
+            "irrevocable thread out of range"
+        );
         let mut machine = Machine::new(spec);
         let n = programs.len();
         for p in programs {
@@ -80,9 +205,7 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
         Self {
             machine,
             irrevocable,
-            phase: vec![Phase::Begin; n],
-            stats: SystemStats::default(),
-            irrevocable_aborts: 0,
+            threads: vec![IrrThread::default(); n],
         }
     }
 
@@ -91,95 +214,26 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
 
     /// Aborts taken by the irrevocable thread — must always be zero; kept
     /// as an observable so tests state it as an assertion, not an
     /// assumption.
     pub fn irrevocable_aborts(&self) -> u64 {
-        self.irrevocable_aborts
-    }
-
-    fn tick_irrevocable(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.phase[tid.0] == Phase::Begin {
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.phase[tid.0] = Phase::Running;
-            return Ok(Tick::Progress);
-        }
-        let options = self.machine.step_options(tid)?;
-        if options.is_empty() {
-            // Everything is already pushed; CMT cannot fail for the
-            // irrevocable thread.
-            self.machine.commit(tid)?;
-            self.phase[tid.0] = Phase::Begin;
-            self.stats.commits += 1;
-            return Ok(Tick::Committed);
-        }
-        // Refresh committed view, then APP;PUSH eagerly.
-        pull_committed_lenient(&mut self.machine, tid)?;
-        let method = options[0].0.clone();
-        let op = self.machine.app_method(tid, &method)?;
-        match self.machine.push(tid, op) {
-            Ok(()) => Ok(Tick::Progress),
-            Err(e) if is_conflict(&e) => {
-                // An optimistic transaction is mid-commit: wait it out.
-                // (Never abort — undo the APP and retry the same method.)
-                self.machine.unapp(tid)?;
-                self.stats.blocked_ticks += 1;
-                Ok(Tick::Blocked)
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    fn tick_optimistic(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.phase[tid.0] == Phase::Begin {
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.phase[tid.0] = Phase::Running;
-            return Ok(Tick::Progress);
-        }
-        let options = self.machine.step_options(tid)?;
-        if options.is_empty() {
-            return match self.machine.push_all_and_commit(tid) {
-                Ok(_) => {
-                    self.phase[tid.0] = Phase::Begin;
-                    self.stats.commits += 1;
-                    Ok(Tick::Committed)
-                }
-                Err(e) if is_conflict(&e) => self.abort_optimistic(tid),
-                Err(e) => Err(e),
-            };
-        }
-        let method = options[0].0.clone();
-        match self.machine.app_method(tid, &method) {
-            Ok(_) => Ok(Tick::Progress),
-            Err(MachineError::NoAllowedResult(_)) => self.abort_optimistic(tid),
-            Err(e) if is_conflict(&e) => self.abort_optimistic(tid),
-            Err(e) => Err(e),
-        }
-    }
-
-    fn abort_optimistic(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        self.machine.abort_and_retry(tid)?;
-        self.phase[tid.0] = Phase::Begin;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
+        self.threads.iter().map(|t| t.irrevocable_aborts).sum()
     }
 }
 
 impl<S: SeqSpec> TmSystem for IrrevocableSystem<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        if tid == self.irrevocable {
-            self.tick_irrevocable(tid)
-        } else {
-            self.tick_optimistic(tid)
-        }
+        tick_thread(
+            self.irrevocable,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -187,12 +241,34 @@ impl<S: SeqSpec> TmSystem for IrrevocableSystem<S> {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "irrevocable"
+    }
+}
+
+impl<S> ParallelSystem for IrrevocableSystem<S>
+where
+    S: SeqSpec + Send + Sync,
+    S::Method: Send,
+    S::Ret: Send,
+    S::State: Send,
+{
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let irrevocable = self.irrevocable;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(irrevocable, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -246,7 +322,11 @@ mod tests {
         sys.tick(ThreadId(0)).unwrap();
         sys.tick(ThreadId(0)).unwrap();
         let names = sys.machine().trace().rule_names(ThreadId(0));
-        assert_eq!(names.last(), Some(&"PUSH"), "APP must be followed immediately by PUSH");
+        assert_eq!(
+            names.last(),
+            Some(&"PUSH"),
+            "APP must be followed immediately by PUSH"
+        );
         run_round_robin(&mut sys, 4000);
         assert!(check_machine(sys.machine()).is_serializable());
     }
@@ -264,7 +344,7 @@ mod tests {
         // Optimist snapshots and reads first.
         sys.tick(ThreadId(1)).unwrap(); // begin
         sys.tick(ThreadId(1)).unwrap(); // read loc0 = 0
-        // Irrevocable runs to commit.
+                                        // Irrevocable runs to commit.
         while sys.machine().thread(ThreadId(0)).unwrap().commits() == 0 {
             sys.tick(ThreadId(0)).unwrap();
         }

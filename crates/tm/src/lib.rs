@@ -45,7 +45,7 @@ pub use boosting::BoostingSystem;
 pub use checkpoint::CheckpointOptimistic;
 pub use conflict::ConflictKeyed;
 pub use dependent::DependentSystem;
-pub use driver::{SystemStats, Tick, TmSystem};
+pub use driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 pub use htm::HtmSystem;
 pub use irrevocable::IrrevocableSystem;
 pub use mixed::MixedSystem;

@@ -14,11 +14,13 @@
 //! reproduced by driving the machine directly (see
 //! `examples/boosting_htm.rs` and `tests/fig7_mixed.rs`).
 
+use std::sync::Mutex;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::log::LocalFlag;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::{OpId, ThreadId};
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::locks::{AbstractLockManager, LockOutcome};
 use pushpull_ds::memory::HtmConflicts;
 use pushpull_spec::composite::{Either, Product};
@@ -28,7 +30,7 @@ use pushpull_spec::rwmem::{Loc, MemMethod, MemRet, RwMem};
 use pushpull_spec::set::{SetMethod, SetRet, SetSpec};
 
 use crate::conflict::ConflictKeyed;
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 /// The §7 composite specification: `((skiplist, hashT), (size, memory))`.
@@ -131,15 +133,255 @@ enum Phase {
 /// assert_eq!(sys.stats().commits, 1);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MixedSystem {
     machine: Machine<MixedSpec>,
-    locks: AbstractLockManager<<MixedSpec as ConflictKeyed>::LockKey>,
-    tracker: HtmConflicts<HtmWord>,
-    phase: Vec<Phase>,
-    blocked_streak: Vec<u32>,
+    shared: MixedShared,
+    threads: Vec<MixedThread>,
+}
+
+/// The mixed driver's cross-thread state: abstract locks for the boosted
+/// components, the simulated HTM tracker for the word components. Each
+/// sits behind a short-held mutex.
+#[derive(Debug)]
+struct MixedShared {
+    locks: Mutex<AbstractLockManager<<MixedSpec as ConflictKeyed>::LockKey>>,
+    tracker: Mutex<HtmConflicts<HtmWord>>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone)]
+struct MixedThread {
+    phase: Phase,
+    blocked_streak: u32,
     stats: SystemStats,
     partial_htm_aborts: u64,
+}
+
+impl Default for MixedThread {
+    fn default() -> Self {
+        Self {
+            phase: Phase::Begin,
+            blocked_streak: 0,
+            stats: SystemStats::default(),
+            partial_htm_aborts: 0,
+        }
+    }
+}
+
+fn full_abort(
+    shared: &MixedShared,
+    h: &mut TxnHandle<MixedSpec>,
+    t: &mut MixedThread,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    h.abort_and_retry()?;
+    shared
+        .locks
+        .lock()
+        .expect("lock manager poisoned")
+        .release_all(txn);
+    shared
+        .tracker
+        .lock()
+        .expect("conflict tracker poisoned")
+        .clear(txn);
+    t.phase = Phase::Begin;
+    t.blocked_streak = 0;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+/// The §7 move: discard trailing (necessarily HTM) unpushed effects
+/// while leaving the pushed boosted effects in the shared view, then
+/// resume forward execution. Re-records the surviving HTM accesses.
+fn partial_htm_abort(
+    shared: &MixedShared,
+    h: &mut TxnHandle<MixedSpec>,
+    t: &mut MixedThread,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    // UNAPP the trailing npshd entries (HTM ops are npshd until
+    // commit; boosted ops are pushed at APP, so a pshd entry is the
+    // rewind boundary).
+    loop {
+        let last_is_npshd = h
+            .local()
+            .entries()
+            .last()
+            .map(|e| e.flag.is_not_pushed())
+            .unwrap_or(false);
+        if !last_is_npshd {
+            break;
+        }
+        h.unapp()?;
+    }
+    // Rebuild the tracker from the surviving npshd entries (there are
+    // none at the tail now, but earlier HTM ops may survive between
+    // pushed boosted ops — they cannot, actually: npshd entries are
+    // contiguous at the tail only when every boosted op pushed at
+    // APP; re-scan to stay robust).
+    shared
+        .tracker
+        .lock()
+        .expect("conflict tracker poisoned")
+        .clear(txn);
+    let survivors: Vec<MixedMethod> = h
+        .local()
+        .iter()
+        .filter(|e| matches!(e.flag, LocalFlag::NotPushed { .. }))
+        .map(|e| e.op.method)
+        .collect();
+    for m in survivors {
+        if let Some((w, is_write)) = htm_access(&m) {
+            let res = {
+                let mut tr = shared.tracker.lock().expect("conflict tracker poisoned");
+                if is_write {
+                    tr.record_write(txn, w)
+                } else {
+                    tr.record_read(txn, w)
+                }
+            };
+            if res.is_err() {
+                // A surviving access still conflicts: give up fully.
+                return full_abort(shared, h, t);
+            }
+        }
+    }
+    t.partial_htm_aborts += 1;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+fn blocked_thread(
+    shared: &MixedShared,
+    h: &mut TxnHandle<MixedSpec>,
+    t: &mut MixedThread,
+) -> Result<Tick, MachineError> {
+    t.blocked_streak += 1;
+    t.stats.blocked_ticks += 1;
+    if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
+        return full_abort(shared, h, t);
+    }
+    Ok(Tick::Blocked)
+}
+
+fn tick_boosted(
+    shared: &MixedShared,
+    h: &mut TxnHandle<MixedSpec>,
+    t: &mut MixedThread,
+    method: MixedMethod,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    for key in h.spec().lock_keys(&method) {
+        // Bind the outcome first: matching on the locked expression would
+        // hold the guard across the abort path and self-deadlock.
+        let outcome = shared
+            .locks
+            .lock()
+            .expect("lock manager poisoned")
+            .try_lock(txn, key);
+        match outcome {
+            LockOutcome::Acquired | LockOutcome::AlreadyHeld => {}
+            LockOutcome::Busy { .. } => return blocked_thread(shared, h, t),
+            LockOutcome::WouldDeadlock { .. } => return full_abort(shared, h, t),
+        }
+    }
+    pull_committed_lenient(h)?;
+    let op: OpId = match h.app_method(&method) {
+        Ok(op) => op,
+        Err(MachineError::NoAllowedResult(_)) => return full_abort(shared, h, t),
+        Err(e) => return Err(e),
+    };
+    match h.push(op) {
+        Ok(()) => {
+            t.blocked_streak = 0;
+            Ok(Tick::Progress)
+        }
+        Err(e) if is_conflict(&e) => {
+            h.unapp()?;
+            blocked_thread(shared, h, t)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn tick_htm(
+    shared: &MixedShared,
+    h: &mut TxnHandle<MixedSpec>,
+    t: &mut MixedThread,
+    method: MixedMethod,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    if let Some((w, is_write)) = htm_access(&method) {
+        let res = {
+            let mut tr = shared.tracker.lock().expect("conflict tracker poisoned");
+            if is_write {
+                tr.record_write(txn, w)
+            } else {
+                tr.record_read(txn, w)
+            }
+        };
+        if res.is_err() {
+            // HTM signals abort: rewind only the HTM suffix (§7).
+            return partial_htm_abort(shared, h, t);
+        }
+    }
+    pull_committed_lenient(h)?;
+    match h.app_method(&method) {
+        Ok(_) => Ok(Tick::Progress),
+        Err(MachineError::NoAllowedResult(_)) => full_abort(shared, h, t),
+        Err(e) if is_conflict(&e) => full_abort(shared, h, t),
+        Err(e) => Err(e),
+    }
+}
+
+/// One mixed tick for one thread; dispatches each method to its boosted
+/// or HTM path.
+fn tick_thread(
+    shared: &MixedShared,
+    h: &mut TxnHandle<MixedSpec>,
+    t: &mut MixedThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    if t.phase == Phase::Begin {
+        pull_committed_lenient(h)?;
+        t.phase = Phase::Running;
+        return Ok(Tick::Progress);
+    }
+    let options = h.step_options()?;
+    if options.is_empty() {
+        // Uninterleaved commit: PUSH the HTM suffix, then CMT.
+        let txn = h.txn();
+        return match h.push_all_and_commit() {
+            Ok(committed) => {
+                shared
+                    .locks
+                    .lock()
+                    .expect("lock manager poisoned")
+                    .release_all(committed);
+                shared
+                    .tracker
+                    .lock()
+                    .expect("conflict tracker poisoned")
+                    .clear(txn);
+                t.phase = Phase::Begin;
+                t.blocked_streak = 0;
+                t.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => full_abort(shared, h, t),
+            Err(e) => Err(e),
+        };
+    }
+    let method = options[0].0;
+    if is_htm(&method) {
+        tick_htm(shared, h, t, method)
+    } else {
+        tick_boosted(shared, h, t, method)
+    }
 }
 
 impl MixedSystem {
@@ -152,12 +394,11 @@ impl MixedSystem {
         }
         Self {
             machine,
-            locks: AbstractLockManager::new(),
-            tracker: HtmConflicts::new(),
-            phase: vec![Phase::Begin; n],
-            blocked_streak: vec![0; n],
-            stats: SystemStats::default(),
-            partial_htm_aborts: 0,
+            shared: MixedShared {
+                locks: Mutex::new(AbstractLockManager::new()),
+                tracker: Mutex::new(HtmConflicts::new()),
+            },
+            threads: vec![MixedThread::default(); n],
         }
     }
 
@@ -166,174 +407,49 @@ impl MixedSystem {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
 
     /// HTM aborts resolved by *partial* rewind (boosted effects kept).
     pub fn partial_htm_aborts(&self) -> u64 {
-        self.partial_htm_aborts
+        self.threads.iter().map(|t| t.partial_htm_aborts).sum()
     }
+}
 
-    fn full_abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        self.machine.abort_and_retry(tid)?;
-        self.locks.release_all(txn);
-        self.tracker.clear(txn);
-        self.phase[tid.0] = Phase::Begin;
-        self.blocked_streak[tid.0] = 0;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
-    }
-
-    /// The §7 move: discard trailing (necessarily HTM) unpushed effects
-    /// while leaving the pushed boosted effects in the shared view, then
-    /// resume forward execution. Re-records the surviving HTM accesses.
-    fn partial_htm_abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        // UNAPP the trailing npshd entries (HTM ops are npshd until
-        // commit; boosted ops are pushed at APP, so a pshd entry is the
-        // rewind boundary).
-        loop {
-            let last_is_npshd = self
-                .machine
-                .thread(tid)?
-                .local()
-                .entries()
-                .last()
-                .map(|e| e.flag.is_not_pushed())
-                .unwrap_or(false);
-            if !last_is_npshd {
-                break;
-            }
-            self.machine.unapp(tid)?;
+impl Clone for MixedSystem {
+    fn clone(&self) -> Self {
+        Self {
+            machine: self.machine.clone(),
+            shared: MixedShared {
+                locks: Mutex::new(
+                    self.shared
+                        .locks
+                        .lock()
+                        .expect("lock manager poisoned")
+                        .clone(),
+                ),
+                tracker: Mutex::new(
+                    self.shared
+                        .tracker
+                        .lock()
+                        .expect("conflict tracker poisoned")
+                        .clone(),
+                ),
+            },
+            threads: self.threads.clone(),
         }
-        // Rebuild the tracker from the surviving npshd entries (there are
-        // none at the tail now, but earlier HTM ops may survive between
-        // pushed boosted ops — they cannot, actually: npshd entries are
-        // contiguous at the tail only when every boosted op pushed at
-        // APP; re-scan to stay robust).
-        self.tracker.clear(txn);
-        let survivors: Vec<MixedMethod> = self
-            .machine
-            .thread(tid)?
-            .local()
-            .iter()
-            .filter(|e| matches!(e.flag, LocalFlag::NotPushed { .. }))
-            .map(|e| e.op.method)
-            .collect();
-        for m in survivors {
-            if let Some((w, is_write)) = htm_access(&m) {
-                let res = if is_write {
-                    self.tracker.record_write(txn, w)
-                } else {
-                    self.tracker.record_read(txn, w)
-                };
-                if res.is_err() {
-                    // A surviving access still conflicts: give up fully.
-                    return self.full_abort(tid);
-                }
-            }
-        }
-        self.partial_htm_aborts += 1;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
-    }
-
-    fn tick_boosted(&mut self, tid: ThreadId, method: MixedMethod) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        for key in self.machine.spec().lock_keys(&method) {
-            match self.locks.try_lock(txn, key) {
-                LockOutcome::Acquired | LockOutcome::AlreadyHeld => {}
-                LockOutcome::Busy { .. } => return self.blocked(tid),
-                LockOutcome::WouldDeadlock { .. } => return self.full_abort(tid),
-            }
-        }
-        pull_committed_lenient(&mut self.machine, tid)?;
-        let op: OpId = match self.machine.app_method(tid, &method) {
-            Ok(op) => op,
-            Err(MachineError::NoAllowedResult(_)) => return self.full_abort(tid),
-            Err(e) => return Err(e),
-        };
-        match self.machine.push(tid, op) {
-            Ok(()) => {
-                self.blocked_streak[tid.0] = 0;
-                Ok(Tick::Progress)
-            }
-            Err(e) if is_conflict(&e) => {
-                self.machine.unapp(tid)?;
-                self.blocked(tid)
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    fn tick_htm(&mut self, tid: ThreadId, method: MixedMethod) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        if let Some((w, is_write)) = htm_access(&method) {
-            let res = if is_write {
-                self.tracker.record_write(txn, w)
-            } else {
-                self.tracker.record_read(txn, w)
-            };
-            if res.is_err() {
-                // HTM signals abort: rewind only the HTM suffix (§7).
-                return self.partial_htm_abort(tid);
-            }
-        }
-        pull_committed_lenient(&mut self.machine, tid)?;
-        match self.machine.app_method(tid, &method) {
-            Ok(_) => Ok(Tick::Progress),
-            Err(MachineError::NoAllowedResult(_)) => self.full_abort(tid),
-            Err(e) if is_conflict(&e) => self.full_abort(tid),
-            Err(e) => Err(e),
-        }
-    }
-
-    fn blocked(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        self.blocked_streak[tid.0] += 1;
-        self.stats.blocked_ticks += 1;
-        if self.blocked_streak[tid.0] >= BLOCK_ABORT_THRESHOLD {
-            return self.full_abort(tid);
-        }
-        Ok(Tick::Blocked)
     }
 }
 
 impl TmSystem for MixedSystem {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        if self.phase[tid.0] == Phase::Begin {
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.phase[tid.0] = Phase::Running;
-            return Ok(Tick::Progress);
-        }
-        let options = self.machine.step_options(tid)?;
-        if options.is_empty() {
-            // Uninterleaved commit: PUSH the HTM suffix, then CMT.
-            let txn = self.machine.thread(tid)?.txn();
-            return match self.machine.push_all_and_commit(tid) {
-                Ok(committed) => {
-                    self.locks.release_all(committed);
-                    self.tracker.clear(txn);
-                    self.phase[tid.0] = Phase::Begin;
-                    self.blocked_streak[tid.0] = 0;
-                    self.stats.commits += 1;
-                    Ok(Tick::Committed)
-                }
-                Err(e) if is_conflict(&e) => self.full_abort(tid),
-                Err(e) => Err(e),
-            };
-        }
-        let method = options[0].0;
-        if is_htm(&method) {
-            self.tick_htm(tid, method)
-        } else {
-            self.tick_boosted(tid, method)
-        }
+        tick_thread(
+            &self.shared,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -341,12 +457,28 @@ impl TmSystem for MixedSystem {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "mixed-boosting-htm"
+    }
+}
+
+impl ParallelSystem for MixedSystem {
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let shared = &self.shared;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(shared, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -394,10 +526,8 @@ mod tests {
 
     #[test]
     fn disjoint_mixed_transactions_run_concurrently() {
-        let mut sys = MixedSystem::new(
-            mixed_spec(),
-            vec![section7_prog(1, 0), section7_prog(2, 1)],
-        );
+        let mut sys =
+            MixedSystem::new(mixed_spec(), vec![section7_prog(1, 0), section7_prog(2, 1)]);
         run_round_robin(&mut sys, 2000);
         assert_eq!(sys.stats().commits, 2);
         let report = check_machine(sys.machine());
@@ -408,10 +538,8 @@ mod tests {
     fn htm_word_contention_causes_aborts_but_stays_serializable() {
         // Same x word: HTM conflict; same size word: size++ commutes at
         // the counter level BUT is HTM-tracked here, so it conflicts too.
-        let mut sys = MixedSystem::new(
-            mixed_spec(),
-            vec![section7_prog(1, 0), section7_prog(2, 0)],
-        );
+        let mut sys =
+            MixedSystem::new(mixed_spec(), vec![section7_prog(1, 0), section7_prog(2, 0)]);
         run_round_robin(&mut sys, 4000);
         assert_eq!(sys.stats().commits, 2);
         assert!(sys.stats().aborts >= 1);

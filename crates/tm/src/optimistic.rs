@@ -21,9 +21,9 @@ use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 /// Read-validation flavour of the optimistic system.
@@ -78,8 +78,93 @@ enum Phase {
 pub struct OptimisticSystem<S: SeqSpec> {
     machine: Machine<S>,
     policy: ReadPolicy,
-    phase: Vec<Phase>,
+    threads: Vec<OptThread>,
+}
+
+/// Per-thread driver state: owned by exactly one worker, so ticking never
+/// contends on it.
+#[derive(Debug, Clone)]
+struct OptThread {
+    phase: Phase,
     stats: SystemStats,
+}
+
+impl Default for OptThread {
+    fn default() -> Self {
+        Self {
+            phase: Phase::Begin,
+            stats: SystemStats::default(),
+        }
+    }
+}
+
+/// One optimistic tick for one thread, touching only that thread's
+/// [`TxnHandle`] and driver state — the whole fast path (APP, local
+/// bookkeeping) runs without any system-wide lock.
+fn tick_thread<S: SeqSpec>(
+    policy: ReadPolicy,
+    h: &mut TxnHandle<S>,
+    t: &mut OptThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    if t.phase == Phase::Begin {
+        // Begin-time snapshot: PULL all committed operations.
+        pull_committed_lenient(h)?;
+        t.phase = Phase::Running;
+        return Ok(Tick::Progress);
+    }
+    // Commit as soon as CMT criterion (i) — fin(c) — holds: for
+    // straight-line code that is exactly "no method remains", and it
+    // terminates looping programs `(c)*` (which always offer another
+    // iteration) by taking the skip branch.
+    if h.can_finish()? {
+        // Commit phase: PUSH everything in APP order, then CMT.
+        return match h.push_all_and_commit() {
+            Ok(_) => {
+                t.phase = Phase::Begin;
+                t.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => abort_thread(h, t),
+            Err(e) => Err(e),
+        };
+    }
+    if policy == ReadPolicy::Refresh {
+        pull_committed_lenient(h)?;
+    }
+    // Resolve program nondeterminism by taking the LAST step option —
+    // `(method, continuation)` as a pair, since the same method name
+    // can appear in both a loop-iteration continuation and an exit
+    // continuation. `step(c₁;c₂)` lists loop-iteration continuations
+    // before the continuations that exit toward the mandatory
+    // remainder, so the lazy choice always makes progress toward
+    // `fin`; picking the first option would iterate `(c)*` on the
+    // left of a `;` forever.
+    let (method, cont) = h
+        .step_options()?
+        .pop()
+        .ok_or(MachineError::NoSuchStep(h.tid()))?;
+    let ret = match h.allowed_results(&method)?.into_iter().next() {
+        Some(r) => r,
+        None => return abort_thread(h, t), // doomed local view: retry
+    };
+    match h.app(method, cont, ret) {
+        Ok(_) => Ok(Tick::Progress),
+        Err(MachineError::NoAllowedResult(_)) => abort_thread(h, t),
+        Err(e) if is_conflict(&e) => abort_thread(h, t),
+        Err(e) => Err(e),
+    }
+}
+
+fn abort_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut OptThread) -> Result<Tick, MachineError> {
+    // §6.2: "simply perform UNAPP repeatedly and needn't UNPUSH" —
+    // nothing was pushed; rewinding also unpulls the stale snapshot.
+    h.abort_and_retry()?;
+    t.phase = Phase::Begin;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
 }
 
 impl<S: SeqSpec> OptimisticSystem<S> {
@@ -91,7 +176,11 @@ impl<S: SeqSpec> OptimisticSystem<S> {
         for p in programs {
             machine.add_thread(p);
         }
-        Self { machine, policy, phase: vec![Phase::Begin; n], stats: SystemStats::default() }
+        Self {
+            machine,
+            policy,
+            threads: vec![OptThread::default(); n],
+        }
     }
 
     /// The underlying machine.
@@ -99,74 +188,19 @@ impl<S: SeqSpec> OptimisticSystem<S> {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
-    }
-
-    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        // §6.2: "simply perform UNAPP repeatedly and needn't UNPUSH" —
-        // nothing was pushed; rewinding also unpulls the stale snapshot.
-        self.machine.abort_and_retry(tid)?;
-        self.phase[tid.0] = Phase::Begin;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
+        self.threads.iter().map(|t| t.stats).sum()
     }
 }
 
 impl<S: SeqSpec> TmSystem for OptimisticSystem<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        if self.phase[tid.0] == Phase::Begin {
-            // Begin-time snapshot: PULL all committed operations.
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.phase[tid.0] = Phase::Running;
-            return Ok(Tick::Progress);
-        }
-        // Commit as soon as CMT criterion (i) — fin(c) — holds: for
-        // straight-line code that is exactly "no method remains", and it
-        // terminates looping programs `(c)*` (which always offer another
-        // iteration) by taking the skip branch.
-        if self.machine.can_finish(tid)? {
-            // Commit phase: PUSH everything in APP order, then CMT.
-            return match self.machine.push_all_and_commit(tid) {
-                Ok(_) => {
-                    self.phase[tid.0] = Phase::Begin;
-                    self.stats.commits += 1;
-                    Ok(Tick::Committed)
-                }
-                Err(e) if is_conflict(&e) => self.abort(tid),
-                Err(e) => Err(e),
-            };
-        }
-        if self.policy == ReadPolicy::Refresh {
-            pull_committed_lenient(&mut self.machine, tid)?;
-        }
-        // Resolve program nondeterminism by taking the LAST step option —
-        // `(method, continuation)` as a pair, since the same method name
-        // can appear in both a loop-iteration continuation and an exit
-        // continuation. `step(c₁;c₂)` lists loop-iteration continuations
-        // before the continuations that exit toward the mandatory
-        // remainder, so the lazy choice always makes progress toward
-        // `fin`; picking the first option would iterate `(c)*` on the
-        // left of a `;` forever.
-        let (method, cont) = self
-            .machine
-            .step_options(tid)?
-            .pop()
-            .ok_or(MachineError::NoSuchStep(tid))?;
-        let ret = match self.machine.allowed_results(tid, &method)?.into_iter().next() {
-            Some(r) => r,
-            None => return self.abort(tid), // doomed local view: retry
-        };
-        match self.machine.app(tid, method, cont, ret) {
-            Ok(_) => Ok(Tick::Progress),
-            Err(MachineError::NoAllowedResult(_)) => self.abort(tid),
-            Err(e) if is_conflict(&e) => self.abort(tid),
-            Err(e) => Err(e),
-        }
+        tick_thread(
+            self.policy,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -174,8 +208,12 @@ impl<S: SeqSpec> TmSystem for OptimisticSystem<S> {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -183,6 +221,24 @@ impl<S: SeqSpec> TmSystem for OptimisticSystem<S> {
             ReadPolicy::Snapshot => "optimistic-snapshot",
             ReadPolicy::Refresh => "optimistic-refresh",
         }
+    }
+}
+
+impl<S> ParallelSystem for OptimisticSystem<S>
+where
+    S: SeqSpec + Send + Sync,
+    S::Method: Send,
+    S::Ret: Send,
+    S::State: Send,
+{
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let policy = self.policy;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(policy, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -268,12 +324,8 @@ mod tests {
         let report = check_machine(sys.machine());
         assert!(report.is_serializable(), "{report}");
         // The committed get observed 1.
-        let get_txn = sys
-            .machine()
-            .committed_txns()
-            .iter()
-            .find(|t| t.thread == ThreadId(1))
-            .unwrap();
+        let committed = sys.machine().committed_txns();
+        let get_txn = committed.iter().find(|t| t.thread == ThreadId(1)).unwrap();
         assert_eq!(get_txn.ops[0].ret, pushpull_spec::counter::CtrRet::Val(1));
     }
 
@@ -289,7 +341,7 @@ mod tests {
         let mut sys =
             OptimisticSystem::new(Counter::new(), vec![prog(), prog()], ReadPolicy::Refresh);
         run_round_robin(&mut sys, 4000);
-        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+        assert_eq!(check_trace(&sys.machine().trace()), OpacityVerdict::Opaque);
         assert!(check_machine(sys.machine()).is_serializable());
     }
 

@@ -14,13 +14,15 @@
 //! re-runs (our multiversion-free approximation of MS-TM's abort-free
 //! readers, recorded in DESIGN.md).
 
+use std::sync::Mutex;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 /// A Matveev–Shavit-style pessimistic system.
@@ -49,13 +51,87 @@ use crate::util::{is_conflict, pull_committed_lenient};
 /// assert_eq!(sys.stats().commits, 2);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MatveevShavitSystem<S: SeqSpec> {
     machine: Machine<S>,
-    /// Which thread holds the commit token, if any.
-    token: Option<ThreadId>,
-    started: Vec<bool>,
+    /// Which thread holds the commit token, if any. The token is the
+    /// algorithm's single serialization point; workers touch it only in
+    /// their commit phase.
+    token: Mutex<Option<ThreadId>>,
+    threads: Vec<MsThread>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone, Default)]
+struct MsThread {
+    started: bool,
     stats: SystemStats,
+}
+
+/// One tick for one thread: APP and local bookkeeping run lock-free; only
+/// the commit burst contends on the token.
+fn tick_thread<S: SeqSpec>(
+    token: &Mutex<Option<ThreadId>>,
+    h: &mut TxnHandle<S>,
+    t: &mut MsThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        let mut tok = token.lock().expect("token lock poisoned");
+        if *tok == Some(h.tid()) {
+            *tok = None;
+        }
+        return Ok(Tick::Done);
+    }
+    if !t.started {
+        // Reads PULL committed effects only.
+        pull_committed_lenient(h)?;
+        t.started = true;
+        return Ok(Tick::Progress);
+    }
+    let options = h.step_options()?;
+    if !options.is_empty() {
+        // Apply locally (writes are buffered — delayed to commit).
+        let method = options[0].0.clone();
+        return match h.app_method(&method) {
+            Ok(_) => Ok(Tick::Progress),
+            Err(MachineError::NoAllowedResult(_)) => {
+                h.abort_and_retry()?;
+                t.started = false;
+                t.stats.aborts += 1;
+                Ok(Tick::Aborted)
+            }
+            Err(e) => Err(e),
+        };
+    }
+    // Commit phase: take the token so the PUSH*;CMT burst is
+    // uninterleaved.
+    {
+        let mut tok = token.lock().expect("token lock poisoned");
+        match *tok {
+            Some(holder) if holder != h.tid() => {
+                t.stats.blocked_ticks += 1;
+                return Ok(Tick::Blocked);
+            }
+            _ => *tok = Some(h.tid()),
+        }
+    }
+    let result = h.push_all_and_commit();
+    *token.lock().expect("token lock poisoned") = None;
+    match result {
+        Ok(_) => {
+            t.started = false;
+            t.stats.commits += 1;
+            Ok(Tick::Committed)
+        }
+        Err(e) if is_conflict(&e) => {
+            // A reader that raced a writer: re-run on fresh state.
+            h.abort_and_retry()?;
+            t.started = false;
+            t.stats.aborts += 1;
+            Ok(Tick::Aborted)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 impl<S: SeqSpec> MatveevShavitSystem<S> {
@@ -66,7 +142,11 @@ impl<S: SeqSpec> MatveevShavitSystem<S> {
         for p in programs {
             machine.add_thread(p);
         }
-        Self { machine, token: None, started: vec![false; n], stats: SystemStats::default() }
+        Self {
+            machine,
+            token: Mutex::new(None),
+            threads: vec![MsThread::default(); n],
+        }
     }
 
     /// The underlying machine.
@@ -74,67 +154,29 @@ impl<S: SeqSpec> MatveevShavitSystem<S> {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
+    }
+}
+
+impl<S: SeqSpec + Clone> Clone for MatveevShavitSystem<S> {
+    fn clone(&self) -> Self {
+        Self {
+            machine: self.machine.clone(),
+            token: Mutex::new(*self.token.lock().expect("token lock poisoned")),
+            threads: self.threads.clone(),
+        }
     }
 }
 
 impl<S: SeqSpec> TmSystem for MatveevShavitSystem<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            if self.token == Some(tid) {
-                self.token = None;
-            }
-            return Ok(Tick::Done);
-        }
-        if !self.started[tid.0] {
-            // Reads PULL committed effects only.
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.started[tid.0] = true;
-            return Ok(Tick::Progress);
-        }
-        let options = self.machine.step_options(tid)?;
-        if !options.is_empty() {
-            // Apply locally (writes are buffered — delayed to commit).
-            let method = options[0].0.clone();
-            return match self.machine.app_method(tid, &method) {
-                Ok(_) => Ok(Tick::Progress),
-                Err(MachineError::NoAllowedResult(_)) => {
-                    self.machine.abort_and_retry(tid)?;
-                    self.started[tid.0] = false;
-                    self.stats.aborts += 1;
-                    Ok(Tick::Aborted)
-                }
-                Err(e) => Err(e),
-            };
-        }
-        // Commit phase: take the token so the PUSH*;CMT burst is
-        // uninterleaved.
-        match self.token {
-            Some(holder) if holder != tid => {
-                self.stats.blocked_ticks += 1;
-                return Ok(Tick::Blocked);
-            }
-            _ => self.token = Some(tid),
-        }
-        let result = self.machine.push_all_and_commit(tid);
-        self.token = None;
-        match result {
-            Ok(_) => {
-                self.started[tid.0] = false;
-                self.stats.commits += 1;
-                Ok(Tick::Committed)
-            }
-            Err(e) if is_conflict(&e) => {
-                // A reader that raced a writer: re-run on fresh state.
-                self.machine.abort_and_retry(tid)?;
-                self.started[tid.0] = false;
-                self.stats.aborts += 1;
-                Ok(Tick::Aborted)
-            }
-            Err(e) => Err(e),
-        }
+        tick_thread(
+            &self.token,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -142,12 +184,34 @@ impl<S: SeqSpec> TmSystem for MatveevShavitSystem<S> {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "pessimistic-ms"
+    }
+}
+
+impl<S> ParallelSystem for MatveevShavitSystem<S>
+where
+    S: SeqSpec + Send + Sync,
+    S::Method: Send,
+    S::Ret: Send,
+    S::State: Send,
+{
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let token = &self.token;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(token, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -208,7 +272,7 @@ mod tests {
         };
         let mut sys = MatveevShavitSystem::new(RwMem::new(), vec![prog(0), prog(1)]);
         run_round_robin(&mut sys, 2000);
-        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+        assert_eq!(check_trace(&sys.machine().trace()), OpacityVerdict::Opaque);
         assert!(check_machine(sys.machine()).is_serializable());
     }
 

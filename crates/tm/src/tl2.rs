@@ -18,14 +18,16 @@
 //! exact commutativity checks, exactly as §6.2 says ("which is
 //! approximated via read/write sets").
 
+use std::sync::Mutex;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::memory::{GlobalClock, VersionedMemory};
 use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::pull_committed_lenient;
 
 #[derive(Debug, Clone, Default)]
@@ -62,16 +64,150 @@ struct Tl2Txn {
 /// assert_eq!(sys.stats().commits, 2);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Tl2System {
     machine: Machine<RwMem>,
+    shared: Tl2Shared,
+    threads: Vec<Tl2Thread>,
+}
+
+/// TL2's shared metadata: the global version clock (already atomic) and
+/// the versioned memory with its commit-time location locks (behind a
+/// short-held mutex — the per-location locks inside are the real
+/// protocol; the mutex only guards the table itself).
+#[derive(Debug)]
+struct Tl2Shared {
     clock: GlobalClock,
-    vmem: VersionedMemory<Loc>,
-    txns: Vec<Tl2Txn>,
+    vmem: Mutex<VersionedMemory<Loc>>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone, Default)]
+struct Tl2Thread {
+    txn: Tl2Txn,
     stats: SystemStats,
-    /// Criterion violations surfaced by the machine after TL2's own
-    /// validation passed — must stay zero (the soundness claim).
     criteria_surprises: u64,
+}
+
+fn abort_thread(
+    shared: &Tl2Shared,
+    h: &mut TxnHandle<RwMem>,
+    t: &mut Tl2Thread,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    shared
+        .vmem
+        .lock()
+        .expect("vmem lock poisoned")
+        .unlock_all(txn);
+    h.abort_and_retry()?;
+    t.txn = Tl2Txn::default();
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+/// One TL2 tick for one thread. Reads/writes APP without any system-wide
+/// lock; the vmem mutex is taken per metadata operation only.
+fn tick_thread(
+    shared: &Tl2Shared,
+    h: &mut TxnHandle<RwMem>,
+    t: &mut Tl2Thread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    let txn = h.txn();
+    if !t.txn.started {
+        // Begin: rv := GV; snapshot the committed state.
+        t.txn.rv = shared.clock.now();
+        pull_committed_lenient(h)?;
+        t.txn.started = true;
+        return Ok(Tick::Progress);
+    }
+    let options = h.step_options()?;
+    if options.is_empty() {
+        // Commit phase.
+        // 1. Lock the write set.
+        let write_set = t.txn.write_set.clone();
+        for l in &write_set {
+            if !shared
+                .vmem
+                .lock()
+                .expect("vmem lock poisoned")
+                .try_lock(txn, *l)
+            {
+                return abort_thread(shared, h, t);
+            }
+        }
+        // 2. wv := GV.tick().
+        let wv = shared.clock.tick();
+        // 3. Validate the read set.
+        let read_set = t.txn.read_set.clone();
+        if !shared
+            .vmem
+            .lock()
+            .expect("vmem lock poisoned")
+            .validate(txn, &read_set)
+        {
+            return abort_thread(shared, h, t);
+        }
+        // 4. Publish: PUSH*;CMT on the machine, then bump versions.
+        match h.push_all_and_commit() {
+            Ok(_) => {
+                shared
+                    .vmem
+                    .lock()
+                    .expect("vmem lock poisoned")
+                    .publish(txn, &write_set, wv);
+                t.txn = Tl2Txn::default();
+                t.stats.commits += 1;
+                Ok(Tick::Committed)
+            }
+            Err(MachineError::Criterion(v)) => {
+                // TL2 said yes but the exact criteria said no: record
+                // the surprise (the soundness tests require zero).
+                t.criteria_surprises += 1;
+                shared
+                    .vmem
+                    .lock()
+                    .expect("vmem lock poisoned")
+                    .unlock_all(txn);
+                let _ = v;
+                abort_thread(shared, h, t)
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        let method = options[0].0;
+        match method {
+            MemMethod::Read(l) => {
+                // TL2 read rule: version must not exceed rv; the
+                // location must not be commit-locked by another txn.
+                let (ver, locked_by_other) = {
+                    let vmem = shared.vmem.lock().expect("vmem lock poisoned");
+                    (vmem.version(&l), vmem.locked_by_other(&l, txn))
+                };
+                if ver > t.txn.rv || locked_by_other {
+                    return abort_thread(shared, h, t);
+                }
+                t.txn.read_set.push((l, ver));
+                match h.app_method(&method) {
+                    Ok(_) => Ok(Tick::Progress),
+                    Err(MachineError::NoAllowedResult(_)) => abort_thread(shared, h, t),
+                    Err(e) => Err(e),
+                }
+            }
+            MemMethod::Write(l, _) => {
+                if !t.txn.write_set.contains(&l) {
+                    t.txn.write_set.push(l);
+                }
+                match h.app_method(&method) {
+                    Ok(_) => Ok(Tick::Progress),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
 }
 
 impl Tl2System {
@@ -84,11 +220,11 @@ impl Tl2System {
         }
         Self {
             machine,
-            clock: GlobalClock::new(),
-            vmem: VersionedMemory::new(),
-            txns: vec![Tl2Txn::default(); n],
-            stats: SystemStats::default(),
-            criteria_surprises: 0,
+            shared: Tl2Shared {
+                clock: GlobalClock::new(),
+                vmem: Mutex::new(VersionedMemory::new()),
+            },
+            threads: vec![Tl2Thread::default(); n],
         }
     }
 
@@ -97,104 +233,39 @@ impl Tl2System {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
 
     /// Times the machine's criteria rejected a commit that TL2's own
     /// validation had accepted. Zero on every run ⇒ the read/write-set
     /// discipline soundly approximates the model's criteria.
     pub fn criteria_surprises(&self) -> u64 {
-        self.criteria_surprises
+        self.threads.iter().map(|t| t.criteria_surprises).sum()
     }
+}
 
-    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        self.vmem.unlock_all(txn);
-        self.machine.abort_and_retry(tid)?;
-        self.txns[tid.0] = Tl2Txn::default();
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
+impl Clone for Tl2System {
+    fn clone(&self) -> Self {
+        Self {
+            machine: self.machine.clone(),
+            shared: Tl2Shared {
+                clock: self.shared.clock.clone(),
+                vmem: Mutex::new(self.shared.vmem.lock().expect("vmem lock poisoned").clone()),
+            },
+            threads: self.threads.clone(),
+        }
     }
 }
 
 impl TmSystem for Tl2System {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        let txn = self.machine.thread(tid)?.txn();
-        if !self.txns[tid.0].started {
-            // Begin: rv := GV; snapshot the committed state.
-            self.txns[tid.0].rv = self.clock.now();
-            pull_committed_lenient(&mut self.machine, tid)?;
-            self.txns[tid.0].started = true;
-            return Ok(Tick::Progress);
-        }
-        let options = self.machine.step_options(tid)?;
-        if options.is_empty() {
-            // Commit phase.
-            // 1. Lock the write set.
-            let write_set = self.txns[tid.0].write_set.clone();
-            for l in &write_set {
-                if !self.vmem.try_lock(txn, *l) {
-                    return self.abort(tid);
-                }
-            }
-            // 2. wv := GV.tick().
-            let wv = self.clock.tick();
-            // 3. Validate the read set.
-            let read_set = self.txns[tid.0].read_set.clone();
-            if !self.vmem.validate(txn, &read_set) {
-                return self.abort(tid);
-            }
-            // 4. Publish: PUSH*;CMT on the machine, then bump versions.
-            match self.machine.push_all_and_commit(tid) {
-                Ok(_) => {
-                    self.vmem.publish(txn, &write_set, wv);
-                    self.txns[tid.0] = Tl2Txn::default();
-                    self.stats.commits += 1;
-                    Ok(Tick::Committed)
-                }
-                Err(MachineError::Criterion(v)) => {
-                    // TL2 said yes but the exact criteria said no: record
-                    // the surprise (the soundness tests require zero).
-                    self.criteria_surprises += 1;
-                    self.vmem.unlock_all(txn);
-                    let _ = v;
-                    self.abort(tid)
-                }
-                Err(e) => Err(e),
-            }
-        } else {
-            let method = options[0].0;
-            match method {
-                MemMethod::Read(l) => {
-                    // TL2 read rule: version must not exceed rv; the
-                    // location must not be commit-locked by another txn.
-                    let ver = self.vmem.version(&l);
-                    if ver > self.txns[tid.0].rv || self.vmem.locked_by_other(&l, txn) {
-                        return self.abort(tid);
-                    }
-                    self.txns[tid.0].read_set.push((l, ver));
-                    match self.machine.app_method(tid, &method) {
-                        Ok(_) => Ok(Tick::Progress),
-                        Err(MachineError::NoAllowedResult(_)) => self.abort(tid),
-                        Err(e) => Err(e),
-                    }
-                }
-                MemMethod::Write(l, _) => {
-                    if !self.txns[tid.0].write_set.contains(&l) {
-                        self.txns[tid.0].write_set.push(l);
-                    }
-                    match self.machine.app_method(tid, &method) {
-                        Ok(_) => Ok(Tick::Progress),
-                        Err(e) => Err(e),
-                    }
-                }
-            }
-        }
+        tick_thread(
+            &self.shared,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -202,12 +273,28 @@ impl TmSystem for Tl2System {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "tl2"
+    }
+}
+
+impl ParallelSystem for Tl2System {
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let shared = &self.shared;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(shared, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -259,7 +346,7 @@ mod tests {
     fn tl2_runs_are_opaque() {
         let mut sys = Tl2System::new(vec![rmw(0, 1), rmw(1, 2), rmw(0, 3)]);
         run_round_robin(&mut sys, 8000);
-        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+        assert_eq!(check_trace(&sys.machine().trace()), OpacityVerdict::Opaque);
         assert!(check_machine(sys.machine()).is_serializable());
     }
 
@@ -281,7 +368,10 @@ mod tests {
                 assert!(ticks < 500_000, "seed {seed} diverged");
             }
             assert_eq!(sys.criteria_surprises(), 0, "seed {seed}");
-            assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+            assert!(
+                check_machine(sys.machine()).is_serializable(),
+                "seed {seed}"
+            );
         }
     }
 

@@ -14,14 +14,16 @@
 //! this pattern: a 2PL run discharges PUSH obligations but never
 //! violates one.
 
+use std::sync::Mutex;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
-use pushpull_core::Code;
+use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::rwlocks::{Mode, RwLockTable, RwOutcome};
 use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
 
-use crate::driver::{SystemStats, Tick, TmSystem};
+use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
 /// Consecutive blocked ticks tolerated before aborting.
@@ -51,12 +53,107 @@ const BLOCK_ABORT_THRESHOLD: u32 = 24;
 /// assert_eq!(sys.stats().blocked_ticks, 0, "shared reads never block");
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TwoPhaseLocking {
     machine: Machine<RwMem>,
-    locks: RwLockTable<Loc>,
-    blocked_streak: Vec<u32>,
+    /// The shared lock table — the algorithm's only cross-thread state,
+    /// behind a short-held mutex.
+    locks: Mutex<RwLockTable<Loc>>,
+    threads: Vec<TplThread>,
+}
+
+/// Per-thread driver state, owned by exactly one worker.
+#[derive(Debug, Clone, Default)]
+struct TplThread {
+    blocked_streak: u32,
     stats: SystemStats,
+}
+
+fn abort_thread(
+    locks: &Mutex<RwLockTable<Loc>>,
+    h: &mut TxnHandle<RwMem>,
+    t: &mut TplThread,
+) -> Result<Tick, MachineError> {
+    let txn = h.txn();
+    h.abort_and_retry()?;
+    locks.lock().expect("lock table poisoned").release_all(txn);
+    t.blocked_streak = 0;
+    t.stats.aborts += 1;
+    Ok(Tick::Aborted)
+}
+
+fn blocked_thread(
+    locks: &Mutex<RwLockTable<Loc>>,
+    h: &mut TxnHandle<RwMem>,
+    t: &mut TplThread,
+) -> Result<Tick, MachineError> {
+    t.blocked_streak += 1;
+    t.stats.blocked_ticks += 1;
+    if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
+        return abort_thread(locks, h, t);
+    }
+    Ok(Tick::Blocked)
+}
+
+/// One 2PL tick for one thread: the lock table is consulted briefly per
+/// access; APP runs on the thread's own handle with no system-wide lock.
+fn tick_thread(
+    locks: &Mutex<RwLockTable<Loc>>,
+    h: &mut TxnHandle<RwMem>,
+    t: &mut TplThread,
+) -> Result<Tick, MachineError> {
+    if h.is_done() {
+        return Ok(Tick::Done);
+    }
+    let txn = h.txn();
+    let options = h.step_options()?;
+    if options.is_empty() {
+        let committed = h.commit()?;
+        locks
+            .lock()
+            .expect("lock table poisoned")
+            .release_all(committed);
+        t.blocked_streak = 0;
+        t.stats.commits += 1;
+        return Ok(Tick::Committed);
+    }
+    let method = options[0].0;
+    let (loc, mode) = match method {
+        MemMethod::Read(l) => (l, Mode::Shared),
+        MemMethod::Write(l, _) => (l, Mode::Exclusive),
+    };
+    // Bind the outcome first: matching on the locked expression would
+    // hold the guard across the abort path and self-deadlock.
+    let outcome = locks
+        .lock()
+        .expect("lock table poisoned")
+        .try_lock(txn, loc, mode);
+    match outcome {
+        RwOutcome::Granted => {}
+        RwOutcome::Busy { .. } => return blocked_thread(locks, h, t),
+        RwOutcome::WouldDeadlock => return abort_thread(locks, h, t),
+    }
+    // Lock held: refresh committed view, then APP;PUSH eagerly.
+    pull_committed_lenient(h)?;
+    let op = match h.app_method(&method) {
+        Ok(op) => op,
+        Err(MachineError::NoAllowedResult(_)) => return abort_thread(locks, h, t),
+        Err(e) => return Err(e),
+    };
+    match h.push(op) {
+        Ok(()) => {
+            t.blocked_streak = 0;
+            Ok(Tick::Progress)
+        }
+        Err(e) if is_conflict(&e) => {
+            // Shared-read vs shared-read pushes always commute, so
+            // this only fires for exotic interleavings the lock order
+            // didn't cover; treat as a wait.
+            h.unapp()?;
+            blocked_thread(locks, h, t)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 impl TwoPhaseLocking {
@@ -69,9 +166,8 @@ impl TwoPhaseLocking {
         }
         Self {
             machine,
-            locks: RwLockTable::new(),
-            blocked_streak: vec![0; n],
-            stats: SystemStats::default(),
+            locks: Mutex::new(RwLockTable::new()),
+            threads: vec![TplThread::default(); n],
         }
     }
 
@@ -80,75 +176,29 @@ impl TwoPhaseLocking {
         &self.machine
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        self.threads.iter().map(|t| t.stats).sum()
     }
+}
 
-    fn abort(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        let txn = self.machine.thread(tid)?.txn();
-        self.machine.abort_and_retry(tid)?;
-        self.locks.release_all(txn);
-        self.blocked_streak[tid.0] = 0;
-        self.stats.aborts += 1;
-        Ok(Tick::Aborted)
-    }
-
-    fn blocked(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        self.blocked_streak[tid.0] += 1;
-        self.stats.blocked_ticks += 1;
-        if self.blocked_streak[tid.0] >= BLOCK_ABORT_THRESHOLD {
-            return self.abort(tid);
+impl Clone for TwoPhaseLocking {
+    fn clone(&self) -> Self {
+        Self {
+            machine: self.machine.clone(),
+            locks: Mutex::new(self.locks.lock().expect("lock table poisoned").clone()),
+            threads: self.threads.clone(),
         }
-        Ok(Tick::Blocked)
     }
 }
 
 impl TmSystem for TwoPhaseLocking {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        if self.machine.thread(tid)?.is_done() {
-            return Ok(Tick::Done);
-        }
-        let txn = self.machine.thread(tid)?.txn();
-        let options = self.machine.step_options(tid)?;
-        if options.is_empty() {
-            let committed = self.machine.commit(tid)?;
-            self.locks.release_all(committed);
-            self.blocked_streak[tid.0] = 0;
-            self.stats.commits += 1;
-            return Ok(Tick::Committed);
-        }
-        let method = options[0].0;
-        let (loc, mode) = match method {
-            MemMethod::Read(l) => (l, Mode::Shared),
-            MemMethod::Write(l, _) => (l, Mode::Exclusive),
-        };
-        match self.locks.try_lock(txn, loc, mode) {
-            RwOutcome::Granted => {}
-            RwOutcome::Busy { .. } => return self.blocked(tid),
-            RwOutcome::WouldDeadlock => return self.abort(tid),
-        }
-        // Lock held: refresh committed view, then APP;PUSH eagerly.
-        pull_committed_lenient(&mut self.machine, tid)?;
-        let op = match self.machine.app_method(tid, &method) {
-            Ok(op) => op,
-            Err(MachineError::NoAllowedResult(_)) => return self.abort(tid),
-            Err(e) => return Err(e),
-        };
-        match self.machine.push(tid, op) {
-            Ok(()) => {
-                self.blocked_streak[tid.0] = 0;
-                Ok(Tick::Progress)
-            }
-            Err(e) if is_conflict(&e) => {
-                // Shared-read vs shared-read pushes always commute, so
-                // this only fires for exotic interleavings the lock order
-                // didn't cover; treat as a wait.
-                self.machine.unapp(tid)?;
-                self.blocked(tid)
-            }
-            Err(e) => Err(e),
-        }
+        tick_thread(
+            &self.locks,
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -156,12 +206,28 @@ impl TmSystem for TwoPhaseLocking {
     }
 
     fn is_done(&self) -> bool {
-        (0..self.machine.thread_count())
-            .all(|t| self.machine.thread(ThreadId(t)).map(|t| t.is_done()).unwrap_or(true))
+        (0..self.machine.thread_count()).all(|t| {
+            self.machine
+                .thread(ThreadId(t))
+                .map(|t| t.is_done())
+                .unwrap_or(true)
+        })
     }
 
     fn name(&self) -> &'static str {
         "two-phase-locking"
+    }
+}
+
+impl ParallelSystem for TwoPhaseLocking {
+    fn workers(&mut self) -> Vec<Worker<'_>> {
+        let locks = &self.locks;
+        self.machine
+            .handles_mut()
+            .iter_mut()
+            .zip(self.threads.iter_mut())
+            .map(|(h, t)| Box::new(move || tick_thread(locks, h, t)) as Worker<'_>)
+            .collect()
     }
 }
 
@@ -206,7 +272,10 @@ mod tests {
         let mut sys = TwoPhaseLocking::new(vec![rmw(0, 1), rmw(0, 2)]);
         run_round_robin(&mut sys, 4000);
         assert_eq!(sys.stats().commits, 2);
-        assert!(sys.stats().blocked_ticks > 0, "second RMW must wait on the lock");
+        assert!(
+            sys.stats().blocked_ticks > 0,
+            "second RMW must wait on the lock"
+        );
         let audit = sys.machine().audit();
         assert_eq!(audit.violated_count(Rule::Push, Clause::Ii), 0);
         assert_eq!(audit.violated_count(Rule::Push, Clause::Iii), 0);
@@ -223,7 +292,10 @@ mod tests {
         sys.tick(ThreadId(1)).unwrap();
         run_round_robin(&mut sys, 4000);
         assert_eq!(sys.stats().commits, 2);
-        assert!(sys.stats().aborts >= 1, "conversion deadlock must abort someone");
+        assert!(
+            sys.stats().aborts >= 1,
+            "conversion deadlock must abort someone"
+        );
         assert!(check_machine(sys.machine()).is_serializable());
     }
 
@@ -231,7 +303,7 @@ mod tests {
     fn runs_are_opaque() {
         let mut sys = TwoPhaseLocking::new(vec![rmw(0, 1), rmw(1, 2)]);
         run_round_robin(&mut sys, 2000);
-        assert_eq!(check_trace(sys.machine().trace()), OpacityVerdict::Opaque);
+        assert_eq!(check_trace(&sys.machine().trace()), OpacityVerdict::Opaque);
     }
 
     #[test]
@@ -251,7 +323,10 @@ mod tests {
                 assert!(ticks < 1_000_000, "seed {seed} diverged");
             }
             assert_eq!(sys.stats().commits, 3, "seed {seed}");
-            assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+            assert!(
+                check_machine(sys.machine()).is_serializable(),
+                "seed {seed}"
+            );
         }
     }
 }

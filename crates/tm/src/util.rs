@@ -2,9 +2,9 @@
 
 use pushpull_core::error::MachineError;
 use pushpull_core::log::GlobalFlag;
-use pushpull_core::machine::Machine;
-use pushpull_core::op::{OpId, ThreadId};
+use pushpull_core::op::OpId;
 use pushpull_core::spec::SeqSpec;
+use pushpull_core::TxnHandle;
 
 /// Pulls every *committed* global operation not yet in the thread's local
 /// log, in global-log order, skipping (rather than failing on) operations
@@ -16,25 +16,25 @@ use pushpull_core::spec::SeqSpec;
 /// failure, which the drivers treat as a conflict. Returns the number of
 /// operations pulled.
 ///
+/// Takes the thread's own [`TxnHandle`], so concurrent workers can refresh
+/// their snapshots without serializing through the whole machine:
+/// committed entries never leave the shared log, so the candidate list
+/// stays valid even while other threads push and commit.
+///
 /// # Errors
 ///
-/// Propagates only structural errors (bad thread id); criterion failures
-/// are skipped by design.
-pub fn pull_committed_lenient<S: SeqSpec>(
-    m: &mut Machine<S>,
-    tid: ThreadId,
-) -> Result<usize, MachineError> {
-    let candidates: Vec<OpId> = {
-        let t = m.thread(tid)?;
-        m.global()
-            .iter()
-            .filter(|e| e.flag == GlobalFlag::Committed && !t.local().contains_id(e.op.id))
-            .map(|e| e.op.id)
-            .collect()
-    };
+/// Propagates only structural errors; criterion failures are skipped by
+/// design.
+pub fn pull_committed_lenient<S: SeqSpec>(h: &mut TxnHandle<S>) -> Result<usize, MachineError> {
+    let candidates: Vec<OpId> = h
+        .global_snapshot()
+        .iter()
+        .filter(|e| e.flag == GlobalFlag::Committed && !h.local().contains_id(e.op.id))
+        .map(|e| e.op.id)
+        .collect();
     let mut pulled = 0;
     for id in candidates {
-        match m.pull(tid, id) {
+        match h.pull(id) {
             Ok(()) => pulled += 1,
             Err(MachineError::Criterion(_)) => {}
             Err(e) => return Err(e),
@@ -53,6 +53,7 @@ pub fn is_conflict(e: &MachineError) -> bool {
 mod tests {
     use super::*;
     use pushpull_core::lang::Code;
+    use pushpull_core::machine::Machine;
     use pushpull_core::toy::{CounterMethod, ToyCounter};
 
     #[test]
@@ -69,7 +70,7 @@ mod tests {
         m.app_auto(b).unwrap();
         // Pulling a's committed inc now violates PULL (iii): b's get(=0)
         // does not move right of inc. Lenient pull skips it.
-        let pulled = pull_committed_lenient(&mut m, b).unwrap();
+        let pulled = pull_committed_lenient(m.handle_mut(b).unwrap()).unwrap();
         assert_eq!(pulled, 0);
     }
 
@@ -81,7 +82,7 @@ mod tests {
         let ia = m.app_auto(a).unwrap();
         m.push(a, ia).unwrap();
         m.commit(a).unwrap();
-        let pulled = pull_committed_lenient(&mut m, b).unwrap();
+        let pulled = pull_committed_lenient(m.handle_mut(b).unwrap()).unwrap();
         assert_eq!(pulled, 1);
     }
 }

@@ -21,7 +21,11 @@ fn banner(s: &str) {
 
 fn show(r: &RunReport) {
     println!("{r}");
-    assert!(r.serializability.is_serializable(), "oracle failure: {}", r.serializability);
+    assert!(
+        r.serializability.is_serializable(),
+        "oracle failure: {}",
+        r.serializability
+    );
     assert!(r.outcome.completed, "{} did not complete", r.algorithm);
 }
 
@@ -54,7 +58,10 @@ fn main() {
         let mut sys = BoostingSystem::new(KvMap::new(), base.kvmap_disjoint_programs());
         let r = run_reported(&mut sys, 2, 2_000_000, |s| s.stats(), |s| s.machine()).unwrap();
         show(&r);
-        assert_eq!(r.stats.aborts, 0, "disjoint keys must never abort under boosting");
+        assert_eq!(
+            r.stats.aborts, 0,
+            "disjoint keys must never abort under boosting"
+        );
         let mut sys = OptimisticSystem::new(
             KvMap::new(),
             base.kvmap_disjoint_programs(),
@@ -65,7 +72,11 @@ fn main() {
 
     banner("read-mostly memory workload (90% reads — optimism's home turf)");
     {
-        let read_mostly = WorkloadSpec { read_ratio: 0.9, key_range: 16, ..base };
+        let read_mostly = WorkloadSpec {
+            read_ratio: 0.9,
+            key_range: 16,
+            ..base
+        };
         let mut sys = OptimisticSystem::new(
             RwMem::new(),
             read_mostly.rwmem_programs(),
@@ -78,7 +89,11 @@ fn main() {
         show(&run_reported(&mut sys, 3, 2_000_000, |s| s.stats(), |s| s.machine()).unwrap());
         let mut sys = Tl2System::new(read_mostly.rwmem_programs());
         let r = run_reported(&mut sys, 3, 2_000_000, |s| s.stats(), |s| s.machine()).unwrap();
-        assert_eq!(sys.criteria_surprises(), 0, "TL2 validation must approximate the criteria soundly");
+        assert_eq!(
+            sys.criteria_surprises(),
+            0,
+            "TL2 validation must approximate the criteria soundly"
+        );
         show(&r);
         let mut sys = TwoPhaseLocking::new(read_mostly.rwmem_programs());
         show(&run_reported(&mut sys, 3, 2_000_000, |s| s.stats(), |s| s.machine()).unwrap());
@@ -86,7 +101,11 @@ fn main() {
 
     banner("write-heavy memory workload (10% reads)");
     {
-        let write_heavy = WorkloadSpec { read_ratio: 0.1, key_range: 4, ..base };
+        let write_heavy = WorkloadSpec {
+            read_ratio: 0.1,
+            key_range: 4,
+            ..base
+        };
         let mut sys = OptimisticSystem::new(
             RwMem::new(),
             write_heavy.rwmem_programs(),

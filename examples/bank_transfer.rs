@@ -51,7 +51,12 @@ fn main() {
     print!("{}", sys.machine().trace().render());
 
     let report = check_machine(sys.machine());
-    println!("\ncommits={} aborts={} blocked={}", sys.stats().commits, sys.stats().aborts, sys.stats().blocked_ticks);
+    println!(
+        "\ncommits={} aborts={} blocked={}",
+        sys.stats().commits,
+        sys.stats().aborts,
+        sys.stats().blocked_ticks
+    );
     println!("serializability oracle: {report}");
     assert!(report.is_serializable());
     assert_eq!(sys.stats().commits, 9);
@@ -77,7 +82,12 @@ fn main() {
     // returned false must be matched against its deposit.)
     let failed_withdraws = committed
         .iter()
-        .filter(|o| matches!((o.method, o.ret), (BankMethod::Withdraw(_, _), BankRet::Ok(false))))
+        .filter(|o| {
+            matches!(
+                (o.method, o.ret),
+                (BankMethod::Withdraw(_, _), BankRet::Ok(false))
+            )
+        })
         .count() as i64;
     assert_eq!(
         total,

@@ -52,7 +52,14 @@ fn main() {
     // it has applied+pushed, so the trace shows UNPUSH ; UNAPP (the
     // "inverse operation" of the paper).
     // First let T2 make one step (APP+PUSH)…
-    while sys.machine().trace().rule_names(ThreadId(2)).iter().filter(|n| **n == "PUSH").count() == 0
+    while sys
+        .machine()
+        .trace()
+        .rule_names(ThreadId(2))
+        .iter()
+        .filter(|n| **n == "PUSH")
+        .count()
+        == 0
     {
         sys.tick(ThreadId(2)).expect("tick");
     }
@@ -64,7 +71,10 @@ fn main() {
 
     println!("=== Figure 2 rule decomposition, per thread ===");
     for t in 0..sys.thread_count() {
-        println!("T{t}: {}", sys.machine().trace().rule_names(ThreadId(t)).join(" -> "));
+        println!(
+            "T{t}: {}",
+            sys.machine().trace().rule_names(ThreadId(t)).join(" -> ")
+        );
     }
     println!("\n=== full trace ===");
     print!("{}", sys.machine().trace().render());
@@ -78,7 +88,12 @@ fn main() {
 
     // Every transaction committed, serializably.
     let report = check_machine(sys.machine());
-    println!("\ncommits={} aborts={} blocked-ticks={}", sys.stats().commits, sys.stats().aborts, sys.stats().blocked_ticks);
+    println!(
+        "\ncommits={} aborts={} blocked-ticks={}",
+        sys.stats().commits,
+        sys.stats().aborts,
+        sys.stats().blocked_ticks
+    );
     println!("serializability oracle: {report}");
     assert!(report.is_serializable());
     assert_eq!(sys.stats().commits, 3);
@@ -92,7 +107,11 @@ fn main() {
             MapMethod::Put(k, v) => {
                 let prev = base.with(|m| m.insert(k, v));
                 // The model recorded exactly this previous binding.
-                assert_eq!(MapRet::Prev(prev), op.ret, "model/substrate divergence at {op:?}");
+                assert_eq!(
+                    MapRet::Prev(prev),
+                    op.ret,
+                    "model/substrate divergence at {op:?}"
+                );
             }
             MapMethod::Remove(k) => {
                 let prev = base.with(|m| m.remove(&k));

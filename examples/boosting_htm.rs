@@ -84,7 +84,11 @@ fn main() {
     m.pull(main_t, hasht_setup_op).unwrap();
 
     // APP(hashT.map(foo=>bar)); PUSH(hashT.map(foo=>bar)).
-    let put = app(&mut m, main_t, methods::hash_table(MapMethod::Put(FOO, BAR)));
+    let put = app(
+        &mut m,
+        main_t,
+        methods::hash_table(MapMethod::Put(FOO, BAR)),
+    );
     m.push(main_t, put).unwrap();
 
     // Take the x++ branch: APP(x++).
@@ -99,8 +103,14 @@ fn main() {
     // the boosted skiplist/hashtable effects STAY.
     m.unpush(main_t, x_inc).unwrap();
     m.unpush(main_t, size_inc).unwrap();
-    assert!(m.global().contains_id(insert), "boosted insert must remain pushed");
-    assert!(m.global().contains_id(put), "boosted put must remain pushed");
+    assert!(
+        m.global().contains_id(insert),
+        "boosted insert must remain pushed"
+    );
+    assert!(
+        m.global().contains_id(put),
+        "boosted put must remain pushed"
+    );
 
     // Rewind some code: UNAPP(x++).
     m.unapp(main_t).unwrap();
@@ -136,8 +146,8 @@ fn main() {
             "APP",  // x++
             "PUSH", "PUSH", // push HTM ops: size++, x++
             "UNPUSH", "UNPUSH", // HTM abort
-            "UNAPP", // rewind x++
-            "APP",  // y++
+            "UNAPP",  // rewind x++
+            "APP",    // y++
             "PUSH", "PUSH", // uninterleaved commit: size++, y++
             "CMT",
         ]

@@ -45,7 +45,11 @@ fn main() {
 
     sys.tick(b).unwrap(); // B: APP(get) — observes the uncommitted 1!
     let t = sys.tick(b).unwrap(); // B tries to commit…
-    assert_eq!(t, Tick::Blocked, "CMT criterion (iii) gates on the dependency");
+    assert_eq!(
+        t,
+        Tick::Blocked,
+        "CMT criterion (iii) gates on the dependency"
+    );
     println!("B blocked at commit: pulled op still uncommitted (CMT criterion (iii))");
 
     while sys.machine().thread(a).unwrap().commits() == 0 {
@@ -55,7 +59,7 @@ fn main() {
 
     print!("\n{}", sys.machine().trace().render());
     let report = check_machine(sys.machine());
-    let opacity = check_trace(sys.machine().trace());
+    let opacity = check_trace(&sys.machine().trace());
     println!("\nserializability: {report}");
     println!("opacity: {opacity:?}  (expected: NOT opaque — an uncommitted pull happened)");
     assert!(report.is_serializable());

@@ -26,7 +26,11 @@ fn main() {
         read_ratio: 0.5,
         seed: 11,
     };
-    let read_mostly = WorkloadSpec { read_ratio: 0.9, key_range: 16, ..contended };
+    let read_mostly = WorkloadSpec {
+        read_ratio: 0.9,
+        key_range: 16,
+        ..contended
+    };
 
     println!("== contended map workload (6 keys, 50% reads), 10 seeds ==");
     println!(
@@ -42,8 +46,11 @@ fn main() {
     println!(
         "{}",
         sweep("optimistic-snapshot", SEEDS, |seed| {
-            let mut sys =
-                OptimisticSystem::new(KvMap::new(), contended.kvmap_programs(), ReadPolicy::Snapshot);
+            let mut sys = OptimisticSystem::new(
+                KvMap::new(),
+                contended.kvmap_programs(),
+                ReadPolicy::Snapshot,
+            );
             let out = run(&mut sys, &mut RandomSched::new(seed), BUDGET).unwrap();
             assert!(out.completed);
             assert!(check_machine(sys.machine()).is_serializable());
@@ -53,8 +60,11 @@ fn main() {
     println!(
         "{}",
         sweep("optimistic-refresh", SEEDS, |seed| {
-            let mut sys =
-                OptimisticSystem::new(KvMap::new(), contended.kvmap_programs(), ReadPolicy::Refresh);
+            let mut sys = OptimisticSystem::new(
+                KvMap::new(),
+                contended.kvmap_programs(),
+                ReadPolicy::Refresh,
+            );
             let out = run(&mut sys, &mut RandomSched::new(seed), BUDGET).unwrap();
             assert!(out.completed);
             assert!(check_machine(sys.machine()).is_serializable());
@@ -76,8 +86,11 @@ fn main() {
     println!(
         "{}",
         sweep("optimistic-snapshot", SEEDS, |seed| {
-            let mut sys =
-                OptimisticSystem::new(RwMem::new(), read_mostly.rwmem_programs(), ReadPolicy::Snapshot);
+            let mut sys = OptimisticSystem::new(
+                RwMem::new(),
+                read_mostly.rwmem_programs(),
+                ReadPolicy::Snapshot,
+            );
             let out = run(&mut sys, &mut RandomSched::new(seed), BUDGET).unwrap();
             assert!(out.completed);
             assert!(check_machine(sys.machine()).is_serializable());
@@ -117,12 +130,19 @@ fn main() {
     );
 
     println!("\n== write-heavy memory workload (4 locs, 10% reads), 10 seeds ==");
-    let write_heavy = WorkloadSpec { read_ratio: 0.1, key_range: 4, ..contended };
+    let write_heavy = WorkloadSpec {
+        read_ratio: 0.1,
+        key_range: 4,
+        ..contended
+    };
     println!(
         "{}",
         sweep("optimistic-snapshot", SEEDS, |seed| {
-            let mut sys =
-                OptimisticSystem::new(RwMem::new(), write_heavy.rwmem_programs(), ReadPolicy::Snapshot);
+            let mut sys = OptimisticSystem::new(
+                RwMem::new(),
+                write_heavy.rwmem_programs(),
+                ReadPolicy::Snapshot,
+            );
             let out = run(&mut sys, &mut RandomSched::new(seed), BUDGET).unwrap();
             assert!(out.completed);
             assert!(check_machine(sys.machine()).is_serializable());

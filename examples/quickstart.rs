@@ -22,11 +22,7 @@ fn main() {
             Code::method(CtrMethod::Get),
         ])]
     };
-    let mut sys = OptimisticSystem::new(
-        Counter::new(),
-        vec![prog(), prog()],
-        ReadPolicy::Snapshot,
-    );
+    let mut sys = OptimisticSystem::new(Counter::new(), vec![prog(), prog()], ReadPolicy::Snapshot);
 
     run(&mut sys, &mut RoundRobin, 10_000).expect("machine rules misused");
 
@@ -35,14 +31,17 @@ fn main() {
 
     println!("\n=== per-thread rule decomposition ===");
     for t in 0..sys.thread_count() {
-        println!("T{t}: {}", sys.machine().trace().rule_names(ThreadId(t)).join(" -> "));
+        println!(
+            "T{t}: {}",
+            sys.machine().trace().rule_names(ThreadId(t)).join(" -> ")
+        );
     }
 
     let report = check_machine(sys.machine());
     println!("\ncommits: {}", sys.stats().commits);
     println!("aborts:  {}", sys.stats().aborts);
     println!("serializability oracle: {report}");
-    println!("opacity: {:?}", check_trace(sys.machine().trace()));
+    println!("opacity: {:?}", check_trace(&sys.machine().trace()));
 
     assert!(report.is_serializable());
     assert_eq!(sys.stats().commits, 2);

@@ -30,7 +30,12 @@ fn app_requires_step_membership() {
     let mut m = Machine::new(Counter::new());
     let t = m.add_thread(vec![Code::method(CtrMethod::Get)]);
     let err = m
-        .app(t, CtrMethod::Add(1), Code::Skip, pushpull::spec::counter::CtrRet::Ack)
+        .app(
+            t,
+            CtrMethod::Add(1),
+            Code::Skip,
+            pushpull::spec::counter::CtrRet::Ack,
+        )
         .unwrap_err();
     assert!(matches!(err, MachineError::NoSuchStep(_)));
 }
@@ -235,14 +240,20 @@ fn structural_refusals() {
     use pushpull::core::op::ThreadId;
     let mut m = Machine::new(Counter::new());
     let t = m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
-    assert!(matches!(m.push(t, OpId(99)), Err(MachineError::NoSuchOp(_))));
+    assert!(matches!(
+        m.push(t, OpId(99)),
+        Err(MachineError::NoSuchOp(_))
+    ));
     assert!(matches!(m.unapp(t), Err(MachineError::NothingToUnapply(_))));
     assert!(matches!(
         m.app_auto(ThreadId(7)),
         Err(MachineError::NoSuchThread(_))
     ));
     let op = m.app_auto(t).unwrap();
-    assert!(matches!(m.unpush(t, op), Err(MachineError::WrongFlag { .. })));
+    assert!(matches!(
+        m.unpush(t, op),
+        Err(MachineError::WrongFlag { .. })
+    ));
     // Pulling one's own op is refused.
     m.push(t, op).unwrap();
     assert!(matches!(m.pull(t, op), Err(MachineError::WrongFlag { .. })));

@@ -33,7 +33,7 @@ fn commit_gated_on_dependency() {
     sys.tick(b).unwrap(); // begin: pulls the uncommitted add
     assert_eq!(sys.dependencies(b).len(), 1);
     sys.tick(b).unwrap(); // get observes the uncommitted 1
-    // B cannot commit while A is uncommitted.
+                          // B cannot commit while A is uncommitted.
     for _ in 0..3 {
         assert_eq!(sys.tick(b).unwrap(), Tick::Blocked);
     }
@@ -46,7 +46,12 @@ fn commit_gated_on_dependency() {
     let report = check_machine(sys.machine());
     assert!(report.is_serializable(), "{report}");
     // Commit order must put A before B.
-    let order: Vec<ThreadId> = sys.machine().committed_txns().iter().map(|t| t.thread).collect();
+    let order: Vec<ThreadId> = sys
+        .machine()
+        .committed_txns()
+        .iter()
+        .map(|t| t.thread)
+        .collect();
     assert_eq!(order, vec![a, b]);
     // And B really read the dependent value.
     assert_eq!(sys.machine().committed_txns()[1].ops[0].ret, CtrRet::Val(1));
@@ -62,7 +67,13 @@ fn cascade_is_a_partial_rewind() {
     sys.tick(a).unwrap();
     sys.tick(b).unwrap();
     sys.tick(b).unwrap(); // B: pulled + get applied
-    let apps_before = sys.machine().trace().rule_names(b).iter().filter(|n| **n == "APP").count();
+    let apps_before = sys
+        .machine()
+        .trace()
+        .rule_names(b)
+        .iter()
+        .filter(|n| **n == "APP")
+        .count();
     sys.force_abort(a);
     sys.tick(a).unwrap();
     // B detangles: exactly one UNAPP (the get) + one UNPULL — not a full

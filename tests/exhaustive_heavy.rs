@@ -30,10 +30,13 @@ fn three_thread_optimistic_counter_exhaustive() {
     );
     let report = explore(
         &sys,
-        ExploreLimits { max_depth: 60, max_terminals: 2_000_000 },
+        ExploreLimits {
+            max_depth: 60,
+            max_terminals: 2_000_000,
+        },
         &mut |s| {
             check_machine(s.machine()).is_serializable()
-                && check_trace(s.machine().trace()).is_opaque()
+                && check_trace(&s.machine().trace()).is_opaque()
         },
     )
     .unwrap();
@@ -60,7 +63,10 @@ fn three_thread_boosting_map_exhaustive() {
     );
     let report = explore(
         &sys,
-        ExploreLimits { max_depth: 64, max_terminals: 2_000_000 },
+        ExploreLimits {
+            max_depth: 64,
+            max_terminals: 2_000_000,
+        },
         &mut |s| check_machine(s.machine()).is_serializable(),
     )
     .unwrap();
@@ -86,7 +92,10 @@ fn rmw_pair_longer_transactions_exhaustive() {
     );
     let report = explore(
         &sys,
-        ExploreLimits { max_depth: 72, max_terminals: 2_000_000 },
+        ExploreLimits {
+            max_depth: 72,
+            max_terminals: 2_000_000,
+        },
         &mut |s| check_machine(s.machine()).is_serializable(),
     )
     .unwrap();

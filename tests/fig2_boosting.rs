@@ -31,10 +31,10 @@ fn put_decomposes_as_app_push_cmt() {
 /// a clean retry.
 #[test]
 fn abort_decomposes_as_unpush_unapp() {
-    let mut sys = BoostingSystem::new(KvMap::new(), vec![vec![Code::seq_all(vec![
-        put(1, 100),
-        put(2, 200),
-    ])]]);
+    let mut sys = BoostingSystem::new(
+        KvMap::new(),
+        vec![vec![Code::seq_all(vec![put(1, 100), put(2, 200)])]],
+    );
     assert_eq!(sys.tick(ThreadId(0)).unwrap(), Tick::Progress); // put(1): APP;PUSH
     sys.force_abort(ThreadId(0));
     assert_eq!(sys.tick(ThreadId(0)).unwrap(), Tick::Aborted);
@@ -91,11 +91,19 @@ fn all_interleavings_serializable() {
             vec![Code::seq_all(vec![put(2, 20), get(1)])],
         ],
     );
-    let report = explore(&sys, ExploreLimits { max_depth: 40, max_terminals: 4_000 }, &mut |s| {
-        check_machine(s.machine()).is_serializable()
-    })
+    let report = explore(
+        &sys,
+        ExploreLimits {
+            max_depth: 40,
+            max_terminals: 4_000,
+        },
+        &mut |s| check_machine(s.machine()).is_serializable(),
+    )
     .unwrap();
-    assert!(report.terminals > 5, "too few interleavings explored: {report:?}");
+    assert!(
+        report.terminals > 5,
+        "too few interleavings explored: {report:?}"
+    );
     assert!(report.all_ok(), "{report:?}");
 }
 
@@ -131,18 +139,24 @@ fn committed_log_mirrors_into_substrate() {
 #[test]
 fn reads_observe_predecessors_value() {
     for seed in 1..20u64 {
-        let mut sys = BoostingSystem::new(
-            KvMap::new(),
-            vec![vec![put(7, 42)], vec![get(7)]],
-        );
+        let mut sys = BoostingSystem::new(KvMap::new(), vec![vec![put(7, 42)], vec![get(7)]]);
         run(&mut sys, &mut RandomSched::new(seed), 100_000).unwrap();
         assert_eq!(sys.stats().commits, 2);
         let committed = sys.machine().committed_txns();
-        let put_pos = committed.iter().position(|t| t.thread == ThreadId(0)).unwrap();
+        let put_pos = committed
+            .iter()
+            .position(|t| t.thread == ThreadId(0))
+            .unwrap();
         let get_txn = committed.iter().find(|t| t.thread == ThreadId(1)).unwrap();
-        let get_pos = committed.iter().position(|t| t.thread == ThreadId(1)).unwrap();
+        let get_pos = committed
+            .iter()
+            .position(|t| t.thread == ThreadId(1))
+            .unwrap();
         let expected = if put_pos < get_pos { Some(42) } else { None };
         assert_eq!(get_txn.ops[0].ret, MapRet::Val(expected), "seed {seed}");
-        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+        assert!(
+            check_machine(sys.machine()).is_serializable(),
+            "seed {seed}"
+        );
     }
 }

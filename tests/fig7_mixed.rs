@@ -31,12 +31,18 @@ fn figure7_rule_sequence_is_admissible() {
         ),
     ])]);
 
-    let insert = m.app_method(t, &methods::skiplist(SetMethod::Add(1))).unwrap();
+    let insert = m
+        .app_method(t, &methods::skiplist(SetMethod::Add(1)))
+        .unwrap();
     m.push(t, insert).unwrap();
     let size_inc = m.app_method(t, &methods::size(CtrMethod::Add(1))).unwrap();
-    let put = m.app_method(t, &methods::hash_table(MapMethod::Put(1, 2))).unwrap();
+    let put = m
+        .app_method(t, &methods::hash_table(MapMethod::Put(1, 2)))
+        .unwrap();
     m.push(t, put).unwrap();
-    let x_inc = m.app_method(t, &methods::mem(MemMethod::Write(Loc(0), 1))).unwrap();
+    let x_inc = m
+        .app_method(t, &methods::mem(MemMethod::Write(Loc(0), 1)))
+        .unwrap();
 
     // Push HTM ops (out of local order relative to `put`: size_inc was
     // applied before put but is pushed after — PUSH criterion (i) is
@@ -59,7 +65,9 @@ fn figure7_rule_sequence_is_admissible() {
     assert_eq!(m.thread(t).unwrap().local().len(), 3);
 
     // March forward down the other branch and commit.
-    let y_inc = m.app_method(t, &methods::mem(MemMethod::Write(Loc(1), 1))).unwrap();
+    let y_inc = m
+        .app_method(t, &methods::mem(MemMethod::Write(Loc(1), 1)))
+        .unwrap();
     m.push(t, size_inc).unwrap();
     m.push(t, y_inc).unwrap();
     m.commit(t).unwrap();
@@ -82,7 +90,10 @@ fn figure7_rule_sequence_is_admissible() {
 #[test]
 fn unapp_requires_unpush_first() {
     let mut m: Machine<MixedSpec> = Machine::new(mixed_spec());
-    let t = m.add_thread(vec![Code::method(methods::mem(MemMethod::Write(Loc(0), 1)))]);
+    let t = m.add_thread(vec![Code::method(methods::mem(MemMethod::Write(
+        Loc(0),
+        1,
+    )))]);
     let w = m.app_auto(t).unwrap();
     m.push(t, w).unwrap();
     assert!(m.unapp(t).is_err(), "pushed op cannot be unapplied");
@@ -123,10 +134,7 @@ fn mixed_driver_serializable_under_random_interleavings() {
                 Code::method(methods::mem(MemMethod::Write(Loc(x), 1))),
             ])]
         };
-        let mut sys = MixedSystem::new(
-            mixed_spec(),
-            vec![prog(1, 0), prog(2, 0), prog(3, 1)],
-        );
+        let mut sys = MixedSystem::new(mixed_spec(), vec![prog(1, 0), prog(2, 0), prog(3, 1)]);
         run(&mut sys, &mut RandomSched::new(seed), 400_000).unwrap();
         assert!(sys.is_done(), "seed {seed} did not finish");
         assert_eq!(sys.stats().commits, 3, "seed {seed}");

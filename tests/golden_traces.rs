@@ -4,12 +4,16 @@
 //! assignment or rendering shows up here.
 
 use pushpull::core::lang::Code;
+use pushpull::core::serializability::check_machine;
 use pushpull::core::Machine;
+use pushpull::harness::{run, RandomSched};
 use pushpull::spec::counter::CtrMethod;
-use pushpull::spec::kvmap::MapMethod;
-use pushpull::spec::rwmem::{Loc, MemMethod};
+use pushpull::spec::kvmap::{KvMap, MapMethod};
+use pushpull::spec::rwmem::{Loc, MemMethod, RwMem};
 use pushpull::spec::set::SetMethod;
 use pushpull::tm::mixed::{methods, mixed_spec};
+use pushpull::tm::optimistic::{OptimisticSystem, ReadPolicy};
+use pushpull::tm::BoostingSystem;
 
 /// Figure 7, scripted, with the golden rendering.
 #[test]
@@ -25,18 +29,26 @@ fn figure7_golden_trace() {
         ),
     ])]);
 
-    let insert = m.app_method(t, &methods::skiplist(SetMethod::Add(1))).unwrap();
+    let insert = m
+        .app_method(t, &methods::skiplist(SetMethod::Add(1)))
+        .unwrap();
     m.push(t, insert).unwrap();
     let size_inc = m.app_method(t, &methods::size(CtrMethod::Add(1))).unwrap();
-    let put = m.app_method(t, &methods::hash_table(MapMethod::Put(1, 2))).unwrap();
+    let put = m
+        .app_method(t, &methods::hash_table(MapMethod::Put(1, 2)))
+        .unwrap();
     m.push(t, put).unwrap();
-    let x_inc = m.app_method(t, &methods::mem(MemMethod::Write(Loc(0), 1))).unwrap();
+    let x_inc = m
+        .app_method(t, &methods::mem(MemMethod::Write(Loc(0), 1)))
+        .unwrap();
     m.push(t, size_inc).unwrap();
     m.push(t, x_inc).unwrap();
     m.unpush(t, x_inc).unwrap();
     m.unpush(t, size_inc).unwrap();
     m.unapp(t).unwrap();
-    let y_inc = m.app_method(t, &methods::mem(MemMethod::Write(Loc(1), 1))).unwrap();
+    let y_inc = m
+        .app_method(t, &methods::mem(MemMethod::Write(Loc(1), 1)))
+        .unwrap();
     m.push(t, size_inc).unwrap();
     m.push(t, y_inc).unwrap();
     m.commit(t).unwrap();
@@ -65,7 +77,6 @@ T0: CMT t0 [#0, #2, #1, #4]
 /// Figure 2's put/get/abort cycle, golden.
 #[test]
 fn figure2_golden_trace() {
-    use pushpull::spec::kvmap::KvMap;
     let mut m = Machine::new(KvMap::new());
     let t = m.add_thread(vec![Code::seq(
         Code::method(MapMethod::Put(1, 100)),
@@ -98,4 +109,87 @@ T0: PUSH(get(1)#2)
 T0: CMT t1 [#1, #2]
 ";
     assert_eq!(m.trace().render(), expected);
+}
+
+/// The incremental (committed-prefix cached) and full-replay `allowed`
+/// evaluations must be *observationally identical* on the same
+/// deterministic run: bit-identical trace renderings, bit-identical
+/// audit tallies (discharged, violated, and raw query counts), and the
+/// same serializability-oracle verdict. The cache changes the cost of
+/// the criteria, never their meaning.
+#[test]
+fn incremental_matches_full_replay_on_golden_runs() {
+    fn boosting_run(
+        incremental: bool,
+        seed: u64,
+    ) -> (String, pushpull::core::audit::CriteriaAudit, bool) {
+        let programs: Vec<_> = (0..3u64)
+            .map(|t| {
+                vec![Code::seq_all(vec![
+                    Code::method(MapMethod::Put(t % 2, t as i64)),
+                    Code::method(MapMethod::Get((t + 1) % 2)),
+                ])]
+            })
+            .collect();
+        let mut sys = BoostingSystem::new(KvMap::new(), programs);
+        sys.machine().set_incremental(incremental);
+        run(&mut sys, &mut RandomSched::new(seed), 100_000).unwrap();
+        let m = sys.machine();
+        (
+            m.trace().render(),
+            m.audit(),
+            check_machine(m).is_serializable(),
+        )
+    }
+
+    fn optimistic_run(
+        incremental: bool,
+        seed: u64,
+    ) -> (String, pushpull::core::audit::CriteriaAudit, bool) {
+        let programs: Vec<_> = (0..3u32)
+            .map(|t| {
+                vec![Code::seq_all(vec![
+                    Code::method(MemMethod::Read(Loc(t % 2))),
+                    Code::method(MemMethod::Write(Loc(t % 2), i64::from(t))),
+                ])]
+            })
+            .collect();
+        let mut sys = OptimisticSystem::new(RwMem::new(), programs, ReadPolicy::Snapshot);
+        sys.machine().set_incremental(incremental);
+        run(&mut sys, &mut RandomSched::new(seed), 100_000).unwrap();
+        let m = sys.machine();
+        (
+            m.trace().render(),
+            m.audit(),
+            check_machine(m).is_serializable(),
+        )
+    }
+
+    for seed in 1..=5u64 {
+        let (trace_inc, audit_inc, ok_inc) = boosting_run(true, seed);
+        let (trace_full, audit_full, ok_full) = boosting_run(false, seed);
+        assert_eq!(
+            trace_inc, trace_full,
+            "boosting seed {seed}: traces diverge"
+        );
+        assert_eq!(
+            audit_inc, audit_full,
+            "boosting seed {seed}: audits diverge"
+        );
+        assert_eq!(ok_inc, ok_full, "boosting seed {seed}: verdicts diverge");
+        assert!(ok_inc, "boosting seed {seed}: not serializable");
+
+        let (trace_inc, audit_inc, ok_inc) = optimistic_run(true, seed);
+        let (trace_full, audit_full, ok_full) = optimistic_run(false, seed);
+        assert_eq!(
+            trace_inc, trace_full,
+            "optimistic seed {seed}: traces diverge"
+        );
+        assert_eq!(
+            audit_inc, audit_full,
+            "optimistic seed {seed}: audits diverge"
+        );
+        assert_eq!(ok_inc, ok_full, "optimistic seed {seed}: verdicts diverge");
+        assert!(ok_inc, "optimistic seed {seed}: not serializable");
+    }
 }

@@ -38,7 +38,14 @@ fn run_checked<T: TmSystem>(
 
 #[test]
 fn structural_invariants_hold_on_boosting_runs() {
-    let spec = WorkloadSpec { threads: 3, txns_per_thread: 3, ops_per_txn: 2, key_range: 3, read_ratio: 0.5, seed: 5 };
+    let spec = WorkloadSpec {
+        threads: 3,
+        txns_per_thread: 3,
+        ops_per_txn: 2,
+        key_range: 3,
+        read_ratio: 0.5,
+        seed: 5,
+    };
     for seed in 1..=5u64 {
         let mut sys = BoostingSystem::new(KvMap::new(), spec.kvmap_programs());
         run_checked(&mut sys, seed, 1_000_000, |s, step| {
@@ -50,7 +57,14 @@ fn structural_invariants_hold_on_boosting_runs() {
 
 #[test]
 fn structural_invariants_hold_on_optimistic_runs() {
-    let spec = WorkloadSpec { threads: 3, txns_per_thread: 3, ops_per_txn: 2, key_range: 3, read_ratio: 0.5, seed: 5 };
+    let spec = WorkloadSpec {
+        threads: 3,
+        txns_per_thread: 3,
+        ops_per_txn: 2,
+        key_range: 3,
+        read_ratio: 0.5,
+        seed: 5,
+    };
     for seed in 1..=5u64 {
         let mut sys =
             OptimisticSystem::new(RwMem::new(), spec.rwmem_programs(), ReadPolicy::Snapshot);
@@ -63,7 +77,14 @@ fn structural_invariants_hold_on_optimistic_runs() {
 
 #[test]
 fn structural_invariants_hold_on_pessimistic_and_dependent_runs() {
-    let spec = WorkloadSpec { threads: 2, txns_per_thread: 3, ops_per_txn: 2, key_range: 3, read_ratio: 0.5, seed: 6 };
+    let spec = WorkloadSpec {
+        threads: 2,
+        txns_per_thread: 3,
+        ops_per_txn: 2,
+        key_range: 3,
+        read_ratio: 0.5,
+        seed: 6,
+    };
     for seed in 1..=5u64 {
         let mut sys = MatveevShavitSystem::new(RwMem::new(), spec.rwmem_programs());
         run_checked(&mut sys, seed, 1_000_000, |s, step| {
@@ -89,9 +110,11 @@ fn cmtpres_holds_along_optimistic_run() {
             Code::method(CtrMethod::Get),
         ])]
     };
-    let mut sys =
-        OptimisticSystem::new(Counter::new(), vec![prog(), prog()], ReadPolicy::Snapshot);
-    let limits = RunLimits { max_ops: 3, max_runs: 32 };
+    let mut sys = OptimisticSystem::new(Counter::new(), vec![prog(), prog()], ReadPolicy::Snapshot);
+    let limits = RunLimits {
+        max_ops: 3,
+        max_runs: 32,
+    };
     run_checked(&mut sys, 3, 10_000, |s, step| {
         for t in 0..s.thread_count() {
             assert!(
@@ -118,7 +141,10 @@ fn cmtpres_holds_along_boosting_run() {
         ])],
     ];
     let mut sys = BoostingSystem::new(KvMap::new(), progs);
-    let limits = RunLimits { max_ops: 3, max_runs: 32 };
+    let limits = RunLimits {
+        max_ops: 3,
+        max_runs: 32,
+    };
     run_checked(&mut sys, 7, 10_000, |s, step| {
         for t in 0..s.thread_count() {
             assert!(

@@ -9,32 +9,30 @@
 //! every step. This is the strongest executable form of the paper's main
 //! theorem this reproduction offers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pushpull::core::invariants::check_all;
 use pushpull::core::lang::Code;
 use pushpull::core::log::GlobalFlag;
 use pushpull::core::op::{OpId, ThreadId};
+use pushpull::core::rng::Xorshift64;
 use pushpull::core::serializability::check_machine;
-use pushpull::core::{Machine, MachineError};
 use pushpull::core::spec::SeqSpec as _;
+use pushpull::core::{Machine, MachineError};
 use pushpull::spec::counter::{Counter, CtrMethod};
 use pushpull::spec::kvmap::{KvMap, MapMethod};
 
 /// One random rule attempt. Criterion violations are fine (the rule is
 /// simply not taken); structural errors for targets we chose in-range
 /// are fine too (wrong flag etc.); anything else would be a bug.
-fn random_step<S>(m: &mut Machine<S>, rng: &mut StdRng) -> bool
+fn random_step<S>(m: &mut Machine<S>, rng: &mut Xorshift64) -> bool
 where
     S: pushpull::core::spec::SeqSpec,
 {
     let n = m.thread_count();
-    let tid = ThreadId(rng.gen_range(0..n));
+    let tid = ThreadId(rng.gen_index(n));
     if m.thread(tid).map(|t| t.is_done()).unwrap_or(true) {
         return false;
     }
-    let kind = rng.gen_range(0..8u32);
+    let kind = rng.gen_range(0..8);
     let result: Result<(), MachineError> = match kind {
         // APP
         0 | 1 => m.app_auto(tid).map(|_| ()),
@@ -46,7 +44,7 @@ where
             if ids.is_empty() {
                 return false;
             }
-            let id = ids[rng.gen_range(0..ids.len())];
+            let id = ids[rng.gen_index(ids.len())];
             m.push(tid, id)
         }
         // UNPUSH a random pushed own op
@@ -58,7 +56,7 @@ where
             if ids.is_empty() {
                 return false;
             }
-            let id = ids[rng.gen_range(0..ids.len())];
+            let id = ids[rng.gen_index(ids.len())];
             m.unpush(tid, id)
         }
         // PULL a random foreign global op
@@ -73,7 +71,7 @@ where
             if ids.is_empty() {
                 return false;
             }
-            let id = ids[rng.gen_range(0..ids.len())];
+            let id = ids[rng.gen_index(ids.len())];
             m.pull(tid, id)
         }
         // UNPULL a random pulled op
@@ -85,7 +83,7 @@ where
             if ids.is_empty() {
                 return false;
             }
-            let id = ids[rng.gen_range(0..ids.len())];
+            let id = ids[rng.gen_index(ids.len())];
             m.unpull(tid, id)
         }
         // CMT
@@ -118,7 +116,7 @@ fn drain<S: pushpull::core::spec::SeqSpec>(m: &mut Machine<S>) {
 #[test]
 fn fuzz_counter_machine() {
     for seed in 0..30u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xorshift64::new(seed + 1);
         let mut m = Machine::new(Counter::new());
         for _ in 0..3 {
             m.add_thread(vec![
@@ -147,7 +145,7 @@ fn fuzz_counter_machine() {
 #[test]
 fn fuzz_kvmap_machine() {
     for seed in 0..30u64 {
-        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let mut rng = Xorshift64::new(1000 + seed);
         let mut m = Machine::new(KvMap::new());
         for t in 0..3u64 {
             m.add_thread(vec![
@@ -175,7 +173,7 @@ fn fuzz_kvmap_machine() {
 fn fuzz_commits_nontrivially() {
     let mut total_commits = 0u64;
     for seed in 0..20u64 {
-        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let mut rng = Xorshift64::new(500 + seed);
         let mut m = Machine::new(Counter::new());
         for _ in 0..2 {
             m.add_thread(vec![Code::method(CtrMethod::Add(1))]);
@@ -194,5 +192,8 @@ fn fuzz_commits_nontrivially() {
             .count();
         let _ = uncommitted;
     }
-    assert!(total_commits >= 10, "fuzzer committed almost nothing: {total_commits}");
+    assert!(
+        total_commits >= 10,
+        "fuzzer committed almost nothing: {total_commits}"
+    );
 }

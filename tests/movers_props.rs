@@ -2,14 +2,15 @@
 //! (Definition 4.1), the log precongruence (Definition 3.1), and the
 //! executable lemmas 5.1–5.3 — over randomly generated logs of every
 //! shipped specification.
-
-use proptest::prelude::*;
+//!
+//! Random cases come from the crate's seeded [`Xorshift64`] generator, so
+//! every run checks the same case set and failures reproduce exactly.
 
 use pushpull::core::op::{Op, OpId, TxnId};
 use pushpull::core::precongruence::{
-    lemma_5_1_holds, lemma_5_2_holds, lemma_5_3_holds, precongruent_bounded,
-    precongruent_by_states,
+    lemma_5_1_holds, lemma_5_2_holds, lemma_5_3_holds, precongruent_bounded, precongruent_by_states,
 };
+use pushpull::core::rng::Xorshift64;
 use pushpull::core::spec::{mover_exhaustive, SeqSpec};
 use pushpull::spec::bank::{Bank, BankMethod, BankRet};
 use pushpull::spec::kvmap::{KvMap, MapMethod, MapRet};
@@ -19,105 +20,132 @@ use pushpull::spec::rwmem::{Loc, MemMethod, MemRet, RwMem};
 // Generators
 // ---------------------------------------------------------------------
 
-fn mem_op(id: u64) -> impl Strategy<Value = Op<MemMethod, MemRet>> {
-    (0u32..3, 0i64..3, prop::bool::ANY).prop_map(move |(loc, val, is_read)| {
-        if is_read {
-            Op::new(OpId(id), TxnId(0), MemMethod::Read(Loc(loc)), MemRet::Val(val))
-        } else {
-            Op::new(OpId(id), TxnId(0), MemMethod::Write(Loc(loc), val), MemRet::Ack)
-        }
-    })
+fn mem_op(rng: &mut Xorshift64, id: u64) -> Op<MemMethod, MemRet> {
+    let loc = rng.gen_range(0..3) as u32;
+    let val = rng.gen_range(0..3) as i64;
+    if rng.gen_bool(0.5) {
+        Op::new(
+            OpId(id),
+            TxnId(0),
+            MemMethod::Read(Loc(loc)),
+            MemRet::Val(val),
+        )
+    } else {
+        Op::new(
+            OpId(id),
+            TxnId(0),
+            MemMethod::Write(Loc(loc), val),
+            MemRet::Ack,
+        )
+    }
 }
 
-fn mem_log(len: usize) -> impl Strategy<Value = Vec<Op<MemMethod, MemRet>>> {
-    prop::collection::vec((0u32..3, 0i64..3, prop::bool::ANY), 0..len).prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (loc, val, is_read))| {
-                if is_read {
-                    Op::new(OpId(i as u64), TxnId(0), MemMethod::Read(Loc(loc)), MemRet::Val(val))
-                } else {
-                    Op::new(OpId(i as u64), TxnId(0), MemMethod::Write(Loc(loc), val), MemRet::Ack)
-                }
-            })
-            .collect()
-    })
+fn mem_log(rng: &mut Xorshift64, max_len: usize) -> Vec<Op<MemMethod, MemRet>> {
+    let len = rng.gen_index(max_len.max(1));
+    (0..len).map(|i| mem_op(rng, i as u64)).collect()
 }
 
-fn map_op(id: u64) -> impl Strategy<Value = Op<MapMethod, MapRet>> {
-    (0u64..3, 0i64..2, 0u8..4, prop::option::of(0i64..2)).prop_map(move |(k, v, kind, prev)| {
-        let (m, r) = match kind {
-            0 => (MapMethod::Put(k, v), MapRet::Prev(prev)),
-            1 => (MapMethod::Remove(k), MapRet::Prev(prev)),
-            2 => (MapMethod::Get(k), MapRet::Val(prev)),
-            _ => (MapMethod::ContainsKey(k), MapRet::Bool(prev.is_some())),
-        };
-        Op::new(OpId(id), TxnId(0), m, r)
-    })
+fn map_op(rng: &mut Xorshift64, id: u64) -> Op<MapMethod, MapRet> {
+    let k = rng.gen_range(0..3);
+    let v = rng.gen_range(0..2) as i64;
+    let prev = if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0..2) as i64)
+    } else {
+        None
+    };
+    let (m, r) = match rng.gen_range(0..4) {
+        0 => (MapMethod::Put(k, v), MapRet::Prev(prev)),
+        1 => (MapMethod::Remove(k), MapRet::Prev(prev)),
+        2 => (MapMethod::Get(k), MapRet::Val(prev)),
+        _ => (MapMethod::ContainsKey(k), MapRet::Bool(prev.is_some())),
+    };
+    Op::new(OpId(id), TxnId(0), m, r)
 }
 
-fn bank_op(id: u64) -> impl Strategy<Value = Op<BankMethod, BankRet>> {
-    (0u32..2, 0i64..4, 0u8..3, prop::bool::ANY).prop_map(move |(a, n, kind, ok)| {
-        let (m, r) = match kind {
-            0 => (BankMethod::Deposit(a, n), BankRet::Ack),
-            1 => (BankMethod::Withdraw(a, n), BankRet::Ok(ok)),
-            _ => (BankMethod::Balance(a), BankRet::Amount(n)),
-        };
-        Op::new(OpId(id), TxnId(0), m, r)
-    })
+fn bank_op(rng: &mut Xorshift64, id: u64) -> Op<BankMethod, BankRet> {
+    let a = rng.gen_range(0..2) as u32;
+    let n = rng.gen_range(0..4) as i64;
+    let ok = rng.gen_bool(0.5);
+    let (m, r) = match rng.gen_range(0..3) {
+        0 => (BankMethod::Deposit(a, n), BankRet::Ack),
+        1 => (BankMethod::Withdraw(a, n), BankRet::Ok(ok)),
+        _ => (BankMethod::Balance(a), BankRet::Amount(n)),
+    };
+    Op::new(OpId(id), TxnId(0), m, r)
 }
 
 // ---------------------------------------------------------------------
 // Soundness of the algebraic mover oracles (Definition 4.1)
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// RwMem's algebraic movers agree exactly with the exhaustive check.
-    #[test]
-    fn rwmem_movers_exact(a in mem_op(100), b in mem_op(101)) {
-        let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
-        let uni = spec.state_universe().unwrap();
-        prop_assert_eq!(spec.mover(&a, &b), mover_exhaustive(&spec, &uni, &a, &b));
+/// RwMem's algebraic movers agree exactly with the exhaustive check.
+#[test]
+fn rwmem_movers_exact() {
+    let mut rng = Xorshift64::new(0xE8_01);
+    let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+    let uni = spec.state_universe().unwrap();
+    for _ in 0..256 {
+        let a = mem_op(&mut rng, 100);
+        let b = mem_op(&mut rng, 101);
+        assert_eq!(
+            spec.mover(&a, &b),
+            mover_exhaustive(&spec, &uni, &a, &b),
+            "a={a:?} b={b:?}"
+        );
     }
+}
 
-    /// KvMap's algebraic movers are SOUND w.r.t. the exhaustive check.
-    #[test]
-    fn kvmap_movers_sound(a in map_op(100), b in map_op(101)) {
-        let spec = KvMap::bounded(vec![0, 1, 2], vec![0, 1]);
-        let uni = spec.state_universe().unwrap();
+/// KvMap's algebraic movers are SOUND w.r.t. the exhaustive check.
+#[test]
+fn kvmap_movers_sound() {
+    let mut rng = Xorshift64::new(0xE8_02);
+    let spec = KvMap::bounded(vec![0, 1, 2], vec![0, 1]);
+    let uni = spec.state_universe().unwrap();
+    for _ in 0..256 {
+        let a = map_op(&mut rng, 100);
+        let b = map_op(&mut rng, 101);
         if spec.mover(&a, &b) {
-            prop_assert!(mover_exhaustive(&spec, &uni, &a, &b));
+            assert!(mover_exhaustive(&spec, &uni, &a, &b), "a={a:?} b={b:?}");
         }
     }
+}
 
-    /// Bank's algebraic movers are SOUND w.r.t. the exhaustive check.
-    #[test]
-    fn bank_movers_sound(a in bank_op(100), b in bank_op(101)) {
-        let spec = Bank::bounded(vec![0, 1], 5);
-        let uni = spec.state_universe().unwrap();
+/// Bank's algebraic movers are SOUND w.r.t. the exhaustive check.
+#[test]
+fn bank_movers_sound() {
+    let mut rng = Xorshift64::new(0xE8_03);
+    let spec = Bank::bounded(vec![0, 1], 5);
+    let uni = spec.state_universe().unwrap();
+    for _ in 0..256 {
+        let a = bank_op(&mut rng, 100);
+        let b = bank_op(&mut rng, 101);
         if spec.mover(&a, &b) {
-            prop_assert!(mover_exhaustive(&spec, &uni, &a, &b));
+            assert!(mover_exhaustive(&spec, &uni, &a, &b), "a={a:?} b={b:?}");
         }
     }
+}
 
-    /// Mover + allowedness ⇒ swapped log precongruent (the ≼/◁ mnemonic
-    /// of §5.1): if a ◁ b and ℓ·a·b is allowed then ℓ·a·b ≼ ℓ·b·a.
-    #[test]
-    fn mover_implies_swap_precongruence(
-        l in mem_log(4), a in mem_op(100), b in mem_op(101)
-    ) {
-        let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+/// Mover + allowedness ⇒ swapped log precongruent (the ≼/◁ mnemonic
+/// of §5.1): if a ◁ b and ℓ·a·b is allowed then ℓ·a·b ≼ ℓ·b·a.
+#[test]
+fn mover_implies_swap_precongruence() {
+    let mut rng = Xorshift64::new(0xE8_04);
+    let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+    for _ in 0..256 {
+        let l = mem_log(&mut rng, 4);
+        let a = mem_op(&mut rng, 100);
+        let b = mem_op(&mut rng, 101);
         if spec.mover(&a, &b) {
             let mut fwd = l.clone();
             fwd.push(a.clone());
             fwd.push(b.clone());
             let mut back = l.clone();
-            back.push(b);
-            back.push(a);
-            prop_assert!(precongruent_by_states(&spec, &fwd, &back));
+            back.push(b.clone());
+            back.push(a.clone());
+            assert!(
+                precongruent_by_states(&spec, &fwd, &back),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 }
@@ -126,67 +154,102 @@ proptest! {
 // Precongruence laws (Definition 3.1, Lemmas 5.1–5.3)
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// ≼ is reflexive.
-    #[test]
-    fn precongruence_reflexive(l in mem_log(5)) {
-        let spec = RwMem::new();
-        prop_assert!(precongruent_by_states(&spec, &l, &l));
+/// ≼ is reflexive.
+#[test]
+fn precongruence_reflexive() {
+    let mut rng = Xorshift64::new(0xE8_05);
+    let spec = RwMem::new();
+    for _ in 0..128 {
+        let l = mem_log(&mut rng, 5);
+        assert!(precongruent_by_states(&spec, &l, &l));
     }
+}
 
-    /// Lemma 5.2 (transitivity), via the state witness.
-    #[test]
-    fn lemma_5_2(a in mem_log(4), b in mem_log(4), c in mem_log(4)) {
-        let spec = RwMem::new();
+/// Lemma 5.2 (transitivity), via the state witness.
+#[test]
+fn lemma_5_2() {
+    let mut rng = Xorshift64::new(0xE8_06);
+    let spec = RwMem::new();
+    for _ in 0..128 {
+        let a = mem_log(&mut rng, 4);
+        let b = mem_log(&mut rng, 4);
+        let c = mem_log(&mut rng, 4);
         if let Some(conclusion) = lemma_5_2_holds(&spec, &a, &b, &c) {
-            prop_assert!(conclusion);
+            assert!(conclusion, "a={a:?} b={b:?} c={c:?}");
         }
     }
+}
 
-    /// Lemma 5.3 (precongruence over append).
-    #[test]
-    fn lemma_5_3(a in mem_log(4), b in mem_log(4), c in mem_log(3)) {
-        let spec = RwMem::new();
+/// Lemma 5.3 (precongruence over append).
+#[test]
+fn lemma_5_3() {
+    let mut rng = Xorshift64::new(0xE8_07);
+    let spec = RwMem::new();
+    for _ in 0..128 {
+        let a = mem_log(&mut rng, 4);
+        let b = mem_log(&mut rng, 4);
+        let c = mem_log(&mut rng, 3);
         if let Some(conclusion) = lemma_5_3_holds(&spec, &a, &b, &c) {
-            prop_assert!(conclusion);
+            assert!(conclusion, "a={a:?} b={b:?} c={c:?}");
         }
     }
+}
 
-    /// Lemma 5.1: ℓ₂ ◁ op ∧ allowed(ℓ₁·ℓ₂·op) ⇒ allowed(ℓ₁·op).
-    #[test]
-    fn lemma_5_1(l1 in mem_log(3), l2 in mem_log(3), op in mem_op(100)) {
-        let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+/// Lemma 5.1: ℓ₂ ◁ op ∧ allowed(ℓ₁·ℓ₂·op) ⇒ allowed(ℓ₁·op).
+#[test]
+fn lemma_5_1() {
+    let mut rng = Xorshift64::new(0xE8_08);
+    let spec = RwMem::bounded(vec![Loc(0), Loc(1), Loc(2)], vec![0, 1, 2]);
+    for _ in 0..128 {
+        let l1 = mem_log(&mut rng, 3);
+        let l2 = mem_log(&mut rng, 3);
+        let op = mem_op(&mut rng, 100);
         if let Some(conclusion) = lemma_5_1_holds(&spec, &l1, &l2, &op) {
-            prop_assert!(conclusion);
+            assert!(conclusion, "l1={l1:?} l2={l2:?} op={op:?}");
         }
     }
+}
 
-    /// The state-inclusion witness is sound for the bounded observational
-    /// unfolding: whenever states say ≼, no bounded counterexample exists.
-    #[test]
-    fn state_witness_sound_for_bounded(l1 in mem_log(3), l2 in mem_log(3)) {
-        let spec = RwMem::bounded(vec![Loc(0), Loc(1)], vec![0, 1]);
-        let universe: Vec<Op<MemMethod, MemRet>> = vec![
-            Op::new(OpId(900), TxnId(9), MemMethod::Read(Loc(0)), MemRet::Val(0)),
-            Op::new(OpId(901), TxnId(9), MemMethod::Read(Loc(0)), MemRet::Val(1)),
-            Op::new(OpId(902), TxnId(9), MemMethod::Read(Loc(1)), MemRet::Val(0)),
-            Op::new(OpId(903), TxnId(9), MemMethod::Read(Loc(1)), MemRet::Val(1)),
-            Op::new(OpId(904), TxnId(9), MemMethod::Write(Loc(0), 1), MemRet::Ack),
-        ];
+/// The state-inclusion witness is sound for the bounded observational
+/// unfolding: whenever states say ≼, no bounded counterexample exists.
+#[test]
+fn state_witness_sound_for_bounded() {
+    let mut rng = Xorshift64::new(0xE8_09);
+    let spec = RwMem::bounded(vec![Loc(0), Loc(1)], vec![0, 1]);
+    let universe: Vec<Op<MemMethod, MemRet>> = vec![
+        Op::new(OpId(900), TxnId(9), MemMethod::Read(Loc(0)), MemRet::Val(0)),
+        Op::new(OpId(901), TxnId(9), MemMethod::Read(Loc(0)), MemRet::Val(1)),
+        Op::new(OpId(902), TxnId(9), MemMethod::Read(Loc(1)), MemRet::Val(0)),
+        Op::new(OpId(903), TxnId(9), MemMethod::Read(Loc(1)), MemRet::Val(1)),
+        Op::new(
+            OpId(904),
+            TxnId(9),
+            MemMethod::Write(Loc(0), 1),
+            MemRet::Ack,
+        ),
+    ];
+    for _ in 0..128 {
+        let l1 = mem_log(&mut rng, 3);
+        let l2 = mem_log(&mut rng, 3);
         if precongruent_by_states(&spec, &l1, &l2) {
-            prop_assert!(precongruent_bounded(&spec, &l1, &l2, &universe, 2));
+            assert!(
+                precongruent_bounded(&spec, &l1, &l2, &universe, 2),
+                "l1={l1:?} l2={l2:?}"
+            );
         }
     }
+}
 
-    /// Prefix closure of `allowed` (Parameter 3.1's requirement).
-    #[test]
-    fn allowed_prefix_closed(l in mem_log(6)) {
-        let spec = RwMem::new();
+/// Prefix closure of `allowed` (Parameter 3.1's requirement).
+#[test]
+fn allowed_prefix_closed() {
+    let mut rng = Xorshift64::new(0xE8_0A);
+    let spec = RwMem::new();
+    for _ in 0..128 {
+        let l = mem_log(&mut rng, 6);
         if spec.allowed(&l) {
             for k in 0..l.len() {
-                prop_assert!(spec.allowed(&l[..k]));
+                assert!(spec.allowed(&l[..k]), "l={l:?} k={k}");
             }
         }
     }

@@ -29,10 +29,17 @@ fn optimistic_is_opaque_over_all_interleavings() {
         ])]
     };
     let sys = OptimisticSystem::new(Counter::new(), vec![prog(), prog()], ReadPolicy::Snapshot);
-    let report = explore(&sys, ExploreLimits { max_depth: 40, max_terminals: 4_000 }, &mut |s| {
-        check_trace(s.machine().trace()).is_opaque()
-            && check_machine(s.machine()).is_serializable()
-    })
+    let report = explore(
+        &sys,
+        ExploreLimits {
+            max_depth: 40,
+            max_terminals: 4_000,
+        },
+        &mut |s| {
+            check_trace(&s.machine().trace()).is_opaque()
+                && check_machine(s.machine()).is_serializable()
+        },
+    )
     .unwrap();
     assert!(report.terminals > 1);
     assert!(report.all_ok(), "{report:?}");
@@ -47,9 +54,14 @@ fn boosting_is_opaque_over_all_interleavings() {
             vec![Code::method(MapMethod::Get(1))],
         ],
     );
-    let report = explore(&sys, ExploreLimits { max_depth: 40, max_terminals: 4_000 }, &mut |s| {
-        check_trace(s.machine().trace()).is_opaque()
-    })
+    let report = explore(
+        &sys,
+        ExploreLimits {
+            max_depth: 40,
+            max_terminals: 4_000,
+        },
+        &mut |s| check_trace(&s.machine().trace()).is_opaque(),
+    )
     .unwrap();
     assert!(report.all_ok(), "{report:?}");
 }
@@ -70,7 +82,7 @@ fn dependent_with_early_release_is_not_opaque() {
     sys.tick(ThreadId(0)).unwrap();
     sys.tick(ThreadId(1)).unwrap();
     run(&mut sys, &mut RandomSched::new(5), 100_000).unwrap();
-    match check_trace(sys.machine().trace()) {
+    match check_trace(&sys.machine().trace()) {
         OpacityVerdict::NotOpaque { violations } => assert!(!violations.is_empty()),
         other => panic!("expected NotOpaque, got {other:?}"),
     }
@@ -108,7 +120,7 @@ fn commutativity_refinement_classifies_pullers() {
         })
     };
     assert_eq!(
-        check_trace_refined(m.trace(), commutes),
+        check_trace_refined(&m.trace(), commutes),
         OpacityVerdict::OpaqueByCommutativity
     );
 
@@ -119,7 +131,7 @@ fn commutativity_refinement_classifies_pullers() {
     let ia = m.app_auto(a).unwrap();
     m.push(a, ia).unwrap();
     m.pull(b, ia).unwrap();
-    assert!(!check_trace_refined(m.trace(), commutes).is_opaque());
+    assert!(!check_trace_refined(&m.trace(), commutes).is_opaque());
 }
 
 /// The same refinement, driven by the generic oracle of
@@ -139,7 +151,7 @@ fn refinement_oracle_classifies_pullers_generically() {
     let pulled_op = m.global().entry(ia).unwrap().op.clone();
     let spec2 = Counter::with_universe(8);
     let oracle = RefinementOracle::new(&spec2);
-    let verdict = check_trace_refined(m.trace(), |method, _, _| oracle.judge(method, &pulled_op));
+    let verdict = check_trace_refined(&m.trace(), |method, _, _| oracle.judge(method, &pulled_op));
     assert_eq!(verdict, OpacityVerdict::OpaqueByCommutativity);
 
     // A Get-remainder puller is rejected by the same oracle.
@@ -150,7 +162,7 @@ fn refinement_oracle_classifies_pullers_generically() {
     m.push(a, ia).unwrap();
     m.pull(b, ia).unwrap();
     let pulled_op = m.global().entry(ia).unwrap().op.clone();
-    let verdict = check_trace_refined(m.trace(), |method, _, _| oracle.judge(method, &pulled_op));
+    let verdict = check_trace_refined(&m.trace(), |method, _, _| oracle.judge(method, &pulled_op));
     assert!(!verdict.is_opaque());
 }
 
@@ -167,13 +179,19 @@ fn checked_runs_never_observe_inconsistent_state() {
                 Code::method(CtrMethod::Get),
             ])]
         };
-        let mut sys =
-            OptimisticSystem::new(Counter::new(), vec![prog(), prog(), prog()], ReadPolicy::Refresh);
+        let mut sys = OptimisticSystem::new(
+            Counter::new(),
+            vec![prog(), prog(), prog()],
+            ReadPolicy::Refresh,
+        );
         run(&mut sys, &mut RandomSched::new(seed), 200_000).unwrap();
         let bad = pushpull::core::opacity::inconsistent_observers(
             sys.machine().spec(),
-            sys.machine().trace(),
+            &sys.machine().trace(),
         );
-        assert!(bad.is_empty(), "seed {seed}: inconsistent observers {bad:?}");
+        assert!(
+            bad.is_empty(),
+            "seed {seed}: inconsistent observers {bad:?}"
+        );
     }
 }

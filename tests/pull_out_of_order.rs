@@ -55,7 +55,8 @@ fn non_chronological_pull_is_admissible() {
 
     // The contains() observed true, and everything is serializable —
     // without the reader ever pulling the map effect.
-    let reader_txn = m.committed_txns().iter().find(|t| t.thread.0 == 1).unwrap();
+    let committed = m.committed_txns();
+    let reader_txn = committed.iter().find(|t| t.thread.0 == 1).unwrap();
     assert_eq!(
         reader_txn.ops[0].ret,
         Either::L(pushpull::spec::set::SetRet(true))
@@ -130,5 +131,9 @@ fn out_of_order_unpush_of_commuting_ops() {
     m.unpush(t, b).unwrap();
     m.rewind_all(t).unwrap();
     assert!(m.global().is_empty());
-    assert!(m.thread(pushpull::core::ThreadId(0)).unwrap().local().is_empty());
+    assert!(m
+        .thread(pushpull::core::ThreadId(0))
+        .unwrap()
+        .local()
+        .is_empty());
 }

@@ -29,9 +29,14 @@ fn optimistic_no_lost_updates_exhaustive() {
         vec![rmw(0, 1), rmw(0, 2)],
         ReadPolicy::Snapshot,
     );
-    let report = explore(&sys, ExploreLimits { max_depth: 48, max_terminals: 4_000 }, &mut |s| {
-        check_machine(s.machine()).is_serializable()
-    })
+    let report = explore(
+        &sys,
+        ExploreLimits {
+            max_depth: 48,
+            max_terminals: 4_000,
+        },
+        &mut |s| check_machine(s.machine()).is_serializable(),
+    )
     .unwrap();
     assert!(report.terminals > 1);
     assert!(report.all_ok(), "{report:?}");
@@ -60,12 +65,14 @@ fn optimistic_abort_path_never_unpushes() {
 fn pessimistic_writers_never_abort() {
     for seed in 1..=15u64 {
         let prog = |v: i64| vec![Code::method(MemMethod::Write(Loc(0), v))];
-        let mut sys =
-            MatveevShavitSystem::new(RwMem::new(), vec![prog(1), prog(2), prog(3)]);
+        let mut sys = MatveevShavitSystem::new(RwMem::new(), vec![prog(1), prog(2), prog(3)]);
         run(&mut sys, &mut RandomSched::new(seed), 100_000).unwrap();
         assert_eq!(sys.stats().commits, 3, "seed {seed}");
         assert_eq!(sys.stats().aborts, 0, "seed {seed}");
-        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+        assert!(
+            check_machine(sys.machine()).is_serializable(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -73,9 +80,14 @@ fn pessimistic_writers_never_abort() {
 #[test]
 fn pessimistic_exhaustive() {
     let sys = MatveevShavitSystem::new(RwMem::new(), vec![rmw(0, 1), rmw(1, 2)]);
-    let report = explore(&sys, ExploreLimits { max_depth: 40, max_terminals: 4_000 }, &mut |s| {
-        check_machine(s.machine()).is_serializable()
-    })
+    let report = explore(
+        &sys,
+        ExploreLimits {
+            max_depth: 40,
+            max_terminals: 4_000,
+        },
+        &mut |s| check_machine(s.machine()).is_serializable(),
+    )
     .unwrap();
     assert!(report.all_ok(), "{report:?}");
 }
@@ -93,7 +105,10 @@ fn irrevocable_thread_always_wins() {
         assert!(sys.is_done(), "seed {seed}");
         assert_eq!(sys.stats().commits, 3, "seed {seed}");
         assert_eq!(sys.irrevocable_aborts(), 0, "seed {seed}");
-        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+        assert!(
+            check_machine(sys.machine()).is_serializable(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -153,7 +168,13 @@ fn permutation_search_agrees_with_commit_order() {
         let mut sys =
             OptimisticSystem::new(RwMem::new(), spec.rwmem_programs(), ReadPolicy::Snapshot);
         run(&mut sys, &mut RandomSched::new(seed * 31), 1_000_000).unwrap();
-        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
-        assert!(find_any_serialization(sys.machine()).is_some(), "seed {seed}");
+        assert!(
+            check_machine(sys.machine()).is_serializable(),
+            "seed {seed}"
+        );
+        assert!(
+            find_any_serialization(sys.machine()).is_some(),
+            "seed {seed}"
+        );
     }
 }

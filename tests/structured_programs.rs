@@ -45,7 +45,10 @@ fn choice_transactions_commit_one_branch() {
     assert_eq!(sys.stats().commits, 1);
     let ops = &sys.machine().committed_txns()[0].ops;
     assert_eq!(ops.len(), 1);
-    assert!(matches!(ops[0].method, CtrMethod::Add(1) | CtrMethod::Add(10)));
+    assert!(matches!(
+        ops[0].method,
+        CtrMethod::Add(1) | CtrMethod::Add(10)
+    ));
     // The oracle replays the op against the *choice* body.
     assert!(check_machine(sys.machine()).is_serializable());
 }
@@ -73,7 +76,11 @@ fn star_with_mandatory_prefix_executes_the_prefix() {
     run(&mut sys, &mut RandomSched::new(5), 10_000).unwrap();
     assert_eq!(sys.stats().commits, 1);
     let ops = &sys.machine().committed_txns()[0].ops;
-    assert_eq!(ops.len(), 1, "the get ran; the star committed at zero iterations");
+    assert_eq!(
+        ops.len(),
+        1,
+        "the get ran; the star committed at zero iterations"
+    );
     assert!(matches!(ops[0].method, CtrMethod::Get));
     assert!(check_machine(sys.machine()).is_serializable());
 }

@@ -53,7 +53,10 @@ fn producer_consumer_preserves_fifo() {
             expected.sort();
             assert_eq!(seq, expected, "seed {seed}: producer {p} order violated");
         }
-        assert!(real_time_violations(sys.machine()).is_empty(), "seed {seed}");
+        assert!(
+            real_time_violations(sys.machine()).is_empty(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -65,10 +68,17 @@ fn transfers_conserve_money() {
         let mut sys = BoostingSystem::new(Bank::new(), progs);
         run(&mut sys, &mut RandomSched::new(seed), 2_000_000).unwrap();
         assert!(sys.is_done(), "seed {seed}");
-        assert!(check_machine(sys.machine()).is_serializable(), "seed {seed}");
+        assert!(
+            check_machine(sys.machine()).is_serializable(),
+            "seed {seed}"
+        );
         let committed = sys.machine().global().committed_ops();
         let spec = Bank::new();
-        let state = spec.denote(&committed).into_iter().next().expect("deterministic");
+        let state = spec
+            .denote(&committed)
+            .into_iter()
+            .next()
+            .expect("deterministic");
         let total: i64 = state.values().sum();
         // Failed withdraws leave their paired deposit unmatched: count them.
         let failed = committed
@@ -106,7 +116,10 @@ fn scans_observe_consistent_snapshots() {
         let spec = KvMap::new();
         let mut prefix: Vec<pushpull::spec::kvmap::MapOp> = Vec::new();
         for txn in sys.machine().committed_txns() {
-            let is_scan = txn.ops.iter().all(|o| matches!(o.method, MapMethod::Get(_)));
+            let is_scan = txn
+                .ops
+                .iter()
+                .all(|o| matches!(o.method, MapMethod::Get(_)));
             if is_scan && !txn.ops.is_empty() {
                 let state = spec.denote(&prefix).into_iter().next().unwrap();
                 for o in &txn.ops {
@@ -132,13 +145,25 @@ fn rmw_chains_all_serializable() {
         let mut sys = OptimisticSystem::new(RwMem::new(), progs.clone(), ReadPolicy::Snapshot);
         run(&mut sys, &mut RandomSched::new(seed), 4_000_000).unwrap();
         assert!(sys.is_done(), "opt seed {seed}");
-        assert!(check_machine(sys.machine()).is_serializable(), "opt seed {seed}");
-        assert!(real_time_violations(sys.machine()).is_empty(), "opt seed {seed}");
+        assert!(
+            check_machine(sys.machine()).is_serializable(),
+            "opt seed {seed}"
+        );
+        assert!(
+            real_time_violations(sys.machine()).is_empty(),
+            "opt seed {seed}"
+        );
 
         let mut sys = MatveevShavitSystem::new(RwMem::new(), progs);
         run(&mut sys, &mut RandomSched::new(seed), 4_000_000).unwrap();
         assert!(sys.is_done(), "ms seed {seed}");
-        assert!(check_machine(sys.machine()).is_serializable(), "ms seed {seed}");
-        assert!(real_time_violations(sys.machine()).is_empty(), "ms seed {seed}");
+        assert!(
+            check_machine(sys.machine()).is_serializable(),
+            "ms seed {seed}"
+        );
+        assert!(
+            real_time_violations(sys.machine()).is_empty(),
+            "ms seed {seed}"
+        );
     }
 }
