@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Clause, Rule};
+use crate::faults::FaultKind;
 
 /// Counter key: a rule criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -89,6 +90,11 @@ pub struct CriteriaAudit {
     pub mover_queries: u64,
     /// Individual `allowed` evaluations.
     pub allowed_queries: u64,
+    /// Faults injected by a [`FaultHook`](crate::faults::FaultHook), by
+    /// kind. Injected rule denials are counted here and *only* here —
+    /// they never inflate `violated`, so the per-algorithm
+    /// never-violates invariants stay assertable under fault injection.
+    pub injected: BTreeMap<FaultKind, u64>,
 }
 
 impl CriteriaAudit {
@@ -129,6 +135,21 @@ impl CriteriaAudit {
             .unwrap_or(0)
     }
 
+    /// Records one injected fault.
+    pub fn inject(&mut self, kind: FaultKind) {
+        *self.injected.entry(kind).or_default() += 1;
+    }
+
+    /// Injected faults of one kind.
+    pub fn injected_count(&self, kind: FaultKind) -> u64 {
+        self.injected.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total injected faults of every kind.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.values().sum()
+    }
+
     /// Renders the audit as a small table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -153,6 +174,9 @@ impl CriteriaAudit {
             "mover queries: {}   allowed queries: {}\n",
             self.mover_queries, self.allowed_queries
         ));
+        for (kind, n) in &self.injected {
+            out.push_str(&format!("injected {kind}: {n}\n"));
+        }
         out
     }
 }
@@ -203,7 +227,28 @@ pub struct AtomicAudit {
     violated: [[AtomicU64; 4]; 7],
     mover_queries: [PaddedU64; QUERY_SHARDS],
     allowed_queries: [PaddedU64; QUERY_SHARDS],
+    /// Injected `Deny(rule)` faults, indexed by the rule's `ord_key`.
+    injected_deny: [AtomicU64; 7],
+    /// Injected kill / stall / HTM-capacity / HTM-conflict faults.
+    injected_other: [AtomicU64; 4],
 }
+
+fn other_key(kind: FaultKind) -> Option<usize> {
+    match kind {
+        FaultKind::Deny(_) => None,
+        FaultKind::Kill => Some(0),
+        FaultKind::Stall => Some(1),
+        FaultKind::HtmCapacity => Some(2),
+        FaultKind::HtmConflict => Some(3),
+    }
+}
+
+const OTHER_KINDS: [FaultKind; 4] = [
+    FaultKind::Kill,
+    FaultKind::Stall,
+    FaultKind::HtmCapacity,
+    FaultKind::HtmConflict,
+];
 
 impl AtomicAudit {
     /// Creates a zeroed audit.
@@ -234,6 +279,19 @@ impl AtomicAudit {
         self.allowed_queries[shard % QUERY_SHARDS].add(1);
     }
 
+    /// Records one injected fault.
+    pub fn inject(&self, kind: FaultKind) {
+        match other_key(kind) {
+            Some(i) => self.injected_other[i].fetch_add(1, Ordering::Relaxed),
+            None => {
+                let FaultKind::Deny(rule) = kind else {
+                    unreachable!()
+                };
+                self.injected_deny[rule.ord_key() as usize].fetch_add(1, Ordering::Relaxed)
+            }
+        };
+    }
+
     /// Materializes a [`CriteriaAudit`] snapshot: obligations with zero
     /// counts are omitted, matching the map-based audit exactly.
     pub fn snapshot(&self) -> CriteriaAudit {
@@ -256,6 +314,18 @@ impl AtomicAudit {
         }
         out.mover_queries = self.mover_queries.iter().map(PaddedU64::load).sum();
         out.allowed_queries = self.allowed_queries.iter().map(PaddedU64::load).sum();
+        for rule in ALL_RULES {
+            let n = self.injected_deny[rule.ord_key() as usize].load(Ordering::Relaxed);
+            if n > 0 {
+                *out.injected.entry(FaultKind::Deny(rule)).or_default() += n;
+            }
+        }
+        for kind in OTHER_KINDS {
+            let n = self.injected_other[other_key(kind).unwrap()].load(Ordering::Relaxed);
+            if n > 0 {
+                *out.injected.entry(kind).or_default() += n;
+            }
+        }
         out
     }
 
@@ -268,6 +338,9 @@ impl AtomicAudit {
         }
         for s in self.mover_queries.iter().chain(self.allowed_queries.iter()) {
             s.0.store(0, Ordering::Relaxed);
+        }
+        for c in self.injected_deny.iter().chain(self.injected_other.iter()) {
+            c.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -290,6 +363,14 @@ impl Clone for AtomicAudit {
         }
         for (dst, src) in out.allowed_queries.iter().zip(self.allowed_queries.iter()) {
             dst.0.store(src.load(), Ordering::Relaxed);
+        }
+        for (dst, src) in out
+            .injected_deny
+            .iter()
+            .chain(out.injected_other.iter())
+            .zip(self.injected_deny.iter().chain(self.injected_other.iter()))
+        {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         out
     }
@@ -367,6 +448,28 @@ mod tests {
         assert_eq!(a.snapshot(), CriteriaAudit::default());
         // The clone is independent of the original.
         assert_eq!(b.snapshot().discharged_count(Rule::Pull, Clause::I), 1);
+    }
+
+    #[test]
+    fn injected_tallies_round_trip() {
+        let a = AtomicAudit::new();
+        a.inject(FaultKind::Deny(Rule::Push));
+        a.inject(FaultKind::Deny(Rule::Push));
+        a.inject(FaultKind::Kill);
+        a.inject(FaultKind::HtmConflict);
+        let snap = a.snapshot();
+        assert_eq!(snap.injected_count(FaultKind::Deny(Rule::Push)), 2);
+        assert_eq!(snap.injected_count(FaultKind::Kill), 1);
+        assert_eq!(snap.injected_count(FaultKind::HtmConflict), 1);
+        assert_eq!(snap.injected_count(FaultKind::Stall), 0);
+        assert_eq!(snap.injected_total(), 4);
+        // Injection never touches the violated tallies.
+        assert_eq!(snap.violated_count(Rule::Push, Clause::Iii), 0);
+        assert!(snap.render().contains("injected deny-PUSH: 2"));
+        let b = a.clone();
+        assert_eq!(b.snapshot(), snap);
+        a.reset();
+        assert_eq!(a.snapshot().injected_total(), 0);
     }
 
     #[test]

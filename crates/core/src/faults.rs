@@ -1,0 +1,179 @@
+//! Fault-injection hooks: the checked machine's seam for chaos testing.
+//!
+//! The paper's §6/§7 algorithm classes differ in *how they recover* from
+//! a failed criterion — UNAPP-based abort, UNPUSH rollback, checkpoint
+//! UNPULL, HTM fallback. To exercise those recovery rules on demand, the
+//! machine exposes a [`FaultHook`]: an object consulted at the entry of
+//! every *forward* rule (APP, PUSH, PULL, CMT) and at driver-defined
+//! boundaries (tick start, HTM access). A hook can
+//!
+//! - **deny** a forward rule with a spurious criterion failure (the rule
+//!   has no effect; the driver sees an ordinary
+//!   [`MachineError::Criterion`](crate::error::MachineError) and takes
+//!   its recovery path),
+//! - **kill** a transaction at a rule boundary (the driver aborts and
+//!   restarts it), or **stall** a thread for k ticks,
+//! - force an **HTM capacity/conflict abort** in the simulated-HTM
+//!   drivers.
+//!
+//! Injection is deliberately *not* wired into the reverse rules (UNAPP,
+//! UNPUSH, UNPULL): drivers run those inside their recovery paths, where
+//! a spurious failure would wedge recovery itself rather than exercise
+//! it.
+//!
+//! Every injected fault is tallied in the audit (see
+//! [`CriteriaAudit::injected`](crate::audit::CriteriaAudit)), so a test
+//! can assert *exactly which* obligations a fault plan exercised. The
+//! harness crate provides the deterministic seeded `FaultPlan`
+//! implementation; core only defines the seam.
+
+use crate::error::{Clause, Rule};
+use crate::op::ThreadId;
+
+/// The kinds of fault the machine (or a driver) can inject, used as the
+/// audit key for injected-fault tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A spurious criterion failure denying one forward rule.
+    Deny(Rule),
+    /// A transaction killed (aborted and restarted) at a rule boundary.
+    Kill,
+    /// A thread stalled for a fixed number of ticks.
+    Stall,
+    /// A simulated-HTM capacity abort.
+    HtmCapacity,
+    /// A simulated-HTM conflict abort.
+    HtmConflict,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Deny(rule) => write!(f, "deny-{rule}"),
+            FaultKind::Kill => write!(f, "kill"),
+            FaultKind::Stall => write!(f, "stall"),
+            FaultKind::HtmCapacity => write!(f, "htm-capacity"),
+            FaultKind::HtmConflict => write!(f, "htm-conflict"),
+        }
+    }
+}
+
+/// Every fault kind, for iterating a chaos matrix.
+pub const ALL_FAULT_KINDS: [FaultKind; 8] = [
+    FaultKind::Deny(Rule::App),
+    FaultKind::Deny(Rule::Push),
+    FaultKind::Deny(Rule::Pull),
+    FaultKind::Deny(Rule::Cmt),
+    FaultKind::Kill,
+    FaultKind::Stall,
+    FaultKind::HtmCapacity,
+    FaultKind::HtmConflict,
+];
+
+/// A fault fired at a tick boundary, before the driver runs any rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryFault {
+    /// Abort and restart the thread's current transaction.
+    Kill,
+    /// Park the thread for this many ticks.
+    Stall(u64),
+}
+
+/// A fault fired at a simulated-HTM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HtmFault {
+    /// The transaction overflowed the simulated read/write capacity.
+    Capacity,
+    /// The hardware detected a (possibly spurious) conflict.
+    Conflict,
+}
+
+/// The clause an injected denial of `rule` reports. Chosen to be the
+/// clause the rule most commonly fails under real contention, so a
+/// driver cannot distinguish an injected denial from a genuine one.
+pub fn deny_clause(rule: Rule) -> Clause {
+    match rule {
+        Rule::App => Clause::Ii,
+        Rule::Push => Clause::Iii,
+        Rule::Pull => Clause::Ii,
+        Rule::Cmt => Clause::Iii,
+        Rule::UnApp | Rule::UnPush | Rule::UnPull => Clause::I,
+    }
+}
+
+/// A pluggable fault source, consulted by the machine at rule entry and
+/// by drivers at tick/HTM boundaries. Implementations must be
+/// deterministic given their own state (the harness `FaultPlan` keys
+/// decisions on per-thread attempt counters, never on wall-clock or OS
+/// scheduling), `Sync` (hooks are consulted concurrently from worker
+/// threads), and cheap — they sit on the hot path of every rule.
+///
+/// All methods default to "no fault", so an implementation overrides
+/// only the boundaries it cares about.
+pub trait FaultHook: std::fmt::Debug + Send + Sync {
+    /// Consulted at the entry of a forward rule (APP, PUSH, PULL, CMT)
+    /// on `tid`, *before* the rule checks criteria or has any effect.
+    /// Returning `Some(clause)` denies the rule: the caller sees a
+    /// criterion failure for `(rule, clause)` and the machine records an
+    /// injected `Deny(rule)` fault.
+    fn deny_rule(&self, tid: ThreadId, rule: Rule) -> Option<Clause> {
+        let _ = (tid, rule);
+        None
+    }
+
+    /// Consulted by drivers at the start of a tick, at a rule boundary
+    /// (no rule mid-flight). A returned fault is always acted on and
+    /// recorded.
+    fn at_boundary(&self, tid: ThreadId) -> Option<BoundaryFault> {
+        let _ = tid;
+        None
+    }
+
+    /// Consulted by the simulated-HTM drivers once per transactional
+    /// memory access, before the access is recorded in the conflict
+    /// tables.
+    fn htm_access(&self, tid: ThreadId) -> Option<HtmFault> {
+        let _ = tid;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_are_ordered_and_displayable() {
+        let mut v = ALL_FAULT_KINDS.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), ALL_FAULT_KINDS.len());
+        assert_eq!(FaultKind::Deny(Rule::Push).to_string(), "deny-PUSH");
+        assert_eq!(FaultKind::HtmCapacity.to_string(), "htm-capacity");
+    }
+
+    #[test]
+    fn deny_clause_covers_forward_rules() {
+        assert_eq!(deny_clause(Rule::App), Clause::Ii);
+        assert_eq!(deny_clause(Rule::Push), Clause::Iii);
+        assert_eq!(deny_clause(Rule::Pull), Clause::Ii);
+        assert_eq!(deny_clause(Rule::Cmt), Clause::Iii);
+    }
+
+    #[derive(Debug)]
+    struct DenyAllPush;
+    impl FaultHook for DenyAllPush {
+        fn deny_rule(&self, _tid: ThreadId, rule: Rule) -> Option<Clause> {
+            (rule == Rule::Push).then_some(deny_clause(rule))
+        }
+    }
+
+    #[test]
+    fn default_hook_methods_are_no_faults() {
+        let h = DenyAllPush;
+        assert_eq!(h.deny_rule(ThreadId(0), Rule::Push), Some(Clause::Iii));
+        assert_eq!(h.deny_rule(ThreadId(0), Rule::App), None);
+        assert_eq!(h.at_boundary(ThreadId(0)), None);
+        assert_eq!(h.htm_access(ThreadId(0)), None);
+    }
+}

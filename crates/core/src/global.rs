@@ -43,9 +43,11 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use crate::audit::{AtomicAudit, CriteriaAudit};
+use crate::error::{Clause, Rule};
+use crate::faults::{FaultHook, FaultKind};
 use crate::lang::Code;
 use crate::log::{GlobalFlag, GlobalLog};
 use crate::machine::CheckMode;
@@ -120,6 +122,10 @@ pub struct GlobalState<S: SeqSpec> {
     pub(crate) audit: AtomicAudit,
     incremental: AtomicBool,
     pub(crate) shared: Mutex<SharedLog<S>>,
+    /// The fault-injection hook, if armed. The flag short-circuits the
+    /// rule hot paths to a single relaxed load when no hook is set.
+    faults: RwLock<Option<Arc<dyn FaultHook>>>,
+    faults_armed: AtomicBool,
 }
 
 impl<S: SeqSpec> GlobalState<S> {
@@ -139,6 +145,8 @@ impl<S: SeqSpec> GlobalState<S> {
                 committed: Vec::new(),
                 cache,
             }),
+            faults: RwLock::new(None),
+            faults_armed: AtomicBool::new(false),
         }
     }
 
@@ -167,6 +175,42 @@ impl<S: SeqSpec> GlobalState<S> {
     /// A snapshot of the criteria audit.
     pub fn audit_snapshot(&self) -> CriteriaAudit {
         self.audit.snapshot()
+    }
+
+    /// Arms (or, with `None`, disarms) the fault-injection hook. The
+    /// machine consults it at forward-rule entry; drivers consult it at
+    /// tick and HTM boundaries.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        self.faults_armed.store(hook.is_some(), Ordering::Release);
+        *self.faults.write().expect("fault hook lock poisoned") = hook;
+    }
+
+    /// The armed fault hook, if any.
+    pub fn fault_hook(&self) -> Option<Arc<dyn FaultHook>> {
+        if !self.faults_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.faults
+            .read()
+            .expect("fault hook lock poisoned")
+            .clone()
+    }
+
+    /// Records one injected fault in the audit. The machine calls this
+    /// for rule denials; drivers call it when they act on a boundary or
+    /// HTM fault, so the audit tallies faults that actually *fired*.
+    pub fn note_injected(&self, kind: FaultKind) {
+        self.audit.inject(kind);
+    }
+
+    /// Consults the hook at the entry of forward rule `rule` on `tid`;
+    /// on a denial, records the injected fault and returns the clause
+    /// the rule must report.
+    pub(crate) fn fault_deny(&self, tid: ThreadId, rule: Rule) -> Option<Clause> {
+        let hook = self.fault_hook()?;
+        let clause = hook.deny_rule(tid, rule)?;
+        self.audit.inject(FaultKind::Deny(rule));
+        Some(clause)
     }
 
     /// Mints the next trace-event sequence number.
@@ -312,6 +356,8 @@ impl<S: SeqSpec> GlobalState<S> {
             audit: self.audit.clone(),
             incremental: AtomicBool::new(self.incremental()),
             shared: Mutex::new(self.lock().clone()),
+            faults: RwLock::new(self.fault_hook()),
+            faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
         }
     }
 }

@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use crate::audit::QUERY_SHARDS;
 use crate::error::{Clause, MachineError, MachineResult, Rule};
+use crate::faults::{BoundaryFault, FaultKind, HtmFault};
 use crate::global::{CommittedTxn, GlobalState};
 use crate::lang::Code;
 use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
@@ -202,6 +203,46 @@ impl<S: SeqSpec> TxnHandle<S> {
         self.global.mode()
     }
 
+    /// Consults the armed fault hook at the entry of forward rule
+    /// `rule`: an injected denial surfaces as an ordinary criterion
+    /// failure (the rule has had no effect yet), recorded in the
+    /// audit's `injected` tally rather than `violated`.
+    fn fault_gate(&self, rule: Rule) -> MachineResult<()> {
+        if let Some(clause) = self.global.fault_deny(self.tid, rule) {
+            return Err(MachineError::criterion(
+                rule,
+                clause,
+                format!("injected fault: {rule} denied"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Consults the armed fault hook at a tick boundary. A returned
+    /// fault is recorded as fired; the caller must act on it (abort the
+    /// transaction for [`BoundaryFault::Kill`], park the thread for
+    /// [`BoundaryFault::Stall`]).
+    pub fn fault_at_boundary(&self) -> Option<BoundaryFault> {
+        let fault = self.global.fault_hook()?.at_boundary(self.tid)?;
+        self.global.note_injected(match fault {
+            BoundaryFault::Kill => FaultKind::Kill,
+            BoundaryFault::Stall(_) => FaultKind::Stall,
+        });
+        Some(fault)
+    }
+
+    /// Consults the armed fault hook at a simulated-HTM access. A
+    /// returned fault is recorded as fired; the caller must abort the
+    /// hardware transaction accordingly.
+    pub fn fault_at_htm_access(&self) -> Option<HtmFault> {
+        let fault = self.global.fault_hook()?.htm_access(self.tid)?;
+        self.global.note_injected(match fault {
+            HtmFault::Capacity => FaultKind::HtmCapacity,
+            HtmFault::Conflict => FaultKind::HtmConflict,
+        });
+        Some(fault)
+    }
+
     fn active_code(&self) -> MachineResult<&Code<S::Method>> {
         self.code
             .as_ref()
@@ -305,6 +346,7 @@ impl<S: SeqSpec> TxnHandle<S> {
         cont: Code<S::Method>,
         ret: S::Ret,
     ) -> MachineResult<OpId> {
+        self.fault_gate(Rule::App)?;
         let checked = self.mode() != CheckMode::Unchecked;
         // Criterion (i): (m, c') ∈ step(c).
         let code = self.active_code()?.clone();
@@ -425,6 +467,7 @@ impl<S: SeqSpec> TxnHandle<S> {
     /// [`MachineError::Criterion`] with the failing clause; `WrongFlag` /
     /// `NoSuchOp` on structural misuse.
     pub fn push(&mut self, op_id: OpId) -> MachineResult<()> {
+        self.fault_gate(Rule::Push)?;
         let checked = self.mode() != CheckMode::Unchecked;
         let shard = self.shard();
         let (op, pos) = {
@@ -633,6 +676,7 @@ impl<S: SeqSpec> TxnHandle<S> {
     /// locally moves right of `op` (so the pull can be seen as having
     /// preceded the transaction).
     pub fn pull(&mut self, op_id: OpId) -> MachineResult<()> {
+        self.fault_gate(Rule::Pull)?;
         let checked = self.mode() != CheckMode::Unchecked;
         let check_gray = self.mode() == CheckMode::Checked;
         let shard = self.shard();
@@ -774,6 +818,7 @@ impl<S: SeqSpec> TxnHandle<S> {
     ///
     /// On success the thread's next pending transaction (if any) begins.
     pub fn commit(&mut self) -> MachineResult<TxnId> {
+        self.fault_gate(Rule::Cmt)?;
         let checked = self.mode() != CheckMode::Unchecked;
         let txn = self.txn;
         if checked {

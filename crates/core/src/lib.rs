@@ -66,6 +66,7 @@
 pub mod atomic;
 pub mod audit;
 pub mod error;
+pub mod faults;
 pub mod global;
 pub mod handle;
 pub mod invariants;
@@ -83,6 +84,7 @@ pub mod toy;
 pub mod trace;
 
 pub use error::{Clause, CriterionViolation, MachineError, MachineResult, Rule};
+pub use faults::{BoundaryFault, FaultHook, FaultKind, HtmFault};
 pub use global::GlobalState;
 pub use handle::TxnHandle;
 pub use lang::Code;

@@ -140,6 +140,12 @@ impl<S: SeqSpec> Machine<S> {
         &self.global
     }
 
+    /// Arms (or, with `None`, disarms) a fault-injection hook; see
+    /// [`crate::faults::FaultHook`].
+    pub fn set_fault_hook(&self, hook: Option<std::sync::Arc<dyn crate::faults::FaultHook>>) {
+        self.global.set_fault_hook(hook);
+    }
+
     /// Is the incremental (committed-prefix cached) `allowed` evaluation
     /// enabled? See [`GlobalState::set_incremental`].
     pub fn incremental(&self) -> bool {

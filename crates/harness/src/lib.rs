@@ -10,11 +10,17 @@
 //! * [`workload`] — seeded workload generators (key skew, read ratio,
 //!   transaction length) shared by the benchmarks;
 //! * [`runner`] — drives a system to completion and bundles statistics
-//!   with the serializability and opacity verdicts.
+//!   with the serializability and opacity verdicts;
+//! * [`faults`] — deterministic seeded fault plans implementing the core
+//!   machine's [`FaultHook`](pushpull_core::faults::FaultHook) seam, for
+//!   the chaos-matrix tests;
+//! * [`parallel`] — the OS-thread runner, with panic propagation and a
+//!   tick-budget watchdog.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 pub mod model_check;
 pub mod parallel;
 pub mod patterns;
@@ -23,8 +29,9 @@ pub mod scheduler;
 pub mod sweep;
 pub mod workload;
 
+pub use faults::{FaultPlan, FaultSpec};
 pub use model_check::{explore, ExploreLimits, ExploreReport};
-pub use parallel::{run_parallel, ParallelOutcome};
+pub use parallel::{run_parallel, ParallelError, ParallelOutcome, ThreadDump, WatchdogReport};
 pub use runner::{run_reported, run_with, RunReport};
 pub use scheduler::{run, RandomSched, RoundRobin, RunOutcome, Scheduler};
 pub use sweep::{sweep, Aggregate, SweepResult};

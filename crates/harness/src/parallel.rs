@@ -12,19 +12,125 @@
 //! decided by the *OS scheduler* rather than a seeded policy, giving the
 //! test suites a source of genuinely nondeterministic interleavings
 //! (every one of which must still pass the oracle, which is the point).
+//!
+//! Two robustness guarantees:
+//!
+//! * a worker panic is **caught and propagated** as
+//!   [`ParallelError::Panic`] naming the thread and the tick it died on
+//!   (instead of poisoning a lock and hanging the others — a stop flag
+//!   makes the surviving workers exit at their next tick);
+//! * a run that exhausts its tick budget comes back with a
+//!   [`WatchdogReport`]: a per-thread dump of how far each worker got
+//!   and what its last tick outcome was, which is what you want in hand
+//!   when diagnosing a livelock.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use pushpull_core::error::MachineError;
 use pushpull_tm::driver::{ParallelSystem, Tick};
 
-/// Outcome of a parallel run.
+/// Why a parallel run failed.
+#[derive(Debug)]
+pub enum ParallelError {
+    /// A worker returned an unexpected machine error.
+    Machine(MachineError),
+    /// A worker panicked mid-run.
+    Panic {
+        /// Index of the model thread whose worker panicked.
+        thread: usize,
+        /// Ticks that worker had completed when it panicked.
+        ticks: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::Machine(e) => write!(f, "worker machine error: {e}"),
+            ParallelError::Panic {
+                thread,
+                ticks,
+                message,
+            } => write!(
+                f,
+                "worker for thread {thread} panicked after {ticks} ticks: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParallelError::Machine(e) => Some(e),
+            ParallelError::Panic { .. } => None,
+        }
+    }
+}
+
+impl From<MachineError> for ParallelError {
+    fn from(e: MachineError) -> Self {
+        ParallelError::Machine(e)
+    }
+}
+
+/// Per-thread progress snapshot for the watchdog dump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadDump {
+    /// Model thread index.
+    pub thread: usize,
+    /// Ticks this worker completed.
+    pub ticks: usize,
+    /// Outcome of the worker's last tick, if it ticked at all.
+    pub last: Option<Tick>,
+    /// Whether the worker finished all its transactions.
+    pub done: bool,
+}
+
+/// What every worker was doing when a run missed its tick-budget
+/// deadline — the diagnostic to read when a configuration livelocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// One dump per model thread.
+    pub threads: Vec<ThreadDump>,
+}
+
+impl std::fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "watchdog: tick budget exhausted")?;
+        for t in &self.threads {
+            writeln!(
+                f,
+                "  thread {:<3} ticks={:<9} last={:<10} done={}",
+                t.thread,
+                t.ticks,
+                t.last.map_or("never-ran".to_string(), |l| format!("{l:?}")),
+                t.done,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a parallel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParallelOutcome {
     /// Total ticks across all workers.
     pub ticks: usize,
     /// Whether every model thread finished within its tick budget.
     pub completed: bool,
+    /// Per-thread diagnostic dump, present when the run did *not*
+    /// complete (the watchdog tripped on the tick-budget deadline).
+    pub watchdog: Option<WatchdogReport>,
+}
+
+struct ThreadSummary {
+    ticks: usize,
+    last: Option<Tick>,
+    done: bool,
 }
 
 /// Runs `sys` with one OS thread per model thread, each ticking its own
@@ -32,49 +138,98 @@ pub struct ParallelOutcome {
 ///
 /// # Errors
 ///
-/// Propagates the first unexpected [`MachineError`] raised by any worker.
+/// Propagates the first unexpected [`MachineError`] raised by any worker
+/// as [`ParallelError::Machine`], and the first worker panic as
+/// [`ParallelError::Panic`] naming the thread and its tick count. Either
+/// way a stop flag makes the remaining workers exit at their next tick,
+/// so a single bad worker can neither hang the join nor poison the rest
+/// of the run.
 pub fn run_parallel<T>(
     mut sys: T,
     max_ticks_per_thread: usize,
-) -> Result<(T, ParallelOutcome), MachineError>
+) -> Result<(T, ParallelOutcome), ParallelError>
 where
     T: ParallelSystem + Send,
 {
     let total_ticks = AtomicUsize::new(0);
-    let mut first_error: Option<MachineError> = None;
-    let mut all_done = true;
+    let stop = AtomicBool::new(false);
 
-    let results: Vec<Result<bool, MachineError>> = {
+    let results: Vec<Result<ThreadSummary, ParallelError>> = {
         let workers = sys.workers();
         let total_ticks = &total_ticks;
+        let stop = &stop;
         std::thread::scope(|scope| {
             let handles: Vec<_> = workers
                 .into_iter()
-                .map(|mut worker| {
+                .enumerate()
+                .map(|(thread, mut worker)| {
                     scope.spawn(move || {
+                        let mut summary = ThreadSummary {
+                            ticks: 0,
+                            last: None,
+                            done: false,
+                        };
                         for _ in 0..max_ticks_per_thread {
-                            let tick = worker()?;
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let tick = match catch_unwind(AssertUnwindSafe(&mut worker)) {
+                                Ok(Ok(tick)) => tick,
+                                Ok(Err(e)) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    return Err(ParallelError::Machine(e));
+                                }
+                                Err(payload) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    let message = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| (*s).to_string())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".into());
+                                    return Err(ParallelError::Panic {
+                                        thread,
+                                        ticks: summary.ticks,
+                                        message,
+                                    });
+                                }
+                            };
+                            summary.ticks += 1;
+                            summary.last = Some(tick);
                             total_ticks.fetch_add(1, Ordering::Relaxed);
                             match tick {
-                                Tick::Done => return Ok(true),
+                                Tick::Done => {
+                                    summary.done = true;
+                                    return Ok(summary);
+                                }
                                 Tick::Blocked => std::thread::yield_now(),
                                 _ => {}
                             }
                         }
-                        Ok(false)
+                        Ok(summary)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Unreachable: the worker body catches its own
+                    // panics. Kept so a harness bug cannot hang the run.
+                    Err(_) => Err(ParallelError::Panic {
+                        thread: usize::MAX,
+                        ticks: 0,
+                        message: "worker thread died outside catch_unwind".into(),
+                    }),
+                })
                 .collect()
         })
     };
 
+    let mut summaries = Vec::with_capacity(results.len());
+    let mut first_error: Option<ParallelError> = None;
     for r in results {
         match r {
-            Ok(done) => all_done &= done,
+            Ok(s) => summaries.push(s),
             Err(e) => {
                 if first_error.is_none() {
                     first_error = Some(e);
@@ -85,12 +240,26 @@ where
     if let Some(e) = first_error {
         return Err(e);
     }
+    let all_done = summaries.iter().all(|s| s.done);
     let completed = all_done && sys.is_done();
+    let watchdog = (!completed).then(|| WatchdogReport {
+        threads: summaries
+            .iter()
+            .enumerate()
+            .map(|(thread, s)| ThreadDump {
+                thread,
+                ticks: s.ticks,
+                last: s.last,
+                done: s.done,
+            })
+            .collect(),
+    });
     Ok((
         sys,
         ParallelOutcome {
             ticks: total_ticks.into_inner(),
             completed,
+            watchdog,
         },
     ))
 }
@@ -120,6 +289,7 @@ mod tests {
             let sys = BoostingSystem::new(KvMap::new(), programs);
             let (sys, outcome) = run_parallel(sys, 1_000_000).unwrap();
             assert!(outcome.completed, "round {round} incomplete");
+            assert!(outcome.watchdog.is_none());
             assert_eq!(sys.stats().commits, 8, "round {round}");
             let report = check_machine(sys.machine());
             assert!(report.is_serializable(), "round {round}: {report}");
@@ -145,5 +315,76 @@ mod tests {
             let report = check_machine(sys.machine());
             assert!(report.is_serializable(), "round {round}: {report}");
         }
+    }
+
+    /// A two-thread system whose second worker panics on its third tick.
+    #[derive(Debug)]
+    struct PanickySystem;
+
+    impl pushpull_tm::driver::TmSystem for PanickySystem {
+        fn tick(&mut self, _tid: pushpull_core::op::ThreadId) -> Result<Tick, MachineError> {
+            Ok(Tick::Progress)
+        }
+        fn thread_count(&self) -> usize {
+            2
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+    }
+
+    impl ParallelSystem for PanickySystem {
+        fn workers(&mut self) -> Vec<pushpull_tm::driver::Worker<'_>> {
+            let mut calls = 0u32;
+            vec![
+                Box::new(|| Ok(Tick::Progress)),
+                Box::new(move || {
+                    calls += 1;
+                    if calls >= 3 {
+                        panic!("injected worker panic");
+                    }
+                    Ok(Tick::Progress)
+                }),
+            ]
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_thread_and_tick() {
+        let err = run_parallel(PanickySystem, 100_000).unwrap_err();
+        match err {
+            ParallelError::Panic {
+                thread,
+                ticks,
+                ref message,
+            } => {
+                assert_eq!(thread, 1);
+                assert_eq!(ticks, 2, "panicked on the third call");
+                assert!(message.contains("injected worker panic"));
+            }
+            other => panic!("expected Panic, got {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("thread 1"), "{rendered}");
+    }
+
+    #[test]
+    fn tick_budget_exhaustion_produces_watchdog_dump() {
+        // A genuinely contended workload with a 1-tick budget cannot
+        // finish; the outcome must carry a per-thread dump.
+        let programs: Vec<_> = (0..2u64)
+            .map(|_| vec![Code::method(MapMethod::Put(0, 1))])
+            .collect();
+        let sys = BoostingSystem::new(KvMap::new(), programs);
+        let (_, outcome) = run_parallel(sys, 1).unwrap();
+        assert!(!outcome.completed);
+        let dump = outcome.watchdog.expect("watchdog must trip");
+        assert_eq!(dump.threads.len(), 2);
+        let rendered = dump.to_string();
+        assert!(rendered.contains("thread 0"), "{rendered}");
+        assert!(rendered.contains("tick budget exhausted"), "{rendered}");
     }
 }

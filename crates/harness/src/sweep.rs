@@ -69,18 +69,24 @@ pub struct SweepResult {
     pub abort_rate: Aggregate,
     /// Ticks to completion per run.
     pub ticks: Aggregate,
+    /// Contention-manager degradations (solo-mode escalations) per run.
+    pub degradations: Aggregate,
+    /// Longest single-thread consecutive-abort streak per run.
+    pub max_abort_streak: Aggregate,
 }
 
 impl std::fmt::Display for SweepResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<34} commits={:<12} aborts={:<12} abort-rate={:>6.1}%  ticks={}",
+            "{:<34} commits={:<12} aborts={:<12} abort-rate={:>6.1}%  ticks={:<14} streak={:<9} degr={}",
             self.label,
             self.commits.to_string(),
             self.aborts.to_string(),
             self.abort_rate.mean * 100.0,
-            self.ticks
+            self.ticks.to_string(),
+            self.max_abort_streak.to_string(),
+            self.degradations,
         )
     }
 }
@@ -96,12 +102,16 @@ pub fn sweep(
     let mut aborts = Vec::new();
     let mut rates = Vec::new();
     let mut ticks = Vec::new();
+    let mut degradations = Vec::new();
+    let mut streaks = Vec::new();
     for seed in seeds {
         let (stats, t) = make_and_run(seed);
         commits.push(stats.commits as f64);
         aborts.push(stats.aborts as f64);
         rates.push(stats.abort_rate());
         ticks.push(t as f64);
+        degradations.push(stats.degradations as f64);
+        streaks.push(stats.max_abort_streak as f64);
     }
     SweepResult {
         label: label.into(),
@@ -109,6 +119,8 @@ pub fn sweep(
         aborts: Aggregate::of(&aborts),
         abort_rate: Aggregate::of(&rates),
         ticks: Aggregate::of(&ticks),
+        degradations: Aggregate::of(&degradations),
+        max_abort_streak: Aggregate::of(&streaks),
     }
 }
 

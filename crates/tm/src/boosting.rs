@@ -18,7 +18,7 @@
 //! handled as a conflict: the driver waits briefly, then aborts — the
 //! checked machine guarantees nothing unserializable ever slips through.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
@@ -27,12 +27,12 @@ use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::locks::{AbstractLockManager, LockOutcome};
 
 use crate::conflict::ConflictKeyed;
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+    WaitVerdict,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
-
-/// How many consecutive blocked ticks a thread tolerates before aborting
-/// (breaks push-wait/lock-wait livelocks the waits-for graph cannot see).
-const BLOCK_ABORT_THRESHOLD: u32 = 24;
 
 /// A transactional-boosting system over any [`ConflictKeyed`]
 /// specification.
@@ -68,6 +68,8 @@ pub struct BoostingSystem<S: ConflictKeyed> {
     machine: Machine<S>,
     shared: BoostShared<S::LockKey>,
     threads: Vec<BoostThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// Boosting's cross-thread state: the abstract lock manager and the
@@ -83,7 +85,6 @@ struct BoostShared<K> {
 /// Per-thread driver state, owned by exactly one worker.
 #[derive(Debug, Clone, Default)]
 struct BoostThread {
-    blocked_streak: u32,
     stats: SystemStats,
 }
 
@@ -91,6 +92,7 @@ fn abort_thread<S: ConflictKeyed>(
     shared: &BoostShared<S::LockKey>,
     h: &mut TxnHandle<S>,
     t: &mut BoostThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
     // Figure 2's abort path: UNPUSH; UNAPP in reverse order
@@ -101,8 +103,8 @@ fn abort_thread<S: ConflictKeyed>(
         .lock()
         .expect("lock manager poisoned")
         .release_all(txn);
-    t.blocked_streak = 0;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -110,13 +112,15 @@ fn blocked_thread<S: ConflictKeyed>(
     shared: &BoostShared<S::LockKey>,
     h: &mut TxnHandle<S>,
     t: &mut BoostThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    t.blocked_streak += 1;
     t.stats.blocked_ticks += 1;
-    if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
-        return abort_thread(shared, h, t);
+    // The contention manager decides how long to tolerate push-wait /
+    // lock-wait livelocks the waits-for graph cannot see.
+    match gov.on_blocked() {
+        WaitVerdict::GiveUp => abort_thread(shared, h, t, gov),
+        WaitVerdict::Wait => Ok(Tick::Blocked),
     }
-    Ok(Tick::Blocked)
 }
 
 /// One boosting tick for one thread: abstract locks are taken briefly per
@@ -125,9 +129,16 @@ fn tick_thread<S: ConflictKeyed>(
     shared: &BoostShared<S::LockKey>,
     h: &mut TxnHandle<S>,
     t: &mut BoostThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return abort_thread(shared, h, t, gov),
+        Gate::Run => {}
     }
     {
         let mut forced = shared
@@ -137,7 +148,7 @@ fn tick_thread<S: ConflictKeyed>(
         if let Some(pos) = forced.iter().position(|f| *f == h.tid()) {
             forced.remove(pos);
             drop(forced);
-            return abort_thread(shared, h, t);
+            return abort_thread(shared, h, t, gov);
         }
     }
     let txn = h.txn();
@@ -145,14 +156,18 @@ fn tick_thread<S: ConflictKeyed>(
     // to completion in program order.
     let options = h.step_options()?;
     if options.is_empty() {
-        let committed = h.commit()?;
+        let committed = match h.commit() {
+            Ok(c) => c,
+            Err(e) if is_conflict(&e) => return abort_thread(shared, h, t, gov),
+            Err(e) => return Err(e),
+        };
         shared
             .locks
             .lock()
             .expect("lock manager poisoned")
             .release_all(committed);
-        t.blocked_streak = 0;
         t.stats.commits += 1;
+        gov.on_commit();
         return Ok(Tick::Committed);
     }
     let (method, _) = &options[0];
@@ -167,8 +182,8 @@ fn tick_thread<S: ConflictKeyed>(
             .try_lock(txn, key);
         match outcome {
             LockOutcome::Acquired | LockOutcome::AlreadyHeld => {}
-            LockOutcome::Busy { .. } => return blocked_thread(shared, h, t),
-            LockOutcome::WouldDeadlock { .. } => return abort_thread(shared, h, t),
+            LockOutcome::Busy { .. } => return blocked_thread(shared, h, t, gov),
+            LockOutcome::WouldDeadlock { .. } => return abort_thread(shared, h, t, gov),
         }
     }
     // Implicit PULL: refresh the committed shared view (the paper's
@@ -178,12 +193,13 @@ fn tick_thread<S: ConflictKeyed>(
     let method = method.clone();
     let op: OpId = match h.app_method(&method) {
         Ok(op) => op,
-        Err(MachineError::NoAllowedResult(_)) => return abort_thread(shared, h, t),
+        Err(MachineError::NoAllowedResult(_)) => return abort_thread(shared, h, t, gov),
+        Err(e) if is_conflict(&e) => return abort_thread(shared, h, t, gov),
         Err(e) => return Err(e),
     };
     match h.push(op) {
         Ok(()) => {
-            t.blocked_streak = 0;
+            gov.on_progress();
             Ok(Tick::Progress)
         }
         Err(e) if is_conflict(&e) => {
@@ -191,7 +207,7 @@ fn tick_thread<S: ConflictKeyed>(
             // express: undo the APP and wait for the conflicting
             // transaction to commit (abort if it takes too long).
             h.unapp()?;
-            blocked_thread(shared, h, t)
+            blocked_thread(shared, h, t, gov)
         }
         Err(e) => Err(e),
     }
@@ -201,11 +217,22 @@ impl<S: ConflictKeyed> BoostingSystem<S> {
     /// Creates a system running `programs[i]` (a list of transaction
     /// bodies) on thread `i`.
     pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>) -> Self {
+        Self::with_contention(spec, programs, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        spec: S,
+        programs: Vec<Vec<Code<S::Method>>>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(spec);
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             shared: BoostShared {
@@ -213,6 +240,8 @@ impl<S: ConflictKeyed> BoostingSystem<S> {
                 forced_aborts: Mutex::new(Vec::new()),
             },
             threads: vec![BoostThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -223,7 +252,9 @@ impl<S: ConflictKeyed> BoostingSystem<S> {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 
     /// Forces the thread's current transaction to abort at its next tick
@@ -243,6 +274,8 @@ where
     S::LockKey: Clone,
 {
     fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
         Self {
             machine: self.machine.clone(),
             shared: BoostShared {
@@ -262,6 +295,8 @@ where
                 ),
             },
             threads: self.threads.clone(),
+            contention,
+            governors,
         }
     }
 }
@@ -272,6 +307,7 @@ impl<S: ConflictKeyed> TmSystem for BoostingSystem<S> {
             &self.shared,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -291,6 +327,10 @@ impl<S: ConflictKeyed> TmSystem for BoostingSystem<S> {
     fn name(&self) -> &'static str {
         "boosting"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl<S> ParallelSystem for BoostingSystem<S>
@@ -307,7 +347,8 @@ where
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(shared, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(shared, h, t, gov)) as Worker<'_>)
             .collect()
     }
 }

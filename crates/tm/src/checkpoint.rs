@@ -12,12 +12,18 @@
 //! that the model "permits threads to roll backwards to any execution
 //! point".
 
+use std::sync::Arc;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
 use pushpull_core::{Code, TxnHandle};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+    WaitVerdict,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
@@ -26,15 +32,6 @@ enum Phase {
     Begin,
     Running,
 }
-
-/// Consecutive blocked commit attempts tolerated before a full abort.
-///
-/// `push_all_and_commit` does not unwind partially pushed operations on
-/// failure, and [`first_invalid`] validates only against the *committed*
-/// prefix — so two threads whose uncommitted pushed ops conflict would
-/// otherwise block each other forever. A full abort UNPUSHes everything
-/// and breaks the cycle.
-const BLOCK_ABORT_THRESHOLD: u32 = 24;
 
 /// An optimistic system with checkpoint-based partial aborts.
 ///
@@ -58,10 +55,28 @@ const BLOCK_ABORT_THRESHOLD: u32 = 24;
 /// assert_eq!(sys.stats().commits, 1);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CheckpointOptimistic<S: SeqSpec> {
     machine: Machine<S>,
     threads: Vec<CkptThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
+}
+
+impl<S: SeqSpec> Clone for CheckpointOptimistic<S>
+where
+    Machine<S>: Clone,
+{
+    fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
+        Self {
+            machine: self.machine.clone(),
+            threads: self.threads.clone(),
+            contention,
+            governors,
+        }
+    }
 }
 
 /// Per-thread driver state, owned by exactly one worker. Checkpointing
@@ -69,7 +84,6 @@ pub struct CheckpointOptimistic<S: SeqSpec> {
 #[derive(Debug, Clone)]
 struct CkptThread {
     phase: Phase,
-    blocked_streak: u32,
     stats: SystemStats,
     partial_rewinds: u64,
     ops_salvaged: u64,
@@ -79,12 +93,23 @@ impl Default for CkptThread {
     fn default() -> Self {
         Self {
             phase: Phase::Begin,
-            blocked_streak: 0,
             stats: SystemStats::default(),
             partial_rewinds: 0,
             ops_salvaged: 0,
         }
     }
+}
+
+fn abort_thread<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut CkptThread,
+    gov: &mut Governor,
+) -> Result<Tick, MachineError> {
+    h.abort_and_retry()?;
+    t.phase = Phase::Begin;
+    t.stats.aborts += 1;
+    gov.on_abort();
+    Ok(Tick::Aborted)
 }
 
 /// Validates the thread's own operations against the current shared log,
@@ -109,9 +134,19 @@ fn first_invalid<S: SeqSpec>(h: &TxnHandle<S>) -> Option<usize> {
 
 /// One checkpointing tick for one thread: validation and partial rewinds
 /// run entirely on the thread's own handle against a consistent snapshot.
-fn tick_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut CkptThread) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+fn tick_thread<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut CkptThread,
+    gov: &mut Governor,
+) -> Result<Tick, MachineError> {
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return abort_thread(h, t, gov),
+        Gate::Run => {}
     }
     if t.phase == Phase::Begin {
         pull_committed_lenient(h)?;
@@ -135,12 +170,7 @@ fn tick_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut CkptThread) -> Result<T
                         t.ops_salvaged += salvaged;
                         Ok(Tick::Progress)
                     }
-                    None => {
-                        h.abort_and_retry()?;
-                        t.phase = Phase::Begin;
-                        t.stats.aborts += 1;
-                        Ok(Tick::Aborted)
-                    }
+                    None => abort_thread(h, t, gov),
                 }
             }
             Err(e) => Err(e),
@@ -151,26 +181,25 @@ fn tick_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut CkptThread) -> Result<T
         None => match h.push_all_and_commit() {
             Ok(_) => {
                 t.phase = Phase::Begin;
-                t.blocked_streak = 0;
                 t.stats.commits += 1;
+                gov.on_commit();
                 Ok(Tick::Committed)
             }
             Err(e) if is_conflict(&e) => {
-                // Raced between validation and push: fall through to
-                // a partial rewind on the next tick — but bound the
-                // wait, since the conflict may be with another
-                // thread's uncommitted pushed ops, which validation
-                // cannot see.
+                // Raced between validation and push: fall through to a
+                // partial rewind on the next tick — but let the
+                // contention manager bound the wait, since the conflict
+                // may be with another thread's *uncommitted* pushed
+                // ops, which validation cannot see: two threads whose
+                // uncommitted pushed ops conflict would otherwise block
+                // each other forever (`push_all_and_commit` does not
+                // unwind partial pushes). A full abort UNPUSHes
+                // everything and breaks the cycle.
                 t.stats.blocked_ticks += 1;
-                t.blocked_streak += 1;
-                if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
-                    h.abort_and_retry()?;
-                    t.phase = Phase::Begin;
-                    t.blocked_streak = 0;
-                    t.stats.aborts += 1;
-                    return Ok(Tick::Aborted);
+                match gov.on_blocked() {
+                    WaitVerdict::GiveUp => abort_thread(h, t, gov),
+                    WaitVerdict::Wait => Ok(Tick::Blocked),
                 }
-                Ok(Tick::Blocked)
             }
             Err(e) => Err(e),
         },
@@ -179,7 +208,7 @@ fn tick_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut CkptThread) -> Result<T
             let salvaged = idx as u64;
             h.rewind_to(idx)?;
             pull_committed_lenient(h)?;
-            t.blocked_streak = 0;
+            gov.on_progress();
             t.partial_rewinds += 1;
             t.ops_salvaged += salvaged;
             Ok(Tick::Progress)
@@ -188,16 +217,30 @@ fn tick_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut CkptThread) -> Result<T
 }
 
 impl<S: SeqSpec> CheckpointOptimistic<S> {
-    /// Creates a system running `programs[i]` on thread `i`.
+    /// Creates a system running `programs[i]` on thread `i` under the
+    /// default contention manager.
     pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>) -> Self {
+        Self::with_contention(spec, programs, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        spec: S,
+        programs: Vec<Vec<Code<S::Method>>>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(spec);
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             threads: vec![CkptThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -209,7 +252,9 @@ impl<S: SeqSpec> CheckpointOptimistic<S> {
     /// Accumulated statistics (summed over threads). `aborts` counts
     /// *full* aborts only; see [`CheckpointOptimistic::partial_rewinds`].
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 
     /// Conflicts resolved by rewinding to a checkpoint rather than
@@ -227,7 +272,11 @@ impl<S: SeqSpec> CheckpointOptimistic<S> {
 
 impl<S: SeqSpec> TmSystem for CheckpointOptimistic<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
-        tick_thread(self.machine.handle_mut(tid)?, &mut self.threads[tid.0])
+        tick_thread(
+            self.machine.handle_mut(tid)?,
+            &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
+        )
     }
 
     fn thread_count(&self) -> usize {
@@ -246,6 +295,10 @@ impl<S: SeqSpec> TmSystem for CheckpointOptimistic<S> {
     fn name(&self) -> &'static str {
         "checkpoint-optimistic"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl<S> ParallelSystem for CheckpointOptimistic<S>
@@ -260,7 +313,8 @@ where
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(h, t, gov)) as Worker<'_>)
             .collect()
     }
 }

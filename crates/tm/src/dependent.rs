@@ -22,7 +22,7 @@
 //! is what makes their uncommitted effects visible for others to pull.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
 use pushpull_core::log::{GlobalFlag, LocalFlag};
@@ -31,12 +31,12 @@ use pushpull_core::op::{OpId, ThreadId, TxnId};
 use pushpull_core::spec::SeqSpec;
 use pushpull_core::{Code, TxnHandle};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+    WaitVerdict,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::is_conflict;
-
-/// Blocked ticks tolerated while waiting on a dependency before giving up
-/// and aborting (breaks cyclic dependencies).
-const DEP_ABORT_THRESHOLD: u32 = 16;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -78,6 +78,8 @@ pub struct DependentSystem<S: SeqSpec> {
     /// Forced-abort test hook — the only cross-thread driver state.
     forced_aborts: Mutex<Vec<ThreadId>>,
     threads: Vec<DepThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// Per-thread driver state, owned by exactly one worker.
@@ -86,7 +88,6 @@ struct DepThread {
     phase: Phase,
     /// Uncommitted operations this thread has pulled, with their owner.
     deps: HashMap<OpId, TxnId>,
-    blocked_streak: u32,
     stats: SystemStats,
     partial_detangles: u64,
 }
@@ -96,7 +97,6 @@ impl Default for DepThread {
         Self {
             phase: Phase::Begin,
             deps: HashMap::new(),
-            blocked_streak: 0,
             stats: SystemStats::default(),
             partial_detangles: 0,
         }
@@ -180,12 +180,16 @@ fn detangle<S: SeqSpec>(
     }
 }
 
-fn abort_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut DepThread) -> Result<Tick, MachineError> {
+fn abort_thread<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut DepThread,
+    gov: &mut Governor,
+) -> Result<Tick, MachineError> {
     h.abort_and_retry()?;
     t.deps.clear();
     t.phase = Phase::Begin;
-    t.blocked_streak = 0;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -197,16 +201,23 @@ fn tick_thread<S: SeqSpec>(
     forced_aborts: &Mutex<Vec<ThreadId>>,
     h: &mut TxnHandle<S>,
     t: &mut DepThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return abort_thread(h, t, gov),
+        Gate::Run => {}
     }
     {
         let mut forced = forced_aborts.lock().expect("forced-abort list poisoned");
         if let Some(pos) = forced.iter().position(|f| *f == h.tid()) {
             forced.remove(pos);
             drop(forced);
-            return abort_thread(h, t);
+            return abort_thread(h, t, gov);
         }
     }
     if t.phase == Phase::Begin {
@@ -220,8 +231,8 @@ fn tick_thread<S: SeqSpec>(
         let method = options[0].0.clone();
         let op = match h.app_method(&method) {
             Ok(op) => op,
-            Err(MachineError::NoAllowedResult(_)) => return abort_thread(h, t),
-            Err(e) if is_conflict(&e) => return abort_thread(h, t),
+            Err(MachineError::NoAllowedResult(_)) => return abort_thread(h, t, gov),
+            Err(e) if is_conflict(&e) => return abort_thread(h, t, gov),
             Err(e) => return Err(e),
         };
         if eager_release {
@@ -231,6 +242,7 @@ fn tick_thread<S: SeqSpec>(
                 Err(e) => return Err(e),
             }
         }
+        gov.on_progress();
         return Ok(Tick::Progress);
     }
     // Commit phase: resolve dependencies first.
@@ -241,13 +253,14 @@ fn tick_thread<S: SeqSpec>(
                 t.deps.remove(&dep);
             }
             Some(GlobalFlag::Uncommitted) => {
-                // Still live: wait for it (or give up after a while).
-                t.blocked_streak += 1;
+                // Still live: wait for it. The contention manager
+                // decides when waiting turns into giving up — that is
+                // what breaks cyclic dependencies.
                 t.stats.blocked_ticks += 1;
-                if t.blocked_streak >= DEP_ABORT_THRESHOLD {
-                    return abort_thread(h, t);
-                }
-                return Ok(Tick::Blocked);
+                return match gov.on_blocked() {
+                    WaitVerdict::GiveUp => abort_thread(h, t, gov),
+                    WaitVerdict::Wait => Ok(Tick::Blocked),
+                };
             }
             None => {
                 // The dependency aborted: cascade — detangle from it. If
@@ -257,10 +270,11 @@ fn tick_thread<S: SeqSpec>(
                 return match detangle(h, t, dep) {
                     Ok(()) => {
                         t.deps.remove(&dep);
+                        gov.on_progress();
                         Ok(Tick::Progress)
                     }
                     Err(MachineError::NoSuchOp(_)) | Err(MachineError::Criterion(_)) => {
-                        abort_thread(h, t)
+                        abort_thread(h, t, gov)
                     }
                     Err(e) => Err(e),
                 };
@@ -271,11 +285,11 @@ fn tick_thread<S: SeqSpec>(
         Ok(_) => {
             t.deps.clear();
             t.phase = Phase::Begin;
-            t.blocked_streak = 0;
             t.stats.commits += 1;
+            gov.on_commit();
             Ok(Tick::Committed)
         }
-        Err(e) if is_conflict(&e) => abort_thread(h, t),
+        Err(e) if is_conflict(&e) => abort_thread(h, t, gov),
         Err(e) => Err(e),
     }
 }
@@ -285,16 +299,30 @@ impl<S: SeqSpec> DependentSystem<S> {
     /// `eager_release`, operations are opportunistically PUSHed right
     /// after APP so that other transactions can pull them before commit.
     pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>, eager_release: bool) -> Self {
+        Self::with_contention(spec, programs, eager_release, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        spec: S,
+        programs: Vec<Vec<Code<S::Method>>>,
+        eager_release: bool,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(spec);
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             eager_release,
             forced_aborts: Mutex::new(Vec::new()),
             threads: vec![DepThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -305,7 +333,9 @@ impl<S: SeqSpec> DependentSystem<S> {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 
     /// Partial rewinds performed to detangle from aborted dependencies.
@@ -334,6 +364,8 @@ impl<S: SeqSpec> DependentSystem<S> {
 
 impl<S: SeqSpec + Clone> Clone for DependentSystem<S> {
     fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
         Self {
             machine: self.machine.clone(),
             eager_release: self.eager_release,
@@ -344,6 +376,8 @@ impl<S: SeqSpec + Clone> Clone for DependentSystem<S> {
                     .clone(),
             ),
             threads: self.threads.clone(),
+            contention,
+            governors,
         }
     }
 }
@@ -355,6 +389,7 @@ impl<S: SeqSpec> TmSystem for DependentSystem<S> {
             &self.forced_aborts,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -374,6 +409,10 @@ impl<S: SeqSpec> TmSystem for DependentSystem<S> {
     fn name(&self) -> &'static str {
         "dependent"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl<S> ParallelSystem for DependentSystem<S>
@@ -390,8 +429,9 @@ where
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| {
-                Box::new(move || tick_thread(eager_release, forced_aborts, h, t)) as Worker<'_>
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| {
+                Box::new(move || tick_thread(eager_release, forced_aborts, h, t, gov)) as Worker<'_>
             })
             .collect()
     }

@@ -60,6 +60,12 @@ pub trait TmSystem {
 
     /// Short human-readable algorithm name (for reports).
     fn name(&self) -> &'static str;
+
+    /// Starvation metrics from the system's contention manager, for
+    /// systems that run one (all ten drivers do).
+    fn starvation(&self) -> Option<crate::contention::StarvationReport> {
+        None
+    }
 }
 
 /// A worker closure for one model thread: each call performs one tick on
@@ -96,6 +102,12 @@ pub struct SystemStats {
     pub aborts: u64,
     /// Blocked ticks (lock or dependency waits).
     pub blocked_ticks: u64,
+    /// Transactions escalated to degraded (solo/irrevocable-style)
+    /// execution by the contention manager.
+    pub degradations: u64,
+    /// The longest run of consecutive aborts any single thread suffered
+    /// (merged by `max`, not summed).
+    pub max_abort_streak: u64,
 }
 
 impl SystemStats {
@@ -118,6 +130,8 @@ impl std::ops::Add for SystemStats {
             commits: self.commits + rhs.commits,
             aborts: self.aborts + rhs.aborts,
             blocked_ticks: self.blocked_ticks + rhs.blocked_ticks,
+            degradations: self.degradations + rhs.degradations,
+            max_abort_streak: self.max_abort_streak.max(rhs.max_abort_streak),
         }
     }
 }

@@ -13,7 +13,7 @@
 //! DESIGN.md: conflict granularity, eagerness and the abort signal are
 //! what the model can see, and those are preserved.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
@@ -22,6 +22,9 @@ use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::memory::HtmConflicts;
 use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
@@ -61,6 +64,8 @@ pub struct HtmSystem {
     /// cross-thread state, behind a short-held mutex.
     tracker: Mutex<HtmConflicts<Loc>>,
     threads: Vec<HtmThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// Per-thread driver state, owned by exactly one worker.
@@ -83,6 +88,7 @@ fn abort_thread(
     tracker: &Mutex<HtmConflicts<Loc>>,
     h: &mut TxnHandle<RwMem>,
     t: &mut HtmThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
     h.abort_and_retry()?;
@@ -92,6 +98,7 @@ fn abort_thread(
         .clear(txn);
     t.phase = Phase::Begin;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -102,9 +109,16 @@ fn tick_thread(
     tracker: &Mutex<HtmConflicts<Loc>>,
     h: &mut TxnHandle<RwMem>,
     t: &mut HtmThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return abort_thread(tracker, h, t, gov),
+        Gate::Run => {}
     }
     if t.phase == Phase::Begin {
         pull_committed_lenient(h)?;
@@ -124,13 +138,20 @@ fn tick_thread(
                     .clear(committed);
                 t.phase = Phase::Begin;
                 t.stats.commits += 1;
+                gov.on_commit();
                 Ok(Tick::Committed)
             }
-            Err(e) if is_conflict(&e) => abort_thread(tracker, h, t),
+            Err(e) if is_conflict(&e) => abort_thread(tracker, h, t, gov),
             Err(e) => Err(e),
         };
     }
     let method = options[0].0;
+    // Injected hardware faults: a capacity overflow or a spurious
+    // coherence conflict aborts the transaction exactly as the real
+    // best-effort hardware would, before the access is even recorded.
+    if h.fault_at_htm_access().is_some() {
+        return abort_thread(tracker, h, t, gov);
+    }
     // Eager word-granularity conflict detection: the access that
     // closes a conflict aborts its own transaction (requester-loses,
     // as on real best-effort HTMs).
@@ -142,28 +163,44 @@ fn tick_thread(
         }
     };
     if access.is_err() {
-        return abort_thread(tracker, h, t);
+        return abort_thread(tracker, h, t, gov);
     }
     match h.app_method(&method) {
-        Ok(_) => Ok(Tick::Progress),
-        Err(MachineError::NoAllowedResult(_)) => abort_thread(tracker, h, t),
-        Err(e) if is_conflict(&e) => abort_thread(tracker, h, t),
+        Ok(_) => {
+            gov.on_progress();
+            Ok(Tick::Progress)
+        }
+        Err(MachineError::NoAllowedResult(_)) => abort_thread(tracker, h, t, gov),
+        Err(e) if is_conflict(&e) => abort_thread(tracker, h, t, gov),
         Err(e) => Err(e),
     }
 }
 
 impl HtmSystem {
-    /// Creates a system running `programs[i]` on thread `i`.
+    /// Creates a system running `programs[i]` on thread `i` under the
+    /// default contention manager.
     pub fn new(programs: Vec<Vec<Code<MemMethod>>>) -> Self {
+        Self::with_contention(programs, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        programs: Vec<Vec<Code<MemMethod>>>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(RwMem::new());
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             tracker: Mutex::new(HtmConflicts::new()),
             threads: vec![HtmThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -174,12 +211,16 @@ impl HtmSystem {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 }
 
 impl Clone for HtmSystem {
     fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
         Self {
             machine: self.machine.clone(),
             tracker: Mutex::new(
@@ -189,6 +230,8 @@ impl Clone for HtmSystem {
                     .clone(),
             ),
             threads: self.threads.clone(),
+            contention,
+            governors,
         }
     }
 }
@@ -199,6 +242,7 @@ impl TmSystem for HtmSystem {
             &self.tracker,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -218,6 +262,10 @@ impl TmSystem for HtmSystem {
     fn name(&self) -> &'static str {
         "htm-sim"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl ParallelSystem for HtmSystem {
@@ -227,7 +275,8 @@ impl ParallelSystem for HtmSystem {
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(tracker, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(tracker, h, t, gov)) as Worker<'_>)
             .collect()
     }
 }

@@ -11,12 +11,17 @@
 //! the way. Optimistic threads behave exactly as in
 //! [`crate::optimistic`].
 
+use std::sync::Arc;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
 use pushpull_core::{Code, TxnHandle};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
@@ -54,11 +59,13 @@ enum Phase {
 /// assert_eq!(sys.irrevocable_aborts(), 0);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IrrevocableSystem<S: SeqSpec> {
     machine: Machine<S>,
     irrevocable: ThreadId,
     threads: Vec<IrrThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// Per-thread driver state, owned by exactly one worker.
@@ -85,6 +92,7 @@ impl Default for IrrThread {
 fn tick_irrevocable<S: SeqSpec>(
     h: &mut TxnHandle<S>,
     t: &mut IrrThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     if t.phase == Phase::Begin {
         pull_committed_lenient(h)?;
@@ -94,11 +102,21 @@ fn tick_irrevocable<S: SeqSpec>(
     let options = h.step_options()?;
     if options.is_empty() {
         // Everything is already pushed; CMT cannot fail for the
-        // irrevocable thread.
-        h.commit()?;
-        t.phase = Phase::Begin;
-        t.stats.commits += 1;
-        return Ok(Tick::Committed);
+        // irrevocable thread — an injected denial is waited out (never
+        // abort), and the retry next tick succeeds.
+        return match h.commit() {
+            Ok(_) => {
+                t.phase = Phase::Begin;
+                t.stats.commits += 1;
+                gov.on_commit();
+                Ok(Tick::Committed)
+            }
+            Err(e) if is_conflict(&e) => {
+                t.stats.blocked_ticks += 1;
+                Ok(Tick::Blocked)
+            }
+            Err(e) => Err(e),
+        };
     }
     // Refresh committed view, then APP;PUSH eagerly.
     pull_committed_lenient(h)?;
@@ -108,6 +126,11 @@ fn tick_irrevocable<S: SeqSpec>(
         Err(MachineError::NoAllowedResult(_)) => {
             // A racing commit shifted the committed prefix between our
             // PULL and APP; the snapshot will be consistent next tick.
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Err(e) if is_conflict(&e) => {
+            // An injected APP denial: transient — retry next tick.
             t.stats.blocked_ticks += 1;
             return Ok(Tick::Blocked);
         }
@@ -130,6 +153,7 @@ fn tick_irrevocable<S: SeqSpec>(
 fn tick_optimistic<S: SeqSpec>(
     h: &mut TxnHandle<S>,
     t: &mut IrrThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     if t.phase == Phase::Begin {
         pull_committed_lenient(h)?;
@@ -142,17 +166,21 @@ fn tick_optimistic<S: SeqSpec>(
             Ok(_) => {
                 t.phase = Phase::Begin;
                 t.stats.commits += 1;
+                gov.on_commit();
                 Ok(Tick::Committed)
             }
-            Err(e) if is_conflict(&e) => abort_optimistic(h, t),
+            Err(e) if is_conflict(&e) => abort_optimistic(h, t, gov),
             Err(e) => Err(e),
         };
     }
     let method = options[0].0.clone();
     match h.app_method(&method) {
-        Ok(_) => Ok(Tick::Progress),
-        Err(MachineError::NoAllowedResult(_)) => abort_optimistic(h, t),
-        Err(e) if is_conflict(&e) => abort_optimistic(h, t),
+        Ok(_) => {
+            gov.on_progress();
+            Ok(Tick::Progress)
+        }
+        Err(MachineError::NoAllowedResult(_)) => abort_optimistic(h, t, gov),
+        Err(e) if is_conflict(&e) => abort_optimistic(h, t, gov),
         Err(e) => Err(e),
     }
 }
@@ -160,10 +188,12 @@ fn tick_optimistic<S: SeqSpec>(
 fn abort_optimistic<S: SeqSpec>(
     h: &mut TxnHandle<S>,
     t: &mut IrrThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     h.abort_and_retry()?;
     t.phase = Phase::Begin;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -174,14 +204,27 @@ fn tick_thread<S: SeqSpec>(
     irrevocable: ThreadId,
     h: &mut TxnHandle<S>,
     t: &mut IrrThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill if h.tid() != irrevocable => return abort_optimistic(h, t, gov),
+        Gate::Kill => {
+            // The irrevocable thread never aborts — an injected kill
+            // degenerates to a stall of one tick.
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Run => {}
     }
     if h.tid() == irrevocable {
-        tick_irrevocable(h, t)
+        tick_irrevocable(h, t, gov)
     } else {
-        tick_optimistic(h, t)
+        tick_optimistic(h, t, gov)
     }
 }
 
@@ -193,6 +236,20 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
     ///
     /// Panics if `irrevocable` is out of range for `programs`.
     pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>, irrevocable: ThreadId) -> Self {
+        Self::with_contention(spec, programs, irrevocable, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `irrevocable` is out of range for `programs`.
+    pub fn with_contention(
+        spec: S,
+        programs: Vec<Vec<Code<S::Method>>>,
+        irrevocable: ThreadId,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         assert!(
             irrevocable.0 < programs.len(),
             "irrevocable thread out of range"
@@ -202,10 +259,14 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             irrevocable,
             threads: vec![IrrThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -216,7 +277,9 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 
     /// Aborts taken by the irrevocable thread — must always be zero; kept
@@ -227,12 +290,30 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
     }
 }
 
+impl<S: SeqSpec> Clone for IrrevocableSystem<S>
+where
+    Machine<S>: Clone,
+{
+    fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
+        Self {
+            machine: self.machine.clone(),
+            irrevocable: self.irrevocable,
+            threads: self.threads.clone(),
+            contention,
+            governors,
+        }
+    }
+}
+
 impl<S: SeqSpec> TmSystem for IrrevocableSystem<S> {
     fn tick(&mut self, tid: ThreadId) -> Result<Tick, MachineError> {
         tick_thread(
             self.irrevocable,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -252,6 +333,10 @@ impl<S: SeqSpec> TmSystem for IrrevocableSystem<S> {
     fn name(&self) -> &'static str {
         "irrevocable"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl<S> ParallelSystem for IrrevocableSystem<S>
@@ -267,7 +352,10 @@ where
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(irrevocable, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| {
+                Box::new(move || tick_thread(irrevocable, h, t, gov)) as Worker<'_>
+            })
             .collect()
     }
 }

@@ -30,6 +30,7 @@
 pub mod boosting;
 pub mod checkpoint;
 pub mod conflict;
+pub mod contention;
 pub mod dependent;
 pub mod driver;
 pub mod htm;
@@ -44,6 +45,10 @@ pub mod util;
 pub use boosting::BoostingSystem;
 pub use checkpoint::CheckpointOptimistic;
 pub use conflict::ConflictKeyed;
+pub use contention::{
+    default_manager, ContentionManager, ContentionState, ExponentialBackoff, Gate, Governor,
+    GracefulDegradation, ImmediateRetry, KarmaAging, Recovery, StarvationReport, WaitVerdict,
+};
 pub use dependent::DependentSystem;
 pub use driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 pub use htm::HtmSystem;

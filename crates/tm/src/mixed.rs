@@ -14,9 +14,10 @@
 //! reproduced by driving the machine directly (see
 //! `examples/boosting_htm.rs` and `tests/fig7_mixed.rs`).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
+use pushpull_core::faults::HtmFault;
 use pushpull_core::log::LocalFlag;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::{OpId, ThreadId};
@@ -30,6 +31,10 @@ use pushpull_spec::rwmem::{Loc, MemMethod, MemRet, RwMem};
 use pushpull_spec::set::{SetMethod, SetRet, SetSpec};
 
 use crate::conflict::ConflictKeyed;
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+    WaitVerdict,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
@@ -101,9 +106,6 @@ fn htm_access(m: &MixedMethod) -> Option<(HtmWord, bool)> {
     }
 }
 
-/// Consecutive blocked ticks tolerated before a full abort.
-const BLOCK_ABORT_THRESHOLD: u32 = 8;
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Begin,
@@ -138,6 +140,8 @@ pub struct MixedSystem {
     machine: Machine<MixedSpec>,
     shared: MixedShared,
     threads: Vec<MixedThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// The mixed driver's cross-thread state: abstract locks for the boosted
@@ -153,7 +157,6 @@ struct MixedShared {
 #[derive(Debug, Clone)]
 struct MixedThread {
     phase: Phase,
-    blocked_streak: u32,
     stats: SystemStats,
     partial_htm_aborts: u64,
 }
@@ -162,7 +165,6 @@ impl Default for MixedThread {
     fn default() -> Self {
         Self {
             phase: Phase::Begin,
-            blocked_streak: 0,
             stats: SystemStats::default(),
             partial_htm_aborts: 0,
         }
@@ -173,6 +175,7 @@ fn full_abort(
     shared: &MixedShared,
     h: &mut TxnHandle<MixedSpec>,
     t: &mut MixedThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
     h.abort_and_retry()?;
@@ -187,8 +190,8 @@ fn full_abort(
         .expect("conflict tracker poisoned")
         .clear(txn);
     t.phase = Phase::Begin;
-    t.blocked_streak = 0;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -199,6 +202,7 @@ fn partial_htm_abort(
     shared: &MixedShared,
     h: &mut TxnHandle<MixedSpec>,
     t: &mut MixedThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
     // UNAPP the trailing npshd entries (HTM ops are npshd until
@@ -244,12 +248,13 @@ fn partial_htm_abort(
             };
             if res.is_err() {
                 // A surviving access still conflicts: give up fully.
-                return full_abort(shared, h, t);
+                return full_abort(shared, h, t, gov);
             }
         }
     }
     t.partial_htm_aborts += 1;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -257,19 +262,20 @@ fn blocked_thread(
     shared: &MixedShared,
     h: &mut TxnHandle<MixedSpec>,
     t: &mut MixedThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    t.blocked_streak += 1;
     t.stats.blocked_ticks += 1;
-    if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
-        return full_abort(shared, h, t);
+    match gov.on_blocked() {
+        WaitVerdict::GiveUp => full_abort(shared, h, t, gov),
+        WaitVerdict::Wait => Ok(Tick::Blocked),
     }
-    Ok(Tick::Blocked)
 }
 
 fn tick_boosted(
     shared: &MixedShared,
     h: &mut TxnHandle<MixedSpec>,
     t: &mut MixedThread,
+    gov: &mut Governor,
     method: MixedMethod,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
@@ -283,24 +289,25 @@ fn tick_boosted(
             .try_lock(txn, key);
         match outcome {
             LockOutcome::Acquired | LockOutcome::AlreadyHeld => {}
-            LockOutcome::Busy { .. } => return blocked_thread(shared, h, t),
-            LockOutcome::WouldDeadlock { .. } => return full_abort(shared, h, t),
+            LockOutcome::Busy { .. } => return blocked_thread(shared, h, t, gov),
+            LockOutcome::WouldDeadlock { .. } => return full_abort(shared, h, t, gov),
         }
     }
     pull_committed_lenient(h)?;
     let op: OpId = match h.app_method(&method) {
         Ok(op) => op,
-        Err(MachineError::NoAllowedResult(_)) => return full_abort(shared, h, t),
+        Err(MachineError::NoAllowedResult(_)) => return full_abort(shared, h, t, gov),
+        Err(e) if is_conflict(&e) => return full_abort(shared, h, t, gov),
         Err(e) => return Err(e),
     };
     match h.push(op) {
         Ok(()) => {
-            t.blocked_streak = 0;
+            gov.on_progress();
             Ok(Tick::Progress)
         }
         Err(e) if is_conflict(&e) => {
             h.unapp()?;
-            blocked_thread(shared, h, t)
+            blocked_thread(shared, h, t, gov)
         }
         Err(e) => Err(e),
     }
@@ -310,9 +317,18 @@ fn tick_htm(
     shared: &MixedShared,
     h: &mut TxnHandle<MixedSpec>,
     t: &mut MixedThread,
+    gov: &mut Governor,
     method: MixedMethod,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
+    // Injected hardware faults: a spurious coherence conflict takes the
+    // §7 partial-rewind path; a capacity overflow discards the whole
+    // transaction (overflow invalidates the entire HTM write buffer).
+    match h.fault_at_htm_access() {
+        Some(HtmFault::Conflict) => return partial_htm_abort(shared, h, t, gov),
+        Some(HtmFault::Capacity) => return full_abort(shared, h, t, gov),
+        None => {}
+    }
     if let Some((w, is_write)) = htm_access(&method) {
         let res = {
             let mut tr = shared.tracker.lock().expect("conflict tracker poisoned");
@@ -324,14 +340,17 @@ fn tick_htm(
         };
         if res.is_err() {
             // HTM signals abort: rewind only the HTM suffix (§7).
-            return partial_htm_abort(shared, h, t);
+            return partial_htm_abort(shared, h, t, gov);
         }
     }
     pull_committed_lenient(h)?;
     match h.app_method(&method) {
-        Ok(_) => Ok(Tick::Progress),
-        Err(MachineError::NoAllowedResult(_)) => full_abort(shared, h, t),
-        Err(e) if is_conflict(&e) => full_abort(shared, h, t),
+        Ok(_) => {
+            gov.on_progress();
+            Ok(Tick::Progress)
+        }
+        Err(MachineError::NoAllowedResult(_)) => full_abort(shared, h, t, gov),
+        Err(e) if is_conflict(&e) => full_abort(shared, h, t, gov),
         Err(e) => Err(e),
     }
 }
@@ -342,9 +361,16 @@ fn tick_thread(
     shared: &MixedShared,
     h: &mut TxnHandle<MixedSpec>,
     t: &mut MixedThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return full_abort(shared, h, t, gov),
+        Gate::Run => {}
     }
     if t.phase == Phase::Begin {
         pull_committed_lenient(h)?;
@@ -368,30 +394,42 @@ fn tick_thread(
                     .expect("conflict tracker poisoned")
                     .clear(txn);
                 t.phase = Phase::Begin;
-                t.blocked_streak = 0;
                 t.stats.commits += 1;
+                gov.on_commit();
                 Ok(Tick::Committed)
             }
-            Err(e) if is_conflict(&e) => full_abort(shared, h, t),
+            Err(e) if is_conflict(&e) => full_abort(shared, h, t, gov),
             Err(e) => Err(e),
         };
     }
     let method = options[0].0;
     if is_htm(&method) {
-        tick_htm(shared, h, t, method)
+        tick_htm(shared, h, t, gov, method)
     } else {
-        tick_boosted(shared, h, t, method)
+        tick_boosted(shared, h, t, gov, method)
     }
 }
 
 impl MixedSystem {
-    /// Creates a system running `programs[i]` on thread `i`.
+    /// Creates a system running `programs[i]` on thread `i` under the
+    /// default contention manager.
     pub fn new(spec: MixedSpec, programs: Vec<Vec<Code<MixedMethod>>>) -> Self {
+        Self::with_contention(spec, programs, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        spec: MixedSpec,
+        programs: Vec<Vec<Code<MixedMethod>>>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(spec);
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             shared: MixedShared {
@@ -399,6 +437,8 @@ impl MixedSystem {
                 tracker: Mutex::new(HtmConflicts::new()),
             },
             threads: vec![MixedThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -409,7 +449,9 @@ impl MixedSystem {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 
     /// HTM aborts resolved by *partial* rewind (boosted effects kept).
@@ -420,6 +462,8 @@ impl MixedSystem {
 
 impl Clone for MixedSystem {
     fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
         Self {
             machine: self.machine.clone(),
             shared: MixedShared {
@@ -439,6 +483,8 @@ impl Clone for MixedSystem {
                 ),
             },
             threads: self.threads.clone(),
+            contention,
+            governors,
         }
     }
 }
@@ -449,6 +495,7 @@ impl TmSystem for MixedSystem {
             &self.shared,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -468,6 +515,10 @@ impl TmSystem for MixedSystem {
     fn name(&self) -> &'static str {
         "mixed-boosting-htm"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl ParallelSystem for MixedSystem {
@@ -477,7 +528,8 @@ impl ParallelSystem for MixedSystem {
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(shared, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(shared, h, t, gov)) as Worker<'_>)
             .collect()
     }
 }

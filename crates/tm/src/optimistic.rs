@@ -17,12 +17,17 @@
 //! discovered at commit, TL2-style) and *refresh* (re-pull committed
 //! effects before every APP, an incremental-validation TinySTM flavour).
 
+use std::sync::Arc;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
 use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
 use pushpull_core::{Code, TxnHandle};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
@@ -74,11 +79,30 @@ enum Phase {
 /// assert_eq!(sys.stats().commits, 2);
 /// # Ok::<(), pushpull_core::error::MachineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OptimisticSystem<S: SeqSpec> {
     machine: Machine<S>,
     policy: ReadPolicy,
     threads: Vec<OptThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
+}
+
+impl<S: SeqSpec> Clone for OptimisticSystem<S>
+where
+    Machine<S>: Clone,
+{
+    fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
+        Self {
+            machine: self.machine.clone(),
+            policy: self.policy,
+            threads: self.threads.clone(),
+            contention,
+            governors,
+        }
+    }
 }
 
 /// Per-thread driver state: owned by exactly one worker, so ticking never
@@ -105,9 +129,16 @@ fn tick_thread<S: SeqSpec>(
     policy: ReadPolicy,
     h: &mut TxnHandle<S>,
     t: &mut OptThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return abort_thread(h, t, gov),
+        Gate::Run => {}
     }
     if t.phase == Phase::Begin {
         // Begin-time snapshot: PULL all committed operations.
@@ -125,9 +156,10 @@ fn tick_thread<S: SeqSpec>(
             Ok(_) => {
                 t.phase = Phase::Begin;
                 t.stats.commits += 1;
+                gov.on_commit();
                 Ok(Tick::Committed)
             }
-            Err(e) if is_conflict(&e) => abort_thread(h, t),
+            Err(e) if is_conflict(&e) => abort_thread(h, t, gov),
             Err(e) => Err(e),
         };
     }
@@ -148,22 +180,30 @@ fn tick_thread<S: SeqSpec>(
         .ok_or(MachineError::NoSuchStep(h.tid()))?;
     let ret = match h.allowed_results(&method)?.into_iter().next() {
         Some(r) => r,
-        None => return abort_thread(h, t), // doomed local view: retry
+        None => return abort_thread(h, t, gov), // doomed local view: retry
     };
     match h.app(method, cont, ret) {
-        Ok(_) => Ok(Tick::Progress),
-        Err(MachineError::NoAllowedResult(_)) => abort_thread(h, t),
-        Err(e) if is_conflict(&e) => abort_thread(h, t),
+        Ok(_) => {
+            gov.on_progress();
+            Ok(Tick::Progress)
+        }
+        Err(MachineError::NoAllowedResult(_)) => abort_thread(h, t, gov),
+        Err(e) if is_conflict(&e) => abort_thread(h, t, gov),
         Err(e) => Err(e),
     }
 }
 
-fn abort_thread<S: SeqSpec>(h: &mut TxnHandle<S>, t: &mut OptThread) -> Result<Tick, MachineError> {
+fn abort_thread<S: SeqSpec>(
+    h: &mut TxnHandle<S>,
+    t: &mut OptThread,
+    gov: &mut Governor,
+) -> Result<Tick, MachineError> {
     // §6.2: "simply perform UNAPP repeatedly and needn't UNPUSH" —
     // nothing was pushed; rewinding also unpulls the stale snapshot.
     h.abort_and_retry()?;
     t.phase = Phase::Begin;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -171,15 +211,29 @@ impl<S: SeqSpec> OptimisticSystem<S> {
     /// Creates a system running `programs[i]` on thread `i` under the
     /// given read policy.
     pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>, policy: ReadPolicy) -> Self {
+        Self::with_contention(spec, programs, policy, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        spec: S,
+        programs: Vec<Vec<Code<S::Method>>>,
+        policy: ReadPolicy,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(spec);
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             policy,
             threads: vec![OptThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -190,7 +244,9 @@ impl<S: SeqSpec> OptimisticSystem<S> {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 }
 
@@ -200,6 +256,7 @@ impl<S: SeqSpec> TmSystem for OptimisticSystem<S> {
             self.policy,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -222,6 +279,10 @@ impl<S: SeqSpec> TmSystem for OptimisticSystem<S> {
             ReadPolicy::Refresh => "optimistic-refresh",
         }
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl<S> ParallelSystem for OptimisticSystem<S>
@@ -237,7 +298,8 @@ where
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(policy, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(policy, h, t, gov)) as Worker<'_>)
             .collect()
     }
 }

@@ -14,7 +14,7 @@
 //! re-runs (our multiversion-free approximation of MS-TM's abort-free
 //! readers, recorded in DESIGN.md).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
@@ -22,6 +22,9 @@ use pushpull_core::op::ThreadId;
 use pushpull_core::spec::SeqSpec;
 use pushpull_core::{Code, TxnHandle};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
 
@@ -59,6 +62,8 @@ pub struct MatveevShavitSystem<S: SeqSpec> {
     /// their commit phase.
     token: Mutex<Option<ThreadId>>,
     threads: Vec<MsThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// Per-thread driver state, owned by exactly one worker.
@@ -74,13 +79,28 @@ fn tick_thread<S: SeqSpec>(
     token: &Mutex<Option<ThreadId>>,
     h: &mut TxnHandle<S>,
     t: &mut MsThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        let mut tok = token.lock().expect("token lock poisoned");
-        if *tok == Some(h.tid()) {
-            *tok = None;
+    match gov.gate(h) {
+        Gate::Done => {
+            let mut tok = token.lock().expect("token lock poisoned");
+            if *tok == Some(h.tid()) {
+                *tok = None;
+            }
+            return Ok(Tick::Done);
         }
-        return Ok(Tick::Done);
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => {
+            h.abort_and_retry()?;
+            t.started = false;
+            t.stats.aborts += 1;
+            gov.on_abort();
+            return Ok(Tick::Aborted);
+        }
+        Gate::Run => {}
     }
     if !t.started {
         // Reads PULL committed effects only.
@@ -93,11 +113,15 @@ fn tick_thread<S: SeqSpec>(
         // Apply locally (writes are buffered — delayed to commit).
         let method = options[0].0.clone();
         return match h.app_method(&method) {
-            Ok(_) => Ok(Tick::Progress),
-            Err(MachineError::NoAllowedResult(_)) => {
+            Ok(_) => {
+                gov.on_progress();
+                Ok(Tick::Progress)
+            }
+            Err(MachineError::NoAllowedResult(_)) | Err(MachineError::Criterion(_)) => {
                 h.abort_and_retry()?;
                 t.started = false;
                 t.stats.aborts += 1;
+                gov.on_abort();
                 Ok(Tick::Aborted)
             }
             Err(e) => Err(e),
@@ -109,6 +133,10 @@ fn tick_thread<S: SeqSpec>(
         let mut tok = token.lock().expect("token lock poisoned");
         match *tok {
             Some(holder) if holder != h.tid() => {
+                // The commit-token wait deliberately does NOT consult the
+                // contention manager: MS writers never abort, and the
+                // token is released within the holder's same tick, so the
+                // wait is always short and bounded.
                 t.stats.blocked_ticks += 1;
                 return Ok(Tick::Blocked);
             }
@@ -121,6 +149,7 @@ fn tick_thread<S: SeqSpec>(
         Ok(_) => {
             t.started = false;
             t.stats.commits += 1;
+            gov.on_commit();
             Ok(Tick::Committed)
         }
         Err(e) if is_conflict(&e) => {
@@ -128,6 +157,7 @@ fn tick_thread<S: SeqSpec>(
             h.abort_and_retry()?;
             t.started = false;
             t.stats.aborts += 1;
+            gov.on_abort();
             Ok(Tick::Aborted)
         }
         Err(e) => Err(e),
@@ -135,17 +165,31 @@ fn tick_thread<S: SeqSpec>(
 }
 
 impl<S: SeqSpec> MatveevShavitSystem<S> {
-    /// Creates a system running `programs[i]` on thread `i`.
+    /// Creates a system running `programs[i]` on thread `i` under the
+    /// default contention manager.
     pub fn new(spec: S, programs: Vec<Vec<Code<S::Method>>>) -> Self {
+        Self::with_contention(spec, programs, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        spec: S,
+        programs: Vec<Vec<Code<S::Method>>>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(spec);
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             token: Mutex::new(None),
             threads: vec![MsThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -156,16 +200,22 @@ impl<S: SeqSpec> MatveevShavitSystem<S> {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 }
 
 impl<S: SeqSpec + Clone> Clone for MatveevShavitSystem<S> {
     fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
         Self {
             machine: self.machine.clone(),
             token: Mutex::new(*self.token.lock().expect("token lock poisoned")),
             threads: self.threads.clone(),
+            contention,
+            governors,
         }
     }
 }
@@ -176,6 +226,7 @@ impl<S: SeqSpec> TmSystem for MatveevShavitSystem<S> {
             &self.token,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -195,6 +246,10 @@ impl<S: SeqSpec> TmSystem for MatveevShavitSystem<S> {
     fn name(&self) -> &'static str {
         "pessimistic-ms"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl<S> ParallelSystem for MatveevShavitSystem<S>
@@ -210,7 +265,8 @@ where
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(token, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(token, h, t, gov)) as Worker<'_>)
             .collect()
     }
 }

@@ -18,7 +18,7 @@
 //! exact commutativity checks, exactly as §6.2 says ("which is
 //! approximated via read/write sets").
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
@@ -27,8 +27,11 @@ use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::memory::{GlobalClock, VersionedMemory};
 use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
-use crate::util::pull_committed_lenient;
+use crate::util::{is_conflict, pull_committed_lenient};
 
 #[derive(Debug, Clone, Default)]
 struct Tl2Txn {
@@ -69,6 +72,8 @@ pub struct Tl2System {
     machine: Machine<RwMem>,
     shared: Tl2Shared,
     threads: Vec<Tl2Thread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// TL2's shared metadata: the global version clock (already atomic) and
@@ -93,6 +98,7 @@ fn abort_thread(
     shared: &Tl2Shared,
     h: &mut TxnHandle<RwMem>,
     t: &mut Tl2Thread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
     shared
@@ -103,6 +109,7 @@ fn abort_thread(
     h.abort_and_retry()?;
     t.txn = Tl2Txn::default();
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -112,9 +119,16 @@ fn tick_thread(
     shared: &Tl2Shared,
     h: &mut TxnHandle<RwMem>,
     t: &mut Tl2Thread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return abort_thread(shared, h, t, gov),
+        Gate::Run => {}
     }
     let txn = h.txn();
     if !t.txn.started {
@@ -136,7 +150,7 @@ fn tick_thread(
                 .expect("vmem lock poisoned")
                 .try_lock(txn, *l)
             {
-                return abort_thread(shared, h, t);
+                return abort_thread(shared, h, t, gov);
             }
         }
         // 2. wv := GV.tick().
@@ -149,7 +163,7 @@ fn tick_thread(
             .expect("vmem lock poisoned")
             .validate(txn, &read_set)
         {
-            return abort_thread(shared, h, t);
+            return abort_thread(shared, h, t, gov);
         }
         // 4. Publish: PUSH*;CMT on the machine, then bump versions.
         match h.push_all_and_commit() {
@@ -161,19 +175,24 @@ fn tick_thread(
                     .publish(txn, &write_set, wv);
                 t.txn = Tl2Txn::default();
                 t.stats.commits += 1;
+                gov.on_commit();
                 Ok(Tick::Committed)
             }
             Err(MachineError::Criterion(v)) => {
                 // TL2 said yes but the exact criteria said no: record
-                // the surprise (the soundness tests require zero).
-                t.criteria_surprises += 1;
+                // the surprise (the soundness tests require zero) —
+                // unless a fault hook is armed, in which case the
+                // denial is injected, not a soundness gap.
+                if h.global_state().fault_hook().is_none() {
+                    t.criteria_surprises += 1;
+                }
                 shared
                     .vmem
                     .lock()
                     .expect("vmem lock poisoned")
                     .unlock_all(txn);
                 let _ = v;
-                abort_thread(shared, h, t)
+                abort_thread(shared, h, t, gov)
             }
             Err(e) => Err(e),
         }
@@ -188,12 +207,16 @@ fn tick_thread(
                     (vmem.version(&l), vmem.locked_by_other(&l, txn))
                 };
                 if ver > t.txn.rv || locked_by_other {
-                    return abort_thread(shared, h, t);
+                    return abort_thread(shared, h, t, gov);
                 }
                 t.txn.read_set.push((l, ver));
                 match h.app_method(&method) {
-                    Ok(_) => Ok(Tick::Progress),
-                    Err(MachineError::NoAllowedResult(_)) => abort_thread(shared, h, t),
+                    Ok(_) => {
+                        gov.on_progress();
+                        Ok(Tick::Progress)
+                    }
+                    Err(MachineError::NoAllowedResult(_)) => abort_thread(shared, h, t, gov),
+                    Err(e) if is_conflict(&e) => abort_thread(shared, h, t, gov),
                     Err(e) => Err(e),
                 }
             }
@@ -202,7 +225,11 @@ fn tick_thread(
                     t.txn.write_set.push(l);
                 }
                 match h.app_method(&method) {
-                    Ok(_) => Ok(Tick::Progress),
+                    Ok(_) => {
+                        gov.on_progress();
+                        Ok(Tick::Progress)
+                    }
+                    Err(e) if is_conflict(&e) => abort_thread(shared, h, t, gov),
                     Err(e) => Err(e),
                 }
             }
@@ -211,13 +238,24 @@ fn tick_thread(
 }
 
 impl Tl2System {
-    /// Creates a system running `programs[i]` on thread `i`.
+    /// Creates a system running `programs[i]` on thread `i` under the
+    /// default contention manager.
     pub fn new(programs: Vec<Vec<Code<MemMethod>>>) -> Self {
+        Self::with_contention(programs, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        programs: Vec<Vec<Code<MemMethod>>>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(RwMem::new());
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             shared: Tl2Shared {
@@ -225,6 +263,8 @@ impl Tl2System {
                 vmem: Mutex::new(VersionedMemory::new()),
             },
             threads: vec![Tl2Thread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -235,7 +275,9 @@ impl Tl2System {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 
     /// Times the machine's criteria rejected a commit that TL2's own
@@ -248,6 +290,8 @@ impl Tl2System {
 
 impl Clone for Tl2System {
     fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
         Self {
             machine: self.machine.clone(),
             shared: Tl2Shared {
@@ -255,6 +299,8 @@ impl Clone for Tl2System {
                 vmem: Mutex::new(self.shared.vmem.lock().expect("vmem lock poisoned").clone()),
             },
             threads: self.threads.clone(),
+            contention,
+            governors,
         }
     }
 }
@@ -265,6 +311,7 @@ impl TmSystem for Tl2System {
             &self.shared,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -284,6 +331,10 @@ impl TmSystem for Tl2System {
     fn name(&self) -> &'static str {
         "tl2"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl ParallelSystem for Tl2System {
@@ -293,7 +344,8 @@ impl ParallelSystem for Tl2System {
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(shared, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(shared, h, t, gov)) as Worker<'_>)
             .collect()
     }
 }

@@ -14,7 +14,7 @@
 //! this pattern: a 2PL run discharges PUSH obligations but never
 //! violates one.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
 use pushpull_core::machine::Machine;
@@ -23,11 +23,12 @@ use pushpull_core::{Code, TxnHandle};
 use pushpull_ds::rwlocks::{Mode, RwLockTable, RwOutcome};
 use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
 
+use crate::contention::{
+    default_manager, ContentionManager, ContentionState, Gate, Governor, StarvationReport,
+    WaitVerdict,
+};
 use crate::driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 use crate::util::{is_conflict, pull_committed_lenient};
-
-/// Consecutive blocked ticks tolerated before aborting.
-const BLOCK_ABORT_THRESHOLD: u32 = 24;
 
 /// A strict two-phase-locking system over [`RwMem`].
 ///
@@ -60,12 +61,13 @@ pub struct TwoPhaseLocking {
     /// behind a short-held mutex.
     locks: Mutex<RwLockTable<Loc>>,
     threads: Vec<TplThread>,
+    contention: Arc<ContentionState>,
+    governors: Vec<Governor>,
 }
 
 /// Per-thread driver state, owned by exactly one worker.
 #[derive(Debug, Clone, Default)]
 struct TplThread {
-    blocked_streak: u32,
     stats: SystemStats,
 }
 
@@ -73,12 +75,13 @@ fn abort_thread(
     locks: &Mutex<RwLockTable<Loc>>,
     h: &mut TxnHandle<RwMem>,
     t: &mut TplThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
     h.abort_and_retry()?;
     locks.lock().expect("lock table poisoned").release_all(txn);
-    t.blocked_streak = 0;
     t.stats.aborts += 1;
+    gov.on_abort();
     Ok(Tick::Aborted)
 }
 
@@ -86,13 +89,13 @@ fn blocked_thread(
     locks: &Mutex<RwLockTable<Loc>>,
     h: &mut TxnHandle<RwMem>,
     t: &mut TplThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    t.blocked_streak += 1;
     t.stats.blocked_ticks += 1;
-    if t.blocked_streak >= BLOCK_ABORT_THRESHOLD {
-        return abort_thread(locks, h, t);
+    match gov.on_blocked() {
+        WaitVerdict::GiveUp => abort_thread(locks, h, t, gov),
+        WaitVerdict::Wait => Ok(Tick::Blocked),
     }
-    Ok(Tick::Blocked)
 }
 
 /// One 2PL tick for one thread: the lock table is consulted briefly per
@@ -101,20 +104,33 @@ fn tick_thread(
     locks: &Mutex<RwLockTable<Loc>>,
     h: &mut TxnHandle<RwMem>,
     t: &mut TplThread,
+    gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
-    if h.is_done() {
-        return Ok(Tick::Done);
+    match gov.gate(h) {
+        Gate::Done => return Ok(Tick::Done),
+        Gate::Park => {
+            t.stats.blocked_ticks += 1;
+            return Ok(Tick::Blocked);
+        }
+        Gate::Kill => return abort_thread(locks, h, t, gov),
+        Gate::Run => {}
     }
     let txn = h.txn();
     let options = h.step_options()?;
     if options.is_empty() {
-        let committed = h.commit()?;
+        let committed = match h.commit() {
+            Ok(committed) => committed,
+            // Natural CMT failures cannot happen (everything was pushed
+            // under locks); an injected denial aborts like a deadlock.
+            Err(e) if is_conflict(&e) => return abort_thread(locks, h, t, gov),
+            Err(e) => return Err(e),
+        };
         locks
             .lock()
             .expect("lock table poisoned")
             .release_all(committed);
-        t.blocked_streak = 0;
         t.stats.commits += 1;
+        gov.on_commit();
         return Ok(Tick::Committed);
     }
     let method = options[0].0;
@@ -130,19 +146,20 @@ fn tick_thread(
         .try_lock(txn, loc, mode);
     match outcome {
         RwOutcome::Granted => {}
-        RwOutcome::Busy { .. } => return blocked_thread(locks, h, t),
-        RwOutcome::WouldDeadlock => return abort_thread(locks, h, t),
+        RwOutcome::Busy { .. } => return blocked_thread(locks, h, t, gov),
+        RwOutcome::WouldDeadlock => return abort_thread(locks, h, t, gov),
     }
     // Lock held: refresh committed view, then APP;PUSH eagerly.
     pull_committed_lenient(h)?;
     let op = match h.app_method(&method) {
         Ok(op) => op,
-        Err(MachineError::NoAllowedResult(_)) => return abort_thread(locks, h, t),
+        Err(MachineError::NoAllowedResult(_)) => return abort_thread(locks, h, t, gov),
+        Err(e) if is_conflict(&e) => return abort_thread(locks, h, t, gov),
         Err(e) => return Err(e),
     };
     match h.push(op) {
         Ok(()) => {
-            t.blocked_streak = 0;
+            gov.on_progress();
             Ok(Tick::Progress)
         }
         Err(e) if is_conflict(&e) => {
@@ -150,24 +167,37 @@ fn tick_thread(
             // this only fires for exotic interleavings the lock order
             // didn't cover; treat as a wait.
             h.unapp()?;
-            blocked_thread(locks, h, t)
+            blocked_thread(locks, h, t, gov)
         }
         Err(e) => Err(e),
     }
 }
 
 impl TwoPhaseLocking {
-    /// Creates a system running `programs[i]` on thread `i`.
+    /// Creates a system running `programs[i]` on thread `i` under the
+    /// default contention manager.
     pub fn new(programs: Vec<Vec<Code<MemMethod>>>) -> Self {
+        Self::with_contention(programs, default_manager())
+    }
+
+    /// Creates a system with an explicit contention-management policy.
+    pub fn with_contention(
+        programs: Vec<Vec<Code<MemMethod>>>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
         let mut machine = Machine::new(RwMem::new());
         let n = programs.len();
         for p in programs {
             machine.add_thread(p);
         }
+        let contention = ContentionState::new(cm);
+        let governors = contention.governors(n);
         Self {
             machine,
             locks: Mutex::new(RwLockTable::new()),
             threads: vec![TplThread::default(); n],
+            contention,
+            governors,
         }
     }
 
@@ -178,16 +208,22 @@ impl TwoPhaseLocking {
 
     /// Accumulated statistics (summed over threads).
     pub fn stats(&self) -> SystemStats {
-        self.threads.iter().map(|t| t.stats).sum()
+        let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
+        self.contention.fold_into(&mut stats);
+        stats
     }
 }
 
 impl Clone for TwoPhaseLocking {
     fn clone(&self) -> Self {
+        let contention = self.contention.fork();
+        let governors = contention.governors(self.threads.len());
         Self {
             machine: self.machine.clone(),
             locks: Mutex::new(self.locks.lock().expect("lock table poisoned").clone()),
             threads: self.threads.clone(),
+            contention,
+            governors,
         }
     }
 }
@@ -198,6 +234,7 @@ impl TmSystem for TwoPhaseLocking {
             &self.locks,
             self.machine.handle_mut(tid)?,
             &mut self.threads[tid.0],
+            &mut self.governors[tid.0],
         )
     }
 
@@ -217,6 +254,10 @@ impl TmSystem for TwoPhaseLocking {
     fn name(&self) -> &'static str {
         "two-phase-locking"
     }
+
+    fn starvation(&self) -> Option<StarvationReport> {
+        Some(self.contention.report())
+    }
 }
 
 impl ParallelSystem for TwoPhaseLocking {
@@ -226,7 +267,8 @@ impl ParallelSystem for TwoPhaseLocking {
             .handles_mut()
             .iter_mut()
             .zip(self.threads.iter_mut())
-            .map(|(h, t)| Box::new(move || tick_thread(locks, h, t)) as Worker<'_>)
+            .zip(self.governors.iter_mut())
+            .map(|((h, t), gov)| Box::new(move || tick_thread(locks, h, t, gov)) as Worker<'_>)
             .collect()
     }
 }
