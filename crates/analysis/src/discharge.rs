@@ -1,0 +1,198 @@
+//! The static criteria prover: turns a mover matrix plus a program
+//! summary into a [`StaticDischarge`] — the set of rule clauses whose
+//! runtime mover loops are provable ahead of time.
+//!
+//! The four mover-loop clauses of the machine and their proof conditions:
+//!
+//! | clause | runtime loop | static condition |
+//! |---|---|---|
+//! | PUSH (i) | earlier not-pushed *own* ops ◁ the pushed op | every txn's footprint internally all-mover |
+//! | PUSH (ii) | uncommitted *other-txn* ops in `G` ◁ the pushed op | all reachable ordered pairs over the union footprint |
+//! | UNPUSH (i) | the unpushed op ◁ the suffix of `G` | all reachable ordered pairs over the union footprint |
+//! | PULL (iii) | own local ops ◁ the pulled op | all reachable ordered pairs over the union footprint |
+//!
+//! PUSH (i) ranges only over operations of the *same* transaction, so it
+//! is discharged per-transaction: mover-heavy cross-transaction conflicts
+//! do not block it. The other three clauses may compare operations of any
+//! two transactions (including committed history), so they need the full
+//! alphabet proven. "Reachable" excludes self-pairs of methods that can
+//! never have two live operation instances at once
+//! ([`ProgramSummary::multi_instance`]): a runtime loop only ever
+//! compares ops *currently in the logs*, and an aborted instance is
+//! rewound out of them before its retry re-invokes the method. CMT has
+//! no mover clause in this rendering — its criteria are structural
+//! (everything pushed, `fin` reached) plus the `allowed`-prefix check;
+//! see DESIGN.md §8.
+//!
+//! Soundness: a `Some(true)` cell means `m₁ ◁ m₂` holds for **every**
+//! observable return pair ([`SeqSpec::method_mover`]'s contract), and the
+//! runtime only ever compares operations whose methods are in the
+//! footprints walked here, so an elided loop can never have failed. Debug
+//! builds re-run every elided predicate and assert agreement.
+
+use pushpull_core::error::{Clause, Rule};
+use pushpull_core::spec::SeqSpec;
+use pushpull_core::static_facts::StaticDischarge;
+
+use crate::matrix::MoverMatrix;
+use crate::summary::ProgramSummary;
+
+/// The prover's output: the discharge set plus the matrix it was proved
+/// from (kept for reports and further lints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DischargeOutcome<M> {
+    /// The proven obligations, ready to arm a
+    /// [`GlobalState`](pushpull_core::GlobalState).
+    pub facts: StaticDischarge,
+    /// The cached mover matrix over the union footprint.
+    pub matrix: MoverMatrix<M>,
+}
+
+/// Proves whatever mover clauses the matrix supports for these programs.
+pub fn prove<S: SeqSpec>(
+    spec: &S,
+    summary: &ProgramSummary<S::Method>,
+) -> DischargeOutcome<S::Method> {
+    let matrix = MoverMatrix::build(spec, &summary.footprint);
+    let mut facts = StaticDischarge::none();
+    facts.proven_pairs = matrix.proven_pairs();
+    facts.alphabet = matrix.len();
+
+    // PUSH (i) compares *distinct* operations of one transaction, so a
+    // self-pair (m, m) only matters for methods the transaction can run
+    // twice in one execution (`TxnSummary::repeated`).
+    let txn_internally_proven = |t: &crate::summary::TxnSummary<S::Method>| {
+        t.footprint.iter().all(|m1| {
+            t.footprint
+                .iter()
+                .all(|m2| (m1 == m2 && !t.repeated.contains(m1)) || matrix.proven(m1, m2))
+        })
+    };
+    if summary.txns.iter().all(txn_internally_proven) {
+        facts.add(Rule::Push, Clause::I);
+    }
+    // Cross-transaction clauses: every ordered pair, except self-pairs
+    // of methods that can never be live twice (at most one instance of
+    // them is ever in the logs, so no loop can pit one against itself).
+    let cross_txn_proven = summary.footprint.iter().all(|m1| {
+        summary
+            .footprint
+            .iter()
+            .all(|m2| (m1 == m2 && !summary.multi_instance.contains(m1)) || matrix.proven(m1, m2))
+    });
+    if cross_txn_proven {
+        facts.add(Rule::Push, Clause::Ii);
+        facts.add(Rule::UnPush, Clause::I);
+        facts.add(Rule::Pull, Clause::Iii);
+    }
+    DischargeOutcome { facts, matrix }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::summarize;
+    use pushpull_core::lang::Code;
+    use pushpull_spec::bank::{Bank, BankMethod};
+    use pushpull_spec::counter::{Counter, CtrMethod};
+    use pushpull_spec::queue::{QueueMethod, QueueSpec};
+
+    #[test]
+    fn mover_heavy_workload_discharges_all_four_clauses() {
+        let programs: Vec<Vec<Code<CtrMethod>>> = (0..3)
+            .map(|t| vec![Code::method(CtrMethod::Add(t + 1))])
+            .collect();
+        let out = prove(&Counter::new(), &summarize(&programs));
+        assert!(out.facts.discharges(Rule::Push, Clause::I));
+        assert!(out.facts.discharges(Rule::Push, Clause::Ii));
+        assert!(out.facts.discharges(Rule::UnPush, Clause::I));
+        assert!(out.facts.discharges(Rule::Pull, Clause::Iii));
+        assert_eq!(out.facts.obligations().len(), 4);
+    }
+
+    #[test]
+    fn conflict_heavy_workload_discharges_nothing() {
+        // Enq ◁̸ Deq, and both appear inside one transaction, so even the
+        // per-transaction PUSH (i) clause is unprovable.
+        let programs: Vec<Vec<Code<QueueMethod>>> = vec![
+            vec![Code::seq(
+                Code::method(QueueMethod::Enq(1)),
+                Code::method(QueueMethod::Deq),
+            )],
+            vec![Code::method(QueueMethod::Deq)],
+        ];
+        let out = prove(&QueueSpec::new(), &summarize(&programs));
+        assert!(!out.facts.any());
+        assert_eq!(out.facts.alphabet, 2);
+    }
+
+    #[test]
+    fn single_op_transactions_prove_push_i_vacuously() {
+        // PUSH (i) only ranges over *earlier own* operations; a
+        // transaction with one op has none, so conflicts across threads
+        // do not block it.
+        let programs: Vec<Vec<Code<QueueMethod>>> = vec![
+            vec![Code::method(QueueMethod::Enq(1))],
+            vec![Code::method(QueueMethod::Deq)],
+        ];
+        let out = prove(&QueueSpec::new(), &summarize(&programs));
+        assert!(out.facts.discharges(Rule::Push, Clause::I));
+        assert!(!out.facts.discharges(Rule::Push, Clause::Ii));
+        assert!(!out.facts.discharges(Rule::UnPush, Clause::I));
+        assert!(!out.facts.discharges(Rule::Pull, Clause::Iii));
+    }
+
+    #[test]
+    fn push_i_survives_cross_transaction_conflicts() {
+        // Each transfer touches two distinct accounts (internally
+        // all-mover), but different transactions share accounts with
+        // non-mover withdraw pairs: PUSH (i) is still provable while the
+        // cross-transaction clauses are not.
+        let programs: Vec<Vec<Code<BankMethod>>> = vec![
+            vec![Code::seq(
+                Code::method(BankMethod::Withdraw(0, 5)),
+                Code::method(BankMethod::Deposit(1, 5)),
+            )],
+            vec![Code::seq(
+                Code::method(BankMethod::Withdraw(1, 5)),
+                Code::method(BankMethod::Deposit(0, 5)),
+            )],
+        ];
+        let out = prove(&Bank::new(), &summarize(&programs));
+        assert!(out.facts.discharges(Rule::Push, Clause::I));
+        assert!(!out.facts.discharges(Rule::Push, Clause::Ii));
+        assert!(!out.facts.discharges(Rule::Pull, Clause::Iii));
+    }
+
+    #[test]
+    fn single_instance_self_pairs_do_not_block_cross_txn_clauses() {
+        use pushpull_spec::kvmap::{KvMap, MapMethod};
+        // Put(k,v) ◁̸ Put(k,v) in the method-level oracle, but each write
+        // occurs once in the whole thread set, so no loop can ever
+        // compare one against itself: all four clauses still discharge.
+        let programs: Vec<Vec<Code<MapMethod>>> = (0..3)
+            .map(|t| vec![Code::method(MapMethod::Put(t, 1))])
+            .collect();
+        let out = prove(&KvMap::new(), &summarize(&programs));
+        assert!(out.facts.discharges(Rule::Push, Clause::Ii));
+        assert!(out.facts.discharges(Rule::Pull, Clause::Iii));
+
+        // Duplicating one write across threads makes its self-pair
+        // reachable, and the proof collapses.
+        let programs: Vec<Vec<Code<MapMethod>>> = (0..2)
+            .map(|_| vec![Code::method(MapMethod::Put(7, 1))])
+            .collect();
+        let out = prove(&KvMap::new(), &summarize(&programs));
+        assert!(!out.facts.discharges(Rule::Push, Clause::Ii));
+        // PUSH (i) is still fine: within each txn the method runs once.
+        assert!(out.facts.discharges(Rule::Push, Clause::I));
+    }
+
+    #[test]
+    fn empty_programs_discharge_vacuously() {
+        let programs: Vec<Vec<Code<CtrMethod>>> = vec![vec![Code::Skip]];
+        let out = prove(&Counter::new(), &summarize(&programs));
+        assert!(out.facts.any(), "empty alphabet proves vacuously");
+        assert_eq!(out.facts.alphabet, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The analyzer entry point: one call that summarizes the programs,
+//! builds the mover matrix, proves whatever criteria it can, runs the
+//! lints, and packages everything as an [`AnalysisPlan`] the harness can
+//! install on any driver.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pushpull_core::lang::Code;
+use pushpull_core::spec::SeqSpec;
+use pushpull_core::static_facts::{RulePattern, StaticDischarge};
+
+use crate::diagnostics::{render_report, Diagnostic, Severity};
+use crate::discharge::prove;
+use crate::lint::{lint_declaration, lint_programs, LintConfig};
+use crate::matrix::MoverMatrix;
+use crate::summary::{summarize, ProgramSummary};
+
+/// Tunables for [`analyze_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisConfig {
+    /// Exploration caps for the semantic lints.
+    pub lint: LintConfig,
+    /// Skip the semantic lints entirely (the prover still runs).
+    pub skip_lints: bool,
+}
+
+/// Everything the static analysis learned about a workload, type-erased
+/// enough for the harness to carry: proven discharge facts, diagnostics,
+/// and a rendered report.
+#[derive(Debug, Clone)]
+pub struct AnalysisPlan {
+    /// Proven obligations, `Some` only when at least one clause was
+    /// discharged — ready for
+    /// [`GlobalState::set_static_discharge`](pushpull_core::GlobalState::set_static_discharge).
+    pub discharge: Option<Arc<StaticDischarge>>,
+    /// Linter findings, program-level and declaration-level.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Rules every completed run of the workload must exercise.
+    pub required: RulePattern,
+    /// Size of the union method footprint.
+    pub footprint: usize,
+    /// Number of transactions analyzed.
+    pub txns: usize,
+    /// Number of threads.
+    pub threads: usize,
+    /// Human-readable report: mover matrix (when small), discharge facts,
+    /// and rendered diagnostics.
+    pub report: String,
+}
+
+impl AnalysisPlan {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+}
+
+impl fmt::Display for AnalysisPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.report)
+    }
+}
+
+/// Analyzes a thread set with default settings.
+pub fn analyze<S: SeqSpec>(spec: &S, programs: &[Vec<Code<S::Method>>]) -> AnalysisPlan
+where
+    S::Method: fmt::Display,
+{
+    analyze_with(spec, programs, &AnalysisConfig::default())
+}
+
+/// Analyzes a thread set: summary → mover matrix → criteria proofs →
+/// lints → plan.
+pub fn analyze_with<S: SeqSpec>(
+    spec: &S,
+    programs: &[Vec<Code<S::Method>>],
+    cfg: &AnalysisConfig,
+) -> AnalysisPlan
+where
+    S::Method: fmt::Display,
+{
+    let summary = summarize(programs);
+    let outcome = prove(spec, &summary);
+    let diagnostics = if cfg.skip_lints {
+        Vec::new()
+    } else {
+        lint_programs(spec, programs, &summary, &outcome.matrix, &cfg.lint)
+    };
+    let report = render(&summary, &outcome.matrix, &outcome.facts, &diagnostics);
+    AnalysisPlan {
+        discharge: outcome.facts.any().then(|| Arc::new(outcome.facts.clone())),
+        diagnostics,
+        required: summary.required,
+        footprint: summary.footprint.len(),
+        txns: summary.txns.len(),
+        threads: summary.threads,
+        report,
+    }
+}
+
+/// Checks a driver's declared rule pattern against an existing plan's
+/// workload, appending any finding to the plan's diagnostics and report.
+///
+/// Call after [`analyze`] with the values from
+/// `TmSystem::{name, declared_pattern}`; a `None` declaration is not a
+/// finding.
+pub fn check_declaration<S: SeqSpec>(
+    plan: &mut AnalysisPlan,
+    spec: &S,
+    programs: &[Vec<Code<S::Method>>],
+    driver: &str,
+    declared: Option<RulePattern>,
+) -> Option<Diagnostic>
+where
+    S::Method: fmt::Display,
+{
+    let declared = declared?;
+    let summary = summarize(programs);
+    let matrix = MoverMatrix::build(spec, &summary.footprint);
+    let diag = lint_declaration(driver, declared, &summary, &matrix)?;
+    plan.diagnostics.push(diag.clone());
+    plan.report.push_str(&diag.to_string());
+    Some(diag)
+}
+
+fn render<M: Clone + Eq + fmt::Display>(
+    summary: &ProgramSummary<M>,
+    matrix: &MoverMatrix<M>,
+    facts: &StaticDischarge,
+    diagnostics: &[Diagnostic],
+) -> String {
+    const MATRIX_RENDER_CAP: usize = 12;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "analyzed {} txns on {} threads, footprint {} methods, required rules {}\n",
+        summary.txns.len(),
+        summary.threads,
+        summary.footprint.len(),
+        summary.required,
+    ));
+    if matrix.len() <= MATRIX_RENDER_CAP && !matrix.is_empty() {
+        out.push_str(&matrix.render());
+    } else if !matrix.is_empty() {
+        out.push_str(&format!(
+            "mover matrix: {} of {} ordered pairs proven (alphabet too large to render)\n",
+            matrix.proven_pairs(),
+            matrix.len() * matrix.len(),
+        ));
+    }
+    out.push_str(&facts.to_string());
+    out.push('\n');
+    if !diagnostics.is_empty() {
+        out.push_str(&render_report(diagnostics));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_core::error::{Clause, Rule};
+    use pushpull_spec::counter::{Counter, CtrMethod};
+    use pushpull_spec::queue::{QueueMethod, QueueSpec};
+
+    #[test]
+    fn mover_heavy_plan_carries_discharge_facts() {
+        let programs: Vec<Vec<Code<CtrMethod>>> = (0..4)
+            .map(|t| vec![Code::method(CtrMethod::Add(t))])
+            .collect();
+        let plan = analyze(&Counter::new(), &programs);
+        let facts = plan.discharge.as_ref().expect("all-mover must discharge");
+        assert!(facts.discharges(Rule::Push, Clause::Ii));
+        assert_eq!(plan.errors(), 0);
+        assert_eq!(plan.txns, 4);
+        assert!(plan.report.contains("statically discharged"), "{plan}");
+    }
+
+    #[test]
+    fn conflicting_plan_has_no_discharge_but_diagnoses() {
+        let programs = vec![
+            vec![Code::seq(
+                Code::method(QueueMethod::Enq(1)),
+                Code::method(QueueMethod::Deq),
+            )],
+            vec![Code::method(QueueMethod::Deq)],
+        ];
+        let plan = analyze(&QueueSpec::new(), &programs);
+        assert!(plan.discharge.is_none());
+        assert!(plan.warnings() > 0, "pull-cycle expected: {plan}");
+        assert!(plan.report.contains("pull-cycle"), "{plan}");
+    }
+
+    #[test]
+    fn declaration_check_appends_to_plan() {
+        let programs = vec![vec![Code::method(CtrMethod::Add(1))]];
+        let spec = Counter::new();
+        let mut plan = analyze(&spec, &programs);
+        let before = plan.diagnostics.len();
+        let missing_push = RulePattern::from_iter([Rule::App, Rule::Cmt]);
+        let diag =
+            check_declaration(&mut plan, &spec, &programs, "bogus", Some(missing_push)).unwrap();
+        assert_eq!(diag.severity, Severity::Error);
+        assert_eq!(plan.diagnostics.len(), before + 1);
+        assert!(plan.report.contains("pattern-divergence"), "{plan}");
+        assert!(check_declaration(&mut plan, &spec, &programs, "quiet", None).is_none());
+    }
+
+    #[test]
+    fn skip_lints_still_proves() {
+        let programs = vec![vec![Code::method(CtrMethod::Add(1))]];
+        let cfg = AnalysisConfig {
+            skip_lints: true,
+            ..AnalysisConfig::default()
+        };
+        let plan = analyze_with(&Counter::new(), &programs, &cfg);
+        assert!(plan.discharge.is_some());
+        assert!(plan.diagnostics.is_empty());
+    }
+}

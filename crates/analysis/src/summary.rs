@@ -1,0 +1,224 @@
+//! Conservative per-transaction summaries of `Code<M>` programs, derived
+//! by walking the syntax with the paper's `step`/`fin` equations.
+//!
+//! A [`TxnSummary`] records the transaction's *method footprint* (every
+//! method it may invoke, via [`Code::reachable_methods`]), whether it can
+//! finish without invoking any method, and whether it contains a loop.
+//! [`ProgramSummary`] aggregates a whole thread set and derives the §6
+//! rule-usage facts that hold for **any** driver running these programs:
+//! the rules that *must* fire on every completed run ([`ProgramSummary::
+//! required`]) — the baseline the rule-pattern lint checks declarations
+//! against.
+
+use pushpull_core::error::Rule;
+use pushpull_core::lang::Code;
+use pushpull_core::static_facts::RulePattern;
+
+/// Conservative static facts about one transaction body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSummary<M> {
+    /// Thread index the transaction runs on.
+    pub thread: usize,
+    /// Index of the transaction within its thread's program list.
+    pub index: usize,
+    /// Every method the transaction may invoke (deduplicated, in first
+    /// syntactic occurrence order).
+    pub footprint: Vec<M>,
+    /// Methods the transaction may invoke **twice or more in one
+    /// execution** (so their self-pair shows up in PUSH (i)'s own-ops
+    /// mover loop). A method occurring once per execution — even one
+    /// duplicated across `Choice` branches — is excluded.
+    pub repeated: Vec<M>,
+    /// Can the transaction commit without invoking any method (`fin`
+    /// holds of the whole body)?
+    pub fin_immediate: bool,
+    /// Does the body contain a `(c)*` loop (so its executions are not
+    /// syntactically bounded)?
+    pub has_loop: bool,
+    /// Grammar-node size of the body.
+    pub size: usize,
+}
+
+fn has_star<M>(code: &Code<M>) -> bool {
+    match code {
+        Code::Skip | Code::Method(_) => false,
+        Code::Seq(a, b) | Code::Choice(a, b) => has_star(a) || has_star(b),
+        Code::Star(_) => true,
+        Code::Tx(a) => has_star(a),
+    }
+}
+
+/// The maximum number of times a single execution of `code` may invoke
+/// `m`: sequencing adds, choice takes the larger branch, and a loop whose
+/// body can invoke `m` makes the count unbounded (`usize::MAX`).
+pub fn max_occurrences<M: PartialEq>(code: &Code<M>, m: &M) -> usize {
+    match code {
+        Code::Skip => 0,
+        Code::Method(n) => usize::from(n == m),
+        Code::Seq(a, b) => max_occurrences(a, m).saturating_add(max_occurrences(b, m)),
+        Code::Choice(a, b) => max_occurrences(a, m).max(max_occurrences(b, m)),
+        Code::Star(a) => {
+            if max_occurrences(a, m) > 0 {
+                usize::MAX
+            } else {
+                0
+            }
+        }
+        Code::Tx(a) => max_occurrences(a, m),
+    }
+}
+
+/// Summarizes one transaction body.
+pub fn summarize_txn<M: Clone + PartialEq>(
+    thread: usize,
+    index: usize,
+    code: &Code<M>,
+) -> TxnSummary<M> {
+    let footprint = code.reachable_methods();
+    let repeated = footprint
+        .iter()
+        .filter(|m| max_occurrences(code, m) >= 2)
+        .cloned()
+        .collect();
+    TxnSummary {
+        thread,
+        index,
+        footprint,
+        repeated,
+        fin_immediate: code.fin(),
+        has_loop: has_star(code),
+        size: code.size(),
+    }
+}
+
+/// Static facts about a whole thread set (`programs[t][i]` is thread
+/// `t`'s `i`-th transaction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSummary<M> {
+    /// One summary per transaction, in (thread, index) order.
+    pub txns: Vec<TxnSummary<M>>,
+    /// Union of all footprints (deduplicated, first-occurrence order) —
+    /// the method alphabet the mover matrix ranges over.
+    pub footprint: Vec<M>,
+    /// Methods that can have **two live operation instances at once**
+    /// anywhere in the run: the sum over all transactions of each one's
+    /// per-execution occurrence bound is ≥ 2. Only these methods'
+    /// self-pairs can ever reach a runtime mover loop — a rewound
+    /// (aborted) instance leaves the logs before its retry re-invokes
+    /// the method, so single-occurrence methods never meet themselves.
+    pub multi_instance: Vec<M>,
+    /// Number of threads.
+    pub threads: usize,
+    /// Rules that must fire on every run that completes all transactions,
+    /// for any driver: CMT whenever a transaction exists, plus APP and
+    /// PUSH whenever some transaction cannot finish methodless (every
+    /// invoked operation is APPed, and CMT requires it pushed).
+    pub required: RulePattern,
+}
+
+/// Summarizes a thread set.
+pub fn summarize<M: Clone + PartialEq>(programs: &[Vec<Code<M>>]) -> ProgramSummary<M> {
+    let mut txns = Vec::new();
+    let mut footprint: Vec<M> = Vec::new();
+    for (thread, progs) in programs.iter().enumerate() {
+        for (index, code) in progs.iter().enumerate() {
+            let s = summarize_txn(thread, index, code);
+            for m in &s.footprint {
+                if !footprint.contains(m) {
+                    footprint.push(m.clone());
+                }
+            }
+            txns.push(s);
+        }
+    }
+    let multi_instance = footprint
+        .iter()
+        .filter(|m| {
+            let total: usize = programs
+                .iter()
+                .flatten()
+                .map(|code| max_occurrences(code, m))
+                .fold(0, usize::saturating_add);
+            total >= 2
+        })
+        .cloned()
+        .collect();
+    let mut required = RulePattern::new();
+    if !txns.is_empty() {
+        required = required.with(Rule::Cmt);
+    }
+    if txns.iter().any(|t| !t.fin_immediate) {
+        required = required.with(Rule::App).with(Rule::Push);
+    }
+    ProgramSummary {
+        txns,
+        footprint,
+        multi_instance,
+        threads: programs.len(),
+        required,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(s: &'static str) -> Code<&'static str> {
+        Code::method(s)
+    }
+
+    #[test]
+    fn txn_summary_collects_footprint_and_shape() {
+        let c = Code::seq(m("a"), Code::star(Code::choice(m("b"), m("a"))));
+        let s = summarize_txn(0, 0, &c);
+        assert_eq!(s.footprint, vec!["a", "b"]);
+        // Both may repeat: `a` runs before and inside the loop, `b` loops.
+        assert_eq!(s.repeated, vec!["a", "b"]);
+        assert!(!s.fin_immediate);
+        assert!(s.has_loop);
+        assert_eq!(s.size, c.size());
+    }
+
+    #[test]
+    fn occurrence_lattice_distinguishes_choice_from_seq() {
+        // One execution of (a + a) runs `a` once; (a ; a) runs it twice.
+        assert_eq!(max_occurrences(&Code::choice(m("a"), m("a")), &"a"), 1);
+        assert_eq!(max_occurrences(&Code::seq(m("a"), m("a")), &"a"), 2);
+        assert_eq!(max_occurrences(&Code::star(m("a")), &"a"), usize::MAX);
+        assert_eq!(max_occurrences(&Code::star(m("b")), &"a"), 0);
+        let once = Code::tx(Code::seq(m("a"), m("b")));
+        assert!(summarize_txn(0, 0, &once).repeated.is_empty());
+    }
+
+    #[test]
+    fn program_summary_unions_footprints() {
+        let programs = vec![
+            vec![m("a"), Code::seq(m("b"), m("a"))],
+            vec![Code::star(m("c"))],
+        ];
+        let s = summarize(&programs);
+        assert_eq!(s.txns.len(), 3);
+        assert_eq!(s.footprint, vec!["a", "b", "c"]);
+        assert_eq!(s.threads, 2);
+        // Some txn must run a method: APP+PUSH+CMT required.
+        assert!(s.required.contains(Rule::App));
+        assert!(s.required.contains(Rule::Push));
+        assert!(s.required.contains(Rule::Cmt));
+        assert!(!s.required.contains(Rule::Pull));
+    }
+
+    #[test]
+    fn methodless_programs_require_only_cmt() {
+        let programs: Vec<Vec<Code<&str>>> = vec![vec![Code::Skip, Code::star(m("a"))]];
+        let s = summarize(&programs);
+        // Both transactions can finish without running a method.
+        assert_eq!(s.required.rules(), vec![Rule::Cmt]);
+    }
+
+    #[test]
+    fn empty_thread_set_requires_nothing() {
+        let s = summarize::<&str>(&[]);
+        assert!(s.required.is_empty());
+        assert!(s.footprint.is_empty());
+    }
+}

@@ -10,6 +10,9 @@
 //! | `benches/rule_overhead.rs` | B3 — cost of checking the rule criteria |
 //! | `benches/movers.rs` | B4 — algebraic vs exhaustive mover oracles |
 //! | `benches/mixed_htm.rs` | B5 — mixed boosting+HTM vs all-HTM on §7 workloads |
+//! | `benches/scaling.rs` | B6 — thread scaling |
+//! | `benches/contention.rs` | B7 — contention-management policy sweep |
+//! | `benches/static_elision.rs` | B8 — runtime payoff of the static criteria prover |
 //!
 //! Besides wall-clock measurements, every target prints its shape table
 //! (commits/aborts/ticks) to stderr, which EXPERIMENTS.md records.

@@ -86,6 +86,13 @@ pub struct CriteriaAudit {
     pub discharged: BTreeMap<Obligation, u64>,
     /// Criterion evaluations that failed (and blocked the rule).
     pub violated: BTreeMap<Obligation, u64>,
+    /// Criterion evaluations elided because a static analysis proved the
+    /// obligation ahead of time (see `pushpull-analysis`). Counted at the
+    /// same program points as `discharged`, so
+    /// `discharged + violated + statically_discharged` is exactly the
+    /// number of times the machine reached a criterion — the ledger
+    /// closes whether or not an analysis plan is installed.
+    pub statically_discharged: BTreeMap<Obligation, u64>,
     /// Individual mover-oracle consultations (Definition 4.1 queries).
     pub mover_queries: u64,
     /// Individual `allowed` evaluations.
@@ -114,9 +121,20 @@ impl CriteriaAudit {
             .or_default() += 1;
     }
 
-    /// Total criterion evaluations.
+    /// Records a criterion elided by a static proof.
+    pub fn pass_static(&mut self, rule: Rule, clause: Clause) {
+        *self
+            .statically_discharged
+            .entry(Obligation { rule, clause })
+            .or_default() += 1;
+    }
+
+    /// Total criterion evaluations (dynamic passes + failures + static
+    /// elisions).
     pub fn total(&self) -> u64 {
-        self.discharged.values().sum::<u64>() + self.violated.values().sum::<u64>()
+        self.discharged.values().sum::<u64>()
+            + self.violated.values().sum::<u64>()
+            + self.statically_discharged.values().sum::<u64>()
     }
 
     /// Passed evaluations of one obligation.
@@ -135,6 +153,19 @@ impl CriteriaAudit {
             .unwrap_or(0)
     }
 
+    /// Statically elided evaluations of one obligation.
+    pub fn statically_discharged_count(&self, rule: Rule, clause: Clause) -> u64 {
+        self.statically_discharged
+            .get(&Obligation { rule, clause })
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total statically elided evaluations of every obligation.
+    pub fn statically_discharged_total(&self) -> u64 {
+        self.statically_discharged.values().sum()
+    }
+
     /// Records one injected fault.
     pub fn inject(&mut self, kind: FaultKind) {
         *self.injected.entry(kind).or_default() += 1;
@@ -151,23 +182,30 @@ impl CriteriaAudit {
     }
 
     /// Renders the audit as a small table.
+    ///
+    /// The output is deterministic: obligations appear in `(rule, clause)`
+    /// order (the `Ord` on [`Obligation`]) and injected-fault kinds in
+    /// their `BTreeMap` order, so two audits with equal tallies render
+    /// byte-identically — golden tests and CI log diffs rely on this.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("obligation                 discharged   violated\n");
+        out.push_str("obligation                 discharged   violated     static\n");
         let mut keys: Vec<Obligation> = self
             .discharged
             .keys()
             .chain(self.violated.keys())
+            .chain(self.statically_discharged.keys())
             .copied()
             .collect();
         keys.sort();
         keys.dedup();
         for k in keys {
             out.push_str(&format!(
-                "{:<26} {:>10} {:>10}\n",
+                "{:<26} {:>10} {:>10} {:>10}\n",
                 k.to_string(),
                 self.discharged.get(&k).copied().unwrap_or(0),
-                self.violated.get(&k).copied().unwrap_or(0)
+                self.violated.get(&k).copied().unwrap_or(0),
+                self.statically_discharged.get(&k).copied().unwrap_or(0)
             ));
         }
         out.push_str(&format!(
@@ -225,6 +263,7 @@ impl PaddedU64 {
 pub struct AtomicAudit {
     discharged: [[AtomicU64; 4]; 7],
     violated: [[AtomicU64; 4]; 7],
+    statically_discharged: [[AtomicU64; 4]; 7],
     mover_queries: [PaddedU64; QUERY_SHARDS],
     allowed_queries: [PaddedU64; QUERY_SHARDS],
     /// Injected `Deny(rule)` faults, indexed by the rule's `ord_key`.
@@ -265,6 +304,12 @@ impl AtomicAudit {
     /// Records a failed criterion.
     pub fn fail(&self, rule: Rule, clause: Clause) {
         self.violated[rule.ord_key() as usize][clause.ord_key() as usize]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a criterion elided by a static proof.
+    pub fn pass_static(&self, rule: Rule, clause: Clause) {
+        self.statically_discharged[rule.ord_key() as usize][clause.ord_key() as usize]
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -310,6 +355,14 @@ impl AtomicAudit {
                 if v > 0 {
                     *out.violated.entry(Obligation { rule, clause }).or_default() += v;
                 }
+                let s = self.statically_discharged[rule.ord_key() as usize]
+                    [clause.ord_key() as usize]
+                    .load(Ordering::Relaxed);
+                if s > 0 {
+                    *out.statically_discharged
+                        .entry(Obligation { rule, clause })
+                        .or_default() += s;
+                }
             }
         }
         out.mover_queries = self.mover_queries.iter().map(PaddedU64::load).sum();
@@ -331,7 +384,12 @@ impl AtomicAudit {
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        for row in self.discharged.iter().chain(self.violated.iter()) {
+        for row in self
+            .discharged
+            .iter()
+            .chain(self.violated.iter())
+            .chain(self.statically_discharged.iter())
+        {
             for c in row {
                 c.store(0, Ordering::Relaxed);
             }
@@ -354,6 +412,15 @@ impl Clone for AtomicAudit {
             }
         }
         for (dst, src) in out.violated.iter().zip(self.violated.iter()) {
+            for (d, s) in dst.iter().zip(src.iter()) {
+                d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        for (dst, src) in out
+            .statically_discharged
+            .iter()
+            .zip(self.statically_discharged.iter())
+        {
             for (d, s) in dst.iter().zip(src.iter()) {
                 d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
             }
@@ -393,6 +460,64 @@ mod tests {
         let table = a.render();
         assert!(table.contains("PUSH criterion (ii)"));
         assert!(table.contains("mover queries: 5"));
+    }
+
+    #[test]
+    fn render_is_deterministic_golden() {
+        // Insert out of display order; the render must still come out in
+        // (rule, clause) order, byte-for-byte.
+        let mut a = CriteriaAudit::default();
+        a.fail(Rule::Cmt, Clause::Iii);
+        a.pass(Rule::Push, Clause::Ii);
+        a.pass_static(Rule::Push, Clause::I);
+        a.pass(Rule::App, Clause::Ii);
+        a.pass_static(Rule::Push, Clause::Ii);
+        a.mover_queries = 7;
+        a.allowed_queries = 2;
+        let expected = "\
+obligation                 discharged   violated     static
+APP criterion (ii)                  1          0          0
+PUSH criterion (i)                  0          0          1
+PUSH criterion (ii)                 1          0          1
+CMT criterion (iii)                 0          1          0
+mover queries: 7   allowed queries: 2
+";
+        assert_eq!(a.render(), expected);
+        // A second audit built in a different insertion order renders
+        // identically.
+        let mut b = CriteriaAudit::default();
+        b.pass_static(Rule::Push, Clause::Ii);
+        b.pass(Rule::App, Clause::Ii);
+        b.pass_static(Rule::Push, Clause::I);
+        b.pass(Rule::Push, Clause::Ii);
+        b.fail(Rule::Cmt, Clause::Iii);
+        b.mover_queries = 7;
+        b.allowed_queries = 2;
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn static_discharge_tallies_round_trip() {
+        let a = AtomicAudit::new();
+        let mut m = CriteriaAudit::default();
+        for _ in 0..5 {
+            a.pass_static(Rule::Push, Clause::Ii);
+            m.pass_static(Rule::Push, Clause::Ii);
+        }
+        a.pass_static(Rule::Pull, Clause::Iii);
+        m.pass_static(Rule::Pull, Clause::Iii);
+        a.pass(Rule::Push, Clause::Iii);
+        m.pass(Rule::Push, Clause::Iii);
+        let snap = a.snapshot();
+        assert_eq!(snap, m);
+        assert_eq!(snap.statically_discharged_count(Rule::Push, Clause::Ii), 5);
+        assert_eq!(snap.statically_discharged_total(), 6);
+        // The ledger closes: total counts static elisions too.
+        assert_eq!(snap.total(), 7);
+        let b = a.clone();
+        assert_eq!(b.snapshot(), snap);
+        a.reset();
+        assert_eq!(a.snapshot().statically_discharged_total(), 0);
     }
 
     #[test]

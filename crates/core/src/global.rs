@@ -53,6 +53,7 @@ use crate::log::{GlobalFlag, GlobalLog};
 use crate::machine::CheckMode;
 use crate::op::{Op, OpId, OpIdGen, ThreadId, TxnId};
 use crate::spec::SeqSpec;
+use crate::static_facts::StaticDischarge;
 
 /// A committed transaction: its id and its own operations in local-log
 /// order. The sequence of these, in commit order, is the serial witness
@@ -126,6 +127,12 @@ pub struct GlobalState<S: SeqSpec> {
     /// rule hot paths to a single relaxed load when no hook is set.
     faults: RwLock<Option<Arc<dyn FaultHook>>>,
     faults_armed: AtomicBool,
+    /// Statically proven obligations, if an analysis plan installed any.
+    /// Same arm-flag pattern as the fault hook: with no plan the rule
+    /// hot paths pay one relaxed load and behave bit-identically to a
+    /// build without the analyzer.
+    static_facts: RwLock<Option<Arc<StaticDischarge>>>,
+    static_armed: AtomicBool,
 }
 
 impl<S: SeqSpec> GlobalState<S> {
@@ -147,6 +154,8 @@ impl<S: SeqSpec> GlobalState<S> {
             }),
             faults: RwLock::new(None),
             faults_armed: AtomicBool::new(false),
+            static_facts: RwLock::new(None),
+            static_armed: AtomicBool::new(false),
         }
     }
 
@@ -194,6 +203,45 @@ impl<S: SeqSpec> GlobalState<S> {
             .read()
             .expect("fault hook lock poisoned")
             .clone()
+    }
+
+    /// Installs (or, with `None`, removes) a set of statically proven
+    /// obligations. When installed, the mover-loop criteria the proof
+    /// covers are elided at runtime and tallied in the audit's
+    /// `statically_discharged` column instead of `discharged`; in debug
+    /// builds every elided check is still evaluated dynamically and
+    /// asserted to pass (the soundness cross-check).
+    pub fn set_static_discharge(&self, facts: Option<Arc<StaticDischarge>>) {
+        let armed = facts.as_ref().is_some_and(|f| f.any());
+        self.static_armed.store(armed, Ordering::Release);
+        *self
+            .static_facts
+            .write()
+            .expect("static facts lock poisoned") = facts;
+    }
+
+    /// The installed static-discharge facts, if any.
+    pub fn static_discharge(&self) -> Option<Arc<StaticDischarge>> {
+        if !self.static_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.static_facts
+            .read()
+            .expect("static facts lock poisoned")
+            .clone()
+    }
+
+    /// Is the runtime check for `(rule, clause)` statically discharged?
+    /// One relaxed-ish load on the fast path when no plan is installed.
+    pub(crate) fn statically_discharged(&self, rule: Rule, clause: Clause) -> bool {
+        if !self.static_armed.load(Ordering::Acquire) {
+            return false;
+        }
+        self.static_facts
+            .read()
+            .expect("static facts lock poisoned")
+            .as_ref()
+            .is_some_and(|f| f.discharges(rule, clause))
     }
 
     /// Records one injected fault in the audit. The machine calls this
@@ -358,6 +406,8 @@ impl<S: SeqSpec> GlobalState<S> {
             shared: Mutex::new(self.lock().clone()),
             faults: RwLock::new(self.fault_hook()),
             faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
+            static_facts: RwLock::new(self.static_discharge()),
+            static_armed: AtomicBool::new(self.static_armed.load(Ordering::Acquire)),
         }
     }
 }

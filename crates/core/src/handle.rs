@@ -498,20 +498,35 @@ impl<S: SeqSpec> TxnHandle<S> {
         if checked {
             // Criterion (i): op ◁ op' for every earlier npshd own op'.
             // Local-log only — evaluated outside the critical section.
-            for e in &self.local.entries()[..pos] {
-                if e.flag.is_not_pushed() && !self.global.mover_q(shard, &op, &e.op) {
-                    self.global.audit.fail(Rule::Push, Clause::I);
-                    return Err(MachineError::criterion(
-                        Rule::Push,
-                        Clause::I,
-                        format!(
-                            "{} does not move across earlier unpushed {}",
-                            op.id, e.op.id
-                        ),
-                    ));
+            if self.global.statically_discharged(Rule::Push, Clause::I) {
+                // Soundness cross-check: in debug builds the elided loop
+                // still runs (without audit accounting) and must agree.
+                #[cfg(debug_assertions)]
+                for e in &self.local.entries()[..pos] {
+                    assert!(
+                        !e.flag.is_not_pushed() || self.global.spec().mover(&op, &e.op),
+                        "static discharge of PUSH (i) contradicted dynamically: {} vs {}",
+                        op.id,
+                        e.op.id
+                    );
                 }
+                self.global.audit.pass_static(Rule::Push, Clause::I);
+            } else {
+                for e in &self.local.entries()[..pos] {
+                    if e.flag.is_not_pushed() && !self.global.mover_q(shard, &op, &e.op) {
+                        self.global.audit.fail(Rule::Push, Clause::I);
+                        return Err(MachineError::criterion(
+                            Rule::Push,
+                            Clause::I,
+                            format!(
+                                "{} does not move across earlier unpushed {}",
+                                op.id, e.op.id
+                            ),
+                        ));
+                    }
+                }
+                self.global.audit.pass(Rule::Push, Clause::I);
             }
-            self.global.audit.pass(Rule::Push, Clause::I);
         }
         {
             // Critical section: criteria over G plus the append, atomic.
@@ -519,23 +534,38 @@ impl<S: SeqSpec> TxnHandle<S> {
             if checked {
                 // Criterion (ii): every uncommitted op of other txns moves
                 // right of op.
-                for g in sh.global.iter() {
-                    if g.flag == GlobalFlag::Uncommitted
-                        && g.op.txn != self.txn
-                        && !self.global.mover_q(shard, &g.op, &op)
-                    {
-                        self.global.audit.fail(Rule::Push, Clause::Ii);
-                        return Err(MachineError::criterion(
-                            Rule::Push,
-                            Clause::Ii,
-                            format!(
-                                "uncommitted {} of {} cannot move right of {}",
-                                g.op.id, g.op.txn, op.id
-                            ),
-                        ));
+                if self.global.statically_discharged(Rule::Push, Clause::Ii) {
+                    #[cfg(debug_assertions)]
+                    for g in sh.global.iter() {
+                        assert!(
+                            g.flag != GlobalFlag::Uncommitted
+                                || g.op.txn == self.txn
+                                || self.global.spec().mover(&g.op, &op),
+                            "static discharge of PUSH (ii) contradicted dynamically: {} vs {}",
+                            g.op.id,
+                            op.id
+                        );
                     }
+                    self.global.audit.pass_static(Rule::Push, Clause::Ii);
+                } else {
+                    for g in sh.global.iter() {
+                        if g.flag == GlobalFlag::Uncommitted
+                            && g.op.txn != self.txn
+                            && !self.global.mover_q(shard, &g.op, &op)
+                        {
+                            self.global.audit.fail(Rule::Push, Clause::Ii);
+                            return Err(MachineError::criterion(
+                                Rule::Push,
+                                Clause::Ii,
+                                format!(
+                                    "uncommitted {} of {} cannot move right of {}",
+                                    g.op.id, g.op.txn, op.id
+                                ),
+                            ));
+                        }
+                    }
+                    self.global.audit.pass(Rule::Push, Clause::Ii);
                 }
-                self.global.audit.pass(Rule::Push, Clause::Ii);
                 // Criterion (iii): G allows op (incremental over the
                 // uncommitted suffix when the cache is on).
                 if !self.global.g_allows(&sh, shard, &op) {
@@ -617,17 +647,30 @@ impl<S: SeqSpec> TxnHandle<S> {
             if checked {
                 // Criterion (i), gray: op slides right across the suffix.
                 if check_gray {
-                    for g in &sh.global.entries()[gpos + 1..] {
-                        if !self.global.mover_q(shard, &op, &g.op) {
-                            self.global.audit.fail(Rule::UnPush, Clause::I);
-                            return Err(MachineError::criterion(
-                                Rule::UnPush,
-                                Clause::I,
-                                format!("{} cannot slide past later {}", op.id, g.op.id),
-                            ));
+                    if self.global.statically_discharged(Rule::UnPush, Clause::I) {
+                        #[cfg(debug_assertions)]
+                        for g in &sh.global.entries()[gpos + 1..] {
+                            assert!(
+                                self.global.spec().mover(&op, &g.op),
+                                "static discharge of UNPUSH (i) contradicted dynamically: {} vs {}",
+                                op.id,
+                                g.op.id
+                            );
                         }
+                        self.global.audit.pass_static(Rule::UnPush, Clause::I);
+                    } else {
+                        for g in &sh.global.entries()[gpos + 1..] {
+                            if !self.global.mover_q(shard, &op, &g.op) {
+                                self.global.audit.fail(Rule::UnPush, Clause::I);
+                                return Err(MachineError::criterion(
+                                    Rule::UnPush,
+                                    Clause::I,
+                                    format!("{} cannot slide past later {}", op.id, g.op.id),
+                                ));
+                            }
+                        }
+                        self.global.audit.pass(Rule::UnPush, Clause::I);
                     }
-                    self.global.audit.pass(Rule::UnPush, Clause::I);
                 }
                 // Criterion (ii): G without op is still allowed
                 // (incremental: an uncommitted op lies past the cached
@@ -724,17 +767,30 @@ impl<S: SeqSpec> TxnHandle<S> {
             self.global.audit.pass(Rule::Pull, Clause::Ii);
             // Criterion (iii), gray: own local ops move right of op.
             if check_gray {
-                for own in self.local.own_ops() {
-                    if !self.global.mover_q(shard, &own, &gentry.op) {
-                        self.global.audit.fail(Rule::Pull, Clause::Iii);
-                        return Err(MachineError::criterion(
-                            Rule::Pull,
-                            Clause::Iii,
-                            format!("own {} cannot move right of pulled {}", own.id, op_id),
-                        ));
+                if self.global.statically_discharged(Rule::Pull, Clause::Iii) {
+                    #[cfg(debug_assertions)]
+                    for own in self.local.own_ops() {
+                        assert!(
+                            self.global.spec().mover(&own, &gentry.op),
+                            "static discharge of PULL (iii) contradicted dynamically: {} vs {}",
+                            own.id,
+                            op_id
+                        );
                     }
+                    self.global.audit.pass_static(Rule::Pull, Clause::Iii);
+                } else {
+                    for own in self.local.own_ops() {
+                        if !self.global.mover_q(shard, &own, &gentry.op) {
+                            self.global.audit.fail(Rule::Pull, Clause::Iii);
+                            return Err(MachineError::criterion(
+                                Rule::Pull,
+                                Clause::Iii,
+                                format!("own {} cannot move right of pulled {}", own.id, op_id),
+                            ));
+                        }
+                    }
+                    self.global.audit.pass(Rule::Pull, Clause::Iii);
                 }
-                self.global.audit.pass(Rule::Pull, Clause::Iii);
             }
         }
         let reachable_after = self

@@ -105,32 +105,53 @@ impl<M: Clone> Code<M> {
     /// step(tx c)     = step(c)
     /// step(m)        = {(m, skip)}
     /// ```
-    pub fn step(&self) -> Vec<(M, Code<M>)> {
+    ///
+    /// The equations denote *sets*; nested `Choice`/`Star` can produce the
+    /// same `(m, c′)` pair along several syntactic paths, so the result is
+    /// deduplicated (first occurrence kept, order otherwise preserved).
+    pub fn step(&self) -> Vec<(M, Code<M>)>
+    where
+        M: PartialEq,
+    {
+        let mut out = self.step_raw();
+        let mut seen: Vec<(M, Code<M>)> = Vec::with_capacity(out.len());
+        out.retain(|pair| {
+            if seen.contains(pair) {
+                false
+            } else {
+                seen.push(pair.clone());
+                true
+            }
+        });
+        out
+    }
+
+    fn step_raw(&self) -> Vec<(M, Code<M>)> {
         match self {
             Code::Skip => Vec::new(),
             Code::Method(m) => vec![(m.clone(), Code::Skip)],
             Code::Seq(c1, c2) => {
                 let mut out: Vec<(M, Code<M>)> = c1
-                    .step()
+                    .step_raw()
                     .into_iter()
                     .map(|(m, k)| (m, Code::seq(k, (**c2).clone())))
                     .collect();
                 if c1.fin() {
-                    out.extend(c2.step());
+                    out.extend(c2.step_raw());
                 }
                 out
             }
             Code::Choice(c1, c2) => {
-                let mut out = c1.step();
-                out.extend(c2.step());
+                let mut out = c1.step_raw();
+                out.extend(c2.step_raw());
                 out
             }
             Code::Star(c) => c
-                .step()
+                .step_raw()
                 .into_iter()
                 .map(|(m, k)| (m, Code::seq(k, Code::star((**c).clone()))))
                 .collect(),
-            Code::Tx(c) => c.step(),
+            Code::Tx(c) => c.step_raw(),
         }
     }
 
@@ -270,6 +291,24 @@ mod tests {
         // Continuation reduces to c2 (modulo skip-sequencing).
         let next: Vec<&str> = n_step.1.step().into_iter().map(|(n, _)| n).collect();
         assert_eq!(next, vec!["c2"]);
+    }
+
+    #[test]
+    fn step_deduplicates_across_choice_and_star() {
+        // (a + a): both branches reduce to the same (a, skip) pair.
+        let c = Code::choice(m("a"), m("a"));
+        assert_eq!(c.step(), vec![("a", Code::Skip)]);
+        // ((a + a))*: the duplicate survives the Star continuation map
+        // without dedup, since both copies get the same continuation.
+        let c = Code::star(Code::choice(m("a"), m("a")));
+        assert_eq!(c.step().len(), 1);
+        // Nested: ((a ; b) + (a ; b)) + (a ; b) — one pair, not three.
+        let ab = || Code::seq(m("a"), m("b"));
+        let c = Code::choice(Code::choice(ab(), ab()), ab());
+        assert_eq!(c.step().len(), 1);
+        // Distinct continuations for the same method are NOT merged.
+        let c = Code::choice(Code::seq(m("a"), m("b")), Code::seq(m("a"), m("c")));
+        assert_eq!(c.step().len(), 2);
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod precongruence;
 pub mod rng;
 pub mod serializability;
 pub mod spec;
+pub mod static_facts;
 pub mod structural;
 pub mod toy;
 pub mod trace;
@@ -92,4 +93,5 @@ pub use log::{GlobalFlag, GlobalLog, LocalFlag, LocalLog};
 pub use machine::{CheckMode, Machine};
 pub use op::{Op, OpId, ThreadId, TxnId};
 pub use spec::SeqSpec;
+pub use static_facts::{RulePattern, StaticDischarge};
 pub use trace::{Event, Trace};

@@ -146,6 +146,15 @@ impl<S: SeqSpec> Machine<S> {
         self.global.set_fault_hook(hook);
     }
 
+    /// Arms (or, with `None`, disarms) statically proven criteria facts;
+    /// see [`GlobalState::set_static_discharge`].
+    pub fn set_static_discharge(
+        &self,
+        facts: Option<std::sync::Arc<crate::static_facts::StaticDischarge>>,
+    ) {
+        self.global.set_static_discharge(facts);
+    }
+
     /// Is the incremental (committed-prefix cached) `allowed` evaluation
     /// enabled? See [`GlobalState::set_incremental`].
     pub fn incremental(&self) -> bool {

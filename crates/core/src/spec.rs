@@ -12,7 +12,7 @@
 //! The trait also hosts the *mover* oracle of Definition 4.1 used by the
 //! PUSH/PULL rule criteria; see [`SeqSpec::mover`].
 
-use crate::op::Op;
+use crate::op::{Op, OpId, TxnId};
 use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -154,6 +154,76 @@ pub trait SeqSpec {
             None => false,
         }
     }
+
+    /// The *method-level* (return-universal) mover relation used by the
+    /// static criteria prover (`pushpull-analysis`):
+    ///
+    /// * `Some(true)` — `m1 ◁ m2` holds for **every** pair of return
+    ///   observations the two methods can produce, so any runtime mover
+    ///   check between an `m1`-op and an `m2`-op is guaranteed to pass;
+    /// * `Some(false)` — some observable return pair is not a mover (the
+    ///   runtime check cannot be elided);
+    /// * `None` — unknown (no finite universe and no algebraic override);
+    ///   the analyzer must treat the pair as a potential conflict.
+    ///
+    /// The default derives the answer exhaustively from
+    /// [`SeqSpec::state_universe`] via [`method_mover_exhaustive`];
+    /// unbounded specs should override with a return-independent
+    /// algebraic oracle (e.g. "operations on distinct keys always
+    /// commute"). Overrides must be *sound*: `Some(true)` may only be
+    /// returned when [`SeqSpec::mover`] holds for every return pair
+    /// observable at runtime — the `pushpull-analysis` property tests
+    /// cross-check this against the exhaustive derivation on every
+    /// enumerable spec.
+    fn method_mover(&self, m1: &Self::Method, m2: &Self::Method) -> Option<bool> {
+        let universe = self.state_universe()?;
+        Some(method_mover_exhaustive(self, &universe, m1, m2))
+    }
+}
+
+/// All return values `m` can observe anywhere in `universe`, via
+/// [`SeqSpec::results`] (the same enumeration the machine's APP rule
+/// draws from, so it covers every op that can exist at runtime).
+pub fn observable_rets<S: SeqSpec + ?Sized>(
+    spec: &S,
+    universe: &[S::State],
+    m: &S::Method,
+) -> Vec<S::Ret> {
+    let mut out: Vec<S::Ret> = Vec::new();
+    for s in universe {
+        for r in spec.results(s, m) {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+/// Checks the method-level mover `m1 ◁ m2` exhaustively: Definition 4.1
+/// must hold over `universe` for every pair of observable return values.
+/// This is the reference implementation the algebraic
+/// [`SeqSpec::method_mover`] overrides are tested against.
+pub fn method_mover_exhaustive<S: SeqSpec + ?Sized>(
+    spec: &S,
+    universe: &[S::State],
+    m1: &S::Method,
+    m2: &S::Method,
+) -> bool {
+    // The ids/txns below never reach the spec: denotations (and hence
+    // `mover_exhaustive`) look only at methods and returns.
+    let rets1 = observable_rets(spec, universe, m1);
+    let rets2 = observable_rets(spec, universe, m2);
+    for r1 in &rets1 {
+        for r2 in &rets2 {
+            let op1 = Op::new(OpId(u64::MAX), TxnId(u64::MAX), m1.clone(), r1.clone());
+            let op2 = Op::new(OpId(u64::MAX - 1), TxnId(u64::MAX), m2.clone(), r2.clone());
+            if !mover_exhaustive(spec, universe, &op1, &op2) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Checks Definition 4.1 over an explicit state universe: for each state,
@@ -264,6 +334,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn method_mover_derives_from_universe() {
+        let spec = ToyCounter::with_bound(5);
+        // Inc ◁ Inc: increments commute for every ret pair.
+        assert_eq!(
+            spec.method_mover(&CounterMethod::Inc, &CounterMethod::Inc),
+            Some(true)
+        );
+        // Get ◁ Inc fails for some observable ret (get pins the count).
+        assert_eq!(
+            spec.method_mover(&CounterMethod::Get, &CounterMethod::Inc),
+            Some(false)
+        );
+        // Get ◁ Get holds (both pin the same state).
+        assert_eq!(
+            spec.method_mover(&CounterMethod::Get, &CounterMethod::Get),
+            Some(true)
+        );
     }
 
     #[test]

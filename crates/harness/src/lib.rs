@@ -14,8 +14,10 @@
 //! * [`faults`] — deterministic seeded fault plans implementing the core
 //!   machine's [`FaultHook`](pushpull_core::faults::FaultHook) seam, for
 //!   the chaos-matrix tests;
-//! * [`parallel`] — the OS-thread runner, with panic propagation and a
-//!   tick-budget watchdog.
+//! * [`parallel`] — the OS-thread runner, with panic propagation, a
+//!   tick-budget watchdog, and optional installation of a static
+//!   [`AnalysisPlan`](pushpull_analysis::AnalysisPlan) so proven mover
+//!   clauses are elided before any worker spawns.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -27,6 +27,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use pushpull_analysis::AnalysisPlan;
 use pushpull_core::error::MachineError;
 use pushpull_tm::driver::{ParallelSystem, Tick};
 
@@ -136,6 +137,13 @@ struct ThreadSummary {
 /// Runs `sys` with one OS thread per model thread, each ticking its own
 /// worker closure until done (or until `max_ticks_per_thread`).
 ///
+/// When `plan` is `Some`, its statically proven discharge facts (from
+/// [`pushpull_analysis::analyze`]) are installed on the system before any
+/// worker spawns, so the machine's proven mover loops are elided and
+/// tallied under `statically_discharged`; `Some` of a plan that proved
+/// nothing *clears* any previously installed facts. `None` leaves the
+/// system's installed facts untouched.
+///
 /// # Errors
 ///
 /// Propagates the first unexpected [`MachineError`] raised by any worker
@@ -147,10 +155,14 @@ struct ThreadSummary {
 pub fn run_parallel<T>(
     mut sys: T,
     max_ticks_per_thread: usize,
+    plan: Option<&AnalysisPlan>,
 ) -> Result<(T, ParallelOutcome), ParallelError>
 where
     T: ParallelSystem + Send,
 {
+    if let Some(plan) = plan {
+        sys.set_static_discharge(plan.discharge.clone());
+    }
     let total_ticks = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
 
@@ -287,7 +299,7 @@ mod tests {
                 })
                 .collect();
             let sys = BoostingSystem::new(KvMap::new(), programs);
-            let (sys, outcome) = run_parallel(sys, 1_000_000).unwrap();
+            let (sys, outcome) = run_parallel(sys, 1_000_000, None).unwrap();
             assert!(outcome.completed, "round {round} incomplete");
             assert!(outcome.watchdog.is_none());
             assert_eq!(sys.stats().commits, 8, "round {round}");
@@ -310,7 +322,7 @@ mod tests {
                 })
                 .collect();
             let sys = OptimisticSystem::new(RwMem::new(), programs, ReadPolicy::Snapshot);
-            let (sys, outcome) = run_parallel(sys, 1_000_000).unwrap();
+            let (sys, outcome) = run_parallel(sys, 1_000_000, None).unwrap();
             assert!(outcome.completed, "round {round} incomplete");
             let report = check_machine(sys.machine());
             assert!(report.is_serializable(), "round {round}: {report}");
@@ -354,7 +366,7 @@ mod tests {
 
     #[test]
     fn worker_panic_surfaces_thread_and_tick() {
-        let err = run_parallel(PanickySystem, 100_000).unwrap_err();
+        let err = run_parallel(PanickySystem, 100_000, None).unwrap_err();
         match err {
             ParallelError::Panic {
                 thread,
@@ -379,7 +391,7 @@ mod tests {
             .map(|_| vec![Code::method(MapMethod::Put(0, 1))])
             .collect();
         let sys = BoostingSystem::new(KvMap::new(), programs);
-        let (_, outcome) = run_parallel(sys, 1).unwrap();
+        let (_, outcome) = run_parallel(sys, 1, None).unwrap();
         assert!(!outcome.completed);
         let dump = outcome.watchdog.expect("watchdog must trip");
         assert_eq!(dump.threads.len(), 2);

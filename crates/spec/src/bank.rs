@@ -210,6 +210,24 @@ impl SeqSpec for Bank {
             (Deposit(_, n), Balance(_)) | (Withdraw(_, n), Balance(_)) => *n == 0,
         }
     }
+
+    fn method_mover(&self, m1: &BankMethod, m2: &BankMethod) -> Option<bool> {
+        use BankMethod::*;
+        if m1.acct() != m2.acct() {
+            return Some(true);
+        }
+        Some(match (m1, m2) {
+            (Deposit(_, _), Deposit(_, _)) => true,
+            (Balance(_), Balance(_)) => true,
+            // Withdraw pairs and balance-vs-mutator movers depend on the
+            // observed returns (success/failure, zero amounts); they do
+            // not hold universally — except for zero-amount mutators,
+            // which are no-ops against a balance read.
+            (Balance(_), Deposit(_, n)) | (Balance(_), Withdraw(_, n)) => *n == 0,
+            (Deposit(_, n), Balance(_)) | (Withdraw(_, n), Balance(_)) => *n == 0,
+            _ => false,
+        })
+    }
 }
 
 /// Convenience constructors for bank operations.

@@ -176,6 +176,15 @@ impl<A: SeqSpec, B: SeqSpec> SeqSpec for Product<A, B> {
             _ => true,
         }
     }
+
+    fn method_mover(&self, m1: &Self::Method, m2: &Self::Method) -> Option<bool> {
+        match (m1, m2) {
+            (Either::L(a), Either::L(b)) => self.left.method_mover(a, b),
+            (Either::R(a), Either::R(b)) => self.right.method_mover(a, b),
+            // Different components act on disjoint state: always movers.
+            _ => Some(true),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -120,6 +120,16 @@ impl SeqSpec for Counter {
             (CtrMethod::Add(k), CtrMethod::Get) => *k == 0,
         }
     }
+
+    fn method_mover(&self, m1: &CtrMethod, m2: &CtrMethod) -> Option<bool> {
+        // The op-level oracle above never looks at returns, so it *is*
+        // the method-level relation.
+        Some(match (m1, m2) {
+            (CtrMethod::Add(_), CtrMethod::Add(_)) => true,
+            (CtrMethod::Get, CtrMethod::Get) => true,
+            (CtrMethod::Get, CtrMethod::Add(k)) | (CtrMethod::Add(k), CtrMethod::Get) => *k == 0,
+        })
+    }
 }
 
 /// Convenience constructors for counter operations.

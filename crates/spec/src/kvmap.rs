@@ -223,6 +223,19 @@ impl SeqSpec for KvMap {
             (Some(_), None) => size_commutes_with(m1, &op1.ret),
         }
     }
+
+    fn method_mover(&self, m1: &MapMethod, m2: &MapMethod) -> Option<bool> {
+        Some(match (m1.key(), m2.key()) {
+            (Some(k1), Some(k2)) if k1 != k2 => true,
+            (Some(_), Some(_)) => m1.is_read() && m2.is_read(),
+            (None, None) => true, // Size vs Size
+            // Size against a mutator is return-dependent (only
+            // presence-preserving mutations commute), so universally
+            // over returns it holds only for reads.
+            (None, Some(_)) => m2.is_read(),
+            (Some(_), None) => m1.is_read(),
+        })
+    }
 }
 
 /// Does a key-local operation (with its observed ret) preserve key

@@ -179,6 +179,11 @@ impl SeqSpec for QueueSpec {
             _ => false,
         }
     }
+
+    fn method_mover(&self, m1: &QueueMethod, m2: &QueueMethod) -> Option<bool> {
+        // Return-independent already: only peek/peek pairs move.
+        Some(matches!((m1, m2), (QueueMethod::Peek, QueueMethod::Peek)))
+    }
 }
 
 /// Convenience constructors for queue operations.

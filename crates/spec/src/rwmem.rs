@@ -195,6 +195,20 @@ impl SeqSpec for RwMem {
             _ => false,
         }
     }
+
+    fn method_mover(&self, m1: &MemMethod, m2: &MemMethod) -> Option<bool> {
+        if m1.loc() != m2.loc() {
+            return Some(true);
+        }
+        Some(match (m1, m2) {
+            (MemMethod::Read(_), MemMethod::Read(_)) => true,
+            // Same-value blind writes are idempotent in either order.
+            (MemMethod::Write(_, w1), MemMethod::Write(_, w2)) => w1 == w2,
+            // Read/write on one location is return-dependent (the read
+            // must observe the written value, or provably not).
+            _ => false,
+        })
+    }
 }
 
 /// Convenience constructors for memory operations in tests and examples.

@@ -163,6 +163,12 @@ impl SeqSpec for SetSpec {
         }
         op1.method.is_read() && op2.method.is_read()
     }
+
+    fn method_mover(&self, m1: &SetMethod, m2: &SetMethod) -> Option<bool> {
+        // The op-level oracle never looks at returns: exact at the
+        // method level.
+        Some(m1.elem() != m2.elem() || (m1.is_read() && m2.is_read()))
+    }
 }
 
 /// Convenience constructors for set operations.

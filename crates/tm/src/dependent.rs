@@ -413,6 +413,14 @@ impl<S: SeqSpec> TmSystem for DependentSystem<S> {
     fn starvation(&self) -> Option<StarvationReport> {
         Some(self.contention.report())
     }
+
+    fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
+        Some(crate::driver::full_rule_pattern())
+    }
+
+    fn set_static_discharge(&self, facts: Option<std::sync::Arc<pushpull_core::StaticDischarge>>) {
+        self.machine().set_static_discharge(facts);
+    }
 }
 
 impl<S> ParallelSystem for DependentSystem<S>

@@ -13,8 +13,24 @@
 //! choices; all shared implementation state therefore lives *inside* the
 //! system value (no `Arc` aliasing).
 
+use std::sync::Arc;
+
 use pushpull_core::error::MachineError;
 use pushpull_core::op::ThreadId;
+use pushpull_core::{RulePattern, StaticDischarge};
+
+/// The rule pattern every driver in this crate declares: all seven rules.
+///
+/// §6 of the paper distinguishes algorithm classes by *which rules fire
+/// when* (e.g. pessimistic readers pull before every read, optimistic
+/// ones pull at commit). In this executable rendering all ten drivers
+/// share the abort path (`abort_and_retry` → UNPULL/UNPUSH/UNAPP) and
+/// the lenient pull helper, so at the rule-*set* level they coincide; the
+/// linter checks the declared set against the workload's `required` rules
+/// and flags declared abort-path rules that are provably conflict-dead.
+pub fn full_rule_pattern() -> RulePattern {
+    RulePattern::all()
+}
 
 /// The outcome of one scheduler tick on one thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +82,24 @@ pub trait TmSystem {
     fn starvation(&self) -> Option<crate::contention::StarvationReport> {
         None
     }
+
+    /// The §6 rule pattern this driver expects to exercise, checked by
+    /// the static linter's `pattern-divergence` lint. `None` opts out of
+    /// the check; the in-crate drivers all return
+    /// [`full_rule_pattern`].
+    fn declared_pattern(&self) -> Option<RulePattern> {
+        None
+    }
+
+    /// Installs (or, with `None`, clears) statically proven criteria
+    /// facts on the underlying machine, so proven mover loops are elided
+    /// at runtime; see
+    /// [`GlobalState::set_static_discharge`](pushpull_core::GlobalState::set_static_discharge).
+    ///
+    /// The default is a no-op so wrapper systems without a machine still
+    /// implement the trait; every in-crate driver forwards to its
+    /// machine.
+    fn set_static_discharge(&self, _facts: Option<Arc<StaticDischarge>>) {}
 }
 
 /// A worker closure for one model thread: each call performs one tick on

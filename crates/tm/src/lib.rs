@@ -50,7 +50,7 @@ pub use contention::{
     GracefulDegradation, ImmediateRetry, KarmaAging, Recovery, StarvationReport, WaitVerdict,
 };
 pub use dependent::DependentSystem;
-pub use driver::{ParallelSystem, SystemStats, Tick, TmSystem, Worker};
+pub use driver::{full_rule_pattern, ParallelSystem, SystemStats, Tick, TmSystem, Worker};
 pub use htm::HtmSystem;
 pub use irrevocable::IrrevocableSystem;
 pub use mixed::MixedSystem;

@@ -9,6 +9,8 @@
 //! * [`spec`] — sequential specifications (`pushpull-spec`)
 //! * [`ds`] — substrate data structures (`pushpull-ds`)
 //! * [`tm`] — the §6/§7 algorithm classes (`pushpull-tm`)
+//! * [`analysis`] — static criteria prover and program/pattern linter
+//!   (`pushpull-analysis`)
 //! * [`harness`] — schedulers, model checker, workloads (`pushpull-harness`)
 //!
 //! ## Quick start
@@ -32,6 +34,7 @@
 //! # Ok::<(), pushpull::core::error::MachineError>(())
 //! ```
 
+pub use pushpull_analysis as analysis;
 pub use pushpull_core as core;
 pub use pushpull_ds as ds;
 pub use pushpull_harness as harness;

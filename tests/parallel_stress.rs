@@ -51,7 +51,7 @@ fn parallel_boosting_eight_threads() {
             })
             .collect();
         let sys = BoostingSystem::new(KvMap::new(), programs);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 8, "round {round}");
         let audit = sys.machine().audit();
@@ -82,7 +82,7 @@ fn parallel_optimistic_six_threads() {
             })
             .collect();
         let sys = OptimisticSystem::new(RwMem::new(), programs, ReadPolicy::Snapshot);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 6, "round {round}");
         let audit = sys.machine().audit();
@@ -103,7 +103,7 @@ fn parallel_pessimistic_writers_never_abort() {
     for round in 0..ROUNDS {
         let prog = |v: i64| vec![Code::method(MemMethod::Write(Loc(0), v))];
         let sys = MatveevShavitSystem::new(RwMem::new(), vec![prog(1), prog(2), prog(3), prog(4)]);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         assert_eq!(
@@ -122,7 +122,7 @@ fn parallel_pessimistic_writers_never_abort() {
 fn parallel_tl2_four_threads() {
     for round in 0..ROUNDS {
         let sys = Tl2System::new(vec![rmw(0, 1), rmw(1, 2), rmw(0, 3), rmw(1, 4)]);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         let report = check_machine(sys.machine());
@@ -139,7 +139,7 @@ fn parallel_twophase_never_violates_push_criteria() {
     for round in 0..ROUNDS {
         let read0 = || vec![Code::method(MemMethod::Read(Loc(0)))];
         let sys = TwoPhaseLocking::new(vec![read0(), read0(), rmw(1, 7), rmw(1, 8)]);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         let audit = sys.machine().audit();
@@ -168,7 +168,7 @@ fn parallel_twophase_never_violates_push_criteria() {
 fn parallel_htm_four_threads() {
     for round in 0..ROUNDS {
         let sys = HtmSystem::new(vec![rmw(0, 1), rmw(1, 2), rmw(0, 3), rmw(2, 4)]);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         let report = check_machine(sys.machine());
@@ -183,7 +183,7 @@ fn parallel_irrevocable_thread_never_aborts() {
     for round in 0..ROUNDS {
         let programs = vec![rmw(0, 10), rmw(0, 20), rmw(1, 30), rmw(0, 40)];
         let sys = IrrevocableSystem::new(RwMem::new(), programs, ThreadId(0));
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         assert_eq!(
@@ -212,7 +212,7 @@ fn parallel_checkpoint_four_threads() {
             RwMem::new(),
             vec![prog(0, 1), prog(0, 2), prog(1, 3), prog(1, 4)],
         );
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         let report = check_machine(sys.machine());
@@ -235,7 +235,7 @@ fn parallel_dependent_four_threads() {
             })
             .collect();
         let sys = DependentSystem::new(Counter::new(), programs, true);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         for t in 0..4 {
@@ -266,7 +266,7 @@ fn parallel_mixed_four_threads() {
             })
             .collect();
         let sys = MixedSystem::new(mixed_spec(), programs);
-        let (sys, outcome) = run_parallel(sys, BUDGET).unwrap();
+        let (sys, outcome) = run_parallel(sys, BUDGET, None).unwrap();
         assert!(outcome.completed, "round {round} incomplete");
         assert_eq!(sys.stats().commits, 4, "round {round}");
         let report = check_machine(sys.machine());
