@@ -40,6 +40,10 @@ pub struct AnalysisPlan {
     pub required: RulePattern,
     /// Size of the union method footprint.
     pub footprint: usize,
+    /// Distinct key classes declared (via `SeqSpec::method_keys`) across
+    /// the footprint, or `0` when any method declares no footprint — the
+    /// workload then degrades a sharded log to its coarse path anyway.
+    pub shard_keys: usize,
     /// Number of transactions analyzed.
     pub txns: usize,
     /// Number of threads.
@@ -64,6 +68,14 @@ impl AnalysisPlan {
             .iter()
             .filter(|d| d.severity == Severity::Warning)
             .count()
+    }
+
+    /// A log shard count matched to the workload's declared key classes:
+    /// one shard per key class, capped at 16. Workloads whose footprint
+    /// is partly undeclared (`shard_keys == 0`) get `1` — every append
+    /// would take the coarse path, so extra shards only add lock hops.
+    pub fn recommended_shards(&self) -> usize {
+        self.shard_keys.clamp(1, 16)
     }
 }
 
@@ -98,16 +110,37 @@ where
     } else {
         lint_programs(spec, programs, &summary, &outcome.matrix, &cfg.lint)
     };
-    let report = render(&summary, &outcome.matrix, &outcome.facts, &diagnostics);
+    let shard_keys = count_shard_keys(spec, &summary);
+    let report = render(
+        &summary,
+        &outcome.matrix,
+        &outcome.facts,
+        &diagnostics,
+        shard_keys,
+    );
     AnalysisPlan {
         discharge: outcome.facts.any().then(|| Arc::new(outcome.facts.clone())),
         diagnostics,
         required: summary.required,
         footprint: summary.footprint.len(),
+        shard_keys,
         txns: summary.txns.len(),
         threads: summary.threads,
         report,
     }
+}
+
+/// Distinct declared key classes across the footprint; `0` when any
+/// method declares `None` (the whole workload routes coarse).
+fn count_shard_keys<S: SeqSpec>(spec: &S, summary: &ProgramSummary<S::Method>) -> usize {
+    let mut keys = std::collections::BTreeSet::new();
+    for m in &summary.footprint {
+        match spec.method_keys(m) {
+            Some(ks) => keys.extend(ks),
+            None => return 0,
+        }
+    }
+    keys.len()
 }
 
 /// Checks a driver's declared rule pattern against an existing plan's
@@ -140,6 +173,7 @@ fn render<M: Clone + Eq + fmt::Display>(
     matrix: &MoverMatrix<M>,
     facts: &StaticDischarge,
     diagnostics: &[Diagnostic],
+    shard_keys: usize,
 ) -> String {
     const MATRIX_RENDER_CAP: usize = 12;
     let mut out = String::new();
@@ -150,6 +184,15 @@ fn render<M: Clone + Eq + fmt::Display>(
         summary.footprint.len(),
         summary.required,
     ));
+    if shard_keys == 0 {
+        out.push_str("footprint partly undeclared: sharded logs degrade to coarse (1 shard)\n");
+    } else {
+        out.push_str(&format!(
+            "declared key classes: {} (recommended log shards: {})\n",
+            shard_keys,
+            shard_keys.clamp(1, 16),
+        ));
+    }
     if matrix.len() <= MATRIX_RENDER_CAP && !matrix.is_empty() {
         out.push_str(&matrix.render());
     } else if !matrix.is_empty() {
@@ -215,6 +258,35 @@ mod tests {
         assert_eq!(plan.diagnostics.len(), before + 1);
         assert!(plan.report.contains("pattern-divergence"), "{plan}");
         assert!(check_declaration(&mut plan, &spec, &programs, "quiet", None).is_none());
+    }
+
+    #[test]
+    fn shard_keys_count_distinct_declared_classes() {
+        use pushpull_spec::kvmap::{KvMap, MapMethod};
+        // Four distinct counter txns still share one tally: one class.
+        let programs: Vec<Vec<Code<CtrMethod>>> = (0..4)
+            .map(|t| vec![Code::method(CtrMethod::Add(t))])
+            .collect();
+        let plan = analyze(&Counter::new(), &programs);
+        assert_eq!(plan.shard_keys, 1);
+        assert_eq!(plan.recommended_shards(), 1);
+        // Disjoint map keys: one class per key.
+        let programs: Vec<Vec<Code<MapMethod>>> = (0..3)
+            .map(|t| vec![Code::method(MapMethod::Put(t, 1))])
+            .collect();
+        let plan = analyze(&KvMap::new(), &programs);
+        assert_eq!(plan.shard_keys, 3);
+        assert_eq!(plan.recommended_shards(), 3);
+        assert!(plan.report.contains("declared key classes: 3"), "{plan}");
+        // A footprint-less method (Size) poisons the whole workload.
+        let programs = vec![
+            vec![Code::method(MapMethod::Put(0, 1))],
+            vec![Code::method(MapMethod::Size)],
+        ];
+        let plan = analyze(&KvMap::new(), &programs);
+        assert_eq!(plan.shard_keys, 0);
+        assert_eq!(plan.recommended_shards(), 1);
+        assert!(plan.report.contains("coarse"), "{plan}");
     }
 
     #[test]

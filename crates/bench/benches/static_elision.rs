@@ -22,6 +22,7 @@ use pushpull_bench::{assert_serializable, criterion_group, criterion_main, drive
 
 use pushpull_core::error::{Clause, Rule};
 use pushpull_core::lang::Code;
+use pushpull_harness::testutil::assert_ledger_closes;
 use pushpull_spec::kvmap::{KvMap, MapMethod};
 use pushpull_tm::boosting::BoostingSystem;
 use pushpull_tm::driver::TmSystem;
@@ -100,6 +101,28 @@ fn bench_static_elision(c: &mut Criterion) {
             .discharge
             .as_ref()
             .is_some_and(|f| f.discharges(Rule::Push, Clause::Ii)));
+
+        // Sanity before timing: under one deterministic seed, the armed
+        // run's audit ledger must close exactly against the plan-free
+        // baseline (same criterion totals, static column absorbing the
+        // baseline's dynamic discharges, strictly fewer mover queries).
+        {
+            let mut base = BoostingSystem::new(KvMap::new(), heavy.to_vec());
+            drive(&mut base, 7, |s| s.stats());
+            let mut armed = BoostingSystem::new(KvMap::new(), heavy.to_vec());
+            armed.set_static_discharge(heavy_plan.discharge.clone());
+            drive(&mut armed, 7, |s| s.stats());
+            assert_ledger_closes(
+                &armed.machine().audit(),
+                &base.machine().audit(),
+                &[
+                    (Rule::Push, Clause::I),
+                    (Rule::Push, Clause::Ii),
+                    (Rule::UnPush, Clause::I),
+                    (Rule::Pull, Clause::Iii),
+                ],
+            );
+        }
 
         report(&format!("mover-heavy/{threads}t dynamic"), &heavy, None);
         report(

@@ -13,6 +13,7 @@
 //! | `benches/scaling.rs` | B6 — thread scaling |
 //! | `benches/contention.rs` | B7 — contention-management policy sweep |
 //! | `benches/static_elision.rs` | B8 — runtime payoff of the static criteria prover |
+//! | `benches/sharded.rs` | B9 — footprint-sharded vs single-lock shared log |
 //!
 //! Besides wall-clock measurements, every target prints its shape table
 //! (commits/aborts/ticks) to stderr, which EXPERIMENTS.md records.

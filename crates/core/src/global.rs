@@ -3,34 +3,86 @@
 //! committed-transaction list and the criteria audit — while the
 //! per-thread halves live in [`TxnHandle`](crate::handle::TxnHandle).
 //!
+//! ## The footprint-sharded log
+//!
+//! `G` is partitioned into `N` *footprint-addressed shards*, each a
+//! [`ShardLog`] behind its own [`Mutex`]: a segment of the global log
+//! (its own `gUCmt`/`gCmt` entries), a parallel vector of *commit-sequence
+//! stamps*, and its own committed-prefix denotation cache. An operation is
+//! routed to shard `key % N` by [`SeqSpec::method_keys`], the declared
+//! footprint of its method. Two operations with disjoint footprints are
+//! both-movers (Def 4.1 — the declared law, validated against the
+//! exhaustive mover oracle by
+//! [`check_disjoint_footprints_commute`](crate::spec::check_disjoint_footprints_commute)),
+//! so the PUSH/UNPUSH criteria of one never need to inspect entries that
+//! live on another shard: disjoint-access parallelism, straight from the
+//! paper's mover theory.
+//!
+//! Every append mints a stamp from one global `AtomicU64` *while holding
+//! the shard lock*, so stamps are strictly increasing within a shard and
+//! totally order all appends across shards. Merging the shards by stamp
+//! reconstructs the exact single-log `G` order — that merged order is
+//! what [`GlobalState::global_snapshot`] hands the serializability
+//! oracle, and what the coarse evaluation path replays.
+//!
+//! ## Routing and the sticky coarse fallback
+//!
+//! [`GlobalState::route`] maps a method to a [`Route`]:
+//!
+//! * With one shard (the default), *everything* routes to shard 0 before
+//!   `method_keys` is even consulted — bit-identical to the historical
+//!   single-`Mutex<SharedLog>` machine, golden traces and audit counts
+//!   included.
+//! * With `N > 1` shards, a method declaring exactly one footprint key
+//!   `k` routes to shard `k % N`; a method with no declared footprint
+//!   (or a multi-key footprint) routes [`Route::Coarse`].
+//!
+//! The first coarse-routed operation sets a *sticky* flag: from then on
+//! every criteria evaluation acquires **all** shard locks in ascending
+//! index order (the canonical lock order — no deadlocks) and evaluates
+//! over the stamp-merged log, a sound degradation to the single-lock
+//! semantics. The flag is set (SeqCst) *before* any lock is taken and a
+//! single-shard acquirer re-checks it after locking, so no evaluation can
+//! miss a coarse entry: the coarse thread's flag store happens-before its
+//! shard unlock, which happens-before any later acquirer's lock.
+//!
 //! ## Lock discipline
 //!
 //! `GlobalState` is `Sync`. Its id/txn/sequence generators and the audit
-//! are lock-free atomics; the log state sits behind one short-held
+//! are lock-free atomics; each shard sits behind one short-held
 //! [`Mutex`]. The discipline, relied on by the parallel harness:
 //!
 //! * **APP/UNAPP never lock.** They touch only the handle's local log and
 //!   the atomics (fresh ids, audit counters, trace sequence numbers).
-//! * **PUSH/UNPUSH/CMT** take the mutex for their criteria-over-`G` and
-//!   their effect, as one atomic critical section.
-//! * **PULL** takes the mutex only to snapshot the pulled entry; its
-//!   criteria and effect are local. **UNPULL** is entirely local.
+//! * **PUSH/UNPUSH** take *their operation's shard lock* for their
+//!   criteria-over-`G` and their effect, as one atomic critical section.
+//! * **CMT** takes the locks of exactly the shards its pushed/pulled
+//!   operations touch, ascending, then appends to the committed list.
+//! * **PULL** locks one shard at a time only to locate and snapshot the
+//!   pulled entry; its criteria and effect are local. **UNPULL** is
+//!   entirely local.
 //!
-//! ## Incremental `allowed` (the snapshot cache)
+//! Multi-shard acquisitions always lock in ascending shard-index order,
+//! and the `committed` list's mutex is only ever taken while already
+//! holding shard locks (never the reverse), so the lock order is total.
+//!
+//! ## Incremental `allowed` (the per-shard snapshot cache)
 //!
 //! Every PUSH evaluates `G allows op` and every UNPUSH evaluates
 //! `allowed (G ∖ op)`; replaying the whole log makes a run of `n`
-//! operations O(n²) in spec transitions. [`PrefixCache`] memoizes the
-//! denotation `⟦G[..len]⟧` of the longest *fully committed* prefix of `G`.
-//! Because the denotation is compositional
-//! (`⟦ℓ⟧ = denote_from(⟦ℓ[..k]⟧, ℓ[k..])` for any split point `k`), the
-//! criteria can replay only the uncommitted suffix and get bit-identical
-//! answers — and bit-identical audit counts, since the audit counts
-//! *queries*, not spec transitions, and PUSH criterion (ii)'s mover scan
-//! only ever visits uncommitted entries, all of which lie past the cache
-//! boundary.
+//! operations O(n²) in spec transitions. Each shard's [`PrefixCache`]
+//! memoizes the denotation `⟦G_i[..len]⟧` of the longest *fully
+//! committed* prefix of that shard's segment. Because the denotation is
+//! compositional (`⟦ℓ⟧ = denote_from(⟦ℓ[..k]⟧, ℓ[k..])` for any split
+//! point `k`), the criteria can replay only the uncommitted suffix and
+//! get bit-identical answers — and bit-identical audit counts, since the
+//! audit counts *queries*, not spec transitions. With `N > 1` the shards
+//! factor `allowed` as a product spec over footprint classes (the second
+//! declared law, validated by
+//! [`check_allowed_factorization`](crate::spec::check_allowed_factorization));
+//! the coarse path skips the caches and replays the merged log in full.
 //!
-//! Invalidation rules:
+//! Invalidation rules, per shard:
 //!
 //! * PUSH appends — the cached prefix is untouched.
 //! * CMT flips flags in place and never reorders — flags are not part of
@@ -43,13 +95,13 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
 
 use crate::audit::{AtomicAudit, CriteriaAudit};
 use crate::error::{Clause, Rule};
 use crate::faults::{FaultHook, FaultKind};
 use crate::lang::Code;
-use crate::log::{GlobalFlag, GlobalLog};
+use crate::log::{GlobalEntry, GlobalFlag, GlobalLog, LocalLog};
 use crate::machine::CheckMode;
 use crate::op::{Op, OpId, OpIdGen, ThreadId, TxnId};
 use crate::spec::SeqSpec;
@@ -73,13 +125,14 @@ pub struct CommittedTxn<M, R> {
     pub pulled_from: Vec<(OpId, TxnId)>,
 }
 
-/// Memoized denotation of the longest fully committed prefix of `G`.
+/// Memoized denotation of the longest fully committed prefix of a shard's
+/// log segment.
 #[derive(Debug, Clone)]
 pub(crate) struct PrefixCache<St> {
-    /// Entries `[..len]` of the global log are all committed and their
+    /// Entries `[..len]` of the shard log are all committed and their
     /// denotation is `states`.
     pub(crate) len: usize,
-    /// `⟦G[..len]⟧`.
+    /// `⟦G_i[..len]⟧`.
     pub(crate) states: HashSet<St>,
 }
 
@@ -97,23 +150,203 @@ impl<St: Clone + Eq + std::hash::Hash> PrefixCache<St> {
     }
 }
 
-/// The lock-protected log state: everything the shared rules read-modify.
-#[derive(Debug, Clone)]
-pub(crate) struct SharedLog<S: SeqSpec> {
-    /// The shared log `G`.
-    pub(crate) global: GlobalLog<S::Method, S::Ret>,
-    /// Committed transactions in commit order.
-    pub(crate) committed: Vec<CommittedTxn<S::Method, S::Ret>>,
-    /// The committed-prefix denotation cache.
+/// A global entry paired with its commit-sequence stamp (owned).
+type StampedEntry<S> = (
+    u64,
+    GlobalEntry<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>,
+);
+
+/// A global entry paired with its commit-sequence stamp (borrowed from a
+/// held shard view).
+type StampedEntryRef<'a, S> = (
+    u64,
+    &'a GlobalEntry<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>,
+);
+
+/// An entry removed from a shard, with its former position there.
+type RemovedEntry<S> = (
+    usize,
+    GlobalEntry<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>,
+);
+
+/// One footprint shard of the global log: a segment of `G` with its
+/// parallel commit-sequence stamps and its own committed-prefix cache.
+/// Everything the shared rules read-modify on this shard sits behind one
+/// mutex in [`GlobalState::shards`].
+#[derive(Debug)]
+pub(crate) struct ShardLog<S: SeqSpec> {
+    /// This shard's segment of the shared log `G`.
+    pub(crate) log: GlobalLog<S::Method, S::Ret>,
+    /// `stamps[i]` is the global commit-sequence stamp of `log[i]`.
+    /// Strictly increasing within a shard (stamps are minted under the
+    /// shard lock); merging all shards by stamp reconstructs the total
+    /// append order of `G`.
+    pub(crate) stamps: Vec<u64>,
+    /// The committed-prefix denotation cache for this segment.
     pub(crate) cache: PrefixCache<S::State>,
 }
 
+// Manual impl: a derived `Clone` would demand `S: Clone`, which nothing
+// in the fields (method/ret/state types are `Clone` by the `SeqSpec`
+// bounds) actually needs.
+impl<S: SeqSpec> Clone for ShardLog<S> {
+    fn clone(&self) -> Self {
+        Self {
+            log: self.log.clone(),
+            stamps: self.stamps.clone(),
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+impl<S: SeqSpec> ShardLog<S> {
+    fn new(initial: Vec<S::State>) -> Self {
+        Self {
+            log: GlobalLog::new(),
+            stamps: Vec::new(),
+            cache: PrefixCache::new(initial),
+        }
+    }
+
+    /// Removes the entry with `id` and its stamp, returning the entry's
+    /// former position (the effect of an UNPUSH on this shard).
+    pub(crate) fn remove_by_id(&mut self, id: OpId) -> Option<RemovedEntry<S>> {
+        let pos = self.log.position(id)?;
+        let entry = self.log.remove_by_id(id).expect("position found above");
+        self.stamps.remove(pos);
+        Some((pos, entry))
+    }
+
+    /// The stamp of the entry with `id`, if present.
+    fn stamp_of(&self, id: OpId) -> Option<u64> {
+        self.log.position(id).map(|p| self.stamps[p])
+    }
+}
+
+/// Where a method's criteria evaluation must go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    /// The method's declared footprint confines it to one shard.
+    Single(usize),
+    /// No (or a multi-key) footprint: the operation concerns the whole
+    /// log. Evaluation acquires every shard (ascending) and the sticky
+    /// coarse flag is set.
+    Coarse,
+}
+
+impl Route {
+    /// The shard a routed operation is *appended* to. Coarse operations
+    /// live on shard 0; soundness does not depend on the choice because
+    /// once the coarse flag is set every evaluation merges all shards.
+    fn target(self) -> usize {
+        match self {
+            Route::Single(i) => i,
+            Route::Coarse => 0,
+        }
+    }
+}
+
+/// A set of held shard locks — the critical section of a shared rule.
+/// Shards are always held in ascending index order (the canonical lock
+/// order). A view over a single shard evaluates criteria with that
+/// shard's incremental cache; a view over several evaluates over the
+/// stamp-merged log.
+#[derive(Debug)]
+pub(crate) struct LogView<'a, S: SeqSpec> {
+    shards: Vec<(usize, MutexGuard<'a, ShardLog<S>>)>,
+}
+
+impl<'a, S: SeqSpec> LogView<'a, S> {
+    /// Does this view hold exactly one shard (the fast, cache-backed
+    /// evaluation path)?
+    fn is_single(&self) -> bool {
+        self.shards.len() == 1
+    }
+
+    /// All held entries with their stamps, in stamp order (for a single
+    /// shard this is just the shard's log order — no sort needed).
+    pub(crate) fn entries_stamped(&self) -> Vec<StampedEntryRef<'_, S>> {
+        let mut out: Vec<StampedEntryRef<'_, S>> = Vec::new();
+        for (_, sh) in &self.shards {
+            out.extend(sh.stamps.iter().copied().zip(sh.log.iter()));
+        }
+        if !self.is_single() {
+            out.sort_by_key(|(s, _)| *s);
+        }
+        out
+    }
+
+    /// All held operations in stamp order, optionally skipping one id —
+    /// the merged log the coarse criteria replay.
+    fn merged_ops(&self, skip: Option<OpId>) -> Vec<Op<S::Method, S::Ret>> {
+        self.entries_stamped()
+            .into_iter()
+            .filter(|(_, e)| Some(e.op.id) != skip)
+            .map(|(_, e)| e.op.clone())
+            .collect()
+    }
+
+    /// Finds an entry by op id across the held shards.
+    pub(crate) fn entry(&self, id: OpId) -> Option<&GlobalEntry<S::Method, S::Ret>> {
+        self.shards.iter().find_map(|(_, sh)| sh.log.entry(id))
+    }
+
+    /// Locates an entry by op id: `(view index, position in shard)`.
+    pub(crate) fn find(&self, id: OpId) -> Option<(usize, usize)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find_map(|(v, (_, sh))| sh.log.position(id).map(|p| (v, p)))
+    }
+
+    /// The commit-sequence stamp of the entry at `(view index, position)`.
+    pub(crate) fn stamp_at(&self, vidx: usize, pos: usize) -> u64 {
+        self.shards[vidx].1.stamps[pos]
+    }
+
+    /// Mutable access to the held shard at `view index` (for the UNPUSH
+    /// removal effect).
+    pub(crate) fn shard_mut(&mut self, vidx: usize) -> &mut ShardLog<S> {
+        &mut self.shards[vidx].1
+    }
+
+    /// The held entries strictly *after* `stamp`, in stamp order — the
+    /// suffix the UNPUSH gray criterion slides across. For a single-shard
+    /// view this is exactly the shard slice past the entry (stamps are
+    /// increasing within a shard).
+    pub(crate) fn entries_after(&self, stamp: u64) -> Vec<&GlobalEntry<S::Method, S::Ret>> {
+        self.entries_stamped()
+            .into_iter()
+            .filter(|(s, _)| *s > stamp)
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// Flips every held entry of `local` to committed (the `cmt`
+    /// predicate restricted to the held shards), returning the flipped
+    /// ids in global stamp order — identical to the single-log flip
+    /// order at any shard count.
+    pub(crate) fn commit_local(&mut self, local: &LocalLog<S::Method, S::Ret>) -> Vec<OpId> {
+        let mut flipped: Vec<(u64, OpId)> = Vec::new();
+        for (_, sh) in &mut self.shards {
+            for id in sh.log.commit_local(local) {
+                let stamp = sh.stamp_of(id).expect("just flipped in this shard");
+                flipped.push((stamp, id));
+            }
+        }
+        flipped.sort_by_key(|(s, _)| *s);
+        flipped.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
 /// The shared half of the machine: spec, generators, audit and the
-/// mutex-guarded log state. `Sync`, shared by every
+/// footprint-sharded, mutex-guarded log state. `Sync`, shared by every
 /// [`TxnHandle`](crate::handle::TxnHandle) through an `Arc`.
 #[derive(Debug)]
 pub struct GlobalState<S: SeqSpec> {
-    pub(crate) spec: S,
+    /// The sequential specification, shared (it is immutable) so that
+    /// resharding and deep-cloning need no `S: Clone` bound.
+    pub(crate) spec: Arc<S>,
     pub(crate) mode: CheckMode,
     pub(crate) ids: OpIdGen,
     pub(crate) next_txn: AtomicU64,
@@ -122,7 +355,25 @@ pub struct GlobalState<S: SeqSpec> {
     pub(crate) seq: AtomicU64,
     pub(crate) audit: AtomicAudit,
     incremental: AtomicBool,
-    pub(crate) shared: Mutex<SharedLog<S>>,
+    /// The footprint shards of `G`, each behind its own lock. The count
+    /// is fixed at construction (see [`Machine::set_log_shards`]
+    /// (crate::machine::Machine::set_log_shards) for resharding).
+    shards: Vec<Mutex<ShardLog<S>>>,
+    /// Committed transactions in global commit order (guarded last in the
+    /// lock order: only ever taken while already holding shard locks).
+    committed: Mutex<Vec<CommittedTxn<S::Method, S::Ret>>>,
+    /// Mints commit-sequence stamps for appends; fetched under the
+    /// destination shard's lock.
+    push_stamp: AtomicU64,
+    /// Sticky coarse-mode flag: set the first time an operation with no
+    /// single-key footprint routes, never cleared (for this shard
+    /// layout). See the module docs for the memory-ordering argument.
+    coarse: AtomicBool,
+    /// Per-shard lock-acquisition tallies (observability, not audit).
+    lock_acquires: Vec<AtomicU64>,
+    /// Per-shard contended-acquisition tallies: acquisitions that found
+    /// the lock already held and had to wait.
+    lock_contended: Vec<AtomicU64>,
     /// The fault-injection hook, if armed. The flag short-circuits the
     /// rule hot paths to a single relaxed load when no hook is set.
     faults: RwLock<Option<Arc<dyn FaultHook>>>,
@@ -136,22 +387,34 @@ pub struct GlobalState<S: SeqSpec> {
 }
 
 impl<S: SeqSpec> GlobalState<S> {
-    /// Creates the shared state for a fresh machine.
+    /// Creates the shared state for a fresh machine with a single shard —
+    /// bit-identical behaviour to the historical single-lock log.
     pub fn new(spec: S, mode: CheckMode) -> Self {
-        let cache = PrefixCache::new(spec.initial_states());
+        Self::with_shards(spec, mode, 1)
+    }
+
+    /// Creates the shared state with `shards` footprint shards (clamped
+    /// to at least one). With one shard, routing short-circuits before
+    /// the spec's footprints are even consulted.
+    pub fn with_shards(spec: S, mode: CheckMode, shards: usize) -> Self {
+        let n = shards.max(1);
+        let shard_logs = (0..n)
+            .map(|_| Mutex::new(ShardLog::new(spec.initial_states())))
+            .collect();
         Self {
-            spec,
+            spec: Arc::new(spec),
             mode,
             ids: OpIdGen::new(),
             next_txn: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             audit: AtomicAudit::new(),
             incremental: AtomicBool::new(true),
-            shared: Mutex::new(SharedLog {
-                global: GlobalLog::new(),
-                committed: Vec::new(),
-                cache,
-            }),
+            shards: shard_logs,
+            committed: Mutex::new(Vec::new()),
+            push_stamp: AtomicU64::new(0),
+            coarse: AtomicBool::new(false),
+            lock_acquires: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            lock_contended: (0..n).map(|_| AtomicU64::new(0)).collect(),
             faults: RwLock::new(None),
             faults_armed: AtomicBool::new(false),
             static_facts: RwLock::new(None),
@@ -167,6 +430,42 @@ impl<S: SeqSpec> GlobalState<S> {
     /// The check mode.
     pub fn mode(&self) -> CheckMode {
         self.mode
+    }
+
+    /// Number of footprint shards the log is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Has the sticky coarse fallback been triggered (an operation with
+    /// no single-key footprint was routed at a shard count above one)?
+    pub fn coarse_mode(&self) -> bool {
+        self.coarse.load(Ordering::SeqCst)
+    }
+
+    /// Total `(lock acquisitions, contended acquisitions)` across all
+    /// shard locks.
+    pub fn lock_stats(&self) -> (u64, u64) {
+        let a = self
+            .lock_acquires
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        let c = self
+            .lock_contended
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        (a, c)
+    }
+
+    /// Per-shard `(lock acquisitions, contended acquisitions)`.
+    pub fn lock_stats_per_shard(&self) -> Vec<(u64, u64)> {
+        self.lock_acquires
+            .iter()
+            .zip(&self.lock_contended)
+            .map(|(a, c)| (a.load(Ordering::Relaxed), c.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Is the incremental (prefix-cached) `allowed` path enabled?
@@ -271,10 +570,156 @@ impl<S: SeqSpec> GlobalState<S> {
         TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Locks the shared log state (the PUSH/UNPUSH/PULL/CMT critical
-    /// section).
-    pub(crate) fn lock(&self) -> MutexGuard<'_, SharedLog<S>> {
-        self.shared.lock().expect("shared log mutex poisoned")
+    // ------------------------------------------------------------------
+    // Routing and shard-lock acquisition.
+    // ------------------------------------------------------------------
+
+    /// Routes `method` under a layout of `n` shards. With one shard
+    /// everything is `Single(0)` — the footprints are not consulted, so
+    /// a single-shard machine is bit-identical to the historical
+    /// single-lock one even for specs with (or without) footprints.
+    fn route_in(spec: &S, n: usize, method: &S::Method) -> Route {
+        if n == 1 {
+            return Route::Single(0);
+        }
+        match spec.method_keys(method) {
+            Some(keys) if keys.len() == 1 => Route::Single((keys[0] % n as u64) as usize),
+            _ => Route::Coarse,
+        }
+    }
+
+    /// Routes `method` under the current shard layout.
+    pub(crate) fn route(&self, method: &S::Method) -> Route {
+        Self::route_in(&self.spec, self.shards.len(), method)
+    }
+
+    /// Locks shard `i`, tallying the acquisition (and whether it had to
+    /// wait) in the per-shard lock counters.
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, ShardLog<S>> {
+        self.lock_acquires[i].fetch_add(1, Ordering::Relaxed);
+        match self.shards[i].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.lock_contended[i].fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock().expect("shard log mutex poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("shard log mutex poisoned"),
+        }
+    }
+
+    /// Locks every shard in ascending index order (the canonical order).
+    pub(crate) fn acquire_all(&self) -> LogView<'_, S> {
+        LogView {
+            shards: (0..self.shards.len())
+                .map(|i| (i, self.lock_shard(i)))
+                .collect(),
+        }
+    }
+
+    /// Locks the given shards (sorted, deduplicated, ascending) — the
+    /// CMT critical section over exactly the shards a transaction's
+    /// operations touch. An empty set yields an empty view (a commit
+    /// with nothing in `G` to flip).
+    pub(crate) fn acquire_shards(&self, mut indices: Vec<usize>) -> LogView<'_, S> {
+        indices.sort_unstable();
+        indices.dedup();
+        LogView {
+            shards: indices
+                .into_iter()
+                .map(|i| (i, self.lock_shard(i)))
+                .collect(),
+        }
+    }
+
+    /// The critical section for a routed PUSH/UNPUSH: one shard on the
+    /// fast path, all shards once the sticky coarse flag is (or gets)
+    /// set. The flag is stored *before* any lock is acquired and
+    /// re-checked after a single-shard acquisition, so a coarse append
+    /// can never be missed by a concurrent single-shard evaluation.
+    pub(crate) fn acquire_route(&self, route: Route) -> LogView<'_, S> {
+        match route {
+            Route::Coarse => {
+                self.coarse.store(true, Ordering::SeqCst);
+                self.acquire_all()
+            }
+            Route::Single(i) => {
+                if self.coarse.load(Ordering::SeqCst) {
+                    return self.acquire_all();
+                }
+                let guard = self.lock_shard(i);
+                if self.coarse.load(Ordering::SeqCst) {
+                    drop(guard);
+                    self.acquire_all()
+                } else {
+                    LogView {
+                        shards: vec![(i, guard)],
+                    }
+                }
+            }
+        }
+    }
+
+    /// Locates and snapshots a global entry by id, locking one shard at
+    /// a time in ascending order (the PULL snapshot — never holds two
+    /// locks at once).
+    pub(crate) fn find_entry(&self, id: OpId) -> Option<GlobalEntry<S::Method, S::Ret>> {
+        for i in 0..self.shards.len() {
+            let sh = self.lock_shard(i);
+            if let Some(e) = sh.log.entry(id) {
+                return Some(e.clone());
+            }
+        }
+        None
+    }
+
+    /// Appends `op` to its routed shard inside the held view, minting its
+    /// commit-sequence stamp under the shard lock (the PUSH effect).
+    pub(crate) fn append_push(
+        &self,
+        view: &mut LogView<'_, S>,
+        route: Route,
+        op: Op<S::Method, S::Ret>,
+    ) {
+        let target = route.target();
+        let stamp = self.push_stamp.fetch_add(1, Ordering::Relaxed);
+        let (_, sh) = view
+            .shards
+            .iter_mut()
+            .find(|(i, _)| *i == target)
+            .expect("append target shard is held by the view");
+        sh.log.push_uncommitted(op);
+        sh.stamps.push(stamp);
+    }
+
+    /// Appends a committed-transaction record. Called while still holding
+    /// the commit's shard locks, so the global commit order agrees with
+    /// the per-shard flip order (`committed` is last in the lock order).
+    pub(crate) fn push_committed(&self, txn: CommittedTxn<S::Method, S::Ret>) {
+        self.committed
+            .lock()
+            .expect("committed list mutex poisoned")
+            .push(txn);
+    }
+
+    /// Committed transactions in global commit order.
+    pub fn committed_txns(&self) -> Vec<CommittedTxn<S::Method, S::Ret>> {
+        self.committed
+            .lock()
+            .expect("committed list mutex poisoned")
+            .clone()
+    }
+
+    /// A snapshot of the whole shared log `G`, merged across shards in
+    /// commit-stamp order — with one shard, exactly the historical log
+    /// order.
+    pub fn global_snapshot(&self) -> GlobalLog<S::Method, S::Ret> {
+        let view = self.acquire_all();
+        let entries = view
+            .entries_stamped()
+            .into_iter()
+            .map(|(_, e)| e.clone())
+            .collect();
+        GlobalLog::from_entries(entries)
     }
 
     // ------------------------------------------------------------------
@@ -282,7 +727,8 @@ impl<S: SeqSpec> GlobalState<S> {
     // so the incremental path is invisible to it by construction).
     // ------------------------------------------------------------------
 
-    /// Mover query with audit accounting; `shard` attributes the count.
+    /// Mover query with audit accounting; `shard` attributes the count
+    /// (an audit stripe, unrelated to the log shards).
     pub(crate) fn mover_q(
         &self,
         shard: usize,
@@ -310,50 +756,68 @@ impl<S: SeqSpec> GlobalState<S> {
         self.spec.allowed(log)
     }
 
-    /// `G allows op` (PUSH criterion (iii)), replaying only the
-    /// uncommitted suffix when the incremental path is on.
+    /// `G allows op` (PUSH criterion (iii)). A single-shard view replays
+    /// only the uncommitted suffix past that shard's cache (when the
+    /// incremental path is on); a multi-shard view replays the merged
+    /// stamp-ordered log in full. One audited query either way.
     pub(crate) fn g_allows(
         &self,
-        sh: &SharedLog<S>,
+        view: &LogView<'_, S>,
         shard: usize,
         op: &Op<S::Method, S::Ret>,
     ) -> bool {
         self.audit.count_allowed(shard);
-        if self.incremental() {
-            let states = self.suffix_states(sh, None);
-            !self
-                .spec
-                .denote_from(&states, std::slice::from_ref(op))
-                .is_empty()
+        if view.is_single() {
+            let sh = &view.shards[0].1;
+            if self.incremental() {
+                let states = self.suffix_states(sh, None);
+                !self
+                    .spec
+                    .denote_from(&states, std::slice::from_ref(op))
+                    .is_empty()
+            } else {
+                self.spec.allows(&sh.log.ops(), op)
+            }
         } else {
-            self.spec.allows(&sh.global.ops(), op)
+            self.spec.allows(&view.merged_ops(None), op)
         }
     }
 
     /// `allowed (G ∖ skip)` (UNPUSH criterion (ii)). `skip` is an
-    /// uncommitted entry, so it lies past the cache boundary; if it ever
-    /// does not (unreachable through the rule API), fall back to a full
-    /// replay.
-    pub(crate) fn g_allowed_without(&self, sh: &SharedLog<S>, shard: usize, skip: OpId) -> bool {
+    /// uncommitted entry, so on the single-shard path it lies past the
+    /// cache boundary; if it ever does not (unreachable through the rule
+    /// API), fall back to a full replay. Multi-shard views replay the
+    /// merged log without `skip`.
+    pub(crate) fn g_allowed_without(
+        &self,
+        view: &LogView<'_, S>,
+        shard: usize,
+        skip: OpId,
+    ) -> bool {
         self.audit.count_allowed(shard);
-        let in_suffix = sh.global.position(skip).is_none_or(|p| p >= sh.cache.len);
-        if self.incremental() && in_suffix {
-            !self.suffix_states(sh, Some(skip)).is_empty()
+        if view.is_single() {
+            let sh = &view.shards[0].1;
+            let in_suffix = sh.log.position(skip).is_none_or(|p| p >= sh.cache.len);
+            if self.incremental() && in_suffix {
+                !self.suffix_states(sh, Some(skip)).is_empty()
+            } else {
+                let remaining: Vec<_> = sh
+                    .log
+                    .iter()
+                    .filter(|e| e.op.id != skip)
+                    .map(|e| e.op.clone())
+                    .collect();
+                self.spec.allowed(&remaining)
+            }
         } else {
-            let remaining: Vec<_> = sh
-                .global
-                .iter()
-                .filter(|e| e.op.id != skip)
-                .map(|e| e.op.clone())
-                .collect();
-            self.spec.allowed(&remaining)
+            self.spec.allowed(&view.merged_ops(Some(skip)))
         }
     }
 
-    /// `⟦G⟧` (optionally skipping one suffix entry), from the cached
-    /// committed-prefix denotation.
-    fn suffix_states(&self, sh: &SharedLog<S>, skip: Option<OpId>) -> HashSet<S::State> {
-        let suffix: Vec<Op<S::Method, S::Ret>> = sh.global.entries()[sh.cache.len..]
+    /// `⟦G_i⟧` (optionally skipping one suffix entry), from the shard's
+    /// cached committed-prefix denotation.
+    fn suffix_states(&self, sh: &ShardLog<S>, skip: Option<OpId>) -> HashSet<S::State> {
+        let suffix: Vec<Op<S::Method, S::Ret>> = sh.log.entries()[sh.cache.len..]
             .iter()
             .filter(|e| Some(e.op.id) != skip)
             .map(|e| e.op.clone())
@@ -362,28 +826,98 @@ impl<S: SeqSpec> GlobalState<S> {
     }
 
     // ------------------------------------------------------------------
-    // Cache maintenance (called under the mutex).
+    // Cache maintenance (called under the shard locks).
     // ------------------------------------------------------------------
 
-    /// Advances the cache over the newly committed prefix (after CMT).
-    pub(crate) fn advance_cache(&self, sh: &mut SharedLog<S>) {
-        while sh.cache.len < sh.global.len() {
-            let e = &sh.global.entries()[sh.cache.len];
+    /// Advances one shard's cache over its newly committed prefix.
+    fn advance_shard_cache(spec: &S, sh: &mut ShardLog<S>) {
+        while sh.cache.len < sh.log.len() {
+            let e = &sh.log.entries()[sh.cache.len];
             if e.flag != GlobalFlag::Committed {
                 break;
             }
-            sh.cache.states = self
-                .spec
-                .denote_from(&sh.cache.states, std::slice::from_ref(&e.op));
+            sh.cache.states = spec.denote_from(&sh.cache.states, std::slice::from_ref(&e.op));
             sh.cache.len += 1;
         }
     }
 
-    /// Notes a removal at `pos` (after UNPUSH). Removals inside the cached
-    /// prefix reset the cache; suffix removals leave it intact.
-    pub(crate) fn note_removal(&self, sh: &mut SharedLog<S>, pos: usize) {
+    /// Advances every held shard's cache (after CMT).
+    pub(crate) fn advance_caches(&self, view: &mut LogView<'_, S>) {
+        for (_, sh) in &mut view.shards {
+            Self::advance_shard_cache(&self.spec, sh);
+        }
+    }
+
+    /// Notes a removal at `pos` in a shard (after UNPUSH). Removals
+    /// inside the cached prefix reset that shard's cache; suffix removals
+    /// leave it intact.
+    pub(crate) fn note_removal(&self, sh: &mut ShardLog<S>, pos: usize) {
         if pos < sh.cache.len {
             sh.cache.reset(self.spec.initial_states());
+        }
+    }
+
+    /// Rebuilds this state under a layout of `n` shards: every entry is
+    /// re-routed by its method's footprint, stamps and the commit order
+    /// are preserved, per-shard caches are re-seeded and advanced, and
+    /// the coarse flag is recomputed from the entries actually present.
+    /// Used by [`Machine::set_log_shards`](crate::machine::Machine::set_log_shards).
+    pub(crate) fn rebuilt_with_shards(&self, n: usize) -> Self {
+        let n = n.max(1);
+        let mut stamped: Vec<StampedEntry<S>> = Vec::new();
+        for m in &self.shards {
+            let sh = m.lock().expect("shard log mutex poisoned");
+            for (stamp, e) in sh.stamps.iter().zip(sh.log.iter()) {
+                stamped.push((*stamp, e.clone()));
+            }
+        }
+        stamped.sort_by_key(|(s, _)| *s);
+
+        type Segment<S> = (
+            Vec<GlobalEntry<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>>,
+            Vec<u64>,
+        );
+        let mut per: Vec<Segment<S>> = (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+        let mut coarse = false;
+        for (stamp, entry) in stamped {
+            let route = Self::route_in(&self.spec, n, &entry.op.method);
+            if route == Route::Coarse {
+                coarse = true;
+            }
+            let target = route.target();
+            per[target].0.push(entry);
+            per[target].1.push(stamp);
+        }
+        let shards: Vec<Mutex<ShardLog<S>>> = per
+            .into_iter()
+            .map(|(entries, stamps)| {
+                let mut sh = ShardLog {
+                    log: GlobalLog::from_entries(entries),
+                    stamps,
+                    cache: PrefixCache::new(self.spec.initial_states()),
+                };
+                Self::advance_shard_cache(&self.spec, &mut sh);
+                Mutex::new(sh)
+            })
+            .collect();
+        Self {
+            spec: Arc::clone(&self.spec),
+            mode: self.mode,
+            ids: self.ids.clone(),
+            next_txn: AtomicU64::new(self.next_txn.load(Ordering::Relaxed)),
+            seq: AtomicU64::new(self.seq.load(Ordering::Relaxed)),
+            audit: self.audit.clone(),
+            incremental: AtomicBool::new(self.incremental()),
+            shards,
+            committed: Mutex::new(self.committed_txns()),
+            push_stamp: AtomicU64::new(self.push_stamp.load(Ordering::Relaxed)),
+            coarse: AtomicBool::new(coarse),
+            lock_acquires: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            lock_contended: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            faults: RwLock::new(self.fault_hook()),
+            faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
+            static_facts: RwLock::new(self.static_discharge()),
+            static_armed: AtomicBool::new(self.static_armed.load(Ordering::Acquire)),
         }
     }
 
@@ -391,19 +925,33 @@ impl<S: SeqSpec> GlobalState<S> {
     /// [`Machine::clone`](crate::machine::Machine), which re-points every
     /// handle at the copy so clones share nothing (the property the model
     /// checker's branching relies on).
-    pub(crate) fn deep_clone(&self) -> Self
-    where
-        S: Clone,
-    {
+    pub(crate) fn deep_clone(&self) -> Self {
         Self {
-            spec: self.spec.clone(),
+            spec: Arc::clone(&self.spec),
             mode: self.mode,
             ids: self.ids.clone(),
             next_txn: AtomicU64::new(self.next_txn.load(Ordering::Relaxed)),
             seq: AtomicU64::new(self.seq.load(Ordering::Relaxed)),
             audit: self.audit.clone(),
             incremental: AtomicBool::new(self.incremental()),
-            shared: Mutex::new(self.lock().clone()),
+            shards: self
+                .shards
+                .iter()
+                .map(|m| Mutex::new(m.lock().expect("shard log mutex poisoned").clone()))
+                .collect(),
+            committed: Mutex::new(self.committed_txns()),
+            push_stamp: AtomicU64::new(self.push_stamp.load(Ordering::Relaxed)),
+            coarse: AtomicBool::new(self.coarse.load(Ordering::SeqCst)),
+            lock_acquires: self
+                .lock_acquires
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            lock_contended: self
+                .lock_contended
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
             faults: RwLock::new(self.fault_hook()),
             faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
             static_facts: RwLock::new(self.static_discharge()),

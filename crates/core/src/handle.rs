@@ -8,12 +8,16 @@
 //!   (fresh ids, audit counters, trace sequence numbers) — they never
 //!   acquire the shared-log mutex, so thread-local steps run genuinely in
 //!   parallel.
-//! * **PUSH / UNPUSH / CMT** evaluate their criteria-over-`G` and apply
-//!   their effect inside one short critical section on
-//!   [`GlobalState::lock`] — criteria and effect are atomic, which is
-//!   what Theorem 5.17's per-rule reasoning needs.
-//! * **PULL** locks only long enough to snapshot the pulled entry; its
-//!   criteria and effect are local. **UNPULL** is entirely local.
+//! * **PUSH / UNPUSH** evaluate their criteria-over-`G` and apply their
+//!   effect inside one short critical section on *their operation's
+//!   footprint shard* (every shard, ascending, for coarse-routed
+//!   operations) — criteria and effect are atomic, which is what
+//!   Theorem 5.17's per-rule reasoning needs. **CMT** locks exactly the
+//!   shards its pushed/pulled operations touch, in canonical ascending
+//!   order.
+//! * **PULL** locks one shard at a time, only long enough to locate and
+//!   snapshot the pulled entry; its criteria and effect are local.
+//!   **UNPULL** is entirely local.
 //!
 //! Trace events are buffered per handle, stamped with a global atomic
 //! sequence number; [`Machine::trace`](crate::machine::Machine::trace)
@@ -25,7 +29,7 @@ use std::sync::Arc;
 use crate::audit::QUERY_SHARDS;
 use crate::error::{Clause, MachineError, MachineResult, Rule};
 use crate::faults::{BoundaryFault, FaultKind, HtmFault};
-use crate::global::{CommittedTxn, GlobalState};
+use crate::global::{CommittedTxn, GlobalState, Route};
 use crate::lang::Code;
 use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
 use crate::machine::{CheckMode, StepOptions};
@@ -120,6 +124,13 @@ impl<S: SeqSpec> TxnHandle<S> {
         }
     }
 
+    /// Re-points this handle at a rebuilt shared state — used by
+    /// [`Machine::set_log_shards`](crate::machine::Machine::set_log_shards)
+    /// after resharding the global log.
+    pub(crate) fn rebind(&mut self, global: Arc<GlobalState<S>>) {
+        self.global = global;
+    }
+
     // ------------------------------------------------------------------
     // Accessors (source-compatible with the old `Thread`).
     // ------------------------------------------------------------------
@@ -179,9 +190,11 @@ impl<S: SeqSpec> TxnHandle<S> {
         self.global.spec()
     }
 
-    /// A snapshot of the shared log `G` (one short critical section).
+    /// A snapshot of the shared log `G`, merged across the footprint
+    /// shards in commit-stamp order (one short critical section over all
+    /// shard locks).
     pub fn global_snapshot(&self) -> GlobalLog<S::Method, S::Ret> {
-        self.global.lock().global.clone()
+        self.global.global_snapshot()
     }
 
     /// This handle's buffered `(seq, event)` pairs.
@@ -528,15 +541,21 @@ impl<S: SeqSpec> TxnHandle<S> {
                 self.global.audit.pass(Rule::Push, Clause::I);
             }
         }
+        let route = self.global.route(&op.method);
         {
             // Critical section: criteria over G plus the append, atomic.
-            let mut sh = self.global.lock();
+            // One footprint shard on the routed fast path; every shard
+            // (ascending) for coarse-routed operations.
+            let mut view = self.global.acquire_route(route);
             if checked {
                 // Criterion (ii): every uncommitted op of other txns moves
-                // right of op.
+                // right of op. A single-shard view inspects only entries
+                // sharing op's footprint class — entries on other shards
+                // have disjoint declared footprints and are both-movers by
+                // the validated footprint law, so the verdict is identical.
                 if self.global.statically_discharged(Rule::Push, Clause::Ii) {
                     #[cfg(debug_assertions)]
-                    for g in sh.global.iter() {
+                    for (_, g) in view.entries_stamped() {
                         assert!(
                             g.flag != GlobalFlag::Uncommitted
                                 || g.op.txn == self.txn
@@ -548,7 +567,7 @@ impl<S: SeqSpec> TxnHandle<S> {
                     }
                     self.global.audit.pass_static(Rule::Push, Clause::Ii);
                 } else {
-                    for g in sh.global.iter() {
+                    for (_, g) in view.entries_stamped() {
                         if g.flag == GlobalFlag::Uncommitted
                             && g.op.txn != self.txn
                             && !self.global.mover_q(shard, &g.op, &op)
@@ -568,7 +587,7 @@ impl<S: SeqSpec> TxnHandle<S> {
                 }
                 // Criterion (iii): G allows op (incremental over the
                 // uncommitted suffix when the cache is on).
-                if !self.global.g_allows(&sh, shard, &op) {
+                if !self.global.g_allows(&view, shard, &op) {
                     self.global.audit.fail(Rule::Push, Clause::Iii);
                     return Err(MachineError::criterion(
                         Rule::Push,
@@ -578,7 +597,7 @@ impl<S: SeqSpec> TxnHandle<S> {
                 }
                 self.global.audit.pass(Rule::Push, Clause::Iii);
             }
-            sh.global.push_uncommitted(op.clone());
+            self.global.append_push(&mut view, route, op.clone());
         }
         // Effect on the local half (private to this thread): flip flag.
         let entry = self.local.entry_mut(op_id).expect("position found above");
@@ -637,19 +656,29 @@ impl<S: SeqSpec> TxnHandle<S> {
             }
         }
         let op = {
+            // Route by the method recorded in the local (pshd) entry —
+            // the global entry lives on that method's footprint shard.
+            let method = self
+                .local
+                .entry(op_id)
+                .expect("flag checked above")
+                .op
+                .method
+                .clone();
+            let route = self.global.route(&method);
             // Critical section: criteria over G plus the removal, atomic.
-            let mut sh = self.global.lock();
-            let gpos = sh
-                .global
-                .position(op_id)
-                .ok_or(MachineError::NoSuchOp(op_id))?;
-            let op = sh.global.entries()[gpos].op.clone();
+            let mut view = self.global.acquire_route(route);
+            let (vidx, gpos) = view.find(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
+            let op = view.entry(op_id).expect("found above").op.clone();
+            let stamp = view.stamp_at(vidx, gpos);
             if checked {
-                // Criterion (i), gray: op slides right across the suffix.
+                // Criterion (i), gray: op slides right across the suffix
+                // (everything stamped after it in the held shards; on
+                // other shards everything is a both-mover by footprint).
                 if check_gray {
                     if self.global.statically_discharged(Rule::UnPush, Clause::I) {
                         #[cfg(debug_assertions)]
-                        for g in &sh.global.entries()[gpos + 1..] {
+                        for g in view.entries_after(stamp) {
                             assert!(
                                 self.global.spec().mover(&op, &g.op),
                                 "static discharge of UNPUSH (i) contradicted dynamically: {} vs {}",
@@ -659,7 +688,7 @@ impl<S: SeqSpec> TxnHandle<S> {
                         }
                         self.global.audit.pass_static(Rule::UnPush, Clause::I);
                     } else {
-                        for g in &sh.global.entries()[gpos + 1..] {
+                        for g in view.entries_after(stamp) {
                             if !self.global.mover_q(shard, &op, &g.op) {
                                 self.global.audit.fail(Rule::UnPush, Clause::I);
                                 return Err(MachineError::criterion(
@@ -675,7 +704,7 @@ impl<S: SeqSpec> TxnHandle<S> {
                 // Criterion (ii): G without op is still allowed
                 // (incremental: an uncommitted op lies past the cached
                 // committed prefix, so only the suffix is replayed).
-                if !self.global.g_allowed_without(&sh, shard, op_id) {
+                if !self.global.g_allowed_without(&view, shard, op_id) {
                     self.global.audit.fail(Rule::UnPush, Clause::Ii);
                     return Err(MachineError::criterion(
                         Rule::UnPush,
@@ -685,8 +714,9 @@ impl<S: SeqSpec> TxnHandle<S> {
                 }
                 self.global.audit.pass(Rule::UnPush, Clause::Ii);
             }
-            sh.global.remove_by_id(op_id);
-            self.global.note_removal(&mut sh, gpos);
+            let sh = view.shard_mut(vidx);
+            sh.remove_by_id(op_id).expect("found above");
+            self.global.note_removal(sh, gpos);
             op
         };
         let entry = self.local.entry_mut(op_id).expect("checked above");
@@ -723,13 +753,10 @@ impl<S: SeqSpec> TxnHandle<S> {
         let checked = self.mode() != CheckMode::Unchecked;
         let check_gray = self.mode() == CheckMode::Checked;
         let shard = self.shard();
-        let gentry = {
-            let sh = self.global.lock();
-            sh.global
-                .entry(op_id)
-                .ok_or(MachineError::NoSuchOp(op_id))?
-                .clone()
-        };
+        let gentry = self
+            .global
+            .find_entry(op_id)
+            .ok_or(MachineError::NoSuchOp(op_id))?;
         if gentry.op.txn == self.txn {
             return Err(MachineError::WrongFlag {
                 op: op_id,
@@ -909,12 +936,28 @@ impl<S: SeqSpec> TxnHandle<S> {
             (self.local.own_ops(), pulled)
         };
         let flipped = {
-            // Critical section: criterion (iii) plus cmt(G, L, G'), atomic.
-            let mut sh = self.global.lock();
+            // Critical section: criterion (iii) plus cmt(G, L, G'), over
+            // exactly the shards this transaction's pushed and pulled
+            // operations live on, locked in canonical ascending order.
+            let mut coarse = false;
+            let mut indices = Vec::new();
+            for e in self.local.iter() {
+                if e.flag.is_pushed() || e.flag.is_pulled() {
+                    match self.global.route(&e.op.method) {
+                        Route::Coarse => coarse = true,
+                        Route::Single(i) => indices.push(i),
+                    }
+                }
+            }
+            let mut view = if coarse {
+                self.global.acquire_all()
+            } else {
+                self.global.acquire_shards(indices)
+            };
             if checked {
                 // Criterion (iii): every pulled op is committed.
                 for pulled in self.local.pulled_ops() {
-                    match sh.global.entry(pulled.id) {
+                    match view.entry(pulled.id) {
                         Some(e) if e.flag == GlobalFlag::Committed => {}
                         Some(_) => {
                             self.global.audit.fail(Rule::Cmt, Clause::Iii);
@@ -936,8 +979,10 @@ impl<S: SeqSpec> TxnHandle<S> {
                 }
                 self.global.audit.pass(Rule::Cmt, Clause::Iii);
             }
-            let flipped = sh.global.commit_local(&self.local);
-            sh.committed.push(CommittedTxn {
+            // Flips land in global commit-stamp order, so the recorded
+            // Commit event's op order is identical at any shard count.
+            let flipped = view.commit_local(&self.local);
+            self.global.push_committed(CommittedTxn {
                 txn,
                 thread: self.tid,
                 code: self.original.clone(),
@@ -945,8 +990,8 @@ impl<S: SeqSpec> TxnHandle<S> {
                 pulled_from,
             });
             // Newly committed entries may extend the fully committed
-            // prefix: advance the denotation cache over them.
-            self.global.advance_cache(&mut sh);
+            // prefix of each held shard: advance their caches.
+            self.global.advance_caches(&mut view);
             flipped
         };
         let tid = self.tid;
@@ -1084,11 +1129,13 @@ impl<S: SeqSpec> TxnHandle<S> {
     /// state (§6.2: "transactions begin by PULLing all operations").
     pub fn pull_all_committed(&mut self) -> MachineResult<usize> {
         let candidates: Vec<OpId> = {
-            let sh = self.global.lock();
-            sh.global
-                .iter()
-                .filter(|e| e.flag == GlobalFlag::Committed && !self.local.contains_id(e.op.id))
-                .map(|e| e.op.id)
+            let view = self.global.acquire_all();
+            view.entries_stamped()
+                .into_iter()
+                .filter(|(_, e)| {
+                    e.flag == GlobalFlag::Committed && !self.local.contains_id(e.op.id)
+                })
+                .map(|(_, e)| e.op.id)
                 .collect()
         };
         let mut n = 0;

@@ -233,6 +233,13 @@ impl<M: Clone, R: Clone> GlobalLog<M, R> {
         }
     }
 
+    /// Builds a log from entries already in order — how the sharded
+    /// global state materializes a merged (commit-stamp-sorted) snapshot
+    /// of `G`, and how shard rebuilds re-seed their segments.
+    pub fn from_entries(entries: Vec<GlobalEntry<M, R>>) -> Self {
+        Self { entries }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()

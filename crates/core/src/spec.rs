@@ -179,6 +179,31 @@ pub trait SeqSpec {
         let universe = self.state_universe()?;
         Some(method_mover_exhaustive(self, &universe, m1, m2))
     }
+
+    /// The *footprint* of a method: the abstract key(s) it touches, used
+    /// by the sharded global log to route operations to footprint-local
+    /// shards (disjoint-access parallelism). `None` (the default) means
+    /// "unknown/whole-state" and soundly degrades the operation to the
+    /// coarse single-shard path.
+    ///
+    /// Overrides must satisfy two laws, cross-checked by
+    /// [`check_disjoint_footprints_commute`] and
+    /// [`check_allowed_factorization`] on every enumerable spec:
+    ///
+    /// 1. **Disjointness implies both-mover**: if `method_keys(m1)` and
+    ///    `method_keys(m2)` are both `Some` and share no key, then
+    ///    `m1 ◁ m2` and `m2 ◁ m1` hold for every observable return pair
+    ///    (i.e. [`SeqSpec::method_mover`] would answer `Some(true)` both
+    ///    ways). This is what lets a shard evaluate mover criteria
+    ///    against only its own entries.
+    /// 2. **`allowed` factorizes over key classes**: for any log whose
+    ///    operations each declare exactly one key,
+    ///    `allowed(ℓ) ⇔ ∀k. allowed(ℓ|k)` where `ℓ|k` keeps the ops with
+    ///    key `k` in order. This is what lets each shard keep its own
+    ///    committed-prefix cache and answer `G allows op` locally.
+    fn method_keys(&self, _m: &Self::Method) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 /// All return values `m` can observe anywhere in `universe`, via
@@ -258,6 +283,97 @@ pub fn commute<S: SeqSpec + ?Sized>(
     op2: &Op<S::Method, S::Ret>,
 ) -> bool {
     spec.mover(op1, op2) && spec.mover(op2, op1)
+}
+
+/// Validates footprint law 1 (see [`SeqSpec::method_keys`]): every method
+/// pair with declared, disjoint footprints must be a both-mover under the
+/// exhaustive Definition 4.1 oracle over `universe`. Specs with declared
+/// footprints run this in their test suites, exactly like the
+/// `method_mover` soundness cross-checks.
+///
+/// # Errors
+///
+/// Returns the first offending pair, rendered for the test failure.
+pub fn check_disjoint_footprints_commute<S: SeqSpec + ?Sized>(
+    spec: &S,
+    universe: &[S::State],
+    methods: &[S::Method],
+) -> Result<(), String> {
+    for m1 in methods {
+        for m2 in methods {
+            let (Some(k1), Some(k2)) = (spec.method_keys(m1), spec.method_keys(m2)) else {
+                continue;
+            };
+            if k1.iter().any(|k| k2.contains(k)) {
+                continue;
+            }
+            if !method_mover_exhaustive(spec, universe, m1, m2) {
+                return Err(format!(
+                    "disjoint declared footprints ({k1:?} vs {k2:?}) but \
+                     {m1:?} does not move across {m2:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates footprint law 2 (see [`SeqSpec::method_keys`]): over every
+/// sequence of up to `max_len` operations drawn (with repetition) from
+/// `sample`, the `allowed` predicate must equal the conjunction of
+/// `allowed` over the per-key projections. Only operations declaring
+/// exactly one key participate — those are the ones the sharded log
+/// routes; multi-key and `None`-footprint methods take the coarse path
+/// and never rely on this law.
+///
+/// # Errors
+///
+/// Returns the first counterexample sequence, rendered for the test
+/// failure.
+pub fn check_allowed_factorization<S: SeqSpec + ?Sized>(
+    spec: &S,
+    sample: &[Op<S::Method, S::Ret>],
+    max_len: usize,
+) -> Result<(), String> {
+    let routed: Vec<&Op<S::Method, S::Ret>> = sample
+        .iter()
+        .filter(|op| spec.method_keys(&op.method).is_some_and(|ks| ks.len() == 1))
+        .collect();
+    let key_of = |op: &Op<S::Method, S::Ret>| -> u64 {
+        spec.method_keys(&op.method).expect("filtered above")[0]
+    };
+    // Enumerate index sequences of length 1..=max_len over `routed`.
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(prefix) = stack.pop() {
+        if prefix.len() < max_len {
+            for i in 0..routed.len() {
+                let mut next = prefix.clone();
+                next.push(i);
+                stack.push(next);
+            }
+        }
+        if prefix.is_empty() {
+            continue;
+        }
+        let seq: Vec<Op<S::Method, S::Ret>> = prefix.iter().map(|&i| routed[i].clone()).collect();
+        let whole = spec.allowed(&seq);
+        let mut keys: Vec<u64> = seq.iter().map(&key_of).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let factored = keys.iter().all(|k| {
+            let class: Vec<Op<S::Method, S::Ret>> =
+                seq.iter().filter(|op| key_of(op) == *k).cloned().collect();
+            spec.allowed(&class)
+        });
+        if whole != factored {
+            return Err(format!(
+                "allowed does not factorize over key classes: whole={whole} \
+                 factored={factored} on {:?}",
+                seq.iter().map(|o| (&o.method, &o.ret)).collect::<Vec<_>>()
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -29,11 +29,14 @@ pub mod patterns;
 pub mod runner;
 pub mod scheduler;
 pub mod sweep;
+pub mod testutil;
 pub mod workload;
 
 pub use faults::{FaultPlan, FaultSpec};
 pub use model_check::{explore, ExploreLimits, ExploreReport};
-pub use parallel::{run_parallel, ParallelError, ParallelOutcome, ThreadDump, WatchdogReport};
+pub use parallel::{
+    run_parallel, run_parallel_sharded, ParallelError, ParallelOutcome, ThreadDump, WatchdogReport,
+};
 pub use runner::{run_reported, run_with, RunReport};
 pub use scheduler::{run, RandomSched, RoundRobin, RunOutcome, Scheduler};
 pub use sweep::{sweep, Aggregate, SweepResult};

@@ -97,11 +97,23 @@ pub struct ThreadDump {
 pub struct WatchdogReport {
     /// One dump per model thread.
     pub threads: Vec<ThreadDump>,
+    /// Shared-log `(acquires, contended)` lock counters at the time the
+    /// watchdog tripped, when the system exposes them — a livelock whose
+    /// `contended` tally keeps climbing is fighting over the log; one
+    /// whose tallies are flat is stuck outside it (driver metadata,
+    /// dependency waits).
+    pub lock_stats: Option<(u64, u64)>,
 }
 
 impl std::fmt::Display for WatchdogReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "watchdog: tick budget exhausted")?;
+        if let Some((acquires, contended)) = self.lock_stats {
+            writeln!(
+                f,
+                "  shard locks: {acquires} acquires, {contended} contended"
+            )?;
+        }
         for t in &self.threads {
             writeln!(
                 f,
@@ -265,6 +277,7 @@ where
                 done: s.done,
             })
             .collect(),
+        lock_stats: sys.lock_stats(),
     });
     Ok((
         sys,
@@ -274,6 +287,32 @@ where
             watchdog,
         },
     ))
+}
+
+/// [`run_parallel`] with the machine's shared log resharded into
+/// `shards` footprint shards first (see
+/// [`TmSystem::set_log_shards`](pushpull_tm::driver::TmSystem::set_log_shards)).
+///
+/// Sharding changes only which lock a shared-log rule takes — commits,
+/// audit ledgers and oracle verdicts are identical at every shard count
+/// (the equivalence the `shard_equivalence` suite pins); what changes is
+/// the contention profile, observable through
+/// [`SystemStats::lock_contended`](pushpull_tm::driver::SystemStats).
+///
+/// # Errors
+///
+/// Exactly as [`run_parallel`].
+pub fn run_parallel_sharded<T>(
+    mut sys: T,
+    max_ticks_per_thread: usize,
+    plan: Option<&AnalysisPlan>,
+    shards: usize,
+) -> Result<(T, ParallelOutcome), ParallelError>
+where
+    T: ParallelSystem + Send,
+{
+    sys.set_log_shards(shards);
+    run_parallel(sys, max_ticks_per_thread, plan)
 }
 
 #[cfg(test)]

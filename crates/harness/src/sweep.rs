@@ -73,13 +73,17 @@ pub struct SweepResult {
     pub degradations: Aggregate,
     /// Longest single-thread consecutive-abort streak per run.
     pub max_abort_streak: Aggregate,
+    /// Shared-log shard-lock acquisitions per run.
+    pub lock_acquires: Aggregate,
+    /// Shared-log shard-lock acquisitions that had to wait per run.
+    pub lock_contended: Aggregate,
 }
 
 impl std::fmt::Display for SweepResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<34} commits={:<12} aborts={:<12} abort-rate={:>6.1}%  ticks={:<14} streak={:<9} degr={}",
+            "{:<34} commits={:<12} aborts={:<12} abort-rate={:>6.1}%  ticks={:<14} streak={:<9} degr={} locks={}/{}",
             self.label,
             self.commits.to_string(),
             self.aborts.to_string(),
@@ -87,6 +91,8 @@ impl std::fmt::Display for SweepResult {
             self.ticks.to_string(),
             self.max_abort_streak.to_string(),
             self.degradations,
+            self.lock_contended,
+            self.lock_acquires,
         )
     }
 }
@@ -104,6 +110,8 @@ pub fn sweep(
     let mut ticks = Vec::new();
     let mut degradations = Vec::new();
     let mut streaks = Vec::new();
+    let mut acquires = Vec::new();
+    let mut contended = Vec::new();
     for seed in seeds {
         let (stats, t) = make_and_run(seed);
         commits.push(stats.commits as f64);
@@ -112,6 +120,8 @@ pub fn sweep(
         ticks.push(t as f64);
         degradations.push(stats.degradations as f64);
         streaks.push(stats.max_abort_streak as f64);
+        acquires.push(stats.lock_acquires as f64);
+        contended.push(stats.lock_contended as f64);
     }
     SweepResult {
         label: label.into(),
@@ -121,6 +131,8 @@ pub fn sweep(
         ticks: Aggregate::of(&ticks),
         degradations: Aggregate::of(&degradations),
         max_abort_streak: Aggregate::of(&streaks),
+        lock_acquires: Aggregate::of(&acquires),
+        lock_contended: Aggregate::of(&contended),
     }
 }
 

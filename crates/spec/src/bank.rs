@@ -228,6 +228,12 @@ impl SeqSpec for Bank {
             _ => false,
         })
     }
+
+    /// Footprint: the touched account — distinct accounts are
+    /// both-movers (the first arm of `method_mover`).
+    fn method_keys(&self, m: &BankMethod) -> Option<Vec<u64>> {
+        Some(vec![u64::from(m.acct())])
+    }
 }
 
 /// Convenience constructors for bank operations.

@@ -185,6 +185,30 @@ impl<A: SeqSpec, B: SeqSpec> SeqSpec for Product<A, B> {
             _ => Some(true),
         }
     }
+
+    /// Footprint: the component's keys, tagged even/odd so left and
+    /// right classes never collide (`2k` vs `2k + 1`). Wrapping overflow
+    /// can only *merge* classes — a conservative (sound) degradation,
+    /// never a split — and a component without footprints propagates
+    /// `None`, degrading the whole product to the coarse path.
+    fn method_keys(&self, m: &Self::Method) -> Option<Vec<u64>> {
+        match m {
+            Either::L(a) => Some(
+                self.left
+                    .method_keys(a)?
+                    .into_iter()
+                    .map(|k| k.wrapping_mul(2))
+                    .collect(),
+            ),
+            Either::R(b) => Some(
+                self.right
+                    .method_keys(b)?
+                    .into_iter()
+                    .map(|k| k.wrapping_mul(2).wrapping_add(1))
+                    .collect(),
+            ),
+        }
+    }
 }
 
 #[cfg(test)]

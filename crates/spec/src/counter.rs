@@ -130,6 +130,13 @@ impl SeqSpec for Counter {
             (CtrMethod::Get, CtrMethod::Add(k)) | (CtrMethod::Add(k), CtrMethod::Get) => *k == 0,
         })
     }
+
+    /// Footprint: every method touches the one shared tally — a single
+    /// key class, so a sharded log keeps all counter traffic together
+    /// (the disjointness law is vacuous).
+    fn method_keys(&self, _m: &CtrMethod) -> Option<Vec<u64>> {
+        Some(vec![0])
+    }
 }
 
 /// Convenience constructors for counter operations.

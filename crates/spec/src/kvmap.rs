@@ -236,6 +236,13 @@ impl SeqSpec for KvMap {
             (Some(_), None) => m1.is_read(),
         })
     }
+
+    /// Footprint: the touched key. `Size` reads every binding, so it
+    /// declares no footprint (`None`) and soundly degrades a sharded
+    /// log to the coarse whole-log path.
+    fn method_keys(&self, m: &MapMethod) -> Option<Vec<u64>> {
+        m.key().map(|k| vec![k])
+    }
 }
 
 /// Does a key-local operation (with its observed ret) preserve key

@@ -184,6 +184,12 @@ impl SeqSpec for QueueSpec {
         // Return-independent already: only peek/peek pairs move.
         Some(matches!((m1, m2), (QueueMethod::Peek, QueueMethod::Peek)))
     }
+
+    /// Footprint: every method touches the one FIFO order — a single key
+    /// class (queues admit no disjoint-access parallelism).
+    fn method_keys(&self, _m: &QueueMethod) -> Option<Vec<u64>> {
+        Some(vec![0])
+    }
 }
 
 /// Convenience constructors for queue operations.

@@ -221,6 +221,12 @@ impl SeqSpec for CasRegister {
             _ => false,
         }
     }
+
+    /// Footprint: every method touches the one register cell — a single
+    /// key class (a register admits no disjoint-access parallelism).
+    fn method_keys(&self, _m: &RegMethod) -> Option<Vec<u64>> {
+        Some(vec![0])
+    }
 }
 
 /// Convenience constructors for register operations.

@@ -209,6 +209,13 @@ impl SeqSpec for RwMem {
             _ => false,
         })
     }
+
+    /// Footprint: exactly the touched location. Reads/writes on distinct
+    /// locations are both-movers (the first arm of `mover`), so the
+    /// disjointness law holds by construction.
+    fn method_keys(&self, m: &MemMethod) -> Option<Vec<u64>> {
+        Some(vec![u64::from(m.loc().0)])
+    }
 }
 
 /// Convenience constructors for memory operations in tests and examples.

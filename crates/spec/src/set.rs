@@ -169,6 +169,12 @@ impl SeqSpec for SetSpec {
         // method level.
         Some(m1.elem() != m2.elem() || (m1.is_read() && m2.is_read()))
     }
+
+    /// Footprint: the touched element — distinct elements are
+    /// both-movers (first disjunct of `method_mover`).
+    fn method_keys(&self, m: &SetMethod) -> Option<Vec<u64>> {
+        Some(vec![m.elem()])
+    }
 }
 
 /// Convenience constructors for set operations.

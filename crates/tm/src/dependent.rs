@@ -21,7 +21,7 @@
 //! operation right after APP (skipping pushes whose criteria fail), which
 //! is what makes their uncommitted effects visible for others to pull.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use pushpull_core::error::MachineError;
@@ -87,7 +87,9 @@ pub struct DependentSystem<S: SeqSpec> {
 struct DepThread {
     phase: Phase,
     /// Uncommitted operations this thread has pulled, with their owner.
-    deps: HashMap<OpId, TxnId>,
+    /// Ordered so the commit phase resolves dependencies in a
+    /// deterministic (OpId) order under deterministic schedulers.
+    deps: BTreeMap<OpId, TxnId>,
     stats: SystemStats,
     partial_detangles: u64,
 }
@@ -96,7 +98,7 @@ impl Default for DepThread {
     fn default() -> Self {
         Self {
             phase: Phase::Begin,
-            deps: HashMap::new(),
+            deps: BTreeMap::new(),
             stats: SystemStats::default(),
             partial_detangles: 0,
         }
@@ -335,6 +337,9 @@ impl<S: SeqSpec> DependentSystem<S> {
     pub fn stats(&self) -> SystemStats {
         let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
         self.contention.fold_into(&mut stats);
+        let (acquires, contended) = self.machine.lock_stats();
+        stats.lock_acquires = acquires;
+        stats.lock_contended = contended;
         stats
     }
 
@@ -414,13 +419,7 @@ impl<S: SeqSpec> TmSystem for DependentSystem<S> {
         Some(self.contention.report())
     }
 
-    fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
-        Some(crate::driver::full_rule_pattern())
-    }
-
-    fn set_static_discharge(&self, facts: Option<std::sync::Arc<pushpull_core::StaticDischarge>>) {
-        self.machine().set_static_discharge(facts);
-    }
+    crate::driver::forward_machine_hooks!();
 }
 
 impl<S> ParallelSystem for DependentSystem<S>

@@ -100,7 +100,52 @@ pub trait TmSystem {
     /// implement the trait; every in-crate driver forwards to its
     /// machine.
     fn set_static_discharge(&self, _facts: Option<Arc<StaticDischarge>>) {}
+
+    /// Reshards the underlying machine's shared log into `shards`
+    /// footprint-addressed segments (see
+    /// [`Machine::set_log_shards`](pushpull_core::Machine::set_log_shards)).
+    /// Sharding changes the *cost* of the shared-rule critical sections,
+    /// never their verdicts; the default is a no-op so wrapper systems
+    /// without a machine still implement the trait.
+    fn set_log_shards(&mut self, _shards: usize) {}
+
+    /// Shard-lock contention counters from the underlying machine:
+    /// `(acquires, contended)` summed over shards, or `None` for systems
+    /// without a machine.
+    fn lock_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
+
+/// Forwards the machine-backed [`TmSystem`] hooks to `self.machine`.
+///
+/// Every in-crate driver keeps a `machine: Machine<…>` field and forwards
+/// `declared_pattern` / `set_static_discharge` / `set_log_shards` /
+/// `lock_stats` identically; invoke this inside the driver's
+/// `impl TmSystem for …` block instead of spelling out the four methods.
+macro_rules! forward_machine_hooks {
+    () => {
+        fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
+            Some($crate::driver::full_rule_pattern())
+        }
+
+        fn set_static_discharge(
+            &self,
+            facts: Option<std::sync::Arc<pushpull_core::StaticDischarge>>,
+        ) {
+            self.machine.set_static_discharge(facts);
+        }
+
+        fn set_log_shards(&mut self, shards: usize) {
+            self.machine.set_log_shards(shards);
+        }
+
+        fn lock_stats(&self) -> Option<(u64, u64)> {
+            Some(self.machine.lock_stats())
+        }
+    };
+}
+pub(crate) use forward_machine_hooks;
 
 /// A worker closure for one model thread: each call performs one tick on
 /// that thread, touching only its own [`TxnHandle`] and per-thread driver
@@ -142,6 +187,11 @@ pub struct SystemStats {
     /// The longest run of consecutive aborts any single thread suffered
     /// (merged by `max`, not summed).
     pub max_abort_streak: u64,
+    /// Shard-lock acquisitions in the machine's shared log.
+    pub lock_acquires: u64,
+    /// Shard-lock acquisitions that found the lock already held and had
+    /// to block (a direct read on log contention).
+    pub lock_contended: u64,
 }
 
 impl SystemStats {
@@ -166,6 +216,8 @@ impl std::ops::Add for SystemStats {
             blocked_ticks: self.blocked_ticks + rhs.blocked_ticks,
             degradations: self.degradations + rhs.degradations,
             max_abort_streak: self.max_abort_streak.max(rhs.max_abort_streak),
+            lock_acquires: self.lock_acquires + rhs.lock_acquires,
+            lock_contended: self.lock_contended + rhs.lock_contended,
         }
     }
 }

@@ -246,6 +246,9 @@ impl<S: SeqSpec> OptimisticSystem<S> {
     pub fn stats(&self) -> SystemStats {
         let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
         self.contention.fold_into(&mut stats);
+        let (acquires, contended) = self.machine.lock_stats();
+        stats.lock_acquires = acquires;
+        stats.lock_contended = contended;
         stats
     }
 }
@@ -284,13 +287,7 @@ impl<S: SeqSpec> TmSystem for OptimisticSystem<S> {
         Some(self.contention.report())
     }
 
-    fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
-        Some(crate::driver::full_rule_pattern())
-    }
-
-    fn set_static_discharge(&self, facts: Option<std::sync::Arc<pushpull_core::StaticDischarge>>) {
-        self.machine().set_static_discharge(facts);
-    }
+    crate::driver::forward_machine_hooks!();
 }
 
 impl<S> ParallelSystem for OptimisticSystem<S>

@@ -277,6 +277,9 @@ impl Tl2System {
     pub fn stats(&self) -> SystemStats {
         let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
         self.contention.fold_into(&mut stats);
+        let (acquires, contended) = self.machine.lock_stats();
+        stats.lock_acquires = acquires;
+        stats.lock_contended = contended;
         stats
     }
 
@@ -336,13 +339,7 @@ impl TmSystem for Tl2System {
         Some(self.contention.report())
     }
 
-    fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
-        Some(crate::driver::full_rule_pattern())
-    }
-
-    fn set_static_discharge(&self, facts: Option<std::sync::Arc<pushpull_core::StaticDischarge>>) {
-        self.machine().set_static_discharge(facts);
-    }
+    crate::driver::forward_machine_hooks!();
 }
 
 impl ParallelSystem for Tl2System {
