@@ -136,7 +136,7 @@ fn count_shard_keys<S: SeqSpec>(spec: &S, summary: &ProgramSummary<S::Method>) -
     let mut keys = std::collections::BTreeSet::new();
     for m in &summary.footprint {
         match spec.method_keys(m) {
-            Some(ks) => keys.extend(ks),
+            Some(ks) => keys.extend(ks.iter().copied()),
             None => return 0,
         }
     }

@@ -324,6 +324,24 @@ impl AtomicAudit {
         self.allowed_queries[shard % QUERY_SHARDS].add(1);
     }
 
+    /// Counts `n` mover-oracle consultations at once. The lock-free
+    /// snapshot path buffers its tallies while evaluating criteria
+    /// optimistically and flushes them here in one shot, so the audit
+    /// ledger stays exact whether a check ran locked or lock-free.
+    pub fn count_mover_n(&self, shard: usize, n: u64) {
+        if n > 0 {
+            self.mover_queries[shard % QUERY_SHARDS].add(n);
+        }
+    }
+
+    /// Counts `n` `allowed` evaluations at once (see
+    /// [`AtomicAudit::count_mover_n`]).
+    pub fn count_allowed_n(&self, shard: usize, n: u64) {
+        if n > 0 {
+            self.allowed_queries[shard % QUERY_SHARDS].add(n);
+        }
+    }
+
     /// Records one injected fault.
     pub fn inject(&self, kind: FaultKind) {
         match other_key(kind) {

@@ -92,11 +92,44 @@
 //!   invariant lies at or past `len`; the cache is untouched. A removal
 //!   inside the cached prefix (impossible through the rule API) resets the
 //!   cache defensively.
+//!
+//! ## The lock-free snapshot path (seqlock prefix reads)
+//!
+//! On top of the mutex ladder, every shard *publishes* an immutable
+//! [`ShardSnap`] — its committed-prefix denotation, its uncommitted
+//! suffix and a monotonically increasing per-shard `version` — into a
+//! [`SnapCell`] whenever it mutates (append, removal, commit flip). A
+//! routed PUSH evaluates its shared criteria (ii)/(iii) against that
+//! snapshot **without taking any lock**, buffering its audit tallies:
+//!
+//! * a *failing* verdict is returned immediately — zero locks; denial at
+//!   any moment is a legal machine step, and single-threaded runs always
+//!   see a fresh snapshot, so golden traces are bit-identical;
+//! * a *passing* verdict acquires the shard mutex only for the mutating
+//!   append, revalidates `version`, and — on a match — flushes the
+//!   buffered tallies and appends. A mismatch (a concurrent writer got
+//!   in between) discards the speculation and re-runs the criteria under
+//!   the lock, audited exactly as the classic path.
+//!
+//! The fallback ladder is thus: optimistic snapshot → per-shard mutex →
+//! sticky coarse (all shards). Snapshots are never published while the
+//! coarse flag is set, and the coarse flag is re-checked under the lock
+//! (same argument as the routing double-check), so the optimistic path
+//! can never miss a coarse entry. Stamp order is untouched: stamps are
+//! still minted from `push_stamp` under the shard lock in the (short)
+//! mutating section, so per-shard stamps stay strictly increasing.
+//!
+//! Log memory is arena-backed ([`SlabArena`]): entries never move once
+//! appended, UNPUSH removal shifts only the 16-byte `(stamp, ref)` order
+//! records, and the criteria replay iterates cursors instead of
+//! collecting `Vec`s — per-op step complexity stops scaling with log
+//! length or allocator behavior.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
 
+use crate::arena::{ArenaRef, SlabArena};
 use crate::audit::{AtomicAudit, CriteriaAudit};
 use crate::error::{Clause, Rule};
 use crate::faults::{FaultHook, FaultKind};
@@ -104,6 +137,7 @@ use crate::lang::Code;
 use crate::log::{GlobalEntry, GlobalFlag, GlobalLog, LocalLog};
 use crate::machine::CheckMode;
 use crate::op::{Op, OpId, OpIdGen, ThreadId, TxnId};
+use crate::snapcell::SnapCell;
 use crate::spec::SeqSpec;
 use crate::static_facts::StaticDischarge;
 
@@ -150,6 +184,12 @@ impl<St: Clone + Eq + std::hash::Hash> PrefixCache<St> {
     }
 }
 
+/// Seqlock validation retries before an optimistic snapshot read gives
+/// up and takes the mutex fallback. Small on purpose: a race means a
+/// writer is active on this shard, and the mutex path is then cheaper
+/// than spinning.
+const SNAP_RETRIES: u64 = 3;
+
 /// A global entry paired with its commit-sequence stamp (owned).
 type StampedEntry<S> = (
     u64,
@@ -169,21 +209,41 @@ type RemovedEntry<S> = (
     GlobalEntry<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>,
 );
 
-/// One footprint shard of the global log: a segment of `G` with its
-/// parallel commit-sequence stamps and its own committed-prefix cache.
-/// Everything the shared rules read-modify on this shard sits behind one
-/// mutex in [`GlobalState::shards`].
+/// The immutable snapshot a shard publishes for the lock-free criteria
+/// read path: everything PUSH criteria (ii)/(iii) need — the cached
+/// committed-prefix denotation and the (flagged) entries past it —
+/// tagged with the shard `version` that produced it, so the mutating
+/// append section can revalidate before relying on a speculated verdict.
+pub(crate) struct ShardSnap<S: SeqSpec> {
+    /// [`ShardLog::version`] at publication time.
+    pub(crate) version: u64,
+    /// `⟦G_i[..cache.len]⟧` — the committed-prefix denotation.
+    pub(crate) states: HashSet<S::State>,
+    /// The entries past the cached prefix, flags as of publication, in
+    /// shard (= stamp) order.
+    pub(crate) suffix: Vec<GlobalEntry<S::Method, S::Ret>>,
+}
+
+/// One footprint shard of the global log: an arena-backed segment of `G`
+/// with its commit-sequence append order and its own committed-prefix
+/// cache. Everything the shared rules read-modify on this shard sits
+/// behind one mutex in [`GlobalState::shards`].
 #[derive(Debug)]
 pub(crate) struct ShardLog<S: SeqSpec> {
-    /// This shard's segment of the shared log `G`.
-    pub(crate) log: GlobalLog<S::Method, S::Ret>,
-    /// `stamps[i]` is the global commit-sequence stamp of `log[i]`.
-    /// Strictly increasing within a shard (stamps are minted under the
-    /// shard lock); merging all shards by stamp reconstructs the total
-    /// append order of `G`.
-    pub(crate) stamps: Vec<u64>,
+    /// Slab storage for this shard's segment of `G`: entries never move
+    /// once appended, and UNPUSH removals recycle slots through the
+    /// generation-tagged free list instead of shifting entry payloads.
+    arena: SlabArena<GlobalEntry<S::Method, S::Ret>>,
+    /// `(stamp, slot)` in append order. Stamps are strictly increasing
+    /// within a shard (minted under the shard lock); merging all shards
+    /// by stamp reconstructs the total append order of `G`. Removals
+    /// shift only these 16-byte records, never the entries.
+    order: Vec<(u64, ArenaRef)>,
     /// The committed-prefix denotation cache for this segment.
     pub(crate) cache: PrefixCache<S::State>,
+    /// Bumped on every mutation (append, removal, commit flip) — the
+    /// validation token for [`ShardSnap`] speculation.
+    pub(crate) version: u64,
 }
 
 // Manual impl: a derived `Clone` would demand `S: Clone`, which nothing
@@ -192,9 +252,10 @@ pub(crate) struct ShardLog<S: SeqSpec> {
 impl<S: SeqSpec> Clone for ShardLog<S> {
     fn clone(&self) -> Self {
         Self {
-            log: self.log.clone(),
-            stamps: self.stamps.clone(),
+            arena: self.arena.clone(),
+            order: self.order.clone(),
             cache: self.cache.clone(),
+            version: self.version,
         }
     }
 }
@@ -202,24 +263,129 @@ impl<S: SeqSpec> Clone for ShardLog<S> {
 impl<S: SeqSpec> ShardLog<S> {
     fn new(initial: Vec<S::State>) -> Self {
         Self {
-            log: GlobalLog::new(),
-            stamps: Vec::new(),
+            arena: SlabArena::new(),
+            order: Vec::new(),
             cache: PrefixCache::new(initial),
+            version: 0,
         }
     }
 
-    /// Removes the entry with `id` and its stamp, returning the entry's
-    /// former position (the effect of an UNPUSH on this shard).
+    /// Rebuilds a shard from stamp-ordered entries (resharding).
+    fn from_stamped(stamped: Vec<StampedEntry<S>>, initial: Vec<S::State>) -> Self {
+        let mut sh = Self::new(initial);
+        for (stamp, entry) in stamped {
+            sh.push_entry(stamp, entry);
+        }
+        sh
+    }
+
+    /// Number of entries in this shard's segment.
+    pub(crate) fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The entries in shard (= stamp) order.
+    pub(crate) fn iter(
+        &self,
+    ) -> impl Iterator<Item = &GlobalEntry<S::Method, S::Ret>> + Clone + '_ {
+        self.order
+            .iter()
+            .map(move |(_, r)| self.arena.get(*r).expect("order refs are live"))
+    }
+
+    /// The entries with their stamps, in shard order.
+    pub(crate) fn iter_stamped(&self) -> impl Iterator<Item = StampedEntryRef<'_, S>> + '_ {
+        self.order
+            .iter()
+            .map(move |(s, r)| (*s, self.arena.get(*r).expect("order refs are live")))
+    }
+
+    /// The entries from position `pos` on, in shard order (the suffix
+    /// cursor the incremental criteria replay).
+    fn iter_from(&self, pos: usize) -> impl Iterator<Item = &GlobalEntry<S::Method, S::Ret>> + '_ {
+        self.order[pos.min(self.order.len())..]
+            .iter()
+            .map(move |(_, r)| self.arena.get(*r).expect("order refs are live"))
+    }
+
+    /// The entry at `pos` in shard order.
+    fn entry_at(&self, pos: usize) -> &GlobalEntry<S::Method, S::Ret> {
+        let (_, r) = self.order[pos];
+        self.arena.get(r).expect("order refs are live")
+    }
+
+    /// The stamp of the entry at `pos`.
+    fn stamp_at(&self, pos: usize) -> u64 {
+        self.order[pos].0
+    }
+
+    /// Position of the entry with `id` in shard order.
+    pub(crate) fn position(&self, id: OpId) -> Option<usize> {
+        self.iter().position(|e| e.op.id == id)
+    }
+
+    /// The entry with `id`, if present.
+    pub(crate) fn entry(&self, id: OpId) -> Option<&GlobalEntry<S::Method, S::Ret>> {
+        self.iter().find(|e| e.op.id == id)
+    }
+
+    fn push_entry(&mut self, stamp: u64, entry: GlobalEntry<S::Method, S::Ret>) {
+        debug_assert!(
+            self.order.last().is_none_or(|(s, _)| *s < stamp),
+            "stamps must be strictly increasing within a shard"
+        );
+        let r = self.arena.insert(entry);
+        self.order.push((stamp, r));
+    }
+
+    /// Appends an uncommitted entry with `stamp` (the PUSH effect).
+    fn push_uncommitted(&mut self, stamp: u64, op: Op<S::Method, S::Ret>) {
+        self.push_entry(
+            stamp,
+            GlobalEntry {
+                op,
+                flag: GlobalFlag::Uncommitted,
+            },
+        );
+    }
+
+    /// Removes the entry with `id`, returning its former position (the
+    /// effect of an UNPUSH on this shard). The arena slot is recycled;
+    /// any stale [`ArenaRef`] to it resolves to `None` from now on.
     pub(crate) fn remove_by_id(&mut self, id: OpId) -> Option<RemovedEntry<S>> {
-        let pos = self.log.position(id)?;
-        let entry = self.log.remove_by_id(id).expect("position found above");
-        self.stamps.remove(pos);
+        let pos = self.position(id)?;
+        let (_, r) = self.order.remove(pos);
+        let entry = self.arena.remove(r).expect("order refs are live");
         Some((pos, entry))
     }
 
-    /// The stamp of the entry with `id`, if present.
-    fn stamp_of(&self, id: OpId) -> Option<u64> {
-        self.log.position(id).map(|p| self.stamps[p])
+    /// Flips every entry of `local` held by this shard to committed,
+    /// returning `(stamp, id)` per flip (the CMT effect on this shard).
+    fn commit_local(&mut self, local: &LocalLog<S::Method, S::Ret>) -> Vec<(u64, OpId)> {
+        let ShardLog { arena, order, .. } = self;
+        let mut flipped = Vec::new();
+        for (stamp, r) in order.iter() {
+            let e = arena.get_mut(*r).expect("order refs are live");
+            if e.flag == GlobalFlag::Uncommitted && local.contains_id(e.op.id) {
+                e.flag = GlobalFlag::Committed;
+                flipped.push((*stamp, e.op.id));
+            }
+        }
+        flipped
+    }
+
+    /// Clones the entries past the cached prefix (for [`ShardSnap`]).
+    fn suffix_entries(&self) -> Vec<GlobalEntry<S::Method, S::Ret>> {
+        self.iter_from(self.cache.len).cloned().collect()
+    }
+
+    /// `(live, capacity, reused)` of this shard's arena.
+    fn arena_stats(&self) -> (u64, u64, u64) {
+        (
+            self.arena.live() as u64,
+            self.arena.capacity() as u64,
+            self.arena.reused(),
+        )
     }
 }
 
@@ -263,32 +429,33 @@ impl<'a, S: SeqSpec> LogView<'a, S> {
         self.shards.len() == 1
     }
 
-    /// All held entries with their stamps, in stamp order (for a single
-    /// shard this is just the shard's log order — no sort needed).
-    pub(crate) fn entries_stamped(&self) -> Vec<StampedEntryRef<'_, S>> {
-        let mut out: Vec<StampedEntryRef<'_, S>> = Vec::new();
-        for (_, sh) in &self.shards {
-            out.extend(sh.stamps.iter().copied().zip(sh.log.iter()));
-        }
-        if !self.is_single() {
-            out.sort_by_key(|(s, _)| *s);
-        }
-        out
+    /// Is this view exactly `{shard i}` (the optimistic append's
+    /// revalidation needs to know its speculation still covers the whole
+    /// criteria scope)?
+    pub(crate) fn is_single_shard(&self, i: usize) -> bool {
+        self.shards.len() == 1 && self.shards[0].0 == i
     }
 
-    /// All held operations in stamp order, optionally skipping one id —
-    /// the merged log the coarse criteria replay.
-    fn merged_ops(&self, skip: Option<OpId>) -> Vec<Op<S::Method, S::Ret>> {
-        self.entries_stamped()
-            .into_iter()
-            .filter(|(_, e)| Some(e.op.id) != skip)
-            .map(|(_, e)| e.op.clone())
-            .collect()
+    /// The `version` of the held shard at `view index` (snapshot
+    /// revalidation).
+    pub(crate) fn shard_version(&self, vidx: usize) -> u64 {
+        self.shards[vidx].1.version
+    }
+
+    /// All held entries with their stamps, in stamp order, as a k-way
+    /// cursor merge over the held shards — no collection, no sort (each
+    /// shard is already stamp-ordered). For a single shard this
+    /// degenerates to a plain cursor walk.
+    pub(crate) fn stamped(&self) -> StampedIter<'_, 'a, S> {
+        StampedIter {
+            view: self,
+            pos: (0..self.shards.len()).map(|_| 0).collect(),
+        }
     }
 
     /// Finds an entry by op id across the held shards.
     pub(crate) fn entry(&self, id: OpId) -> Option<&GlobalEntry<S::Method, S::Ret>> {
-        self.shards.iter().find_map(|(_, sh)| sh.log.entry(id))
+        self.shards.iter().find_map(|(_, sh)| sh.entry(id))
     }
 
     /// Locates an entry by op id: `(view index, position in shard)`.
@@ -296,46 +463,73 @@ impl<'a, S: SeqSpec> LogView<'a, S> {
         self.shards
             .iter()
             .enumerate()
-            .find_map(|(v, (_, sh))| sh.log.position(id).map(|p| (v, p)))
+            .find_map(|(v, (_, sh))| sh.position(id).map(|p| (v, p)))
     }
 
     /// The commit-sequence stamp of the entry at `(view index, position)`.
     pub(crate) fn stamp_at(&self, vidx: usize, pos: usize) -> u64 {
-        self.shards[vidx].1.stamps[pos]
-    }
-
-    /// Mutable access to the held shard at `view index` (for the UNPUSH
-    /// removal effect).
-    pub(crate) fn shard_mut(&mut self, vidx: usize) -> &mut ShardLog<S> {
-        &mut self.shards[vidx].1
+        self.shards[vidx].1.stamp_at(pos)
     }
 
     /// The held entries strictly *after* `stamp`, in stamp order — the
-    /// suffix the UNPUSH gray criterion slides across. For a single-shard
-    /// view this is exactly the shard slice past the entry (stamps are
-    /// increasing within a shard).
-    pub(crate) fn entries_after(&self, stamp: u64) -> Vec<&GlobalEntry<S::Method, S::Ret>> {
-        self.entries_stamped()
-            .into_iter()
-            .filter(|(s, _)| *s > stamp)
+    /// suffix the UNPUSH gray criterion slides across. Cursor-backed: no
+    /// allocation.
+    pub(crate) fn entries_after(
+        &self,
+        stamp: u64,
+    ) -> impl Iterator<Item = &GlobalEntry<S::Method, S::Ret>> + '_ {
+        self.stamped()
+            .filter(move |(s, _)| *s > stamp)
             .map(|(_, e)| e)
-            .collect()
     }
 
     /// Flips every held entry of `local` to committed (the `cmt`
     /// predicate restricted to the held shards), returning the flipped
     /// ids in global stamp order — identical to the single-log flip
-    /// order at any shard count.
+    /// order at any shard count. Bumps the version of every shard that
+    /// flipped at least one entry.
     pub(crate) fn commit_local(&mut self, local: &LocalLog<S::Method, S::Ret>) -> Vec<OpId> {
         let mut flipped: Vec<(u64, OpId)> = Vec::new();
         for (_, sh) in &mut self.shards {
-            for id in sh.log.commit_local(local) {
-                let stamp = sh.stamp_of(id).expect("just flipped in this shard");
-                flipped.push((stamp, id));
+            let here = sh.commit_local(local);
+            if !here.is_empty() {
+                sh.version += 1;
             }
+            flipped.extend(here);
         }
         flipped.sort_by_key(|(s, _)| *s);
         flipped.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+/// Allocation-free stamp-ordered merge over a view's held shards: one
+/// cursor per shard, advancing the minimum stamp each step (stamps are
+/// globally unique, so the merge is deterministic).
+pub(crate) struct StampedIter<'v, 'a, S: SeqSpec> {
+    view: &'v LogView<'a, S>,
+    /// One cursor per held shard; inline up to 16 shards, so iterating
+    /// any single- or CMT-width view allocates nothing.
+    pos: crate::smallvec::SmallVec<usize, 16>,
+}
+
+impl<'v, S: SeqSpec> Iterator for StampedIter<'v, '_, S> {
+    type Item = StampedEntryRef<'v, S>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<(usize, u64)> = None;
+        for (k, (_, sh)) in self.view.shards.iter().enumerate() {
+            let p = self.pos[k];
+            if p < sh.len() {
+                let s = sh.stamp_at(p);
+                if best.is_none_or(|(_, bs)| s < bs) {
+                    best = Some((k, s));
+                }
+            }
+        }
+        let (k, s) = best?;
+        let e = self.view.shards[k].1.entry_at(self.pos[k]);
+        self.pos[k] += 1;
+        Some((s, e))
     }
 }
 
@@ -369,6 +563,19 @@ pub struct GlobalState<S: SeqSpec> {
     /// single-key footprint routes, never cleared (for this shard
     /// layout). See the module docs for the memory-ordering argument.
     coarse: AtomicBool,
+    /// Per-shard published snapshots for the lock-free criteria read
+    /// path. Published on every shard mutation (unless coarse mode is
+    /// on); read optimistically by routed PUSH and `can_push`.
+    snaps: Vec<SnapCell<ShardSnap<S>>>,
+    /// Optimistic snapshot reads that produced a verdict without
+    /// taking any lock.
+    snap_reads: AtomicU64,
+    /// Seqlock validation retries burned across all snapshot reads.
+    snap_retries: AtomicU64,
+    /// Snapshot reads that gave up (cell unpublished, contended past the
+    /// retry budget, or stale at revalidation) and fell back to the
+    /// mutex path.
+    snap_fallbacks: AtomicU64,
     /// Per-shard lock-acquisition tallies (observability, not audit).
     lock_acquires: Vec<AtomicU64>,
     /// Per-shard contended-acquisition tallies: acquisitions that found
@@ -401,7 +608,7 @@ impl<S: SeqSpec> GlobalState<S> {
         let shard_logs = (0..n)
             .map(|_| Mutex::new(ShardLog::new(spec.initial_states())))
             .collect();
-        Self {
+        let state = Self {
             spec: Arc::new(spec),
             mode,
             ids: OpIdGen::new(),
@@ -413,13 +620,19 @@ impl<S: SeqSpec> GlobalState<S> {
             committed: Mutex::new(Vec::new()),
             push_stamp: AtomicU64::new(0),
             coarse: AtomicBool::new(false),
+            snaps: (0..n).map(|_| SnapCell::new()).collect(),
+            snap_reads: AtomicU64::new(0),
+            snap_retries: AtomicU64::new(0),
+            snap_fallbacks: AtomicU64::new(0),
             lock_acquires: (0..n).map(|_| AtomicU64::new(0)).collect(),
             lock_contended: (0..n).map(|_| AtomicU64::new(0)).collect(),
             faults: RwLock::new(None),
             faults_armed: AtomicBool::new(false),
             static_facts: RwLock::new(None),
             static_armed: AtomicBool::new(false),
-        }
+        };
+        state.publish_all_shards();
+        state
     }
 
     /// The sequential specification.
@@ -466,6 +679,90 @@ impl<S: SeqSpec> GlobalState<S> {
             .zip(&self.lock_contended)
             .map(|(a, c)| (a.load(Ordering::Relaxed), c.load(Ordering::Relaxed)))
             .collect()
+    }
+
+    /// Seqlock snapshot counters: `(reads, retries, fallbacks)`.
+    /// `reads` are optimistic criteria evaluations that needed no lock,
+    /// `retries` the validation races burned, `fallbacks` the reads that
+    /// gave up and took the mutex ladder instead.
+    pub fn seqlock_stats(&self) -> (u64, u64, u64) {
+        (
+            self.snap_reads.load(Ordering::Relaxed),
+            self.snap_retries.load(Ordering::Relaxed),
+            self.snap_fallbacks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Arena occupancy summed over all shards:
+    /// `(live entries, slot capacity, cumulative slot reuses)`. Takes
+    /// each shard lock briefly, without perturbing the lock counters
+    /// (this is a reporting path, not a rule).
+    pub fn arena_stats(&self) -> (u64, u64, u64) {
+        let mut totals = (0, 0, 0);
+        for m in &self.shards {
+            let sh = m.lock().expect("shard log mutex poisoned");
+            let (l, c, r) = sh.arena_stats();
+            totals.0 += l;
+            totals.1 += c;
+            totals.2 += r;
+        }
+        totals
+    }
+
+    /// Publishes shard `idx`'s current snapshot (no-op in coarse mode:
+    /// the optimistic path is disabled there, and skipping keeps the
+    /// coarse double-check airtight). Call with the shard lock held.
+    fn publish_shard(&self, idx: usize, sh: &ShardLog<S>) {
+        if self.coarse.load(Ordering::SeqCst) {
+            return;
+        }
+        self.snaps[idx].publish(ShardSnap {
+            version: sh.version,
+            states: sh.cache.states.clone(),
+            suffix: sh.suffix_entries(),
+        });
+    }
+
+    /// Publishes every shard's snapshot (construction, resharding and
+    /// deep-cloning — the per-mutation publishes keep them fresh from
+    /// then on).
+    fn publish_all_shards(&self) {
+        for (i, m) in self.shards.iter().enumerate() {
+            let sh = m.lock().expect("shard log mutex poisoned");
+            self.publish_shard(i, &sh);
+        }
+    }
+
+    /// Runs `f` against shard `idx`'s published snapshot without taking
+    /// any lock, retrying validation races up to [`SNAP_RETRIES`] times.
+    /// `None` means the caller must take the mutex path (and the
+    /// fallback was tallied).
+    pub(crate) fn read_shard_snap<R>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&ShardSnap<S>) -> R,
+    ) -> Option<R> {
+        let out = self.snaps[idx].read(SNAP_RETRIES, f);
+        if out.retries > 0 {
+            self.snap_retries.fetch_add(out.retries, Ordering::Relaxed);
+        }
+        match out.value {
+            Some(v) => {
+                self.snap_reads.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.snap_fallbacks.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Tallies a fallback discovered *after* a successful snapshot read
+    /// (the under-lock version revalidation failed, so the speculated
+    /// verdict was discarded and the mutex path re-ran).
+    pub(crate) fn note_snap_fallback(&self) {
+        self.snap_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Is the incremental (prefix-cached) `allowed` path enabled?
@@ -665,7 +962,7 @@ impl<S: SeqSpec> GlobalState<S> {
     pub(crate) fn find_entry(&self, id: OpId) -> Option<GlobalEntry<S::Method, S::Ret>> {
         for i in 0..self.shards.len() {
             let sh = self.lock_shard(i);
-            if let Some(e) = sh.log.entry(id) {
+            if let Some(e) = sh.entry(id) {
                 return Some(e.clone());
             }
         }
@@ -673,7 +970,8 @@ impl<S: SeqSpec> GlobalState<S> {
     }
 
     /// Appends `op` to its routed shard inside the held view, minting its
-    /// commit-sequence stamp under the shard lock (the PUSH effect).
+    /// commit-sequence stamp under the shard lock (the PUSH effect), and
+    /// republishes the shard's snapshot.
     pub(crate) fn append_push(
         &self,
         view: &mut LogView<'_, S>,
@@ -687,8 +985,31 @@ impl<S: SeqSpec> GlobalState<S> {
             .iter_mut()
             .find(|(i, _)| *i == target)
             .expect("append target shard is held by the view");
-        sh.log.push_uncommitted(op);
-        sh.stamps.push(stamp);
+        sh.push_uncommitted(stamp, op);
+        sh.version += 1;
+        self.publish_shard(target, sh);
+    }
+
+    /// Removes the entry `id` from the held shard at `view index` (the
+    /// UNPUSH effect): recycles its arena slot, maintains the prefix
+    /// cache (a removal inside the cached prefix — impossible through
+    /// the rule API — resets it defensively), bumps the shard version
+    /// and republishes the snapshot.
+    pub(crate) fn remove_push(
+        &self,
+        view: &mut LogView<'_, S>,
+        vidx: usize,
+        id: OpId,
+    ) -> Option<RemovedEntry<S>> {
+        let (idx, sh) = &mut view.shards[vidx];
+        let removed = sh.remove_by_id(id)?;
+        if removed.0 < sh.cache.len {
+            sh.cache.reset(self.spec.initial_states());
+        }
+        sh.version += 1;
+        let shard_idx = *idx;
+        self.publish_shard(shard_idx, sh);
+        Some(removed)
     }
 
     /// Appends a committed-transaction record. Called while still holding
@@ -714,11 +1035,7 @@ impl<S: SeqSpec> GlobalState<S> {
     /// order.
     pub fn global_snapshot(&self) -> GlobalLog<S::Method, S::Ret> {
         let view = self.acquire_all();
-        let entries = view
-            .entries_stamped()
-            .into_iter()
-            .map(|(_, e)| e.clone())
-            .collect();
+        let entries = view.stamped().map(|(_, e)| e.clone()).collect();
         GlobalLog::from_entries(entries)
     }
 
@@ -767,20 +1084,36 @@ impl<S: SeqSpec> GlobalState<S> {
         op: &Op<S::Method, S::Ret>,
     ) -> bool {
         self.audit.count_allowed(shard);
-        if view.is_single() {
+        let states = if view.is_single() {
             let sh = &view.shards[0].1;
             if self.incremental() {
-                let states = self.suffix_states(sh, None);
-                !self
-                    .spec
-                    .denote_from(&states, std::slice::from_ref(op))
-                    .is_empty()
+                self.suffix_states(sh, None)
             } else {
-                self.spec.allows(&sh.log.ops(), op)
+                self.spec.denote_refs(sh.iter().map(|e| &e.op))
             }
         } else {
-            self.spec.allows(&view.merged_ops(None), op)
-        }
+            self.spec.denote_refs(view.stamped().map(|(_, e)| &e.op))
+        };
+        !self
+            .spec
+            .denote_from(&states, std::slice::from_ref(op))
+            .is_empty()
+    }
+
+    /// Unaudited variant of [`GlobalState::g_allows`] evaluated against
+    /// a published [`ShardSnap`] — the zero-lock criterion (iii). The
+    /// snapshot's prefix denotation plus its suffix replay is exactly
+    /// the incremental single-shard computation, so the verdict agrees
+    /// bit-for-bit with what the locked path would conclude at the
+    /// snapshot's version.
+    pub(crate) fn snap_allows(&self, snap: &ShardSnap<S>, op: &Op<S::Method, S::Ret>) -> bool {
+        let states = self
+            .spec
+            .denote_from_refs(&snap.states, snap.suffix.iter().map(|e| &e.op));
+        !self
+            .spec
+            .denote_from(&states, std::slice::from_ref(op))
+            .is_empty()
     }
 
     /// `allowed (G ∖ skip)` (UNPUSH criterion (ii)). `skip` is an
@@ -797,32 +1130,37 @@ impl<S: SeqSpec> GlobalState<S> {
         self.audit.count_allowed(shard);
         if view.is_single() {
             let sh = &view.shards[0].1;
-            let in_suffix = sh.log.position(skip).is_none_or(|p| p >= sh.cache.len);
+            let in_suffix = sh.position(skip).is_none_or(|p| p >= sh.cache.len);
             if self.incremental() && in_suffix {
                 !self.suffix_states(sh, Some(skip)).is_empty()
             } else {
-                let remaining: Vec<_> = sh
-                    .log
-                    .iter()
-                    .filter(|e| e.op.id != skip)
-                    .map(|e| e.op.clone())
-                    .collect();
-                self.spec.allowed(&remaining)
+                !self
+                    .spec
+                    .denote_refs(sh.iter().filter(|e| e.op.id != skip).map(|e| &e.op))
+                    .is_empty()
             }
         } else {
-            self.spec.allowed(&view.merged_ops(Some(skip)))
+            !self
+                .spec
+                .denote_refs(
+                    view.stamped()
+                        .filter(|(_, e)| e.op.id != skip)
+                        .map(|(_, e)| &e.op),
+                )
+                .is_empty()
         }
     }
 
     /// `⟦G_i⟧` (optionally skipping one suffix entry), from the shard's
-    /// cached committed-prefix denotation.
+    /// cached committed-prefix denotation — cursor-backed, no collected
+    /// `Vec`.
     fn suffix_states(&self, sh: &ShardLog<S>, skip: Option<OpId>) -> HashSet<S::State> {
-        let suffix: Vec<Op<S::Method, S::Ret>> = sh.log.entries()[sh.cache.len..]
-            .iter()
-            .filter(|e| Some(e.op.id) != skip)
-            .map(|e| e.op.clone())
-            .collect();
-        self.spec.denote_from(&sh.cache.states, &suffix)
+        self.spec.denote_from_refs(
+            &sh.cache.states,
+            sh.iter_from(sh.cache.len)
+                .filter(move |e| Some(e.op.id) != skip)
+                .map(|e| &e.op),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -831,29 +1169,30 @@ impl<S: SeqSpec> GlobalState<S> {
 
     /// Advances one shard's cache over its newly committed prefix.
     fn advance_shard_cache(spec: &S, sh: &mut ShardLog<S>) {
-        while sh.cache.len < sh.log.len() {
-            let e = &sh.log.entries()[sh.cache.len];
-            if e.flag != GlobalFlag::Committed {
+        loop {
+            if sh.cache.len >= sh.len() {
                 break;
             }
-            sh.cache.states = spec.denote_from(&sh.cache.states, std::slice::from_ref(&e.op));
+            let next = {
+                let e = sh.entry_at(sh.cache.len);
+                if e.flag != GlobalFlag::Committed {
+                    break;
+                }
+                spec.denote_from_refs(&sh.cache.states, std::iter::once(&e.op))
+            };
+            sh.cache.states = next;
             sh.cache.len += 1;
         }
     }
 
-    /// Advances every held shard's cache (after CMT).
+    /// Advances every held shard's cache and republishes its snapshot
+    /// (after CMT — the commit flips already bumped the versions of the
+    /// shards they touched, via [`LogView::commit_local`]).
     pub(crate) fn advance_caches(&self, view: &mut LogView<'_, S>) {
-        for (_, sh) in &mut view.shards {
+        for (idx, sh) in &mut view.shards {
             Self::advance_shard_cache(&self.spec, sh);
-        }
-    }
-
-    /// Notes a removal at `pos` in a shard (after UNPUSH). Removals
-    /// inside the cached prefix reset that shard's cache; suffix removals
-    /// leave it intact.
-    pub(crate) fn note_removal(&self, sh: &mut ShardLog<S>, pos: usize) {
-        if pos < sh.cache.len {
-            sh.cache.reset(self.spec.initial_states());
+            let shard_idx = *idx;
+            self.publish_shard(shard_idx, sh);
         }
     }
 
@@ -867,40 +1206,30 @@ impl<S: SeqSpec> GlobalState<S> {
         let mut stamped: Vec<StampedEntry<S>> = Vec::new();
         for m in &self.shards {
             let sh = m.lock().expect("shard log mutex poisoned");
-            for (stamp, e) in sh.stamps.iter().zip(sh.log.iter()) {
-                stamped.push((*stamp, e.clone()));
+            for (stamp, e) in sh.iter_stamped() {
+                stamped.push((stamp, e.clone()));
             }
         }
         stamped.sort_by_key(|(s, _)| *s);
 
-        type Segment<S> = (
-            Vec<GlobalEntry<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>>,
-            Vec<u64>,
-        );
-        let mut per: Vec<Segment<S>> = (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+        let mut per: Vec<Vec<StampedEntry<S>>> = (0..n).map(|_| Vec::new()).collect();
         let mut coarse = false;
         for (stamp, entry) in stamped {
             let route = Self::route_in(&self.spec, n, &entry.op.method);
             if route == Route::Coarse {
                 coarse = true;
             }
-            let target = route.target();
-            per[target].0.push(entry);
-            per[target].1.push(stamp);
+            per[route.target()].push((stamp, entry));
         }
         let shards: Vec<Mutex<ShardLog<S>>> = per
             .into_iter()
-            .map(|(entries, stamps)| {
-                let mut sh = ShardLog {
-                    log: GlobalLog::from_entries(entries),
-                    stamps,
-                    cache: PrefixCache::new(self.spec.initial_states()),
-                };
+            .map(|seg| {
+                let mut sh = ShardLog::from_stamped(seg, self.spec.initial_states());
                 Self::advance_shard_cache(&self.spec, &mut sh);
                 Mutex::new(sh)
             })
             .collect();
-        Self {
+        let state = Self {
             spec: Arc::clone(&self.spec),
             mode: self.mode,
             ids: self.ids.clone(),
@@ -912,13 +1241,19 @@ impl<S: SeqSpec> GlobalState<S> {
             committed: Mutex::new(self.committed_txns()),
             push_stamp: AtomicU64::new(self.push_stamp.load(Ordering::Relaxed)),
             coarse: AtomicBool::new(coarse),
+            snaps: (0..n).map(|_| SnapCell::new()).collect(),
+            snap_reads: AtomicU64::new(0),
+            snap_retries: AtomicU64::new(0),
+            snap_fallbacks: AtomicU64::new(0),
             lock_acquires: (0..n).map(|_| AtomicU64::new(0)).collect(),
             lock_contended: (0..n).map(|_| AtomicU64::new(0)).collect(),
             faults: RwLock::new(self.fault_hook()),
             faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
             static_facts: RwLock::new(self.static_discharge()),
             static_armed: AtomicBool::new(self.static_armed.load(Ordering::Acquire)),
-        }
+        };
+        state.publish_all_shards();
+        state
     }
 
     /// A deep copy with its own generators, audit and log state — used by
@@ -926,7 +1261,7 @@ impl<S: SeqSpec> GlobalState<S> {
     /// handle at the copy so clones share nothing (the property the model
     /// checker's branching relies on).
     pub(crate) fn deep_clone(&self) -> Self {
-        Self {
+        let state = Self {
             spec: Arc::clone(&self.spec),
             mode: self.mode,
             ids: self.ids.clone(),
@@ -942,6 +1277,10 @@ impl<S: SeqSpec> GlobalState<S> {
             committed: Mutex::new(self.committed_txns()),
             push_stamp: AtomicU64::new(self.push_stamp.load(Ordering::Relaxed)),
             coarse: AtomicBool::new(self.coarse.load(Ordering::SeqCst)),
+            snaps: (0..self.shards.len()).map(|_| SnapCell::new()).collect(),
+            snap_reads: AtomicU64::new(self.snap_reads.load(Ordering::Relaxed)),
+            snap_retries: AtomicU64::new(self.snap_retries.load(Ordering::Relaxed)),
+            snap_fallbacks: AtomicU64::new(self.snap_fallbacks.load(Ordering::Relaxed)),
             lock_acquires: self
                 .lock_acquires
                 .iter()
@@ -956,6 +1295,8 @@ impl<S: SeqSpec> GlobalState<S> {
             faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
             static_facts: RwLock::new(self.static_discharge()),
             static_armed: AtomicBool::new(self.static_armed.load(Ordering::Acquire)),
-        }
+        };
+        state.publish_all_shards();
+        state
     }
 }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use crate::audit::QUERY_SHARDS;
 use crate::error::{Clause, MachineError, MachineResult, Rule};
 use crate::faults::{BoundaryFault, FaultKind, HtmFault};
-use crate::global::{CommittedTxn, GlobalState, Route};
+use crate::global::{CommittedTxn, GlobalState, LogView, Route};
 use crate::lang::Code;
 use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
 use crate::machine::{CheckMode, StepOptions};
@@ -39,6 +39,22 @@ use crate::trace::Event;
 
 /// A trace event stamped with its global sequence number.
 pub(crate) type StampedEvent<S> = (u64, Event<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>);
+
+/// A PUSH criteria verdict speculated lock-free from a shard snapshot,
+/// carrying the audit tallies buffered during evaluation. A failed
+/// criterion flushes immediately (denial is always safe); a pass is
+/// flushed only after the shard version revalidates under the append
+/// lock — a stale pass is discarded wholesale and the audited locked
+/// evaluation re-runs, keeping the ledger exact.
+struct SnapVerdict {
+    /// Snapshot version the verdict is valid for.
+    version: u64,
+    /// Buffered mover-oracle consultations from criterion (ii).
+    movers: u64,
+    /// Criterion (ii) was statically discharged (no queries; flushes as
+    /// `pass_static`).
+    static_ii: bool,
+}
 
 /// A thread `{c, σ, L}` plus its queue of future transactions, bound to
 /// the machine's shared [`GlobalState`].
@@ -542,60 +558,52 @@ impl<S: SeqSpec> TxnHandle<S> {
             }
         }
         let route = self.global.route(&op.method);
+        // Lock-free speculation: on a routed single shard (coarse off),
+        // criteria (ii)/(iii) evaluate against the shard's published
+        // snapshot without taking any lock. Only a *pass* is kept, and
+        // only as a speculation: it is trusted below iff the shard
+        // version is unchanged under the append lock. A speculative
+        // *failure* never denies by itself — a stale snapshot can show a
+        // since-committed entry as still uncommitted and manufacture a
+        // mover conflict the true log does not have — so failures fall
+        // back to the audited locked evaluation, whose verdict is exact.
+        let speculated = if checked {
+            match route {
+                Route::Single(i) if !self.global.coarse_mode() => {
+                    self.speculate_push_criteria(i, &op)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
         {
-            // Critical section: criteria over G plus the append, atomic.
-            // One footprint shard on the routed fast path; every shard
-            // (ascending) for coarse-routed operations.
+            // Critical section: the append — plus the criteria whenever
+            // speculation did not conclude. One footprint shard on the
+            // routed fast path; every shard (ascending) when coarse.
             let mut view = self.global.acquire_route(route);
+            let validated = match (&speculated, route) {
+                (Some(v), Route::Single(i))
+                    if view.is_single_shard(i) && view.shard_version(0) == v.version =>
+                {
+                    true
+                }
+                (Some(_), _) => {
+                    // The shard mutated (or the coarse flag flipped)
+                    // between snapshot and lock: discard the speculated
+                    // verdict with its buffered tallies and re-run.
+                    self.global.note_snap_fallback();
+                    false
+                }
+                (None, _) => false,
+            };
             if checked {
-                // Criterion (ii): every uncommitted op of other txns moves
-                // right of op. A single-shard view inspects only entries
-                // sharing op's footprint class — entries on other shards
-                // have disjoint declared footprints and are both-movers by
-                // the validated footprint law, so the verdict is identical.
-                if self.global.statically_discharged(Rule::Push, Clause::Ii) {
-                    #[cfg(debug_assertions)]
-                    for (_, g) in view.entries_stamped() {
-                        assert!(
-                            g.flag != GlobalFlag::Uncommitted
-                                || g.op.txn == self.txn
-                                || self.global.spec().mover(&g.op, &op),
-                            "static discharge of PUSH (ii) contradicted dynamically: {} vs {}",
-                            g.op.id,
-                            op.id
-                        );
-                    }
-                    self.global.audit.pass_static(Rule::Push, Clause::Ii);
+                if validated {
+                    let v = speculated.as_ref().expect("validated implies speculated");
+                    self.flush_push_pass(shard, v);
                 } else {
-                    for (_, g) in view.entries_stamped() {
-                        if g.flag == GlobalFlag::Uncommitted
-                            && g.op.txn != self.txn
-                            && !self.global.mover_q(shard, &g.op, &op)
-                        {
-                            self.global.audit.fail(Rule::Push, Clause::Ii);
-                            return Err(MachineError::criterion(
-                                Rule::Push,
-                                Clause::Ii,
-                                format!(
-                                    "uncommitted {} of {} cannot move right of {}",
-                                    g.op.id, g.op.txn, op.id
-                                ),
-                            ));
-                        }
-                    }
-                    self.global.audit.pass(Rule::Push, Clause::Ii);
+                    self.locked_push_criteria(&view, shard, &op)?;
                 }
-                // Criterion (iii): G allows op (incremental over the
-                // uncommitted suffix when the cache is on).
-                if !self.global.g_allows(&view, shard, &op) {
-                    self.global.audit.fail(Rule::Push, Clause::Iii);
-                    return Err(MachineError::criterion(
-                        Rule::Push,
-                        Clause::Iii,
-                        format!("global log does not allow {}", op.id),
-                    ));
-                }
-                self.global.audit.pass(Rule::Push, Clause::Iii);
             }
             self.global.append_push(&mut view, route, op.clone());
         }
@@ -619,6 +627,242 @@ impl<S: SeqSpec> TxnHandle<S> {
             method: op.method,
         });
         Ok(())
+    }
+
+    /// Evaluates PUSH criteria (ii)/(iii) against shard `shard_idx`'s
+    /// published snapshot, **without taking any lock**, buffering the
+    /// audit tallies the locked path would have recorded.
+    ///
+    /// * `Some(verdict)` — both criteria passed at `verdict.version`;
+    ///   the caller must revalidate that version under the shard lock
+    ///   before flushing the verdict's buffered tallies.
+    /// * `None` — no conclusion: the snapshot was unreadable
+    ///   (unpublished, reader contention, coarse raced in) **or a
+    ///   criterion failed against it**. A snapshot failure is never a
+    ///   verdict, because a stale snapshot can show a since-committed
+    ///   entry as uncommitted and manufacture a conflict; the caller
+    ///   must evaluate under the lock, which records the exact audit.
+    fn speculate_push_criteria(
+        &self,
+        shard_idx: usize,
+        op: &Op<S::Method, S::Ret>,
+    ) -> Option<SnapVerdict> {
+        let global = &self.global;
+        let static_ii = global.statically_discharged(Rule::Push, Clause::Ii);
+        let txn = self.txn;
+        let outcome = global.read_shard_snap(shard_idx, |snap| {
+            // Criterion (ii) over the snapshot suffix. The committed
+            // prefix never contributes a mover query (its entries all
+            // fail the `Uncommitted` test), so walking the suffix
+            // consults the oracle for exactly the pairs — in the same
+            // stamp order — as the locked loop over the whole shard.
+            let mut movers = 0u64;
+            if static_ii {
+                #[cfg(debug_assertions)]
+                for g in &snap.suffix {
+                    assert!(
+                        g.flag != GlobalFlag::Uncommitted
+                            || g.op.txn == txn
+                            || global.spec().mover(&g.op, op),
+                        "static discharge of PUSH (ii) contradicted dynamically: {} vs {}",
+                        g.op.id,
+                        op.id
+                    );
+                }
+            } else {
+                for g in &snap.suffix {
+                    if g.flag == GlobalFlag::Uncommitted && g.op.txn != txn {
+                        movers += 1;
+                        if !global.spec().mover(&g.op, op) {
+                            return None;
+                        }
+                    }
+                }
+            }
+            // Criterion (iii): one (buffered) allowed query.
+            global
+                .snap_allows(snap, op)
+                .then_some((snap.version, movers))
+        });
+        match outcome {
+            // Snapshot read but a criterion failed against it: discard
+            // the buffered tallies and send the caller to the lock.
+            Some(None) => {
+                global.note_snap_fallback();
+                None
+            }
+            Some(Some((version, movers))) => Some(SnapVerdict {
+                version,
+                movers,
+                static_ii,
+            }),
+            None => None,
+        }
+    }
+
+    /// Flushes a revalidated speculative pass to the audit: exactly the
+    /// queries and pass marks the locked evaluation would have recorded.
+    fn flush_push_pass(&self, shard: usize, v: &SnapVerdict) {
+        let audit = &self.global.audit;
+        audit.count_mover_n(shard, v.movers);
+        if v.static_ii {
+            audit.pass_static(Rule::Push, Clause::Ii);
+        } else {
+            audit.pass(Rule::Push, Clause::Ii);
+        }
+        audit.count_allowed_n(shard, 1);
+        audit.pass(Rule::Push, Clause::Iii);
+    }
+
+    /// The audited PUSH criteria (ii)/(iii) over a held view — the
+    /// locked evaluation, used for coarse routes, unreadable snapshots
+    /// and stale speculations.
+    ///
+    /// Criterion (ii): every uncommitted op of other txns moves right of
+    /// op. A single-shard view inspects only entries sharing op's
+    /// footprint class — entries on other shards have disjoint declared
+    /// footprints and are both-movers by the validated footprint law, so
+    /// the verdict is identical.
+    fn locked_push_criteria(
+        &self,
+        view: &LogView<'_, S>,
+        shard: usize,
+        op: &Op<S::Method, S::Ret>,
+    ) -> MachineResult<()> {
+        if self.global.statically_discharged(Rule::Push, Clause::Ii) {
+            #[cfg(debug_assertions)]
+            for (_, g) in view.stamped() {
+                assert!(
+                    g.flag != GlobalFlag::Uncommitted
+                        || g.op.txn == self.txn
+                        || self.global.spec().mover(&g.op, op),
+                    "static discharge of PUSH (ii) contradicted dynamically: {} vs {}",
+                    g.op.id,
+                    op.id
+                );
+            }
+            self.global.audit.pass_static(Rule::Push, Clause::Ii);
+        } else {
+            for (_, g) in view.stamped() {
+                if g.flag == GlobalFlag::Uncommitted
+                    && g.op.txn != self.txn
+                    && !self.global.mover_q(shard, &g.op, op)
+                {
+                    self.global.audit.fail(Rule::Push, Clause::Ii);
+                    return Err(MachineError::criterion(
+                        Rule::Push,
+                        Clause::Ii,
+                        format!(
+                            "uncommitted {} of {} cannot move right of {}",
+                            g.op.id, g.op.txn, op.id
+                        ),
+                    ));
+                }
+            }
+            self.global.audit.pass(Rule::Push, Clause::Ii);
+        }
+        // Criterion (iii): G allows op (incremental over the
+        // uncommitted suffix when the cache is on).
+        if !self.global.g_allows(view, shard, op) {
+            self.global.audit.fail(Rule::Push, Clause::Iii);
+            return Err(MachineError::criterion(
+                Rule::Push,
+                Clause::Iii,
+                format!("global log does not allow {}", op.id),
+            ));
+        }
+        self.global.audit.pass(Rule::Push, Clause::Iii);
+        Ok(())
+    }
+
+    /// Read-only, unaudited "would PUSH accept `op_id` right now?" —
+    /// criterion (i) over the local log plus (ii)/(iii) against the
+    /// routed shard's published snapshot.
+    ///
+    /// On the fast path — declared single-key footprint, coarse mode
+    /// off, snapshot readable — this acquires **zero locks**; the
+    /// lock-free smoke test and the B10 microbench pin that down through
+    /// the per-shard lock counters. Otherwise it falls back to a
+    /// read-only locked evaluation. The audit ledger is untouched either
+    /// way: no criteria obligation is reached, so none is recorded, and
+    /// the answer is advisory (another thread may invalidate it before a
+    /// real [`TxnHandle::push`]).
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchOp` / `WrongFlag` on structural misuse, exactly as
+    /// [`TxnHandle::push`].
+    pub fn can_push(&self, op_id: OpId) -> MachineResult<bool> {
+        let pos = self
+            .local
+            .position(op_id)
+            .ok_or(MachineError::NoSuchOp(op_id))?;
+        let entry = &self.local.entries()[pos];
+        match entry.flag {
+            LocalFlag::NotPushed { .. } => {}
+            LocalFlag::Pushed { .. } => {
+                return Err(MachineError::WrongFlag {
+                    op: op_id,
+                    expected: "npshd",
+                    found: "pshd",
+                })
+            }
+            LocalFlag::Pulled => {
+                return Err(MachineError::WrongFlag {
+                    op: op_id,
+                    expected: "npshd",
+                    found: "pld",
+                })
+            }
+        }
+        let op = &entry.op;
+        // Criterion (i): local-log only, no locks regardless of route.
+        for e in &self.local.entries()[..pos] {
+            if e.flag.is_not_pushed() && !self.global.spec().mover(op, &e.op) {
+                return Ok(false);
+            }
+        }
+        let route = self.global.route(&op.method);
+        if let Route::Single(i) = route {
+            if !self.global.coarse_mode() {
+                let global = &self.global;
+                let txn = self.txn;
+                let verdict = global.read_shard_snap(i, |snap| {
+                    snap.suffix.iter().all(|g| {
+                        g.flag != GlobalFlag::Uncommitted
+                            || g.op.txn == txn
+                            || global.spec().mover(&g.op, op)
+                    }) && global.snap_allows(snap, op)
+                });
+                // A snapshot "yes" is as good as any advisory answer
+                // gets (it can go stale the moment it is returned). A
+                // snapshot "no" is re-checked under the lock: a stale
+                // snapshot can manufacture a conflict out of an entry
+                // that has since committed, and a wrong "no" would make
+                // callers give up on a PUSH that would succeed.
+                match verdict {
+                    Some(true) => return Ok(true),
+                    Some(false) => self.global.note_snap_fallback(),
+                    None => {}
+                }
+            }
+        }
+        // Locked fallback: read-only criteria under the routed view,
+        // full replay (no audit, no cache interaction).
+        let view = self.global.acquire_route(route);
+        let ii = view.stamped().all(|(_, g)| {
+            g.flag != GlobalFlag::Uncommitted
+                || g.op.txn == self.txn
+                || self.global.spec().mover(&g.op, op)
+        });
+        if !ii {
+            return Ok(false);
+        }
+        let spec = self.global.spec();
+        let states = spec.denote_refs(view.stamped().map(|(_, e)| &e.op));
+        Ok(!spec
+            .denote_from(&states, std::slice::from_ref(op))
+            .is_empty())
     }
 
     /// **UNPUSH**: recalls a pushed operation from the shared log
@@ -714,9 +958,9 @@ impl<S: SeqSpec> TxnHandle<S> {
                 }
                 self.global.audit.pass(Rule::UnPush, Clause::Ii);
             }
-            let sh = view.shard_mut(vidx);
-            sh.remove_by_id(op_id).expect("found above");
-            self.global.note_removal(sh, gpos);
+            self.global
+                .remove_push(&mut view, vidx, op_id)
+                .expect("found above");
             op
         };
         let entry = self.local.entry_mut(op_id).expect("checked above");
@@ -1130,8 +1374,7 @@ impl<S: SeqSpec> TxnHandle<S> {
     pub fn pull_all_committed(&mut self) -> MachineResult<usize> {
         let candidates: Vec<OpId> = {
             let view = self.global.acquire_all();
-            view.entries_stamped()
-                .into_iter()
+            view.stamped()
                 .filter(|(_, e)| {
                     e.flag == GlobalFlag::Committed && !self.local.contains_id(e.op.id)
                 })

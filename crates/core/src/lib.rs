@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod atomic;
 pub mod audit;
 pub mod error;
@@ -78,12 +79,15 @@ pub mod opacity;
 pub mod precongruence;
 pub mod rng;
 pub mod serializability;
+pub mod smallvec;
+pub mod snapcell;
 pub mod spec;
 pub mod static_facts;
 pub mod structural;
 pub mod toy;
 pub mod trace;
 
+pub use arena::{ArenaRef, SlabArena};
 pub use error::{Clause, CriterionViolation, MachineError, MachineResult, Rule};
 pub use faults::{BoundaryFault, FaultHook, FaultKind, HtmFault};
 pub use global::GlobalState;
@@ -92,6 +96,8 @@ pub use lang::Code;
 pub use log::{GlobalFlag, GlobalLog, LocalFlag, LocalLog};
 pub use machine::{CheckMode, Machine};
 pub use op::{Op, OpId, ThreadId, TxnId};
-pub use spec::SeqSpec;
+pub use smallvec::SmallVec;
+pub use snapcell::SnapCell;
+pub use spec::{KeySet, SeqSpec};
 pub use static_facts::{RulePattern, StaticDischarge};
 pub use trace::{Event, Trace};

@@ -17,6 +17,7 @@
 
 use crate::lang::Code;
 use crate::op::{Op, OpId};
+use crate::smallvec::SmallVec;
 
 /// Status flag of a local-log entry.
 ///
@@ -77,16 +78,23 @@ pub struct LocalEntry<M, R> {
 }
 
 /// A thread-local operation log `L`.
+///
+/// Entries live inline (no heap allocation) until a transaction exceeds
+/// [`LOCAL_INLINE`] operations — most transactions in the workloads
+/// never spill, so APP/UNAPP stay allocation-free on the hot path.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LocalLog<M, R> {
-    entries: Vec<LocalEntry<M, R>>,
+    entries: SmallVec<LocalEntry<M, R>, LOCAL_INLINE>,
 }
+
+/// Operations a local log holds before spilling to the heap.
+pub const LOCAL_INLINE: usize = 8;
 
 impl<M: Clone, R: Clone> LocalLog<M, R> {
     /// Creates an empty local log.
     pub fn new() -> Self {
         Self {
-            entries: Vec::new(),
+            entries: SmallVec::new(),
         }
     }
 

@@ -1,0 +1,300 @@
+//! `SnapCell`: a single-writer, many-reader seqlock-style publication
+//! cell for shard snapshots.
+//!
+//! Each shard of the sharded global log publishes an immutable snapshot
+//! of its committed-prefix denotation and uncommitted suffix (see
+//! `ShardSnap` in `global.rs`). Read-only criteria evaluation — the
+//! embarrassingly parallel disjoint-footprint case of §7 — reads that
+//! snapshot here with **zero locks**; only when the cell is contended or
+//! unpublished does the caller fall back to the per-shard mutex (and
+//! from there, for undeclared footprints, to the sticky coarse lock —
+//! the three-rung fallback ladder of DESIGN.md §10).
+//!
+//! # Protocol
+//!
+//! A classic seqlock over non-POD data (the snapshot owns `HashSet`s and
+//! `Vec`s) cannot let readers copy bytes and validate afterwards — a torn
+//! read of an owning type is immediate UB. `SnapCell` therefore combines
+//! the seqlock's *version validation* with per-slot *pin counts* so a
+//! validated reader borrows the data in place and the writer never
+//! overwrites a slot someone is still reading:
+//!
+//! * The cell has [`SLOTS`] slots, each an `Option<T>` plus an atomic
+//!   pin count, and one packed `published` word `(epoch << 2) | slot`
+//!   (`0` = nothing published). The epoch increments on every publish,
+//!   so the word never repeats (no ABA).
+//! * **Reader**: load `published`; pin the named slot
+//!   (`fetch_add(1, SeqCst)`); re-load `published`. If unchanged, the
+//!   slot provably still holds the published value and the pin is
+//!   visible to any future writer, so the reader borrows the value,
+//!   runs its closure, and unpins. If changed, unpin and retry (bounded;
+//!   then fall back to the mutex path).
+//! * **Writer** (already serialized by the owning shard's mutex): pick
+//!   any slot that is neither currently published nor pinned, move the
+//!   new value in, then store the new packed word. If every other slot
+//!   is pinned the publish is simply *skipped* — readers will fail
+//!   validation against the stale epoch and fall back to the mutex, so
+//!   skipping is always safe (the snapshot is an optimization, never the
+//!   source of truth).
+//!
+//! # Why this is sound
+//!
+//! All protocol atomics are `SeqCst`, so they form one total order `<`.
+//! Suppose a writer writes slot `s` while a validated reader is reading
+//! it. The reader's successful re-load of `published` returned a word
+//! naming `s`; the writer only writes to *unpublished* slots, so the
+//! store `U` that unpublished `s` satisfies (reader re-load) `<` `U`.
+//! The reader's pin increment precedes its re-load in program order,
+//! hence pin `<` re-load `<` `U` `<` (writer's pin check) — the writer
+//! must therefore observe the pin and skip the slot: contradiction.
+//! Epoch monotonicity rules out the ABA republish of the same slot
+//! between the reader's two loads. Visibility of the value itself
+//! follows from the acquire/release nature of the `SeqCst` publish
+//! store and first read load.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Number of publication slots per cell. One holds the currently
+/// published snapshot; the writer needs one more to publish into; the
+/// spares absorb readers still draining pins on retired slots.
+pub const SLOTS: usize = 4;
+
+const SLOT_BITS: u32 = 2;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+/// Packs an epoch and slot index into a published word. Epoch `>= 1`,
+/// so the packed word is never `0` (the "unpublished" sentinel).
+fn pack(epoch: u64, slot: usize) -> u64 {
+    (epoch << SLOT_BITS) | slot as u64
+}
+
+struct Slot<T> {
+    /// Readers currently borrowing this slot's value.
+    pin: AtomicU32,
+    /// The value; written only by the (mutex-serialized) writer, and
+    /// only while the slot is unpublished and unpinned.
+    data: UnsafeCell<Option<T>>,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot {
+            pin: AtomicU32::new(0),
+            data: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// The outcome of a [`SnapCell::read`] attempt.
+#[derive(Debug)]
+pub struct ReadOutcome<R> {
+    /// The closure's result, or `None` if the cell was unpublished or
+    /// every attempt lost a validation race.
+    pub value: Option<R>,
+    /// Validation retries burned (0 on first-try success).
+    pub retries: u64,
+}
+
+/// A single-writer multi-reader snapshot publication cell. See the
+/// module docs for the protocol and its soundness argument.
+pub struct SnapCell<T> {
+    /// `(epoch << 2) | slot`, or `0` when nothing is published.
+    published: AtomicU64,
+    slots: [Slot<T>; SLOTS],
+}
+
+// SAFETY: the pin/validate protocol (module docs) guarantees the writer
+// never mutates a slot a validated reader is borrowing, and publication
+// is ordered by SeqCst atomics; `T: Send + Sync` is required because
+// values move in from the writer thread and are borrowed by readers.
+unsafe impl<T: Send + Sync> Sync for SnapCell<T> {}
+unsafe impl<T: Send> Send for SnapCell<T> {}
+
+impl<T> SnapCell<T> {
+    /// A new cell with nothing published.
+    pub fn new() -> Self {
+        SnapCell {
+            published: AtomicU64::new(0),
+            slots: [Slot::new(), Slot::new(), Slot::new(), Slot::new()],
+        }
+    }
+
+    /// Publishes `value`, retiring the previous snapshot.
+    ///
+    /// **Caller contract**: publishes must be externally serialized (in
+    /// the machine, by the owning shard's mutex). Returns `false` when
+    /// every non-published slot was pinned by in-flight readers and the
+    /// publish was skipped — always safe, because stale readers fail
+    /// validation and fall back to the locked path.
+    pub fn publish(&self, value: T) -> bool {
+        let cur = self.published.load(Ordering::SeqCst);
+        let cur_slot = if cur == 0 {
+            usize::MAX
+        } else {
+            (cur & SLOT_MASK) as usize
+        };
+        let epoch = cur >> SLOT_BITS;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i == cur_slot || slot.pin.load(Ordering::SeqCst) != 0 {
+                continue;
+            }
+            // SAFETY: slot `i` is unpublished and unpinned *in the SeqCst
+            // total order at this point*; per the module soundness
+            // argument no reader can validate a borrow of it from here
+            // on (they would re-read `published`, which does not name
+            // `i`, and any reader pinned before unpublication would
+            // still show pin > 0). Writers are serialized by contract.
+            unsafe { *slot.data.get() = Some(value) };
+            self.published.store(pack(epoch + 1, i), Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// Optimistically reads the published snapshot, retrying up to
+    /// `retries` times on validation races before giving up.
+    ///
+    /// On success the closure runs against the in-place value (no copy)
+    /// and its result is returned; `value: None` means the caller must
+    /// take the mutex fallback.
+    pub fn read<R, F: FnOnce(&T) -> R>(&self, retries: u64, f: F) -> ReadOutcome<R> {
+        let mut f = Some(f);
+        let mut burned = 0;
+        loop {
+            let word = self.published.load(Ordering::SeqCst);
+            if word == 0 {
+                return ReadOutcome {
+                    value: None,
+                    retries: burned,
+                };
+            }
+            let slot = &self.slots[(word & SLOT_MASK) as usize];
+            slot.pin.fetch_add(1, Ordering::SeqCst);
+            if self.published.load(Ordering::SeqCst) == word {
+                // SAFETY: validated — the slot still holds the published
+                // value and our pin (ordered before the validating load)
+                // blocks any writer from touching it until we unpin.
+                let out = {
+                    let data = unsafe { &*slot.data.get() };
+                    let value = data.as_ref().expect("published slot holds a value");
+                    (f.take().expect("closure consumed once"))(value)
+                };
+                slot.pin.fetch_sub(1, Ordering::SeqCst);
+                return ReadOutcome {
+                    value: Some(out),
+                    retries: burned,
+                };
+            }
+            slot.pin.fetch_sub(1, Ordering::SeqCst);
+            burned += 1;
+            if burned > retries {
+                return ReadOutcome {
+                    value: None,
+                    retries: burned,
+                };
+            }
+        }
+    }
+
+    /// Has anything been published yet?
+    pub fn is_published(&self) -> bool {
+        self.published.load(Ordering::SeqCst) != 0
+    }
+}
+
+impl<T> Default for SnapCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for SnapCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let word = self.published.load(Ordering::SeqCst);
+        f.debug_struct("SnapCell")
+            .field("epoch", &(word >> SLOT_BITS))
+            .field("slot", &(word & SLOT_MASK))
+            .field("published", &(word != 0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Mutex;
+
+    #[test]
+    fn unpublished_reads_fall_back() {
+        let cell: SnapCell<Vec<u64>> = SnapCell::new();
+        let out = cell.read(3, |v| v.len());
+        assert!(out.value.is_none());
+        assert_eq!(out.retries, 0);
+        assert!(!cell.is_published());
+    }
+
+    #[test]
+    fn publish_then_read_roundtrip() {
+        let cell = SnapCell::new();
+        assert!(cell.publish(vec![1u64, 2, 3]));
+        let out = cell.read(3, |v: &Vec<u64>| v.iter().sum::<u64>());
+        assert_eq!(out.value, Some(6));
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn republish_supersedes() {
+        let cell = SnapCell::new();
+        for i in 0..100u64 {
+            assert!(cell.publish(vec![i]), "single-writer publish never skips");
+            assert_eq!(cell.read(0, |v: &Vec<u64>| v[0]).value, Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_consistent_snapshot() {
+        // Writer publishes vectors whose entries must all agree; any torn
+        // or stale-slot read would surface a mixed vector.
+        const ROUNDS: u64 = if cfg!(miri) { 50 } else { 20_000 };
+        let cell = SnapCell::new();
+        let stop = AtomicBool::new(false);
+        let torn = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let out = cell.read(2, |v: &Vec<u64>| {
+                            let first = v[0];
+                            v.iter().all(|&x| x == first).then_some(first)
+                        });
+                        if let Some(None) = out.value {
+                            torn.lock().unwrap().push(());
+                        }
+                    }
+                });
+            }
+            for i in 0..ROUNDS {
+                cell.publish(vec![i; 8]);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert!(torn.lock().unwrap().is_empty(), "torn snapshot observed");
+    }
+
+    #[test]
+    fn skipped_publish_reports_false_under_pin_pressure() {
+        // Artificially pin all non-published slots by leaking reads is
+        // not possible through the safe API, so exercise the epoch path
+        // instead: after many publishes the epoch stays monotonic and
+        // the packed word never reuses 0.
+        let cell = SnapCell::new();
+        assert!(!cell.is_published());
+        for _ in 0..10 {
+            assert!(cell.publish(7u64));
+            assert!(cell.is_published());
+        }
+    }
+}

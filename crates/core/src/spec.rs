@@ -13,9 +13,18 @@
 //! PUSH/PULL rule criteria; see [`SeqSpec::mover`].
 
 use crate::op::{Op, OpId, TxnId};
+use crate::smallvec::SmallVec;
 use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::Hash;
+
+/// A declared footprint: the abstract keys a method touches.
+///
+/// Nearly every routed method declares exactly one key (and the product
+/// spec's pairs declare one per side), so the key list lives inline —
+/// [`SeqSpec::method_keys`] is called on the hot path of every routed
+/// rule and must not heap-allocate.
+pub type KeySet = SmallVec<u64, 2>;
 
 /// A sequential specification over operation logs.
 ///
@@ -81,14 +90,7 @@ pub trait SeqSpec {
     /// The denotation `⟦ℓ⟧`: the set of states reachable by running `ops`
     /// from an initial state.
     fn denote(&self, ops: &[Op<Self::Method, Self::Ret>]) -> HashSet<Self::State> {
-        let mut states: HashSet<Self::State> = self.initial_states().into_iter().collect();
-        for op in ops {
-            states = self.denote_from(&states, std::slice::from_ref(op));
-            if states.is_empty() {
-                break;
-            }
-        }
-        states
+        self.denote_refs(ops)
     }
 
     /// Extends a denotation by further operations: `⟦states · ops⟧`.
@@ -97,6 +99,31 @@ pub trait SeqSpec {
         states: &HashSet<Self::State>,
         ops: &[Op<Self::Method, Self::Ret>],
     ) -> HashSet<Self::State> {
+        self.denote_from_refs(states, ops)
+    }
+
+    /// [`SeqSpec::denote`] over any iterator of operation references,
+    /// so hot-path callers (shard views, suffix caches) can thread their
+    /// cursors straight through without collecting a `Vec` first.
+    fn denote_refs<'a, I>(&self, ops: I) -> HashSet<Self::State>
+    where
+        I: IntoIterator<Item = &'a Op<Self::Method, Self::Ret>>,
+        Self::Method: 'a,
+        Self::Ret: 'a,
+    {
+        let init: HashSet<Self::State> = self.initial_states().into_iter().collect();
+        self.denote_from_refs(&init, ops)
+    }
+
+    /// [`SeqSpec::denote_from`] over any iterator of operation
+    /// references (the allocation-free workhorse behind both `denote`
+    /// variants).
+    fn denote_from_refs<'a, I>(&self, states: &HashSet<Self::State>, ops: I) -> HashSet<Self::State>
+    where
+        I: IntoIterator<Item = &'a Op<Self::Method, Self::Ret>>,
+        Self::Method: 'a,
+        Self::Ret: 'a,
+    {
         let mut cur: HashSet<Self::State> = states.clone();
         for op in ops {
             let mut next = HashSet::new();
@@ -201,7 +228,11 @@ pub trait SeqSpec {
     ///    `allowed(ℓ) ⇔ ∀k. allowed(ℓ|k)` where `ℓ|k` keeps the ops with
     ///    key `k` in order. This is what lets each shard keep its own
     ///    committed-prefix cache and answer `G allows op` locally.
-    fn method_keys(&self, _m: &Self::Method) -> Option<Vec<u64>> {
+    ///
+    /// Returns an inline [`KeySet`] (not a `Vec`): footprints are
+    /// consulted on every routed rule, so declaring one must not
+    /// allocate.
+    fn method_keys(&self, _m: &Self::Method) -> Option<KeySet> {
         None
     }
 }

@@ -61,7 +61,7 @@ pub struct AbstractLockManager<K> {
     waiting: HashMap<TxnId, TxnId>,
 }
 
-impl<K: Eq + Hash + Clone> AbstractLockManager<K> {
+impl<K: Eq + Hash + Ord + Clone> AbstractLockManager<K> {
     /// Creates an empty lock table.
     pub fn new() -> Self {
         Self {
@@ -120,14 +120,17 @@ impl<K: Eq + Hash + Clone> AbstractLockManager<K> {
     }
 
     /// Releases every lock held by `txn` and clears its waits-for edge.
-    /// Returns the released keys.
+    /// Returns the released keys in ascending order (the hash set's own
+    /// order is seeded per process; sorting keeps release order — and
+    /// everything downstream of it — deterministic across runs).
     pub fn release_all(&mut self, txn: TxnId) -> Vec<K> {
         self.waiting.remove(&txn);
-        let keys: Vec<K> = self
+        let mut keys: Vec<K> = self
             .held
             .remove(&txn)
             .map(|s| s.into_iter().collect())
             .unwrap_or_default();
+        keys.sort_unstable();
         for k in &keys {
             self.owners.remove(k);
         }

@@ -77,7 +77,7 @@ pub struct VersionedMemory<L> {
     locks: HashMap<L, TxnId>,
 }
 
-impl<L: Eq + Hash + Clone> VersionedMemory<L> {
+impl<L: Eq + Hash + Ord + Clone> VersionedMemory<L> {
     /// Creates an empty versioned memory (all locations at version 0).
     pub fn new() -> Self {
         Self {
@@ -158,7 +158,7 @@ pub struct HtmConflict<L> {
     pub other: TxnId,
 }
 
-impl<L: Eq + Hash + Clone> HtmConflicts<L> {
+impl<L: Eq + Hash + Ord + Clone> HtmConflicts<L> {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self {
@@ -187,7 +187,8 @@ impl<L: Eq + Hash + Clone> HtmConflicts<L> {
             }
         }
         if let Some(rs) = self.readers.get(&loc) {
-            if let Some(other) = rs.iter().find(|r| **r != txn) {
+            // Smallest foreign reader: deterministic conflict report.
+            if let Some(other) = rs.iter().filter(|r| **r != txn).min() {
                 return Err(HtmConflict { loc, other: *other });
             }
         }
@@ -205,13 +206,18 @@ impl<L: Eq + Hash + Clone> HtmConflicts<L> {
         self.readers.retain(|_, rs| !rs.is_empty());
     }
 
-    /// Locations currently written by `txn`, in unspecified order.
+    /// Locations currently written by `txn`, in ascending order (map
+    /// iteration order is seeded per process; sorting keeps the report
+    /// deterministic across runs).
     pub fn writes_of(&self, txn: TxnId) -> Vec<L> {
-        self.writers
+        let mut locs: Vec<L> = self
+            .writers
             .iter()
             .filter(|(_, w)| **w == txn)
             .map(|(l, _)| l.clone())
-            .collect()
+            .collect();
+        locs.sort_unstable();
+        locs
     }
 }
 

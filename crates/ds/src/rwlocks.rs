@@ -65,7 +65,7 @@ pub struct RwLockTable<K> {
     waiting: HashMap<TxnId, TxnId>,
 }
 
-impl<K: Eq + Hash + Clone> RwLockTable<K> {
+impl<K: Eq + Hash + Ord + Clone> RwLockTable<K> {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self {
@@ -88,7 +88,9 @@ impl<K: Eq + Hash + Clone> RwLockTable<K> {
                 if let Some(w) = entry.writer.filter(|w| *w != txn) {
                     Some(w)
                 } else {
-                    entry.readers.iter().find(|r| **r != txn).copied()
+                    // Smallest foreign reader: a deterministic pick
+                    // (set iteration order is seeded per process).
+                    entry.readers.iter().filter(|r| **r != txn).min().copied()
                 }
             }
         };

@@ -103,6 +103,15 @@ pub struct WatchdogReport {
     /// whose tallies are flat is stuck outside it (driver metadata,
     /// dependency waits).
     pub lock_stats: Option<(u64, u64)>,
+    /// Per-shard `(acquires, contended)`, ascending by shard index —
+    /// pinpoints *which* shard a log-bound livelock is fighting over.
+    pub lock_stats_per_shard: Option<Vec<(u64, u64)>>,
+    /// Seqlock `(snapshot reads, retries, fallbacks)` counters, when the
+    /// system exposes them — a high fallback share means the lock-free
+    /// path is being defeated (coarse mode or write churn).
+    pub seqlock_stats: Option<(u64, u64, u64)>,
+    /// Arena `(live, capacity, reused)` occupancy across the shard logs.
+    pub arena_stats: Option<(u64, u64, u64)>,
 }
 
 impl std::fmt::Display for WatchdogReport {
@@ -112,6 +121,28 @@ impl std::fmt::Display for WatchdogReport {
             writeln!(
                 f,
                 "  shard locks: {acquires} acquires, {contended} contended"
+            )?;
+        }
+        if let Some(per_shard) = &self.lock_stats_per_shard {
+            // Ascending shard order: the dump is deterministic, diffable
+            // across runs of the same configuration.
+            for (i, (acquires, contended)) in per_shard.iter().enumerate() {
+                writeln!(
+                    f,
+                    "    shard {i:<3} acquires={acquires:<9} contended={contended}"
+                )?;
+            }
+        }
+        if let Some((reads, retries, fallbacks)) = self.seqlock_stats {
+            writeln!(
+                f,
+                "  seqlock: {reads} snapshot reads, {retries} retries, {fallbacks} fallbacks"
+            )?;
+        }
+        if let Some((live, capacity, reused)) = self.arena_stats {
+            writeln!(
+                f,
+                "  arena: {live} live / {capacity} slots, {reused} reused"
             )?;
         }
         for t in &self.threads {
@@ -278,6 +309,9 @@ where
             })
             .collect(),
         lock_stats: sys.lock_stats(),
+        lock_stats_per_shard: sys.lock_stats_per_shard(),
+        seqlock_stats: sys.seqlock_stats(),
+        arena_stats: sys.arena_stats(),
     });
     Ok((
         sys,

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// Account identifiers.
 pub type Acct = u32;
@@ -231,8 +231,8 @@ impl SeqSpec for Bank {
 
     /// Footprint: the touched account — distinct accounts are
     /// both-movers (the first arm of `method_mover`).
-    fn method_keys(&self, m: &BankMethod) -> Option<Vec<u64>> {
-        Some(vec![u64::from(m.acct())])
+    fn method_keys(&self, m: &BankMethod) -> Option<KeySet> {
+        Some(KeySet::one(u64::from(m.acct())))
     }
 }
 

@@ -14,10 +14,10 @@
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// Disjoint union of two method (or return) types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Either<L, R> {
     /// A value of the left component.
     L(L),
@@ -191,19 +191,19 @@ impl<A: SeqSpec, B: SeqSpec> SeqSpec for Product<A, B> {
     /// can only *merge* classes — a conservative (sound) degradation,
     /// never a split — and a component without footprints propagates
     /// `None`, degrading the whole product to the coarse path.
-    fn method_keys(&self, m: &Self::Method) -> Option<Vec<u64>> {
+    fn method_keys(&self, m: &Self::Method) -> Option<KeySet> {
         match m {
             Either::L(a) => Some(
                 self.left
                     .method_keys(a)?
-                    .into_iter()
+                    .iter()
                     .map(|k| k.wrapping_mul(2))
                     .collect(),
             ),
             Either::R(b) => Some(
                 self.right
                     .method_keys(b)?
-                    .into_iter()
+                    .iter()
                     .map(|k| k.wrapping_mul(2).wrapping_add(1))
                     .collect(),
             ),

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// Methods of the counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,8 +134,8 @@ impl SeqSpec for Counter {
     /// Footprint: every method touches the one shared tally — a single
     /// key class, so a sharded log keeps all counter traffic together
     /// (the disjointness law is vacuous).
-    fn method_keys(&self, _m: &CtrMethod) -> Option<Vec<u64>> {
-        Some(vec![0])
+    fn method_keys(&self, _m: &CtrMethod) -> Option<KeySet> {
+        Some(KeySet::one(0))
     }
 }
 

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// Map keys.
 pub type Key = u64;
@@ -240,8 +240,8 @@ impl SeqSpec for KvMap {
     /// Footprint: the touched key. `Size` reads every binding, so it
     /// declares no footprint (`None`) and soundly degrades a sharded
     /// log to the coarse whole-log path.
-    fn method_keys(&self, m: &MapMethod) -> Option<Vec<u64>> {
-        m.key().map(|k| vec![k])
+    fn method_keys(&self, m: &MapMethod) -> Option<KeySet> {
+        m.key().map(KeySet::one)
     }
 }
 

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// Queue items.
 pub type Item = i64;
@@ -187,8 +187,8 @@ impl SeqSpec for QueueSpec {
 
     /// Footprint: every method touches the one FIFO order — a single key
     /// class (queues admit no disjoint-access parallelism).
-    fn method_keys(&self, _m: &QueueMethod) -> Option<Vec<u64>> {
-        Some(vec![0])
+    fn method_keys(&self, _m: &QueueMethod) -> Option<KeySet> {
+        Some(KeySet::one(0))
     }
 }
 

@@ -17,7 +17,7 @@
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// Methods of the CAS register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -224,8 +224,8 @@ impl SeqSpec for CasRegister {
 
     /// Footprint: every method touches the one register cell — a single
     /// key class (a register admits no disjoint-access parallelism).
-    fn method_keys(&self, _m: &RegMethod) -> Option<Vec<u64>> {
-        Some(vec![0])
+    fn method_keys(&self, _m: &RegMethod) -> Option<KeySet> {
+        Some(KeySet::one(0))
     }
 }
 

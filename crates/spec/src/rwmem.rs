@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// A memory location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -213,8 +213,8 @@ impl SeqSpec for RwMem {
     /// Footprint: exactly the touched location. Reads/writes on distinct
     /// locations are both-movers (the first arm of `mover`), so the
     /// disjointness law holds by construction.
-    fn method_keys(&self, m: &MemMethod) -> Option<Vec<u64>> {
-        Some(vec![u64::from(m.loc().0)])
+    fn method_keys(&self, m: &MemMethod) -> Option<KeySet> {
+        Some(KeySet::one(u64::from(m.loc().0)))
     }
 }
 

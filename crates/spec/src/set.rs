@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use pushpull_core::op::Op;
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{KeySet, SeqSpec};
 
 /// Set elements.
 pub type Elem = u64;
@@ -172,8 +172,8 @@ impl SeqSpec for SetSpec {
 
     /// Footprint: the touched element — distinct elements are
     /// both-movers (first disjunct of `method_mover`).
-    fn method_keys(&self, m: &SetMethod) -> Option<Vec<u64>> {
-        Some(vec![m.elem()])
+    fn method_keys(&self, m: &SetMethod) -> Option<KeySet> {
+        Some(KeySet::one(m.elem()))
     }
 }
 

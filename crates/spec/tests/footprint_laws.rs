@@ -16,7 +16,7 @@
 //! keyed specs (rwmem, kvmap, set, bank) and the product encoding.
 
 use pushpull_core::spec::{
-    check_allowed_factorization, check_disjoint_footprints_commute, SeqSpec,
+    check_allowed_factorization, check_disjoint_footprints_commute, KeySet, SeqSpec,
 };
 use pushpull_spec::bank::{self, Bank, BankMethod};
 use pushpull_spec::composite::{Either, Product};
@@ -142,8 +142,8 @@ fn product_key_encoding_separates_components() {
     let spec = Product::new(SetSpec::new(), Counter::new());
     let l = spec.method_keys(&Either::L(SetMethod::Add(3))).unwrap();
     let r = spec.method_keys(&Either::R(CtrMethod::Get)).unwrap();
-    assert_eq!(l, vec![6]); // 3 * 2
-    assert_eq!(r, vec![1]); // 0 * 2 + 1
+    assert_eq!(l.as_slice(), &[6]); // 3 * 2
+    assert_eq!(r.as_slice(), &[1]); // 0 * 2 + 1
     assert!(l.iter().all(|k| k % 2 == 0));
     assert!(r.iter().all(|k| k % 2 == 1));
 }
@@ -154,14 +154,14 @@ fn single_class_specs_declare_one_key() {
     // sharding them is a sound no-op (all traffic on one shard).
     assert_eq!(
         Counter::new().method_keys(&CtrMethod::Get),
-        Some(vec![0u64])
+        Some(KeySet::one(0))
     );
     assert_eq!(
         CasRegister::new().method_keys(&RegMethod::Read),
-        Some(vec![0u64])
+        Some(KeySet::one(0))
     );
     assert_eq!(
         QueueSpec::new().method_keys(&QueueMethod::Deq),
-        Some(vec![0u64])
+        Some(KeySet::one(0))
     );
 }

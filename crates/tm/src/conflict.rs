@@ -25,7 +25,7 @@ use pushpull_spec::set::{SetMethod, SetSpec};
 /// A specification whose methods carry abstract lock keys.
 pub trait ConflictKeyed: SeqSpec {
     /// The abstract lock key type.
-    type LockKey: Clone + Eq + Hash + Debug;
+    type LockKey: Clone + Eq + Hash + Ord + Debug;
 
     /// The abstract locks to hold before applying `method`. An empty set
     /// means the method commutes with everything that also takes no lock
@@ -35,7 +35,7 @@ pub trait ConflictKeyed: SeqSpec {
 
 /// Lock keys of the key-value map: per key, plus a whole-map key for
 /// `Size`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MapLockKey {
     /// A single key.
     Key(u64),
@@ -64,7 +64,7 @@ impl ConflictKeyed for SetSpec {
 
 /// Lock keys of the counter: increments are lock-free (they commute),
 /// reads take the whole counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CounterLockKey;
 
 impl ConflictKeyed for Counter {
@@ -88,7 +88,7 @@ impl ConflictKeyed for Bank {
 
 /// Lock key of the queue: the whole queue (FIFO order is globally
 /// observable, nothing commutes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueueLockKey;
 
 impl ConflictKeyed for QueueSpec {

@@ -115,14 +115,36 @@ pub trait TmSystem {
     fn lock_stats(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Per-shard `(acquires, contended)` lock counters, indexed by shard,
+    /// or `None` for systems without a machine. Used by the watchdog's
+    /// deterministic per-shard dump.
+    fn lock_stats_per_shard(&self) -> Option<Vec<(u64, u64)>> {
+        None
+    }
+
+    /// Seqlock-path counters from the machine's lock-free criteria path:
+    /// `(snapshot reads, validation retries, fallbacks)`, or `None` for
+    /// systems without a machine.
+    fn seqlock_stats(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
+
+    /// Arena occupancy of the machine's shard logs: `(live entries, slot
+    /// capacity, cumulative slot reuses)`, or `None` for systems without
+    /// a machine.
+    fn arena_stats(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
 }
 
 /// Forwards the machine-backed [`TmSystem`] hooks to `self.machine`.
 ///
 /// Every in-crate driver keeps a `machine: Machine<…>` field and forwards
 /// `declared_pattern` / `set_static_discharge` / `set_log_shards` /
-/// `lock_stats` identically; invoke this inside the driver's
-/// `impl TmSystem for …` block instead of spelling out the four methods.
+/// `lock_stats` / `lock_stats_per_shard` / `seqlock_stats` /
+/// `arena_stats` identically; invoke this inside the driver's
+/// `impl TmSystem for …` block instead of spelling out the methods.
 macro_rules! forward_machine_hooks {
     () => {
         fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
@@ -142,6 +164,18 @@ macro_rules! forward_machine_hooks {
 
         fn lock_stats(&self) -> Option<(u64, u64)> {
             Some(self.machine.lock_stats())
+        }
+
+        fn lock_stats_per_shard(&self) -> Option<Vec<(u64, u64)>> {
+            Some(self.machine.lock_stats_per_shard())
+        }
+
+        fn seqlock_stats(&self) -> Option<(u64, u64, u64)> {
+            Some(self.machine.seqlock_stats())
+        }
+
+        fn arena_stats(&self) -> Option<(u64, u64, u64)> {
+            Some(self.machine.arena_stats())
         }
     };
 }
@@ -192,6 +226,23 @@ pub struct SystemStats {
     /// Shard-lock acquisitions that found the lock already held and had
     /// to block (a direct read on log contention).
     pub lock_contended: u64,
+    /// Criteria evaluations served lock-free from a published shard
+    /// snapshot (the seqlock fast path).
+    pub snap_reads: u64,
+    /// Seqlock validation races burned before a successful snapshot read
+    /// (retries, not failures).
+    pub snap_retries: u64,
+    /// Snapshot reads that gave up — unpublished cell, reader contention,
+    /// or a stale speculation — and fell back to the mutex ladder.
+    pub snap_fallbacks: u64,
+    /// Live `GlobalEntry` slots across the shard-log arenas at sampling
+    /// time.
+    pub arena_live: u64,
+    /// Total arena slots allocated (live + free) across shards.
+    pub arena_capacity: u64,
+    /// Cumulative arena slot reuses (UNPUSH-freed slots recycled by later
+    /// appends).
+    pub arena_reused: u64,
 }
 
 impl SystemStats {
@@ -218,6 +269,12 @@ impl std::ops::Add for SystemStats {
             max_abort_streak: self.max_abort_streak.max(rhs.max_abort_streak),
             lock_acquires: self.lock_acquires + rhs.lock_acquires,
             lock_contended: self.lock_contended + rhs.lock_contended,
+            snap_reads: self.snap_reads + rhs.snap_reads,
+            snap_retries: self.snap_retries + rhs.snap_retries,
+            snap_fallbacks: self.snap_fallbacks + rhs.snap_fallbacks,
+            arena_live: self.arena_live + rhs.arena_live,
+            arena_capacity: self.arena_capacity + rhs.arena_capacity,
+            arena_reused: self.arena_reused + rhs.arena_reused,
         }
     }
 }

@@ -82,7 +82,7 @@ pub mod methods {
 
 /// HTM access-tracking granules of the mixed system: the `size` word and
 /// the memory words.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HtmWord {
     /// The boosted-at-memory-level `size` integer.
     Size,
@@ -454,6 +454,14 @@ impl MixedSystem {
         let (acquires, contended) = self.machine.lock_stats();
         stats.lock_acquires = acquires;
         stats.lock_contended = contended;
+        let (snap_reads, snap_retries, snap_fallbacks) = self.machine.seqlock_stats();
+        stats.snap_reads = snap_reads;
+        stats.snap_retries = snap_retries;
+        stats.snap_fallbacks = snap_fallbacks;
+        let (arena_live, arena_capacity, arena_reused) = self.machine.arena_stats();
+        stats.arena_live = arena_live;
+        stats.arena_capacity = arena_capacity;
+        stats.arena_reused = arena_reused;
         stats
     }
 

@@ -249,6 +249,14 @@ impl<S: SeqSpec> OptimisticSystem<S> {
         let (acquires, contended) = self.machine.lock_stats();
         stats.lock_acquires = acquires;
         stats.lock_contended = contended;
+        let (snap_reads, snap_retries, snap_fallbacks) = self.machine.seqlock_stats();
+        stats.snap_reads = snap_reads;
+        stats.snap_retries = snap_retries;
+        stats.snap_fallbacks = snap_fallbacks;
+        let (arena_live, arena_capacity, arena_reused) = self.machine.arena_stats();
+        stats.arena_live = arena_live;
+        stats.arena_capacity = arena_capacity;
+        stats.arena_reused = arena_reused;
         stats
     }
 }
@@ -293,9 +301,9 @@ impl<S: SeqSpec> TmSystem for OptimisticSystem<S> {
 impl<S> ParallelSystem for OptimisticSystem<S>
 where
     S: SeqSpec + Send + Sync,
-    S::Method: Send,
-    S::Ret: Send,
-    S::State: Send,
+    S::Method: Send + Sync,
+    S::Ret: Send + Sync,
+    S::State: Send + Sync,
 {
     fn workers(&mut self) -> Vec<Worker<'_>> {
         let policy = self.policy;
