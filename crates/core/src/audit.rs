@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Clause, Rule};
-use crate::faults::FaultKind;
+use crate::faults::{FaultKind, NON_DENY_FAULT_COUNT, NON_DENY_FAULT_KINDS};
 
 /// Counter key: a rule criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -268,26 +268,11 @@ pub struct AtomicAudit {
     allowed_queries: [PaddedU64; QUERY_SHARDS],
     /// Injected `Deny(rule)` faults, indexed by the rule's `ord_key`.
     injected_deny: [AtomicU64; 7],
-    /// Injected kill / stall / HTM-capacity / HTM-conflict faults.
-    injected_other: [AtomicU64; 4],
+    /// Injected non-deny faults (kill, stall, HTM, transport), indexed
+    /// by [`FaultKind::audit_slot`] — the dense numbering derived from
+    /// the single exhaustive descriptor match in `faults.rs`.
+    injected_other: [AtomicU64; NON_DENY_FAULT_COUNT],
 }
-
-fn other_key(kind: FaultKind) -> Option<usize> {
-    match kind {
-        FaultKind::Deny(_) => None,
-        FaultKind::Kill => Some(0),
-        FaultKind::Stall => Some(1),
-        FaultKind::HtmCapacity => Some(2),
-        FaultKind::HtmConflict => Some(3),
-    }
-}
-
-const OTHER_KINDS: [FaultKind; 4] = [
-    FaultKind::Kill,
-    FaultKind::Stall,
-    FaultKind::HtmCapacity,
-    FaultKind::HtmConflict,
-];
 
 impl AtomicAudit {
     /// Creates a zeroed audit.
@@ -344,11 +329,11 @@ impl AtomicAudit {
 
     /// Records one injected fault.
     pub fn inject(&self, kind: FaultKind) {
-        match other_key(kind) {
+        match kind.audit_slot() {
             Some(i) => self.injected_other[i].fetch_add(1, Ordering::Relaxed),
             None => {
                 let FaultKind::Deny(rule) = kind else {
-                    unreachable!()
+                    unreachable!("only Deny lacks an audit slot")
                 };
                 self.injected_deny[rule.ord_key() as usize].fetch_add(1, Ordering::Relaxed)
             }
@@ -391,8 +376,9 @@ impl AtomicAudit {
                 *out.injected.entry(FaultKind::Deny(rule)).or_default() += n;
             }
         }
-        for kind in OTHER_KINDS {
-            let n = self.injected_other[other_key(kind).unwrap()].load(Ordering::Relaxed);
+        for kind in NON_DENY_FAULT_KINDS {
+            let n = self.injected_other[kind.audit_slot().expect("non-deny kind")]
+                .load(Ordering::Relaxed);
             if n > 0 {
                 *out.injected.entry(kind).or_default() += n;
             }
@@ -613,6 +599,24 @@ mover queries: 7   allowed queries: 2
         assert_eq!(b.snapshot(), snap);
         a.reset();
         assert_eq!(a.snapshot().injected_total(), 0);
+    }
+
+    #[test]
+    fn every_non_deny_kind_round_trips_through_its_slot() {
+        // Exercises the full descriptor-derived slot table, including the
+        // transport family: one inject per kind must come back as exactly
+        // one tally per kind, in deterministic BTreeMap order.
+        let a = AtomicAudit::new();
+        for kind in NON_DENY_FAULT_KINDS {
+            a.inject(kind);
+        }
+        let snap = a.snapshot();
+        for kind in NON_DENY_FAULT_KINDS {
+            assert_eq!(snap.injected_count(kind), 1, "{kind}");
+        }
+        assert_eq!(snap.injected_total(), NON_DENY_FAULT_COUNT as u64);
+        assert!(snap.render().contains("injected partition-shard: 1"));
+        assert!(snap.render().contains("injected crash-shard-server: 1"));
     }
 
     #[test]

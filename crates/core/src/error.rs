@@ -122,6 +122,18 @@ pub enum MachineError {
     /// UNAPP on a thread whose last own entry is not `npshd`
     /// (or whose local log is empty).
     NothingToUnapply(ThreadId),
+    /// The shard transport exhausted its robustness envelope: the
+    /// routed shard stayed unreachable past the retry budget and the
+    /// coarse degradation fallback was disabled (or itself unreachable).
+    /// Not a criterion violation — drivers must propagate it, so a
+    /// persistent partition terminates the run cleanly instead of
+    /// hanging.
+    TransportExhausted {
+        /// The thread whose request could not be delivered.
+        thread: ThreadId,
+        /// The unreachable shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -152,6 +164,13 @@ impl fmt::Display for MachineError {
             }
             MachineError::NothingToUnapply(t) => {
                 write!(f, "last local entry of thread {t} is not npshd")
+            }
+            MachineError::TransportExhausted { thread, shard } => {
+                write!(
+                    f,
+                    "shard transport exhausted on thread {thread}: shard {shard} \
+                     unreachable past the retry and degradation budget"
+                )
             }
         }
     }
@@ -222,6 +241,17 @@ mod tests {
         assert!(err.is_criterion());
         assert_eq!(err.violated_rule(), Some(Rule::Cmt));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn transport_exhaustion_is_not_a_criterion() {
+        let err = MachineError::TransportExhausted {
+            thread: ThreadId(2),
+            shard: 5,
+        };
+        assert!(!err.is_criterion());
+        assert_eq!(err.violated_rule(), None);
+        assert!(err.to_string().contains("shard 5"));
     }
 
     #[test]

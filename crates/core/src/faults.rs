@@ -4,8 +4,9 @@
 //! a failed criterion — UNAPP-based abort, UNPUSH rollback, checkpoint
 //! UNPULL, HTM fallback. To exercise those recovery rules on demand, the
 //! machine exposes a [`FaultHook`]: an object consulted at the entry of
-//! every *forward* rule (APP, PUSH, PULL, CMT) and at driver-defined
-//! boundaries (tick start, HTM access). A hook can
+//! every *forward* rule (APP, PUSH, PULL, CMT), at driver-defined
+//! boundaries (tick start, HTM access), and at every delivery attempt of
+//! a shard-transport request. A hook can
 //!
 //! - **deny** a forward rule with a spurious criterion failure (the rule
 //!   has no effect; the driver sees an ordinary
@@ -14,7 +15,11 @@
 //! - **kill** a transaction at a rule boundary (the driver aborts and
 //!   restarts it), or **stall** a thread for k ticks,
 //! - force an **HTM capacity/conflict abort** in the simulated-HTM
-//!   drivers.
+//!   drivers,
+//! - **fail a transport delivery** (partition the shard, drop or
+//!   duplicate the request, delay the reply, crash the shard server),
+//!   exercising the retry/degrade/recover envelope of
+//!   [`transport`](crate::transport).
 //!
 //! Injection is deliberately *not* wired into the reverse rules (UNAPP,
 //! UNPUSH, UNPULL): drivers run those inside their recovery paths, where
@@ -44,21 +49,108 @@ pub enum FaultKind {
     HtmCapacity,
     /// A simulated-HTM conflict abort.
     HtmConflict,
+    /// A shard unreachable for the duration of the injection: the
+    /// request is never delivered and the client times out.
+    PartitionShard,
+    /// The request is delivered and executed, but the reply is delayed
+    /// past the client's deadline — the retry must hit the idempotency
+    /// layer, never double-apply.
+    DelayReply,
+    /// The request is lost before reaching the shard server.
+    DropRequest,
+    /// The request is delivered twice with the same request id — the
+    /// duplicate must be absorbed by the server's dedup layer.
+    DuplicateRequest,
+    /// The shard server thread is killed mid-run and restarted from the
+    /// durable shard log (its volatile dedup cache is lost).
+    CrashShardServer,
+}
+
+/// Everything derived from a [`FaultKind`] variant: its display label
+/// and (for non-deny kinds) its dense slot in the audit's fixed-size
+/// injected-fault table.
+///
+/// [`FaultKind::descriptor`] is the **single exhaustive match** from
+/// which `Display`, the audit plumbing and the `ALL_*` iteration lists
+/// are all derived — adding a variant fails to compile until this
+/// descriptor is extended, and the `fault_descriptor_is_exhaustive_*`
+/// tests pin the derived tables to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDescriptor {
+    /// Kebab-case display label ("deny" kinds append the rule name).
+    pub label: &'static str,
+    /// Dense index into the audit's non-deny injected table, `None` for
+    /// `Deny` (which is audited per-rule instead).
+    pub audit_slot: Option<usize>,
+}
+
+/// Number of non-`Deny` fault kinds — the size of the audit's dense
+/// injected-fault table. Derived from [`FaultKind::descriptor`]'s slot
+/// numbering and pinned by tests.
+pub const NON_DENY_FAULT_COUNT: usize = 9;
+
+/// Every non-`Deny` fault kind, ordered by audit slot. Pinned against
+/// [`FaultKind::descriptor`] by tests: `NON_DENY_FAULT_KINDS[i]` has
+/// `audit_slot == Some(i)`.
+pub const NON_DENY_FAULT_KINDS: [FaultKind; NON_DENY_FAULT_COUNT] = [
+    FaultKind::Kill,
+    FaultKind::Stall,
+    FaultKind::HtmCapacity,
+    FaultKind::HtmConflict,
+    FaultKind::PartitionShard,
+    FaultKind::DelayReply,
+    FaultKind::DropRequest,
+    FaultKind::DuplicateRequest,
+    FaultKind::CrashShardServer,
+];
+
+impl FaultKind {
+    /// The single source of truth for per-kind plumbing. Exhaustive by
+    /// construction: a new variant cannot compile without a descriptor,
+    /// and the descriptor tests force its slot/label to be reviewed.
+    pub const fn descriptor(self) -> FaultDescriptor {
+        const fn d(label: &'static str, slot: usize) -> FaultDescriptor {
+            FaultDescriptor {
+                label,
+                audit_slot: Some(slot),
+            }
+        }
+        match self {
+            FaultKind::Deny(_) => FaultDescriptor {
+                label: "deny",
+                audit_slot: None,
+            },
+            FaultKind::Kill => d("kill", 0),
+            FaultKind::Stall => d("stall", 1),
+            FaultKind::HtmCapacity => d("htm-capacity", 2),
+            FaultKind::HtmConflict => d("htm-conflict", 3),
+            FaultKind::PartitionShard => d("partition-shard", 4),
+            FaultKind::DelayReply => d("delay-reply", 5),
+            FaultKind::DropRequest => d("drop-request", 6),
+            FaultKind::DuplicateRequest => d("duplicate-request", 7),
+            FaultKind::CrashShardServer => d("crash-shard-server", 8),
+        }
+    }
+
+    /// Dense audit-table index for non-deny kinds (`None` for `Deny`).
+    pub const fn audit_slot(self) -> Option<usize> {
+        self.descriptor().audit_slot
+    }
 }
 
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = self.descriptor().label;
         match self {
-            FaultKind::Deny(rule) => write!(f, "deny-{rule}"),
-            FaultKind::Kill => write!(f, "kill"),
-            FaultKind::Stall => write!(f, "stall"),
-            FaultKind::HtmCapacity => write!(f, "htm-capacity"),
-            FaultKind::HtmConflict => write!(f, "htm-conflict"),
+            FaultKind::Deny(rule) => write!(f, "{label}-{rule}"),
+            _ => f.write_str(label),
         }
     }
 }
 
-/// Every fault kind, for iterating a chaos matrix.
+/// The machine-rule and boundary fault kinds, for iterating the original
+/// chaos matrix (transport kinds have their own list below — they only
+/// fire when a channel transport is installed).
 pub const ALL_FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::Deny(Rule::App),
     FaultKind::Deny(Rule::Push),
@@ -68,6 +160,15 @@ pub const ALL_FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::Stall,
     FaultKind::HtmCapacity,
     FaultKind::HtmConflict,
+];
+
+/// Every transport fault kind, for iterating the transport chaos matrix.
+pub const ALL_TRANSPORT_FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::PartitionShard,
+    FaultKind::DelayReply,
+    FaultKind::DropRequest,
+    FaultKind::DuplicateRequest,
+    FaultKind::CrashShardServer,
 ];
 
 /// A fault fired at a tick boundary, before the driver runs any rule.
@@ -88,6 +189,34 @@ pub enum HtmFault {
     Conflict,
 }
 
+/// A fault fired at one delivery attempt of a shard-transport request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// The shard is unreachable: the request is not delivered.
+    Partition,
+    /// Deliver and execute, but the reply misses the deadline.
+    DelayReply,
+    /// The request is lost in flight.
+    DropRequest,
+    /// The request is delivered twice under the same request id.
+    DuplicateRequest,
+    /// Kill the shard server thread; it restarts from the shard log.
+    CrashServer,
+}
+
+impl TransportFault {
+    /// The audit key this fault is tallied under.
+    pub const fn kind(self) -> FaultKind {
+        match self {
+            TransportFault::Partition => FaultKind::PartitionShard,
+            TransportFault::DelayReply => FaultKind::DelayReply,
+            TransportFault::DropRequest => FaultKind::DropRequest,
+            TransportFault::DuplicateRequest => FaultKind::DuplicateRequest,
+            TransportFault::CrashServer => FaultKind::CrashShardServer,
+        }
+    }
+}
+
 /// The clause an injected denial of `rule` reports. Chosen to be the
 /// clause the rule most commonly fails under real contention, so a
 /// driver cannot distinguish an injected denial from a genuine one.
@@ -101,12 +230,13 @@ pub fn deny_clause(rule: Rule) -> Clause {
     }
 }
 
-/// A pluggable fault source, consulted by the machine at rule entry and
-/// by drivers at tick/HTM boundaries. Implementations must be
-/// deterministic given their own state (the harness `FaultPlan` keys
-/// decisions on per-thread attempt counters, never on wall-clock or OS
-/// scheduling), `Sync` (hooks are consulted concurrently from worker
-/// threads), and cheap — they sit on the hot path of every rule.
+/// A pluggable fault source, consulted by the machine at rule entry, by
+/// drivers at tick/HTM boundaries, and by the channel transport at every
+/// delivery attempt. Implementations must be deterministic given their
+/// own state (the harness `FaultPlan` keys decisions on per-thread
+/// attempt counters, never on wall-clock or OS scheduling), `Sync`
+/// (hooks are consulted concurrently from worker threads), and cheap —
+/// they sit on the hot path of every rule.
 ///
 /// All methods default to "no fault", so an implementation overrides
 /// only the boundaries it cares about.
@@ -136,6 +266,17 @@ pub trait FaultHook: std::fmt::Debug + Send + Sync {
         let _ = tid;
         None
     }
+
+    /// Consulted by the channel transport once per **delivery attempt**
+    /// (initial send, each retry, and each recovery probe) of a request
+    /// from `tid` to `shard`. A returned fault is acted on by the
+    /// transport envelope and recorded on both sides (the plan's `fired`
+    /// tally and the machine audit's `injected` tally), keeping the
+    /// injected-vs-fired accounting exact.
+    fn transport_fault(&self, tid: ThreadId, shard: usize) -> Option<TransportFault> {
+        let _ = (tid, shard);
+        None
+    }
 }
 
 #[cfg(test)]
@@ -145,11 +286,57 @@ mod tests {
     #[test]
     fn fault_kinds_are_ordered_and_displayable() {
         let mut v = ALL_FAULT_KINDS.to_vec();
+        v.extend_from_slice(&ALL_TRANSPORT_FAULT_KINDS);
         v.sort();
         v.dedup();
-        assert_eq!(v.len(), ALL_FAULT_KINDS.len());
+        assert_eq!(
+            v.len(),
+            ALL_FAULT_KINDS.len() + ALL_TRANSPORT_FAULT_KINDS.len()
+        );
         assert_eq!(FaultKind::Deny(Rule::Push).to_string(), "deny-PUSH");
         assert_eq!(FaultKind::HtmCapacity.to_string(), "htm-capacity");
+        assert_eq!(FaultKind::PartitionShard.to_string(), "partition-shard");
+        assert_eq!(
+            FaultKind::CrashShardServer.to_string(),
+            "crash-shard-server"
+        );
+    }
+
+    /// The compile guard's runtime half: the descriptor match is
+    /// exhaustive by construction (a new variant will not compile
+    /// without a descriptor arm); this pins the *derived* tables —
+    /// dense, bijective audit slots and unique labels — so extending
+    /// the descriptor forces the slot table to be reviewed too.
+    #[test]
+    fn fault_descriptor_is_exhaustive_and_slots_are_dense() {
+        for (i, kind) in NON_DENY_FAULT_KINDS.iter().enumerate() {
+            assert_eq!(
+                kind.audit_slot(),
+                Some(i),
+                "{kind}: NON_DENY_FAULT_KINDS order must match audit slots"
+            );
+        }
+        let mut labels: Vec<&str> = NON_DENY_FAULT_KINDS
+            .iter()
+            .map(|k| k.descriptor().label)
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NON_DENY_FAULT_COUNT, "labels must be unique");
+        // Deny kinds have no dense slot: they are audited per-rule.
+        for rule in [Rule::App, Rule::Push, Rule::Pull, Rule::Cmt] {
+            assert_eq!(FaultKind::Deny(rule).audit_slot(), None);
+        }
+        // Every transport fault maps onto a transport fault kind.
+        for tf in [
+            TransportFault::Partition,
+            TransportFault::DelayReply,
+            TransportFault::DropRequest,
+            TransportFault::DuplicateRequest,
+            TransportFault::CrashServer,
+        ] {
+            assert!(ALL_TRANSPORT_FAULT_KINDS.contains(&tf.kind()));
+        }
     }
 
     #[test]
@@ -175,5 +362,6 @@ mod tests {
         assert_eq!(h.deny_rule(ThreadId(0), Rule::App), None);
         assert_eq!(h.at_boundary(ThreadId(0)), None);
         assert_eq!(h.htm_access(ThreadId(0)), None);
+        assert_eq!(h.transport_fault(ThreadId(0), 0), None);
     }
 }

@@ -140,6 +140,7 @@ use crate::op::{Op, OpId, OpIdGen, ThreadId, TxnId};
 use crate::snapcell::SnapCell;
 use crate::spec::SeqSpec;
 use crate::static_facts::StaticDischarge;
+use crate::transport::{ShardTransport, TransportStats};
 
 /// A committed transaction: its id and its own operations in local-log
 /// order. The sequence of these, in commit order, is the serial witness
@@ -404,7 +405,7 @@ impl Route {
     /// The shard a routed operation is *appended* to. Coarse operations
     /// live on shard 0; soundness does not depend on the choice because
     /// once the coarse flag is set every evaluation merges all shards.
-    fn target(self) -> usize {
+    pub(crate) fn target(self) -> usize {
         match self {
             Route::Single(i) => i,
             Route::Coarse => 0,
@@ -591,6 +592,22 @@ pub struct GlobalState<S: SeqSpec> {
     /// build without the analyzer.
     static_facts: RwLock<Option<Arc<StaticDischarge>>>,
     static_armed: AtomicBool,
+    /// The shard transport, if one is installed. `None` (the default)
+    /// means the routed PUSH/UNPUSH critical sections run inline under
+    /// the shard mutex exactly as they always have — the arm flag keeps
+    /// that default to one relaxed load. See [`crate::transport`].
+    transport: RwLock<Option<Arc<dyn ShardTransport<S>>>>,
+    transport_armed: AtomicBool,
+    /// Per-shard degraded marks: a `true` shard exhausted its transport
+    /// envelope and its operations run on the coarse coordinator path
+    /// until a probe succeeds. Always all-`false` without a transport.
+    transport_degraded: Vec<AtomicBool>,
+    /// Transport envelope counters (see [`TransportStats`]).
+    t_requests: AtomicU64,
+    t_retries: AtomicU64,
+    t_timeouts: AtomicU64,
+    t_degradations: AtomicU64,
+    t_recoveries: AtomicU64,
 }
 
 impl<S: SeqSpec> GlobalState<S> {
@@ -630,6 +647,14 @@ impl<S: SeqSpec> GlobalState<S> {
             faults_armed: AtomicBool::new(false),
             static_facts: RwLock::new(None),
             static_armed: AtomicBool::new(false),
+            transport: RwLock::new(None),
+            transport_armed: AtomicBool::new(false),
+            transport_degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            t_requests: AtomicU64::new(0),
+            t_retries: AtomicU64::new(0),
+            t_timeouts: AtomicU64::new(0),
+            t_degradations: AtomicU64::new(0),
+            t_recoveries: AtomicU64::new(0),
         };
         state.publish_all_shards();
         state
@@ -827,6 +852,94 @@ impl<S: SeqSpec> GlobalState<S> {
             .clone()
     }
 
+    /// Installs (or, with `None`, removes) the shard transport that the
+    /// routed PUSH/UNPUSH critical sections go through. Without one the
+    /// machine behaves bit-identically to the historical in-place locked
+    /// path. See [`crate::transport`] for the seam, the robustness
+    /// envelope and the degradation ladder.
+    pub fn set_transport(&self, t: Option<Arc<dyn ShardTransport<S>>>) {
+        self.transport_armed.store(t.is_some(), Ordering::Release);
+        *self.transport.write().expect("transport lock poisoned") = t;
+        // A fresh transport starts on the fast path everywhere.
+        for d in &self.transport_degraded {
+            d.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// The installed shard transport, if any. One relaxed-ish load when
+    /// none is installed (the default).
+    pub(crate) fn transport(&self) -> Option<Arc<dyn ShardTransport<S>>> {
+        if !self.transport_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.transport
+            .read()
+            .expect("transport lock poisoned")
+            .clone()
+    }
+
+    /// The installed transport's short name, if any (stats labels).
+    pub fn transport_name(&self) -> Option<&'static str> {
+        self.transport().map(|t| t.name())
+    }
+
+    /// A snapshot of the transport envelope counters. All-zero when no
+    /// transport was ever installed.
+    pub fn transport_stats(&self) -> TransportStats {
+        TransportStats {
+            requests: self.t_requests.load(Ordering::Relaxed),
+            retries: self.t_retries.load(Ordering::Relaxed),
+            timeouts: self.t_timeouts.load(Ordering::Relaxed),
+            degradations: self.t_degradations.load(Ordering::Relaxed),
+            recoveries: self.t_recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tallies one logical transport request (a call or a probe).
+    /// Transport implementations call this once per logical request,
+    /// not per delivery attempt.
+    pub fn note_transport_request(&self) {
+        self.t_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one transport re-delivery attempt.
+    pub fn note_transport_retry(&self) {
+        self.t_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one failed delivery attempt (deadline missed or message
+    /// lost — injected faults included).
+    pub fn note_transport_timeout(&self) {
+        self.t_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Is `shard` currently degraded to the coarse coordinator path?
+    pub(crate) fn is_transport_degraded(&self, shard: usize) -> bool {
+        self.transport_degraded[shard].load(Ordering::Acquire)
+    }
+
+    /// Marks `shard` degraded; counts the transition exactly once even
+    /// when several threads exhaust their envelopes concurrently.
+    pub(crate) fn note_transport_degraded(&self, shard: usize) {
+        if self.transport_degraded[shard]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.t_degradations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears `shard`'s degraded mark after a successful probe; counts
+    /// the recovery exactly once per degradation episode.
+    pub(crate) fn note_transport_recovery(&self, shard: usize) {
+        if self.transport_degraded[shard]
+            .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.t_recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Is the runtime check for `(rule, clause)` statically discharged?
     /// One relaxed-ish load on the fast path when no plan is installed.
     pub(crate) fn statically_discharged(&self, rule: Rule, clause: Clause) -> bool {
@@ -969,16 +1082,17 @@ impl<S: SeqSpec> GlobalState<S> {
         None
     }
 
-    /// Appends `op` to its routed shard inside the held view, minting its
+    /// Appends `op` to shard `target` inside the held view, minting its
     /// commit-sequence stamp under the shard lock (the PUSH effect), and
-    /// republishes the shard's snapshot.
+    /// republishes the shard's snapshot. `target` is the routed shard
+    /// ([`Route::target`]) — the degraded coarse path passes it through
+    /// unchanged, so placement survives degradation and healing.
     pub(crate) fn append_push(
         &self,
         view: &mut LogView<'_, S>,
-        route: Route,
+        target: usize,
         op: Op<S::Method, S::Ret>,
     ) {
-        let target = route.target();
         let stamp = self.push_stamp.fetch_add(1, Ordering::Relaxed);
         let (_, sh) = view
             .shards
@@ -1251,6 +1365,18 @@ impl<S: SeqSpec> GlobalState<S> {
             faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
             static_facts: RwLock::new(self.static_discharge()),
             static_armed: AtomicBool::new(self.static_armed.load(Ordering::Acquire)),
+            // The transport detaches on resharding: it is bound to the
+            // old state's shard layout (server threads, degraded marks).
+            // `Machine::set_log_shards` documents that a transport must
+            // be re-installed after resharding. Counters carry over.
+            transport: RwLock::new(None),
+            transport_armed: AtomicBool::new(false),
+            transport_degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            t_requests: AtomicU64::new(self.t_requests.load(Ordering::Relaxed)),
+            t_retries: AtomicU64::new(self.t_retries.load(Ordering::Relaxed)),
+            t_timeouts: AtomicU64::new(self.t_timeouts.load(Ordering::Relaxed)),
+            t_degradations: AtomicU64::new(self.t_degradations.load(Ordering::Relaxed)),
+            t_recoveries: AtomicU64::new(self.t_recoveries.load(Ordering::Relaxed)),
         };
         state.publish_all_shards();
         state
@@ -1295,6 +1421,22 @@ impl<S: SeqSpec> GlobalState<S> {
             faults_armed: AtomicBool::new(self.faults_armed.load(Ordering::Acquire)),
             static_facts: RwLock::new(self.static_discharge()),
             static_armed: AtomicBool::new(self.static_armed.load(Ordering::Acquire)),
+            // The transport holds a `Weak` back-reference to *its*
+            // global state, so a deep clone cannot share it: the clone
+            // starts transport-less (the caller re-installs one if it
+            // wants the seam). Counter values are copied.
+            transport: RwLock::new(None),
+            transport_armed: AtomicBool::new(false),
+            transport_degraded: self
+                .transport_degraded
+                .iter()
+                .map(|d| AtomicBool::new(d.load(Ordering::Acquire)))
+                .collect(),
+            t_requests: AtomicU64::new(self.t_requests.load(Ordering::Relaxed)),
+            t_retries: AtomicU64::new(self.t_retries.load(Ordering::Relaxed)),
+            t_timeouts: AtomicU64::new(self.t_timeouts.load(Ordering::Relaxed)),
+            t_degradations: AtomicU64::new(self.t_degradations.load(Ordering::Relaxed)),
+            t_recoveries: AtomicU64::new(self.t_recoveries.load(Ordering::Relaxed)),
         };
         state.publish_all_shards();
         state

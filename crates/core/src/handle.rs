@@ -29,13 +29,14 @@ use std::sync::Arc;
 use crate::audit::QUERY_SHARDS;
 use crate::error::{Clause, MachineError, MachineResult, Rule};
 use crate::faults::{BoundaryFault, FaultKind, HtmFault};
-use crate::global::{CommittedTxn, GlobalState, LogView, Route};
+use crate::global::{CommittedTxn, GlobalState, Route};
 use crate::lang::Code;
 use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
 use crate::machine::{CheckMode, StepOptions};
 use crate::op::{Op, OpId, ThreadId, TxnId};
 use crate::spec::SeqSpec;
 use crate::trace::Event;
+use crate::transport::{FallbackMode, ShardRequest, ShardResponse, ShardTransport, TransportError};
 
 /// A trace event stamped with its global sequence number.
 pub(crate) type StampedEvent<S> = (u64, Event<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>);
@@ -558,26 +559,42 @@ impl<S: SeqSpec> TxnHandle<S> {
             }
         }
         let route = self.global.route(&op.method);
-        // Lock-free speculation: on a routed single shard (coarse off),
-        // criteria (ii)/(iii) evaluate against the shard's published
-        // snapshot without taking any lock. Only a *pass* is kept, and
-        // only as a speculation: it is trusted below iff the shard
-        // version is unchanged under the append lock. A speculative
-        // *failure* never denies by itself — a stale snapshot can show a
-        // since-committed entry as still uncommitted and manufacture a
-        // mover conflict the true log does not have — so failures fall
-        // back to the audited locked evaluation, whose verdict is exact.
-        let speculated = if checked {
-            match route {
-                Route::Single(i) if !self.global.coarse_mode() => {
-                    self.speculate_push_criteria(i, &op)
-                }
-                _ => None,
+        // The transport seam: with a transport installed, a routed
+        // single-shard PUSH ships its criteria-and-append critical
+        // section as a [`ShardRequest`] instead of running it in place
+        // (speculation is skipped — both transports serialize at the
+        // executor, so the outcome is identical either way). Coarse
+        // routes stay on this thread: they aggregate across shards,
+        // which is the coordinator's job.
+        let remote = match route {
+            Route::Single(i) if !self.global.coarse_mode() => {
+                self.global.transport().map(|t| (i, t))
             }
-        } else {
-            None
+            _ => None,
         };
-        {
+        if let Some((target, tr)) = remote {
+            self.push_via_transport(tr.as_ref(), target, shard, &op, checked)?;
+        } else {
+            // Lock-free speculation: on a routed single shard (coarse
+            // off), criteria (ii)/(iii) evaluate against the shard's
+            // published snapshot without taking any lock. Only a *pass*
+            // is kept, and only as a speculation: it is trusted below
+            // iff the shard version is unchanged under the append lock.
+            // A speculative *failure* never denies by itself — a stale
+            // snapshot can show a since-committed entry as still
+            // uncommitted and manufacture a mover conflict the true log
+            // does not have — so failures fall back to the audited
+            // locked evaluation, whose verdict is exact.
+            let speculated = if checked {
+                match route {
+                    Route::Single(i) if !self.global.coarse_mode() => {
+                        self.speculate_push_criteria(i, &op)
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
             // Critical section: the append — plus the criteria whenever
             // speculation did not conclude. One footprint shard on the
             // routed fast path; every shard (ascending) when coarse.
@@ -602,10 +619,17 @@ impl<S: SeqSpec> TxnHandle<S> {
                     let v = speculated.as_ref().expect("validated implies speculated");
                     self.flush_push_pass(shard, v);
                 } else {
-                    self.locked_push_criteria(&view, shard, &op)?;
+                    crate::transport::locked_push_criteria(
+                        &self.global,
+                        self.txn,
+                        shard,
+                        &view,
+                        &op,
+                    )?;
                 }
             }
-            self.global.append_push(&mut view, route, op.clone());
+            self.global
+                .append_push(&mut view, route.target(), op.clone());
         }
         // Effect on the local half (private to this thread): flip flag.
         let entry = self.local.entry_mut(op_id).expect("position found above");
@@ -714,65 +738,142 @@ impl<S: SeqSpec> TxnHandle<S> {
         audit.pass(Rule::Push, Clause::Iii);
     }
 
-    /// The audited PUSH criteria (ii)/(iii) over a held view — the
-    /// locked evaluation, used for coarse routes, unreadable snapshots
-    /// and stale speculations.
+    /// PUSH over the installed transport, with the degradation ladder.
     ///
-    /// Criterion (ii): every uncommitted op of other txns moves right of
-    /// op. A single-shard view inspects only entries sharing op's
-    /// footprint class — entries on other shards have disjoint declared
-    /// footprints and are both-movers by the validated footprint law, so
-    /// the verdict is identical.
-    fn locked_push_criteria(
+    /// Degraded shard: probe first — one success clears the mark
+    /// (counted as a recovery) and the call proceeds on the fast path;
+    /// failure keeps the operation on the coarse coordinator path.
+    /// Healthy shard: ship the request; if the whole robustness envelope
+    /// is exhausted, degrade per the transport's [`FallbackMode`] —
+    /// coarse execution here, or a clean
+    /// [`MachineError::TransportExhausted`].
+    fn push_via_transport(
         &self,
-        view: &LogView<'_, S>,
-        shard: usize,
+        tr: &dyn ShardTransport<S>,
+        target: usize,
+        audit_shard: usize,
         op: &Op<S::Method, S::Ret>,
+        checked: bool,
     ) -> MachineResult<()> {
-        if self.global.statically_discharged(Rule::Push, Clause::Ii) {
-            #[cfg(debug_assertions)]
-            for (_, g) in view.stamped() {
-                assert!(
-                    g.flag != GlobalFlag::Uncommitted
-                        || g.op.txn == self.txn
-                        || self.global.spec().mover(&g.op, op),
-                    "static discharge of PUSH (ii) contradicted dynamically: {} vs {}",
-                    g.op.id,
-                    op.id
-                );
+        if self.global.is_transport_degraded(target) {
+            if tr.probe(&self.global, self.tid, target) {
+                self.global.note_transport_recovery(target);
+            } else {
+                return self.degraded_push(target, audit_shard, op, checked);
             }
-            self.global.audit.pass_static(Rule::Push, Clause::Ii);
-        } else {
-            for (_, g) in view.stamped() {
-                if g.flag == GlobalFlag::Uncommitted
-                    && g.op.txn != self.txn
-                    && !self.global.mover_q(shard, &g.op, op)
-                {
-                    self.global.audit.fail(Rule::Push, Clause::Ii);
-                    return Err(MachineError::criterion(
-                        Rule::Push,
-                        Clause::Ii,
-                        format!(
-                            "uncommitted {} of {} cannot move right of {}",
-                            g.op.id, g.op.txn, op.id
-                        ),
-                    ));
+        }
+        let req = ShardRequest::Push {
+            txn: self.txn,
+            audit_shard,
+            checked,
+            op: op.clone(),
+        };
+        match tr.call(&self.global, self.tid, target, req) {
+            Ok(ShardResponse::Done) => Ok(()),
+            Ok(ShardResponse::Denied(e)) => Err(e),
+            Ok(ShardResponse::Pong) => unreachable!("Pong response to a Push request"),
+            Err(TransportError::Exhausted { .. }) => match tr.fallback() {
+                FallbackMode::Coarse => {
+                    self.global.note_transport_degraded(target);
+                    self.degraded_push(target, audit_shard, op, checked)
                 }
-            }
-            self.global.audit.pass(Rule::Push, Clause::Ii);
+                FallbackMode::Fail => Err(MachineError::TransportExhausted {
+                    thread: self.tid,
+                    shard: target,
+                }),
+            },
         }
-        // Criterion (iii): G allows op (incremental over the
-        // uncommitted suffix when the cache is on).
-        if !self.global.g_allows(view, shard, op) {
-            self.global.audit.fail(Rule::Push, Clause::Iii);
-            return Err(MachineError::criterion(
-                Rule::Push,
-                Clause::Iii,
-                format!("global log does not allow {}", op.id),
-            ));
+    }
+
+    /// The degraded PUSH: the coordinator runs the critical section
+    /// itself over the coarse all-shard view (the one lock ladder that
+    /// needs no transport). Placement is preserved — the op still lands
+    /// on its routed shard — so healing back to the fast path is sound.
+    fn degraded_push(
+        &self,
+        target: usize,
+        audit_shard: usize,
+        op: &Op<S::Method, S::Ret>,
+        checked: bool,
+    ) -> MachineResult<()> {
+        let mut view = self.global.acquire_all();
+        // A lost-reply fault may have executed the append before we
+        // degraded; the log itself is the idempotency source of truth.
+        if view.entry(op.id).is_some() {
+            return Ok(());
         }
-        self.global.audit.pass(Rule::Push, Clause::Iii);
+        if checked {
+            crate::transport::locked_push_criteria(&self.global, self.txn, audit_shard, &view, op)?;
+        }
+        self.global.append_push(&mut view, target, op.clone());
         Ok(())
+    }
+
+    /// UNPUSH over the installed transport — same envelope and ladder as
+    /// [`TxnHandle::push_via_transport`].
+    fn unpush_via_transport(
+        &self,
+        tr: &dyn ShardTransport<S>,
+        target: usize,
+        audit_shard: usize,
+        op_id: OpId,
+        checked: bool,
+        check_gray: bool,
+    ) -> MachineResult<()> {
+        if self.global.is_transport_degraded(target) {
+            if tr.probe(&self.global, self.tid, target) {
+                self.global.note_transport_recovery(target);
+            } else {
+                return self.degraded_unpush(audit_shard, op_id, checked, check_gray);
+            }
+        }
+        let req = ShardRequest::Unpush {
+            audit_shard,
+            checked,
+            check_gray,
+            op_id,
+        };
+        match tr.call(&self.global, self.tid, target, req) {
+            Ok(ShardResponse::Done) => Ok(()),
+            Ok(ShardResponse::Denied(e)) => Err(e),
+            Ok(ShardResponse::Pong) => unreachable!("Pong response to an Unpush request"),
+            Err(TransportError::Exhausted { .. }) => match tr.fallback() {
+                FallbackMode::Coarse => {
+                    self.global.note_transport_degraded(target);
+                    self.degraded_unpush(audit_shard, op_id, checked, check_gray)
+                }
+                FallbackMode::Fail => Err(MachineError::TransportExhausted {
+                    thread: self.tid,
+                    shard: target,
+                }),
+            },
+        }
+    }
+
+    /// The degraded UNPUSH, over the coarse all-shard view. An absent
+    /// entry means an earlier delivery of this same logical request
+    /// already removed it (the handle verified the `pshd` flag, and no
+    /// one else removes another transaction's entry).
+    fn degraded_unpush(
+        &self,
+        audit_shard: usize,
+        op_id: OpId,
+        checked: bool,
+        check_gray: bool,
+    ) -> MachineResult<()> {
+        let mut view = self.global.acquire_all();
+        if view.find(op_id).is_none() {
+            return Ok(());
+        }
+        crate::transport::locked_unpush_in_view(
+            &self.global,
+            audit_shard,
+            &mut view,
+            op_id,
+            checked,
+            check_gray,
+        )
+        .map(|_| ())
     }
 
     /// Read-only, unaudited "would PUSH accept `op_id` right now?" —
@@ -910,58 +1011,40 @@ impl<S: SeqSpec> TxnHandle<S> {
                 .method
                 .clone();
             let route = self.global.route(&method);
-            // Critical section: criteria over G plus the removal, atomic.
-            let mut view = self.global.acquire_route(route);
-            let (vidx, gpos) = view.find(op_id).ok_or(MachineError::NoSuchOp(op_id))?;
-            let op = view.entry(op_id).expect("found above").op.clone();
-            let stamp = view.stamp_at(vidx, gpos);
-            if checked {
-                // Criterion (i), gray: op slides right across the suffix
-                // (everything stamped after it in the held shards; on
-                // other shards everything is a both-mover by footprint).
-                if check_gray {
-                    if self.global.statically_discharged(Rule::UnPush, Clause::I) {
-                        #[cfg(debug_assertions)]
-                        for g in view.entries_after(stamp) {
-                            assert!(
-                                self.global.spec().mover(&op, &g.op),
-                                "static discharge of UNPUSH (i) contradicted dynamically: {} vs {}",
-                                op.id,
-                                g.op.id
-                            );
-                        }
-                        self.global.audit.pass_static(Rule::UnPush, Clause::I);
-                    } else {
-                        for g in view.entries_after(stamp) {
-                            if !self.global.mover_q(shard, &op, &g.op) {
-                                self.global.audit.fail(Rule::UnPush, Clause::I);
-                                return Err(MachineError::criterion(
-                                    Rule::UnPush,
-                                    Clause::I,
-                                    format!("{} cannot slide past later {}", op.id, g.op.id),
-                                ));
-                            }
-                        }
-                        self.global.audit.pass(Rule::UnPush, Clause::I);
-                    }
+            // The transport seam, exactly as in PUSH: a routed
+            // single-shard recall ships its critical section; coarse
+            // routes run on the coordinator.
+            let remote = match route {
+                Route::Single(i) if !self.global.coarse_mode() => {
+                    self.global.transport().map(|t| (i, t))
                 }
-                // Criterion (ii): G without op is still allowed
-                // (incremental: an uncommitted op lies past the cached
-                // committed prefix, so only the suffix is replayed).
-                if !self.global.g_allowed_without(&view, shard, op_id) {
-                    self.global.audit.fail(Rule::UnPush, Clause::Ii);
-                    return Err(MachineError::criterion(
-                        Rule::UnPush,
-                        Clause::Ii,
-                        format!("global log without {} is not allowed", op.id),
-                    ));
-                }
-                self.global.audit.pass(Rule::UnPush, Clause::Ii);
+                _ => None,
+            };
+            if let Some((target, tr)) = remote {
+                self.unpush_via_transport(tr.as_ref(), target, shard, op_id, checked, check_gray)?;
+                // The local `pshd` entry is a verbatim copy of the
+                // removed global entry's op (PUSH published it from
+                // here), so the trace event does not need the remote op
+                // echoed back.
+                self.local
+                    .entry(op_id)
+                    .expect("flag checked above")
+                    .op
+                    .clone()
+            } else {
+                // Critical section: criteria over G plus the removal,
+                // atomic — shared with the transport executors and the
+                // degraded path (see `transport::locked_unpush_in_view`).
+                let mut view = self.global.acquire_route(route);
+                crate::transport::locked_unpush_in_view(
+                    &self.global,
+                    shard,
+                    &mut view,
+                    op_id,
+                    checked,
+                    check_gray,
+                )?
             }
-            self.global
-                .remove_push(&mut view, vidx, op_id)
-                .expect("found above");
-            op
         };
         let entry = self.local.entry_mut(op_id).expect("checked above");
         let (saved_code, saved_stack) = match &entry.flag {

@@ -86,10 +86,11 @@ pub mod static_facts;
 pub mod structural;
 pub mod toy;
 pub mod trace;
+pub mod transport;
 
 pub use arena::{ArenaRef, SlabArena};
 pub use error::{Clause, CriterionViolation, MachineError, MachineResult, Rule};
-pub use faults::{BoundaryFault, FaultHook, FaultKind, HtmFault};
+pub use faults::{BoundaryFault, FaultHook, FaultKind, HtmFault, TransportFault};
 pub use global::GlobalState;
 pub use handle::TxnHandle;
 pub use lang::Code;
@@ -101,3 +102,7 @@ pub use snapcell::SnapCell;
 pub use spec::{KeySet, SeqSpec};
 pub use static_facts::{RulePattern, StaticDischarge};
 pub use trace::{Event, Trace};
+pub use transport::{
+    ChannelTransport, FallbackMode, LocalTransport, RetryBackoff, SeededBackoff, ShardTransport,
+    TransportConfig, TransportError, TransportStats,
+};

@@ -155,6 +155,35 @@ impl<S: SeqSpec> Machine<S> {
         self.global.set_static_discharge(facts);
     }
 
+    /// Routes the single-shard PUSH/UNPUSH critical sections through
+    /// [`LocalTransport`](crate::transport::LocalTransport): inline
+    /// execution under the shard mutex, identical behaviour to the
+    /// default no-transport machine except that transport requests are
+    /// counted. The reference point the channel transport is measured
+    /// (and golden-tested) against.
+    pub fn set_local_transport(&self) {
+        self.global
+            .set_transport(Some(Arc::new(crate::transport::LocalTransport)));
+    }
+
+    /// Removes the installed shard transport: back to the in-place
+    /// locked path.
+    pub fn clear_transport(&self) {
+        self.global.set_transport(None);
+    }
+
+    /// The installed transport's short name (`"local"` / `"channel"`),
+    /// or `None` when no transport is installed.
+    pub fn transport_name(&self) -> Option<&'static str> {
+        self.global.transport_name()
+    }
+
+    /// A snapshot of the transport envelope counters (requests, retries,
+    /// timeouts, degradations, recoveries). All-zero without a transport.
+    pub fn transport_stats(&self) -> crate::transport::TransportStats {
+        self.global.transport_stats()
+    }
+
     /// Is the incremental (committed-prefix cached) `allowed` evaluation
     /// enabled? See [`GlobalState::set_incremental`].
     pub fn incremental(&self) -> bool {
@@ -220,6 +249,10 @@ impl<S: SeqSpec> Machine<S> {
     /// and all generators are preserved, so resharding mid-run changes
     /// the cost of the criteria, never their verdicts — and `shards == 1`
     /// reproduces the historical single-lock machine bit-for-bit.
+    ///
+    /// An installed shard transport **detaches** (it is bound to the old
+    /// layout's server set and degraded marks); re-install one after
+    /// resharding if the seam is wanted. Transport counters carry over.
     pub fn set_log_shards(&mut self, shards: usize) {
         let n = shards.max(1);
         if n == self.global.shard_count() {
@@ -461,6 +494,31 @@ impl<S: SeqSpec> Machine<S> {
     /// state (§6.2: "transactions begin by PULLing all operations").
     pub fn pull_all_committed(&mut self, tid: ThreadId) -> MachineResult<usize> {
         self.handle_mut(tid)?.pull_all_committed()
+    }
+}
+
+impl<S> Machine<S>
+where
+    S: SeqSpec + Send + Sync + 'static,
+    S::Method: Send + Sync + 'static,
+    S::Ret: Send + Sync + 'static,
+    S::State: Send + Sync + 'static,
+{
+    /// Routes the single-shard PUSH/UNPUSH critical sections through a
+    /// [`ChannelTransport`](crate::transport::ChannelTransport): each
+    /// shard owned by a dedicated server thread, requests serialized
+    /// over in-process channels, every call wrapped in the robustness
+    /// envelope `config` describes (deadline, bounded seeded-backoff
+    /// retries, idempotent request ids, fault injection, degradation to
+    /// the coarse path). Bit-identical ledgers and traces to
+    /// [`Machine::set_local_transport`] — the transport equivalence
+    /// suite pins this down for every driver.
+    ///
+    /// The `Send + Sync + 'static` bounds exist only here: the rest of
+    /// the machine never requires them, so specs that are not shareable
+    /// across threads simply cannot install this transport.
+    pub fn set_channel_transport(&self, config: crate::transport::TransportConfig) {
+        crate::transport::ChannelTransport::install(&self.global, config);
     }
 }
 

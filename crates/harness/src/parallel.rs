@@ -112,6 +112,11 @@ pub struct WatchdogReport {
     pub seqlock_stats: Option<(u64, u64, u64)>,
     /// Arena `(live, capacity, reused)` occupancy across the shard logs.
     pub arena_stats: Option<(u64, u64, u64)>,
+    /// Transport envelope counters, when a shard transport is installed —
+    /// a stall whose `timeouts` keep climbing with `degradations` still
+    /// zero means the retry envelope is absorbing a fault without ever
+    /// reaching the coarse fallback.
+    pub transport_stats: Option<pushpull_core::TransportStats>,
 }
 
 impl std::fmt::Display for WatchdogReport {
@@ -143,6 +148,13 @@ impl std::fmt::Display for WatchdogReport {
             writeln!(
                 f,
                 "  arena: {live} live / {capacity} slots, {reused} reused"
+            )?;
+        }
+        if let Some(t) = self.transport_stats {
+            writeln!(
+                f,
+                "  transport: {} requests, {} retries, {} timeouts, {} degradations, {} recoveries",
+                t.requests, t.retries, t.timeouts, t.degradations, t.recoveries
             )?;
         }
         for t in &self.threads {
@@ -312,6 +324,7 @@ where
         lock_stats_per_shard: sys.lock_stats_per_shard(),
         seqlock_stats: sys.seqlock_stats(),
         arena_stats: sys.arena_stats(),
+        transport_stats: sys.transport_stats(),
     });
     Ok((
         sys,

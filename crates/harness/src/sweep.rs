@@ -85,6 +85,16 @@ pub struct SweepResult {
     pub snap_fallbacks: Aggregate,
     /// Arena slot reuses (recycled `GlobalEntry` slots) per run.
     pub arena_reused: Aggregate,
+    /// Transport envelope requests (calls + probes) per run.
+    pub transport_requests: Aggregate,
+    /// Transport delivery re-attempts per run.
+    pub transport_retries: Aggregate,
+    /// Transport attempts that missed their deadline per run.
+    pub transport_timeouts: Aggregate,
+    /// Fast-path → coarse degradation transitions per run.
+    pub transport_degradations: Aggregate,
+    /// Coarse → fast-path recovery transitions per run.
+    pub transport_recoveries: Aggregate,
 }
 
 impl std::fmt::Display for SweepResult {
@@ -105,7 +115,21 @@ impl std::fmt::Display for SweepResult {
             self.snap_retries,
             self.snap_fallbacks,
             self.arena_reused,
-        )
+        )?;
+        // Only runs with a transport installed print the envelope tail, so
+        // fault-free sweep tables stay byte-compatible with older logs.
+        if self.transport_requests.max > 0.0 {
+            write!(
+                f,
+                " transport={} (retry={} to={} degr={} rec={})",
+                self.transport_requests,
+                self.transport_retries,
+                self.transport_timeouts,
+                self.transport_degradations,
+                self.transport_recoveries,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +152,11 @@ pub fn sweep(
     let mut snap_retries = Vec::new();
     let mut snap_fallbacks = Vec::new();
     let mut arena_reused = Vec::new();
+    let mut t_requests = Vec::new();
+    let mut t_retries = Vec::new();
+    let mut t_timeouts = Vec::new();
+    let mut t_degradations = Vec::new();
+    let mut t_recoveries = Vec::new();
     for seed in seeds {
         let (stats, t) = make_and_run(seed);
         commits.push(stats.commits as f64);
@@ -142,6 +171,11 @@ pub fn sweep(
         snap_retries.push(stats.snap_retries as f64);
         snap_fallbacks.push(stats.snap_fallbacks as f64);
         arena_reused.push(stats.arena_reused as f64);
+        t_requests.push(stats.transport_requests as f64);
+        t_retries.push(stats.transport_retries as f64);
+        t_timeouts.push(stats.transport_timeouts as f64);
+        t_degradations.push(stats.transport_degradations as f64);
+        t_recoveries.push(stats.transport_recoveries as f64);
     }
     SweepResult {
         label: label.into(),
@@ -157,6 +191,11 @@ pub fn sweep(
         snap_retries: Aggregate::of(&snap_retries),
         snap_fallbacks: Aggregate::of(&snap_fallbacks),
         arena_reused: Aggregate::of(&arena_reused),
+        transport_requests: Aggregate::of(&t_requests),
+        transport_retries: Aggregate::of(&t_retries),
+        transport_timeouts: Aggregate::of(&t_timeouts),
+        transport_degradations: Aggregate::of(&t_degradations),
+        transport_recoveries: Aggregate::of(&t_recoveries),
     }
 }
 

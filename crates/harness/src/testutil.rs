@@ -15,12 +15,28 @@
 //!   criteria the same number of times (the per-obligation columns),
 //!   independent of how many raw oracle *queries* each evaluation cost —
 //!   the invariant log sharding and the incremental cache must preserve.
+//!
+//! The chaos-matrix driver loop itself also lives here
+//! ([`assert_chaos_cell`]): arm a plan, drive the system to completion
+//! under a seeded random scheduler, then assert completion, exact
+//! injection accounting, and the safety oracles. Every fault family —
+//! rule denials, kills/stalls, HTM aborts, and the transport faults —
+//! runs its matrix rows through this one loop.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use pushpull_core::audit::CriteriaAudit;
 use pushpull_core::error::{Clause, Rule};
-use pushpull_core::faults::FaultKind;
+use pushpull_core::faults::{FaultHook, FaultKind};
+use pushpull_core::machine::Machine;
+use pushpull_core::opacity::check_trace;
+use pushpull_core::serializability::check_machine;
+use pushpull_core::spec::SeqSpec;
+use pushpull_tm::driver::TmSystem;
+
+use crate::faults::FaultPlan;
+use crate::scheduler::{run, RandomSched};
 
 /// Asserts the static-discharge ledger closes: on an armed run of a
 /// conflict-free workload, every obligation in `obligations` was (a)
@@ -125,4 +141,55 @@ pub fn assert_ledger_matches(a: &CriteriaAudit, b: &CriteriaAudit) {
         a.render(),
         b.render()
     );
+}
+
+/// Runs one chaos-matrix cell: arms `plan` on the machine, drives `sys`
+/// to completion under `RandomSched::new(seed ^ 0xC0FF_EE00)` within
+/// `budget` ticks, then asserts the three-part robustness contract —
+/// **completion** (a faulted run still finishes), **accounting** (the
+/// audit's `injected` tallies equal the plan's fired tallies exactly),
+/// and **safety** (the serializability oracle, plus the opacity oracle
+/// when `expect_opaque`). Returns the finished system so callers can
+/// assert fault-family-specific extras (e.g. transport counters).
+///
+/// Install any transport or static-discharge configuration on the
+/// machine *before* calling; this helper only arms the fault hook.
+///
+/// # Panics
+///
+/// Panics, prefixed with `label`, on any machine error, wedge, tally
+/// divergence, or oracle violation.
+pub fn assert_chaos_cell<T, Sp>(
+    label: &str,
+    mut sys: T,
+    plan: &Arc<FaultPlan>,
+    seed: u64,
+    budget: usize,
+    expect_opaque: bool,
+    machine: impl Fn(&T) -> &Machine<Sp>,
+) -> T
+where
+    T: TmSystem,
+    Sp: SeqSpec,
+{
+    machine(&sys).set_fault_hook(Some(Arc::clone(plan) as Arc<dyn FaultHook>));
+    let out = run(&mut sys, &mut RandomSched::new(seed ^ 0xC0FF_EE00), budget)
+        .unwrap_or_else(|e| panic!("{label}/seed {seed}: machine error: {e}"));
+    assert!(
+        out.completed,
+        "{label}/seed {seed}: wedged after {} ticks",
+        out.ticks
+    );
+    let m = machine(&sys);
+    assert_injection_accounted(&m.audit(), &plan.fired());
+    let report = check_machine(m);
+    assert!(report.is_serializable(), "{label}/seed {seed}: {report}");
+    if expect_opaque {
+        let verdict = check_trace(&m.trace());
+        assert!(
+            verdict.is_opaque(),
+            "{label}/seed {seed}: faulted run lost opacity"
+        );
+    }
+    sys
 }

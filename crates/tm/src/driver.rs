@@ -136,6 +136,14 @@ pub trait TmSystem {
     fn arena_stats(&self) -> Option<(u64, u64, u64)> {
         None
     }
+
+    /// Transport envelope counters from the machine's shard transport
+    /// seam (requests, retries, timeouts, degradations, recoveries), or
+    /// `None` for systems without a machine. All-zero when no transport
+    /// is installed.
+    fn transport_stats(&self) -> Option<pushpull_core::TransportStats> {
+        None
+    }
 }
 
 /// Forwards the machine-backed [`TmSystem`] hooks to `self.machine`.
@@ -143,8 +151,9 @@ pub trait TmSystem {
 /// Every in-crate driver keeps a `machine: Machine<…>` field and forwards
 /// `declared_pattern` / `set_static_discharge` / `set_log_shards` /
 /// `lock_stats` / `lock_stats_per_shard` / `seqlock_stats` /
-/// `arena_stats` identically; invoke this inside the driver's
-/// `impl TmSystem for …` block instead of spelling out the methods.
+/// `arena_stats` / `transport_stats` identically; invoke this inside the
+/// driver's `impl TmSystem for …` block instead of spelling out the
+/// methods.
 macro_rules! forward_machine_hooks {
     () => {
         fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
@@ -176,6 +185,10 @@ macro_rules! forward_machine_hooks {
 
         fn arena_stats(&self) -> Option<(u64, u64, u64)> {
             Some(self.machine.arena_stats())
+        }
+
+        fn transport_stats(&self) -> Option<pushpull_core::TransportStats> {
+            Some(self.machine.transport_stats())
         }
     };
 }
@@ -243,6 +256,20 @@ pub struct SystemStats {
     /// Cumulative arena slot reuses (UNPUSH-freed slots recycled by later
     /// appends).
     pub arena_reused: u64,
+    /// Logical shard-transport requests (calls and probes) through the
+    /// machine's transport seam. Zero when no transport is installed.
+    pub transport_requests: u64,
+    /// Transport re-delivery attempts after a failed one.
+    pub transport_retries: u64,
+    /// Transport delivery attempts that timed out or were lost
+    /// (injected transport faults included).
+    pub transport_timeouts: u64,
+    /// Shards degraded to the coarse coordinator path after exhausting
+    /// the transport's retry budget (fast→degraded transitions).
+    pub transport_degradations: u64,
+    /// Shards recovered to the fast path by a successful probe
+    /// (degraded→fast transitions).
+    pub transport_recoveries: u64,
 }
 
 impl SystemStats {
@@ -275,6 +302,11 @@ impl std::ops::Add for SystemStats {
             arena_live: self.arena_live + rhs.arena_live,
             arena_capacity: self.arena_capacity + rhs.arena_capacity,
             arena_reused: self.arena_reused + rhs.arena_reused,
+            transport_requests: self.transport_requests + rhs.transport_requests,
+            transport_retries: self.transport_retries + rhs.transport_retries,
+            transport_timeouts: self.transport_timeouts + rhs.transport_timeouts,
+            transport_degradations: self.transport_degradations + rhs.transport_degradations,
+            transport_recoveries: self.transport_recoveries + rhs.transport_recoveries,
         }
     }
 }

@@ -290,6 +290,12 @@ impl<S: SeqSpec> IrrevocableSystem<S> {
         stats.arena_live = arena_live;
         stats.arena_capacity = arena_capacity;
         stats.arena_reused = arena_reused;
+        let t = self.machine.transport_stats();
+        stats.transport_requests = t.requests;
+        stats.transport_retries = t.retries;
+        stats.transport_timeouts = t.timeouts;
+        stats.transport_degradations = t.degradations;
+        stats.transport_recoveries = t.recoveries;
         stats
     }
 

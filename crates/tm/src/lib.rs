@@ -46,8 +46,9 @@ pub use boosting::BoostingSystem;
 pub use checkpoint::CheckpointOptimistic;
 pub use conflict::ConflictKeyed;
 pub use contention::{
-    default_manager, ContentionManager, ContentionState, ExponentialBackoff, Gate, Governor,
-    GracefulDegradation, ImmediateRetry, KarmaAging, Recovery, StarvationReport, WaitVerdict,
+    default_manager, CmBackoff, ContentionManager, ContentionState, ExponentialBackoff, Gate,
+    Governor, GracefulDegradation, ImmediateRetry, KarmaAging, Recovery, StarvationReport,
+    WaitVerdict,
 };
 pub use dependent::DependentSystem;
 pub use driver::{full_rule_pattern, ParallelSystem, SystemStats, Tick, TmSystem, Worker};
