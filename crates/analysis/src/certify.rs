@@ -1,0 +1,449 @@
+//! The whole-spec certifier: machine-checked soundness certificates for
+//! spec declarations.
+//!
+//! [`certify`] derives, from nothing but a spec's denotational semantics
+//! (via [`crate::infer`]), the ground-truth method-level mover matrix and
+//! the minimal sound footprint assignment, then cross-checks every
+//! hand-written [`method_mover`](SeqSpec::method_mover) and
+//! [`method_keys`](SeqSpec::method_keys) override — plus the two
+//! footprint laws (disjointness ⇒ both-mover, single-key factorization
+//! of `allowed`) — against that ground truth. Each unsound, incomplete,
+//! or needlessly-coarse declaration becomes a rustc-style
+//! [`Diagnostic`]; the checked facts are packaged as a serializable
+//! [`SpecCertificate`] that
+//! [`GlobalState`](pushpull_core::GlobalState) can demand (strict mode)
+//! before it arms static discharge or fine-grained shard routing.
+//!
+//! Severity ladder for mover findings:
+//!
+//! * a `Some(true)` override the exhaustive derivation *refutes* is an
+//!   **error** ([`UNSOUND_MOVER`]) — the runtime would elide checks
+//!   that can fail;
+//! * a refused pair (`Some(false)`/`None`) the derivation *proves* is
+//!   **incomplete** ([`INCOMPLETE_MOVER`]): a **warning** when the
+//!   proof is structurally certain (a method self-pair with a single
+//!   observable return denotes identically in both orders, so no
+//!   universe bound can explain the refusal), otherwise a **note**
+//!   (exhaustiveness over a bounded universe can be *more* permissive
+//!   than a sound algebraic oracle — a larger universe might refute
+//!   the pair).
+//!
+//! Footprint findings: law violations are **errors**
+//! ([`UNSOUND_FOOTPRINT`], [`UNSOUND_FACTORIZATION`]); a method
+//! declaring no footprint is a **warning** ([`COARSE_FORCING`] — it
+//! degrades every sharded log it touches to the coarse path); a shared
+//! key class joining methods that provably never conflict is a **note**
+//! ([`NEEDLESSLY_COARSE`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+use pushpull_core::certificate::SpecCertificate;
+use pushpull_core::error::{Clause, Rule};
+use pushpull_core::lang::Code;
+use pushpull_core::op::{Op, OpId, TxnId};
+use pushpull_core::spec::{
+    disjoint_commute_violations, factorization_violations, observable_rets, SeqSpec,
+};
+
+use crate::diagnostics::{find_method, Diagnostic, Severity, Span};
+use crate::infer::{infer, InferredSpec};
+use crate::matrix::MoverMatrix;
+
+/// A `method_mover` override claims `Some(true)` on a pair the
+/// exhaustive Definition 4.1 derivation refutes.
+pub const UNSOUND_MOVER: &str = "unsound-mover-override";
+/// A `method_mover` override refuses a pair the exhaustive derivation
+/// proves for every observable return pair.
+pub const INCOMPLETE_MOVER: &str = "incomplete-mover-override";
+/// Disjoint declared footprints on a pair that is not an exhaustive
+/// both-mover (footprint law 1).
+pub const UNSOUND_FOOTPRINT: &str = "unsound-footprint";
+/// `allowed` fails to factorize over the declared single-key classes
+/// (footprint law 2).
+pub const UNSOUND_FACTORIZATION: &str = "unsound-factorization";
+/// A method declares no footprint (`method_keys` → `None`), forcing
+/// every sharded log it touches onto the coarse whole-log path.
+pub const COARSE_FORCING: &str = "coarse-forcing";
+/// A declared key class joins methods that provably never conflict.
+pub const NEEDLESSLY_COARSE: &str = "needlessly-coarse";
+/// The spec exposes no finite state/method universe to certify against.
+pub const UNCERTIFIABLE: &str = "uncertifiable-spec";
+
+/// The four machine obligations a fully-proven matrix discharges
+/// spec-wide (the same set `discharge::prove` targets per-workload).
+const SPEC_OBLIGATIONS: [(Rule, Clause); 4] = [
+    (Rule::Push, Clause::I),
+    (Rule::Push, Clause::Ii),
+    (Rule::UnPush, Clause::I),
+    (Rule::Pull, Clause::Iii),
+];
+
+/// Longest factored log the factorization law is checked on. Dropped to
+/// 2 for large samples so the sequence enumeration stays test-sized.
+const FACTOR_LEN: usize = 3;
+const FACTOR_LEN_LARGE_SAMPLE: usize = 2;
+const FACTOR_SAMPLE_CAP: usize = 18;
+
+/// The certifier's output: the checked certificate plus every finding
+/// that went into its error/warning/note tallies.
+#[derive(Debug, Clone)]
+pub struct Certification {
+    /// The machine-checked facts, ready for
+    /// [`GlobalState::install_certificate`](pushpull_core::GlobalState::install_certificate).
+    pub certificate: Arc<SpecCertificate>,
+    /// Every finding, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Certification {
+    /// Did the spec certify without errors? (Warnings and notes — e.g. a
+    /// deliberately coarse `Size` footprint — do not invalidate.)
+    pub fn is_valid(&self) -> bool {
+        self.certificate.is_valid()
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.certificate.errors
+    }
+}
+
+/// Certifies `spec` with no program context (all diagnostics global).
+pub fn certify<S: SeqSpec>(spec: &S, name: &str) -> Result<Certification, Box<Diagnostic>>
+where
+    S::Method: fmt::Display,
+{
+    certify_in(spec, name, &[])
+}
+
+/// Certifies `spec`, anchoring each finding at the first syntactic
+/// occurrence of its method in `programs` (when it occurs at all) so the
+/// report reads like compiler output over the workload's source.
+pub fn certify_in<S: SeqSpec>(
+    spec: &S,
+    name: &str,
+    programs: &[Vec<Code<S::Method>>],
+) -> Result<Certification, Box<Diagnostic>>
+where
+    S::Method: fmt::Display,
+{
+    let Some(inf) = infer(spec) else {
+        return Err(Box::new(
+            Diagnostic::global(
+                Severity::Note,
+                UNCERTIFIABLE,
+                format!(
+                    "spec `{name}` cannot be certified: it exposes no finite \
+                 state/method universe (`state_universe`/`method_universe`)"
+                ),
+            )
+            .with_note(
+                "bounded spec variants certify; unbounded overrides stay trusted-but-unchecked",
+            ),
+        ));
+    };
+    let states = spec
+        .state_universe()
+        .expect("infer() succeeded, so the state universe exists");
+    let declared = MoverMatrix::build(spec, &inf.methods);
+    let mut diags = Vec::new();
+
+    check_mover_matrix::<S>(&inf, &declared, programs, &mut diags);
+    check_footprints(spec, &states, &inf, programs, &mut diags);
+
+    diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    let errors = count(&diags, Severity::Error);
+    let warnings = count(&diags, Severity::Warning);
+    let notes = count(&diags, Severity::Note);
+
+    // Obligations discharged spec-wide: with every ordered pair of the
+    // method universe a proven mover, all four mover loops are provable
+    // for any program over this spec. (Workload-specific discharge — the
+    // common case — still comes from `discharge::prove`.)
+    let obligations = if inf.matrix.all_pairs_proven() {
+        SPEC_OBLIGATIONS
+            .iter()
+            .map(|(r, c)| format!("{r} {c}"))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let footprints: Vec<Option<Vec<u64>>> = inf
+        .methods
+        .iter()
+        .map(|m| spec.method_keys(m).map(|ks| ks.iter().copied().collect()))
+        .collect();
+    let shard_keys = if footprints.iter().any(Option::is_none) {
+        0
+    } else {
+        let mut keys: Vec<u64> = footprints.iter().flatten().flatten().copied().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    };
+
+    let certificate = SpecCertificate {
+        spec_name: name.to_string(),
+        methods: inf.methods.iter().map(ToString::to_string).collect(),
+        matrix: inf.matrix.cells().to_vec(),
+        footprints,
+        components: inf.components.clone(),
+        obligations,
+        shard_keys,
+        errors,
+        warnings,
+        notes,
+    };
+    Ok(Certification {
+        certificate: Arc::new(certificate),
+        diagnostics: diags,
+    })
+}
+
+fn count(diags: &[Diagnostic], sev: Severity) -> usize {
+    diags.iter().filter(|d| d.severity == sev).count()
+}
+
+/// Anchors a finding at `m`'s first occurrence in `programs`, else
+/// leaves it global.
+fn at_method<M: Clone + Eq + fmt::Display>(
+    diag: Diagnostic,
+    programs: &[Vec<Code<M>>],
+    m: &M,
+) -> Diagnostic {
+    for (thread, txns) in programs.iter().enumerate() {
+        for (txn, code) in txns.iter().enumerate() {
+            if let Some(path) = find_method(code, m) {
+                return Diagnostic {
+                    span: Some(Span { thread, txn, path }),
+                    snippet: Some(m.to_string()),
+                    ..diag
+                };
+            }
+        }
+    }
+    diag
+}
+
+/// Cross-checks every declared matrix cell against the exhaustive one.
+fn check_mover_matrix<S: SeqSpec>(
+    inf: &InferredSpec<S::Method>,
+    declared: &MoverMatrix<S::Method>,
+    programs: &[Vec<Code<S::Method>>],
+    diags: &mut Vec<Diagnostic>,
+) where
+    S::Method: fmt::Display,
+{
+    for (i, m1) in inf.methods.iter().enumerate() {
+        for (j, m2) in inf.methods.iter().enumerate() {
+            let truth = inf
+                .matrix
+                .query(m1, m2)
+                .expect("exhaustive matrix decides every cell");
+            let claim = declared.query(m1, m2);
+            if claim == Some(true) && !truth {
+                let d = Diagnostic::global(
+                    Severity::Error,
+                    UNSOUND_MOVER,
+                    format!(
+                        "`{m1} ◁ {m2}` is declared a universal mover, but the exhaustive \
+                         Definition 4.1 derivation over the spec's universe refutes it"
+                    ),
+                )
+                .with_note(
+                    "a `Some(true)` override lets the runtime elide mover checks that can \
+                     fail; weaken the override (or fix the denotation)",
+                );
+                diags.push(at_method(d, programs, m1));
+            } else if claim != Some(true) && truth {
+                let structurally_certain = i == j && inf.single_ret[i];
+                let (severity, why) = if structurally_certain {
+                    (
+                        Severity::Warning,
+                        "a self-pair of a single-return method denotes identically in both \
+                         orders; no universe bound can explain the refusal",
+                    )
+                } else {
+                    (
+                        Severity::Note,
+                        "this may be a universe-bound artifact: a larger universe could \
+                         refute the pair, so verify algebraically before promoting the \
+                         override to `Some(true)`",
+                    )
+                };
+                let d = Diagnostic::global(
+                    severity,
+                    INCOMPLETE_MOVER,
+                    format!(
+                        "`{m1} ◁ {m2}` is declared {} but holds for every observable \
+                         return pair over the spec's universe",
+                        match claim {
+                            Some(false) => "`Some(false)`",
+                            _ => "undecided (`None`)",
+                        },
+                    ),
+                )
+                .with_note(why);
+                diags.push(at_method(d, programs, m1));
+            }
+        }
+    }
+}
+
+/// Checks the two footprint laws plus the coverage lints
+/// (coarse-forcing `None` footprints, needlessly-coarse shared classes).
+fn check_footprints<S: SeqSpec>(
+    spec: &S,
+    states: &[S::State],
+    inf: &InferredSpec<S::Method>,
+    programs: &[Vec<Code<S::Method>>],
+    diags: &mut Vec<Diagnostic>,
+) where
+    S::Method: fmt::Display,
+{
+    // Law 1: disjoint declared footprints must commute exhaustively.
+    for v in disjoint_commute_violations(spec, states, &inf.methods) {
+        let d = Diagnostic::global(Severity::Error, UNSOUND_FOOTPRINT, v.to_string()).with_note(
+            "disjoint footprints license shard-local mover checks; a non-commuting pair \
+             routed to different shards would be reordered unsoundly",
+        );
+        diags.push(at_method(d, programs, &v.m1));
+    }
+
+    // Law 2: `allowed` must factorize over single-key classes. The
+    // sample is every op a routed method can produce anywhere in the
+    // universe (the same enumeration the machine's APP rule draws from).
+    let mut sample: Vec<Op<S::Method, S::Ret>> = Vec::new();
+    for m in &inf.methods {
+        if spec.method_keys(m).is_some_and(|ks| ks.len() == 1) {
+            for r in observable_rets(spec, states, m) {
+                let id = sample.len() as u64;
+                sample.push(Op::new(OpId(id), TxnId(0), m.clone(), r));
+            }
+        }
+    }
+    let max_len = if sample.len() > FACTOR_SAMPLE_CAP {
+        FACTOR_LEN_LARGE_SAMPLE
+    } else {
+        FACTOR_LEN
+    };
+    for v in factorization_violations(spec, &sample, max_len) {
+        let m = v.log.first().map(|op| op.method.clone());
+        let d = Diagnostic::global(Severity::Error, UNSOUND_FACTORIZATION, v.to_string())
+            .with_note(
+                "sharded logs answer `G allows op` from per-shard committed prefixes; a \
+                 log that is allowed per key class but refused whole (or vice versa) \
+                 breaks that locality",
+            );
+        diags.push(match m {
+            Some(m) => at_method(d, programs, &m),
+            None => d,
+        });
+    }
+
+    // Coverage: `None` footprints force the coarse path.
+    for m in &inf.methods {
+        if spec.method_keys(m).is_none() {
+            let d = Diagnostic::global(
+                Severity::Warning,
+                COARSE_FORCING,
+                format!(
+                    "`{m}` declares no footprint (`method_keys` → `None`): every \
+                     transaction invoking it degrades a sharded log to the coarse \
+                     whole-log path"
+                ),
+            )
+            .with_note("declare a key class if the method's footprint is expressible");
+            diags.push(at_method(d, programs, m));
+        }
+    }
+
+    // Coverage: a shared key class joining methods that provably never
+    // conflict (different components of the inferred conflict graph).
+    // Conflict-free methods are skipped — they commute with everything,
+    // so any routing for them is sound and equally parallel.
+    for (i, m1) in inf.methods.iter().enumerate() {
+        for (j, m2) in inf.methods.iter().enumerate().skip(i + 1) {
+            if inf.components[i] == inf.components[j]
+                || inf.conflict_free[i]
+                || inf.conflict_free[j]
+            {
+                continue;
+            }
+            let (Some(k1), Some(k2)) = (spec.method_keys(m1), spec.method_keys(m2)) else {
+                continue;
+            };
+            let Some(shared) = k1.iter().find(|k| k2.contains(k)) else {
+                continue;
+            };
+            let d = Diagnostic::global(
+                Severity::Note,
+                NEEDLESSLY_COARSE,
+                format!(
+                    "`{m1}` and `{m2}` share declared key class {shared} but provably \
+                     never conflict (distinct components of the inferred conflict graph)"
+                ),
+            )
+            .with_note("splitting their key classes would unlock disjoint-access parallelism");
+            diags.push(at_method(d, programs, m1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushpull_spec::counter::Counter;
+    use pushpull_spec::kvmap::KvMap;
+    use pushpull_spec::queue::QueueSpec;
+
+    #[test]
+    fn unbounded_spec_is_uncertifiable() {
+        let err = certify(&Counter::new(), "counter").unwrap_err();
+        assert_eq!(err.lint, UNCERTIFIABLE);
+        assert_eq!(err.severity, Severity::Note);
+    }
+
+    #[test]
+    fn bounded_counter_certifies_cleanly() {
+        let cert = certify(&Counter::with_universe(2), "counter").unwrap();
+        assert!(cert.is_valid(), "{:?}", cert.diagnostics);
+        assert_eq!(cert.errors(), 0);
+        assert_eq!(cert.certificate.shard_keys, 1);
+        // Get conflicts with Add(k≠0): not everything is a mover, so no
+        // spec-wide obligations.
+        assert!(cert.certificate.obligations.is_empty());
+    }
+
+    #[test]
+    fn kvmap_size_is_coarse_forcing_but_valid() {
+        let cert = certify(&KvMap::bounded(vec![0, 1], vec![1]), "kvmap").unwrap();
+        assert!(cert.is_valid(), "{:?}", cert.diagnostics);
+        assert!(
+            cert.diagnostics
+                .iter()
+                .any(|d| d.lint == COARSE_FORCING && d.severity == Severity::Warning),
+            "Size must be flagged coarse-forcing: {:?}",
+            cert.diagnostics
+        );
+        // Size poisons the declared cover: coarse (0 shard keys).
+        assert_eq!(cert.certificate.shard_keys, 0);
+    }
+
+    #[test]
+    fn queue_certifies_with_single_class() {
+        let cert = certify(&QueueSpec::bounded(vec![1, 2], 2), "queue").unwrap();
+        assert!(cert.is_valid(), "{:?}", cert.diagnostics);
+        assert_eq!(cert.certificate.shard_keys, 1);
+    }
+
+    #[test]
+    fn certificate_round_trips_through_text() {
+        let cert = certify(&Counter::with_universe(2), "counter").unwrap();
+        let text = cert.certificate.to_text();
+        let back = SpecCertificate::parse(&text).expect("round-trip");
+        assert_eq!(*cert.certificate, back);
+    }
+}

@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use pushpull_core::spec::SeqSpec;
+use pushpull_core::spec::{method_mover_exhaustive, SeqSpec};
 
 /// A cached method-level mover matrix over a finite method alphabet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +44,39 @@ impl<M: Clone + Eq> MoverMatrix<M> {
             }
         }
         Self { alphabet, cells }
+    }
+
+    /// Builds the *ground-truth* matrix by running the exhaustive
+    /// Definition 4.1 derivation ([`method_mover_exhaustive`]) over
+    /// `universe` for every ordered pair of the (deduplicated) alphabet
+    /// — bypassing any `method_mover` override. Every cell is decided
+    /// (`Some`); this is what the whole-spec certifier checks the
+    /// declared matrix against.
+    pub fn build_exhaustive<S: SeqSpec<Method = M>>(
+        spec: &S,
+        universe: &[S::State],
+        methods: &[M],
+    ) -> Self {
+        let mut alphabet: Vec<M> = Vec::new();
+        for m in methods {
+            if !alphabet.contains(m) {
+                alphabet.push(m.clone());
+            }
+        }
+        let n = alphabet.len();
+        let mut cells = Vec::with_capacity(n * n);
+        for m1 in &alphabet {
+            for m2 in &alphabet {
+                cells.push(Some(method_mover_exhaustive(spec, universe, m1, m2)));
+            }
+        }
+        Self { alphabet, cells }
+    }
+
+    /// The raw row-major cells (alphabet order), for serialization into
+    /// a [`SpecCertificate`](pushpull_core::SpecCertificate).
+    pub fn cells(&self) -> &[Option<bool>] {
+        &self.cells
     }
 
     fn index(&self, m: &M) -> Option<usize> {

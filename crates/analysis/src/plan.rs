@@ -6,10 +6,12 @@
 use std::fmt;
 use std::sync::Arc;
 
+use pushpull_core::certificate::SpecCertificate;
 use pushpull_core::lang::Code;
 use pushpull_core::spec::SeqSpec;
 use pushpull_core::static_facts::{RulePattern, StaticDischarge};
 
+use crate::certify::certify_in;
 use crate::diagnostics::{render_report, Diagnostic, Severity};
 use crate::discharge::prove;
 use crate::lint::{lint_declaration, lint_programs, LintConfig};
@@ -34,6 +36,13 @@ pub struct AnalysisPlan {
     /// discharged — ready for
     /// [`GlobalState::set_static_discharge`](pushpull_core::GlobalState::set_static_discharge).
     pub discharge: Option<Arc<StaticDischarge>>,
+    /// The spec's soundness certificate, `Some` only when
+    /// [`analyze_certified`] ran and the spec certified without errors —
+    /// ready for
+    /// [`GlobalState::install_certificate`](pushpull_core::GlobalState::install_certificate),
+    /// and what strict-mode arming demands before trusting `discharge`
+    /// or fine-grained shard routing.
+    pub certificate: Option<Arc<SpecCertificate>>,
     /// Linter findings, program-level and declaration-level.
     pub diagnostics: Vec<Diagnostic>,
     /// Rules every completed run of the workload must exercise.
@@ -120,6 +129,7 @@ where
     );
     AnalysisPlan {
         discharge: outcome.facts.any().then(|| Arc::new(outcome.facts.clone())),
+        certificate: None,
         diagnostics,
         required: summary.required,
         footprint: summary.footprint.len(),
@@ -128,6 +138,43 @@ where
         threads: summary.threads,
         report,
     }
+}
+
+/// [`analyze`], then the whole-spec certifier: runs [`certify_in`] over
+/// the spec's finite universes, folds its findings into the plan's
+/// diagnostics and report, and attaches the resulting certificate when
+/// it carries no errors (an invalid certificate is withheld — installing
+/// it would make strict-mode arming refuse anyway, and the diagnostics
+/// say why). Uncertifiable specs (no finite universes) get a note and
+/// no certificate.
+pub fn analyze_certified<S: SeqSpec>(
+    spec: &S,
+    programs: &[Vec<Code<S::Method>>],
+    spec_name: &str,
+) -> AnalysisPlan
+where
+    S::Method: fmt::Display,
+{
+    let mut plan = analyze(spec, programs);
+    match certify_in(spec, spec_name, programs) {
+        Ok(cert) => {
+            if !cert.diagnostics.is_empty() {
+                plan.report
+                    .push_str(&format!("spec certifier (`{spec_name}`):\n"));
+                plan.report.push_str(&render_report(&cert.diagnostics));
+            }
+            plan.report.push_str(&format!("{}\n", cert.certificate));
+            plan.diagnostics.extend(cert.diagnostics);
+            if cert.certificate.is_valid() {
+                plan.certificate = Some(cert.certificate);
+            }
+        }
+        Err(diag) => {
+            plan.report.push_str(&diag.to_string());
+            plan.diagnostics.push(*diag);
+        }
+    }
+    plan
 }
 
 /// Distinct declared key classes across the footprint; `0` when any

@@ -90,6 +90,24 @@ fn run_once(shards: usize, disjoint: bool) -> Machine<RwMem> {
 }
 
 fn bench_sharded(c: &mut Criterion) {
+    // The analyzer picks the sweep's top shard count: one shard per
+    // declared key class of the disjoint workload (16 locations),
+    // capped at 16 — the same `recommended_shards()` the certified-plan
+    // path feeds `run_parallel_sharded`.
+    let programs: Vec<Vec<Code<MemMethod>>> = (0..THREADS)
+        .map(|t| {
+            methods(t, true)
+                .into_iter()
+                .map(|txn| Code::seq_all(txn.into_iter().map(Code::method)))
+                .collect()
+        })
+        .collect();
+    let recommended = pushpull_analysis::analyze(&RwMem::new(), &programs).recommended_shards();
+    assert_eq!(
+        recommended, 16,
+        "16 declared location classes, capped at 16"
+    );
+
     // Sanity before timing: at every shard count the run commits every
     // transaction, the oracle passes, and the audit ledger is
     // bit-identical to the single-shard baseline — sharding changed no
@@ -98,7 +116,7 @@ fn bench_sharded(c: &mut Criterion) {
     assert_serializable(&base);
     let base_audit = base.audit();
     assert_eq!(base.committed_txns().len() as u32, THREADS * TXNS);
-    for shards in [4usize, 16] {
+    for shards in [4usize, recommended] {
         let m = run_once(shards, true);
         assert_serializable(&m);
         assert_eq!(m.committed_txns().len() as u32, THREADS * TXNS);
@@ -107,7 +125,7 @@ fn bench_sharded(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("B9-sharded-log");
     group.sample_size(15);
-    for shards in [1usize, 4, 16] {
+    for shards in [1usize, 4, recommended] {
         group.bench_function(BenchmarkId::new("disjoint-8T", shards), |b| {
             b.iter(|| run_once(shards, true))
         });

@@ -1,0 +1,394 @@
+//! Machine-checked soundness certificates for sequential specifications.
+//!
+//! The sharded global log and the static-discharge fast path both trust
+//! hand-written [`SeqSpec`](crate::spec::SeqSpec) declarations —
+//! `method_keys` footprints and `method_mover` overrides. A
+//! [`SpecCertificate`] is the output of cross-checking every such
+//! declaration against the ground truth derived exhaustively from the
+//! denotational semantics (the `pushpull-analysis` certifier does the
+//! deriving; this type lives in core so
+//! [`GlobalState`](crate::global::GlobalState) can gate its arming paths
+//! on it without a dependency cycle).
+//!
+//! A certificate records, over a finite method alphabet:
+//!
+//! * the **checked mover matrix** — the exhaustive Definition 4.1
+//!   method-level relation every surviving declaration agrees with;
+//! * the **footprint cover** — each method's declared key set (or its
+//!   absence, which forces the coarse path) plus the inferred conflict
+//!   component it belongs to;
+//! * the **discharge set** — the rule obligations the matrix proves for
+//!   any program over the alphabet;
+//! * the finding counts of the certification run. A certificate with a
+//!   nonzero error count is *invalid*: the machine refuses to arm the
+//!   unsafe fast paths on it and demotes to coarse mode instead.
+//!
+//! Certificates are serializable without any external crates: a
+//! line-oriented text form ([`SpecCertificate::to_text`] /
+//! [`SpecCertificate::parse`]) round-trips exactly, so a CI job can emit
+//! one and a later run can re-check it.
+
+use std::fmt;
+
+/// The serialization format tag; bump on incompatible layout changes.
+const FORMAT_TAG: &str = "pushpull-spec-certificate v1";
+
+/// A machine-checked certificate that a spec's footprint and mover
+/// declarations agree with the exhaustively derived ground truth.
+///
+/// Non-generic on purpose, like
+/// [`StaticDischarge`](crate::static_facts::StaticDischarge): the
+/// certifier works over a concrete spec, but the *verdict* is plain
+/// data, so [`GlobalState`](crate::global::GlobalState) and the harness
+/// can carry it without becoming generic over the spec.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecCertificate {
+    /// Name of the certified specification (e.g. `"bank"`).
+    pub spec_name: String,
+    /// Display names of the certified method alphabet, in matrix order.
+    pub methods: Vec<String>,
+    /// Row-major checked method-level mover matrix over `methods`:
+    /// `matrix[i * methods.len() + j]` answers `methods[i] ◁ methods[j]`.
+    /// `None` marks a pair the certifier could not decide (never emitted
+    /// for fully enumerable specs).
+    pub matrix: Vec<Option<bool>>,
+    /// Declared footprint per method (`None` = undeclared: the method is
+    /// routed coarse).
+    pub footprints: Vec<Option<Vec<u64>>>,
+    /// Inferred conflict component per method — the minimal sound
+    /// footprint assignment: methods in distinct components commute
+    /// exhaustively and may live on distinct shards.
+    pub components: Vec<usize>,
+    /// Rule obligations the checked matrix discharges for *any* program
+    /// over the alphabet, rendered `"RULE (clause)"`.
+    pub obligations: Vec<String>,
+    /// Distinct declared footprint keys (the shard-count recommendation
+    /// input).
+    pub shard_keys: usize,
+    /// Error-severity findings of the certification run. Nonzero ⇒ the
+    /// certificate is invalid and must not arm anything.
+    pub errors: usize,
+    /// Warning-severity findings (e.g. coarse-forcing `None` footprints).
+    pub warnings: usize,
+    /// Note-severity findings (e.g. conservative mover declarations).
+    pub notes: usize,
+}
+
+impl SpecCertificate {
+    /// Is this certificate sound to arm fast paths on? (No
+    /// error-severity finding survived certification.)
+    pub fn is_valid(&self) -> bool {
+        self.errors == 0
+    }
+
+    /// The checked mover verdict for `methods[i] ◁ methods[j]`.
+    pub fn mover(&self, i: usize, j: usize) -> Option<bool> {
+        self.matrix
+            .get(i * self.methods.len() + j)
+            .copied()
+            .flatten()
+    }
+
+    /// Count of `Some(true)` cells in the checked matrix.
+    pub fn proven_pairs(&self) -> usize {
+        self.matrix.iter().filter(|c| **c == Some(true)).count()
+    }
+
+    /// Number of distinct inferred conflict components.
+    pub fn component_count(&self) -> usize {
+        let mut seen: Vec<usize> = self.components.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Serializes the certificate to its line-oriented text form
+    /// (round-tripped exactly by [`SpecCertificate::parse`]). Field
+    /// separators inside method lines are `" | "`; method names are
+    /// sanitized so the format stays unambiguous.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FORMAT_TAG);
+        out.push('\n');
+        out.push_str(&format!("spec: {}\n", sanitize(&self.spec_name)));
+        out.push_str(&format!("shard-keys: {}\n", self.shard_keys));
+        out.push_str(&format!(
+            "findings: errors={} warnings={} notes={}\n",
+            self.errors, self.warnings, self.notes
+        ));
+        out.push_str(&format!("obligations: {}\n", self.obligations.join("; ")));
+        out.push_str(&format!("methods: {}\n", self.methods.len()));
+        for (i, name) in self.methods.iter().enumerate() {
+            let keys = match &self.footprints[i] {
+                Some(ks) => {
+                    if ks.is_empty() {
+                        String::from("")
+                    } else {
+                        ks.iter()
+                            .map(|k| k.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    }
+                }
+                None => String::from("-"),
+            };
+            out.push_str(&format!(
+                "method: {} | keys={} | component={}\n",
+                sanitize(name),
+                keys,
+                self.components[i]
+            ));
+        }
+        let cells: String = self
+            .matrix
+            .iter()
+            .map(|c| match c {
+                Some(true) => 'T',
+                Some(false) => 'F',
+                None => '?',
+            })
+            .collect();
+        out.push_str(&format!("matrix: {cells}\n"));
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text form produced by [`SpecCertificate::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line: wrong format
+    /// tag, missing section, or a count that disagrees with the data.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let tag = lines.next().ok_or("empty certificate")?;
+        if tag.trim() != FORMAT_TAG {
+            return Err(format!("unrecognized format tag {tag:?}"));
+        }
+        let spec_name = field(lines.next(), "spec")?.to_string();
+        let shard_keys: usize = field(lines.next(), "shard-keys")?
+            .parse()
+            .map_err(|e| format!("bad shard-keys: {e}"))?;
+        let findings = field(lines.next(), "findings")?.to_string();
+        let mut errors = 0;
+        let mut warnings = 0;
+        let mut notes = 0;
+        for part in findings.split_whitespace() {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad findings field {part:?}"))?;
+            let v: usize = v.parse().map_err(|e| format!("bad findings count: {e}"))?;
+            match k {
+                "errors" => errors = v,
+                "warnings" => warnings = v,
+                "notes" => notes = v,
+                _ => return Err(format!("unknown findings key {k:?}")),
+            }
+        }
+        let obligations_line = field(lines.next(), "obligations")?.to_string();
+        let obligations: Vec<String> = if obligations_line.is_empty() {
+            Vec::new()
+        } else {
+            obligations_line.split("; ").map(String::from).collect()
+        };
+        let n: usize = field(lines.next(), "methods")?
+            .parse()
+            .map_err(|e| format!("bad method count: {e}"))?;
+        let mut methods = Vec::with_capacity(n);
+        let mut footprints = Vec::with_capacity(n);
+        let mut components = Vec::with_capacity(n);
+        for i in 0..n {
+            let body = field(lines.next(), "method")?;
+            let mut parts = body.split(" | ");
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("method {i}: missing name"))?;
+            let keys = parts
+                .next()
+                .and_then(|p| p.strip_prefix("keys="))
+                .ok_or_else(|| format!("method {i}: missing keys field"))?;
+            let component: usize = parts
+                .next()
+                .and_then(|p| p.strip_prefix("component="))
+                .ok_or_else(|| format!("method {i}: missing component field"))?
+                .parse()
+                .map_err(|e| format!("method {i}: bad component: {e}"))?;
+            let fp = match keys {
+                "-" => None,
+                "" => Some(Vec::new()),
+                list => Some(
+                    list.split(',')
+                        .map(|k| {
+                            k.parse::<u64>()
+                                .map_err(|e| format!("method {i}: bad key {k:?}: {e}"))
+                        })
+                        .collect::<Result<Vec<u64>, String>>()?,
+                ),
+            };
+            methods.push(name.to_string());
+            footprints.push(fp);
+            components.push(component);
+        }
+        let cells = field(lines.next(), "matrix")?;
+        if cells.len() != n * n {
+            return Err(format!(
+                "matrix has {} cells, expected {}",
+                cells.len(),
+                n * n
+            ));
+        }
+        let matrix: Vec<Option<bool>> = cells
+            .chars()
+            .map(|c| match c {
+                'T' => Ok(Some(true)),
+                'F' => Ok(Some(false)),
+                '?' => Ok(None),
+                other => Err(format!("bad matrix cell {other:?}")),
+            })
+            .collect::<Result<_, String>>()?;
+        match lines.next() {
+            Some("end") => {}
+            other => return Err(format!("expected trailing 'end', got {other:?}")),
+        }
+        Ok(SpecCertificate {
+            spec_name,
+            methods,
+            matrix,
+            footprints,
+            components,
+            obligations,
+            shard_keys,
+            errors,
+            warnings,
+            notes,
+        })
+    }
+}
+
+impl fmt::Display for SpecCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "certificate[{}]: {} methods, {}/{} mover pairs proven, {} component(s), \
+             {} shard key(s), {} obligation(s) discharged — {}",
+            self.spec_name,
+            self.methods.len(),
+            self.proven_pairs(),
+            self.matrix.len(),
+            self.component_count(),
+            self.shard_keys,
+            self.obligations.len(),
+            if self.is_valid() {
+                "VALID".to_string()
+            } else {
+                format!("INVALID ({} error(s))", self.errors)
+            }
+        )
+    }
+}
+
+/// Keeps method display names from colliding with the format's own
+/// delimiters (`" | "` field separators, line structure).
+fn sanitize(name: &str) -> String {
+    name.replace('|', "/").replace(['\n', '\r'], " ")
+}
+
+/// Strips the `"{key}: "` prefix from a line, erroring when the line is
+/// missing or labelled differently.
+fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let line = line.ok_or_else(|| format!("missing '{key}:' line"))?;
+    line.strip_prefix(key)
+        .and_then(|r| {
+            r.strip_prefix(": ")
+                .or(if r == ":" { Some("") } else { None })
+        })
+        .ok_or_else(|| format!("expected '{key}: …', got {line:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpecCertificate {
+        SpecCertificate {
+            spec_name: "set".into(),
+            methods: vec!["add(1)".into(), "remove(1)".into(), "contains(2)".into()],
+            matrix: vec![
+                Some(true),
+                Some(false),
+                Some(true),
+                Some(false),
+                Some(true),
+                Some(true),
+                Some(true),
+                Some(true),
+                Some(true),
+            ],
+            footprints: vec![Some(vec![1]), Some(vec![1]), Some(vec![2])],
+            components: vec![0, 0, 1],
+            obligations: vec!["PUSH (i)".into(), "PULL (iii)".into()],
+            shard_keys: 2,
+            errors: 0,
+            warnings: 1,
+            notes: 2,
+        }
+    }
+
+    #[test]
+    fn text_form_round_trips() {
+        let cert = sample();
+        let text = cert.to_text();
+        let parsed = SpecCertificate::parse(&text).unwrap();
+        assert_eq!(parsed, cert);
+        // And the round-trip is a fixed point.
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn none_footprints_and_empty_obligations_round_trip() {
+        let mut cert = sample();
+        cert.footprints[1] = None;
+        cert.obligations.clear();
+        let parsed = SpecCertificate::parse(&cert.to_text()).unwrap();
+        assert_eq!(parsed, cert);
+    }
+
+    #[test]
+    fn validity_tracks_error_count() {
+        let mut cert = sample();
+        assert!(cert.is_valid());
+        cert.errors = 1;
+        assert!(!cert.is_valid());
+        assert!(cert.to_string().contains("INVALID"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(SpecCertificate::parse("").is_err());
+        assert!(SpecCertificate::parse("bogus v9\n").is_err());
+        let truncated = sample().to_text().replace("end\n", "");
+        assert!(SpecCertificate::parse(&truncated).is_err());
+        let short_matrix = sample().to_text().replace("matrix: ", "matrix: T");
+        assert!(SpecCertificate::parse(&short_matrix).is_err());
+    }
+
+    #[test]
+    fn mover_indexes_row_major() {
+        let cert = sample();
+        assert_eq!(cert.mover(0, 0), Some(true));
+        assert_eq!(cert.mover(0, 1), Some(false));
+        assert_eq!(cert.mover(1, 0), Some(false));
+        assert_eq!(cert.mover(2, 2), Some(true));
+        assert_eq!(cert.proven_pairs(), 7);
+        assert_eq!(cert.component_count(), 2);
+    }
+
+    #[test]
+    fn sanitize_defuses_delimiters() {
+        let mut cert = sample();
+        cert.methods[0] = "weird | name\nwith newline".into();
+        let parsed = SpecCertificate::parse(&cert.to_text()).unwrap();
+        assert_eq!(parsed.methods[0], "weird / name with newline");
+        assert_eq!(parsed.methods.len(), 3);
+    }
+}

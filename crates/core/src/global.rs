@@ -131,6 +131,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
 
 use crate::arena::{ArenaRef, SlabArena};
 use crate::audit::{AtomicAudit, CriteriaAudit};
+use crate::certificate::SpecCertificate;
 use crate::error::{Clause, Rule};
 use crate::faults::{FaultHook, FaultKind};
 use crate::lang::Code;
@@ -608,6 +609,18 @@ pub struct GlobalState<S: SeqSpec> {
     t_timeouts: AtomicU64,
     t_degradations: AtomicU64,
     t_recoveries: AtomicU64,
+    /// The installed spec certificate, if the analysis certified this
+    /// spec's footprint/mover declarations (see [`SpecCertificate`]).
+    certificate: RwLock<Option<Arc<SpecCertificate>>>,
+    /// Strict arming mode: when set, the unsafe fast paths
+    /// (static-discharge elision, fine-grained shard routing) refuse to
+    /// arm without a valid certificate and demote to the sound coarse
+    /// path instead, recording a diagnostic. Off by default —
+    /// bit-identical legacy behaviour.
+    require_certificate: AtomicBool,
+    /// Human-readable records of every arming request the certificate
+    /// gate refused or demoted (drained by [`Self::arming_diagnostics`]).
+    arming_diags: Mutex<Vec<String>>,
 }
 
 impl<S: SeqSpec> GlobalState<S> {
@@ -655,6 +668,9 @@ impl<S: SeqSpec> GlobalState<S> {
             t_timeouts: AtomicU64::new(0),
             t_degradations: AtomicU64::new(0),
             t_recoveries: AtomicU64::new(0),
+            certificate: RwLock::new(None),
+            require_certificate: AtomicBool::new(false),
+            arming_diags: Mutex::new(Vec::new()),
         };
         state.publish_all_shards();
         state
@@ -832,13 +848,113 @@ impl<S: SeqSpec> GlobalState<S> {
     /// `statically_discharged` column instead of `discharged`; in debug
     /// builds every elided check is still evaluated dynamically and
     /// asserted to pass (the soundness cross-check).
+    ///
+    /// Under strict mode ([`Self::set_require_certificate`]) a plan that
+    /// would arm elision is refused unless a *valid* [`SpecCertificate`]
+    /// is installed: the facts are dropped, the machine keeps its exact
+    /// dynamic checks (the sound default), and a diagnostic is recorded
+    /// in [`Self::arming_diagnostics`].
     pub fn set_static_discharge(&self, facts: Option<Arc<StaticDischarge>>) {
         let armed = facts.as_ref().is_some_and(|f| f.any());
+        if armed && self.require_certificate.load(Ordering::SeqCst) && !self.certified() {
+            self.note_arming_diag(
+                "refused to arm static discharge: strict mode requires a valid \
+                 spec certificate and none is installed; keeping exact dynamic checks",
+            );
+            self.static_armed.store(false, Ordering::Release);
+            *self
+                .static_facts
+                .write()
+                .expect("static facts lock poisoned") = None;
+            return;
+        }
         self.static_armed.store(armed, Ordering::Release);
         *self
             .static_facts
             .write()
             .expect("static facts lock poisoned") = facts;
+    }
+
+    /// Installs (or, with `None`, removes) a spec certificate — the
+    /// machine-checked verdict that this spec's `method_keys`/
+    /// `method_mover` declarations agree with the exhaustively derived
+    /// ground truth. Installing an *invalid* certificate (one with
+    /// errors) is allowed but arms nothing: strict mode treats it
+    /// exactly like no certificate.
+    pub fn install_certificate(&self, cert: Option<Arc<SpecCertificate>>) {
+        *self.certificate.write().expect("certificate lock poisoned") = cert;
+    }
+
+    /// The installed spec certificate, if any.
+    pub fn certificate(&self) -> Option<Arc<SpecCertificate>> {
+        self.certificate
+            .read()
+            .expect("certificate lock poisoned")
+            .clone()
+    }
+
+    /// Is a *valid* certificate installed (present and error-free)?
+    pub fn certified(&self) -> bool {
+        self.certificate
+            .read()
+            .expect("certificate lock poisoned")
+            .as_ref()
+            .is_some_and(|c| c.is_valid())
+    }
+
+    /// Turns strict certificate-gated arming on or off. Off (the
+    /// default) reproduces the historical trust-the-declarations
+    /// behaviour bit-identically. On, every unsafe fast path demands a
+    /// valid certificate:
+    ///
+    /// * [`Self::set_static_discharge`] refuses to arm elision;
+    /// * fine-grained shard routing (a shard count above one) demotes to
+    ///   the sticky coarse path — sound, never wrong, just slower;
+    ///
+    /// each refusal/demotion recording a diagnostic in
+    /// [`Self::arming_diagnostics`]. Turning strict mode on while
+    /// already sharded and uncertified demotes immediately.
+    pub fn set_require_certificate(&self, on: bool) {
+        self.require_certificate.store(on, Ordering::SeqCst);
+        if on && self.shard_count() > 1 && !self.certified() && !self.coarse_mode() {
+            self.demote_to_coarse(
+                "strict mode enabled on an uncertified sharded log: demoting to \
+                 coarse routing (all-shard critical sections)",
+            );
+        }
+    }
+
+    /// Is strict certificate-gated arming on?
+    pub fn require_certificate(&self) -> bool {
+        self.require_certificate.load(Ordering::SeqCst)
+    }
+
+    /// The diagnostics recorded by the certificate gate: one line per
+    /// refused arming request or coarse demotion, in order.
+    pub fn arming_diagnostics(&self) -> Vec<String> {
+        self.arming_diags
+            .lock()
+            .expect("arming diags lock poisoned")
+            .clone()
+    }
+
+    /// Records one certificate-gate diagnostic.
+    fn note_arming_diag(&self, msg: &str) {
+        self.arming_diags
+            .lock()
+            .expect("arming diags lock poisoned")
+            .push(msg.to_string());
+    }
+
+    /// Sets the sticky coarse flag (SeqCst, same protocol as routing's
+    /// own demotion: published snapshots stop being trusted because
+    /// every later `acquire_route` re-checks the flag under the lock)
+    /// and records why. Sound by the same argument as footprint-less
+    /// routing — coarse mode evaluates every criterion against the
+    /// whole log.
+    pub(crate) fn demote_to_coarse(&self, reason: &str) {
+        self.coarse.store(true, Ordering::SeqCst);
+        self.note_arming_diag(reason);
     }
 
     /// The installed static-discharge facts, if any.
@@ -1377,6 +1493,9 @@ impl<S: SeqSpec> GlobalState<S> {
             t_timeouts: AtomicU64::new(self.t_timeouts.load(Ordering::Relaxed)),
             t_degradations: AtomicU64::new(self.t_degradations.load(Ordering::Relaxed)),
             t_recoveries: AtomicU64::new(self.t_recoveries.load(Ordering::Relaxed)),
+            certificate: RwLock::new(self.certificate()),
+            require_certificate: AtomicBool::new(self.require_certificate.load(Ordering::SeqCst)),
+            arming_diags: Mutex::new(self.arming_diagnostics()),
         };
         state.publish_all_shards();
         state
@@ -1437,6 +1556,9 @@ impl<S: SeqSpec> GlobalState<S> {
             t_timeouts: AtomicU64::new(self.t_timeouts.load(Ordering::Relaxed)),
             t_degradations: AtomicU64::new(self.t_degradations.load(Ordering::Relaxed)),
             t_recoveries: AtomicU64::new(self.t_recoveries.load(Ordering::Relaxed)),
+            certificate: RwLock::new(self.certificate()),
+            require_certificate: AtomicBool::new(self.require_certificate.load(Ordering::SeqCst)),
+            arming_diags: Mutex::new(self.arming_diagnostics()),
         };
         state.publish_all_shards();
         state

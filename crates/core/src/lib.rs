@@ -66,6 +66,7 @@
 pub mod arena;
 pub mod atomic;
 pub mod audit;
+pub mod certificate;
 pub mod error;
 pub mod faults;
 pub mod global;
@@ -89,6 +90,7 @@ pub mod trace;
 pub mod transport;
 
 pub use arena::{ArenaRef, SlabArena};
+pub use certificate::SpecCertificate;
 pub use error::{Clause, CriterionViolation, MachineError, MachineResult, Rule};
 pub use faults::{BoundaryFault, FaultHook, FaultKind, HtmFault, TransportFault};
 pub use global::GlobalState;

@@ -155,6 +155,36 @@ impl<S: SeqSpec> Machine<S> {
         self.global.set_static_discharge(facts);
     }
 
+    /// Installs (or, with `None`, removes) a spec certificate — the
+    /// machine-checked verdict that the spec's footprint/mover
+    /// declarations agree with the exhaustive ground truth; see
+    /// [`GlobalState::install_certificate`].
+    pub fn install_certificate(
+        &self,
+        cert: Option<std::sync::Arc<crate::certificate::SpecCertificate>>,
+    ) {
+        self.global.install_certificate(cert);
+    }
+
+    /// The installed spec certificate, if any.
+    pub fn certificate(&self) -> Option<std::sync::Arc<crate::certificate::SpecCertificate>> {
+        self.global.certificate()
+    }
+
+    /// Turns strict certificate-gated arming on or off; see
+    /// [`GlobalState::set_require_certificate`]. When strict mode finds
+    /// the log already sharded and uncertified it demotes to coarse
+    /// routing immediately.
+    pub fn set_require_certificate(&self, on: bool) {
+        self.global.set_require_certificate(on);
+    }
+
+    /// The diagnostics recorded by the certificate gate (refused arming
+    /// requests, coarse demotions), in order.
+    pub fn arming_diagnostics(&self) -> Vec<String> {
+        self.global.arming_diagnostics()
+    }
+
     /// Routes the single-shard PUSH/UNPUSH critical sections through
     /// [`LocalTransport`](crate::transport::LocalTransport): inline
     /// execution under the shard mutex, identical behaviour to the
@@ -253,12 +283,34 @@ impl<S: SeqSpec> Machine<S> {
     /// An installed shard transport **detaches** (it is bound to the old
     /// layout's server set and degraded marks); re-install one after
     /// resharding if the seam is wanted. Transport counters carry over.
+    ///
+    /// Under strict certificate mode
+    /// ([`Machine::set_require_certificate`]) a shard count above one
+    /// without a valid [`SpecCertificate`](crate::certificate) still
+    /// reshards, but the rebuilt log is demoted to the sticky coarse
+    /// path (every critical section takes all shard locks — sound,
+    /// never mis-routed, with a diagnostic recorded in
+    /// [`Machine::arming_diagnostics`]) instead of trusting the
+    /// uncertified footprint declarations for fine-grained routing.
     pub fn set_log_shards(&mut self, shards: usize) {
         let n = shards.max(1);
+        let gate_demote = n > 1 && self.global.require_certificate() && !self.global.certified();
         if n == self.global.shard_count() {
+            if gate_demote && !self.global.coarse_mode() {
+                self.global.demote_to_coarse(
+                    "strict mode: fine-grained shard routing requested without a valid \
+                     spec certificate; demoting to coarse routing",
+                );
+            }
             return;
         }
         let global = Arc::new(self.global.rebuilt_with_shards(n));
+        if gate_demote {
+            global.demote_to_coarse(
+                "strict mode: fine-grained shard routing requested without a valid \
+                 spec certificate; demoting to coarse routing",
+            );
+        }
         for h in &mut self.handles {
             h.rebind(Arc::clone(&global));
         }

@@ -235,6 +235,19 @@ pub trait SeqSpec {
     fn method_keys(&self, _m: &Self::Method) -> Option<KeySet> {
         None
     }
+
+    /// A finite, representative alphabet of methods, if one exists — the
+    /// companion of [`SeqSpec::state_universe`] on the method side, and
+    /// what the whole-spec certifier (`pushpull-analysis`) quantifies
+    /// over when it derives the ground-truth mover matrix and footprint
+    /// cover. `None` (the default) means the spec cannot be certified
+    /// exhaustively; bounded spec variants should override with an
+    /// alphabet that exercises every `method_mover`/`method_keys` arm
+    /// (every constructor, including the degenerate parameters the
+    /// algebraic oracles special-case, e.g. zero amounts).
+    fn method_universe(&self) -> Option<Vec<Self::Method>> {
+        None
+    }
 }
 
 /// All return values `m` can observe anywhere in `universe`, via
@@ -316,20 +329,46 @@ pub fn commute<S: SeqSpec + ?Sized>(
     spec.mover(op1, op2) && spec.mover(op2, op1)
 }
 
-/// Validates footprint law 1 (see [`SeqSpec::method_keys`]): every method
-/// pair with declared, disjoint footprints must be a both-mover under the
-/// exhaustive Definition 4.1 oracle over `universe`. Specs with declared
-/// footprints run this in their test suites, exactly like the
-/// `method_mover` soundness cross-checks.
-///
-/// # Errors
-///
-/// Returns the first offending pair, rendered for the test failure.
-pub fn check_disjoint_footprints_commute<S: SeqSpec + ?Sized>(
+/// A counterexample to footprint law 1 (disjointness ⇒ both-mover): a
+/// method pair with declared, disjoint footprints that is *not* an
+/// exhaustive mover. Produced by [`disjoint_commute_violations`], the
+/// shared implementation behind both the test-suite wrapper
+/// [`check_disjoint_footprints_commute`] and the `pushpull-analysis`
+/// certifier's `unsound-footprint` diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjointnessViolation<M> {
+    /// The method whose op fails to move right across `m2`'s.
+    pub m1: M,
+    /// The method it was declared disjoint from.
+    pub m2: M,
+    /// `m1`'s declared footprint.
+    pub keys1: KeySet,
+    /// `m2`'s declared footprint.
+    pub keys2: KeySet,
+}
+
+impl<M: Debug> std::fmt::Display for DisjointnessViolation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "disjoint declared footprints ({:?} vs {:?}) but {:?} does not move across {:?}",
+            self.keys1, self.keys2, self.m1, self.m2
+        )
+    }
+}
+
+/// Finds every violation of footprint law 1 (see
+/// [`SeqSpec::method_keys`]): an ordered method pair with declared,
+/// disjoint footprints that fails the exhaustive Definition 4.1 oracle
+/// over `universe`. An empty result means the declared footprints are
+/// sound to shard on (law 1). The shared ground-truth check behind the
+/// spec test suites and the whole-spec certifier.
+pub fn disjoint_commute_violations<S: SeqSpec + ?Sized>(
     spec: &S,
     universe: &[S::State],
     methods: &[S::Method],
-) -> Result<(), String> {
+) -> Vec<DisjointnessViolation<S::Method>> {
+    let mut out = Vec::new();
     for m1 in methods {
         for m2 in methods {
             let (Some(k1), Some(k2)) = (spec.method_keys(m1), spec.method_keys(m2)) else {
@@ -339,33 +378,85 @@ pub fn check_disjoint_footprints_commute<S: SeqSpec + ?Sized>(
                 continue;
             }
             if !method_mover_exhaustive(spec, universe, m1, m2) {
-                return Err(format!(
-                    "disjoint declared footprints ({k1:?} vs {k2:?}) but \
-                     {m1:?} does not move across {m2:?}"
-                ));
+                out.push(DisjointnessViolation {
+                    m1: m1.clone(),
+                    m2: m2.clone(),
+                    keys1: k1,
+                    keys2: k2,
+                });
             }
         }
     }
-    Ok(())
+    out
 }
 
-/// Validates footprint law 2 (see [`SeqSpec::method_keys`]): over every
-/// sequence of up to `max_len` operations drawn (with repetition) from
-/// `sample`, the `allowed` predicate must equal the conjunction of
-/// `allowed` over the per-key projections. Only operations declaring
-/// exactly one key participate — those are the ones the sharded log
-/// routes; multi-key and `None`-footprint methods take the coarse path
-/// and never rely on this law.
+/// Validates footprint law 1 as a pass/fail test helper: a thin wrapper
+/// over [`disjoint_commute_violations`] (the shared implementation also
+/// used by the `pushpull-analysis` certifier).
 ///
 /// # Errors
 ///
-/// Returns the first counterexample sequence, rendered for the test
-/// failure.
-pub fn check_allowed_factorization<S: SeqSpec + ?Sized>(
+/// Returns the first offending pair, rendered for the test failure.
+pub fn check_disjoint_footprints_commute<S: SeqSpec + ?Sized>(
+    spec: &S,
+    universe: &[S::State],
+    methods: &[S::Method],
+) -> Result<(), String> {
+    match disjoint_commute_violations(spec, universe, methods)
+        .into_iter()
+        .next()
+    {
+        Some(v) => Err(v.to_string()),
+        None => Ok(()),
+    }
+}
+
+/// A counterexample to footprint law 2 (`allowed` factorizes over key
+/// classes): a log of single-key operations on which the whole-log
+/// verdict disagrees with the conjunction of its per-key projections.
+/// Produced by [`factorization_violations`], the shared implementation
+/// behind both [`check_allowed_factorization`] and the
+/// `pushpull-analysis` certifier's `unsound-factorization` diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorizationViolation<M, R> {
+    /// The counterexample log.
+    pub log: Vec<Op<M, R>>,
+    /// `allowed` over the whole log.
+    pub whole: bool,
+    /// Conjunction of `allowed` over the per-key projections.
+    pub factored: bool,
+}
+
+impl<M: Debug, R: Debug> std::fmt::Display for FactorizationViolation<M, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "allowed does not factorize over key classes: whole={} factored={} on {:?}",
+            self.whole,
+            self.factored,
+            self.log
+                .iter()
+                .map(|o| (&o.method, &o.ret))
+                .collect::<Vec<_>>()
+        )
+    }
+}
+
+/// Finds every violation of footprint law 2 (see
+/// [`SeqSpec::method_keys`]) over sequences of up to `max_len`
+/// operations drawn (with repetition) from `sample`: the `allowed`
+/// predicate must equal the conjunction of `allowed` over the per-key
+/// projections. Only operations declaring exactly one key participate —
+/// those are the ones the sharded log routes; multi-key and
+/// `None`-footprint methods take the coarse path and never rely on this
+/// law. An empty result means the law holds on the sampled space. The
+/// shared ground-truth check behind the spec test suites and the
+/// whole-spec certifier.
+pub fn factorization_violations<S: SeqSpec + ?Sized>(
     spec: &S,
     sample: &[Op<S::Method, S::Ret>],
     max_len: usize,
-) -> Result<(), String> {
+) -> Vec<FactorizationViolation<S::Method, S::Ret>> {
     let routed: Vec<&Op<S::Method, S::Ret>> = sample
         .iter()
         .filter(|op| spec.method_keys(&op.method).is_some_and(|ks| ks.len() == 1))
@@ -373,6 +464,7 @@ pub fn check_allowed_factorization<S: SeqSpec + ?Sized>(
     let key_of = |op: &Op<S::Method, S::Ret>| -> u64 {
         spec.method_keys(&op.method).expect("filtered above")[0]
     };
+    let mut out = Vec::new();
     // Enumerate index sequences of length 1..=max_len over `routed`.
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
     while let Some(prefix) = stack.pop() {
@@ -397,14 +489,36 @@ pub fn check_allowed_factorization<S: SeqSpec + ?Sized>(
             spec.allowed(&class)
         });
         if whole != factored {
-            return Err(format!(
-                "allowed does not factorize over key classes: whole={whole} \
-                 factored={factored} on {:?}",
-                seq.iter().map(|o| (&o.method, &o.ret)).collect::<Vec<_>>()
-            ));
+            out.push(FactorizationViolation {
+                log: seq,
+                whole,
+                factored,
+            });
         }
     }
-    Ok(())
+    out
+}
+
+/// Validates footprint law 2 as a pass/fail test helper: a thin wrapper
+/// over [`factorization_violations`] (the shared implementation also
+/// used by the `pushpull-analysis` certifier).
+///
+/// # Errors
+///
+/// Returns the first counterexample sequence, rendered for the test
+/// failure.
+pub fn check_allowed_factorization<S: SeqSpec + ?Sized>(
+    spec: &S,
+    sample: &[Op<S::Method, S::Ret>],
+    max_len: usize,
+) -> Result<(), String> {
+    match factorization_violations(spec, sample, max_len)
+        .into_iter()
+        .next()
+    {
+        Some(v) => Err(v.to_string()),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]

@@ -216,6 +216,12 @@ where
     T: ParallelSystem + Send,
 {
     if let Some(plan) = plan {
+        // Certificate first: strict-mode arming consults it, so a plan
+        // carrying both must land the certificate before the discharge
+        // (and before any shard routing the caller set up is exercised).
+        if plan.certificate.is_some() {
+            sys.install_certificate(plan.certificate.clone());
+        }
         sys.set_static_discharge(plan.discharge.clone());
     }
     let total_ticks = AtomicUsize::new(0);
@@ -358,6 +364,14 @@ pub fn run_parallel_sharded<T>(
 where
     T: ParallelSystem + Send,
 {
+    // Certificate before resharding: strict-mode `set_log_shards` demotes
+    // an uncertified log to coarse routing, so a certified plan must be
+    // on record before the shards are cut.
+    if let Some(plan) = plan {
+        if plan.certificate.is_some() {
+            sys.install_certificate(plan.certificate.clone());
+        }
+    }
     sys.set_log_shards(shards);
     run_parallel(sys, max_ticks_per_thread, plan)
 }

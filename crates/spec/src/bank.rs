@@ -225,6 +225,10 @@ impl SeqSpec for Bank {
             // which are no-ops against a balance read.
             (Balance(_), Deposit(_, n)) | (Balance(_), Withdraw(_, n)) => *n == 0,
             (Deposit(_, n), Balance(_)) | (Withdraw(_, n), Balance(_)) => *n == 0,
+            // A zero-amount withdraw always succeeds (balances never go
+            // negative), so the pair observes `Ok(true)`/`Ok(true)` —
+            // exactly the both-success case the op-level oracle accepts.
+            (Withdraw(_, 0), Withdraw(_, 0)) => true,
             _ => false,
         })
     }
@@ -233,6 +237,22 @@ impl SeqSpec for Bank {
     /// both-movers (the first arm of `method_mover`).
     fn method_keys(&self, m: &BankMethod) -> Option<KeySet> {
         Some(KeySet::one(u64::from(m.acct())))
+    }
+
+    /// Deposits and withdraws over small amounts (including the
+    /// zero-amount no-ops the mover oracle special-cases) plus balance
+    /// reads, per bounded account.
+    fn method_universe(&self) -> Option<Vec<BankMethod>> {
+        let (accts, max) = self.bound.as_ref()?;
+        let mut ms = Vec::new();
+        for a in accts {
+            for n in 0..=(*max).min(2) {
+                ms.push(BankMethod::Deposit(*a, n));
+                ms.push(BankMethod::Withdraw(*a, n));
+            }
+            ms.push(BankMethod::Balance(*a));
+        }
+        Some(ms)
     }
 }
 

@@ -209,6 +209,19 @@ impl<A: SeqSpec, B: SeqSpec> SeqSpec for Product<A, B> {
             ),
         }
     }
+
+    /// The disjoint union of the components' method universes; both
+    /// sides must be bounded for the product to certify.
+    fn method_universe(&self) -> Option<Vec<Self::Method>> {
+        let ls = self.left.method_universe()?;
+        let rs = self.right.method_universe()?;
+        Some(
+            ls.into_iter()
+                .map(Either::L)
+                .chain(rs.into_iter().map(Either::R))
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,19 @@ impl SeqSpec for Counter {
     fn method_keys(&self, _m: &CtrMethod) -> Option<KeySet> {
         Some(KeySet::one(0))
     }
+
+    /// Small positive, negative, and zero increments (the zero arm is
+    /// the `method_mover` special case) plus the read.
+    fn method_universe(&self) -> Option<Vec<CtrMethod>> {
+        self.bounded?;
+        Some(vec![
+            CtrMethod::Add(0),
+            CtrMethod::Add(1),
+            CtrMethod::Add(-1),
+            CtrMethod::Add(2),
+            CtrMethod::Get,
+        ])
+    }
 }
 
 /// Convenience constructors for counter operations.

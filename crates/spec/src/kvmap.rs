@@ -243,6 +243,23 @@ impl SeqSpec for KvMap {
     fn method_keys(&self, m: &MapMethod) -> Option<KeySet> {
         m.key().map(KeySet::one)
     }
+
+    /// Every method on every bounded key (writes per value), plus the
+    /// footprint-less `Size` — the certifier's coarse-forcing case.
+    fn method_universe(&self) -> Option<Vec<MapMethod>> {
+        let (keys, vals) = self.bound.as_ref()?;
+        let mut ms = Vec::new();
+        for k in keys {
+            for v in vals {
+                ms.push(MapMethod::Put(*k, *v));
+            }
+            ms.push(MapMethod::Remove(*k));
+            ms.push(MapMethod::Get(*k));
+            ms.push(MapMethod::ContainsKey(*k));
+        }
+        ms.push(MapMethod::Size);
+        Some(ms)
+    }
 }
 
 /// Does a key-local operation (with its observed ret) preserve key

@@ -175,20 +175,38 @@ impl SeqSpec for QueueSpec {
         match (&op1.method, &op2.method) {
             // Peeks commute with peeks.
             (QueueMethod::Peek, QueueMethod::Peek) => true,
+            // Same-item enqueues are the same log in either order (both
+            // observe an ack; the queue contents end up identical).
+            (QueueMethod::Enq(a), QueueMethod::Enq(b)) if a == b => true,
             // Everything else is order-observable: conservative no.
             _ => false,
         }
     }
 
     fn method_mover(&self, m1: &QueueMethod, m2: &QueueMethod) -> Option<bool> {
-        // Return-independent already: only peek/peek pairs move.
-        Some(matches!((m1, m2), (QueueMethod::Peek, QueueMethod::Peek)))
+        // Return-independent already: peek/peek pairs and same-item
+        // enqueue pairs move; nothing else does.
+        Some(match (m1, m2) {
+            (QueueMethod::Peek, QueueMethod::Peek) => true,
+            (QueueMethod::Enq(a), QueueMethod::Enq(b)) => a == b,
+            _ => false,
+        })
     }
 
     /// Footprint: every method touches the one FIFO order — a single key
     /// class (queues admit no disjoint-access parallelism).
     fn method_keys(&self, _m: &QueueMethod) -> Option<KeySet> {
         Some(KeySet::one(0))
+    }
+
+    /// One enqueue per bounded item, plus the observers — every arm of
+    /// `method_mover` is exercised.
+    fn method_universe(&self) -> Option<Vec<QueueMethod>> {
+        let (items, _) = self.bound.as_ref()?;
+        let mut ms: Vec<QueueMethod> = items.iter().map(|v| QueueMethod::Enq(*v)).collect();
+        ms.push(QueueMethod::Deq);
+        ms.push(QueueMethod::Peek);
+        Some(ms)
     }
 }
 

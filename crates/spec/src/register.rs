@@ -227,6 +227,23 @@ impl SeqSpec for CasRegister {
     fn method_keys(&self, _m: &RegMethod) -> Option<KeySet> {
         Some(KeySet::one(0))
     }
+
+    /// Reads, writes, and CAS's over a small value range (including the
+    /// degenerate `expected == new` no-op CAS's).
+    fn method_universe(&self) -> Option<Vec<RegMethod>> {
+        let max = self.universe?.min(2);
+        let mut ms = vec![RegMethod::Read];
+        for v in 0..=max {
+            ms.push(RegMethod::Write(v));
+            for n in 0..=max {
+                ms.push(RegMethod::Cas {
+                    expected: v,
+                    new: n,
+                });
+            }
+        }
+        Some(ms)
+    }
 }
 
 /// Convenience constructors for register operations.

@@ -216,6 +216,20 @@ impl SeqSpec for RwMem {
     fn method_keys(&self, m: &MemMethod) -> Option<KeySet> {
         Some(KeySet::one(u64::from(m.loc().0)))
     }
+
+    /// A read plus one write per bounded value, per location — the
+    /// same-value write-write arm of `method_mover` included.
+    fn method_universe(&self) -> Option<Vec<MemMethod>> {
+        let (locs, vals) = self.bound.as_ref()?;
+        let mut ms = Vec::new();
+        for l in locs {
+            ms.push(MemMethod::Read(*l));
+            for v in vals {
+                ms.push(MemMethod::Write(*l, *v));
+            }
+        }
+        Some(ms)
+    }
 }
 
 /// Convenience constructors for memory operations in tests and examples.

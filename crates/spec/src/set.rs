@@ -175,6 +175,18 @@ impl SeqSpec for SetSpec {
     fn method_keys(&self, m: &SetMethod) -> Option<KeySet> {
         Some(KeySet::one(m.elem()))
     }
+
+    /// Every method on every bounded element.
+    fn method_universe(&self) -> Option<Vec<SetMethod>> {
+        let elems = self.bound.as_ref()?;
+        let mut ms = Vec::new();
+        for x in elems {
+            ms.push(SetMethod::Add(*x));
+            ms.push(SetMethod::Remove(*x));
+            ms.push(SetMethod::Contains(*x));
+        }
+        Some(ms)
+    }
 }
 
 /// Convenience constructors for set operations.

@@ -5,18 +5,24 @@
 //!
 //! 1. **Disjointness ⇒ both-mover:** methods with disjoint declared
 //!    footprints must commute in every state
-//!    ([`check_disjoint_footprints_commute`] cross-checks against the
+//!    ([`disjoint_commute_violations`] cross-checks against the
 //!    exhaustive Definition 4.1 oracle on a bounded state universe).
 //! 2. **Factorization:** `allowed` over a mixed-key log must equal the
 //!    conjunction of `allowed` over its per-key-class projections
-//!    ([`check_allowed_factorization`] enumerates short logs).
+//!    ([`factorization_violations`] enumerates short logs).
+//!
+//! These are the *shared* law checkers: the `pushpull-analysis` spec
+//! certifier calls the same two functions to produce its
+//! `unsound-footprint`/`unsound-factorization` diagnostics, and the
+//! legacy `check_*` wrappers reduce to "first violation, stringified".
 //!
 //! Counter, register, and queue declare a single key class for every
 //! method, so both laws are vacuous there; the interesting cases are the
 //! keyed specs (rwmem, kvmap, set, bank) and the product encoding.
 
 use pushpull_core::spec::{
-    check_allowed_factorization, check_disjoint_footprints_commute, KeySet, SeqSpec,
+    check_allowed_factorization, check_disjoint_footprints_commute, disjoint_commute_violations,
+    factorization_violations, KeySet, SeqSpec,
 };
 use pushpull_spec::bank::{self, Bank, BankMethod};
 use pushpull_spec::composite::{Either, Product};
@@ -37,14 +43,14 @@ fn rwmem_footprints_satisfy_both_laws() {
         MemMethod::Write(Loc(0), 1),
         MemMethod::Write(Loc(1), 1),
     ];
-    check_disjoint_footprints_commute(&spec, &universe, &methods).unwrap();
+    assert!(disjoint_commute_violations(&spec, &universe, &methods).is_empty());
     let sample = vec![
         rwmem::ops::write(0, 0, 0, 1),
         rwmem::ops::read(1, 0, 0, 1),
         rwmem::ops::write(2, 1, 1, 1),
         rwmem::ops::read(3, 1, 1, 0),
     ];
-    check_allowed_factorization(&spec, &sample, 3).unwrap();
+    assert!(factorization_violations(&spec, &sample, 3).is_empty());
 }
 
 #[test]
@@ -58,14 +64,14 @@ fn kvmap_footprints_satisfy_both_laws() {
         MapMethod::ContainsKey(2),
         MapMethod::Size, // no footprint: exempt from both laws
     ];
-    check_disjoint_footprints_commute(&spec, &universe, &methods).unwrap();
+    assert!(disjoint_commute_violations(&spec, &universe, &methods).is_empty());
     let sample = vec![
         kvmap::ops::put(0, 0, 1, 7, None),
         kvmap::ops::get(1, 0, 1, Some(7)),
         kvmap::ops::remove(2, 1, 2, None),
         kvmap::ops::contains(3, 1, 2, false),
     ];
-    check_allowed_factorization(&spec, &sample, 3).unwrap();
+    assert!(factorization_violations(&spec, &sample, 3).is_empty());
 }
 
 #[test]
@@ -78,14 +84,14 @@ fn set_footprints_satisfy_both_laws() {
         SetMethod::Contains(2),
         SetMethod::Add(2),
     ];
-    check_disjoint_footprints_commute(&spec, &universe, &methods).unwrap();
+    assert!(disjoint_commute_violations(&spec, &universe, &methods).is_empty());
     let sample = vec![
         set::ops::add(0, 0, 1, true),
         set::ops::contains(1, 0, 1, true),
         set::ops::add(2, 1, 2, true),
         set::ops::remove(3, 1, 2, true),
     ];
-    check_allowed_factorization(&spec, &sample, 3).unwrap();
+    assert!(factorization_violations(&spec, &sample, 3).is_empty());
 }
 
 #[test]
@@ -98,14 +104,14 @@ fn bank_footprints_satisfy_both_laws() {
         BankMethod::Balance(2),
         BankMethod::Deposit(2, 1),
     ];
-    check_disjoint_footprints_commute(&spec, &universe, &methods).unwrap();
+    assert!(disjoint_commute_violations(&spec, &universe, &methods).is_empty());
     let sample = vec![
         bank::ops::deposit(0, 0, 1, 2),
         bank::ops::withdraw(1, 0, 1, 1, true),
         bank::ops::deposit(2, 1, 2, 1),
         bank::ops::balance(3, 1, 2, 0),
     ];
-    check_allowed_factorization(&spec, &sample, 3).unwrap();
+    assert!(factorization_violations(&spec, &sample, 3).is_empty());
 }
 
 #[test]
@@ -121,6 +127,8 @@ fn product_footprints_satisfy_both_laws() {
         Either::R(CtrMethod::Add(1)),
         Either::R(CtrMethod::Get),
     ];
+    // Exercise the legacy wrappers here: thin shells over the shared
+    // violation enumerators, Err on the first hit.
     check_disjoint_footprints_commute(&spec, &universe, &methods).unwrap();
     let lift_set = |op: pushpull_spec::set::SetOp| {
         pushpull_core::op::Op::new(op.id, op.txn, Either::L(op.method), Either::L(op.ret))

@@ -101,6 +101,28 @@ pub trait TmSystem {
     /// machine.
     fn set_static_discharge(&self, _facts: Option<Arc<StaticDischarge>>) {}
 
+    /// Installs (or, with `None`, clears) a spec certificate on the
+    /// underlying machine — the machine-checked verdict that the spec's
+    /// footprint/mover declarations agree with the exhaustively derived
+    /// ground truth, which strict mode
+    /// ([`TmSystem::set_require_certificate`]) demands before arming any
+    /// unsafe fast path. The default is a no-op so wrapper systems
+    /// without a machine still implement the trait.
+    fn install_certificate(&self, _cert: Option<Arc<pushpull_core::SpecCertificate>>) {}
+
+    /// Turns strict certificate-gated arming on or off on the underlying
+    /// machine (see
+    /// [`Machine::set_require_certificate`](pushpull_core::Machine::set_require_certificate)).
+    /// The default is a no-op.
+    fn set_require_certificate(&self, _on: bool) {}
+
+    /// The certificate gate's diagnostics from the underlying machine
+    /// (refused arming requests, coarse demotions), or `None` for
+    /// systems without a machine.
+    fn arming_diagnostics(&self) -> Option<Vec<String>> {
+        None
+    }
+
     /// Reshards the underlying machine's shared log into `shards`
     /// footprint-addressed segments (see
     /// [`Machine::set_log_shards`](pushpull_core::Machine::set_log_shards)).
@@ -149,7 +171,8 @@ pub trait TmSystem {
 /// Forwards the machine-backed [`TmSystem`] hooks to `self.machine`.
 ///
 /// Every in-crate driver keeps a `machine: Machine<…>` field and forwards
-/// `declared_pattern` / `set_static_discharge` / `set_log_shards` /
+/// `declared_pattern` / `set_static_discharge` / `install_certificate` /
+/// `set_require_certificate` / `arming_diagnostics` / `set_log_shards` /
 /// `lock_stats` / `lock_stats_per_shard` / `seqlock_stats` /
 /// `arena_stats` / `transport_stats` identically; invoke this inside the
 /// driver's `impl TmSystem for …` block instead of spelling out the
@@ -165,6 +188,21 @@ macro_rules! forward_machine_hooks {
             facts: Option<std::sync::Arc<pushpull_core::StaticDischarge>>,
         ) {
             self.machine.set_static_discharge(facts);
+        }
+
+        fn install_certificate(
+            &self,
+            cert: Option<std::sync::Arc<pushpull_core::SpecCertificate>>,
+        ) {
+            self.machine.install_certificate(cert);
+        }
+
+        fn set_require_certificate(&self, on: bool) {
+            self.machine.set_require_certificate(on);
+        }
+
+        fn arming_diagnostics(&self) -> Option<Vec<String>> {
+            Some(self.machine.arming_diagnostics())
         }
 
         fn set_log_shards(&mut self, shards: usize) {

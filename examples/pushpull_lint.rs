@@ -1,24 +1,38 @@
-//! `pushpull-lint`: run the static criteria prover and the §6 linter
-//! over the structured workload corpus (`harness::patterns`) and print
+//! `pushpull-lint`: run the static criteria prover, the §6 linter, and
+//! the spec certifier over the structured workload corpus
+//! (`harness::patterns`) and the shipped specification suite, printing
 //! rustc-style reports.
 //!
 //! For each workload family the analyzer reports the mover matrix over
 //! the union method footprint, which of the machine's mover clauses are
 //! provable ahead of time (and would be elided at runtime), and any
 //! program-level findings (never-commits, unreachable methods, potential
-//! PULL cycles). A deliberately mis-declared driver at the end shows the
-//! `pattern-divergence` lint firing.
+//! PULL cycles). A deliberately mis-declared driver shows the
+//! `pattern-divergence` lint firing — asserted here as a self-test, not
+//! counted against the exit status.
+//!
+//! The certifier section re-derives each bounded spec's mover matrix and
+//! minimal footprint cover from its denotational semantics and
+//! cross-checks every hand-written declaration. Any error-severity
+//! finding on a shipped spec makes the process exit nonzero, so this
+//! example doubles as the CI certification gate.
 //!
 //! Run with: `cargo run --example pushpull_lint`
 
-use pushpull::analysis::{analyze, check_declaration, AnalysisPlan};
+use pushpull::analysis::{
+    analyze, analyze_certified, certify, check_declaration, render_report, AnalysisPlan, Severity,
+};
 use pushpull::core::error::Rule;
 use pushpull::core::RulePattern;
 use pushpull::harness::patterns;
 use pushpull::spec::bank::Bank;
+use pushpull::spec::composite::Product;
+use pushpull::spec::counter::Counter;
 use pushpull::spec::kvmap::KvMap;
 use pushpull::spec::queue::QueueSpec;
-use pushpull::spec::rwmem::RwMem;
+use pushpull::spec::register::CasRegister;
+use pushpull::spec::rwmem::{Loc, RwMem};
+use pushpull::spec::set::SetSpec;
 use pushpull::tm::full_rule_pattern;
 
 fn banner(title: &str, plan: &AnalysisPlan) {
@@ -30,6 +44,36 @@ fn banner(title: &str, plan: &AnalysisPlan) {
             facts.obligations().len()
         ),
         None => println!("→ nothing provable: every check stays dynamic\n"),
+    }
+}
+
+/// Certify one bounded spec, print its report, and return its
+/// error-severity finding count.
+fn certify_spec<S>(name: &str, spec: &S) -> usize
+where
+    S: pushpull::core::spec::SeqSpec,
+    S::Method: std::fmt::Display,
+{
+    println!("=== certify: {name} ===");
+    match certify(spec, name) {
+        Ok(cert) => {
+            print!("{}", render_report(&cert.diagnostics));
+            let c = &cert.certificate;
+            println!(
+                "→ {} method(s), {} footprint class(es), {} obligation(s) discharged, valid={}\n",
+                c.methods.len(),
+                c.components.iter().copied().max().map_or(0, |m| m + 1),
+                c.obligations.len(),
+                cert.is_valid()
+            );
+            cert.errors()
+        }
+        Err(d) => {
+            print!("{d}");
+            println!("→ spec is not finitely certifiable\n");
+            // Uncertifiable is a note, not an error: no finite universes.
+            usize::from(d.severity == Severity::Error)
+        }
     }
 }
 
@@ -67,8 +111,10 @@ fn main() {
         .collect();
     banner("disjoint-keys (kvmap)", &analyze(&KvMap::new(), &disjoint));
 
-    // Declaration lint: a driver claiming it never pushes, on a workload
-    // that must push, is an error; the real drivers declare all seven.
+    // Declaration lint self-test: a driver claiming it never pushes, on a
+    // workload that must push, is an error; the real drivers declare all
+    // seven rules. The bogus finding is expected — assert it fired and
+    // leave it out of the exit status.
     let spec = KvMap::new();
     let mut plan = analyze(&spec, &disjoint);
     check_declaration(
@@ -85,9 +131,56 @@ fn main() {
         "boosting",
         Some(full_rule_pattern()),
     );
-    println!("=== declaration check ===");
+    println!("=== declaration check (self-test) ===");
     for d in &plan.diagnostics {
         print!("{d}");
     }
     println!("{} error(s), {} warning(s)", plan.errors(), plan.warnings());
+    assert_eq!(
+        plan.errors(),
+        1,
+        "the deliberately bogus driver declaration must be caught"
+    );
+    println!("→ pattern-divergence fired on the bogus driver, as expected\n");
+
+    // ── Spec certifier over the whole shipped suite ──────────────────
+    // Every spec is certified against its own denotational semantics;
+    // error-severity findings gate the exit status (and hence CI).
+    let mut errors = 0;
+    errors += certify_spec("counter", &Counter::with_universe(2));
+    errors += certify_spec("register", &CasRegister::with_universe(2));
+    errors += certify_spec("queue", &QueueSpec::bounded(vec![1, 2], 2));
+    errors += certify_spec("bank", &Bank::bounded(vec![1, 2], 2));
+    errors += certify_spec("kvmap", &KvMap::bounded(vec![0, 1], vec![1]));
+    errors += certify_spec(
+        "rwmem",
+        &RwMem::bounded(vec![Loc(0), Loc(1)], vec![0, 1, 2]),
+    );
+    errors += certify_spec("set", &SetSpec::bounded(vec![1, 2]));
+    errors += certify_spec(
+        "product(set,counter)",
+        &Product::new(SetSpec::bounded(vec![1]), Counter::with_universe(2)),
+    );
+    // An unbounded spec is honestly uncertifiable (a note, not an error).
+    errors += certify_spec("counter (unbounded)", &Counter::new());
+
+    // ── Certificate-carrying plan ────────────────────────────────────
+    // `analyze_certified` folds the certifier into the workload plan;
+    // the certificate is what strict-mode arming will demand, and its
+    // footprint cover yields the recommended shard count.
+    let bounded = KvMap::bounded(vec![0, 1, 2, 3], vec![1]);
+    let cplan = analyze_certified(&bounded, &disjoint, "kvmap");
+    println!("=== certified plan: disjoint-keys (kvmap) ===");
+    print!("{cplan}");
+    println!(
+        "→ certificate attached: {}; recommended shard count: {}\n",
+        cplan.certificate.is_some(),
+        cplan.recommended_shards()
+    );
+
+    if errors > 0 {
+        eprintln!("pushpull-lint: {errors} error-severity certifier finding(s)");
+        std::process::exit(1);
+    }
+    println!("pushpull-lint: spec suite certified clean");
 }
