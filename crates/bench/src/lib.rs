@@ -14,6 +14,9 @@
 //! | `benches/contention.rs` | B7 — contention-management policy sweep |
 //! | `benches/static_elision.rs` | B8 — runtime payoff of the static criteria prover |
 //! | `benches/sharded.rs` | B9 — footprint-sharded vs single-lock shared log |
+//! | `benches/single_op.rs` | B10 — lock-free hot-path microbenchmarks |
+//! | `benches/transport.rs` | B11 — transport seam cost and faulted throughput |
+//! | `benches/server.rs` | B12 — service front-end: group commit, open/closed-loop load |
 //!
 //! Besides wall-clock measurements, every target prints its shape table
 //! (commits/aborts/ticks) to stderr, which EXPERIMENTS.md records.

@@ -391,6 +391,117 @@ impl<S: SeqSpec> ShardLog<S> {
     }
 }
 
+/// Counters of the per-shard group-commit path (see
+/// [`crate::group`]): how many batches were sealed, how many
+/// transactions rode them, how the batch sizes distribute, and how many
+/// shard-lock acquisitions the batching amortized away compared to the
+/// per-transaction path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Batches executed under a single shard-lock acquisition.
+    pub batches: u64,
+    /// Transactions committed through a batch.
+    pub batched_txns: u64,
+    /// Operations appended through a batch (each would have been its own
+    /// lock acquisition on the per-transaction path).
+    pub batched_ops: u64,
+    /// Lock acquisitions the batch path saved: for a batch of `n`
+    /// transactions and `k` appended operations the per-transaction path
+    /// pays `k` PUSH acquisitions plus `n` CMT acquisitions where the
+    /// batch pays one.
+    pub locks_saved: u64,
+    /// Batch-size histogram in power-of-two buckets: sizes 1, 2, 3–4,
+    /// 5–8, 9–16, 17–32, 33–64, 65+ committed transactions. Bucket
+    /// order is fixed ascending, so any dump of it is deterministic.
+    pub size_hist: [u64; 8],
+}
+
+impl GroupStats {
+    /// The histogram bucket a batch of `n` transactions lands in.
+    pub fn bucket(n: u64) -> usize {
+        match n {
+            0 | 1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            17..=32 => 5,
+            33..=64 => 6,
+            _ => 7,
+        }
+    }
+
+    /// Upper bound (inclusive) of histogram bucket `i`, for rendering.
+    pub fn bucket_label(i: usize) -> &'static str {
+        ["1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"][i.min(7)]
+    }
+}
+
+/// The atomic backing of [`GroupStats`], one field per counter so the
+/// batch path updates without any extra lock.
+#[derive(Debug)]
+pub(crate) struct GroupCounters {
+    batches: AtomicU64,
+    batched_txns: AtomicU64,
+    batched_ops: AtomicU64,
+    locks_saved: AtomicU64,
+    size_hist: [AtomicU64; 8],
+}
+
+impl GroupCounters {
+    pub(crate) fn new() -> Self {
+        Self {
+            batches: AtomicU64::new(0),
+            batched_txns: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+            locks_saved: AtomicU64::new(0),
+            size_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// A copy carrying over another set's current values (resharding and
+    /// deep clones preserve counters, like the transport tallies).
+    pub(crate) fn carried_over(&self) -> Self {
+        let copy = Self::new();
+        copy.batches
+            .store(self.batches.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.batched_txns
+            .store(self.batched_txns.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.batched_ops
+            .store(self.batched_ops.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.locks_saved
+            .store(self.locks_saved.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (dst, src) in copy.size_hist.iter().zip(&self.size_hist) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        copy
+    }
+
+    pub(crate) fn snapshot(&self) -> GroupStats {
+        GroupStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_txns: self.batched_txns.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            locks_saved: self.locks_saved.load(Ordering::Relaxed),
+            size_hist: std::array::from_fn(|i| self.size_hist[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Records one sealed batch of `txns` committed transactions and
+    /// `ops` appended operations under a single lock acquisition.
+    pub(crate) fn note_batch(&self, txns: u64, ops: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_txns.fetch_add(txns, Ordering::Relaxed);
+        self.batched_ops.fetch_add(ops, Ordering::Relaxed);
+        // Per-transaction cost of the same work: one acquisition per
+        // appended op (PUSH) plus one per transaction (CMT); the batch
+        // paid exactly one.
+        self.locks_saved
+            .fetch_add((ops + txns).saturating_sub(1), Ordering::Relaxed);
+        self.size_hist[GroupStats::bucket(txns)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Where a method's criteria evaluation must go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Route {
@@ -621,6 +732,8 @@ pub struct GlobalState<S: SeqSpec> {
     /// Human-readable records of every arming request the certificate
     /// gate refused or demoted (drained by [`Self::arming_diagnostics`]).
     arming_diags: Mutex<Vec<String>>,
+    /// Group-commit batch counters (see [`GroupStats`]).
+    group: GroupCounters,
 }
 
 impl<S: SeqSpec> GlobalState<S> {
@@ -671,6 +784,7 @@ impl<S: SeqSpec> GlobalState<S> {
             certificate: RwLock::new(None),
             require_certificate: AtomicBool::new(false),
             arming_diags: Mutex::new(Vec::new()),
+            group: GroupCounters::new(),
         };
         state.publish_all_shards();
         state
@@ -1210,6 +1324,20 @@ impl<S: SeqSpec> GlobalState<S> {
         op: Op<S::Method, S::Ret>,
     ) {
         let stamp = self.push_stamp.fetch_add(1, Ordering::Relaxed);
+        self.append_push_stamped(view, target, stamp, op);
+    }
+
+    /// [`Self::append_push`] with the commit-sequence stamp supplied by
+    /// the caller: the group-commit path reserves a contiguous stamp
+    /// block with [`Self::reserve_stamps`] (under the shard lock) and
+    /// hands the stamps out one append at a time.
+    pub(crate) fn append_push_stamped(
+        &self,
+        view: &mut LogView<'_, S>,
+        target: usize,
+        stamp: u64,
+        op: Op<S::Method, S::Ret>,
+    ) {
         let (_, sh) = view
             .shards
             .iter_mut()
@@ -1218,6 +1346,25 @@ impl<S: SeqSpec> GlobalState<S> {
         sh.push_uncommitted(stamp, op);
         sh.version += 1;
         self.publish_shard(target, sh);
+    }
+
+    /// Reserves a contiguous block of `n` commit-sequence stamps and
+    /// returns its base. Must be called while holding the destination
+    /// shard's lock: every stamp already in that shard is then strictly
+    /// below the reserved base, so appends from the block preserve the
+    /// shard's strictly-increasing stamp order.
+    pub(crate) fn reserve_stamps(&self, n: u64) -> u64 {
+        self.push_stamp.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// A snapshot of the group-commit batch counters.
+    pub fn group_stats(&self) -> GroupStats {
+        self.group.snapshot()
+    }
+
+    /// Records one sealed group-commit batch (see [`GroupCounters`]).
+    pub(crate) fn note_group_batch(&self, txns: u64, ops: u64) {
+        self.group.note_batch(txns, ops);
     }
 
     /// Removes the entry `id` from the held shard at `view index` (the
@@ -1496,6 +1643,7 @@ impl<S: SeqSpec> GlobalState<S> {
             certificate: RwLock::new(self.certificate()),
             require_certificate: AtomicBool::new(self.require_certificate.load(Ordering::SeqCst)),
             arming_diags: Mutex::new(self.arming_diagnostics()),
+            group: self.group.carried_over(),
         };
         state.publish_all_shards();
         state
@@ -1559,6 +1707,7 @@ impl<S: SeqSpec> GlobalState<S> {
             certificate: RwLock::new(self.certificate()),
             require_certificate: AtomicBool::new(self.require_certificate.load(Ordering::SeqCst)),
             arming_diags: Mutex::new(self.arming_diagnostics()),
+            group: self.group.carried_over(),
         };
         state.publish_all_shards();
         state

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use crate::audit::QUERY_SHARDS;
 use crate::error::{Clause, MachineError, MachineResult, Rule};
 use crate::faults::{BoundaryFault, FaultKind, HtmFault};
-use crate::global::{CommittedTxn, GlobalState, Route};
+use crate::global::{CommittedTxn, GlobalState, LogView, Route};
 use crate::lang::Code;
 use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
 use crate::machine::{CheckMode, StepOptions};
@@ -55,6 +55,41 @@ struct SnapVerdict {
     /// Criterion (ii) was statically discharged (no queries; flushes as
     /// `pass_static`).
     static_ii: bool,
+}
+
+/// Criterion-evaluation tallies recorded locally by the group-commit
+/// batch helpers, mirroring the audit columns at the same program
+/// points. [`crate::group::commit_group`] re-asserts the ledger-closure
+/// equation `discharged + violated + statically_discharged == reaches`
+/// over them at the end of every batch (debug builds) — local tallies,
+/// so the assertion cannot race other threads' audit traffic.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct BatchTally {
+    /// Criterion evaluations the batch path reached.
+    pub(crate) reached: u64,
+    /// ... that passed (audited `discharged`).
+    pub(crate) discharged: u64,
+    /// ... that failed (audited `violated`).
+    pub(crate) violated: u64,
+    /// ... elided by a static proof (audited `statically_discharged`).
+    pub(crate) statically_discharged: u64,
+}
+
+impl BatchTally {
+    /// Debug-build re-assertion of the audit ledger closure on the
+    /// batched append path (a no-op in release builds).
+    pub(crate) fn assert_closed(&self) {
+        debug_assert_eq!(
+            self.reached,
+            self.discharged + self.violated + self.statically_discharged,
+            "batched append broke the ledger closure: \
+             {} reaches vs {} discharged + {} violated + {} static",
+            self.reached,
+            self.discharged,
+            self.violated,
+            self.statically_discharged,
+        );
+    }
 }
 
 /// A thread `{c, σ, L}` plus its queue of future transactions, bound to
@@ -1449,6 +1484,485 @@ impl<S: SeqSpec> TxnHandle<S> {
     /// Ids of the current transaction's unpushed operations, in order.
     pub fn unpushed_ids(&self) -> Vec<OpId> {
         self.local.not_pushed_ops().iter().map(|o| o.id).collect()
+    }
+
+    /// Abandons the current transaction without retrying it: fully
+    /// rewinds (UNPULL/UNPUSH/UNAPP from the tail), records an `Abort`,
+    /// and advances to the next pending transaction if one is queued —
+    /// the service front-end's explicit `Abort` request (the client does
+    /// not want the work redone, unlike [`Self::abort_and_retry`]).
+    pub fn abandon(&mut self) -> MachineResult<()> {
+        if self.code.is_none() {
+            return Err(MachineError::ThreadFinished(self.tid));
+        }
+        self.rewind_all()?;
+        let old = self.txn;
+        self.aborts += 1;
+        self.stack = Vec::new();
+        let tid = self.tid;
+        self.record(Event::Abort {
+            thread: tid,
+            txn: old,
+        });
+        match self.pending.pop_front() {
+            Some(c) => {
+                let txn = self.global.fresh_txn();
+                self.code = Some(c.clone());
+                self.original = c;
+                self.txn = txn;
+                self.record(Event::Begin { thread: tid, txn });
+            }
+            None => {
+                self.code = None;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Group-commit batch path (see [`crate::group`]): the PUSH and CMT
+    // bodies above, re-entrant under a caller-held shard view so many
+    // transactions share one lock acquisition. Criteria, audit tallies
+    // and recorded events are identical to the per-transaction path.
+    // ------------------------------------------------------------------
+
+    /// The single shard every operation of the current transaction routes
+    /// to, if this transaction is eligible for the per-shard group-commit
+    /// path — `None` (caller falls back to the per-transaction path) when
+    /// the thread is finished, the local log is empty, any operation
+    /// routes coarse or to a different shard, coarse mode is on, or a
+    /// transport is installed (the seam serializes at the shard executor;
+    /// batching behind its back would bypass the envelope).
+    pub fn group_route(&self) -> Option<usize> {
+        if self.code.is_none() || self.local.is_empty() {
+            return None;
+        }
+        if self.global.coarse_mode() || self.global.transport().is_some() {
+            return None;
+        }
+        let mut target: Option<usize> = None;
+        for e in self.local.iter() {
+            match self.global.route(&e.op.method) {
+                Route::Coarse => return None,
+                Route::Single(i) => match target {
+                    None => target = Some(i),
+                    Some(t) if t == i => {}
+                    Some(_) => return None,
+                },
+            }
+        }
+        target
+    }
+
+    /// **PUSH** under a caller-held view (the group-commit batch path):
+    /// same fault gate, criteria, audit tallies, flag flip and trace
+    /// event as [`Self::push`], but the critical section is the caller's
+    /// one batch-wide lock acquisition and the commit-sequence stamp
+    /// comes from the batch's reserved contiguous block.
+    pub(crate) fn batch_push_in_view(
+        &mut self,
+        view: &mut LogView<'_, S>,
+        target: usize,
+        stamp: u64,
+        op_id: OpId,
+        tally: &mut BatchTally,
+    ) -> MachineResult<()> {
+        self.fault_gate(Rule::Push)?;
+        let checked = self.mode() != CheckMode::Unchecked;
+        let shard = self.shard();
+        let (op, pos) = {
+            let pos = self
+                .local
+                .position(op_id)
+                .ok_or(MachineError::NoSuchOp(op_id))?;
+            let entry = &self.local.entries()[pos];
+            match entry.flag {
+                LocalFlag::NotPushed { .. } => {}
+                LocalFlag::Pushed { .. } => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "npshd",
+                        found: "pshd",
+                    })
+                }
+                LocalFlag::Pulled => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "npshd",
+                        found: "pld",
+                    })
+                }
+            }
+            (entry.op.clone(), pos)
+        };
+        if checked {
+            // Criterion (i): op ◁ op' for every earlier npshd own op'.
+            tally.reached += 1;
+            if self.global.statically_discharged(Rule::Push, Clause::I) {
+                #[cfg(debug_assertions)]
+                for e in &self.local.entries()[..pos] {
+                    assert!(
+                        !e.flag.is_not_pushed() || self.global.spec().mover(&op, &e.op),
+                        "static discharge of PUSH (i) contradicted dynamically: {} vs {}",
+                        op.id,
+                        e.op.id
+                    );
+                }
+                self.global.audit.pass_static(Rule::Push, Clause::I);
+                tally.statically_discharged += 1;
+            } else {
+                for e in &self.local.entries()[..pos] {
+                    if e.flag.is_not_pushed() && !self.global.mover_q(shard, &op, &e.op) {
+                        self.global.audit.fail(Rule::Push, Clause::I);
+                        tally.violated += 1;
+                        return Err(MachineError::criterion(
+                            Rule::Push,
+                            Clause::I,
+                            format!(
+                                "{} does not move across earlier unpushed {}",
+                                op.id, e.op.id
+                            ),
+                        ));
+                    }
+                }
+                self.global.audit.pass(Rule::Push, Clause::I);
+                tally.discharged += 1;
+            }
+            // Criteria (ii)/(iii) under the held view — the exact locked
+            // evaluation of the per-transaction path. The tally deltas
+            // are inferred from the outcome: (ii) is reached always and
+            // recorded pass/static/fail; (iii) is reached only when (ii)
+            // held.
+            let ii_static = self.global.statically_discharged(Rule::Push, Clause::Ii);
+            match crate::transport::locked_push_criteria(&self.global, self.txn, shard, view, &op) {
+                Ok(()) => {
+                    tally.reached += 2;
+                    if ii_static {
+                        tally.statically_discharged += 1;
+                    } else {
+                        tally.discharged += 1;
+                    }
+                    tally.discharged += 1;
+                }
+                Err(e) => {
+                    if let MachineError::Criterion(v) = &e {
+                        match v.clause {
+                            Clause::Ii => {
+                                tally.reached += 1;
+                                tally.violated += 1;
+                            }
+                            Clause::Iii => {
+                                tally.reached += 2;
+                                if ii_static {
+                                    tally.statically_discharged += 1;
+                                } else {
+                                    tally.discharged += 1;
+                                }
+                                tally.violated += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.global
+            .append_push_stamped(view, target, stamp, op.clone());
+        let entry = self.local.entry_mut(op_id).expect("position found above");
+        let (saved_code, saved_stack) = match &entry.flag {
+            LocalFlag::NotPushed {
+                saved_code,
+                saved_stack,
+            } => (saved_code.clone(), saved_stack.clone()),
+            _ => unreachable!("flag checked above"),
+        };
+        entry.flag = LocalFlag::Pushed {
+            saved_code,
+            saved_stack,
+        };
+        let tid = self.tid;
+        self.record(Event::Push {
+            thread: tid,
+            op: op_id,
+            method: op.method,
+        });
+        Ok(())
+    }
+
+    /// **CMT** under a caller-held view (the group-commit batch path):
+    /// same criteria, audit tallies, committed record, cache advance and
+    /// trace events as [`Self::commit`], but criterion (iii) and the
+    /// `cmt` effect run inside the caller's one batch-wide lock
+    /// acquisition. The caller must hold every shard this transaction's
+    /// pushed/pulled operations route to (the group-eligibility check:
+    /// [`Self::group_route`]).
+    pub(crate) fn batch_commit_in_view(
+        &mut self,
+        view: &mut LogView<'_, S>,
+        tally: &mut BatchTally,
+    ) -> MachineResult<TxnId> {
+        self.fault_gate(Rule::Cmt)?;
+        let checked = self.mode() != CheckMode::Unchecked;
+        let txn = self.txn;
+        if checked {
+            // Criterion (i): fin(c).
+            tally.reached += 1;
+            if !self.active_code()?.fin() {
+                self.global.audit.fail(Rule::Cmt, Clause::I);
+                tally.violated += 1;
+                return Err(MachineError::criterion(
+                    Rule::Cmt,
+                    Clause::I,
+                    "no method-free path to skip remains".to_string(),
+                ));
+            }
+            self.global.audit.pass(Rule::Cmt, Clause::I);
+            tally.discharged += 1;
+            // Criterion (ii): all own ops pushed.
+            tally.reached += 1;
+            if !self.local.fully_pushed() {
+                self.global.audit.fail(Rule::Cmt, Clause::Ii);
+                tally.violated += 1;
+                return Err(MachineError::criterion(
+                    Rule::Cmt,
+                    Clause::Ii,
+                    "local log contains npshd operations".to_string(),
+                ));
+            }
+            self.global.audit.pass(Rule::Cmt, Clause::Ii);
+            tally.discharged += 1;
+        }
+        let (own_ops, pulled_from) = {
+            let pulled = self
+                .local
+                .iter()
+                .filter(|e| e.flag.is_pulled())
+                .map(|e| (e.op.id, e.op.txn))
+                .collect();
+            (self.local.own_ops(), pulled)
+        };
+        let flipped = {
+            if checked {
+                // Criterion (iii): every pulled op is committed.
+                tally.reached += 1;
+                for pulled in self.local.pulled_ops() {
+                    match view.entry(pulled.id) {
+                        Some(e) if e.flag == GlobalFlag::Committed => {}
+                        Some(_) => {
+                            self.global.audit.fail(Rule::Cmt, Clause::Iii);
+                            tally.violated += 1;
+                            return Err(MachineError::criterion(
+                                Rule::Cmt,
+                                Clause::Iii,
+                                format!("pulled {} is still uncommitted", pulled.id),
+                            ));
+                        }
+                        None => {
+                            self.global.audit.fail(Rule::Cmt, Clause::Iii);
+                            tally.violated += 1;
+                            return Err(MachineError::criterion(
+                                Rule::Cmt,
+                                Clause::Iii,
+                                format!("pulled {} vanished from the global log", pulled.id),
+                            ));
+                        }
+                    }
+                }
+                self.global.audit.pass(Rule::Cmt, Clause::Iii);
+                tally.discharged += 1;
+            }
+            let flipped = view.commit_local(&self.local);
+            self.global.push_committed(CommittedTxn {
+                txn,
+                thread: self.tid,
+                code: self.original.clone(),
+                ops: own_ops,
+                pulled_from,
+            });
+            self.global.advance_caches(view);
+            flipped
+        };
+        let tid = self.tid;
+        self.record(Event::Commit {
+            thread: tid,
+            txn,
+            ops: flipped,
+        });
+        self.commits += 1;
+        self.local = LocalLog::new();
+        self.stack = Vec::new();
+        match self.pending.pop_front() {
+            Some(c) => {
+                let next_txn = self.global.fresh_txn();
+                self.code = Some(c.clone());
+                self.original = c;
+                self.txn = next_txn;
+                self.record(Event::Begin {
+                    thread: tid,
+                    txn: next_txn,
+                });
+            }
+            None => {
+                self.code = None;
+            }
+        }
+        Ok(txn)
+    }
+
+    /// **UNPUSH** under a caller-held view (the group-commit failure
+    /// rollback): same criteria, audit tallies, flag restore and trace
+    /// event as [`Self::unpush`], but the critical section is the
+    /// caller's batch-wide lock acquisition.
+    pub(crate) fn batch_unpush_in_view(
+        &mut self,
+        view: &mut LogView<'_, S>,
+        op_id: OpId,
+        tally: &mut BatchTally,
+    ) -> MachineResult<()> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        let check_gray = self.mode() == CheckMode::Checked;
+        let shard = self.shard();
+        {
+            let entry = self
+                .local
+                .entry(op_id)
+                .ok_or(MachineError::NoSuchOp(op_id))?;
+            match entry.flag {
+                LocalFlag::Pushed { .. } => {}
+                LocalFlag::NotPushed { .. } => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "pshd",
+                        found: "npshd",
+                    })
+                }
+                LocalFlag::Pulled => {
+                    return Err(MachineError::WrongFlag {
+                        op: op_id,
+                        expected: "pshd",
+                        found: "pld",
+                    })
+                }
+            }
+        }
+        let gray_static = check_gray && self.global.statically_discharged(Rule::UnPush, Clause::I);
+        let op = match crate::transport::locked_unpush_in_view(
+            &self.global,
+            shard,
+            view,
+            op_id,
+            checked,
+            check_gray,
+        ) {
+            Ok(op) => {
+                if checked {
+                    // Gray criterion (i) when graying, plus criterion (ii).
+                    tally.reached += if check_gray { 2 } else { 1 };
+                    if check_gray {
+                        if gray_static {
+                            tally.statically_discharged += 1;
+                        } else {
+                            tally.discharged += 1;
+                        }
+                    }
+                    tally.discharged += 1;
+                }
+                op
+            }
+            Err(e) => {
+                if checked {
+                    if let MachineError::Criterion(v) = &e {
+                        match v.clause {
+                            Clause::I => {
+                                tally.reached += 1;
+                                tally.violated += 1;
+                            }
+                            Clause::Ii => {
+                                tally.reached += if check_gray { 2 } else { 1 };
+                                if check_gray {
+                                    if gray_static {
+                                        tally.statically_discharged += 1;
+                                    } else {
+                                        tally.discharged += 1;
+                                    }
+                                }
+                                tally.violated += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                return Err(e);
+            }
+        };
+        let entry = self.local.entry_mut(op_id).expect("checked above");
+        let (saved_code, saved_stack) = match &entry.flag {
+            LocalFlag::Pushed {
+                saved_code,
+                saved_stack,
+            } => (saved_code.clone(), saved_stack.clone()),
+            _ => unreachable!("flag checked above"),
+        };
+        entry.flag = LocalFlag::NotPushed {
+            saved_code,
+            saved_stack,
+        };
+        let tid = self.tid;
+        self.record(Event::UnPush {
+            thread: tid,
+            op: op_id,
+            method: op.method,
+        });
+        Ok(())
+    }
+
+    /// The full abort-and-restart of [`Self::abort_and_retry`], executed
+    /// inside a caller-held view: the rewind walks the local log from the
+    /// tail exactly as [`Self::rewind_all`] (UNPULL / in-view UNPUSH then
+    /// UNAPP / UNAPP), so a transaction that fails mid-batch leaves `G` —
+    /// and the recorded trace — exactly as the per-transaction path's
+    /// immediate abort would, before the next batched transaction's
+    /// criteria run.
+    pub(crate) fn batch_abort_in_view(
+        &mut self,
+        view: &mut LogView<'_, S>,
+        tally: &mut BatchTally,
+    ) -> MachineResult<TxnId> {
+        if self.code.is_none() {
+            return Err(MachineError::ThreadFinished(self.tid));
+        }
+        loop {
+            let last = match self.local.entries().last() {
+                None => break,
+                Some(e) => (e.op.id, e.flag.clone()),
+            };
+            match last.1 {
+                LocalFlag::Pulled => {
+                    self.unpull(last.0)?;
+                }
+                LocalFlag::Pushed { .. } => {
+                    self.batch_unpush_in_view(view, last.0, tally)?;
+                    self.unapp()?;
+                }
+                LocalFlag::NotPushed { .. } => {
+                    self.unapp()?;
+                }
+            }
+        }
+        let old = self.txn;
+        let txn = self.global.fresh_txn();
+        self.aborts += 1;
+        self.code = Some(self.original.clone());
+        self.stack = Vec::new();
+        self.txn = txn;
+        let tid = self.tid;
+        self.record(Event::Abort {
+            thread: tid,
+            txn: old,
+        });
+        self.record(Event::Begin { thread: tid, txn });
+        Ok(txn)
     }
 
     /// Pulls every *committed* global operation not yet in the local log,

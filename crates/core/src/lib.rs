@@ -70,6 +70,7 @@ pub mod certificate;
 pub mod error;
 pub mod faults;
 pub mod global;
+pub mod group;
 pub mod handle;
 pub mod invariants;
 pub mod lang;
@@ -93,7 +94,8 @@ pub use arena::{ArenaRef, SlabArena};
 pub use certificate::SpecCertificate;
 pub use error::{Clause, CriterionViolation, MachineError, MachineResult, Rule};
 pub use faults::{BoundaryFault, FaultHook, FaultKind, HtmFault, TransportFault};
-pub use global::GlobalState;
+pub use global::{GlobalState, GroupStats};
+pub use group::{commit_group, GroupOutcome, GroupTxnResult};
 pub use handle::TxnHandle;
 pub use lang::Code;
 pub use log::{GlobalFlag, GlobalLog, LocalFlag, LocalLog};

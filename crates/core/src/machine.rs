@@ -214,6 +214,42 @@ impl<S: SeqSpec> Machine<S> {
         self.global.transport_stats()
     }
 
+    /// A snapshot of the group-commit batch counters (batches sealed,
+    /// transactions/operations batched, lock acquisitions saved, batch
+    /// size histogram). All-zero until [`Self::commit_group`] runs.
+    pub fn group_stats(&self) -> crate::global::GroupStats {
+        self.global.group_stats()
+    }
+
+    /// Commits the commit-ready transactions of `tids` through the
+    /// per-shard group-commit path (see [`crate::group::commit_group`]):
+    /// one shard-lock acquisition and one contiguous stamp range per
+    /// shard batch, with ineligible threads reported back for the
+    /// per-transaction fallback. Duplicate or out-of-range tids error.
+    pub fn commit_group(&mut self, tids: &[ThreadId]) -> MachineResult<crate::group::GroupOutcome> {
+        let mut want = vec![false; self.handles.len()];
+        for t in tids {
+            if t.0 >= self.handles.len() {
+                return Err(MachineError::NoSuchThread(*t));
+            }
+            if std::mem::replace(&mut want[t.0], true) {
+                return Err(MachineError::NoSuchThread(*t));
+            }
+        }
+        // Disjoint `&mut` handles, in the caller's tid order.
+        let mut by_tid: Vec<Option<&mut TxnHandle<S>>> = self
+            .handles
+            .iter_mut()
+            .zip(&want)
+            .map(|(h, w)| if *w { Some(h) } else { None })
+            .collect();
+        let mut selected: Vec<&mut TxnHandle<S>> = Vec::with_capacity(tids.len());
+        for t in tids {
+            selected.push(by_tid[t.0].take().expect("validated above"));
+        }
+        Ok(crate::group::commit_group(&mut selected))
+    }
+
     /// Is the incremental (committed-prefix cached) `allowed` evaluation
     /// enabled? See [`GlobalState::set_incremental`].
     pub fn incremental(&self) -> bool {

@@ -17,12 +17,15 @@
 //! * [`parallel`] — the OS-thread runner, with panic propagation, a
 //!   tick-budget watchdog, and optional installation of a static
 //!   [`AnalysisPlan`](pushpull_analysis::AnalysisPlan) so proven mover
-//!   clauses are elided before any worker spawns.
+//!   clauses are elided before any worker spawns;
+//! * [`loadgen`] — open-/closed-loop arrival models and deterministic
+//!   latency-percentile recording for the service front-end bench.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod faults;
+pub mod loadgen;
 pub mod model_check;
 pub mod parallel;
 pub mod patterns;
@@ -33,6 +36,7 @@ pub mod testutil;
 pub mod workload;
 
 pub use faults::{FaultPlan, FaultSpec};
+pub use loadgen::{Arrival, LatencyHistogram};
 pub use model_check::{explore, ExploreLimits, ExploreReport};
 pub use parallel::{
     run_parallel, run_parallel_sharded, ParallelError, ParallelOutcome, ThreadDump, WatchdogReport,

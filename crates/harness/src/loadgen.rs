@@ -1,0 +1,189 @@
+//! Open- and closed-loop load generation for the service front-end —
+//! the arrival models and latency-percentile recording behind B12.
+//!
+//! * **Closed loop**: a fixed population of in-flight sessions; a
+//!   session that finishes is immediately replaced. Throughput is
+//!   governed by service capacity (the classic saturation measurement).
+//! * **Open loop**: sessions arrive on a fixed tick period regardless of
+//!   how many are still in flight, so queueing delay is visible in the
+//!   latency distribution instead of being absorbed by admission
+//!   back-pressure.
+//!
+//! Latencies are recorded in *ticks* of the deterministic drive (or
+//! nanoseconds, when the caller times wall-clock) and summarized by
+//! nearest-rank percentiles over the sorted sample set — fully
+//! deterministic for a deterministic drive, no interpolation.
+
+/// When new sessions are admitted relative to completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Closed loop: keep exactly `concurrency` sessions in flight until
+    /// the workload is exhausted.
+    Closed {
+        /// Target in-flight session count.
+        concurrency: usize,
+    },
+    /// Open loop: admit one session every `period` ticks (period 0
+    /// admits everything immediately), regardless of completions.
+    Open {
+        /// Ticks between arrivals.
+        period: u64,
+    },
+}
+
+impl Arrival {
+    /// How many sessions may be admitted at tick `now`, given `started`
+    /// already-admitted sessions and `in_flight` currently active ones.
+    pub fn admittable(&self, now: u64, started: usize, in_flight: usize) -> usize {
+        match *self {
+            Arrival::Closed { concurrency } => concurrency.saturating_sub(in_flight),
+            Arrival::Open { period } => {
+                // `checked_div` is None for a period of 0: everything
+                // is due at once.
+                let due = now
+                    .checked_div(period)
+                    .map_or(usize::MAX, |q| q as usize + 1);
+                due.saturating_sub(started)
+            }
+        }
+    }
+}
+
+/// A latency sample set with nearest-rank percentile queries.
+///
+/// Samples are whatever unit the caller records (deterministic drive
+/// ticks, or nanoseconds for wall-clock benches). Percentiles sort a
+/// copy on demand; `record` itself is O(1).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed-session latency.
+    pub fn record(&mut self, latency: u64) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Is the sample set empty?
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The nearest-rank percentile (`p` in 0..=100) of the recorded
+    /// samples: the smallest sample such that at least `p`% of samples
+    /// are ≤ it. Returns 0 on an empty set.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        // Nearest rank: ceil(p/100 * n), clamped to [1, n].
+        let rank = (p * n).div_ceil(100).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Maximum recorded sample (0 on empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Arithmetic mean (0.0 on empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+}
+
+impl std::fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.len(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p90(), 90);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.percentile(100), 100);
+        assert_eq!(h.percentile(1), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_small_and_empty() {
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.p99(), 0);
+        assert!(empty.is_empty());
+        let mut one = LatencyHistogram::new();
+        one.record(7);
+        assert_eq!(one.p50(), 7);
+        assert_eq!(one.p99(), 7);
+    }
+
+    #[test]
+    fn closed_loop_admission_tops_up() {
+        let a = Arrival::Closed { concurrency: 4 };
+        assert_eq!(a.admittable(0, 0, 0), 4);
+        assert_eq!(a.admittable(10, 4, 4), 0);
+        assert_eq!(a.admittable(10, 7, 1), 3);
+    }
+
+    #[test]
+    fn open_loop_admission_follows_the_clock() {
+        let a = Arrival::Open { period: 10 };
+        // One due immediately, another every 10 ticks, regardless of
+        // how many are still in flight.
+        assert_eq!(a.admittable(0, 0, 99), 1);
+        assert_eq!(a.admittable(9, 1, 99), 0);
+        assert_eq!(a.admittable(10, 1, 99), 1);
+        assert_eq!(a.admittable(35, 1, 0), 3);
+    }
+}

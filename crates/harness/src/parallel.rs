@@ -117,6 +117,10 @@ pub struct WatchdogReport {
     /// zero means the retry envelope is absorbing a fault without ever
     /// reaching the coarse fallback.
     pub transport_stats: Option<pushpull_core::TransportStats>,
+    /// Group-commit batch counters, when the system runs the service
+    /// commit seam — a stall with `batches` flat but commit-ready work
+    /// queued means the batching stage itself is wedged.
+    pub group_stats: Option<pushpull_core::GroupStats>,
 }
 
 impl std::fmt::Display for WatchdogReport {
@@ -156,6 +160,28 @@ impl std::fmt::Display for WatchdogReport {
                 "  transport: {} requests, {} retries, {} timeouts, {} degradations, {} recoveries",
                 t.requests, t.retries, t.timeouts, t.degradations, t.recoveries
             )?;
+        }
+        if let Some(g) = self.group_stats {
+            if g.batches > 0 {
+                writeln!(
+                    f,
+                    "  group commit: {} batches, {} txns, {} ops, {} locks saved",
+                    g.batches, g.batched_txns, g.batched_ops, g.locks_saved
+                )?;
+                // Fixed ascending bucket order: deterministic output.
+                write!(f, "  batch sizes:")?;
+                for (i, count) in g.size_hist.iter().enumerate() {
+                    if *count > 0 {
+                        write!(
+                            f,
+                            " {}={}",
+                            pushpull_core::GroupStats::bucket_label(i),
+                            count
+                        )?;
+                    }
+                }
+                writeln!(f)?;
+            }
         }
         for t in &self.threads {
             writeln!(
@@ -331,6 +357,7 @@ where
         seqlock_stats: sys.seqlock_stats(),
         arena_stats: sys.arena_stats(),
         transport_stats: sys.transport_stats(),
+        group_stats: sys.group_stats(),
     });
     Ok((
         sys,

@@ -95,6 +95,17 @@ pub struct SweepResult {
     pub transport_degradations: Aggregate,
     /// Coarse → fast-path recovery transitions per run.
     pub transport_recoveries: Aggregate,
+    /// Logical sessions multiplexed by the service front-end per run.
+    pub sessions: Aggregate,
+    /// Group-commit batches sealed per run.
+    pub group_batches: Aggregate,
+    /// Transactions committed through group-commit batches per run.
+    pub group_txns: Aggregate,
+    /// Shard-lock acquisitions amortized away by batching per run.
+    pub group_locks_saved: Aggregate,
+    /// Commit-ready transactions that fell back to the per-transaction
+    /// path per run.
+    pub group_fallbacks: Aggregate,
 }
 
 impl std::fmt::Display for SweepResult {
@@ -129,6 +140,19 @@ impl std::fmt::Display for SweepResult {
                 self.transport_recoveries,
             )?;
         }
+        // Likewise, only service-front-end runs (sessions multiplexed or
+        // batches sealed) print the group-commit tail.
+        if self.group_batches.max > 0.0 || self.sessions.max > 0.0 {
+            write!(
+                f,
+                " sessions={} batches={} (txns={} saved={} fb={})",
+                self.sessions,
+                self.group_batches,
+                self.group_txns,
+                self.group_locks_saved,
+                self.group_fallbacks,
+            )?;
+        }
         Ok(())
     }
 }
@@ -157,6 +181,11 @@ pub fn sweep(
     let mut t_timeouts = Vec::new();
     let mut t_degradations = Vec::new();
     let mut t_recoveries = Vec::new();
+    let mut sessions = Vec::new();
+    let mut g_batches = Vec::new();
+    let mut g_txns = Vec::new();
+    let mut g_saved = Vec::new();
+    let mut g_fallbacks = Vec::new();
     for seed in seeds {
         let (stats, t) = make_and_run(seed);
         commits.push(stats.commits as f64);
@@ -176,6 +205,11 @@ pub fn sweep(
         t_timeouts.push(stats.transport_timeouts as f64);
         t_degradations.push(stats.transport_degradations as f64);
         t_recoveries.push(stats.transport_recoveries as f64);
+        sessions.push(stats.sessions as f64);
+        g_batches.push(stats.group_batches as f64);
+        g_txns.push(stats.group_txns as f64);
+        g_saved.push(stats.group_locks_saved as f64);
+        g_fallbacks.push(stats.group_fallbacks as f64);
     }
     SweepResult {
         label: label.into(),
@@ -196,6 +230,11 @@ pub fn sweep(
         transport_timeouts: Aggregate::of(&t_timeouts),
         transport_degradations: Aggregate::of(&t_degradations),
         transport_recoveries: Aggregate::of(&t_recoveries),
+        sessions: Aggregate::of(&sessions),
+        group_batches: Aggregate::of(&g_batches),
+        group_txns: Aggregate::of(&g_txns),
+        group_locks_saved: Aggregate::of(&g_saved),
+        group_fallbacks: Aggregate::of(&g_fallbacks),
     }
 }
 

@@ -166,6 +166,33 @@ pub trait TmSystem {
     fn transport_stats(&self) -> Option<pushpull_core::TransportStats> {
         None
     }
+
+    /// Group-commit batch counters from the underlying machine (batches
+    /// sealed, transactions/operations batched, lock acquisitions saved,
+    /// batch size histogram), or `None` for systems without a machine.
+    /// All-zero until the service commit seam batches something.
+    fn group_stats(&self) -> Option<pushpull_core::GroupStats> {
+        None
+    }
+
+    /// The service-callable commit seam: commits the commit-ready
+    /// transactions of `tids` through the per-shard group-commit path
+    /// (one shard-lock acquisition and one contiguous stamp range per
+    /// batch), reporting ineligible threads back for the caller's
+    /// per-transaction fallback. `None` for systems without a machine —
+    /// the service front-end in `pushpull-server` requires a driver that
+    /// forwards this (all ten in-crate drivers do, via
+    /// `forward_machine_hooks!`).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError`] on duplicate or out-of-range `tids`.
+    fn service_commit_group(
+        &mut self,
+        _tids: &[ThreadId],
+    ) -> Option<Result<pushpull_core::GroupOutcome, MachineError>> {
+        None
+    }
 }
 
 /// Forwards the machine-backed [`TmSystem`] hooks to `self.machine`.
@@ -177,6 +204,7 @@ pub trait TmSystem {
 /// `arena_stats` / `transport_stats` identically; invoke this inside the
 /// driver's `impl TmSystem for …` block instead of spelling out the
 /// methods.
+#[macro_export]
 macro_rules! forward_machine_hooks {
     () => {
         fn declared_pattern(&self) -> Option<pushpull_core::RulePattern> {
@@ -228,9 +256,24 @@ macro_rules! forward_machine_hooks {
         fn transport_stats(&self) -> Option<pushpull_core::TransportStats> {
             Some(self.machine.transport_stats())
         }
+
+        fn group_stats(&self) -> Option<pushpull_core::GroupStats> {
+            Some(self.machine.group_stats())
+        }
+
+        fn service_commit_group(
+            &mut self,
+            tids: &[pushpull_core::ThreadId],
+        ) -> Option<Result<pushpull_core::GroupOutcome, pushpull_core::error::MachineError>> {
+            Some(self.machine.commit_group(tids))
+        }
     };
 }
-pub(crate) use forward_machine_hooks;
+// `#[macro_export]` hoists the macro to the crate root
+// (`pushpull_tm::forward_machine_hooks`); this alias keeps the
+// historical `crate::driver::forward_machine_hooks!` path working for
+// the in-crate drivers.
+pub use forward_machine_hooks;
 
 /// A worker closure for one model thread: each call performs one tick on
 /// that thread, touching only its own [`TxnHandle`] and per-thread driver
@@ -308,6 +351,24 @@ pub struct SystemStats {
     /// Shards recovered to the fast path by a successful probe
     /// (degraded→fast transitions).
     pub transport_recoveries: u64,
+    /// Logical sessions the service front-end multiplexed (zero outside
+    /// `pushpull-server` runs).
+    pub sessions: u64,
+    /// Group-commit batches sealed (each is one shard-lock acquisition
+    /// covering many transactions' PUSH/CMT critical sections).
+    pub group_batches: u64,
+    /// Transactions committed through a group-commit batch.
+    pub group_txns: u64,
+    /// Shard-lock acquisitions the batches amortized away versus the
+    /// per-transaction path.
+    pub group_locks_saved: u64,
+    /// Commit-ready transactions that fell back to the per-transaction
+    /// path (mixed shards, coarse mode, or an installed transport).
+    pub group_fallbacks: u64,
+    /// Batch-size histogram in fixed ascending power-of-two buckets
+    /// (1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+) — deterministic to
+    /// report by construction.
+    pub group_hist: [u64; 8],
 }
 
 impl SystemStats {
@@ -345,6 +406,12 @@ impl std::ops::Add for SystemStats {
             transport_timeouts: self.transport_timeouts + rhs.transport_timeouts,
             transport_degradations: self.transport_degradations + rhs.transport_degradations,
             transport_recoveries: self.transport_recoveries + rhs.transport_recoveries,
+            sessions: self.sessions + rhs.sessions,
+            group_batches: self.group_batches + rhs.group_batches,
+            group_txns: self.group_txns + rhs.group_txns,
+            group_locks_saved: self.group_locks_saved + rhs.group_locks_saved,
+            group_fallbacks: self.group_fallbacks + rhs.group_fallbacks,
+            group_hist: std::array::from_fn(|i| self.group_hist[i] + rhs.group_hist[i]),
         }
     }
 }

@@ -12,6 +12,8 @@
 //! * [`analysis`] — static criteria prover and program/pattern linter
 //!   (`pushpull-analysis`)
 //! * [`harness`] — schedulers, model checker, workloads (`pushpull-harness`)
+//! * [`server`] — the transactional service front-end: session
+//!   multiplexing and per-shard group commit (`pushpull-server`)
 //!
 //! ## Quick start
 //!
@@ -38,5 +40,6 @@ pub use pushpull_analysis as analysis;
 pub use pushpull_core as core;
 pub use pushpull_ds as ds;
 pub use pushpull_harness as harness;
+pub use pushpull_server as server;
 pub use pushpull_spec as spec;
 pub use pushpull_tm as tm;
