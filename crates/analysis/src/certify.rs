@@ -69,6 +69,20 @@ pub const COARSE_FORCING: &str = "coarse-forcing";
 pub const NEEDLESSLY_COARSE: &str = "needlessly-coarse";
 /// The spec exposes no finite state/method universe to certify against.
 pub const UNCERTIFIABLE: &str = "uncertifiable-spec";
+/// An `inverse` verdict the exhaustive law check refutes: an
+/// `Inverse(m, r)` whose round-trip `⟦ℓ · op · op⁻¹⟧ = ⟦ℓ⟧` fails, or a
+/// `ReadOnly` operation that changes state.
+pub const UNSOUND_INVERSE: &str = "unsound-inverse";
+/// `has_inverses()` claims every operation invertible, but some
+/// observable operation is `NotInvertible`.
+pub const UNSOUND_INVERSE_CLAIM: &str = "unsound-inverse-claim";
+/// A program opens an `otx` scope over a method with `NotInvertible`
+/// operations: the open commit is guaranteed to be refused at runtime.
+pub const OPEN_NESTING_REFUSED: &str = "open-nesting-refused";
+/// The spec has non-invertible operations (and does not claim
+/// otherwise), so open-nested scopes cannot commit methods built on
+/// them.
+pub const OPEN_NESTING_UNAVAILABLE: &str = "open-nesting-unavailable";
 
 /// The four machine obligations a fully-proven matrix discharges
 /// spec-wide (the same set `discharge::prove` targets per-workload).
@@ -151,6 +165,7 @@ where
 
     check_mover_matrix::<S>(&inf, &declared, programs, &mut diags);
     check_footprints(spec, &states, &inf, programs, &mut diags);
+    let inverse_law = check_inverses(spec, &states, &inf, programs, &mut diags);
 
     diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
     let errors = count(&diags, Severity::Error);
@@ -191,6 +206,7 @@ where
         footprints,
         components: inf.components.clone(),
         obligations,
+        inverse_law,
         shard_keys,
         errors,
         warnings,
@@ -289,6 +305,182 @@ fn check_mover_matrix<S: SeqSpec>(
                 diags.push(at_method(d, programs, m1));
             }
         }
+    }
+}
+
+/// Certifies the inverse oracle against the round-trip law, exhaustively
+/// over every observable operation of the finite alphabet and every
+/// universe state:
+///
+/// * `Inverse(m, r)` must satisfy `⟦ℓ · op · op⁻¹⟧ = ⟦ℓ⟧` wherever
+///   `ℓ · op` is allowed;
+/// * `ReadOnly` must satisfy `⟦ℓ · op⟧ = ⟦ℓ⟧` (state identity);
+/// * `NotInvertible` is always sound — unless
+///   [`has_inverses`](SeqSpec::has_inverses) claims otherwise, which is
+///   an **error** ([`UNSOUND_INVERSE_CLAIM`]).
+///
+/// Returns the certificate's verdict: `Some(true)` when the spec claims
+/// invertibility and the law held everywhere (strict mode may arm open
+/// nesting on it), `Some(false)` when the claim was refuted, `None`
+/// when the spec makes no claim — then any `otx` in `programs` whose
+/// body reaches a non-invertible method draws an
+/// [`OPEN_NESTING_REFUSED`] **warning** (the runtime commit *will*
+/// fail), and the non-invertible alphabet is surfaced as a **note**
+/// ([`OPEN_NESTING_UNAVAILABLE`]).
+fn check_inverses<S: SeqSpec>(
+    spec: &S,
+    states: &[S::State],
+    inf: &InferredSpec<S::Method>,
+    programs: &[Vec<Code<S::Method>>],
+    diags: &mut Vec<Diagnostic>,
+) -> Option<bool>
+where
+    S::Method: fmt::Display,
+{
+    use pushpull_core::spec::OpInverse;
+    use std::collections::HashSet;
+
+    let claims = spec.has_inverses();
+    let mut refuted = false;
+    let mut not_invertible: Vec<S::Method> = Vec::new();
+    let mut next_id = 0u64;
+    for m in &inf.methods {
+        for r in observable_rets(spec, states, m) {
+            let op = Op::new(OpId(next_id), TxnId(0), m.clone(), r);
+            next_id += 1;
+            match spec.inverse(&op) {
+                OpInverse::NotInvertible => {
+                    if claims {
+                        refuted = true;
+                        let d = Diagnostic::global(
+                            Severity::Error,
+                            UNSOUND_INVERSE_CLAIM,
+                            format!(
+                                "`has_inverses()` claims every operation invertible, but \
+                                 `{m}` (ret {:?}) is `NotInvertible`",
+                                op.ret
+                            ),
+                        )
+                        .with_note(
+                            "an open-nested commit would trust the claim at scope entry and \
+                             fail only at commit; drop the claim or complete the oracle",
+                        );
+                        diags.push(at_method(d, programs, m));
+                    } else if !not_invertible.contains(m) {
+                        not_invertible.push(m.clone());
+                    }
+                }
+                OpInverse::ReadOnly => {
+                    for s in states {
+                        let start: HashSet<S::State> = std::iter::once(s.clone()).collect();
+                        let fwd = spec.denote_from(&start, std::slice::from_ref(&op));
+                        if !fwd.is_empty() && fwd != start {
+                            refuted = true;
+                            let d = Diagnostic::global(
+                                Severity::Error,
+                                UNSOUND_INVERSE,
+                                format!(
+                                    "`{m}` (ret {:?}) is declared `ReadOnly` but changes \
+                                     state: a compensation would silently skip its undo",
+                                    op.ret
+                                ),
+                            )
+                            .with_note(
+                                "`ReadOnly` asserts ⟦ℓ · op⟧ = ⟦ℓ⟧; return an `Inverse` \
+                                 (or `NotInvertible`) for state-changing operations",
+                            );
+                            diags.push(at_method(d, programs, m));
+                            break;
+                        }
+                    }
+                }
+                OpInverse::Inverse(im, ir) => {
+                    let inv = Op::new(OpId(next_id), TxnId(0), im, ir);
+                    next_id += 1;
+                    for s in states {
+                        let start: HashSet<S::State> = std::iter::once(s.clone()).collect();
+                        let fwd = spec.denote_from(&start, std::slice::from_ref(&op));
+                        if fwd.is_empty() {
+                            continue; // op not allowed here
+                        }
+                        let round = spec.denote_from(&fwd, std::slice::from_ref(&inv));
+                        if round != start {
+                            refuted = true;
+                            let d = Diagnostic::global(
+                                Severity::Error,
+                                UNSOUND_INVERSE,
+                                format!(
+                                    "inverse law fails for `{m}` (ret {:?}): applying the \
+                                     declared inverse `{}` does not restore every pre-state",
+                                    op.ret, inv.method
+                                ),
+                            )
+                            .with_note(
+                                "a parent abort replays this inverse as a compensation; an \
+                                 unfaithful one corrupts the abstract state",
+                            );
+                            diags.push(at_method(d, programs, m));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if claims {
+        return Some(!refuted);
+    }
+    if !not_invertible.is_empty() {
+        // Lint: an `otx` body that reaches a non-invertible method is
+        // statically doomed — its open commit must be refused.
+        for m in &not_invertible {
+            if programs
+                .iter()
+                .flatten()
+                .any(|code| open_bodies_reach(code, false, m))
+            {
+                let d = Diagnostic::global(
+                    Severity::Warning,
+                    OPEN_NESTING_REFUSED,
+                    format!(
+                        "an open-nested (`otx`) scope invokes `{m}`, whose operations \
+                         are `NotInvertible`: the open commit will be refused at runtime"
+                    ),
+                )
+                .with_note(
+                    "move the method outside the otx body, or give its operations a \
+                     spec-level inverse",
+                );
+                diags.push(at_method(d, programs, m));
+            }
+        }
+        let names: Vec<String> = not_invertible.iter().map(ToString::to_string).collect();
+        diags.push(Diagnostic::global(
+            Severity::Note,
+            OPEN_NESTING_UNAVAILABLE,
+            format!(
+                "open nesting is unavailable over {} of {} certified method(s) \
+                 ({}): their operations have no spec-level inverse",
+                names.len(),
+                inf.methods.len(),
+                names.join(", ")
+            ),
+        ));
+    }
+    None
+}
+
+/// Does some `otx` body in `code` reach method `m`? (`inside` tracks
+/// whether the walk is currently under an `otx` node.)
+fn open_bodies_reach<M: PartialEq>(code: &Code<M>, inside: bool, m: &M) -> bool {
+    match code {
+        Code::Skip => false,
+        Code::Method(n) => inside && n == m,
+        Code::Seq(a, b) | Code::Choice(a, b) => {
+            open_bodies_reach(a, inside, m) || open_bodies_reach(b, inside, m)
+        }
+        Code::Star(a) | Code::Tx(a) => open_bodies_reach(a, inside, m),
+        Code::OpenTx(a) => open_bodies_reach(a, true, m),
     }
 }
 
@@ -437,6 +629,115 @@ mod tests {
         let cert = certify(&QueueSpec::bounded(vec![1, 2], 2), "queue").unwrap();
         assert!(cert.is_valid(), "{:?}", cert.diagnostics);
         assert_eq!(cert.certificate.shard_keys, 1);
+    }
+
+    #[test]
+    fn counter_inverse_law_certifies() {
+        let cert = certify(&Counter::with_universe(2), "counter").unwrap();
+        assert_eq!(cert.certificate.inverse_law, Some(true));
+        assert!(cert.certificate.open_nesting_certified());
+    }
+
+    #[test]
+    fn unsound_inverse_claim_is_refuted() {
+        use pushpull_core::op::Op;
+        use pushpull_core::spec::{KeySet, OpInverse, SeqSpec};
+        use pushpull_spec::counter::{CtrMethod, CtrRet};
+
+        /// Claims `has_inverses` but "undoes" `Add(k)` with another
+        /// `Add(k)` — the round trip lands at `s + 2k`, not `s`.
+        struct DoubleDown {
+            inner: Counter,
+        }
+        impl SeqSpec for DoubleDown {
+            type Method = CtrMethod;
+            type Ret = CtrRet;
+            type State = i64;
+            fn initial_states(&self) -> Vec<i64> {
+                self.inner.initial_states()
+            }
+            fn post_states(&self, s: &i64, m: &CtrMethod, r: &CtrRet) -> Vec<i64> {
+                self.inner.post_states(s, m, r)
+            }
+            fn results(&self, s: &i64, m: &CtrMethod) -> Vec<CtrRet> {
+                self.inner.results(s, m)
+            }
+            fn state_universe(&self) -> Option<Vec<i64>> {
+                self.inner.state_universe()
+            }
+            fn method_universe(&self) -> Option<Vec<CtrMethod>> {
+                self.inner.method_universe()
+            }
+            fn method_keys(&self, m: &CtrMethod) -> Option<KeySet> {
+                self.inner.method_keys(m)
+            }
+            fn inverse(&self, op: &Op<CtrMethod, CtrRet>) -> OpInverse<CtrMethod, CtrRet> {
+                match op.method {
+                    CtrMethod::Add(0) | CtrMethod::Get => OpInverse::ReadOnly,
+                    CtrMethod::Add(k) => OpInverse::Inverse(CtrMethod::Add(k), CtrRet::Ack),
+                }
+            }
+            fn has_inverses(&self) -> bool {
+                true
+            }
+        }
+
+        let inner = Counter::with_universe(2);
+        let cert = certify(&DoubleDown { inner }, "double-down").unwrap();
+        assert_eq!(cert.certificate.inverse_law, Some(false));
+        assert!(!cert.certificate.open_nesting_certified());
+        assert!(!cert.is_valid());
+        assert!(
+            cert.diagnostics
+                .iter()
+                .any(|d| d.lint == UNSOUND_INVERSE && d.severity == Severity::Error),
+            "{:?}",
+            cert.diagnostics
+        );
+    }
+
+    #[test]
+    fn otx_over_non_invertible_method_is_linted() {
+        use pushpull_core::lang::Code;
+        use pushpull_spec::rwmem::{Loc, MemMethod, RwMem};
+
+        let spec = RwMem::bounded(vec![Loc(0)], vec![0, 1]);
+        let programs = vec![vec![Code::tx(Code::seq(
+            Code::method(MemMethod::Read(Loc(0))),
+            Code::otx(Code::method(MemMethod::Write(Loc(0), 1))),
+        ))]];
+        let cert = certify_in(&spec, "rwmem", &programs).unwrap();
+        // RwMem makes no invertibility claim: verdict unchecked, but the
+        // doomed otx body draws a warning and the alphabet gap a note.
+        assert_eq!(cert.certificate.inverse_law, None);
+        assert!(
+            cert.diagnostics
+                .iter()
+                .any(|d| d.lint == OPEN_NESTING_REFUSED && d.severity == Severity::Warning),
+            "{:?}",
+            cert.diagnostics
+        );
+        assert!(
+            cert.diagnostics
+                .iter()
+                .any(|d| d.lint == OPEN_NESTING_UNAVAILABLE),
+            "{:?}",
+            cert.diagnostics
+        );
+        // The same body under a *closed* marker is fine: no warning.
+        let closed = vec![vec![Code::tx(Code::seq(
+            Code::method(MemMethod::Read(Loc(0))),
+            Code::tx(Code::method(MemMethod::Write(Loc(0), 1))),
+        ))]];
+        let cert = certify_in(&spec, "rwmem", &closed).unwrap();
+        assert!(
+            !cert
+                .diagnostics
+                .iter()
+                .any(|d| d.lint == OPEN_NESTING_REFUSED),
+            "{:?}",
+            cert.diagnostics
+        );
     }
 
     #[test]

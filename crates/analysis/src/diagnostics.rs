@@ -46,6 +46,8 @@ pub enum PathStep {
     Star,
     /// Body of `tx c`.
     Tx,
+    /// Body of `otx c` (an open-nested scope).
+    OpenTx,
 }
 
 impl fmt::Display for PathStep {
@@ -57,6 +59,7 @@ impl fmt::Display for PathStep {
             PathStep::ChoiceR => "choice.1",
             PathStep::Star => "star",
             PathStep::Tx => "tx",
+            PathStep::OpenTx => "otx",
         })
     }
 }
@@ -102,6 +105,7 @@ pub fn resolve<'c, M>(code: &'c Code<M>, path: &[PathStep]) -> Option<&'c Code<M
             (PathStep::ChoiceR, Code::Choice(_, b)) => b,
             (PathStep::Star, Code::Star(a)) => a,
             (PathStep::Tx, Code::Tx(a)) => a,
+            (PathStep::OpenTx, Code::OpenTx(a)) => a,
             _ => return None,
         };
     }
@@ -151,6 +155,14 @@ pub fn find_method<M: PartialEq>(code: &Code<M>, m: &M) -> Option<Vec<PathStep>>
             }
             Code::Tx(a) => {
                 path.push(PathStep::Tx);
+                if go(a, m, path) {
+                    return true;
+                }
+                path.pop();
+                false
+            }
+            Code::OpenTx(a) => {
+                path.push(PathStep::OpenTx);
                 if go(a, m, path) {
                     return true;
                 }

@@ -29,6 +29,25 @@
 //! runtime only ever compares operations whose methods are in the
 //! footprints walked here, so an elided loop can never have failed. Debug
 //! builds re-run every elided predicate and assert agreement.
+//!
+//! **Nesting.** Closed-nested scopes (`tx` markers, checkpoints) need no
+//! per-level treatment: a closed child shares its parent's flat local
+//! log and transaction identity, so the flat per-transaction and
+//! cross-transaction conditions above already cover every closed level
+//! exactly. Open-nested scopes (`otx`) are different in two ways. A
+//! child's PUSH (i) loop still ranges over the *parent's* earlier
+//! unpushed entries (one flat log), so the per-transaction condition
+//! must stay flat — splitting the footprint per level would elide
+//! parent-vs-child comparisons that really run. And a parent abort
+//! replays *compensating* transactions built from spec-level inverses —
+//! methods that need not occur anywhere in the program syntax, so the
+//! static alphabet no longer bounds what later mover loops (the
+//! compensation's own pushes, and every subsequent UNPUSH (i) /
+//! PULL (iii) sliding across committed compensation entries in `G`)
+//! compare. [`prove`] therefore refuses **all** elision for thread sets
+//! containing an `otx`: every level stays exactly dynamically checked,
+//! and the open-nesting guarantees come from the certified inverse law
+//! ([`pushpull_core::SpecCertificate::open_nesting_certified`]) instead.
 
 use pushpull_core::error::{Clause, Rule};
 use pushpull_core::spec::SeqSpec;
@@ -57,6 +76,13 @@ pub fn prove<S: SeqSpec>(
     let mut facts = StaticDischarge::none();
     facts.proven_pairs = matrix.proven_pairs();
     facts.alphabet = matrix.len();
+
+    // Open-nested programs can replay compensating transactions whose
+    // inverse methods lie outside the syntactic alphabet proved here, so
+    // no clause may be elided (see the module docs' nesting section).
+    if summary.open_scopes > 0 {
+        return DischargeOutcome { facts, matrix };
+    }
 
     // PUSH (i) compares *distinct* operations of one transaction, so a
     // self-pair (m, m) only matters for methods the transaction can run
@@ -186,6 +212,39 @@ mod tests {
         assert!(!out.facts.discharges(Rule::Push, Clause::Ii));
         // PUSH (i) is still fine: within each txn the method runs once.
         assert!(out.facts.discharges(Rule::Push, Clause::I));
+    }
+
+    #[test]
+    fn open_nested_programs_refuse_all_elision() {
+        // The same mover-heavy counter workload that discharges all four
+        // clauses flat (above) arms nothing once one transaction nests
+        // an open scope: its abort path may replay Add(-k) compensations
+        // the static alphabet never saw.
+        let programs: Vec<Vec<Code<CtrMethod>>> = vec![
+            vec![Code::tx(Code::seq(
+                Code::method(CtrMethod::Add(1)),
+                Code::otx(Code::method(CtrMethod::Add(2))),
+            ))],
+            vec![Code::method(CtrMethod::Add(3))],
+        ];
+        let summary = summarize(&programs);
+        assert_eq!(summary.open_scopes, 1);
+        let out = prove(&Counter::new(), &summary);
+        assert!(!out.facts.any(), "{:?}", out.facts);
+        // Closed nesting keeps the flat discharge: tx markers share the
+        // parent's log and transaction, so nothing changes.
+        let closed: Vec<Vec<Code<CtrMethod>>> = vec![
+            vec![Code::tx(Code::seq(
+                Code::method(CtrMethod::Add(1)),
+                Code::tx(Code::method(CtrMethod::Add(2))),
+            ))],
+            vec![Code::method(CtrMethod::Add(3))],
+        ];
+        let summary = summarize(&closed);
+        assert_eq!(summary.open_scopes, 0);
+        let out = prove(&Counter::new(), &summary);
+        assert!(out.facts.discharges(Rule::Push, Clause::I));
+        assert!(out.facts.discharges(Rule::Push, Clause::Ii));
     }
 
     #[test]

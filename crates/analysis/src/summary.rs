@@ -44,7 +44,7 @@ fn has_star<M>(code: &Code<M>) -> bool {
         Code::Skip | Code::Method(_) => false,
         Code::Seq(a, b) | Code::Choice(a, b) => has_star(a) || has_star(b),
         Code::Star(_) => true,
-        Code::Tx(a) => has_star(a),
+        Code::Tx(a) | Code::OpenTx(a) => has_star(a),
     }
 }
 
@@ -64,7 +64,7 @@ pub fn max_occurrences<M: PartialEq>(code: &Code<M>, m: &M) -> usize {
                 0
             }
         }
-        Code::Tx(a) => max_occurrences(a, m),
+        Code::Tx(a) | Code::OpenTx(a) => max_occurrences(a, m),
     }
 }
 
@@ -107,6 +107,12 @@ pub struct ProgramSummary<M> {
     /// (aborted) instance leaves the logs before its retry re-invokes
     /// the method, so single-occurrence methods never meet themselves.
     pub multi_instance: Vec<M>,
+    /// Number of syntactic open-nested scopes (`otx`) across the thread
+    /// set. Nonzero means aborts can replay *compensating* transactions
+    /// whose methods are spec-level inverses — methods that need not
+    /// appear anywhere in the syntactic footprint, so the static
+    /// alphabet no longer bounds what the runtime mover loops compare.
+    pub open_scopes: usize,
     /// Number of threads.
     pub threads: usize,
     /// Rules that must fire on every run that completes all transactions,
@@ -143,6 +149,7 @@ pub fn summarize<M: Clone + PartialEq>(programs: &[Vec<Code<M>>]) -> ProgramSumm
         })
         .cloned()
         .collect();
+    let open_scopes = programs.iter().flatten().map(count_open).sum();
     let mut required = RulePattern::new();
     if !txns.is_empty() {
         required = required.with(Rule::Cmt);
@@ -154,8 +161,19 @@ pub fn summarize<M: Clone + PartialEq>(programs: &[Vec<Code<M>>]) -> ProgramSumm
         txns,
         footprint,
         multi_instance,
+        open_scopes,
         threads: programs.len(),
         required,
+    }
+}
+
+/// Number of `otx` nodes anywhere in `code` (including nested ones).
+fn count_open<M>(code: &Code<M>) -> usize {
+    match code {
+        Code::Skip | Code::Method(_) => 0,
+        Code::Seq(a, b) | Code::Choice(a, b) => count_open(a) + count_open(b),
+        Code::Star(a) | Code::Tx(a) => count_open(a),
+        Code::OpenTx(a) => 1 + count_open(a),
     }
 }
 

@@ -31,7 +31,7 @@
 use std::fmt;
 
 /// The serialization format tag; bump on incompatible layout changes.
-const FORMAT_TAG: &str = "pushpull-spec-certificate v1";
+const FORMAT_TAG: &str = "pushpull-spec-certificate v2";
 
 /// A machine-checked certificate that a spec's footprint and mover
 /// declarations agree with the exhaustively derived ground truth.
@@ -62,6 +62,17 @@ pub struct SpecCertificate {
     /// Rule obligations the checked matrix discharges for *any* program
     /// over the alphabet, rendered `"RULE (clause)"`.
     pub obligations: Vec<String>,
+    /// The inverse-law verdict over the certified alphabet:
+    /// `Some(true)` — the spec claims [`has_inverses`] and the round-trip
+    /// law `⟦ℓ · op · op⁻¹⟧ = ⟦ℓ⟧` (plus state-identity for `ReadOnly`
+    /// verdicts) was proven exhaustively, so open-nested scopes may be
+    /// armed under strict mode; `Some(false)` — the claim was *refuted*
+    /// (also counted in `errors`); `None` — the spec does not claim
+    /// invertibility, so open nesting stays per-op-checked at commit and
+    /// strict mode refuses to open such scopes.
+    ///
+    /// [`has_inverses`]: crate::spec::SeqSpec::has_inverses
+    pub inverse_law: Option<bool>,
     /// Distinct declared footprint keys (the shard-count recommendation
     /// input).
     pub shard_keys: usize,
@@ -79,6 +90,14 @@ impl SpecCertificate {
     /// error-severity finding survived certification.)
     pub fn is_valid(&self) -> bool {
         self.errors == 0
+    }
+
+    /// May open-nested scopes be armed on this certificate? Requires a
+    /// valid certificate whose inverse law was proven (not merely
+    /// unclaimed): a parent abort must be able to trust that replaying
+    /// the registered compensations restores the abstract state.
+    pub fn open_nesting_certified(&self) -> bool {
+        self.is_valid() && self.inverse_law == Some(true)
     }
 
     /// The checked mover verdict for `methods[i] ◁ methods[j]`.
@@ -117,6 +136,14 @@ impl SpecCertificate {
             self.errors, self.warnings, self.notes
         ));
         out.push_str(&format!("obligations: {}\n", self.obligations.join("; ")));
+        out.push_str(&format!(
+            "inverse-law: {}\n",
+            match self.inverse_law {
+                Some(true) => "certified",
+                Some(false) => "refuted",
+                None => "unchecked",
+            }
+        ));
         out.push_str(&format!("methods: {}\n", self.methods.len()));
         for (i, name) in self.methods.iter().enumerate() {
             let keys = match &self.footprints[i] {
@@ -191,6 +218,12 @@ impl SpecCertificate {
         } else {
             obligations_line.split("; ").map(String::from).collect()
         };
+        let inverse_law = match field(lines.next(), "inverse-law")? {
+            "certified" => Some(true),
+            "refuted" => Some(false),
+            "unchecked" => None,
+            other => return Err(format!("bad inverse-law verdict {other:?}")),
+        };
         let n: usize = field(lines.next(), "methods")?
             .parse()
             .map_err(|e| format!("bad method count: {e}"))?;
@@ -257,6 +290,7 @@ impl SpecCertificate {
             footprints,
             components,
             obligations,
+            inverse_law,
             shard_keys,
             errors,
             warnings,
@@ -270,7 +304,7 @@ impl fmt::Display for SpecCertificate {
         write!(
             f,
             "certificate[{}]: {} methods, {}/{} mover pairs proven, {} component(s), \
-             {} shard key(s), {} obligation(s) discharged — {}",
+             {} shard key(s), {} obligation(s) discharged, inverse law {} — {}",
             self.spec_name,
             self.methods.len(),
             self.proven_pairs(),
@@ -278,6 +312,11 @@ impl fmt::Display for SpecCertificate {
             self.component_count(),
             self.shard_keys,
             self.obligations.len(),
+            match self.inverse_law {
+                Some(true) => "certified",
+                Some(false) => "refuted",
+                None => "unchecked",
+            },
             if self.is_valid() {
                 "VALID".to_string()
             } else {
@@ -327,6 +366,7 @@ mod tests {
             footprints: vec![Some(vec![1]), Some(vec![1]), Some(vec![2])],
             components: vec![0, 0, 1],
             obligations: vec!["PUSH (i)".into(), "PULL (iii)".into()],
+            inverse_law: Some(true),
             shard_keys: 2,
             errors: 0,
             warnings: 1,
@@ -351,6 +391,25 @@ mod tests {
         cert.obligations.clear();
         let parsed = SpecCertificate::parse(&cert.to_text()).unwrap();
         assert_eq!(parsed, cert);
+    }
+
+    #[test]
+    fn inverse_law_verdicts_round_trip_and_gate_open_nesting() {
+        let mut cert = sample();
+        assert!(cert.open_nesting_certified());
+        for law in [Some(true), Some(false), None] {
+            cert.inverse_law = law;
+            let parsed = SpecCertificate::parse(&cert.to_text()).unwrap();
+            assert_eq!(parsed.inverse_law, law);
+        }
+        cert.inverse_law = None;
+        assert!(!cert.open_nesting_certified());
+        cert.inverse_law = Some(true);
+        cert.errors = 1;
+        assert!(
+            !cert.open_nesting_certified(),
+            "invalid certificates arm nothing"
+        );
     }
 
     #[test]

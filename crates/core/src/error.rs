@@ -122,6 +122,23 @@ pub enum MachineError {
     /// UNAPP on a thread whose last own entry is not `npshd`
     /// (or whose local log is empty).
     NothingToUnapply(ThreadId),
+    /// A nested-scope exit (`commit_nested` / `abort_nested` /
+    /// `abort_to_checkpoint`) was requested on a thread with no scope
+    /// open at the required position.
+    NoScope(ThreadId),
+    /// An open-nested scope tried to commit, but the spec declares one
+    /// of its operations non-invertible, so no compensating transaction
+    /// can be registered with the parent.
+    NotInvertible {
+        /// The thread whose open scope could not commit.
+        thread: ThreadId,
+        /// The operation with no spec-defined inverse.
+        op: OpId,
+    },
+    /// An open-nested scope was refused at entry: strict certificate
+    /// mode is on and no valid certificate with a proven inverse law is
+    /// installed.
+    OpenNestingUncertified(ThreadId),
     /// The shard transport exhausted its robustness envelope: the
     /// routed shard stayed unreachable past the retry budget and the
     /// coarse degradation fallback was disabled (or itself unreachable).
@@ -164,6 +181,23 @@ impl fmt::Display for MachineError {
             }
             MachineError::NothingToUnapply(t) => {
                 write!(f, "last local entry of thread {t} is not npshd")
+            }
+            MachineError::NoScope(t) => {
+                write!(f, "thread {t} has no nested scope open at that position")
+            }
+            MachineError::NotInvertible { thread, op } => {
+                write!(
+                    f,
+                    "open-nested commit on thread {thread}: operation {op} \
+                     has no spec-defined inverse"
+                )
+            }
+            MachineError::OpenNestingUncertified(t) => {
+                write!(
+                    f,
+                    "open-nested scope refused on thread {t}: strict mode requires \
+                     a valid spec certificate with a proven inverse law"
+                )
             }
             MachineError::TransportExhausted { thread, shard } => {
                 write!(

@@ -143,6 +143,34 @@ use crate::spec::SeqSpec;
 use crate::static_facts::StaticDischarge;
 use crate::transport::{ShardTransport, TransportStats};
 
+/// How a committed transaction relates to the nesting structure of the
+/// thread that ran it — the per-level tag the nested serializability
+/// oracle groups by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// An ordinary top-level transaction (nesting level 0). All commits
+    /// were this kind before scopes existed, so it is the default.
+    Top,
+    /// An open-nested child that committed to `G` from inside a still-
+    /// running parent at the given nesting level (1 = direct child of a
+    /// top-level transaction).
+    OpenChild {
+        /// The enclosing transaction at commit time. The parent may
+        /// later commit (appearing after this child in commit order) or
+        /// abort (in which case a [`TxnKind::Compensation`] undoing this
+        /// child must appear instead).
+        parent: TxnId,
+        /// Nesting depth of the child (≥ 1).
+        level: usize,
+    },
+    /// A compensating transaction replayed by an aborting parent to undo
+    /// a previously committed open-nested child.
+    Compensation {
+        /// The open-nested child this compensation undoes.
+        undoes: TxnId,
+    },
+}
+
 /// A committed transaction: its id and its own operations in local-log
 /// order. The sequence of these, in commit order, is the serial witness
 /// used by the serializability oracle.
@@ -159,6 +187,9 @@ pub struct CommittedTxn<M, R> {
     /// Ids of operations this transaction had pulled, with the owning
     /// transaction (its dependencies).
     pub pulled_from: Vec<(OpId, TxnId)>,
+    /// Where this commit sits in the nesting structure (top-level,
+    /// open-nested child, or compensation).
+    pub kind: TxnKind,
 }
 
 /// Memoized denotation of the longest fully committed prefix of a shard's
@@ -502,6 +533,84 @@ impl GroupCounters {
     }
 }
 
+/// The atomic backing of [`crate::scope::NestingStats`], one field per
+/// counter so scope-heavy handles update without any extra lock (same
+/// pattern as [`GroupCounters`]).
+#[derive(Debug)]
+pub(crate) struct NestingCounters {
+    scopes_opened: AtomicU64,
+    scopes_merged: AtomicU64,
+    scopes_aborted: AtomicU64,
+    open_commits: AtomicU64,
+    compensations_replayed: AtomicU64,
+    undo_inverses: AtomicU64,
+}
+
+impl NestingCounters {
+    pub(crate) fn new() -> Self {
+        Self {
+            scopes_opened: AtomicU64::new(0),
+            scopes_merged: AtomicU64::new(0),
+            scopes_aborted: AtomicU64::new(0),
+            open_commits: AtomicU64::new(0),
+            compensations_replayed: AtomicU64::new(0),
+            undo_inverses: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy carrying over another set's current values (resharding and
+    /// deep clones preserve counters, like the group tallies).
+    pub(crate) fn carried_over(&self) -> Self {
+        let copy = Self::new();
+        for (dst, src) in [
+            (&copy.scopes_opened, &self.scopes_opened),
+            (&copy.scopes_merged, &self.scopes_merged),
+            (&copy.scopes_aborted, &self.scopes_aborted),
+            (&copy.open_commits, &self.open_commits),
+            (&copy.compensations_replayed, &self.compensations_replayed),
+            (&copy.undo_inverses, &self.undo_inverses),
+        ] {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        copy
+    }
+
+    pub(crate) fn snapshot(&self) -> crate::scope::NestingStats {
+        crate::scope::NestingStats {
+            scopes_opened: self.scopes_opened.load(Ordering::Relaxed),
+            scopes_merged: self.scopes_merged.load(Ordering::Relaxed),
+            scopes_aborted: self.scopes_aborted.load(Ordering::Relaxed),
+            open_commits: self.open_commits.load(Ordering::Relaxed),
+            compensations_replayed: self.compensations_replayed.load(Ordering::Relaxed),
+            undo_inverses: self.undo_inverses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_opened(&self) {
+        self.scopes_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_merged(&self) {
+        self.scopes_merged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_aborted(&self) {
+        self.scopes_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_open_commit(&self) {
+        self.open_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_compensation(&self) {
+        self.compensations_replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_undo_inverses(&self, n: u64) {
+        self.undo_inverses.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// Where a method's criteria evaluation must go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Route {
@@ -734,6 +843,8 @@ pub struct GlobalState<S: SeqSpec> {
     arming_diags: Mutex<Vec<String>>,
     /// Group-commit batch counters (see [`GroupStats`]).
     group: GroupCounters,
+    /// Nested-scope traffic counters (see [`crate::scope::NestingStats`]).
+    nesting: NestingCounters,
 }
 
 impl<S: SeqSpec> GlobalState<S> {
@@ -785,6 +896,7 @@ impl<S: SeqSpec> GlobalState<S> {
             require_certificate: AtomicBool::new(false),
             arming_diags: Mutex::new(Vec::new()),
             group: GroupCounters::new(),
+            nesting: NestingCounters::new(),
         };
         state.publish_all_shards();
         state
@@ -1014,6 +1126,30 @@ impl<S: SeqSpec> GlobalState<S> {
             .expect("certificate lock poisoned")
             .as_ref()
             .is_some_and(|c| c.is_valid())
+    }
+
+    /// May an open-nested scope be opened right now? Outside strict mode
+    /// the answer is always yes (each operation's inverse is still
+    /// checked at the open commit); under strict mode it additionally
+    /// demands an installed certificate whose inverse law was proven —
+    /// a refusal is recorded in [`Self::arming_diagnostics`].
+    pub(crate) fn open_nesting_allowed(&self) -> bool {
+        if !self.require_certificate() {
+            return true;
+        }
+        let ok = self
+            .certificate
+            .read()
+            .expect("certificate lock poisoned")
+            .as_ref()
+            .is_some_and(|c| c.open_nesting_certified());
+        if !ok {
+            self.note_arming_diag(
+                "refused to open an open-nested scope: strict mode requires a valid \
+                 spec certificate with a proven inverse law, and none is installed",
+            );
+        }
+        ok
     }
 
     /// Turns strict certificate-gated arming on or off. Off (the
@@ -1367,6 +1503,16 @@ impl<S: SeqSpec> GlobalState<S> {
         self.group.note_batch(txns, ops);
     }
 
+    /// A snapshot of the nested-scope traffic counters.
+    pub fn nesting_stats(&self) -> crate::scope::NestingStats {
+        self.nesting.snapshot()
+    }
+
+    /// The atomic nesting counters, for handles to tally into.
+    pub(crate) fn nesting_counters(&self) -> &NestingCounters {
+        &self.nesting
+    }
+
     /// Removes the entry `id` from the held shard at `view index` (the
     /// UNPUSH effect): recycles its arena slot, maintains the prefix
     /// cache (a removal inside the cached prefix — impossible through
@@ -1644,6 +1790,7 @@ impl<S: SeqSpec> GlobalState<S> {
             require_certificate: AtomicBool::new(self.require_certificate.load(Ordering::SeqCst)),
             arming_diags: Mutex::new(self.arming_diagnostics()),
             group: self.group.carried_over(),
+            nesting: self.nesting.carried_over(),
         };
         state.publish_all_shards();
         state
@@ -1708,6 +1855,7 @@ impl<S: SeqSpec> GlobalState<S> {
             require_certificate: AtomicBool::new(self.require_certificate.load(Ordering::SeqCst)),
             arming_diags: Mutex::new(self.arming_diagnostics()),
             group: self.group.carried_over(),
+            nesting: self.nesting.carried_over(),
         };
         state.publish_all_shards();
         state

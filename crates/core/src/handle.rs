@@ -29,12 +29,13 @@ use std::sync::Arc;
 use crate::audit::QUERY_SHARDS;
 use crate::error::{Clause, MachineError, MachineResult, Rule};
 use crate::faults::{BoundaryFault, FaultKind, HtmFault};
-use crate::global::{CommittedTxn, GlobalState, LogView, Route};
+use crate::global::{CommittedTxn, GlobalState, LogView, Route, TxnKind};
 use crate::lang::Code;
 use crate::log::{GlobalFlag, GlobalLog, LocalEntry, LocalFlag, LocalLog};
 use crate::machine::{CheckMode, StepOptions};
 use crate::op::{Op, OpId, ThreadId, TxnId};
-use crate::spec::SeqSpec;
+use crate::scope::{Compensation, ScopeFrame, ScopeKind, ScopeOrigin};
+use crate::spec::{OpInverse, SeqSpec};
 use crate::trace::Event;
 use crate::transport::{FallbackMode, ShardRequest, ShardResponse, ShardTransport, TransportError};
 
@@ -114,6 +115,22 @@ pub struct TxnHandle<S: SeqSpec> {
     stack: Vec<(S::Method, S::Ret)>,
     /// The local log `L`.
     local: LocalLog<S::Method, S::Ret>,
+    /// The stack of nested scopes in flight over `local` (innermost
+    /// last): frame `k` owns the log suffix from its `base_len`.
+    frames: Vec<ScopeFrame<S>>,
+    /// Compensations registered by committed open-nested children,
+    /// pending until their owning scope resolves (chronological order).
+    comps: Vec<Compensation<S>>,
+    /// Open-nested children committed by the *current* transaction —
+    /// when non-zero the committed record's code strips `otx` bodies
+    /// (they committed separately and are absent from the parent's own
+    /// operations).
+    open_children: u64,
+    /// Did any of those children come from an *explicit* (non-syntactic)
+    /// open scope? Then no `otx` marker exists to strip, and the
+    /// committed record's code falls back to the straight-line sequence
+    /// of the parent's own operations.
+    explicit_open: bool,
     /// Transactions not yet started.
     pending: VecDeque<Code<S::Method>>,
     /// Commits performed by this thread.
@@ -146,6 +163,10 @@ impl<S: SeqSpec> TxnHandle<S> {
             original,
             stack: Vec::new(),
             local: LocalLog::new(),
+            frames: Vec::new(),
+            comps: Vec::new(),
+            open_children: 0,
+            explicit_open: false,
             pending,
             commits: 0,
             aborts: 0,
@@ -169,6 +190,10 @@ impl<S: SeqSpec> TxnHandle<S> {
             original: self.original.clone(),
             stack: self.stack.clone(),
             local: self.local.clone(),
+            frames: self.frames.clone(),
+            comps: self.comps.clone(),
+            open_children: self.open_children,
+            explicit_open: self.explicit_open,
             pending: self.pending.clone(),
             commits: self.commits,
             aborts: self.aborts,
@@ -192,9 +217,34 @@ impl<S: SeqSpec> TxnHandle<S> {
         self.tid
     }
 
-    /// The current transaction instance id.
+    /// The current transaction instance id (the root transaction of the
+    /// scope stack).
     pub fn txn(&self) -> TxnId {
         self.txn
+    }
+
+    /// The transaction id new operations are applied under: the
+    /// innermost *open* scope's child transaction, or the root
+    /// transaction when no open scope is in flight.
+    pub fn current_txn(&self) -> TxnId {
+        self.frames
+            .iter()
+            .rev()
+            .find_map(|f| f.txn)
+            .unwrap_or(self.txn)
+    }
+
+    /// Nesting depth: how many scopes are currently open (0 = only the
+    /// root transaction).
+    pub fn scope_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Compensations currently registered with still-unresolved scopes
+    /// (committed open-nested children whose enclosers have not yet
+    /// committed or aborted).
+    pub fn pending_compensations(&self) -> usize {
+        self.comps.len()
     }
 
     /// The remaining code, if a transaction is active.
@@ -365,6 +415,610 @@ impl<S: SeqSpec> TxnHandle<S> {
     }
 
     // ------------------------------------------------------------------
+    // Nested transaction scopes (§6.2 checkpoints + open nesting).
+    //
+    // A scope is a frame over a *suffix* of the flat local log: entries
+    // at index ≥ `base_len` belong to it. Closed scopes merge into the
+    // parent on commit and rewind only their suffix on abort; open
+    // scopes commit straight to `G` as their own transaction and leave
+    // a compensating inverse program with the parent.
+    // ------------------------------------------------------------------
+
+    /// Opens a nested scope of the given kind over the current
+    /// transaction. Returns the scope's base position in the local log.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::ThreadFinished`] when no transaction is active.
+    pub fn begin_nested(&mut self, kind: ScopeKind) -> MachineResult<usize> {
+        self.enter_scope(kind, ScopeOrigin::Explicit)
+    }
+
+    /// Opens an explicit *checkpoint*: a closed marker scope at the
+    /// current local-log position, for later
+    /// [`Self::abort_to_checkpoint`]. Returns the checkpoint position.
+    pub fn begin_checkpoint(&mut self) -> MachineResult<usize> {
+        self.enter_scope(ScopeKind::Closed, ScopeOrigin::Explicit)
+    }
+
+    /// Makes the scope structure catch up with the program syntax:
+    /// exits finished peeled scopes and enters peelable `tx`/`otx`
+    /// redexes until the code settles. The settling executors
+    /// ([`Self::app_method`], [`Self::app_auto`], [`Self::commit`]) do
+    /// this implicitly; drivers that pick raw steps themselves via
+    /// [`Self::step_options`] + [`Self::app`] call it once per tick to
+    /// get the same scope-aware behavior (it is a no-op on code with no
+    /// scope redex, and entering/exiting an empty closed scope emits no
+    /// events, so flat traces are unchanged).
+    pub fn settle(&mut self) -> MachineResult<()> {
+        self.settle_scopes()
+    }
+
+    fn enter_scope(
+        &mut self,
+        kind: ScopeKind,
+        origin: ScopeOrigin<S::Method>,
+    ) -> MachineResult<usize> {
+        self.active_code()?;
+        // Strict certificate mode gates open nesting at *entry*: a
+        // parent abort must be able to trust the registered
+        // compensations, so the inverse law has to be machine-proven
+        // before any open child runs (per-op verdicts at the open
+        // commit remain in force either way).
+        if kind == ScopeKind::Open && !self.global.open_nesting_allowed() {
+            return Err(MachineError::OpenNestingUncertified(self.tid));
+        }
+        let base = self.local.len();
+        let txn = match kind {
+            ScopeKind::Open => {
+                let child = self.global.fresh_txn();
+                let tid = self.tid;
+                self.record(Event::Begin {
+                    thread: tid,
+                    txn: child,
+                });
+                Some(child)
+            }
+            ScopeKind::Closed => None,
+        };
+        self.frames.push(ScopeFrame {
+            kind,
+            origin,
+            base_len: base,
+            stack_len: self.stack.len(),
+            txn,
+        });
+        self.global.nesting_counters().note_opened();
+        Ok(base)
+    }
+
+    /// Commits the innermost open scope: a closed scope *merges* its
+    /// suffix into the parent (no shared-state effect at all); an open
+    /// scope commits its suffix to `G` as an independent transaction and
+    /// registers a compensating inverse program with the parent.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoScope`] with no scope open;
+    /// [`MachineError::NotInvertible`] when an open scope's operation
+    /// has no spec-defined inverse; criterion violations from the open
+    /// commit's PUSH/CMT obligations.
+    pub fn commit_nested(&mut self) -> MachineResult<()> {
+        let Some(top) = self.frames.last() else {
+            return Err(MachineError::NoScope(self.tid));
+        };
+        match top.kind {
+            ScopeKind::Closed => {
+                let checked = self.mode() != CheckMode::Unchecked;
+                if checked
+                    && matches!(top.origin, ScopeOrigin::Peeled { .. })
+                    && !self.active_code()?.fin()
+                {
+                    self.global.audit.fail(Rule::Cmt, Clause::I);
+                    return Err(MachineError::criterion(
+                        Rule::Cmt,
+                        Clause::I,
+                        "no method-free path to skip remains in the nested scope".to_string(),
+                    ));
+                }
+                self.merge_top_frame();
+                Ok(())
+            }
+            ScopeKind::Open => {
+                self.fault_gate(Rule::Cmt)?;
+                self.commit_open_frame()
+            }
+        }
+    }
+
+    /// Aborts the innermost scope: rewinds exactly its suffix of the
+    /// local log (UNPULL / UNPUSH + UNAPP / UNAPP from the tail) and
+    /// discards the frame — the parent transaction continues untouched.
+    /// Compensations registered by the aborted scope's own committed
+    /// open children are replayed (most recent first).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoScope`] with no scope open; criterion
+    /// violations from the constituent back rules or compensations.
+    pub fn abort_nested(&mut self) -> MachineResult<()> {
+        let Some(top) = self.frames.last() else {
+            return Err(MachineError::NoScope(self.tid));
+        };
+        let base = top.base_len;
+        self.rewind_suffix(base)?;
+        let frame = self.frames.pop().expect("checked above");
+        self.drop_aborted_frame(frame);
+        self.replay_compensations_above(self.frames.len())
+    }
+
+    /// Aborts every scope entered at or after local-log position
+    /// `target_len` and rewinds the log to that length — the
+    /// checkpoint/partial-abort mechanism of §6.2, now a plain scope
+    /// abort (`CheckpointOptimistic` drives it).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoScope`] when no checkpoint was taken at
+    /// `target_len`; criterion violations from the back rules.
+    pub fn abort_to_checkpoint(&mut self, target_len: usize) -> MachineResult<()> {
+        if !self.frames.iter().any(|f| f.base_len == target_len) {
+            return Err(MachineError::NoScope(self.tid));
+        }
+        self.rewind_suffix(target_len)?;
+        self.pop_rewound_frames(target_len, true)
+    }
+
+    /// Exits finished peeled scopes and enters peelable `tx`/`otx`
+    /// redexes until the code settles — the scope-aware step the
+    /// settling executors ([`Self::app_method`], [`Self::app_auto`],
+    /// [`Self::commit`]) run before acting. Raw [`Self::app`] skips
+    /// this, keeping the legacy flattened semantics for drivers that
+    /// pick steps themselves.
+    fn settle_scopes(&mut self) -> MachineResult<()> {
+        loop {
+            // Exit: the innermost frame was peeled from syntax and its
+            // body has fully finished (no steps remain, fin holds).
+            if let Some(top) = self.frames.last() {
+                if matches!(top.origin, ScopeOrigin::Peeled { .. }) {
+                    let code = self.active_code()?;
+                    if code.fin() && code.step().is_empty() {
+                        self.commit_nested()?;
+                        continue;
+                    }
+                }
+            }
+            // Enter: the leftmost redex is a tx/otx scope.
+            if let Some((kind, body, cont)) = self.active_code()?.peel_scope() {
+                self.enter_scope(
+                    kind,
+                    ScopeOrigin::Peeled {
+                        body: body.clone(),
+                        cont,
+                    },
+                )?;
+                self.code = Some(body);
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    /// Exits every remaining scope on the way into a top-level commit:
+    /// closed frames merge (a peeled body must satisfy `fin`), open
+    /// frames commit to `G` as their own transactions.
+    fn exit_scopes_for_commit(&mut self) -> MachineResult<()> {
+        let checked = self.mode() != CheckMode::Unchecked;
+        while let Some(top) = self.frames.last() {
+            match top.kind {
+                ScopeKind::Closed => {
+                    if checked
+                        && matches!(top.origin, ScopeOrigin::Peeled { .. })
+                        && !self.active_code()?.fin()
+                    {
+                        self.global.audit.fail(Rule::Cmt, Clause::I);
+                        return Err(MachineError::criterion(
+                            Rule::Cmt,
+                            Clause::I,
+                            "no method-free path to skip remains in the nested scope".to_string(),
+                        ));
+                    }
+                    self.merge_top_frame();
+                }
+                ScopeKind::Open => self.commit_open_frame()?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the innermost (closed) frame, merging its suffix into the
+    /// parent: entries stay exactly where they are in the flat log, the
+    /// continuation code is restored for peeled scopes, and
+    /// compensations owned by the merged scope transfer to its parent.
+    fn merge_top_frame(&mut self) {
+        let frame = self.frames.pop().expect("caller checked a frame exists");
+        if let ScopeOrigin::Peeled { cont, .. } = frame.origin {
+            self.code = Some(cont);
+        }
+        let depth = self.frames.len();
+        for c in &mut self.comps {
+            if c.depth > depth {
+                c.depth = depth;
+            }
+        }
+        self.global.nesting_counters().note_merged();
+    }
+
+    /// Commits the innermost (open) frame's suffix to `G` as an
+    /// independent transaction under the child's own id: derive the
+    /// compensating inverses (failing cleanly on a non-invertible
+    /// operation), PUSH the unpushed suffix in order, run the CMT
+    /// criteria over the suffix, flip it committed, record the child's
+    /// [`CommittedTxn`] (kind [`TxnKind::OpenChild`]), re-flag the
+    /// suffix as *pulled* in the parent's log (the parent now depends
+    /// on its committed child), and register the compensation with the
+    /// parent.
+    fn commit_open_frame(&mut self) -> MachineResult<()> {
+        let (base, child, peeled) = match self.frames.last() {
+            Some(f) if f.kind == ScopeKind::Open => (
+                f.base_len,
+                f.txn.expect("open frames carry a child txn"),
+                matches!(f.origin, ScopeOrigin::Peeled { .. }),
+            ),
+            _ => return Err(MachineError::NoScope(self.tid)),
+        };
+        let checked = self.mode() != CheckMode::Unchecked;
+        let tid = self.tid;
+        if checked {
+            // CMT criterion (i) at the child level: a peeled body must
+            // reach skip. (An explicit scope has no residual code of its
+            // own — its program is exactly the suffix performed.)
+            if peeled && !self.active_code()?.fin() {
+                self.global.audit.fail(Rule::Cmt, Clause::I);
+                return Err(MachineError::criterion(
+                    Rule::Cmt,
+                    Clause::I,
+                    "no method-free path to skip remains in the open scope".to_string(),
+                ));
+            }
+            self.global.audit.pass(Rule::Cmt, Clause::I);
+        }
+        // Derive the compensating inverse program *before* committing
+        // anything: a non-invertible operation must fail the open
+        // commit while the scope can still abort cleanly.
+        let mut inverses: Vec<(S::Method, S::Ret)> = Vec::new();
+        for e in &self.local.entries()[base..] {
+            if e.flag.is_pulled() {
+                continue;
+            }
+            match self.global.spec().inverse(&e.op) {
+                OpInverse::ReadOnly => {}
+                OpInverse::Inverse(m, r) => inverses.push((m, r)),
+                OpInverse::NotInvertible => {
+                    return Err(MachineError::NotInvertible {
+                        thread: tid,
+                        op: e.op.id,
+                    })
+                }
+            }
+        }
+        inverses.reverse();
+        // The child's optimistic commit sequence: PUSH the unpushed
+        // suffix in local order, with the full criteria and audit.
+        let unpushed: Vec<OpId> = self.local.entries()[base..]
+            .iter()
+            .filter(|e| e.flag.is_not_pushed())
+            .map(|e| e.op.id)
+            .collect();
+        for id in unpushed {
+            self.push(id)?;
+        }
+        if checked {
+            // Criterion (ii): the suffix is now fully pushed (or pulled).
+            self.global.audit.pass(Rule::Cmt, Clause::Ii);
+        }
+        let own_ops: Vec<Op<S::Method, S::Ret>> = self.local.entries()[base..]
+            .iter()
+            .filter(|e| !e.flag.is_pulled())
+            .map(|e| e.op.clone())
+            .collect();
+        let pulled_from: Vec<(OpId, TxnId)> = self.local.entries()[base..]
+            .iter()
+            .filter(|e| e.flag.is_pulled())
+            .map(|e| (e.op.id, e.op.txn))
+            .collect();
+        let parent = self.frames[..self.frames.len() - 1]
+            .iter()
+            .rev()
+            .find_map(|f| f.txn)
+            .unwrap_or(self.txn);
+        let level = self.frames.len();
+        let child_code = match &self.frames.last().expect("checked above").origin {
+            ScopeOrigin::Peeled { body, .. } => body.strip_open(),
+            ScopeOrigin::Explicit => methods_as_seq(own_ops.iter().map(|o| &o.method)),
+        };
+        let flipped = {
+            // Critical section: criterion (iii) plus the flips, over
+            // exactly the shards the suffix routes to (ascending).
+            let mut coarse = false;
+            let mut indices = Vec::new();
+            for e in &self.local.entries()[base..] {
+                match self.global.route(&e.op.method) {
+                    Route::Coarse => coarse = true,
+                    Route::Single(i) => indices.push(i),
+                }
+            }
+            let mut view = if coarse {
+                self.global.acquire_all()
+            } else {
+                self.global.acquire_shards(indices)
+            };
+            if checked {
+                // Criterion (iii): every pulled op of the suffix belongs
+                // to a committed transaction.
+                for e in self.local.entries()[base..]
+                    .iter()
+                    .filter(|e| e.flag.is_pulled())
+                {
+                    match view.entry(e.op.id) {
+                        Some(g) if g.flag == GlobalFlag::Committed => {}
+                        Some(_) => {
+                            self.global.audit.fail(Rule::Cmt, Clause::Iii);
+                            return Err(MachineError::criterion(
+                                Rule::Cmt,
+                                Clause::Iii,
+                                format!("pulled {} is still uncommitted", e.op.id),
+                            ));
+                        }
+                        None => {
+                            self.global.audit.fail(Rule::Cmt, Clause::Iii);
+                            return Err(MachineError::criterion(
+                                Rule::Cmt,
+                                Clause::Iii,
+                                format!("pulled {} vanished from the global log", e.op.id),
+                            ));
+                        }
+                    }
+                }
+                self.global.audit.pass(Rule::Cmt, Clause::Iii);
+            }
+            // Flip the suffix committed via a temporary log holding
+            // exactly the child's entries.
+            let mut tmp = LocalLog::new();
+            for e in &self.local.entries()[base..] {
+                tmp.push_entry(e.clone());
+            }
+            let flipped = view.commit_local(&tmp);
+            self.global.push_committed(CommittedTxn {
+                txn: child,
+                thread: tid,
+                code: child_code,
+                ops: own_ops.clone(),
+                pulled_from,
+                kind: TxnKind::OpenChild { parent, level },
+            });
+            self.global.advance_caches(&mut view);
+            flipped
+        };
+        self.record(Event::Commit {
+            thread: tid,
+            txn: child,
+            ops: flipped,
+        });
+        self.commits += 1;
+        // The parent now depends on the committed child exactly as on
+        // any committed pull: its copies of the suffix flip to pld.
+        for op in &own_ops {
+            let entry = self.local.entry_mut(op.id).expect("own suffix entry");
+            entry.flag = LocalFlag::Pulled;
+        }
+        let frame = self.frames.pop().expect("checked above");
+        if let ScopeOrigin::Peeled { cont, .. } = frame.origin {
+            self.code = Some(cont);
+        }
+        let depth = self.frames.len();
+        for c in &mut self.comps {
+            if c.depth > depth {
+                c.depth = depth;
+            }
+        }
+        self.global
+            .nesting_counters()
+            .note_undo_inverses(inverses.len() as u64);
+        self.comps.push(Compensation {
+            undoes: child,
+            depth,
+            ops: inverses,
+        });
+        self.open_children += 1;
+        if !peeled {
+            self.explicit_open = true;
+        }
+        self.global.nesting_counters().note_open_commit();
+        Ok(())
+    }
+
+    /// Rewinds the local log down to `target_len`, tearing down frames
+    /// entered strictly above the target as the walk passes their base
+    /// (the unapp scope floor would otherwise block it). Frames based
+    /// *at* `target_len` are left for the caller to resolve.
+    fn rewind_suffix(&mut self, target_len: usize) -> MachineResult<()> {
+        loop {
+            if self.local.len() <= target_len {
+                return Ok(());
+            }
+            if let Some(top) = self.frames.last() {
+                if top.base_len > target_len && self.local.len() <= top.base_len {
+                    let frame = self.frames.pop().expect("checked above");
+                    self.drop_aborted_frame(frame);
+                    continue;
+                }
+            }
+            let last = self
+                .local
+                .entries()
+                .last()
+                .map(|e| (e.op.id, e.flag.clone()));
+            match last {
+                None => return Ok(()),
+                Some((id, LocalFlag::Pulled)) => self.unpull(id)?,
+                Some((id, LocalFlag::Pushed { .. })) => {
+                    self.unpush(id)?;
+                    self.unapp()?;
+                }
+                Some((_, LocalFlag::NotPushed { .. })) => {
+                    self.unapp()?;
+                }
+            }
+        }
+    }
+
+    /// Drops one frame on an abort path: records the `Abort` of an
+    /// in-flight open child, reconstructs the unentered `tx`/`otx` redex
+    /// for peeled scopes (so a retry re-runs the scope), and tallies the
+    /// abort.
+    fn drop_aborted_frame(&mut self, frame: ScopeFrame<S>) {
+        if let Some(child) = frame.txn {
+            let tid = self.tid;
+            self.record(Event::Abort {
+                thread: tid,
+                txn: child,
+            });
+        }
+        self.stack.truncate(frame.stack_len);
+        if let ScopeOrigin::Peeled { body, cont } = frame.origin {
+            let scoped = match frame.kind {
+                ScopeKind::Closed => Code::tx(body),
+                ScopeKind::Open => Code::otx(body),
+            };
+            self.code = Some(match cont {
+                Code::Skip => scoped,
+                c => Code::seq(scoped, c),
+            });
+        }
+        self.global.nesting_counters().note_aborted();
+    }
+
+    /// Pops every remaining frame whose base position was rewound away
+    /// (strictly above `target_len`, or also *at* it when `inclusive`),
+    /// then replays the compensations no longer owned by a live scope.
+    fn pop_rewound_frames(&mut self, target_len: usize, inclusive: bool) -> MachineResult<()> {
+        while let Some(top) = self.frames.last() {
+            let gone = top.base_len > target_len || (inclusive && top.base_len == target_len);
+            if !gone {
+                break;
+            }
+            let frame = self.frames.pop().expect("checked above");
+            self.drop_aborted_frame(frame);
+        }
+        self.replay_compensations_above(self.frames.len())
+    }
+
+    /// Replays (and removes) every compensation owned by a scope deeper
+    /// than `depth`, most recently registered first.
+    fn replay_compensations_above(&mut self, depth: usize) -> MachineResult<()> {
+        let mut replay: Vec<Compensation<S>> = Vec::new();
+        let mut i = 0;
+        while i < self.comps.len() {
+            if self.comps[i].depth > depth {
+                replay.push(self.comps.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for comp in replay.into_iter().rev() {
+            self.run_compensation(comp)?;
+        }
+        Ok(())
+    }
+
+    /// Replays (and removes) every registered compensation, most
+    /// recently registered first — the root-transaction abort path.
+    fn replay_all_compensations(&mut self) -> MachineResult<()> {
+        let comps = std::mem::take(&mut self.comps);
+        for comp in comps.into_iter().rev() {
+            self.run_compensation(comp)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one compensating transaction: the registered inverse
+    /// program executes as a fresh top-level transaction (its own id,
+    /// `Begin`/`Commit` events, a [`TxnKind::Compensation`] committed
+    /// record), appended and committed against `G` in one coarse
+    /// critical section so the abstract-state restoration is atomic.
+    /// The PUSH criteria are checked per inverse operation exactly as a
+    /// live push would.
+    fn run_compensation(&mut self, comp: Compensation<S>) -> MachineResult<()> {
+        let txn = self.global.fresh_txn();
+        let tid = self.tid;
+        self.record(Event::Begin { thread: tid, txn });
+        let checked = self.mode() != CheckMode::Unchecked;
+        let shard = self.shard();
+        let code = methods_as_seq(comp.ops.iter().map(|(m, _)| m));
+        let mut ops: Vec<Op<S::Method, S::Ret>> = Vec::new();
+        let flipped = {
+            let mut view = self.global.acquire_all();
+            let mut tmp = LocalLog::new();
+            for (method, ret) in &comp.ops {
+                let id = self.global.ids.fresh();
+                let op = Op::new(id, txn, method.clone(), ret.clone());
+                if checked {
+                    crate::transport::locked_push_criteria(&self.global, txn, shard, &view, &op)?;
+                }
+                let target = self.global.route(method).target();
+                self.global.append_push(&mut view, target, op.clone());
+                tmp.push_entry(LocalEntry {
+                    op: op.clone(),
+                    flag: LocalFlag::Pushed {
+                        saved_code: Code::Skip,
+                        saved_stack: Vec::new(),
+                    },
+                });
+                ops.push(op);
+            }
+            let flipped = view.commit_local(&tmp);
+            self.global.push_committed(CommittedTxn {
+                txn,
+                thread: tid,
+                code,
+                ops,
+                pulled_from: Vec::new(),
+                kind: TxnKind::Compensation {
+                    undoes: comp.undoes,
+                },
+            });
+            self.global.advance_caches(&mut view);
+            flipped
+        };
+        self.record(Event::Commit {
+            thread: tid,
+            txn,
+            ops: flipped,
+        });
+        self.commits += 1;
+        self.global.nesting_counters().note_compensation();
+        Ok(())
+    }
+
+    /// The code stored in the committed record: when open-nested
+    /// children committed separately, their `otx` bodies are stripped
+    /// (the parent's own operations no longer include them); a child
+    /// carved out by an *explicit* scope has no syntactic marker, so the
+    /// record falls back to the straight-line program of the parent's
+    /// own operations. Otherwise the original body verbatim.
+    fn committed_code(&self) -> Code<S::Method> {
+        if self.open_children == 0 {
+            self.original.clone()
+        } else if self.explicit_open {
+            let own = self.local.own_ops();
+            methods_as_seq(own.iter().map(|o| &o.method))
+        } else {
+            self.original.strip_open()
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Structural reductions (Figure 6) — thread-local.
     // ------------------------------------------------------------------
 
@@ -419,7 +1073,9 @@ impl<S: SeqSpec> TxnHandle<S> {
             return Err(MachineError::NoSuchStep(self.tid));
         }
         let id = self.global.ids.fresh();
-        let op = Op::new(id, self.txn, method.clone(), ret.clone());
+        // Operations applied inside an open scope belong to the child
+        // transaction; everywhere else `current_txn()` is the root.
+        let op = Op::new(id, self.current_txn(), method.clone(), ret.clone());
         // Criterion (ii): L allows op.
         if checked {
             let local_ops = self.local.ops();
@@ -455,8 +1111,11 @@ impl<S: SeqSpec> TxnHandle<S> {
     }
 
     /// **APP**, selecting the first `step(c)` option whose method equals
-    /// `method` and the first allowed return value.
+    /// `method` and the first allowed return value. Scope-aware: `tx`
+    /// and `otx` redexes are entered as nested scopes first (and
+    /// finished peeled scopes are exited).
     pub fn app_method(&mut self, method: &S::Method) -> MachineResult<OpId> {
+        self.settle_scopes()?;
         let options = self.step_options()?;
         let (m, cont) = options
             .into_iter()
@@ -471,8 +1130,9 @@ impl<S: SeqSpec> TxnHandle<S> {
     }
 
     /// **APP**, selecting the first `step(c)` option and the first
-    /// allowed return value.
+    /// allowed return value. Scope-aware, like [`Self::app_method`].
     pub fn app_auto(&mut self) -> MachineResult<OpId> {
+        self.settle_scopes()?;
         let options = self.step_options()?;
         let (m, cont) = options
             .into_iter()
@@ -494,6 +1154,13 @@ impl<S: SeqSpec> TxnHandle<S> {
     /// [`MachineError::NothingToUnapply`] if the local log is empty or
     /// its last entry is not `npshd`.
     pub fn unapp(&mut self) -> MachineResult<OpId> {
+        // A scope boundary is a floor: rewinding an entry *below* the
+        // innermost frame's base would desynchronise the frame stack.
+        if let Some(top) = self.frames.last() {
+            if self.local.len() <= top.base_len {
+                return Err(MachineError::NothingToUnapply(self.tid));
+            }
+        }
         let entry = match self.local.entries().last() {
             Some(e) if e.flag.is_not_pushed() => self.local.pop_entry().expect("non-empty"),
             _ => return Err(MachineError::NothingToUnapply(self.tid)),
@@ -656,7 +1323,7 @@ impl<S: SeqSpec> TxnHandle<S> {
                 } else {
                     crate::transport::locked_push_criteria(
                         &self.global,
-                        self.txn,
+                        op.txn,
                         shard,
                         &view,
                         &op,
@@ -708,7 +1375,9 @@ impl<S: SeqSpec> TxnHandle<S> {
     ) -> Option<SnapVerdict> {
         let global = &self.global;
         let static_ii = global.statically_discharged(Rule::Push, Clause::Ii);
-        let txn = self.txn;
+        // Own entries are judged by the *operation's* transaction (an
+        // open-scoped op belongs to its child transaction).
+        let txn = op.txn;
         let outcome = global.read_shard_snap(shard_idx, |snap| {
             // Criterion (ii) over the snapshot suffix. The committed
             // prefix never contributes a mover query (its entries all
@@ -798,7 +1467,7 @@ impl<S: SeqSpec> TxnHandle<S> {
             }
         }
         let req = ShardRequest::Push {
-            txn: self.txn,
+            txn: op.txn,
             audit_shard,
             checked,
             op: op.clone(),
@@ -838,7 +1507,7 @@ impl<S: SeqSpec> TxnHandle<S> {
             return Ok(());
         }
         if checked {
-            crate::transport::locked_push_criteria(&self.global, self.txn, audit_shard, &view, op)?;
+            crate::transport::locked_push_criteria(&self.global, op.txn, audit_shard, &view, op)?;
         }
         self.global.append_push(&mut view, target, op.clone());
         Ok(())
@@ -962,7 +1631,7 @@ impl<S: SeqSpec> TxnHandle<S> {
         if let Route::Single(i) = route {
             if !self.global.coarse_mode() {
                 let global = &self.global;
-                let txn = self.txn;
+                let txn = op.txn;
                 let verdict = global.read_shard_snap(i, |snap| {
                     snap.suffix.iter().all(|g| {
                         g.flag != GlobalFlag::Uncommitted
@@ -988,7 +1657,7 @@ impl<S: SeqSpec> TxnHandle<S> {
         let view = self.global.acquire_route(route);
         let ii = view.stamped().all(|(_, g)| {
             g.flag != GlobalFlag::Uncommitted
-                || g.op.txn == self.txn
+                || g.op.txn == op.txn
                 || self.global.spec().mover(&g.op, op)
         });
         if !ii {
@@ -1119,7 +1788,9 @@ impl<S: SeqSpec> TxnHandle<S> {
             .global
             .find_entry(op_id)
             .ok_or(MachineError::NoSuchOp(op_id))?;
-        if gentry.op.txn == self.txn {
+        let own =
+            gentry.op.txn == self.txn || self.frames.iter().any(|f| f.txn == Some(gentry.op.txn));
+        if own {
             return Err(MachineError::WrongFlag {
                 op: op_id,
                 expected: "another transaction's op",
@@ -1264,6 +1935,10 @@ impl<S: SeqSpec> TxnHandle<S> {
     /// On success the thread's next pending transaction (if any) begins.
     pub fn commit(&mut self) -> MachineResult<TxnId> {
         self.fault_gate(Rule::Cmt)?;
+        // Resolve every still-open scope first: closed frames merge
+        // (observationally free), open frames commit to `G` as their
+        // own transactions.
+        self.exit_scopes_for_commit()?;
         let checked = self.mode() != CheckMode::Unchecked;
         let txn = self.txn;
         if checked {
@@ -1347,9 +2022,10 @@ impl<S: SeqSpec> TxnHandle<S> {
             self.global.push_committed(CommittedTxn {
                 txn,
                 thread: self.tid,
-                code: self.original.clone(),
+                code: self.committed_code(),
                 ops: own_ops,
                 pulled_from,
+                kind: TxnKind::Top,
             });
             // Newly committed entries may extend the fully committed
             // prefix of each held shard: advance their caches.
@@ -1363,8 +2039,28 @@ impl<S: SeqSpec> TxnHandle<S> {
             ops: flipped,
         });
         self.commits += 1;
+        self.reset_txn_state();
+        self.begin_next_pending();
+        Ok(txn)
+    }
+
+    /// Resets the per-transaction state after a commit: the local log,
+    /// the observation stack, the scope stack, and the compensation set
+    /// (a committed root makes its open children durable — their
+    /// compensations are discarded, not replayed).
+    fn reset_txn_state(&mut self) {
         self.local = LocalLog::new();
         self.stack = Vec::new();
+        self.frames.clear();
+        self.comps.clear();
+        self.open_children = 0;
+        self.explicit_open = false;
+    }
+
+    /// Starts the next pending transaction (recording its `Begin`), or
+    /// parks the thread (`code = None`, the paper's MS_END).
+    fn begin_next_pending(&mut self) {
+        let tid = self.tid;
         match self.pending.pop_front() {
             Some(c) => {
                 let next_txn = self.global.fresh_txn();
@@ -1380,16 +2076,51 @@ impl<S: SeqSpec> TxnHandle<S> {
                 self.code = None;
             }
         }
-        Ok(txn)
     }
 
     // ------------------------------------------------------------------
     // Derived operations (compositions of back rules).
     // ------------------------------------------------------------------
 
+    /// Derives the compensating undo program for the transaction's live
+    /// local log: the spec-level inverse of every own (non-pulled) entry,
+    /// in reverse log order, read-only observations elided. This is the
+    /// undo log a boosted implementation would execute on abort; callers
+    /// that roll back via the back rules can use it for accounting or
+    /// cross-checking without mutating the handle. Tallies the derived
+    /// inverses in the global nesting counters.
+    ///
+    /// Errors with [`MachineError::NotInvertible`] if any live operation
+    /// has no spec-level inverse.
+    pub fn undo_program(&self) -> MachineResult<Vec<(S::Method, S::Ret)>> {
+        let mut inverses: Vec<(S::Method, S::Ret)> = Vec::new();
+        for e in self.local.entries() {
+            if e.flag.is_pulled() {
+                continue;
+            }
+            match self.global.spec().inverse(&e.op) {
+                OpInverse::ReadOnly => {}
+                OpInverse::Inverse(m, r) => inverses.push((m, r)),
+                OpInverse::NotInvertible => {
+                    return Err(MachineError::NotInvertible {
+                        thread: self.tid,
+                        op: e.op.id,
+                    })
+                }
+            }
+        }
+        inverses.reverse();
+        self.global
+            .nesting_counters()
+            .note_undo_inverses(inverses.len() as u64);
+        Ok(inverses)
+    }
+
     /// Fully rewinds the current transaction (the composition of `⃗back`
     /// rules: UNPULL/UNPUSH/UNAPP from the tail) and restarts it as a
-    /// fresh transaction instance with the original code.
+    /// fresh transaction instance with the original code. Compensations
+    /// registered by committed open-nested children are replayed (most
+    /// recent first) between the `Abort` and the retry's `Begin`.
     ///
     /// Records an `Abort` plus a `Begin` event.
     pub fn abort_and_retry(&mut self) -> MachineResult<TxnId> {
@@ -1400,74 +2131,46 @@ impl<S: SeqSpec> TxnHandle<S> {
         }
         self.rewind_all()?;
         let old = self.txn;
-        let txn = self.global.fresh_txn();
-        self.aborts += 1;
-        self.code = Some(self.original.clone());
-        self.stack = Vec::new();
-        self.txn = txn;
         let tid = self.tid;
         self.record(Event::Abort {
             thread: tid,
             txn: old,
         });
+        self.replay_all_compensations()?;
+        let txn = self.global.fresh_txn();
+        self.aborts += 1;
+        self.code = Some(self.original.clone());
+        self.stack = Vec::new();
+        self.open_children = 0;
+        self.explicit_open = false;
+        self.txn = txn;
         self.record(Event::Begin { thread: tid, txn });
         Ok(txn)
     }
 
     /// Rewinds the current transaction completely: walking the local log
     /// from the tail, pulled entries are UNPULLed, pushed entries are
-    /// UNPUSHed then UNAPPed, unpushed entries are UNAPPed.
+    /// UNPUSHed then UNAPPed, unpushed entries are UNAPPed. Every scope
+    /// frame is popped (in-flight open children record their `Abort`);
+    /// compensations owned by popped scopes are replayed, while those
+    /// owned by the root stay registered for the caller's abort path.
     pub fn rewind_all(&mut self) -> MachineResult<()> {
-        loop {
-            let last = match self.local.entries().last() {
-                None => return Ok(()),
-                Some(e) => (e.op.id, e.flag.clone()),
-            };
-            match last.1 {
-                LocalFlag::Pulled => {
-                    self.unpull(last.0)?;
-                }
-                LocalFlag::Pushed { .. } => {
-                    self.unpush(last.0)?;
-                    self.unapp()?;
-                }
-                LocalFlag::NotPushed { .. } => {
-                    self.unapp()?;
-                }
-            }
-        }
+        self.rewind_suffix(0)?;
+        self.pop_rewound_frames(0, true)
     }
 
     /// Rewinds the current transaction's local log down to `target_len`
     /// entries, taking whatever back rules the tail requires — the
-    /// checkpoint/partial-abort mechanism of §6.2.
+    /// checkpoint/partial-abort mechanism of §6.2. Scopes entered
+    /// strictly after `target_len` are aborted with their suffixes.
     ///
     /// # Errors
     ///
     /// Propagates criterion violations from the constituent
     /// UNPUSH/UNPULL steps (an UNAPP at the tail never fails).
     pub fn rewind_to(&mut self, target_len: usize) -> MachineResult<()> {
-        loop {
-            if self.local.len() <= target_len {
-                return Ok(());
-            }
-            let last = self
-                .local
-                .entries()
-                .last()
-                .map(|e| (e.op.id, e.flag.clone()));
-            match last {
-                None => return Ok(()),
-                Some((id, LocalFlag::Pulled)) => self.unpull(id)?,
-                Some((id, LocalFlag::Pushed { .. })) => {
-                    self.unpush(id)?;
-                    self.unapp()?;
-                }
-                Some((_, LocalFlag::NotPushed { .. })) => {
-                    self.unapp()?;
-                }
-            }
-        }
+        self.rewind_suffix(target_len)?;
+        self.pop_rewound_frames(target_len, false)
     }
 
     /// Pushes every unpushed own operation in local order, then commits —
@@ -1504,18 +2207,10 @@ impl<S: SeqSpec> TxnHandle<S> {
             thread: tid,
             txn: old,
         });
-        match self.pending.pop_front() {
-            Some(c) => {
-                let txn = self.global.fresh_txn();
-                self.code = Some(c.clone());
-                self.original = c;
-                self.txn = txn;
-                self.record(Event::Begin { thread: tid, txn });
-            }
-            None => {
-                self.code = None;
-            }
-        }
+        self.replay_all_compensations()?;
+        self.open_children = 0;
+        self.explicit_open = false;
+        self.begin_next_pending();
         Ok(())
     }
 
@@ -1538,6 +2233,13 @@ impl<S: SeqSpec> TxnHandle<S> {
             return None;
         }
         if self.global.coarse_mode() || self.global.transport().is_some() {
+            return None;
+        }
+        // Nested scopes and registered compensations stay off the batch
+        // path: resolving them (open commits, compensation replay)
+        // acquires shard locks of its own, which would deadlock under
+        // the caller's held batch view.
+        if !self.frames.is_empty() || !self.comps.is_empty() || self.open_children > 0 {
             return None;
         }
         let mut target: Option<usize> = None;
@@ -1634,7 +2336,7 @@ impl<S: SeqSpec> TxnHandle<S> {
             // recorded pass/static/fail; (iii) is reached only when (ii)
             // held.
             let ii_static = self.global.statically_discharged(Rule::Push, Clause::Ii);
-            match crate::transport::locked_push_criteria(&self.global, self.txn, shard, view, &op) {
+            match crate::transport::locked_push_criteria(&self.global, op.txn, shard, view, &op) {
                 Ok(()) => {
                     tally.reached += 2;
                     if ii_static {
@@ -1702,6 +2404,10 @@ impl<S: SeqSpec> TxnHandle<S> {
         view: &mut LogView<'_, S>,
         tally: &mut BatchTally,
     ) -> MachineResult<TxnId> {
+        debug_assert!(
+            self.frames.is_empty() && self.comps.is_empty(),
+            "batch commit on a handle with live scopes (group_route must exclude it)"
+        );
         self.fault_gate(Rule::Cmt)?;
         let checked = self.mode() != CheckMode::Unchecked;
         let txn = self.txn;
@@ -1776,9 +2482,10 @@ impl<S: SeqSpec> TxnHandle<S> {
             self.global.push_committed(CommittedTxn {
                 txn,
                 thread: self.tid,
-                code: self.original.clone(),
+                code: self.committed_code(),
                 ops: own_ops,
                 pulled_from,
+                kind: TxnKind::Top,
             });
             self.global.advance_caches(view);
             flipped
@@ -1790,23 +2497,8 @@ impl<S: SeqSpec> TxnHandle<S> {
             ops: flipped,
         });
         self.commits += 1;
-        self.local = LocalLog::new();
-        self.stack = Vec::new();
-        match self.pending.pop_front() {
-            Some(c) => {
-                let next_txn = self.global.fresh_txn();
-                self.code = Some(c.clone());
-                self.original = c;
-                self.txn = next_txn;
-                self.record(Event::Begin {
-                    thread: tid,
-                    txn: next_txn,
-                });
-            }
-            None => {
-                self.code = None;
-            }
-        }
+        self.reset_txn_state();
+        self.begin_next_pending();
         Ok(txn)
     }
 
@@ -1929,6 +2621,10 @@ impl<S: SeqSpec> TxnHandle<S> {
         view: &mut LogView<'_, S>,
         tally: &mut BatchTally,
     ) -> MachineResult<TxnId> {
+        debug_assert!(
+            self.frames.is_empty() && self.comps.is_empty(),
+            "batch abort on a handle with live scopes (group_route must exclude it)"
+        );
         if self.code.is_none() {
             return Err(MachineError::ThreadFinished(self.tid));
         }
@@ -1985,4 +2681,22 @@ impl<S: SeqSpec> TxnHandle<S> {
         }
         Ok(n)
     }
+}
+
+/// Folds a method sequence into `m₁ ; m₂ ; …` (or `skip` when empty) —
+/// the committed-record code of explicit open scopes and compensating
+/// transactions, whose "program" is exactly the operations performed.
+fn methods_as_seq<'a, M, I>(methods: I) -> Code<M>
+where
+    M: Clone + 'a,
+    I: DoubleEndedIterator<Item = &'a M>,
+{
+    let mut code = Code::Skip;
+    for m in methods.rev() {
+        code = match code {
+            Code::Skip => Code::method(m.clone()),
+            c => Code::seq(Code::method(m.clone()), c),
+        };
+    }
+    code
 }

@@ -13,10 +13,17 @@
 //!   method call.
 //!
 //! [`Code::step`] and [`Code::fin`] implement exactly the equations of
-//! Example 1. Nested transactions are flattened (`step(tx c) = step(c)`),
-//! matching the paper, which ignores nesting.
+//! Example 1. In `step`/`fin` nested transactions are flattened
+//! (`step(tx c) = step(c)`), matching the paper's small-step semantics —
+//! but the boundary is *not* lost: [`Code::peel_scope`] recovers the
+//! leftmost `tx`/`otx` redex so [`crate::handle::TxnHandle`] can enter a
+//! first-class nested scope (closed or open) before stepping into the
+//! body. Drivers that never consult scopes keep the historical flattened
+//! behaviour bit-for-bit.
 
 use std::fmt;
+
+use crate::scope::ScopeKind;
 
 /// Code of the generic transaction language.
 ///
@@ -51,6 +58,13 @@ pub enum Code<M> {
     Star(Box<Code<M>>),
     /// A transaction `tx c`.
     Tx(Box<Code<M>>),
+    /// An *open-nested* transaction `otx c` (§6.2 "open nesting"): its
+    /// body commits to the shared log as an independent transaction the
+    /// moment the scope finishes, registering compensating inverses in
+    /// the enclosing transaction's compensation set. In `step`/`fin` it
+    /// flattens exactly like [`Code::Tx`]; the open semantics engage
+    /// only through [`Code::peel_scope`]-aware executors.
+    OpenTx(Box<Code<M>>),
 }
 
 impl<M: Clone> Code<M> {
@@ -77,6 +91,11 @@ impl<M: Clone> Code<M> {
     /// Convenience constructor for [`Code::Tx`].
     pub fn tx(a: Code<M>) -> Self {
         Code::Tx(Box::new(a))
+    }
+
+    /// Convenience constructor for [`Code::OpenTx`].
+    pub fn otx(a: Code<M>) -> Self {
+        Code::OpenTx(Box::new(a))
     }
 
     /// Sequences a list of codes: `seq_all([a, b, c]) = a ; (b ; c)`.
@@ -151,7 +170,7 @@ impl<M: Clone> Code<M> {
                 .into_iter()
                 .map(|(m, k)| (m, Code::seq(k, Code::star((**c).clone()))))
                 .collect(),
-            Code::Tx(c) => c.step_raw(),
+            Code::Tx(c) | Code::OpenTx(c) => c.step_raw(),
         }
     }
 
@@ -164,7 +183,73 @@ impl<M: Clone> Code<M> {
             Code::Seq(c1, c2) => c1.fin() && c2.fin(),
             Code::Choice(c1, c2) => c1.fin() || c2.fin(),
             Code::Star(_) => true,
-            Code::Tx(c) => c.fin(),
+            Code::Tx(c) | Code::OpenTx(c) => c.fin(),
+        }
+    }
+
+    /// Locates the leftmost nested-transaction redex along the `Seq`
+    /// spine: the scope an executor should *enter* before stepping into
+    /// its body. Returns `(kind, body, cont)` where `cont` is everything
+    /// sequenced after the scope (`skip` when nothing is).
+    ///
+    /// Descent mirrors the `SEMI` congruence: through the left of `Seq`,
+    /// and past a finished, step-free prefix into the right — so the
+    /// peeled body's `step` options coincide with the flattened `step`
+    /// options of the whole code whenever the body can still step.
+    pub fn peel_scope(&self) -> Option<(ScopeKind, Code<M>, Code<M>)>
+    where
+        M: PartialEq,
+    {
+        match self {
+            Code::Tx(b) => Some((ScopeKind::Closed, (**b).clone(), Code::Skip)),
+            Code::OpenTx(b) => Some((ScopeKind::Open, (**b).clone(), Code::Skip)),
+            Code::Seq(a, rest) => {
+                if let Some((kind, body, cont)) = a.peel_scope() {
+                    let cont = match cont {
+                        Code::Skip => (**rest).clone(),
+                        c => Code::seq(c, (**rest).clone()),
+                    };
+                    Some((kind, body, cont))
+                } else if a.fin() && a.step_raw().is_empty() {
+                    // `a` is semantically skip: the scope (if any) in
+                    // `rest` is the leftmost redex.
+                    rest.peel_scope()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Does any `otx` scope occur in `self`?
+    pub fn has_open(&self) -> bool {
+        match self {
+            Code::Skip | Code::Method(_) => false,
+            Code::Seq(a, b) | Code::Choice(a, b) => a.has_open() || b.has_open(),
+            Code::Star(a) | Code::Tx(a) => a.has_open(),
+            Code::OpenTx(_) => true,
+        }
+    }
+
+    /// `self` with every `otx` subtree replaced by `skip`.
+    ///
+    /// An open-nested child commits as its *own* transaction, so the
+    /// parent's committed record — the code the serializability oracle
+    /// replays against the parent's own operations — must not demand the
+    /// child's methods. For open-free code this is the identity.
+    pub fn strip_open(&self) -> Code<M> {
+        if !self.has_open() {
+            return self.clone();
+        }
+        match self {
+            Code::Skip => Code::Skip,
+            Code::Method(m) => Code::Method(m.clone()),
+            Code::Seq(a, b) => Code::seq(a.strip_open(), b.strip_open()),
+            Code::Choice(a, b) => Code::choice(a.strip_open(), b.strip_open()),
+            Code::Star(a) => Code::star(a.strip_open()),
+            Code::Tx(a) => Code::tx(a.strip_open()),
+            Code::OpenTx(_) => Code::Skip,
         }
     }
 
@@ -198,7 +283,7 @@ impl<M: Clone> Code<M> {
                 a.collect_methods(out);
                 b.collect_methods(out);
             }
-            Code::Star(a) | Code::Tx(a) => a.collect_methods(out),
+            Code::Star(a) | Code::Tx(a) | Code::OpenTx(a) => a.collect_methods(out),
         }
     }
 
@@ -208,7 +293,7 @@ impl<M: Clone> Code<M> {
         match self {
             Code::Skip | Code::Method(_) => 1,
             Code::Seq(a, b) | Code::Choice(a, b) => 1 + a.size() + b.size(),
-            Code::Star(a) | Code::Tx(a) => 1 + a.size(),
+            Code::Star(a) | Code::Tx(a) | Code::OpenTx(a) => 1 + a.size(),
         }
     }
 }
@@ -222,6 +307,7 @@ impl<M: fmt::Display> fmt::Display for Code<M> {
             Code::Choice(a, b) => write!(f, "({a} + {b})"),
             Code::Star(a) => write!(f, "({a})*"),
             Code::Tx(a) => write!(f, "tx {a}"),
+            Code::OpenTx(a) => write!(f, "otx {a}"),
         }
     }
 }
@@ -339,5 +425,60 @@ mod tests {
     fn size_counts_nodes() {
         let c = Code::seq(m("a"), Code::star(m("b")));
         assert_eq!(c.size(), 4);
+    }
+
+    #[test]
+    fn open_tx_flattens_like_tx_in_step_and_fin() {
+        let c = Code::otx(Code::seq(m("a"), m("b")));
+        let names: Vec<&str> = c.step().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a"]);
+        assert!(!c.fin());
+        assert!(Code::<&str>::otx(Code::Skip).fin());
+        assert_eq!(c.to_string(), "otx (a ; b)");
+    }
+
+    #[test]
+    fn peel_scope_finds_leftmost_redex_with_continuation() {
+        // tx a ; b — peels to (Closed, a, b).
+        let c = Code::seq(Code::tx(m("a")), m("b"));
+        let (kind, body, cont) = c.peel_scope().expect("peelable");
+        assert_eq!(kind, ScopeKind::Closed);
+        assert_eq!(body, m("a"));
+        assert_eq!(cont, m("b"));
+        // otx inside a seq-spine with a skip prefix.
+        let c = Code::seq(Code::Skip, Code::seq(Code::otx(m("x")), m("y")));
+        let (kind, body, cont) = c.peel_scope().expect("peelable");
+        assert_eq!(kind, ScopeKind::Open);
+        assert_eq!(body, m("x"));
+        assert_eq!(cont, m("y"));
+        // A method prefix blocks peeling (the scope is not the redex yet).
+        assert!(Code::seq(m("a"), Code::tx(m("b"))).peel_scope().is_none());
+        // No scope at all.
+        assert!(m("a").peel_scope().is_none());
+    }
+
+    #[test]
+    fn peel_scope_nested_tx_peels_outermost_first() {
+        let c = Code::tx(Code::seq(Code::tx(m("a")), m("b")));
+        let (kind, body, cont) = c.peel_scope().expect("peelable");
+        assert_eq!(kind, ScopeKind::Closed);
+        assert_eq!(cont, Code::Skip);
+        // The body itself peels again (the inner scope).
+        let (k2, b2, c2) = body.peel_scope().expect("inner peels");
+        assert_eq!(k2, ScopeKind::Closed);
+        assert_eq!(b2, m("a"));
+        assert_eq!(c2, m("b"));
+    }
+
+    #[test]
+    fn strip_open_replaces_otx_with_skip() {
+        let c = Code::seq(m("a"), Code::seq(Code::otx(m("x")), m("b")));
+        assert!(c.has_open());
+        let stripped = c.strip_open();
+        assert!(!stripped.has_open());
+        assert_eq!(stripped.reachable_methods(), vec!["a", "b"]);
+        // Open-free code round-trips identically.
+        let flat = Code::tx(Code::seq(m("a"), m("b")));
+        assert_eq!(flat.strip_open(), flat);
     }
 }

@@ -80,6 +80,7 @@ pub mod op;
 pub mod opacity;
 pub mod precongruence;
 pub mod rng;
+pub mod scope;
 pub mod serializability;
 pub mod smallvec;
 pub mod snapcell;
@@ -94,16 +95,17 @@ pub use arena::{ArenaRef, SlabArena};
 pub use certificate::SpecCertificate;
 pub use error::{Clause, CriterionViolation, MachineError, MachineResult, Rule};
 pub use faults::{BoundaryFault, FaultHook, FaultKind, HtmFault, TransportFault};
-pub use global::{GlobalState, GroupStats};
+pub use global::{CommittedTxn, GlobalState, GroupStats, TxnKind};
 pub use group::{commit_group, GroupOutcome, GroupTxnResult};
 pub use handle::TxnHandle;
 pub use lang::Code;
 pub use log::{GlobalFlag, GlobalLog, LocalFlag, LocalLog};
 pub use machine::{CheckMode, Machine};
 pub use op::{Op, OpId, ThreadId, TxnId};
+pub use scope::{NestingStats, ScopeKind};
 pub use smallvec::SmallVec;
 pub use snapcell::SnapCell;
-pub use spec::{KeySet, SeqSpec};
+pub use spec::{KeySet, OpInverse, SeqSpec};
 pub use static_facts::{RulePattern, StaticDischarge};
 pub use trace::{Event, Trace};
 pub use transport::{

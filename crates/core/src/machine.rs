@@ -37,6 +37,7 @@ use crate::handle::TxnHandle;
 use crate::lang::Code;
 use crate::log::GlobalLog;
 use crate::op::{OpId, ThreadId, TxnId};
+use crate::scope::ScopeKind;
 use crate::spec::SeqSpec;
 use crate::trace::Trace;
 
@@ -582,6 +583,67 @@ impl<S: SeqSpec> Machine<S> {
     /// state (§6.2: "transactions begin by PULLing all operations").
     pub fn pull_all_committed(&mut self, tid: ThreadId) -> MachineResult<usize> {
         self.handle_mut(tid)?.pull_all_committed()
+    }
+
+    // ------------------------------------------------------------------
+    // Nested transaction scopes (§6.2 checkpoints, closed/open nesting).
+    // ------------------------------------------------------------------
+
+    /// Opens a nested scope on `tid` explicitly (no syntax involved):
+    /// subsequent operations belong to the scope until
+    /// [`commit_nested`](Machine::commit_nested) merges it or
+    /// [`abort_nested`](Machine::abort_nested) rewinds it. Returns the
+    /// local-log length at entry (the scope's base). See
+    /// [`TxnHandle::begin_nested`].
+    pub fn begin_nested(&mut self, tid: ThreadId, kind: ScopeKind) -> MachineResult<usize> {
+        self.handle_mut(tid)?.begin_nested(kind)
+    }
+
+    /// Commits `tid`'s innermost scope: a closed scope merges into its
+    /// parent (observationally free); an open scope commits straight to
+    /// the shared log as its own transaction and registers a
+    /// compensation with the parent. See [`TxnHandle::commit_nested`].
+    pub fn commit_nested(&mut self, tid: ThreadId) -> MachineResult<()> {
+        self.handle_mut(tid)?.commit_nested()
+    }
+
+    /// Aborts `tid`'s innermost scope, rewinding only its log suffix —
+    /// the partial abort of §6.2. The enclosing transaction survives.
+    /// See [`TxnHandle::abort_nested`].
+    pub fn abort_nested(&mut self, tid: ThreadId) -> MachineResult<()> {
+        self.handle_mut(tid)?.abort_nested()
+    }
+
+    /// Sets a checkpoint placemarker (a closed scope used purely as a
+    /// rewind target) and returns its position for
+    /// [`abort_to_checkpoint`](Machine::abort_to_checkpoint).
+    pub fn begin_checkpoint(&mut self, tid: ThreadId) -> MachineResult<usize> {
+        self.handle_mut(tid)?.begin_checkpoint()
+    }
+
+    /// Partially aborts back to the checkpoint whose base is
+    /// `target_len`, consuming it and every scope above it. See
+    /// [`TxnHandle::abort_to_checkpoint`].
+    pub fn abort_to_checkpoint(&mut self, tid: ThreadId, target_len: usize) -> MachineResult<()> {
+        self.handle_mut(tid)?.abort_to_checkpoint(target_len)
+    }
+
+    /// Number of scopes currently open on `tid` (0 = flat).
+    pub fn scope_depth(&self, tid: ThreadId) -> MachineResult<usize> {
+        Ok(self.thread(tid)?.scope_depth())
+    }
+
+    /// Compensations `tid`'s current transaction would replay if it
+    /// aborted now (committed open-nested children awaiting the parent's
+    /// fate).
+    pub fn pending_compensations(&self, tid: ThreadId) -> MachineResult<usize> {
+        Ok(self.thread(tid)?.pending_compensations())
+    }
+
+    /// Machine-wide nesting counters: scope traffic, open-nested commits,
+    /// compensations replayed, undo inverses derived.
+    pub fn nesting_stats(&self) -> crate::scope::NestingStats {
+        self.global.nesting_stats()
     }
 }
 

@@ -23,6 +23,7 @@
 //! search.
 
 use crate::atomic::{exists_serialization, replay_tx};
+use crate::global::TxnKind;
 use crate::machine::{CommittedTxn, Machine};
 use crate::op::{Op, TxnId};
 use crate::precongruence::precongruent_by_states;
@@ -121,6 +122,196 @@ pub fn check_machine<S: SeqSpec>(m: &Machine<S>) -> SerializabilityReport {
 /// operations, concatenated in commit order.
 pub fn serial_witness<M: Clone, R: Clone>(txns: &[CommittedTxn<M, R>]) -> Vec<Op<M, R>> {
     txns.iter().flat_map(|t| t.ops.iter().cloned()).collect()
+}
+
+// ----------------------------------------------------------------------
+// The per-level oracle for nested runs.
+// ----------------------------------------------------------------------
+
+/// The outcome of the nested-scope oracle: the flat Theorem 5.17 checks
+/// (which already cover every level, since open-nested children and
+/// compensations commit as first-class transactions) plus the
+/// obligations specific to open nesting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedReport {
+    /// The four flat checks over **all** committed transactions in commit
+    /// order — top-level, open-nested children, and compensations alike.
+    /// This is what makes every nesting level serializable: each level-k
+    /// transaction replays atomically against the full commit prefix.
+    pub base: SerializabilityReport,
+    /// Open-nested children whose parent never committed and that no
+    /// committed compensation undoes: their effect leaked past an abort.
+    pub unresolved_children: Vec<TxnId>,
+    /// Open-nested children recorded as committing **after** their
+    /// committed parent — impossible in a well-formed run (the child
+    /// commits while the parent is still live).
+    pub misordered_children: Vec<TxnId>,
+    /// Compensations that undo an unknown transaction or committed
+    /// before the child they undo.
+    pub misordered_compensations: Vec<TxnId>,
+    /// Compensations whose operations do **not** restore the abstract
+    /// state their child changed (the spec-level inverse law fails on
+    /// the recorded observations).
+    pub non_restoring_compensations: Vec<TxnId>,
+    /// Committed-transaction count per nesting level: index 0 holds the
+    /// top-level transactions and compensations, index `k ≥ 1` the open
+    /// children committed from scope depth `k`.
+    pub txns_per_level: Vec<usize>,
+}
+
+impl NestedReport {
+    /// Did the flat checks and every nesting obligation pass?
+    pub fn is_serializable(&self) -> bool {
+        self.base.is_serializable()
+            && self.unresolved_children.is_empty()
+            && self.misordered_children.is_empty()
+            && self.misordered_compensations.is_empty()
+            && self.non_restoring_compensations.is_empty()
+    }
+}
+
+impl std::fmt::Display for NestedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_serializable() {
+            write!(
+                f,
+                "serializable at every level (txns per level: {:?})",
+                self.txns_per_level
+            )
+        } else {
+            write!(
+                f,
+                "NOT serializable: base=[{}], unresolved children={:?}, \
+                 misordered children={:?}, misordered compensations={:?}, \
+                 non-restoring compensations={:?}",
+                self.base,
+                self.unresolved_children,
+                self.misordered_children,
+                self.misordered_compensations,
+                self.non_restoring_compensations
+            )
+        }
+    }
+}
+
+/// Runs the flat oracle plus the open-nesting obligations: children are
+/// contained in (commit before) their parents, every orphaned child —
+/// one whose parent aborted — is undone by a committed compensation, and
+/// each compensation provably restores the abstract state its child
+/// changed.
+pub fn check_machine_nested<S: SeqSpec>(m: &Machine<S>) -> NestedReport {
+    let base = check_machine(m);
+    let spec = m.spec();
+    let txns = m.committed_txns();
+    let commit_pos: std::collections::HashMap<TxnId, usize> =
+        txns.iter().enumerate().map(|(i, t)| (t.txn, i)).collect();
+    let compensated: std::collections::HashMap<TxnId, usize> = txns
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| match t.kind {
+            TxnKind::Compensation { undoes } => Some((undoes, i)),
+            _ => None,
+        })
+        .collect();
+
+    let mut unresolved_children = Vec::new();
+    let mut misordered_children = Vec::new();
+    let mut misordered_compensations = Vec::new();
+    let mut non_restoring_compensations = Vec::new();
+    let mut txns_per_level = Vec::new();
+
+    for (i, t) in txns.iter().enumerate() {
+        let level = match t.kind {
+            TxnKind::Top | TxnKind::Compensation { .. } => 0,
+            TxnKind::OpenChild { level, .. } => level,
+        };
+        if txns_per_level.len() <= level {
+            txns_per_level.resize(level + 1, 0);
+        }
+        txns_per_level[level] += 1;
+
+        match t.kind {
+            TxnKind::Top => {}
+            TxnKind::OpenChild { parent, .. } => match commit_pos.get(&parent) {
+                // Containment: the child commits while the parent is
+                // still live, so strictly before the parent's commit.
+                Some(&p) if p < i => misordered_children.push(t.txn),
+                Some(_) => {}
+                // Orphan: the parent aborted — a compensation must have
+                // undone this child.
+                None if !compensated.contains_key(&t.txn) => unresolved_children.push(t.txn),
+                None => {}
+            },
+            TxnKind::Compensation { undoes } => match commit_pos.get(&undoes) {
+                Some(&c) if c < i => {
+                    if !compensation_restores(spec, &txns[c].ops, &t.ops) {
+                        non_restoring_compensations.push(t.txn);
+                    }
+                }
+                // Undoing an uncommitted or later transaction is
+                // structurally wrong.
+                _ => misordered_compensations.push(t.txn),
+            },
+        }
+    }
+
+    NestedReport {
+        base,
+        unresolved_children,
+        misordered_children,
+        misordered_compensations,
+        non_restoring_compensations,
+        txns_per_level,
+    }
+}
+
+/// The spec-level restoration law: from every abstract state where
+/// `child` can run with its recorded observations, running `child` then
+/// `comp` can return to that exact state. States come from the spec's
+/// finite universe when declared, else from its initial states; states
+/// where `child`'s observations are not enabled are vacuously fine (the
+/// run never passed through them).
+pub fn compensation_restores<S: SeqSpec>(
+    spec: &S,
+    child: &[Op<S::Method, S::Ret>],
+    comp: &[Op<S::Method, S::Ret>],
+) -> bool {
+    let states = spec
+        .state_universe()
+        .unwrap_or_else(|| spec.initial_states());
+    for s in states {
+        let after_child = run_ops(spec, vec![s.clone()], child);
+        if after_child.is_empty() {
+            continue;
+        }
+        if !run_ops(spec, after_child, comp).contains(&s) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Relational image of an operation sequence over a set of states.
+fn run_ops<S: SeqSpec>(
+    spec: &S,
+    mut states: Vec<S::State>,
+    ops: &[Op<S::Method, S::Ret>],
+) -> Vec<S::State> {
+    for op in ops {
+        let mut next = Vec::new();
+        for s in &states {
+            for post in spec.post_states(s, &op.method, &op.ret) {
+                if !next.contains(&post) {
+                    next.push(post);
+                }
+            }
+        }
+        states = next;
+        if states.is_empty() {
+            break;
+        }
+    }
+    states
 }
 
 /// **Strict** serializability: the serial witness must also respect

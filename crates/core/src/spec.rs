@@ -18,6 +18,30 @@ use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::Hash;
 
+/// The verdict of the inverse oracle [`SeqSpec::inverse`] for one
+/// operation: how (if at all) its state change can be undone by
+/// appending another operation.
+///
+/// This is what makes open nesting and boosting-style undo sound: a
+/// committed open-nested child is compensated by replaying the
+/// [`OpInverse::Inverse`] of each of its state-changing operations in
+/// reverse order, and the inverse *law* — `⟦ℓ · op · op⁻¹⟧ = ⟦ℓ⟧`
+/// whenever `ℓ · op` is allowed, and `⟦ℓ · op⟧ = ⟦ℓ⟧` for
+/// [`OpInverse::ReadOnly`] — is certified exhaustively by
+/// `pushpull-analysis` on bounded specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpInverse<M, R> {
+    /// The operation never changes state; there is nothing to undo.
+    ReadOnly,
+    /// Appending this `(method, ret)` after the operation restores every
+    /// pre-state exactly.
+    Inverse(M, R),
+    /// The operation destroys information (e.g. a saturating decrement
+    /// at the floor) and has no context-free inverse. Open-nested scopes
+    /// refuse to commit such operations.
+    NotInvertible,
+}
+
 /// A declared footprint: the abstract keys a method touches.
 ///
 /// Nearly every routed method declares exactly one key (and the product
@@ -247,6 +271,27 @@ pub trait SeqSpec {
     /// algebraic oracles special-case, e.g. zero amounts).
     fn method_universe(&self) -> Option<Vec<Self::Method>> {
         None
+    }
+
+    /// The inverse oracle: how `op`'s state change can be undone — the
+    /// basis of open-nested compensations and boosting's undo-logging
+    /// (§4's "UNPUSH is typically implemented via inverse operations").
+    ///
+    /// Overrides must satisfy the inverse law (see [`OpInverse`]);
+    /// `pushpull-analysis` certifies it exhaustively on bounded specs.
+    /// The default declares every operation [`OpInverse::NotInvertible`],
+    /// which soundly disables open nesting.
+    fn inverse(&self, _op: &Op<Self::Method, Self::Ret>) -> OpInverse<Self::Method, Self::Ret> {
+        OpInverse::NotInvertible
+    }
+
+    /// Does this spec support open nesting — i.e. is every operation an
+    /// [`OpInverse::Inverse`] or [`OpInverse::ReadOnly`] under
+    /// [`SeqSpec::inverse`]? Consulted once at open-scope entry; the
+    /// per-operation verdicts are still checked at open commit. The
+    /// default (`false`) matches the default `inverse`.
+    fn has_inverses(&self) -> bool {
+        false
     }
 }
 

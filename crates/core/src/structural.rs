@@ -53,6 +53,10 @@ pub fn apply<M: Clone>(code: &Code<M>, step: StructStep) -> Option<Code<M>> {
             let a2 = apply(a, step)?;
             Some(Code::tx(a2))
         }
+        Code::OpenTx(a) => {
+            let a2 = apply(a, step)?;
+            Some(Code::otx(a2))
+        }
         Code::Choice(a, b) => match step {
             StructStep::NondetL => Some((**a).clone()),
             StructStep::NondetR => Some((**b).clone()),
@@ -78,7 +82,7 @@ fn leftmost<M: Clone>(code: &Code<M>) -> Option<&Code<M>> {
                 leftmost(a)
             }
         }
-        Code::Tx(a) => leftmost(a),
+        Code::Tx(a) | Code::OpenTx(a) => leftmost(a),
         Code::Choice(_, _) | Code::Star(_) => Some(code),
         Code::Skip | Code::Method(_) => None,
     }

@@ -6,7 +6,7 @@
 //! `pushpull-core` is self-contained and its doc examples run.
 
 use crate::op::{Op, OpId, TxnId};
-use crate::spec::SeqSpec;
+use crate::spec::{OpInverse, SeqSpec};
 
 /// Methods of the toy counter.
 ///
@@ -130,6 +130,124 @@ impl SeqSpec for ToyCounter {
 
     fn state_universe(&self) -> Option<Vec<i64>> {
         Some((0..=self.bound).collect())
+    }
+
+    fn inverse(&self, op: &CounterOp) -> OpInverse<CounterMethod, i64> {
+        match op.method {
+            // inc from s<bound lands at s+1 ≥ 1, where dec restores s
+            // exactly (never saturating).
+            CounterMethod::Inc => OpInverse::Inverse(CounterMethod::Dec, 0),
+            // dec saturates at zero — from state 0 it is the identity,
+            // so inc does NOT undo it (0 → 0 → 1 ≠ 0): information lost.
+            CounterMethod::Dec => OpInverse::NotInvertible,
+            CounterMethod::Get => OpInverse::ReadOnly,
+        }
+    }
+
+    // has_inverses stays false: Dec is not invertible, so ToyCounter
+    // programs cannot enter open-nested scopes (and the certificate
+    // gate has a negative case to test).
+}
+
+/// A *strict* bounded counter for the nested-transaction examples and
+/// tests: like [`ToyCounter`] but `Dec` below zero is **disallowed**
+/// rather than saturating, which makes every state-changing operation
+/// exactly invertible (`inc⁻¹ = dec`, `dec⁻¹ = inc`) — the smallest
+/// spec supporting open nesting with certified compensations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrictCounter {
+    bound: i64,
+}
+
+impl StrictCounter {
+    /// Creates a strict counter over states `0..=bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound < 0`.
+    pub fn with_bound(bound: i64) -> Self {
+        assert!(bound >= 0, "counter bound must be non-negative");
+        Self { bound }
+    }
+
+    /// The inclusive upper bound of the counter.
+    pub fn bound(&self) -> i64 {
+        self.bound
+    }
+}
+
+impl Default for StrictCounter {
+    fn default() -> Self {
+        Self::with_bound(16)
+    }
+}
+
+impl SeqSpec for StrictCounter {
+    type Method = CounterMethod;
+    type Ret = i64;
+    type State = i64;
+
+    fn initial_states(&self) -> Vec<i64> {
+        vec![0]
+    }
+
+    fn post_states(&self, state: &i64, method: &CounterMethod, ret: &i64) -> Vec<i64> {
+        match method {
+            CounterMethod::Inc => {
+                if *ret == 0 && *state < self.bound {
+                    vec![state + 1]
+                } else {
+                    vec![]
+                }
+            }
+            CounterMethod::Dec => {
+                if *ret == 0 && *state > 0 {
+                    vec![state - 1]
+                } else {
+                    vec![]
+                }
+            }
+            CounterMethod::Get => {
+                if *ret == *state {
+                    vec![*state]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+
+    fn results(&self, state: &i64, method: &CounterMethod) -> Vec<i64> {
+        match method {
+            CounterMethod::Inc if state + 1 > self.bound => vec![],
+            CounterMethod::Dec if *state <= 0 => vec![],
+            CounterMethod::Inc | CounterMethod::Dec => vec![0],
+            CounterMethod::Get => vec![*state],
+        }
+    }
+
+    fn state_universe(&self) -> Option<Vec<i64>> {
+        Some((0..=self.bound).collect())
+    }
+
+    fn method_universe(&self) -> Option<Vec<CounterMethod>> {
+        Some(vec![
+            CounterMethod::Inc,
+            CounterMethod::Dec,
+            CounterMethod::Get,
+        ])
+    }
+
+    fn inverse(&self, op: &CounterOp) -> OpInverse<CounterMethod, i64> {
+        match op.method {
+            CounterMethod::Inc => OpInverse::Inverse(CounterMethod::Dec, 0),
+            CounterMethod::Dec => OpInverse::Inverse(CounterMethod::Inc, 0),
+            CounterMethod::Get => OpInverse::ReadOnly,
+        }
+    }
+
+    fn has_inverses(&self) -> bool {
+        true
     }
 }
 

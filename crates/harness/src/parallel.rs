@@ -121,6 +121,11 @@ pub struct WatchdogReport {
     /// commit seam — a stall with `batches` flat but commit-ready work
     /// queued means the batching stage itself is wedged.
     pub group_stats: Option<pushpull_core::GroupStats>,
+    /// Nested-scope counters, when the system exposes them — a stall
+    /// with `scopes_opened` climbing but neither `scopes_merged` nor
+    /// `scopes_aborted` moving means threads keep re-entering a scope
+    /// they can never exit.
+    pub nesting_stats: Option<pushpull_core::NestingStats>,
 }
 
 impl std::fmt::Display for WatchdogReport {
@@ -181,6 +186,21 @@ impl std::fmt::Display for WatchdogReport {
                     }
                 }
                 writeln!(f)?;
+            }
+        }
+        if let Some(n) = &self.nesting_stats {
+            if n.scopes_opened > 0 {
+                writeln!(
+                    f,
+                    "  nesting: {} opened, {} merged, {} aborted, {} open commits, \
+                     {} compensations, {} undo inverses",
+                    n.scopes_opened,
+                    n.scopes_merged,
+                    n.scopes_aborted,
+                    n.open_commits,
+                    n.compensations_replayed,
+                    n.undo_inverses
+                )?;
             }
         }
         for t in &self.threads {
@@ -358,6 +378,7 @@ where
         arena_stats: sys.arena_stats(),
         transport_stats: sys.transport_stats(),
         group_stats: sys.group_stats(),
+        nesting_stats: sys.nesting_stats(),
     });
     Ok((
         sys,

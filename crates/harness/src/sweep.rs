@@ -106,6 +106,18 @@ pub struct SweepResult {
     /// Commit-ready transactions that fell back to the per-transaction
     /// path per run.
     pub group_fallbacks: Aggregate,
+    /// Nested scopes opened (closed, open and checkpoint) per run.
+    pub scopes_opened: Aggregate,
+    /// Closed scopes merged into their parent per run.
+    pub scopes_merged: Aggregate,
+    /// Nested scopes aborted (suffix rewound) per run.
+    pub scopes_aborted: Aggregate,
+    /// Open-nested children committed to `G` per run.
+    pub open_commits: Aggregate,
+    /// Compensating transactions replayed on parent aborts per run.
+    pub compensations_replayed: Aggregate,
+    /// Inverse operations derived for undo programs per run.
+    pub undo_inverses: Aggregate,
 }
 
 impl std::fmt::Display for SweepResult {
@@ -153,6 +165,20 @@ impl std::fmt::Display for SweepResult {
                 self.group_fallbacks,
             )?;
         }
+        // And only runs that actually nested scopes print the nesting
+        // tail, keeping flat sweep tables byte-compatible.
+        if self.scopes_opened.max > 0.0 {
+            write!(
+                f,
+                " scopes={} (merged={} aborted={} open={} comp={} undo={})",
+                self.scopes_opened,
+                self.scopes_merged,
+                self.scopes_aborted,
+                self.open_commits,
+                self.compensations_replayed,
+                self.undo_inverses,
+            )?;
+        }
         Ok(())
     }
 }
@@ -186,6 +212,12 @@ pub fn sweep(
     let mut g_txns = Vec::new();
     let mut g_saved = Vec::new();
     let mut g_fallbacks = Vec::new();
+    let mut n_opened = Vec::new();
+    let mut n_merged = Vec::new();
+    let mut n_aborted = Vec::new();
+    let mut n_open_commits = Vec::new();
+    let mut n_compensations = Vec::new();
+    let mut n_undo = Vec::new();
     for seed in seeds {
         let (stats, t) = make_and_run(seed);
         commits.push(stats.commits as f64);
@@ -210,6 +242,12 @@ pub fn sweep(
         g_txns.push(stats.group_txns as f64);
         g_saved.push(stats.group_locks_saved as f64);
         g_fallbacks.push(stats.group_fallbacks as f64);
+        n_opened.push(stats.scopes_opened as f64);
+        n_merged.push(stats.scopes_merged as f64);
+        n_aborted.push(stats.scopes_aborted as f64);
+        n_open_commits.push(stats.open_commits as f64);
+        n_compensations.push(stats.compensations_replayed as f64);
+        n_undo.push(stats.undo_inverses as f64);
     }
     SweepResult {
         label: label.into(),
@@ -235,6 +273,12 @@ pub fn sweep(
         group_txns: Aggregate::of(&g_txns),
         group_locks_saved: Aggregate::of(&g_saved),
         group_fallbacks: Aggregate::of(&g_fallbacks),
+        scopes_opened: Aggregate::of(&n_opened),
+        scopes_merged: Aggregate::of(&n_merged),
+        scopes_aborted: Aggregate::of(&n_aborted),
+        open_commits: Aggregate::of(&n_open_commits),
+        compensations_replayed: Aggregate::of(&n_compensations),
+        undo_inverses: Aggregate::of(&n_undo),
     }
 }
 
@@ -286,6 +330,33 @@ mod tests {
         );
         let line = result.to_string();
         assert!(line.contains("counter/optimistic"));
+        // Flat workloads never nest, and the table stays byte-compatible.
+        assert_eq!(result.scopes_opened.max, 0.0);
+        assert!(!line.contains("scopes="));
         let _ = Code::method(CtrMethod::Get); // silence unused import pathologies
+    }
+
+    #[test]
+    fn sweep_carries_nesting_counters() {
+        let result = sweep("counter/nested", 1..=3, |seed| {
+            let programs = (0..2i64)
+                .map(|t| {
+                    vec![Code::seq(
+                        Code::method(CtrMethod::Add(t + 1)),
+                        Code::tx(Code::method(CtrMethod::Get)),
+                    )]
+                })
+                .collect();
+            let mut sys = OptimisticSystem::new(Counter::new(), programs, ReadPolicy::Snapshot);
+            let out = run(&mut sys, &mut RandomSched::new(seed), 1_000_000).unwrap();
+            assert!(out.completed);
+            (sys.stats(), out.ticks)
+        });
+        assert!(
+            result.scopes_opened.mean > 0.0,
+            "tx markers must open scopes: {result}"
+        );
+        assert!(result.scopes_merged.mean > 0.0);
+        assert!(result.to_string().contains("scopes="), "{result}");
     }
 }

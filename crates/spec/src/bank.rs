@@ -118,13 +118,24 @@ impl SeqSpec for Bank {
 
     fn post_states(&self, state: &BankState, method: &BankMethod, ret: &BankRet) -> Vec<BankState> {
         let bal = |s: &BankState, a: &Acct| s.get(a).copied().unwrap_or(0);
+        // Canonical representation: a zero balance is never stored, so
+        // states that agree on every balance are *equal* — which is what
+        // lets `deposit ∘ withdraw` round-trip exactly (the open-nesting
+        // restoration law compares states, not observations).
+        let set = |s: &mut BankState, a: Acct, v: Amount| {
+            if v == 0 {
+                s.remove(&a);
+            } else {
+                s.insert(a, v);
+            }
+        };
         match (method, ret) {
             (BankMethod::Deposit(a, n), BankRet::Ack) => {
                 if *n < 0 {
                     return vec![];
                 }
                 let mut s = state.clone();
-                *s.entry(*a).or_insert(0) += n;
+                set(&mut s, *a, bal(state, a) + n);
                 vec![s]
             }
             (BankMethod::Withdraw(a, n), BankRet::Ok(ok)) => {
@@ -137,7 +148,7 @@ impl SeqSpec for Bank {
                 }
                 if *ok {
                     let mut s = state.clone();
-                    *s.entry(*a).or_insert(0) -= n;
+                    set(&mut s, *a, bal(state, a) - n);
                     vec![s]
                 } else {
                     vec![state.clone()]
@@ -169,9 +180,12 @@ impl SeqSpec for Bank {
         for a in accts {
             let mut next = Vec::new();
             for s in &states {
+                // v = 0 is represented by absence (canonical states).
                 for v in 0..=*max {
                     let mut s2 = s.clone();
-                    s2.insert(*a, v);
+                    if v != 0 {
+                        s2.insert(*a, v);
+                    }
                     next.push(s2);
                 }
             }
@@ -253,6 +267,18 @@ impl SeqSpec for Bank {
             ms.push(BankMethod::Balance(*a));
         }
         Some(ms)
+    }
+
+    /// The inverse oracle delegates to [`crate::inverse::Inverses`]:
+    /// a deposit is undone by a withdrawal of the same amount and vice
+    /// versa; failed withdrawals and `Balance` leave the state
+    /// untouched.
+    fn inverse(&self, op: &BankOp) -> pushpull_core::spec::OpInverse<BankMethod, BankRet> {
+        crate::inverse::lift::<Self>(op)
+    }
+
+    fn has_inverses(&self) -> bool {
+        true
     }
 }
 

@@ -150,6 +150,17 @@ impl SeqSpec for Counter {
             CtrMethod::Get,
         ])
     }
+
+    /// The inverse oracle delegates to [`crate::inverse::Inverses`]:
+    /// `Add(k)` is undone by `Add(-k)` (the counter is unsaturated, so
+    /// every add is invertible); `Get` and `Add(0)` change nothing.
+    fn inverse(&self, op: &CtrOp) -> pushpull_core::spec::OpInverse<CtrMethod, CtrRet> {
+        crate::inverse::lift::<Self>(op)
+    }
+
+    fn has_inverses(&self) -> bool {
+        true
+    }
 }
 
 /// Convenience constructors for counter operations.

@@ -21,14 +21,16 @@
 //! `Write` over an unknown previous value) have no context-free inverse,
 //! which is precisely why word-based STMs keep undo-logs — the inverse
 //! is manufactured from the recorded previous value, as
-//! [`MemInverse`](struct@crate::rwmem::RwMem) shows with `Prev`-carrying
+//! [`MemInverse`](crate::rwmem::MemInverse) shows with `Prev`-carrying
 //! rets.
 
 use pushpull_core::op::Op;
+use pushpull_core::spec::OpInverse;
 
 use crate::bank::{BankMethod, BankOp, BankRet};
 use crate::counter::{CtrMethod, CtrOp, CtrRet};
 use crate::kvmap::{MapMethod, MapOp, MapRet};
+use crate::rwmem::{MemInverse, MemMethod, UndoOp, UndoRet};
 use crate::set::{SetMethod, SetOp, SetRet};
 
 /// A specification whose operations admit inverses.
@@ -42,6 +44,28 @@ pub trait Inverses {
     /// observation, or `None` when the operation is read-only (nothing
     /// to undo).
     fn inverse(op: &Op<Self::Method, Self::Ret>) -> Option<(Self::Method, Self::Ret)>;
+}
+
+/// Lifts the [`Inverses`] oracle into the core machine's three-way
+/// [`OpInverse`] verdict. `Some` becomes [`OpInverse::Inverse`]; `None`
+/// becomes [`OpInverse::ReadOnly`], which is sound exactly because every
+/// `None` below is a state-preserving operation — a read, a failed
+/// update (`add` that was already present, `remove`/`Withdraw` that
+/// found nothing), or a no-op (`Add(0)`, `Deposit(_, 0)`).
+///
+/// Specs with genuinely destructive operations (an absolute `Write`
+/// without a recorded previous value) must *not* route through this
+/// helper — they override [`pushpull_core::SeqSpec::inverse`] directly
+/// to return [`OpInverse::NotInvertible`], as
+/// [`RwMem`](crate::rwmem::RwMem) does.
+pub fn lift<I>(op: &Op<I::Method, I::Ret>) -> OpInverse<I::Method, I::Ret>
+where
+    I: Inverses,
+{
+    match I::inverse(op) {
+        Some((m, r)) => OpInverse::Inverse(m, r),
+        None => OpInverse::ReadOnly,
+    }
 }
 
 impl Inverses for crate::set::SetSpec {
@@ -113,6 +137,22 @@ impl Inverses for crate::bank::Bank {
     }
 }
 
+impl Inverses for MemInverse {
+    type Method = MemMethod;
+    type Ret = UndoRet;
+
+    fn inverse(op: &UndoOp) -> Option<(MemMethod, UndoRet)> {
+        match (op.method, op.ret) {
+            // The recorded previous value *is* the undo-log entry: write
+            // it back, observing the value we are undoing.
+            (MemMethod::Write(l, v), UndoRet::Prev(p)) => {
+                Some((MemMethod::Write(l, p), UndoRet::Prev(v)))
+            }
+            _ => None, // reads
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,29 +161,38 @@ mod tests {
 
     /// The inverse law: `⟦ℓ · op · op⁻¹⟧ = ⟦ℓ⟧` whenever `ℓ · op` is
     /// allowed — checked over the whole bounded state universe by
-    /// running from every state.
+    /// running from every state. A `None` verdict lifts to
+    /// [`OpInverse::ReadOnly`], so it carries its own obligation:
+    /// `⟦ℓ · op⟧ = ⟦ℓ⟧` (the operation must be state-preserving).
     fn check_inverse_law<S>(spec: &S, ops: &[Op<<S as SeqSpec>::Method, <S as SeqSpec>::Ret>])
     where
         S: SeqSpec + Inverses<Method = <S as SeqSpec>::Method, Ret = <S as SeqSpec>::Ret>,
     {
         let universe = spec.state_universe().expect("bounded spec");
         for op in ops {
-            let Some((im, ir)) = S::inverse(op) else {
-                continue;
-            };
-            let inv = Op::new(OpId(op.id.0 + 1000), TxnId(0), im, ir);
+            let inv = <S as Inverses>::inverse(op)
+                .map(|(im, ir)| Op::new(OpId(op.id.0 + 1000), TxnId(0), im, ir));
             for s in &universe {
                 let start: std::collections::HashSet<_> = std::iter::once(s.clone()).collect();
                 let fwd = spec.denote_from(&start, std::slice::from_ref(op));
                 if fwd.is_empty() {
                     continue; // op not allowed here
                 }
-                let round = spec.denote_from(&fwd, std::slice::from_ref(&inv));
-                assert_eq!(
-                    round, start,
-                    "inverse law fails for {:?}/{:?} from {:?}",
-                    op.method, op.ret, s
-                );
+                match &inv {
+                    Some(inv) => {
+                        let round = spec.denote_from(&fwd, std::slice::from_ref(inv));
+                        assert_eq!(
+                            round, start,
+                            "inverse law fails for {:?}/{:?} from {:?}",
+                            op.method, op.ret, s
+                        );
+                    }
+                    None => assert_eq!(
+                        fwd, start,
+                        "read-only law fails for {:?}/{:?} from {:?}",
+                        op.method, op.ret, s
+                    ),
+                }
             }
         }
     }
@@ -196,6 +245,50 @@ mod tests {
         check_inverse_law(&spec, &ops);
     }
 
+    #[test]
+    fn mem_inverse_satisfies_the_law() {
+        use crate::rwmem::{ops as o, Loc, MemInverse};
+        let spec = MemInverse::bounded(vec![Loc(0), Loc(1)], vec![0, 1, 2]);
+        let ops = vec![
+            o::undo_write(0, 0, 0, 2, 0),
+            o::undo_write(1, 0, 0, 1, 2),
+            o::undo_write(2, 0, 1, 0, 1),
+            o::undo_read(3, 0, 1, 0),
+        ];
+        check_inverse_law(&spec, &ops);
+    }
+
+    /// The lifted verdicts agree with the core oracle: `Some` lifts to
+    /// `Inverse`, `None` to `ReadOnly`, and `RwMem`'s absolute writes —
+    /// which destroy the overwritten value — stay `NotInvertible`.
+    #[test]
+    fn lift_matches_core_verdicts() {
+        use pushpull_core::spec::OpInverse;
+        {
+            use crate::set::{ops as o, SetSpec};
+            let spec = SetSpec::new();
+            assert_eq!(
+                spec.inverse(&o::add(0, 0, 1, true)),
+                OpInverse::Inverse(SetMethod::Remove(1), SetRet(true))
+            );
+            assert_eq!(spec.inverse(&o::add(1, 0, 1, false)), OpInverse::ReadOnly);
+            assert!(spec.has_inverses());
+        }
+        {
+            use crate::rwmem::{ops as o, Loc, MemInverse, RwMem};
+            let rw = RwMem::new();
+            assert_eq!(rw.inverse(&o::read(0, 0, 1, 0)), OpInverse::ReadOnly);
+            assert_eq!(rw.inverse(&o::write(1, 0, 1, 5)), OpInverse::NotInvertible);
+            assert!(!rw.has_inverses());
+            let undo = MemInverse::new();
+            assert_eq!(
+                undo.inverse(&o::undo_write(2, 0, 1, 5, 3)),
+                OpInverse::Inverse(MemMethod::Write(Loc(1), 3), UndoRet::Prev(5))
+            );
+            assert!(undo.has_inverses());
+        }
+    }
+
     /// Figure 2's abort path as the implementation sees it: a boosted put
     /// aborts by applying the inverse put/remove to the base object —
     /// equivalently, removing the op from the log. Both views agree.
@@ -208,7 +301,7 @@ mod tests {
         // View 1 (the model): remove put(2) from the log.
         let unpushed = vec![with_op[0].clone()];
         // View 2 (the implementation): append the inverse of put(2).
-        let (im, ir) = KvMap::inverse(&with_op[1]).unwrap();
+        let (im, ir) = <KvMap as Inverses>::inverse(&with_op[1]).unwrap();
         let mut inversed = with_op.clone();
         inversed.push(Op::new(OpId(99), TxnId(1), im, ir));
         use pushpull_core::spec::SeqSpec as _;

@@ -260,6 +260,16 @@ impl SeqSpec for KvMap {
         ms.push(MapMethod::Size);
         Some(ms)
     }
+
+    /// The inverse oracle delegates to [`crate::inverse::Inverses`]: the
+    /// `Prev`-carrying ret of `put`/`remove` is the undo-log entry.
+    fn inverse(&self, op: &MapOp) -> pushpull_core::spec::OpInverse<MapMethod, MapRet> {
+        crate::inverse::lift::<Self>(op)
+    }
+
+    fn has_inverses(&self) -> bool {
+        true
+    }
 }
 
 /// Does a key-local operation (with its observed ret) preserve key

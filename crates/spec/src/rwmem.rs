@@ -230,6 +230,189 @@ impl SeqSpec for RwMem {
         }
         Some(ms)
     }
+
+    /// Reads are undo-free, but an absolute `Write` destroys the
+    /// previous binding and has no context-free inverse — use
+    /// [`MemInverse`] (whose writes record the overwritten value) when
+    /// open nesting or boosting-style undo is needed.
+    fn inverse(&self, op: &MemOp) -> pushpull_core::spec::OpInverse<MemMethod, MemRet> {
+        match op.method {
+            MemMethod::Read(_) => pushpull_core::spec::OpInverse::ReadOnly,
+            MemMethod::Write(_, _) => pushpull_core::spec::OpInverse::NotInvertible,
+        }
+    }
+}
+
+/// Return values of the undo-logging memory [`MemInverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UndoRet {
+    /// The value observed by a read.
+    Val(i64),
+    /// The *previous* value observed by a write — the undo-log entry a
+    /// word-based STM records alongside the store.
+    Prev(i64),
+}
+
+/// Operation records of the undo-logging memory.
+pub type UndoOp = Op<MemMethod, UndoRet>;
+
+/// Read/write memory whose writes observe the overwritten value —
+/// the undo-logging variant of [`RwMem`].
+///
+/// A plain `Write(l, v) / Ack` destroys information (the previous
+/// binding of `l` is gone), so [`RwMem`] is not invertible and cannot
+/// host open-nested scopes. Word-based STMs solve this by keeping an
+/// undo log: each store records the value it overwrote. `MemInverse`
+/// bakes that into the specification — `Write` returns
+/// [`UndoRet::Prev`], and the inverse of `Write(l, v) / Prev(p)` is
+/// `Write(l, p) / Prev(v)`, which restores every pre-state exactly.
+///
+/// The extra observation makes writes order-sensitive (the second
+/// write observes the first), so same-location movers are strictly
+/// rarer than [`RwMem`]'s; the algebraic fast path below only claims
+/// distinct-location commutation and defers same-location questions to
+/// the exhaustive oracle on bounded instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemInverse {
+    bound: Option<(Vec<Loc>, Vec<i64>)>,
+}
+
+impl MemInverse {
+    /// An unbounded undo-logging memory.
+    pub fn new() -> Self {
+        Self { bound: None }
+    }
+
+    /// A bounded undo-logging memory over the given locations and
+    /// values, providing a finite state universe of all total
+    /// assignments (and a finite method alphabet).
+    pub fn bounded(locs: Vec<Loc>, vals: Vec<i64>) -> Self {
+        Self {
+            bound: Some((locs, vals)),
+        }
+    }
+}
+
+impl Default for MemInverse {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqSpec for MemInverse {
+    type Method = MemMethod;
+    type Ret = UndoRet;
+    type State = MemState;
+
+    fn initial_states(&self) -> Vec<MemState> {
+        vec![MemState::new()]
+    }
+
+    fn post_states(&self, state: &MemState, method: &MemMethod, ret: &UndoRet) -> Vec<MemState> {
+        match (method, ret) {
+            (MemMethod::Read(l), UndoRet::Val(v)) => {
+                if state.get(l).copied().unwrap_or(0) == *v {
+                    vec![state.clone()]
+                } else {
+                    vec![]
+                }
+            }
+            // A write is allowed exactly where its recorded previous
+            // value matches the current binding — the undo log pins the
+            // pre-state.
+            (MemMethod::Write(l, v), UndoRet::Prev(p)) => {
+                if state.get(l).copied().unwrap_or(0) != *p {
+                    return vec![];
+                }
+                if let Some((_, vals)) = &self.bound {
+                    if !vals.contains(v) {
+                        return vec![];
+                    }
+                }
+                let mut s = state.clone();
+                s.insert(*l, *v);
+                vec![s]
+            }
+            _ => vec![],
+        }
+    }
+
+    fn results(&self, state: &MemState, method: &MemMethod) -> Vec<UndoRet> {
+        match method {
+            MemMethod::Read(l) => vec![UndoRet::Val(state.get(l).copied().unwrap_or(0))],
+            MemMethod::Write(l, _) => vec![UndoRet::Prev(state.get(l).copied().unwrap_or(0))],
+        }
+    }
+
+    fn state_universe(&self) -> Option<Vec<MemState>> {
+        let (locs, vals) = self.bound.as_ref()?;
+        let mut states = vec![MemState::new()];
+        for l in locs {
+            let mut next = Vec::new();
+            for s in &states {
+                for v in vals {
+                    let mut s2 = s.clone();
+                    s2.insert(*l, *v);
+                    next.push(s2);
+                }
+            }
+            states = next;
+        }
+        Some(states)
+    }
+
+    /// Distinct locations always commute; same-location pairs are
+    /// decided exhaustively on bounded instances (and conservatively
+    /// refused on unbounded ones — Prev-observing writes see each
+    /// other, so the algebraic table for [`RwMem`] does not carry over).
+    fn mover(&self, op1: &UndoOp, op2: &UndoOp) -> bool {
+        if op1.method.loc() != op2.method.loc() {
+            return true;
+        }
+        match self.state_universe() {
+            Some(universe) => pushpull_core::spec::mover_exhaustive(self, &universe, op1, op2),
+            None => matches!(
+                (&op1.method, &op2.method),
+                (MemMethod::Read(_), MemMethod::Read(_))
+            ),
+        }
+    }
+
+    fn method_mover(&self, m1: &MemMethod, m2: &MemMethod) -> Option<bool> {
+        if m1.loc() != m2.loc() {
+            return Some(true);
+        }
+        match self.state_universe() {
+            Some(universe) => Some(pushpull_core::spec::method_mover_exhaustive(
+                self, &universe, m1, m2,
+            )),
+            None => Some(matches!((m1, m2), (MemMethod::Read(_), MemMethod::Read(_)))),
+        }
+    }
+
+    fn method_keys(&self, m: &MemMethod) -> Option<KeySet> {
+        Some(KeySet::one(u64::from(m.loc().0)))
+    }
+
+    fn method_universe(&self) -> Option<Vec<MemMethod>> {
+        let (locs, vals) = self.bound.as_ref()?;
+        let mut ms = Vec::new();
+        for l in locs {
+            ms.push(MemMethod::Read(*l));
+            for v in vals {
+                ms.push(MemMethod::Write(*l, *v));
+            }
+        }
+        Some(ms)
+    }
+
+    fn inverse(&self, op: &UndoOp) -> pushpull_core::spec::OpInverse<MemMethod, UndoRet> {
+        crate::inverse::lift::<Self>(op)
+    }
+
+    fn has_inverses(&self) -> bool {
+        true
+    }
 }
 
 /// Convenience constructors for memory operations in tests and examples.
@@ -254,6 +437,27 @@ pub mod ops {
             TxnId(txn),
             MemMethod::Write(Loc(loc), val),
             MemRet::Ack,
+        )
+    }
+
+    /// `undo_read(id, txn, loc, observed)` — a [`MemInverse`] read.
+    pub fn undo_read(id: u64, txn: u64, loc: u32, observed: i64) -> UndoOp {
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            MemMethod::Read(Loc(loc)),
+            UndoRet::Val(observed),
+        )
+    }
+
+    /// `undo_write(id, txn, loc, val, prev)` — a [`MemInverse`] write of
+    /// `val` that recorded previous value `prev`.
+    pub fn undo_write(id: u64, txn: u64, loc: u32, val: i64, prev: i64) -> UndoOp {
+        Op::new(
+            OpId(id),
+            TxnId(txn),
+            MemMethod::Write(Loc(loc), val),
+            UndoRet::Prev(prev),
         )
     }
 }

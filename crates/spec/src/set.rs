@@ -187,6 +187,17 @@ impl SeqSpec for SetSpec {
         }
         Some(ms)
     }
+
+    /// The inverse oracle delegates to [`crate::inverse::Inverses`]: a
+    /// successful `add` is undone by `remove` (and vice versa); failed
+    /// updates and `contains` leave the state untouched.
+    fn inverse(&self, op: &SetOp) -> pushpull_core::spec::OpInverse<SetMethod, SetRet> {
+        crate::inverse::lift::<Self>(op)
+    }
+
+    fn has_inverses(&self) -> bool {
+        true
+    }
 }
 
 /// Convenience constructors for set operations.

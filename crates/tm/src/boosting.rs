@@ -95,6 +95,15 @@ fn abort_thread<S: ConflictKeyed>(
     gov: &mut Governor,
 ) -> Result<Tick, MachineError> {
     let txn = h.txn();
+    // §4's "UNPUSH is typically implemented via inverse operations":
+    // derive the undo log — the spec-level inverse of each live
+    // operation, in reverse order — before rewinding. The rollback
+    // itself still runs through the back rules (traces are unchanged);
+    // the derived program is what a boosted runtime would execute
+    // against the shared object, and it feeds the nesting counters.
+    // Specs without an inverse oracle fall back to plain rewind
+    // accounting.
+    let _undo = h.undo_program();
     // Figure 2's abort path: UNPUSH; UNAPP in reverse order
     // (rewind_all walks the local log from the tail), then unlock.
     h.abort_and_retry()?;
@@ -254,23 +263,7 @@ impl<S: ConflictKeyed> BoostingSystem<S> {
     pub fn stats(&self) -> SystemStats {
         let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
         self.contention.fold_into(&mut stats);
-        let (acquires, contended) = self.machine.lock_stats();
-        stats.lock_acquires = acquires;
-        stats.lock_contended = contended;
-        let (snap_reads, snap_retries, snap_fallbacks) = self.machine.seqlock_stats();
-        stats.snap_reads = snap_reads;
-        stats.snap_retries = snap_retries;
-        stats.snap_fallbacks = snap_fallbacks;
-        let (arena_live, arena_capacity, arena_reused) = self.machine.arena_stats();
-        stats.arena_live = arena_live;
-        stats.arena_capacity = arena_capacity;
-        stats.arena_reused = arena_reused;
-        let t = self.machine.transport_stats();
-        stats.transport_requests = t.requests;
-        stats.transport_retries = t.retries;
-        stats.transport_timeouts = t.timeouts;
-        stats.transport_degradations = t.degradations;
-        stats.transport_recoveries = t.recoveries;
+        crate::driver::fold_machine_counters(&self.machine, &mut stats);
         stats
     }
 

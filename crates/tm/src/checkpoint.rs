@@ -3,14 +3,16 @@
 //! that placemarkers are set so that, if an abort is detected, UNAPP only
 //! needs to be performed for some operations").
 //!
-//! On a commit-time conflict this driver does not throw the whole
-//! transaction away: it locates the *first* operation the shared log no
-//! longer admits, rewinds exactly to the placemarker before it
-//! ([`TxnHandle::rewind_to`]), refreshes its view, and re-executes only
-//! the invalidated suffix. Thanks to UNAPP's saved code/stack snapshots,
-//! the machine restores the continuation for free — the paper's point
-//! that the model "permits threads to roll backwards to any execution
-//! point".
+//! The placemarkers are first-class *checkpoint scopes*
+//! ([`TxnHandle::begin_checkpoint`]): one closed marker frame before
+//! every operation. On a commit-time conflict this driver does not throw
+//! the whole transaction away: it locates the *first* operation the
+//! shared log no longer admits and aborts the scope suffix from that
+//! checkpoint ([`TxnHandle::abort_to_checkpoint`]), refreshes its view,
+//! and re-executes only the invalidated suffix. Thanks to UNAPP's saved
+//! code/stack snapshots, the machine restores the continuation for free —
+//! the paper's point that the model "permits threads to roll backwards to
+//! any execution point".
 
 use std::sync::Arc;
 
@@ -156,15 +158,19 @@ fn tick_thread<S: SeqSpec>(
     let options = h.step_options()?;
     if !options.is_empty() {
         let method = options[0].0.clone();
+        // The §6.2 placemarker: a checkpoint scope before every
+        // operation, so any suffix is later abortable on its own.
+        h.begin_checkpoint()?;
         return match h.app_method(&method) {
             Ok(_) => Ok(Tick::Progress),
             Err(MachineError::NoAllowedResult(_)) | Err(MachineError::Criterion(_)) => {
-                // Local view wedged: partial-rewind to the first
-                // invalid entry instead of full abort.
+                // Local view wedged: partial-abort to the checkpoint
+                // before the first invalid entry instead of a full
+                // abort.
                 match first_invalid(h) {
                     Some(idx) => {
                         let salvaged = idx as u64;
-                        h.rewind_to(idx)?;
+                        h.abort_to_checkpoint(idx)?;
                         pull_committed_lenient(h)?;
                         t.partial_rewinds += 1;
                         t.ops_salvaged += salvaged;
@@ -204,9 +210,10 @@ fn tick_thread<S: SeqSpec>(
             Err(e) => Err(e),
         },
         Some(idx) => {
-            // The §6.2 move: UNAPP only the invalidated suffix.
+            // The §6.2 move: abort the scope suffix, UNAPPing only the
+            // invalidated operations.
             let salvaged = idx as u64;
-            h.rewind_to(idx)?;
+            h.abort_to_checkpoint(idx)?;
             pull_committed_lenient(h)?;
             gov.on_progress();
             t.partial_rewinds += 1;
@@ -254,23 +261,7 @@ impl<S: SeqSpec> CheckpointOptimistic<S> {
     pub fn stats(&self) -> SystemStats {
         let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
         self.contention.fold_into(&mut stats);
-        let (acquires, contended) = self.machine.lock_stats();
-        stats.lock_acquires = acquires;
-        stats.lock_contended = contended;
-        let (snap_reads, snap_retries, snap_fallbacks) = self.machine.seqlock_stats();
-        stats.snap_reads = snap_reads;
-        stats.snap_retries = snap_retries;
-        stats.snap_fallbacks = snap_fallbacks;
-        let (arena_live, arena_capacity, arena_reused) = self.machine.arena_stats();
-        stats.arena_live = arena_live;
-        stats.arena_capacity = arena_capacity;
-        stats.arena_reused = arena_reused;
-        let t = self.machine.transport_stats();
-        stats.transport_requests = t.requests;
-        stats.transport_retries = t.retries;
-        stats.transport_timeouts = t.timeouts;
-        stats.transport_degradations = t.degradations;
-        stats.transport_recoveries = t.recoveries;
+        crate::driver::fold_machine_counters(&self.machine, &mut stats);
         stats
     }
 

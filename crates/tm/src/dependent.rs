@@ -134,6 +134,20 @@ fn pull_everything<S: SeqSpec>(
     Ok(())
 }
 
+/// UNAPP that rewinds across closed-scope bases: when the tail entry
+/// lies below the innermost scope's floor, that scope is necessarily
+/// empty, so popping it is event-free and the parent entry becomes
+/// reachable — exactly what the flat (scope-less) rendering of the same
+/// program would rewind.
+fn unapp_through_scopes<S: SeqSpec>(h: &mut TxnHandle<S>) -> Result<OpId, MachineError> {
+    loop {
+        match h.unapp() {
+            Err(MachineError::NothingToUnapply(_)) if h.scope_depth() > 0 => h.abort_nested()?,
+            other => return other,
+        }
+    }
+}
+
 /// Partially rewinds from the tail until `dep` can be UNPULLed — "move
 /// backwards only insofar as to detangle".
 fn detangle<S: SeqSpec>(
@@ -164,10 +178,10 @@ fn detangle<S: SeqSpec>(
                     Some((_, LocalFlag::Pushed { .. })) => {
                         let id = h.local().entries().last().unwrap().op.id;
                         h.unpush(id)?;
-                        h.unapp()?;
+                        unapp_through_scopes(h)?;
                     }
                     Some((_, LocalFlag::NotPushed { .. })) => {
-                        h.unapp()?;
+                        unapp_through_scopes(h)?;
                     }
                     Some((_, LocalFlag::Pulled)) => {
                         // The dep itself is last but still refused:
@@ -337,23 +351,7 @@ impl<S: SeqSpec> DependentSystem<S> {
     pub fn stats(&self) -> SystemStats {
         let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
         self.contention.fold_into(&mut stats);
-        let (acquires, contended) = self.machine.lock_stats();
-        stats.lock_acquires = acquires;
-        stats.lock_contended = contended;
-        let (snap_reads, snap_retries, snap_fallbacks) = self.machine.seqlock_stats();
-        stats.snap_reads = snap_reads;
-        stats.snap_retries = snap_retries;
-        stats.snap_fallbacks = snap_fallbacks;
-        let (arena_live, arena_capacity, arena_reused) = self.machine.arena_stats();
-        stats.arena_live = arena_live;
-        stats.arena_capacity = arena_capacity;
-        stats.arena_reused = arena_reused;
-        let t = self.machine.transport_stats();
-        stats.transport_requests = t.requests;
-        stats.transport_retries = t.retries;
-        stats.transport_timeouts = t.timeouts;
-        stats.transport_degradations = t.degradations;
-        stats.transport_recoveries = t.recoveries;
+        crate::driver::fold_machine_counters(&self.machine, &mut stats);
         stats
     }
 

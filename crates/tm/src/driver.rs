@@ -175,6 +175,14 @@ pub trait TmSystem {
         None
     }
 
+    /// Nested-scope counters from the underlying machine (scopes opened /
+    /// merged / aborted, open-nested commits, compensations replayed,
+    /// undo inverses derived), or `None` for systems without a machine.
+    /// All-zero for programs that never nest.
+    fn nesting_stats(&self) -> Option<pushpull_core::NestingStats> {
+        None
+    }
+
     /// The service-callable commit seam: commits the commit-ready
     /// transactions of `tids` through the per-shard group-commit path
     /// (one shard-lock acquisition and one contiguous stamp range per
@@ -259,6 +267,10 @@ macro_rules! forward_machine_hooks {
 
         fn group_stats(&self) -> Option<pushpull_core::GroupStats> {
             Some(self.machine.group_stats())
+        }
+
+        fn nesting_stats(&self) -> Option<pushpull_core::NestingStats> {
+            Some(self.machine.nesting_stats())
         }
 
         fn service_commit_group(
@@ -369,6 +381,54 @@ pub struct SystemStats {
     /// (1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+) — deterministic to
     /// report by construction.
     pub group_hist: [u64; 8],
+    /// Nested scopes entered (peeled `tx`/`otx` redexes, explicit scopes,
+    /// checkpoint markers).
+    pub scopes_opened: u64,
+    /// Closed scopes merged into their parent on commit.
+    pub scopes_merged: u64,
+    /// Scopes aborted via partial rewind (the parent survived).
+    pub scopes_aborted: u64,
+    /// Open-nested children committed straight to the shared log.
+    pub open_commits: u64,
+    /// Compensating transactions replayed by aborting parents.
+    pub compensations_replayed: u64,
+    /// Inverse operations derived by the spec's undo oracle (boosting
+    /// undo-log accounting plus open-nesting compensation planning).
+    pub undo_inverses: u64,
+}
+
+/// Folds the machine-owned shared counters — shard locks, seqlock path,
+/// arena occupancy, transport envelope, nested scopes — into `stats`:
+/// the common tail of every in-crate driver's `stats()`, deduplicated
+/// here so a new machine counter lands in all ten drivers at once.
+pub fn fold_machine_counters<S: pushpull_core::SeqSpec>(
+    machine: &pushpull_core::Machine<S>,
+    stats: &mut SystemStats,
+) {
+    let (acquires, contended) = machine.lock_stats();
+    stats.lock_acquires = acquires;
+    stats.lock_contended = contended;
+    let (snap_reads, snap_retries, snap_fallbacks) = machine.seqlock_stats();
+    stats.snap_reads = snap_reads;
+    stats.snap_retries = snap_retries;
+    stats.snap_fallbacks = snap_fallbacks;
+    let (arena_live, arena_capacity, arena_reused) = machine.arena_stats();
+    stats.arena_live = arena_live;
+    stats.arena_capacity = arena_capacity;
+    stats.arena_reused = arena_reused;
+    let t = machine.transport_stats();
+    stats.transport_requests = t.requests;
+    stats.transport_retries = t.retries;
+    stats.transport_timeouts = t.timeouts;
+    stats.transport_degradations = t.degradations;
+    stats.transport_recoveries = t.recoveries;
+    let n = machine.nesting_stats();
+    stats.scopes_opened = n.scopes_opened;
+    stats.scopes_merged = n.scopes_merged;
+    stats.scopes_aborted = n.scopes_aborted;
+    stats.open_commits = n.open_commits;
+    stats.compensations_replayed = n.compensations_replayed;
+    stats.undo_inverses = n.undo_inverses;
 }
 
 impl SystemStats {
@@ -412,6 +472,12 @@ impl std::ops::Add for SystemStats {
             group_locks_saved: self.group_locks_saved + rhs.group_locks_saved,
             group_fallbacks: self.group_fallbacks + rhs.group_fallbacks,
             group_hist: std::array::from_fn(|i| self.group_hist[i] + rhs.group_hist[i]),
+            scopes_opened: self.scopes_opened + rhs.scopes_opened,
+            scopes_merged: self.scopes_merged + rhs.scopes_merged,
+            scopes_aborted: self.scopes_aborted + rhs.scopes_aborted,
+            open_commits: self.open_commits + rhs.open_commits,
+            compensations_replayed: self.compensations_replayed + rhs.compensations_replayed,
+            undo_inverses: self.undo_inverses + rhs.undo_inverses,
         }
     }
 }

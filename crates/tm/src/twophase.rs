@@ -210,23 +210,7 @@ impl TwoPhaseLocking {
     pub fn stats(&self) -> SystemStats {
         let mut stats: SystemStats = self.threads.iter().map(|t| t.stats).sum();
         self.contention.fold_into(&mut stats);
-        let (acquires, contended) = self.machine.lock_stats();
-        stats.lock_acquires = acquires;
-        stats.lock_contended = contended;
-        let (snap_reads, snap_retries, snap_fallbacks) = self.machine.seqlock_stats();
-        stats.snap_reads = snap_reads;
-        stats.snap_retries = snap_retries;
-        stats.snap_fallbacks = snap_fallbacks;
-        let (arena_live, arena_capacity, arena_reused) = self.machine.arena_stats();
-        stats.arena_live = arena_live;
-        stats.arena_capacity = arena_capacity;
-        stats.arena_reused = arena_reused;
-        let t = self.machine.transport_stats();
-        stats.transport_requests = t.requests;
-        stats.transport_retries = t.retries;
-        stats.transport_timeouts = t.timeouts;
-        stats.transport_degradations = t.degradations;
-        stats.transport_recoveries = t.recoveries;
+        crate::driver::fold_machine_counters(&self.machine, &mut stats);
         stats
     }
 }
